@@ -1,0 +1,397 @@
+//! The API-evolution scenario behind hypothesis H3 (paper §2.2, §5.2):
+//! "when a new version of an API is released, any changes to the syntax
+//! or behavior of the API may mean that existing clients or
+//! interoperability mediators no longer function" — Starlink handles
+//! this "using only the models".
+//!
+//! Scenario: Picasa ships **v2** of its API. The search path moves from
+//! `/data/feed/api/all` to `/v2/search`, and the parameters are renamed
+//! (`q` → `query`, `max-results` → `limit`). Unmodified Flickr clients
+//! keep working because only three model artefacts change: the REST
+//! route table, the service interface templates, and two MTL assignment
+//! lines. No client or engine code is touched.
+
+use crate::flickr::{flickr_binding, flickr_codec, FlickrFlavor};
+use crate::models::{case_study_registry, flickr_usage_automaton};
+use crate::store::PhotoStore;
+use starlink_automata::linear_usage_protocol;
+use starlink_automata::merge::{intertwine, into_service_loop, GammaKind, MergeOptions};
+use starlink_automata::Automaton;
+use starlink_core::{
+    ActionRule, ColorRuntime, CoreError, Mediator, ParamRule, ProtocolBinding, ReplyAction,
+    Result, RestRoute, RpcServer, ServiceHandler, ServiceInterface,
+};
+use starlink_mdl::MessageCodec;
+use starlink_message::equiv::SemanticRegistry;
+use starlink_message::{AbstractMessage, Field, Value};
+use starlink_net::{Endpoint, NetworkEngine};
+use starlink_protocols::gdata::rest_codec;
+use std::sync::Arc;
+
+/// v2 search path.
+pub const V2_SEARCH_PATH: &str = "/v2/search";
+/// v2 comments path.
+pub const V2_COMMENTS_PATH: &str = "/v2/comments";
+
+/// The v2 application interface: renamed parameters.
+pub fn picasa_v2_interface() -> ServiceInterface {
+    let mut search = AbstractMessage::new("picasa2.search");
+    search.set_field("query", Value::Null);
+    search.push_field(Field::optional("limit", Value::Null));
+    let mut search_reply = AbstractMessage::new("picasa2.search.reply");
+    search_reply.push_field(Field::optional("Title", Value::Null));
+    search_reply.set_field("Entries", Value::Null);
+
+    let mut get_comments = AbstractMessage::new("picasa2.getComments");
+    get_comments.set_field("entry_id", Value::Null);
+    let mut get_comments_reply = AbstractMessage::new("picasa2.getComments.reply");
+    get_comments_reply.set_field("Entries", Value::Null);
+
+    let mut add_comment = AbstractMessage::new("picasa2.addComment");
+    add_comment.set_field("entry_id", Value::Null);
+    add_comment.set_field("content", Value::Null);
+    let mut add_comment_reply = AbstractMessage::new("picasa2.addComment.reply");
+    add_comment_reply.set_field("id", Value::Null);
+
+    ServiceInterface::new()
+        .with_operation(search, search_reply)
+        .with_operation(get_comments, get_comments_reply)
+        .with_operation(add_comment, add_comment_reply)
+}
+
+/// The v2 REST binding: new routes, renamed query parameters.
+pub fn picasa_v2_binding() -> ProtocolBinding {
+    let uri: starlink_message::FieldPath = "RequestURI".parse().expect("static path");
+    ProtocolBinding::new("REST-v2", "RESTv2.mdl", "HTTPRequest", "GDataFeed")
+        .with_request_action(ActionRule::Rest {
+            method_field: "Method".parse().expect("static path"),
+            uri_field: uri.clone(),
+            routes: vec![
+                RestRoute {
+                    action: "picasa2.search".into(),
+                    method: "GET".into(),
+                    path: V2_SEARCH_PATH.into(),
+                },
+                RestRoute {
+                    action: "picasa2.getComments".into(),
+                    method: "GET".into(),
+                    path: V2_COMMENTS_PATH.into(),
+                },
+                RestRoute {
+                    action: "picasa2.addComment".into(),
+                    method: "POST".into(),
+                    path: V2_COMMENTS_PATH.into(),
+                },
+            ],
+        })
+        .with_reply_action(ReplyAction::Correlated)
+        .with_params(
+            ParamRule::PerAction {
+                rules: vec![("picasa2.addComment".into(), ParamRule::NamedFields(None))],
+                default: Box::new(ParamRule::Query { uri_field: uri }),
+            },
+            ParamRule::NamedFields(None),
+        )
+        .with_request_message_override("picasa2.addComment", "GDataEntry")
+        .with_reply_message_override("picasa2.addComment.reply", "GDataEntryReply")
+        .with_request_default(
+            "Version".parse().expect("static path"),
+            Value::Str("HTTP/1.1".into()),
+        )
+        .with_request_default(
+            "Headers".parse().expect("static path"),
+            Value::Struct(vec![Field::new(
+                "Host",
+                Value::Str("picasaweb.google.com".into()),
+            )]),
+        )
+        .with_request_default(
+            "Body".parse().expect("static path"),
+            Value::Str(String::new()),
+        )
+}
+
+/// The v2 service handler (Google's side of the evolution — renamed
+/// inputs, same behaviour).
+pub fn picasa_v2_handler(store: PhotoStore) -> Arc<ServiceHandler> {
+    Arc::new(move |req| match req.name() {
+        "picasa2.search" => {
+            let q = req.get("query").map(Value::to_text).unwrap_or_default();
+            let limit = req
+                .get("limit")
+                .map(Value::to_text)
+                .and_then(|t| t.parse().ok())
+                .unwrap_or(10usize);
+            let mut reply = AbstractMessage::new("picasa2.search.reply");
+            reply.set_field(
+                "Entries",
+                Value::Array(
+                    store
+                        .search(&q, limit)
+                        .iter()
+                        .map(|p| {
+                            Value::Struct(vec![
+                                Field::new("id", Value::Str(p.id.clone())),
+                                Field::new("title", Value::Str(p.title.clone())),
+                                Field::new("url", Value::Str(p.url.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            );
+            Ok(reply)
+        }
+        "picasa2.getComments" => {
+            let entry_id = req
+                .get("entry_id")
+                .map(Value::to_text)
+                .ok_or("missing entry_id")?;
+            let mut reply = AbstractMessage::new("picasa2.getComments.reply");
+            reply.set_field(
+                "Entries",
+                Value::Array(
+                    store
+                        .comments(&entry_id)
+                        .iter()
+                        .map(|c| {
+                            Value::Struct(vec![
+                                Field::new("id", Value::Str(c.id.clone())),
+                                Field::new("content", Value::Str(c.text.clone())),
+                                Field::new("author", Value::Str(c.author.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            );
+            Ok(reply)
+        }
+        "picasa2.addComment" => {
+            let entry_id = req
+                .get("entry_id")
+                .map(Value::to_text)
+                .ok_or("missing entry_id")?;
+            let content = req
+                .get("content")
+                .map(Value::to_text)
+                .ok_or("missing content")?;
+            let comment = store.add_comment(&entry_id, "starlink-user", &content);
+            let mut reply = AbstractMessage::new("picasa2.addComment.reply");
+            reply.set_field("id", Value::Str(comment.id));
+            Ok(reply)
+        }
+        other => Err(format!("picasa-v2: unknown operation `{other}`")),
+    })
+}
+
+/// A running v2 service.
+pub struct PicasaV2Service {
+    server: RpcServer,
+}
+
+impl PicasaV2Service {
+    /// Deploys the v2 service.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn deploy(
+        net: &NetworkEngine,
+        endpoint: &Endpoint,
+        store: PhotoStore,
+    ) -> Result<PicasaV2Service> {
+        let codec: Arc<dyn MessageCodec> = Arc::new(
+            rest_codec("picasaweb.google.com").map_err(CoreError::Mdl)?,
+        );
+        let server = RpcServer::serve(
+            net,
+            endpoint,
+            codec,
+            picasa_v2_binding(),
+            picasa_v2_interface(),
+            picasa_v2_handler(store),
+        )?;
+        Ok(PicasaV2Service { server })
+    }
+
+    /// The endpoint the service is reachable at.
+    pub fn endpoint(&self) -> &Endpoint {
+        self.server.endpoint()
+    }
+}
+
+/// The v2 usage automaton and registry additions — the *model-only*
+/// changes the evolution requires.
+pub fn picasa_v2_usage_automaton() -> Automaton {
+    let iface = picasa_v2_interface();
+    let ops: Vec<_> = iface
+        .operations()
+        .iter()
+        .map(|(req, rep)| (req.clone(), rep.clone()))
+        .collect();
+    linear_usage_protocol("APicasaV2", 2, &ops)
+}
+
+/// Registry for v1-client ↔ v2-service alignment.
+pub fn v2_registry() -> SemanticRegistry {
+    let mut reg = case_study_registry();
+    // Three added declarations — the complete semantic delta of v2.
+    reg.declare_message_concept("photo-search", ["picasa2.search"]);
+    reg.declare_message_concept("comment-list", ["picasa2.getComments"]);
+    reg.declare_message_concept("comment-add", ["picasa2.addComment"]);
+    reg.declare_field_concept("keyword", ["query"]);
+    reg.declare_field_concept("result-limit", ["limit"]);
+    reg
+}
+
+fn v2_mtl() -> MergeOptions {
+    // Identical to models::case_study_mtl except the two renamed
+    // assignments in the search request program — the textual delta
+    // hypothesis H3 measures.
+    MergeOptions::default()
+        .with_mtl(
+            "flickr.photos.search",
+            GammaKind::Request,
+            "m2.query = m1.text\nm2.limit = m1.per_page",
+        )
+        .with_mtl(
+            "flickr.photos.search",
+            GammaKind::Reply,
+            r#"
+m5.photos = newarray()
+foreach e in m4.Entries {
+  let p = newstruct()
+  p.id = genid()
+  cache(p.id, e)
+  append(m5.photos, p)
+}
+"#,
+        )
+        .with_mtl(
+            "flickr.photos.getInfo",
+            GammaKind::Local,
+            r#"
+let e = getcache(m7.photo_id)
+let p = newstruct()
+p.id = m7.photo_id
+p.title = e.title
+p.url = e.url
+m8.photo = p
+"#,
+        )
+        .with_mtl(
+            "flickr.photos.comments.getList",
+            GammaKind::Request,
+            "let e = getcache(m10.photo_id)\nm11.entry_id = e.id",
+        )
+        .with_mtl(
+            "flickr.photos.comments.getList",
+            GammaKind::Reply,
+            r#"
+m14.comments = newarray()
+foreach c in m13.Entries {
+  let out = newstruct()
+  out.author = c.author
+  out.text = c.content
+  append(m14.comments, out)
+}
+"#,
+        )
+        .with_mtl(
+            "flickr.photos.comments.addComment",
+            GammaKind::Request,
+            "let e = getcache(m16.photo_id)\nm17.entry_id = e.id\nm17.content = m16.comment_text",
+        )
+        .with_mtl(
+            "flickr.photos.comments.addComment",
+            GammaKind::Reply,
+            "m20.comment_id = m19.id",
+        )
+}
+
+/// Builds the Flickr→Picasa-v2 mediator: the same unmodified Flickr
+/// client models, the evolved service models.
+///
+/// # Errors
+///
+/// Merge or model-compilation failures.
+pub fn flickr_picasa_v2_mediator(
+    net: NetworkEngine,
+    flavor: FlickrFlavor,
+    picasa_endpoint: Endpoint,
+) -> Result<Mediator> {
+    let (merged, _) = intertwine(
+        &flickr_usage_automaton(),
+        &picasa_v2_usage_automaton(),
+        &v2_registry(),
+        &v2_mtl(),
+    )?;
+    let service = into_service_loop(&merged)?;
+    Mediator::new(
+        service,
+        1,
+        vec![
+            ColorRuntime {
+                color: 1,
+                binding: flickr_binding(flavor),
+                codec: flickr_codec(flavor)?,
+                endpoint: None,
+            },
+            ColorRuntime {
+                color: 2,
+                binding: picasa_v2_binding(),
+                codec: Arc::new(rest_codec("picasaweb.google.com").map_err(CoreError::Mdl)?),
+                endpoint: Some(picasa_endpoint),
+            },
+        ],
+        net,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starlink_automata::merge::MergeClass;
+    use starlink_net::MemoryTransport;
+
+    #[test]
+    fn v2_merge_still_strong() {
+        let (merged, report) = intertwine(
+            &flickr_usage_automaton(),
+            &picasa_v2_usage_automaton(),
+            &v2_registry(),
+            &v2_mtl(),
+        )
+        .unwrap();
+        merged.validate().unwrap();
+        assert_eq!(report.class, MergeClass::Strong);
+        assert_eq!(report.intertwined_count(), 3);
+    }
+
+    #[test]
+    fn v2_service_native_flow() {
+        let mut net = NetworkEngine::new();
+        net.register(Arc::new(MemoryTransport::new()));
+        let service = PicasaV2Service::deploy(
+            &net,
+            &Endpoint::memory("picasa-v2"),
+            PhotoStore::with_fixture(),
+        )
+        .unwrap();
+        // Drive it at the protocol level through a v2 binding client.
+        let codec: Arc<dyn MessageCodec> =
+            Arc::new(rest_codec("picasaweb.google.com").unwrap());
+        let mut rpc = starlink_core::RpcClient::connect(
+            &net,
+            service.endpoint(),
+            codec,
+            picasa_v2_binding(),
+            picasa_v2_interface(),
+        )
+        .unwrap();
+        let mut req = AbstractMessage::new("picasa2.search");
+        req.set_field("query", Value::from("tree"));
+        req.set_field("limit", Value::from("2"));
+        let reply = rpc.call(&req).unwrap();
+        assert_eq!(reply.get("Entries").unwrap().as_array().unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,447 @@
+//! The Flickr side of the case study: the application interface of
+//! paper Fig. 1 (left column), service implementations over XML-RPC and
+//! SOAP, and the two hand-developed test clients of §5.1.
+//!
+//! Application-level operations:
+//!
+//! * `flickr.photos.search(api_key, text, per_page)` →
+//!   `…reply(photos)` — a list of photo ids only (Fig. 2: `getInfo`
+//!   must be called to obtain the URL),
+//! * `flickr.photos.getInfo(api_key, photo_id)` → `…reply(photo)` — a
+//!   structure with `id`, `title`, `url`,
+//! * `flickr.photos.comments.getList(api_key, photo_id)` →
+//!   `…reply(comments)`,
+//! * `flickr.photos.comments.addComment(api_key, photo_id,
+//!   comment_text)` → `…reply(comment_id)`.
+
+use crate::store::PhotoStore;
+use starlink_core::{
+    CoreError, Result, RpcClient, RpcServer, ServiceHandler, ServiceInterface,
+};
+use starlink_mdl::MessageCodec;
+use starlink_message::{AbstractMessage, Field, Value};
+use starlink_net::{Endpoint, NetworkEngine};
+use starlink_protocols::soap::{soap_binding, soap_codec};
+use starlink_protocols::xmlrpc::{xmlrpc_binding, xmlrpc_codec};
+use std::sync::Arc;
+
+/// Builds the Flickr application interface (operation templates; field
+/// order defines the positional parameter layout on XML-RPC and SOAP).
+pub fn flickr_interface() -> ServiceInterface {
+    let mut search = AbstractMessage::new("flickr.photos.search");
+    search.set_field("api_key", Value::Null);
+    search.set_field("text", Value::Null);
+    search.set_field("per_page", Value::Null);
+    let mut search_reply = AbstractMessage::new("flickr.photos.search.reply");
+    search_reply.set_field("photos", Value::Null);
+
+    let mut get_info = AbstractMessage::new("flickr.photos.getInfo");
+    get_info.set_field("api_key", Value::Null);
+    get_info.set_field("photo_id", Value::Null);
+    let mut get_info_reply = AbstractMessage::new("flickr.photos.getInfo.reply");
+    get_info_reply.set_field("photo", Value::Null);
+
+    let mut get_list = AbstractMessage::new("flickr.photos.comments.getList");
+    get_list.set_field("api_key", Value::Null);
+    get_list.set_field("photo_id", Value::Null);
+    let mut get_list_reply = AbstractMessage::new("flickr.photos.comments.getList.reply");
+    get_list_reply.set_field("comments", Value::Null);
+
+    let mut add_comment = AbstractMessage::new("flickr.photos.comments.addComment");
+    add_comment.set_field("api_key", Value::Null);
+    add_comment.set_field("photo_id", Value::Null);
+    add_comment.set_field("comment_text", Value::Null);
+    let mut add_comment_reply =
+        AbstractMessage::new("flickr.photos.comments.addComment.reply");
+    add_comment_reply.set_field("comment_id", Value::Null);
+
+    ServiceInterface::new()
+        .with_operation(search, search_reply)
+        .with_operation(get_info, get_info_reply)
+        .with_operation(get_list, get_list_reply)
+        .with_operation(add_comment, add_comment_reply)
+}
+
+/// The native Flickr service handler over a [`PhotoStore`] (used by the
+/// pure protocol-bridge scenario, where application behaviour is shared
+/// and only middleware differs).
+pub fn flickr_handler(store: PhotoStore) -> Arc<ServiceHandler> {
+    Arc::new(move |req| match req.name() {
+        "flickr.photos.search" => {
+            let text = req.get("text").map(Value::to_text).unwrap_or_default();
+            let per_page = req
+                .get("per_page")
+                .map(Value::to_text)
+                .and_then(|t| t.parse().ok())
+                .unwrap_or(10usize);
+            let results = store.search(&text, per_page);
+            let mut reply = AbstractMessage::new("flickr.photos.search.reply");
+            reply.set_field(
+                "photos",
+                Value::Array(
+                    results
+                        .iter()
+                        .map(|p| {
+                            Value::Struct(vec![
+                                Field::new("id", Value::Str(p.id.clone())),
+                                Field::new("owner", Value::Str(p.owner.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            );
+            Ok(reply)
+        }
+        "flickr.photos.getInfo" => {
+            let id = req
+                .get("photo_id")
+                .map(Value::to_text)
+                .ok_or("missing photo_id")?;
+            let photo = store.photo(&id).ok_or(format!("no such photo `{id}`"))?;
+            let mut reply = AbstractMessage::new("flickr.photos.getInfo.reply");
+            reply.set_field(
+                "photo",
+                Value::Struct(vec![
+                    Field::new("id", Value::Str(photo.id)),
+                    Field::new("title", Value::Str(photo.title)),
+                    Field::new("url", Value::Str(photo.url)),
+                ]),
+            );
+            Ok(reply)
+        }
+        "flickr.photos.comments.getList" => {
+            let id = req
+                .get("photo_id")
+                .map(Value::to_text)
+                .ok_or("missing photo_id")?;
+            let mut reply = AbstractMessage::new("flickr.photos.comments.getList.reply");
+            reply.set_field(
+                "comments",
+                Value::Array(
+                    store
+                        .comments(&id)
+                        .iter()
+                        .map(|c| {
+                            Value::Struct(vec![
+                                Field::new("author", Value::Str(c.author.clone())),
+                                Field::new("text", Value::Str(c.text.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            );
+            Ok(reply)
+        }
+        "flickr.photos.comments.addComment" => {
+            let id = req
+                .get("photo_id")
+                .map(Value::to_text)
+                .ok_or("missing photo_id")?;
+            let text = req
+                .get("comment_text")
+                .map(Value::to_text)
+                .ok_or("missing comment_text")?;
+            let comment = store.add_comment(&id, "flickr-user", &text);
+            let mut reply = AbstractMessage::new("flickr.photos.comments.addComment.reply");
+            reply.set_field("comment_id", Value::Str(comment.id));
+            Ok(reply)
+        }
+        other => Err(format!("flickr: unknown operation `{other}`")),
+    })
+}
+
+/// Which middleware a Flickr endpoint speaks (the paper's two cases).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlickrFlavor {
+    /// XML-RPC over HTTP POST (`/services/xmlrpc`).
+    XmlRpc,
+    /// SOAP 1.1 over HTTP POST (`/services/soap/`).
+    Soap,
+}
+
+/// The wire codec of a Flickr middleware flavor.
+///
+/// # Errors
+///
+/// Never fails for the embedded specs.
+pub fn flickr_codec(flavor: FlickrFlavor) -> Result<Arc<dyn MessageCodec>> {
+    Ok(match flavor {
+        FlickrFlavor::XmlRpc => Arc::new(
+            xmlrpc_codec("api.flickr.com", "/services/xmlrpc").map_err(CoreError::Mdl)?,
+        ),
+        FlickrFlavor::Soap => Arc::new(
+            soap_codec("api.flickr.com", "/services/soap/").map_err(CoreError::Mdl)?,
+        ),
+    })
+}
+
+/// The protocol binding of a Flickr middleware flavor.
+pub fn flickr_binding(flavor: FlickrFlavor) -> starlink_core::ProtocolBinding {
+    match flavor {
+        FlickrFlavor::XmlRpc => xmlrpc_binding(),
+        FlickrFlavor::Soap => soap_binding(),
+    }
+}
+
+/// A running Flickr-compatible service.
+pub struct FlickrService {
+    server: RpcServer,
+}
+
+impl FlickrService {
+    /// Deploys a Flickr service speaking the given middleware flavor.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn deploy(
+        net: &NetworkEngine,
+        endpoint: &Endpoint,
+        flavor: FlickrFlavor,
+        store: PhotoStore,
+    ) -> Result<FlickrService> {
+        let server = RpcServer::serve(
+            net,
+            endpoint,
+            flickr_codec(flavor)?,
+            flickr_binding(flavor),
+            flickr_interface(),
+            flickr_handler(store),
+        )?;
+        Ok(FlickrService { server })
+    }
+
+    /// The endpoint the service is reachable at.
+    pub fn endpoint(&self) -> &Endpoint {
+        self.server.endpoint()
+    }
+}
+
+/// One photo as the Flickr client sees it after `getInfo`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PhotoInfo {
+    /// Photo id (possibly a mediator-minted dummy id).
+    pub id: String,
+    /// Title.
+    pub title: String,
+    /// JPEG URL.
+    pub url: String,
+}
+
+/// A Flickr client application — one of the paper's "hand developed test
+/// standalone client applications" (§5.1). It follows the Fig. 2 usage
+/// protocol: search, then getInfo per photo, then comment operations.
+pub struct FlickrClient {
+    rpc: RpcClient,
+    api_key: String,
+}
+
+impl FlickrClient {
+    /// Connects a client of the given flavor to `endpoint`.
+    ///
+    /// # Errors
+    ///
+    /// Connect failures.
+    pub fn connect(
+        net: &NetworkEngine,
+        endpoint: &Endpoint,
+        flavor: FlickrFlavor,
+    ) -> Result<FlickrClient> {
+        let rpc = RpcClient::connect(
+            net,
+            endpoint,
+            flickr_codec(flavor)?,
+            flickr_binding(flavor),
+            flickr_interface(),
+        )?;
+        Ok(FlickrClient {
+            rpc,
+            api_key: "starlink-demo-key".to_owned(),
+        })
+    }
+
+    /// Overrides the per-exchange timeout.
+    pub fn set_timeout(&mut self, timeout: std::time::Duration) {
+        self.rpc.timeout = timeout;
+    }
+
+    /// `flickr.photos.search`: returns photo ids.
+    ///
+    /// # Errors
+    ///
+    /// RPC failures.
+    pub fn search(&mut self, text: &str, per_page: u32) -> Result<Vec<String>> {
+        let mut req = AbstractMessage::new("flickr.photos.search");
+        req.set_field("api_key", Value::Str(self.api_key.clone()));
+        req.set_field("text", Value::Str(text.to_owned()));
+        req.set_field("per_page", Value::Str(per_page.to_string()));
+        let reply = self.rpc.call(&req)?;
+        let photos = reply
+            .get("photos")
+            .and_then(Value::as_array)
+            .unwrap_or(&[])
+            .to_vec();
+        Ok(photos
+            .iter()
+            .filter_map(|p| {
+                p.as_struct()?
+                    .iter()
+                    .find(|f| f.label() == "id")
+                    .map(|f| f.value().to_text())
+            })
+            .collect())
+    }
+
+    /// `flickr.photos.getInfo`: full photo data for one id.
+    ///
+    /// # Errors
+    ///
+    /// RPC failures.
+    pub fn get_info(&mut self, photo_id: &str) -> Result<PhotoInfo> {
+        let mut req = AbstractMessage::new("flickr.photos.getInfo");
+        req.set_field("api_key", Value::Str(self.api_key.clone()));
+        req.set_field("photo_id", Value::Str(photo_id.to_owned()));
+        let reply = self.rpc.call(&req)?;
+        let mut info = PhotoInfo::default();
+        if let Some(fields) = reply.get("photo").and_then(Value::as_struct) {
+            for f in fields {
+                match f.label() {
+                    "id" => info.id = f.value().to_text(),
+                    "title" => info.title = f.value().to_text(),
+                    "url" => info.url = f.value().to_text(),
+                    _ => {}
+                }
+            }
+        }
+        Ok(info)
+    }
+
+    /// `flickr.photos.comments.getList`: `(author, text)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// RPC failures.
+    pub fn get_comments(&mut self, photo_id: &str) -> Result<Vec<(String, String)>> {
+        let mut req = AbstractMessage::new("flickr.photos.comments.getList");
+        req.set_field("api_key", Value::Str(self.api_key.clone()));
+        req.set_field("photo_id", Value::Str(photo_id.to_owned()));
+        let reply = self.rpc.call(&req)?;
+        let comments = reply
+            .get("comments")
+            .and_then(Value::as_array)
+            .unwrap_or(&[])
+            .to_vec();
+        Ok(comments
+            .iter()
+            .filter_map(|c| {
+                let fields = c.as_struct()?;
+                let get = |n: &str| {
+                    fields
+                        .iter()
+                        .find(|f| f.label() == n)
+                        .map(|f| f.value().to_text())
+                        .unwrap_or_default()
+                };
+                Some((get("author"), get("text")))
+            })
+            .collect())
+    }
+
+    /// `flickr.photos.comments.addComment`: returns the new comment id.
+    ///
+    /// # Errors
+    ///
+    /// RPC failures.
+    pub fn add_comment(&mut self, photo_id: &str, comment_text: &str) -> Result<String> {
+        let mut req = AbstractMessage::new("flickr.photos.comments.addComment");
+        req.set_field("api_key", Value::Str(self.api_key.clone()));
+        req.set_field("photo_id", Value::Str(photo_id.to_owned()));
+        req.set_field("comment_text", Value::Str(comment_text.to_owned()));
+        let reply = self.rpc.call(&req)?;
+        Ok(reply
+            .get("comment_id")
+            .map(Value::to_text)
+            .unwrap_or_default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starlink_net::MemoryTransport;
+
+    fn net() -> NetworkEngine {
+        let mut n = NetworkEngine::new();
+        n.register(Arc::new(MemoryTransport::new()));
+        n
+    }
+
+    fn full_flow(flavor: FlickrFlavor) {
+        let net = net();
+        let service = FlickrService::deploy(
+            &net,
+            &Endpoint::memory("flickr"),
+            flavor,
+            PhotoStore::with_fixture(),
+        )
+        .unwrap();
+        let mut client = FlickrClient::connect(&net, service.endpoint(), flavor).unwrap();
+
+        // Fig. 2's usage protocol.
+        let ids = client.search("tree", 3).unwrap();
+        assert_eq!(ids.len(), 3);
+        let info = client.get_info(&ids[0]).unwrap();
+        assert_eq!(info.title, "Tall Tree");
+        assert!(info.url.ends_with(".jpg"));
+        let comments = client.get_comments(&ids[0]).unwrap();
+        assert_eq!(comments.len(), 2);
+        let cid = client.add_comment(&ids[0], "nice!").unwrap();
+        assert!(cid.starts_with("comment-"));
+        assert_eq!(client.get_comments(&ids[0]).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn xmlrpc_client_against_xmlrpc_service() {
+        full_flow(FlickrFlavor::XmlRpc);
+    }
+
+    #[test]
+    fn soap_client_against_soap_service() {
+        full_flow(FlickrFlavor::Soap);
+    }
+
+    #[test]
+    fn heterogeneous_client_and_service_cannot_interoperate() {
+        // The motivating problem: without a mediator, an XML-RPC client
+        // cannot talk to a SOAP service even though the *application* is
+        // identical.
+        let net = net();
+        let service = FlickrService::deploy(
+            &net,
+            &Endpoint::memory("flickr"),
+            FlickrFlavor::Soap,
+            PhotoStore::with_fixture(),
+        )
+        .unwrap();
+        let mut client =
+            FlickrClient::connect(&net, service.endpoint(), FlickrFlavor::XmlRpc).unwrap();
+        client.set_timeout(std::time::Duration::from_millis(300));
+        assert!(client.search("tree", 3).is_err());
+    }
+
+    #[test]
+    fn get_info_unknown_photo_fails() {
+        let net = net();
+        let service = FlickrService::deploy(
+            &net,
+            &Endpoint::memory("flickr"),
+            FlickrFlavor::XmlRpc,
+            PhotoStore::with_fixture(),
+        )
+        .unwrap();
+        let mut client =
+            FlickrClient::connect(&net, service.endpoint(), FlickrFlavor::XmlRpc).unwrap();
+        client.set_timeout(std::time::Duration::from_millis(300));
+        assert!(client.get_info("bogus").is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! Case-study applications for the Starlink reproduction (paper §2, §5):
+//! simulated Flickr and Picasa photo services, heterogeneous clients, the
+//! Add/Plus calculator of Fig. 7/8, the deployment proxy, and the
+//! interoperability models that tie them together.
+//!
+//! * [`store`] — the photo database both services sit on (photos,
+//!   comments, seeded and random workloads),
+//! * [`picasa`] — a Picasa-compatible REST/GData service,
+//! * [`flickr`] — Flickr-compatible XML-RPC and SOAP services **and**
+//!   clients (the paper's two hand-developed test clients),
+//! * [`models`] — the case-study models: semantic registry, the Fig. 2
+//!   usage automata, the Fig. 3 merged automaton with the Fig. 9/10 MTL
+//!   programs, and mediator constructors for both use cases,
+//! * [`calculator`] — the Add (IIOP) / Plus (SOAP) running example,
+//! * [`maps`] — a second domain: heterogeneous maps APIs (XML-RPC
+//!   geocoding client vs REST service),
+//! * [`proxy`] — the byte-level redirect proxy used to point unmodified
+//!   clients at a mediator (§5.1),
+//! * [`evolution`] — the API-evolution scenario backing hypothesis H3.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calculator;
+pub mod evolution;
+pub mod flickr;
+pub mod maps;
+pub mod models;
+pub mod picasa;
+pub mod proxy;
+pub mod store;

@@ -1,0 +1,498 @@
+//! A second application domain: heterogeneous **maps APIs** (paper §3:
+//! "Flickr, Picasa, Bing and/or Google maps API define a set of remote
+//! operations that can be invoked with different kind of middleware").
+//!
+//! * **GMaps-like** clients speak XML-RPC:
+//!   `gmaps.geocode(address)` → `…reply(results)` (array of
+//!   `{lat, lng, formatted}`), and
+//!   `gmaps.directions(origin, destination)` → `…reply(distance,
+//!   duration)`.
+//! * The **BMaps-like** service speaks REST + XML documents:
+//!   `GET /maps/locations?query=…` returning `<Response>…<Location>` and
+//!   `GET /maps/routes?wp0=…&wp1=…` returning `<RouteResponse>`.
+//!
+//! Everything is declarative: one new MDL document spec, one REST route
+//! table, a semantic registry, and a single `foreach` MTL program for the
+//! structured geocode results.
+
+use starlink_automata::merge::{intertwine, into_service_loop, GammaKind, MergeOptions};
+use starlink_automata::{linear_usage_protocol, Automaton};
+use starlink_core::{
+    ActionRule, ColorRuntime, CoreError, Mediator, ParamRule, ProtocolBinding, ReplyAction,
+    Result, RestRoute, RpcClient, RpcServer, ServiceHandler, ServiceInterface,
+};
+use starlink_mdl::MessageCodec;
+use starlink_message::equiv::SemanticRegistry;
+use starlink_message::{AbstractMessage, Field, Value};
+use starlink_net::{Endpoint, NetworkEngine};
+use starlink_protocols::http::http_codec;
+use starlink_protocols::xmlrpc::{xmlrpc_binding, xmlrpc_codec};
+use starlink_protocols::{LayerRoute, LayeredCodec};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The BMaps XML documents (xml dialect).
+pub const BMAPS_MDL: &str = "\
+# BMaps-like REST documents (xml dialect)
+<Dialect:xml>
+<Message:LocationsResponse>
+<Root:Response>
+<List:Locations=ResourceSets/ResourceSet/Location>
+<ItemText:Locations.name=Name>
+<ItemText:Locations.latitude=Point/Latitude>
+<ItemText:Locations.longitude=Point/Longitude>
+<End:Message>
+<Message:RouteResponse>
+<Root:RouteResponse>
+<Text:travelDistance=Route/TravelDistance>
+<Text:travelDuration=Route/TravelDuration>
+<End:Message>";
+
+/// Geocoding path of the simulated BMaps API.
+pub const LOCATIONS_PATH: &str = "/maps/locations";
+/// Routing path.
+pub const ROUTES_PATH: &str = "/maps/routes";
+
+/// Compiles the BMaps REST codec (documents over HTTP).
+///
+/// # Errors
+///
+/// Never fails for the embedded specs.
+pub fn bmaps_codec() -> Result<LayeredCodec> {
+    Ok(LayeredCodec::new(
+        Arc::new(http_codec().map_err(CoreError::Mdl)?),
+        Arc::new(starlink_mdl::MdlCodec::from_text(BMAPS_MDL).map_err(CoreError::Mdl)?),
+        "Body",
+        vec![
+            LayerRoute {
+                inner: "LocationsResponse".into(),
+                outer_message: "HTTPResponse".into(),
+                outer_defaults: starlink_protocols::http_response_defaults(),
+            },
+            LayerRoute {
+                inner: "RouteResponse".into(),
+                outer_message: "HTTPResponse".into(),
+                outer_defaults: starlink_protocols::http_response_defaults(),
+            },
+        ],
+    ))
+}
+
+/// The BMaps REST binding.
+pub fn bmaps_binding() -> ProtocolBinding {
+    let uri: starlink_message::FieldPath = "RequestURI".parse().expect("static path");
+    ProtocolBinding::new("BMAPS-REST", "BMAPS.mdl", "HTTPRequest", "LocationsResponse")
+        .with_request_action(ActionRule::Rest {
+            method_field: "Method".parse().expect("static path"),
+            uri_field: uri.clone(),
+            routes: vec![
+                RestRoute {
+                    action: "bmaps.locations".into(),
+                    method: "GET".into(),
+                    path: LOCATIONS_PATH.into(),
+                },
+                RestRoute {
+                    action: "bmaps.routes".into(),
+                    method: "GET".into(),
+                    path: ROUTES_PATH.into(),
+                },
+            ],
+        })
+        .with_reply_action(ReplyAction::Correlated)
+        .with_params(
+            ParamRule::Query { uri_field: uri },
+            ParamRule::NamedFields(None),
+        )
+        .with_reply_message_override("bmaps.routes.reply", "RouteResponse")
+        .with_request_default(
+            "Version".parse().expect("static path"),
+            Value::Str("HTTP/1.1".into()),
+        )
+        .with_request_default(
+            "Headers".parse().expect("static path"),
+            Value::Struct(vec![Field::new(
+                "Host",
+                Value::Str("dev.virtualearth.example".into()),
+            )]),
+        )
+        .with_request_default(
+            "Body".parse().expect("static path"),
+            Value::Str(String::new()),
+        )
+}
+
+/// The BMaps application interface.
+pub fn bmaps_interface() -> ServiceInterface {
+    let mut locations = AbstractMessage::new("bmaps.locations");
+    locations.set_field("query", Value::Null);
+    let mut locations_reply = AbstractMessage::new("bmaps.locations.reply");
+    locations_reply.set_field("Locations", Value::Null);
+
+    let mut routes = AbstractMessage::new("bmaps.routes");
+    routes.set_field("wp0", Value::Null);
+    routes.set_field("wp1", Value::Null);
+    let mut routes_reply = AbstractMessage::new("bmaps.routes.reply");
+    routes_reply.set_field("travelDistance", Value::Null);
+    routes_reply.set_field("travelDuration", Value::Null);
+
+    ServiceInterface::new()
+        .with_operation(locations, locations_reply)
+        .with_operation(routes, routes_reply)
+}
+
+/// The GMaps application interface (the XML-RPC client side).
+pub fn gmaps_interface() -> ServiceInterface {
+    let mut geocode = AbstractMessage::new("gmaps.geocode");
+    geocode.set_field("address", Value::Null);
+    let mut geocode_reply = AbstractMessage::new("gmaps.geocode.reply");
+    geocode_reply.set_field("results", Value::Null);
+
+    let mut directions = AbstractMessage::new("gmaps.directions");
+    directions.set_field("origin", Value::Null);
+    directions.set_field("destination", Value::Null);
+    let mut directions_reply = AbstractMessage::new("gmaps.directions.reply");
+    directions_reply.set_field("distance", Value::Null);
+    directions_reply.set_field("duration", Value::Null);
+
+    ServiceInterface::new()
+        .with_operation(geocode, geocode_reply)
+        .with_operation(directions, directions_reply)
+}
+
+/// The world the simulated BMaps service knows (a nod to the paper's
+/// author cities and venue).
+fn places() -> HashMap<&'static str, (f64, f64)> {
+    HashMap::from([
+        ("lisbon", (38.722, -9.139)),
+        ("porto", (41.158, -8.629)),
+        ("bordeaux", (44.838, -0.579)),
+        ("lancaster", (54.047, -2.801)),
+        ("rennes", (48.117, -1.678)),
+    ])
+}
+
+fn distance_km(a: (f64, f64), b: (f64, f64)) -> f64 {
+    // Equirectangular approximation — fine for the fixture scale.
+    let lat_km = (a.0 - b.0) * 111.0;
+    let lon_km = (a.1 - b.1) * 111.0 * ((a.0 + b.0) / 2.0).to_radians().cos();
+    (lat_km * lat_km + lon_km * lon_km).sqrt()
+}
+
+/// The BMaps service handler.
+pub fn bmaps_handler() -> Arc<ServiceHandler> {
+    Arc::new(move |req| match req.name() {
+        "bmaps.locations" => {
+            let query = req
+                .get("query")
+                .map(Value::to_text)
+                .unwrap_or_default()
+                .to_ascii_lowercase();
+            let mut entries = Vec::new();
+            for (name, (lat, lon)) in places() {
+                if name.contains(&query) && !query.is_empty() {
+                    entries.push(Value::Struct(vec![
+                        Field::new("name", Value::Str(capitalise(name))),
+                        Field::new("latitude", Value::Str(format!("{lat:.3}"))),
+                        Field::new("longitude", Value::Str(format!("{lon:.3}"))),
+                    ]));
+                }
+            }
+            let mut reply = AbstractMessage::new("bmaps.locations.reply");
+            reply.set_field("Locations", Value::Array(entries));
+            Ok(reply)
+        }
+        "bmaps.routes" => {
+            let lookup = |field: &str| -> std::result::Result<(f64, f64), String> {
+                let name = req
+                    .get(field)
+                    .map(Value::to_text)
+                    .ok_or(format!("missing {field}"))?
+                    .to_ascii_lowercase();
+                places()
+                    .get(name.as_str())
+                    .copied()
+                    .ok_or(format!("unknown place `{name}`"))
+            };
+            let a = lookup("wp0")?;
+            let b = lookup("wp1")?;
+            let km = distance_km(a, b);
+            let mut reply = AbstractMessage::new("bmaps.routes.reply");
+            reply.set_field("travelDistance", Value::Str(format!("{km:.1}")));
+            reply.set_field(
+                "travelDuration",
+                Value::Str(format!("{:.0}", km / 90.0 * 60.0)), // minutes at 90 km/h
+            );
+            Ok(reply)
+        }
+        other => Err(format!("bmaps: unknown operation `{other}`")),
+    })
+}
+
+fn capitalise(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+/// A running BMaps service.
+pub struct BMapsService {
+    server: RpcServer,
+}
+
+impl BMapsService {
+    /// Deploys the service.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn deploy(net: &NetworkEngine, endpoint: &Endpoint) -> Result<BMapsService> {
+        let codec: Arc<dyn MessageCodec> = Arc::new(bmaps_codec()?);
+        let server = RpcServer::serve(
+            net,
+            endpoint,
+            codec,
+            bmaps_binding(),
+            bmaps_interface(),
+            bmaps_handler(),
+        )?;
+        Ok(BMapsService { server })
+    }
+
+    /// The endpoint the service is reachable at.
+    pub fn endpoint(&self) -> &Endpoint {
+        self.server.endpoint()
+    }
+}
+
+/// Semantic declarations aligning the two maps APIs.
+pub fn maps_registry() -> SemanticRegistry {
+    let mut reg = SemanticRegistry::new();
+    reg.declare_message_concept("geocode", ["gmaps.geocode", "bmaps.locations"]);
+    reg.declare_message_concept("route", ["gmaps.directions", "bmaps.routes"]);
+    reg.declare_field_concept("place-query", ["address", "query"]);
+    reg.declare_field_concept("route-origin", ["origin", "wp0"]);
+    reg.declare_field_concept("route-destination", ["destination", "wp1"]);
+    reg.declare_field_concept("geo-results", ["results", "Locations"]);
+    reg.declare_field_concept("route-distance", ["distance", "travelDistance"]);
+    reg.declare_field_concept("route-duration", ["duration", "travelDuration"]);
+    reg
+}
+
+fn gmaps_usage() -> Automaton {
+    let iface = gmaps_interface();
+    let ops: Vec<_> = iface
+        .operations()
+        .iter()
+        .map(|(a, b)| (a.clone(), b.clone()))
+        .collect();
+    linear_usage_protocol("AGMaps", 1, &ops)
+}
+
+fn bmaps_usage() -> Automaton {
+    let iface = bmaps_interface();
+    let ops: Vec<_> = iface
+        .operations()
+        .iter()
+        .map(|(a, b)| (a.clone(), b.clone()))
+        .collect();
+    linear_usage_protocol("ABMaps", 2, &ops)
+}
+
+/// Builds the GMaps→BMaps mediator: XML-RPC client color, REST service
+/// color. Only the geocode *reply* needs custom MTL (structured
+/// coordinate renaming); everything else is generated.
+///
+/// # Errors
+///
+/// Merge or model-compilation failures.
+pub fn gmaps_bmaps_mediator(net: NetworkEngine, bmaps_endpoint: Endpoint) -> Result<Mediator> {
+    let options = MergeOptions::default().with_mtl(
+        "gmaps.geocode",
+        GammaKind::Reply,
+        r#"
+m5.results = newarray()
+foreach l in m4.Locations {
+  let r = newstruct()
+  r.lat = l.latitude
+  r.lng = l.longitude
+  r.formatted = l.name
+  append(m5.results, r)
+}
+"#,
+    );
+    let (merged, _report) = intertwine(&gmaps_usage(), &bmaps_usage(), &maps_registry(), &options)?;
+    let service = into_service_loop(&merged)?;
+    Mediator::new(
+        service,
+        1,
+        vec![
+            ColorRuntime {
+                color: 1,
+                binding: xmlrpc_binding(),
+                codec: Arc::new(
+                    xmlrpc_codec("maps.example.org", "/xmlrpc").map_err(CoreError::Mdl)?,
+                ),
+                endpoint: None,
+            },
+            ColorRuntime {
+                color: 2,
+                binding: bmaps_binding(),
+                codec: Arc::new(bmaps_codec()?),
+                endpoint: Some(bmaps_endpoint),
+            },
+        ],
+        net,
+    )
+}
+
+/// One geocoding hit as the GMaps client sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeocodeResult {
+    /// Latitude.
+    pub lat: f64,
+    /// Longitude.
+    pub lng: f64,
+    /// Display name.
+    pub formatted: String,
+}
+
+/// The GMaps XML-RPC client application.
+pub struct GMapsClient {
+    rpc: RpcClient,
+}
+
+impl GMapsClient {
+    /// Connects over XML-RPC.
+    ///
+    /// # Errors
+    ///
+    /// Connect failures.
+    pub fn connect(net: &NetworkEngine, endpoint: &Endpoint) -> Result<GMapsClient> {
+        let codec: Arc<dyn MessageCodec> = Arc::new(
+            xmlrpc_codec("maps.example.org", "/xmlrpc").map_err(CoreError::Mdl)?,
+        );
+        let rpc = RpcClient::connect(net, endpoint, codec, xmlrpc_binding(), gmaps_interface())?;
+        Ok(GMapsClient { rpc })
+    }
+
+    /// `gmaps.geocode(address)`.
+    ///
+    /// # Errors
+    ///
+    /// RPC failures.
+    pub fn geocode(&mut self, address: &str) -> Result<Vec<GeocodeResult>> {
+        let mut req = AbstractMessage::new("gmaps.geocode");
+        req.set_field("address", Value::Str(address.to_owned()));
+        let reply = self.rpc.call(&req)?;
+        let results = reply
+            .get("results")
+            .and_then(Value::as_array)
+            .unwrap_or(&[])
+            .to_vec();
+        Ok(results
+            .iter()
+            .filter_map(|r| {
+                let fields = r.as_struct()?;
+                let get = |n: &str| {
+                    fields
+                        .iter()
+                        .find(|f| f.label() == n)
+                        .map(|f| f.value().to_text())
+                        .unwrap_or_default()
+                };
+                Some(GeocodeResult {
+                    lat: get("lat").parse().ok()?,
+                    lng: get("lng").parse().ok()?,
+                    formatted: get("formatted"),
+                })
+            })
+            .collect())
+    }
+
+    /// `gmaps.directions(origin, destination)` → `(distance km, duration
+    /// minutes)`.
+    ///
+    /// # Errors
+    ///
+    /// RPC failures.
+    pub fn directions(&mut self, origin: &str, destination: &str) -> Result<(f64, f64)> {
+        let mut req = AbstractMessage::new("gmaps.directions");
+        req.set_field("origin", Value::Str(origin.to_owned()));
+        req.set_field("destination", Value::Str(destination.to_owned()));
+        let reply = self.rpc.call(&req)?;
+        let dist = reply
+            .get("distance")
+            .map(Value::to_text)
+            .and_then(|t| t.parse().ok())
+            .unwrap_or(0.0);
+        let dur = reply
+            .get("duration")
+            .map(Value::to_text)
+            .and_then(|t| t.parse().ok())
+            .unwrap_or(0.0);
+        Ok((dist, dur))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starlink_core::MediatorHost;
+    use starlink_net::MemoryTransport;
+
+    fn network() -> NetworkEngine {
+        let mut net = NetworkEngine::new();
+        net.register(Arc::new(MemoryTransport::new()));
+        net
+    }
+
+    #[test]
+    fn bmaps_wire_shapes() {
+        let codec = bmaps_codec().unwrap();
+        let mut reply = AbstractMessage::new("LocationsResponse");
+        reply.set_field(
+            "Locations",
+            Value::Array(vec![Value::Struct(vec![
+                Field::new("name", Value::from("Lisbon")),
+                Field::new("latitude", Value::from("38.722")),
+                Field::new("longitude", Value::from("-9.139")),
+            ])]),
+        );
+        let wire = codec.compose(&reply).unwrap();
+        let text = String::from_utf8(wire.clone()).unwrap();
+        assert!(text.contains("<Response>"));
+        assert!(text.contains("<Latitude>38.722</Latitude>"));
+        let back = codec.parse(&wire).unwrap();
+        assert_eq!(back.name(), "LocationsResponse");
+    }
+
+    #[test]
+    fn gmaps_client_reaches_bmaps_through_mediator() {
+        let net = network();
+        let bmaps = BMapsService::deploy(&net, &Endpoint::memory("bmaps")).unwrap();
+        let mediator = gmaps_bmaps_mediator(net.clone(), bmaps.endpoint().clone()).unwrap();
+        let host = MediatorHost::deploy(mediator, &Endpoint::memory("maps-mediator")).unwrap();
+        let mut client = GMapsClient::connect(&net, host.endpoint()).unwrap();
+
+        let hits = client.geocode("lisbon").unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].formatted, "Lisbon");
+        assert!((hits[0].lat - 38.722).abs() < 1e-6);
+
+        let (km, minutes) = client.directions("lisbon", "porto").unwrap();
+        assert!((250.0..350.0).contains(&km), "Lisbon–Porto ≈ 274 km, got {km}");
+        assert!(minutes > 100.0);
+    }
+
+    #[test]
+    fn geocode_miss_returns_empty() {
+        let net = network();
+        let bmaps = BMapsService::deploy(&net, &Endpoint::memory("bmaps")).unwrap();
+        let mediator = gmaps_bmaps_mediator(net.clone(), bmaps.endpoint().clone()).unwrap();
+        let host = MediatorHost::deploy(mediator, &Endpoint::memory("maps-mediator")).unwrap();
+        let mut client = GMapsClient::connect(&net, host.endpoint()).unwrap();
+        assert!(client.geocode("atlantis").unwrap().is_empty());
+    }
+}

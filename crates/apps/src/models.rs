@@ -1,0 +1,300 @@
+//! The case-study interoperability models: the semantic registry, the
+//! Fig. 2 usage-protocol automata, the Fig. 3 merged automaton with the
+//! Fig. 9/10 MTL programs, and mediator constructors for the paper's two
+//! use cases (XML-RPC→REST and SOAP→REST).
+
+use crate::flickr::{flickr_binding, flickr_codec, flickr_interface, FlickrFlavor};
+use crate::picasa::picasa_interface;
+use starlink_automata::merge::{intertwine, into_service_loop, GammaKind, MergeOptions, MergeReport};
+use starlink_automata::{linear_usage_protocol, Automaton, NetworkSemantics};
+use starlink_core::{ColorRuntime, CoreError, Mediator, Result, ServiceInterface};
+use starlink_message::equiv::SemanticRegistry;
+use starlink_net::{Endpoint, NetworkEngine};
+use starlink_protocols::gdata::{rest_binding, rest_codec};
+
+/// The semantic equivalences of the case study — what a Starlink
+/// developer declares so the intertwining analysis can align the two APIs
+/// (paper §3.2: `text ≅ q`, `per_page ≅ max-results`, …).
+pub fn case_study_registry() -> SemanticRegistry {
+    let mut reg = SemanticRegistry::new();
+    reg.declare_message_concept(
+        "photo-search",
+        ["flickr.photos.search", "picasa.photos.search"],
+    );
+    reg.declare_message_concept(
+        "comment-list",
+        ["flickr.photos.comments.getList", "picasa.getComments"],
+    );
+    reg.declare_message_concept(
+        "comment-add",
+        ["flickr.photos.comments.addComment", "picasa.addComment"],
+    );
+    reg.declare_field_concept("keyword", ["text", "q"]);
+    reg.declare_field_concept("result-limit", ["per_page", "max-results"]);
+    reg.declare_field_concept("photo-ref", ["photo_id", "entry_id"]);
+    reg.declare_field_concept("comment-text", ["comment_text", "content"]);
+    reg.declare_field_concept("photo-data", ["photo", "photos", "Entries"]);
+    reg.declare_field_concept("comment-data", ["comments", "commentEntries"]);
+    reg
+}
+
+fn usage_from_interface(name: &str, color: u8, iface: &ServiceInterface) -> Automaton {
+    let ops: Vec<_> = iface
+        .operations()
+        .iter()
+        .map(|(req, rep)| (req.clone(), rep.clone()))
+        .collect();
+    linear_usage_protocol(name, color, &ops)
+}
+
+/// The Flickr API usage protocol of Fig. 2 (left): search → getInfo →
+/// getList → addComment, each `!op ?op` pair.
+pub fn flickr_usage_automaton() -> Automaton {
+    let mut a = usage_from_interface("AFlickr", 1, &flickr_interface());
+    a.set_network(1, NetworkSemantics::tcp_sync("XMLRPC.mdl"));
+    a
+}
+
+/// The Picasa API usage protocol of Fig. 2 (right).
+pub fn picasa_usage_automaton() -> Automaton {
+    let mut a = usage_from_interface("APicasa", 2, &picasa_interface());
+    a.set_network(2, NetworkSemantics::tcp_sync("REST.mdl"));
+    a
+}
+
+/// The Fig. 9/10 translation programs, keyed by the merge-generated state
+/// ids (the deterministic scheme documented on
+/// [`starlink_automata::merge::MergeBuilder::intertwined`]): `m1` is the
+/// received Flickr search, `m2` the Picasa search under composition, and
+/// so on.
+fn case_study_mtl() -> MergeOptions {
+    MergeOptions::default()
+        // Fig. 9 request side: keyword and limit mapping.
+        .with_mtl(
+            "flickr.photos.search",
+            GammaKind::Request,
+            "m2.q = m1.text\nm2.max-results = m1.per_page",
+        )
+        // Fig. 9 response side: mint dummy Flickr photo ids, cache the
+        // Picasa entries behind them.
+        .with_mtl(
+            "flickr.photos.search",
+            GammaKind::Reply,
+            r#"
+m5.photos = newarray()
+foreach e in m4.Entries {
+  let p = newstruct()
+  p.id = genid()
+  cache(p.id, e)
+  append(m5.photos, p)
+}
+"#,
+        )
+        // Fig. 10: getInfo answered from the cache, no Picasa call.
+        .with_mtl(
+            "flickr.photos.getInfo",
+            GammaKind::Local,
+            r#"
+let e = getcache(m7.photo_id)
+let p = newstruct()
+p.id = m7.photo_id
+p.title = e.title
+p.url = e.url
+m8.photo = p
+"#,
+        )
+        // Comments listing: dummy id → real Picasa entry id.
+        .with_mtl(
+            "flickr.photos.comments.getList",
+            GammaKind::Request,
+            "let e = getcache(m10.photo_id)\nm11.entry_id = e.id",
+        )
+        .with_mtl(
+            "flickr.photos.comments.getList",
+            GammaKind::Reply,
+            r#"
+m14.comments = newarray()
+foreach c in m13.Entries {
+  let out = newstruct()
+  out.author = c.author
+  out.text = c.content
+  append(m14.comments, out)
+}
+"#,
+        )
+        // Comment posting.
+        .with_mtl(
+            "flickr.photos.comments.addComment",
+            GammaKind::Request,
+            "let e = getcache(m16.photo_id)\nm17.entry_id = e.id\nm17.content = m16.comment_text",
+        )
+        .with_mtl(
+            "flickr.photos.comments.addComment",
+            GammaKind::Reply,
+            "m20.comment_id = m19.id",
+        )
+}
+
+/// Builds the merged Flickr⊕Picasa automaton of Fig. 3 via the automatic
+/// intertwining analysis, returning the automaton and the merge report
+/// (expected: strong merge, 3 intertwined pairs, getInfo answered from
+/// history).
+///
+/// # Errors
+///
+/// Propagates [`starlink_automata::AutomatonError::NotMergeable`] if the
+/// models drift apart.
+pub fn merged_flickr_picasa() -> Result<(Automaton, MergeReport)> {
+    let reg = case_study_registry();
+    let (merged, report) = intertwine(
+        &flickr_usage_automaton(),
+        &picasa_usage_automaton(),
+        &reg,
+        &case_study_mtl(),
+    )?;
+    Ok((merged, report))
+}
+
+/// Builds the deployable Flickr→Picasa mediator for one of the two use
+/// cases of §5.1: the client-facing color speaks `flavor` (XML-RPC or
+/// SOAP), the service-facing color REST against `picasa_endpoint`.
+///
+/// # Errors
+///
+/// Merge or model-compilation failures.
+pub fn flickr_picasa_mediator(
+    net: NetworkEngine,
+    flavor: FlickrFlavor,
+    picasa_endpoint: Endpoint,
+) -> Result<Mediator> {
+    let (merged, _report) = merged_flickr_picasa()?;
+    // Deploy the looped service form so clients may perform operations in
+    // any order and repeatedly on one connection.
+    let service = into_service_loop(&merged)?;
+    Mediator::new(
+        service,
+        1,
+        vec![
+            ColorRuntime {
+                color: 1,
+                binding: flickr_binding(flavor),
+                codec: flickr_codec(flavor)?,
+                endpoint: None,
+            },
+            ColorRuntime {
+                color: 2,
+                binding: rest_binding(),
+                codec: std::sync::Arc::new(
+                    rest_codec("picasaweb.google.com").map_err(CoreError::Mdl)?,
+                ),
+                endpoint: Some(picasa_endpoint),
+            },
+        ],
+        net,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starlink_automata::merge::{MergeClass, OpResolution};
+    use starlink_automata::Action;
+
+    #[test]
+    fn fig2_usage_automata_shapes() {
+        let flickr = flickr_usage_automaton();
+        flickr.validate().unwrap();
+        assert_eq!(flickr.transitions().len(), 8, "4 ops × (send+receive)");
+        assert_eq!(flickr.states().len(), 9);
+        let picasa = picasa_usage_automaton();
+        picasa.validate().unwrap();
+        assert_eq!(picasa.transitions().len(), 6, "3 ops × (send+receive)");
+    }
+
+    #[test]
+    fn fig3_merge_is_strong_with_three_intertwined_pairs() {
+        let (merged, report) = merged_flickr_picasa().unwrap();
+        merged.validate().unwrap();
+        assert_eq!(report.class, MergeClass::Strong);
+        assert_eq!(report.intertwined_count(), 3);
+        assert!(report.resolutions.iter().any(|r| matches!(
+            r,
+            OpResolution::AnsweredFromHistory { client_op, derivable: true }
+                if client_op == "flickr.photos.getInfo"
+        )));
+        // Fig. 3 has six bi-colored nodes: two per intertwined pair.
+        let bicolored = merged.states().iter().filter(|s| s.is_bicolored()).count();
+        assert_eq!(bicolored, 6);
+        // γ-transitions: 2 per intertwined pair + 1 for the local answer.
+        assert_eq!(merged.gamma_count(), 7);
+    }
+
+    #[test]
+    fn merged_mtl_uses_cache_keywords() {
+        let (merged, _) = merged_flickr_picasa().unwrap();
+        let mtl_texts: Vec<&str> = merged
+            .transitions()
+            .iter()
+            .filter_map(|t| match &t.action {
+                Action::Gamma { mtl } => Some(mtl.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(mtl_texts.iter().any(|m| m.contains("cache(p.id, e)")));
+        assert!(mtl_texts.iter().any(|m| m.contains("getcache(m7.photo_id)")));
+        assert!(mtl_texts.iter().any(|m| m.contains("m2.q = m1.text")));
+    }
+
+    #[test]
+    fn state_id_scheme_matches_mtl_references() {
+        // The MTL programs reference m1/m2/m4/m5/m7/m8/…; assert the
+        // generated automaton actually has those states in the expected
+        // roles so the programs cannot silently drift.
+        let (merged, _) = merged_flickr_picasa().unwrap();
+        let recv_search = merged
+            .transitions()
+            .iter()
+            .find(|t| t.action.label() == "?flickr.photos.search")
+            .unwrap();
+        assert_eq!(recv_search.to, "m1");
+        let send_picasa_search = merged
+            .transitions()
+            .iter()
+            .find(|t| t.action.label() == "!picasa.photos.search")
+            .unwrap();
+        assert_eq!(send_picasa_search.from, "m2");
+        let recv_getinfo = merged
+            .transitions()
+            .iter()
+            .find(|t| t.action.label() == "?flickr.photos.getInfo")
+            .unwrap();
+        assert_eq!(recv_getinfo.to, "m7");
+        let send_add = merged
+            .transitions()
+            .iter()
+            .find(|t| t.action.label() == "!picasa.addComment")
+            .unwrap();
+        assert_eq!(send_add.from, "m17");
+    }
+
+    #[test]
+    fn dot_export_of_merged_model() {
+        let (merged, _) = merged_flickr_picasa().unwrap();
+        let dot = merged.to_dot();
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("?flickr.photos.search"));
+        assert!(dot.contains("style=dashed"), "γ transitions dashed");
+    }
+
+    #[test]
+    fn registry_aligns_the_apis() {
+        let reg = case_study_registry();
+        assert!(reg.message_names_equivalent("flickr.photos.search", "picasa.photos.search"));
+        assert_eq!(reg.field_concept("text"), reg.field_concept("q"));
+        assert_eq!(
+            reg.field_concept("per_page"),
+            reg.field_concept("max-results")
+        );
+        assert_ne!(reg.field_concept("text"), reg.field_concept("photo_id"));
+    }
+}

@@ -1,0 +1,309 @@
+//! The simulated Picasa Web Albums service: REST + GData over HTTP
+//! (paper Fig. 1, right column), backed by a [`PhotoStore`].
+//!
+//! Application-level operations (field names follow the public API):
+//!
+//! * `picasa.photos.search(q, max-results)` → `…reply(Title, Entries)` —
+//!   entries carry `id`, `title`, `url` (the photo URL arrives directly
+//!   in the search results, unlike Flickr),
+//! * `picasa.getComments(entry_id)` → `…reply(Entries)` — comment
+//!   entries carry `id`, `content`, `author`,
+//! * `picasa.addComment(entry_id, content)` → `…reply(id, content)`.
+
+use crate::store::PhotoStore;
+use starlink_core::{
+    CoreError, Result, RpcClient, RpcServer, ServiceHandler, ServiceInterface,
+};
+use starlink_mdl::MessageCodec;
+use starlink_message::{AbstractMessage, Field, Value};
+use starlink_net::{Endpoint, NetworkEngine};
+use starlink_protocols::gdata::{rest_binding, rest_codec};
+use std::sync::Arc;
+
+/// Builds the Picasa application interface (operation templates).
+pub fn picasa_interface() -> ServiceInterface {
+    let mut search = AbstractMessage::new("picasa.photos.search");
+    search.set_field("q", Value::Null);
+    search.push_field(Field::optional("max-results", Value::Null));
+    let mut search_reply = AbstractMessage::new("picasa.photos.search.reply");
+    search_reply.push_field(Field::optional("Title", Value::Null));
+    search_reply.set_field("Entries", Value::Null);
+
+    let mut get_comments = AbstractMessage::new("picasa.getComments");
+    get_comments.set_field("entry_id", Value::Null);
+    let mut get_comments_reply = AbstractMessage::new("picasa.getComments.reply");
+    get_comments_reply.set_field("Entries", Value::Null);
+
+    let mut add_comment = AbstractMessage::new("picasa.addComment");
+    add_comment.set_field("entry_id", Value::Null);
+    add_comment.set_field("content", Value::Null);
+    let mut add_comment_reply = AbstractMessage::new("picasa.addComment.reply");
+    add_comment_reply.set_field("id", Value::Null);
+    add_comment_reply.push_field(Field::optional("content", Value::Null));
+
+    ServiceInterface::new()
+        .with_operation(search, search_reply)
+        .with_operation(get_comments, get_comments_reply)
+        .with_operation(add_comment, add_comment_reply)
+}
+
+fn photo_entry(photo: &crate::store::Photo) -> Value {
+    Value::Struct(vec![
+        Field::new("id", Value::Str(photo.id.clone())),
+        Field::new("title", Value::Str(photo.title.clone())),
+        Field::new("url", Value::Str(photo.url.clone())),
+    ])
+}
+
+/// The service handler: application requests against the store.
+pub fn picasa_handler(store: PhotoStore) -> Arc<ServiceHandler> {
+    Arc::new(move |req| match req.name() {
+        "picasa.photos.search" => {
+            let q = req.get("q").map(Value::to_text).unwrap_or_default();
+            let limit = req
+                .get("max-results")
+                .map(Value::to_text)
+                .and_then(|t| t.parse().ok())
+                .unwrap_or(10usize);
+            let results = store.search(&q, limit);
+            let mut reply = AbstractMessage::new("picasa.photos.search.reply");
+            reply.set_field("Title", Value::from("Search Results"));
+            reply.set_field(
+                "Entries",
+                Value::Array(results.iter().map(photo_entry).collect()),
+            );
+            Ok(reply)
+        }
+        "picasa.getComments" => {
+            let entry_id = req
+                .get("entry_id")
+                .map(Value::to_text)
+                .ok_or("missing entry_id")?;
+            let comments = store.comments(&entry_id);
+            let mut reply = AbstractMessage::new("picasa.getComments.reply");
+            reply.set_field(
+                "Entries",
+                Value::Array(
+                    comments
+                        .iter()
+                        .map(|c| {
+                            Value::Struct(vec![
+                                Field::new("id", Value::Str(c.id.clone())),
+                                Field::new("content", Value::Str(c.text.clone())),
+                                Field::new("author", Value::Str(c.author.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            );
+            Ok(reply)
+        }
+        "picasa.addComment" => {
+            let entry_id = req
+                .get("entry_id")
+                .map(Value::to_text)
+                .ok_or("missing entry_id")?;
+            let content = req
+                .get("content")
+                .map(Value::to_text)
+                .ok_or("missing content")?;
+            if store.photo(&entry_id).is_none() {
+                return Err(format!("no such photo `{entry_id}`"));
+            }
+            let comment = store.add_comment(&entry_id, "starlink-user", &content);
+            let mut reply = AbstractMessage::new("picasa.addComment.reply");
+            reply.set_field("id", Value::Str(comment.id));
+            reply.set_field("content", Value::Str(comment.text));
+            Ok(reply)
+        }
+        other => Err(format!("picasa: unknown operation `{other}`")),
+    })
+}
+
+/// A running Picasa service.
+pub struct PicasaService {
+    server: RpcServer,
+}
+
+impl PicasaService {
+    /// Deploys the service at `endpoint` over `net`.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn deploy(
+        net: &NetworkEngine,
+        endpoint: &Endpoint,
+        store: PhotoStore,
+    ) -> Result<PicasaService> {
+        let codec: Arc<dyn MessageCodec> = Arc::new(
+            rest_codec("picasaweb.google.com").map_err(CoreError::Mdl)?,
+        );
+        let server = RpcServer::serve(
+            net,
+            endpoint,
+            codec,
+            rest_binding(),
+            picasa_interface(),
+            picasa_handler(store),
+        )?;
+        Ok(PicasaService { server })
+    }
+
+    /// The endpoint the service is reachable at.
+    pub fn endpoint(&self) -> &Endpoint {
+        self.server.endpoint()
+    }
+}
+
+/// A native Picasa REST client (used for direct-call baselines).
+pub struct PicasaClient {
+    rpc: RpcClient,
+}
+
+impl PicasaClient {
+    /// Connects to a Picasa service.
+    ///
+    /// # Errors
+    ///
+    /// Connect failures.
+    pub fn connect(net: &NetworkEngine, endpoint: &Endpoint) -> Result<PicasaClient> {
+        let codec: Arc<dyn MessageCodec> = Arc::new(
+            rest_codec("picasaweb.google.com").map_err(CoreError::Mdl)?,
+        );
+        let rpc = RpcClient::connect(net, endpoint, codec, rest_binding(), picasa_interface())?;
+        Ok(PicasaClient { rpc })
+    }
+
+    /// `photos.search(q, max-results)` (Fig. 1).
+    ///
+    /// # Errors
+    ///
+    /// RPC failures.
+    pub fn search(&mut self, q: &str, max_results: u32) -> Result<Vec<(String, String, String)>> {
+        let mut req = AbstractMessage::new("picasa.photos.search");
+        req.set_field("q", Value::Str(q.to_owned()));
+        req.set_field("max-results", Value::Str(max_results.to_string()));
+        let reply = self.rpc.call(&req)?;
+        let entries = reply
+            .get("Entries")
+            .and_then(Value::as_array)
+            .unwrap_or(&[])
+            .to_vec();
+        Ok(entries
+            .iter()
+            .filter_map(|e| {
+                let fields = e.as_struct()?;
+                let get = |n: &str| {
+                    fields
+                        .iter()
+                        .find(|f| f.label() == n)
+                        .map(|f| f.value().to_text())
+                        .unwrap_or_default()
+                };
+                Some((get("id"), get("title"), get("url")))
+            })
+            .collect())
+    }
+
+    /// `getComments(entry_id)` (Fig. 1).
+    ///
+    /// # Errors
+    ///
+    /// RPC failures.
+    pub fn get_comments(&mut self, entry_id: &str) -> Result<Vec<(String, String)>> {
+        let mut req = AbstractMessage::new("picasa.getComments");
+        req.set_field("entry_id", Value::Str(entry_id.to_owned()));
+        let reply = self.rpc.call(&req)?;
+        let entries = reply
+            .get("Entries")
+            .and_then(Value::as_array)
+            .unwrap_or(&[])
+            .to_vec();
+        Ok(entries
+            .iter()
+            .filter_map(|e| {
+                let fields = e.as_struct()?;
+                let get = |n: &str| {
+                    fields
+                        .iter()
+                        .find(|f| f.label() == n)
+                        .map(|f| f.value().to_text())
+                        .unwrap_or_default()
+                };
+                Some((get("author"), get("content")))
+            })
+            .collect())
+    }
+
+    /// `addComment(entry)` (Fig. 1).
+    ///
+    /// # Errors
+    ///
+    /// RPC failures.
+    pub fn add_comment(&mut self, entry_id: &str, content: &str) -> Result<String> {
+        let mut req = AbstractMessage::new("picasa.addComment");
+        req.set_field("entry_id", Value::Str(entry_id.to_owned()));
+        req.set_field("content", Value::Str(content.to_owned()));
+        let reply = self.rpc.call(&req)?;
+        Ok(reply.get("id").map(Value::to_text).unwrap_or_default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starlink_net::MemoryTransport;
+
+    fn net() -> NetworkEngine {
+        let mut n = NetworkEngine::new();
+        n.register(Arc::new(MemoryTransport::new()));
+        n
+    }
+
+    #[test]
+    fn native_rest_client_full_flow() {
+        let net = net();
+        let service =
+            PicasaService::deploy(&net, &Endpoint::memory("picasa"), PhotoStore::with_fixture())
+                .unwrap();
+        let mut client = PicasaClient::connect(&net, service.endpoint()).unwrap();
+
+        let results = client.search("tree", 3).unwrap();
+        assert_eq!(results.len(), 3);
+        let (id, title, url) = &results[0];
+        assert_eq!(id, "gphoto-1");
+        assert_eq!(title, "Tall Tree");
+        assert!(url.ends_with("1.jpg"));
+
+        let comments = client.get_comments(id).unwrap();
+        assert_eq!(comments.len(), 2);
+        assert_eq!(comments[0], ("bob".to_owned(), "great shot".to_owned()));
+
+        let comment_id = client.add_comment(id, "lovely tree").unwrap();
+        assert!(comment_id.starts_with("comment-"));
+        assert_eq!(client.get_comments(id).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn search_respects_limit_and_misses() {
+        let net = net();
+        let service =
+            PicasaService::deploy(&net, &Endpoint::memory("picasa"), PhotoStore::with_fixture())
+                .unwrap();
+        let mut client = PicasaClient::connect(&net, service.endpoint()).unwrap();
+        assert_eq!(client.search("tree", 1).unwrap().len(), 1);
+        assert!(client.search("zebra", 10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn add_comment_to_unknown_photo_fails() {
+        let net = net();
+        let service =
+            PicasaService::deploy(&net, &Endpoint::memory("picasa"), PhotoStore::with_fixture())
+                .unwrap();
+        let mut client = PicasaClient::connect(&net, service.endpoint()).unwrap();
+        client.rpc.timeout = std::time::Duration::from_millis(300);
+        assert!(client.add_comment("gphoto-999", "hi").is_err());
+    }
+}

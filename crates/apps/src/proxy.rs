@@ -1,0 +1,126 @@
+//! The deployment proxy of paper §5.1: "we deployed a simple proxy to
+//! redirect the Flickr requests (originally directed to the Flickr
+//! servers) to the local Starlink mediator."
+//!
+//! The proxy is protocol-agnostic: it relays whole wire messages between
+//! the client connection and the redirect target, alternating
+//! request/response (the RPC interaction pattern every protocol in this
+//! reproduction uses).
+
+use starlink_core::Result;
+use starlink_net::{Endpoint, NetworkEngine};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A running redirect proxy.
+pub struct RedirectProxy {
+    endpoint: Endpoint,
+    stop: Arc<AtomicBool>,
+    relayed: Arc<AtomicUsize>,
+}
+
+impl RedirectProxy {
+    /// Deploys a proxy listening at `listen` and forwarding every
+    /// request to `target`.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn deploy(
+        net: &NetworkEngine,
+        listen: &Endpoint,
+        target: &Endpoint,
+    ) -> Result<RedirectProxy> {
+        let listener = net.listen(listen)?;
+        let endpoint = listener.local_endpoint();
+        let stop = Arc::new(AtomicBool::new(false));
+        let relayed = Arc::new(AtomicUsize::new(0));
+        let accept_stop = stop.clone();
+        let counter = relayed.clone();
+        let net = net.clone();
+        let target = target.clone();
+        std::thread::spawn(move || {
+            while !accept_stop.load(Ordering::SeqCst) {
+                let mut client = match listener.accept() {
+                    Ok(c) => c,
+                    Err(_) => return,
+                };
+                let mut upstream = match net.connect(&target) {
+                    Ok(u) => u,
+                    Err(_) => continue,
+                };
+                let stop = accept_stop.clone();
+                let counter = counter.clone();
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        let request = match client.receive_timeout(Duration::from_millis(500)) {
+                            Ok(r) => r,
+                            Err(starlink_net::NetError::Timeout) => continue,
+                            Err(_) => return,
+                        };
+                        if upstream.send(&request).is_err() {
+                            return;
+                        }
+                        let reply = match upstream.receive_timeout(Duration::from_secs(10)) {
+                            Ok(r) => r,
+                            Err(_) => return,
+                        };
+                        if client.send(&reply).is_err() {
+                            return;
+                        }
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        Ok(RedirectProxy {
+            endpoint,
+            stop,
+            relayed,
+        })
+    }
+
+    /// The endpoint clients should be pointed at.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Number of request/response pairs relayed so far.
+    pub fn relayed_exchanges(&self) -> usize {
+        self.relayed.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Drop for RedirectProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calculator::{AddClient, AddService};
+    use starlink_net::MemoryTransport;
+
+    #[test]
+    fn proxy_relays_rpc_traffic_transparently() {
+        let mut net = NetworkEngine::new();
+        net.register(Arc::new(MemoryTransport::new()));
+        let service = AddService::deploy(&net, &Endpoint::memory("add")).unwrap();
+        let proxy =
+            RedirectProxy::deploy(&net, &Endpoint::memory("flickr-lookalike"), service.endpoint())
+                .unwrap();
+        // The client believes it talks to the original endpoint.
+        let mut client = AddClient::connect(&net, proxy.endpoint()).unwrap();
+        assert_eq!(client.add(20, 22).unwrap(), 42);
+        assert_eq!(client.add(1, 1).unwrap(), 2);
+        assert_eq!(proxy.relayed_exchanges(), 2);
+    }
+}

@@ -1,0 +1,202 @@
+//! The photo database both simulated services are built on.
+//!
+//! The paper's evaluation ran against the live Flickr and Picasa APIs;
+//! this reproduction substitutes a local store exposing the same
+//! behaviour (DESIGN.md §2): keyword search over public photos, comment
+//! listing, and comment posting.
+
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A stored photograph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Photo {
+    /// Service-side identifier (`gphoto-…`).
+    pub id: String,
+    /// Title shown in search results.
+    pub title: String,
+    /// JPEG URL.
+    pub url: String,
+    /// Owning user.
+    pub owner: String,
+    /// Keywords the photo is findable under.
+    pub tags: Vec<String>,
+}
+
+/// A comment on a photo.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment identifier.
+    pub id: String,
+    /// Author name.
+    pub author: String,
+    /// Comment text.
+    pub text: String,
+}
+
+#[derive(Default)]
+struct Inner {
+    photos: Vec<Photo>,
+    comments: Vec<(String, Comment)>,
+}
+
+/// Thread-safe photo store shared by a service's connection handlers.
+#[derive(Clone, Default)]
+pub struct PhotoStore {
+    inner: Arc<RwLock<Inner>>,
+    next_comment: Arc<AtomicU64>,
+}
+
+impl PhotoStore {
+    /// An empty store.
+    pub fn new() -> PhotoStore {
+        PhotoStore::default()
+    }
+
+    /// The store seeded with the case study's fixture data: a handful of
+    /// tree/oak/beach photographs with a few comments.
+    pub fn with_fixture() -> PhotoStore {
+        let store = PhotoStore::new();
+        let fixtures = [
+            ("Tall Tree", "alice", &["tree", "nature"][..]),
+            ("Old Oak", "bob", &["tree", "oak"][..]),
+            ("Pine Forest", "alice", &["tree", "forest"][..]),
+            ("Sunny Beach", "carol", &["beach", "sea"][..]),
+            ("City Lights", "dave", &["city", "night"][..]),
+        ];
+        for (i, (title, owner, tags)) in fixtures.iter().enumerate() {
+            store.add_photo(Photo {
+                id: format!("gphoto-{}", i + 1),
+                title: (*title).to_owned(),
+                url: format!("http://photos.example.org/{}.jpg", i + 1),
+                owner: (*owner).to_owned(),
+                tags: tags.iter().map(|s| (*s).to_owned()).collect(),
+            });
+        }
+        store.add_comment("gphoto-1", "bob", "great shot");
+        store.add_comment("gphoto-1", "carol", "love the light");
+        store.add_comment("gphoto-2", "alice", "how old is it?");
+        store
+    }
+
+    /// A store filled with `n` generated photos (deterministic for a
+    /// seed) — the benchmark workload generator.
+    pub fn with_random_photos(n: usize, seed: u64) -> PhotoStore {
+        let store = PhotoStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tags = ["tree", "oak", "beach", "city", "sky", "river"];
+        let owners = ["alice", "bob", "carol", "dave"];
+        for i in 0..n {
+            let tag = tags[rng.gen_range(0..tags.len())];
+            store.add_photo(Photo {
+                id: format!("gphoto-{}", i + 1),
+                title: format!("{tag} #{i}"),
+                url: format!("http://photos.example.org/{}.jpg", i + 1),
+                owner: owners[rng.gen_range(0..owners.len())].to_owned(),
+                tags: vec![tag.to_owned()],
+            });
+        }
+        store
+    }
+
+    /// Adds a photo.
+    pub fn add_photo(&self, photo: Photo) {
+        self.inner.write().photos.push(photo);
+    }
+
+    /// Keyword search over titles and tags, capped at `limit` results.
+    pub fn search(&self, keyword: &str, limit: usize) -> Vec<Photo> {
+        let keyword = keyword.to_ascii_lowercase();
+        self.inner
+            .read()
+            .photos
+            .iter()
+            .filter(|p| {
+                p.title.to_ascii_lowercase().contains(&keyword)
+                    || p.tags.iter().any(|t| t == &keyword)
+            })
+            .take(limit)
+            .cloned()
+            .collect()
+    }
+
+    /// Photo lookup by id.
+    pub fn photo(&self, id: &str) -> Option<Photo> {
+        self.inner.read().photos.iter().find(|p| p.id == id).cloned()
+    }
+
+    /// Total number of photos.
+    pub fn photo_count(&self) -> usize {
+        self.inner.read().photos.len()
+    }
+
+    /// Comments on a photo, oldest first.
+    pub fn comments(&self, photo_id: &str) -> Vec<Comment> {
+        self.inner
+            .read()
+            .comments
+            .iter()
+            .filter(|(pid, _)| pid == photo_id)
+            .map(|(_, c)| c.clone())
+            .collect()
+    }
+
+    /// Adds a comment; returns the stored comment (with its new id).
+    pub fn add_comment(&self, photo_id: &str, author: &str, text: &str) -> Comment {
+        let id = format!("comment-{}", self.next_comment.fetch_add(1, Ordering::SeqCst) + 1);
+        let comment = Comment {
+            id,
+            author: author.to_owned(),
+            text: text.to_owned(),
+        };
+        self.inner
+            .write()
+            .comments
+            .push((photo_id.to_owned(), comment.clone()));
+        comment
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_contents() {
+        let s = PhotoStore::with_fixture();
+        assert_eq!(s.photo_count(), 5);
+        assert_eq!(s.search("tree", 10).len(), 3);
+        assert_eq!(s.search("tree", 2).len(), 2);
+        assert_eq!(s.search("TREE", 10).len(), 3, "case-insensitive");
+        assert_eq!(s.comments("gphoto-1").len(), 2);
+        assert!(s.comments("gphoto-9").is_empty());
+        assert!(s.photo("gphoto-2").is_some());
+        assert!(s.photo("nope").is_none());
+    }
+
+    #[test]
+    fn comments_get_fresh_ids() {
+        let s = PhotoStore::new();
+        let a = s.add_comment("p", "x", "one");
+        let b = s.add_comment("p", "y", "two");
+        assert_ne!(a.id, b.id);
+        assert_eq!(s.comments("p").len(), 2);
+    }
+
+    #[test]
+    fn random_store_is_deterministic() {
+        let a = PhotoStore::with_random_photos(100, 7);
+        let b = PhotoStore::with_random_photos(100, 7);
+        assert_eq!(a.photo_count(), 100);
+        assert_eq!(a.search("tree", 1000).len(), b.search("tree", 1000).len());
+    }
+
+    #[test]
+    fn search_limit_applies() {
+        let s = PhotoStore::with_random_photos(500, 1);
+        assert!(s.search("tree", 5).len() <= 5);
+    }
+}

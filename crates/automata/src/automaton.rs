@@ -1,0 +1,632 @@
+use crate::error::AutomatonError;
+use crate::transition::{Action, NetworkSemantics, Transition};
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use starlink_message::AbstractMessage;
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A state of a k-colored automaton.
+///
+/// In a merged automaton a state may carry **two** colors — the
+/// bi-colored nodes of Fig. 3 where γ-transitions translate between the
+/// two systems.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct State {
+    /// Unique id within the automaton (`s0`, `s1²`, …).
+    pub id: String,
+    /// The colors painting this state (one, or two for bi-colored).
+    pub colors: Vec<u8>,
+}
+
+impl State {
+    /// Whether the state belongs to the given color.
+    pub fn has_color(&self, color: u8) -> bool {
+        self.colors.contains(&color)
+    }
+
+    /// Whether the state is bi-colored (a γ-translation site).
+    pub fn is_bicolored(&self) -> bool {
+        self.colors.len() > 1
+    }
+}
+
+/// An automaton in the sense of paper §3.1 (`AS = (Q, M, q0, F, Act, →)`),
+/// extended with colors and γ-transitions so that the same type also
+/// represents merged automata (Def. 8).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Automaton {
+    name: String,
+    /// Default color painted on newly added states.
+    color: u8,
+    states: Vec<State>,
+    initial: Option<String>,
+    finals: BTreeSet<String>,
+    transitions: Vec<Transition>,
+    /// Network semantics per color (Fig. 4 annotations).
+    network: HashMap<u8, NetworkSemantics>,
+}
+
+impl Automaton {
+    /// Creates an empty automaton with the given name and color.
+    pub fn new(name: impl Into<String>, color: u8) -> Automaton {
+        Automaton {
+            name: name.into(),
+            color,
+            states: Vec::new(),
+            initial: None,
+            finals: BTreeSet::new(),
+            transitions: Vec::new(),
+            network: HashMap::new(),
+        }
+    }
+
+    /// The automaton's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The automaton's default color.
+    pub fn color(&self) -> u8 {
+        self.color
+    }
+
+    /// All states, in insertion order.
+    pub fn states(&self) -> &[State] {
+        &self.states
+    }
+
+    /// All transitions, in insertion order.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// The initial state id (`q0`), if set.
+    pub fn initial(&self) -> Option<&str> {
+        self.initial.as_deref()
+    }
+
+    /// The accepting state ids (`F`).
+    pub fn finals(&self) -> impl Iterator<Item = &str> {
+        self.finals.iter().map(String::as_str)
+    }
+
+    /// Whether `id` is an accepting state.
+    pub fn is_final(&self, id: &str) -> bool {
+        self.finals.contains(id)
+    }
+
+    /// Looks up a state by id.
+    pub fn state(&self, id: &str) -> Option<&State> {
+        self.states.iter().find(|s| s.id == id)
+    }
+
+    /// Adds a state with the automaton's default color; returns its id.
+    /// Adding an existing id is a no-op (states are identified by id).
+    pub fn add_state(&mut self, id: impl Into<String>) -> String {
+        let id = id.into();
+        if self.state(&id).is_none() {
+            self.states.push(State {
+                id: id.clone(),
+                colors: vec![self.color],
+            });
+        }
+        id
+    }
+
+    /// Adds a state with explicit colors (bi-colored merge states).
+    pub fn add_colored_state(&mut self, id: impl Into<String>, colors: Vec<u8>) -> String {
+        let id = id.into();
+        if self.state(&id).is_none() {
+            self.states.push(State {
+                id: id.clone(),
+                colors,
+            });
+        }
+        id
+    }
+
+    /// Marks the initial state.
+    ///
+    /// # Errors
+    ///
+    /// [`AutomatonError::UnknownState`] if the state was never added.
+    pub fn set_initial(&mut self, id: &str) -> Result<()> {
+        self.require_state(id)?;
+        self.initial = Some(id.to_owned());
+        Ok(())
+    }
+
+    /// Adds an accepting state.
+    ///
+    /// # Errors
+    ///
+    /// [`AutomatonError::UnknownState`] if the state was never added.
+    pub fn add_final(&mut self, id: &str) -> Result<()> {
+        self.require_state(id)?;
+        self.finals.insert(id.to_owned());
+        Ok(())
+    }
+
+    /// Attaches network semantics to a color.
+    pub fn set_network(&mut self, color: u8, network: NetworkSemantics) {
+        self.network.insert(color, network);
+    }
+
+    /// Network semantics of a color, if declared.
+    pub fn network(&self, color: u8) -> Option<&NetworkSemantics> {
+        self.network.get(&color)
+    }
+
+    /// Adds a `!m` transition.
+    ///
+    /// # Errors
+    ///
+    /// [`AutomatonError::UnknownState`] if either endpoint is missing.
+    pub fn add_send(&mut self, from: &str, to: &str, message: AbstractMessage) -> Result<()> {
+        self.add_transition(Transition::new(from, to, Action::Send(message)))
+    }
+
+    /// Adds a `?m` transition.
+    ///
+    /// # Errors
+    ///
+    /// [`AutomatonError::UnknownState`] if either endpoint is missing.
+    pub fn add_receive(&mut self, from: &str, to: &str, message: AbstractMessage) -> Result<()> {
+        self.add_transition(Transition::new(from, to, Action::Receive(message)))
+    }
+
+    /// Adds a γ-transition carrying an MTL translation program.
+    ///
+    /// # Errors
+    ///
+    /// [`AutomatonError::UnknownState`] if either endpoint is missing.
+    pub fn add_gamma(&mut self, from: &str, to: &str, mtl: impl Into<String>) -> Result<()> {
+        self.add_transition(Transition::new(
+            from,
+            to,
+            Action::Gamma { mtl: mtl.into() },
+        ))
+    }
+
+    /// Adds an arbitrary transition.
+    ///
+    /// # Errors
+    ///
+    /// [`AutomatonError::UnknownState`] if either endpoint is missing.
+    pub fn add_transition(&mut self, transition: Transition) -> Result<()> {
+        self.require_state(&transition.from)?;
+        self.require_state(&transition.to)?;
+        self.transitions.push(transition);
+        Ok(())
+    }
+
+    /// Transitions leaving a state.
+    pub fn transitions_from<'a>(&'a self, id: &str) -> impl Iterator<Item = &'a Transition> + 'a {
+        let id = id.to_owned();
+        self.transitions.iter().filter(move |t| t.from == id)
+    }
+
+    /// All distinct message names appearing on transitions (`M` in §3.1).
+    pub fn message_names(&self) -> BTreeSet<&str> {
+        self.transitions
+            .iter()
+            .filter_map(|t| t.action.message().map(AbstractMessage::name))
+            .collect()
+    }
+
+    /// Checks well-formedness: an initial state, at least one final
+    /// state, every state reachable, and a final state reachable from
+    /// the initial state.
+    ///
+    /// # Errors
+    ///
+    /// The first violation found, as an [`AutomatonError`].
+    pub fn validate(&self) -> Result<()> {
+        let initial = self.initial.as_deref().ok_or_else(|| {
+            AutomatonError::NoInitialState {
+                automaton: self.name.clone(),
+            }
+        })?;
+        if self.finals.is_empty() {
+            return Err(AutomatonError::NoFinalState {
+                automaton: self.name.clone(),
+            });
+        }
+        let reachable = self.reachable_from(initial);
+        for s in &self.states {
+            if !reachable.contains(s.id.as_str()) {
+                return Err(AutomatonError::UnreachableState {
+                    automaton: self.name.clone(),
+                    state: s.id.clone(),
+                });
+            }
+        }
+        if !self.finals.iter().any(|f| reachable.contains(f.as_str())) {
+            return Err(AutomatonError::NoPathToFinal {
+                automaton: self.name.clone(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The set of states reachable from `start` (inclusive).
+    pub fn reachable_from<'a>(&'a self, start: &'a str) -> HashSet<&'a str> {
+        let mut seen: HashSet<&str> = HashSet::new();
+        let mut queue: VecDeque<&str> = VecDeque::new();
+        if self.state(start).is_some() {
+            seen.insert(start);
+            queue.push_back(start);
+        }
+        while let Some(current) = queue.pop_front() {
+            for t in self.transitions_from(current) {
+                if seen.insert(t.to.as_str()) {
+                    queue.push_back(t.to.as_str());
+                }
+            }
+        }
+        seen
+    }
+
+    /// Number of γ-transitions (bi-colored crossings) in the automaton.
+    pub fn gamma_count(&self) -> usize {
+        self.transitions
+            .iter()
+            .filter(|t| t.action.is_gamma())
+            .count()
+    }
+
+
+    /// Whether the automaton accepts the given trace of action labels
+    /// (`"!op"`, `"?op.reply"`, `"γ"`), walking deterministically by
+    /// label from the initial state. Used to check that observed
+    /// behaviour conforms to a usage protocol.
+    ///
+    /// γ-transitions in the automaton are crossed silently (they emit no
+    /// observable action), so traces list only sends/receives.
+    pub fn accepts(&self, trace: &[&str]) -> bool {
+        let Some(initial) = self.initial() else {
+            return false;
+        };
+        let mut current = initial.to_owned();
+        for label in trace {
+            // Cross silent γ-transitions first.
+            loop {
+                let gammas: Vec<&Transition> = self
+                    .transitions_from(&current)
+                    .filter(|t| t.action.is_gamma())
+                    .collect();
+                let has_match = self
+                    .transitions_from(&current)
+                    .any(|t| t.action.label() == *label);
+                if has_match || gammas.is_empty() {
+                    break;
+                }
+                current = gammas[0].to.clone();
+            }
+            let next = self
+                .transitions_from(&current)
+                .find(|t| t.action.label() == *label)
+                .map(|t| t.to.clone());
+            match next {
+                Some(n) => current = n,
+                None => return false,
+            }
+        }
+        // Cross trailing γs toward acceptance.
+        for _ in 0..self.states.len() {
+            if self.is_final(&current) {
+                return true;
+            }
+            let Some(g) = self
+                .transitions_from(&current)
+                .find(|t| t.action.is_gamma())
+                .map(|t| t.to.clone())
+            else {
+                break;
+            };
+            current = g;
+        }
+        self.is_final(&current)
+    }
+
+    /// Exports Graphviz DOT text for visual inspection (the paper's
+    /// figures are exactly these drawings).
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", self.name);
+        let _ = writeln!(out, "  rankdir=LR;");
+        for s in &self.states {
+            let shape = if self.finals.contains(&s.id) {
+                "doublecircle"
+            } else {
+                "circle"
+            };
+            let fill = if s.is_bicolored() {
+                ", style=filled, fillcolor=lightgoldenrod"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "  \"{}\" [shape={shape}, label=\"{}\\n{:?}\"{fill}];",
+                s.id, s.id, s.colors
+            );
+        }
+        if let Some(init) = &self.initial {
+            let _ = writeln!(out, "  __start [shape=point];");
+            let _ = writeln!(out, "  __start -> \"{init}\";");
+        }
+        for t in &self.transitions {
+            let style = if t.action.is_gamma() {
+                ", style=dashed"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\" [label=\"{}\"{style}];",
+                t.from,
+                t.to,
+                t.action.label().replace('"', "'")
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    fn require_state(&self, id: &str) -> Result<()> {
+        if self.state(id).is_some() {
+            Ok(())
+        } else {
+            Err(AutomatonError::UnknownState {
+                automaton: self.name.clone(),
+                state: id.to_owned(),
+            })
+        }
+    }
+}
+
+impl fmt::Display for Automaton {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "automaton {} (color {}, {} states, {} transitions)",
+            self.name,
+            self.color,
+            self.states.len(),
+            self.transitions.len()
+        )?;
+        for t in &self.transitions {
+            writeln!(f, "  {t}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds the linear request/response usage-protocol shape that RPC-style
+/// APIs produce: `!op1 ?op1 !op2 ?op2 …` (the shape of Fig. 2).
+///
+/// Each pair is an operation invocation followed by its reply; state ids
+/// are `s0..s2n`; the last state is accepting.
+pub fn linear_usage_protocol(
+    name: &str,
+    color: u8,
+    operations: &[(AbstractMessage, AbstractMessage)],
+) -> Automaton {
+    let mut a = Automaton::new(name, color);
+    let mut prev = a.add_state("s0");
+    a.set_initial("s0").expect("state s0 was just added");
+    let mut idx = 1;
+    for (request, reply) in operations {
+        let mid = a.add_state(format!("s{idx}"));
+        idx += 1;
+        let next = a.add_state(format!("s{idx}"));
+        idx += 1;
+        a.add_send(&prev, &mid, request.clone())
+            .expect("states exist");
+        a.add_receive(&mid, &next, reply.clone())
+            .expect("states exist");
+        prev = next;
+    }
+    a.add_final(&prev).expect("final state exists");
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(name: &str) -> AbstractMessage {
+        AbstractMessage::new(name)
+    }
+
+    fn simple() -> Automaton {
+        let mut a = Automaton::new("T", 1);
+        a.add_state("s0");
+        a.add_state("s1");
+        a.add_state("s2");
+        a.set_initial("s0").unwrap();
+        a.add_final("s2").unwrap();
+        a.add_send("s0", "s1", msg("req")).unwrap();
+        a.add_receive("s1", "s2", msg("rep")).unwrap();
+        a
+    }
+
+    #[test]
+    fn validate_accepts_wellformed() {
+        simple().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_missing_initial() {
+        let mut a = Automaton::new("T", 1);
+        a.add_state("s0");
+        a.add_final("s0").unwrap();
+        assert!(matches!(
+            a.validate(),
+            Err(AutomatonError::NoInitialState { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_missing_final() {
+        let mut a = Automaton::new("T", 1);
+        a.add_state("s0");
+        a.set_initial("s0").unwrap();
+        assert!(matches!(
+            a.validate(),
+            Err(AutomatonError::NoFinalState { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_unreachable() {
+        let mut a = simple();
+        a.add_state("island");
+        assert!(matches!(
+            a.validate(),
+            Err(AutomatonError::UnreachableState { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_unreachable_final() {
+        let mut a = Automaton::new("T", 1);
+        a.add_state("s0");
+        a.add_state("s1");
+        a.set_initial("s0").unwrap();
+        a.add_final("s1").unwrap();
+        // no transition s0 -> s1: s1 unreachable
+        assert!(a.validate().is_err());
+    }
+
+    #[test]
+    fn transition_requires_states() {
+        let mut a = Automaton::new("T", 1);
+        a.add_state("s0");
+        assert!(matches!(
+            a.add_send("s0", "nope", msg("m")),
+            Err(AutomatonError::UnknownState { .. })
+        ));
+        assert!(matches!(
+            a.set_initial("nope"),
+            Err(AutomatonError::UnknownState { .. })
+        ));
+        assert!(matches!(
+            a.add_final("nope"),
+            Err(AutomatonError::UnknownState { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_add_state_is_idempotent() {
+        let mut a = Automaton::new("T", 1);
+        a.add_state("s0");
+        a.add_state("s0");
+        assert_eq!(a.states().len(), 1);
+    }
+
+    #[test]
+    fn message_names_collected() {
+        let a = simple();
+        let names: Vec<&str> = a.message_names().into_iter().collect();
+        assert_eq!(names, vec!["rep", "req"]);
+    }
+
+    #[test]
+    fn linear_builder_matches_fig2_shape() {
+        let flickr = linear_usage_protocol(
+            "AFlickr",
+            1,
+            &[
+                (msg("flickr.photos.search"), msg("flickr.photos.search.reply")),
+                (msg("flickr.photos.getInfo"), msg("flickr.photos.getInfo.reply")),
+            ],
+        );
+        flickr.validate().unwrap();
+        assert_eq!(flickr.states().len(), 5);
+        assert_eq!(flickr.transitions().len(), 4);
+        assert_eq!(flickr.initial(), Some("s0"));
+        assert!(flickr.is_final("s4"));
+        let labels: Vec<String> = flickr
+            .transitions()
+            .iter()
+            .map(|t| t.action.label())
+            .collect();
+        assert_eq!(
+            labels,
+            vec![
+                "!flickr.photos.search",
+                "?flickr.photos.search.reply",
+                "!flickr.photos.getInfo",
+                "?flickr.photos.getInfo.reply",
+            ]
+        );
+    }
+
+
+    #[test]
+    fn accepts_valid_traces() {
+        let a = linear_usage_protocol(
+            "T",
+            1,
+            &[
+                (msg("search"), msg("search.reply")),
+                (msg("get"), msg("get.reply")),
+            ],
+        );
+        assert!(a.accepts(&["!search", "?search.reply", "!get", "?get.reply"]));
+        assert!(!a.accepts(&["!search", "?search.reply"]), "stops before final");
+        assert!(!a.accepts(&["!get"]), "wrong order");
+        assert!(!a.accepts(&["!search", "!search"]), "unexpected repeat");
+        assert!(!a.accepts(&[]), "initial is not accepting here");
+    }
+
+    #[test]
+    fn accepts_crosses_gammas_silently() {
+        let mut a = Automaton::new("G", 1);
+        a.add_state("s0");
+        a.add_state("s1");
+        a.add_state("s2");
+        a.add_state("s3");
+        a.set_initial("s0").unwrap();
+        a.add_final("s3").unwrap();
+        a.add_receive("s0", "s1", msg("req")).unwrap();
+        a.add_gamma("s1", "s2", "").unwrap();
+        a.add_send("s2", "s3", msg("rep")).unwrap();
+        assert!(a.accepts(&["?req", "!rep"]));
+        assert!(!a.accepts(&["?req"]));
+    }
+
+    #[test]
+    fn dot_export_mentions_gamma_and_finals() {
+        let mut a = simple();
+        a.add_colored_state("b", vec![1, 2]);
+        a.add_gamma("s2", "b", "x = y").unwrap();
+        a.add_final("b").unwrap();
+        let dot = a.to_dot();
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("lightgoldenrod"));
+        assert!(dot.starts_with("digraph"));
+    }
+
+    #[test]
+    fn gamma_count_counts_only_gammas() {
+        let mut a = simple();
+        assert_eq!(a.gamma_count(), 0);
+        a.add_colored_state("b", vec![1, 2]);
+        a.add_gamma("s2", "b", "").unwrap();
+        assert_eq!(a.gamma_count(), 1);
+    }
+
+    #[test]
+    fn network_semantics_per_color() {
+        let mut a = simple();
+        a.set_network(1, NetworkSemantics::tcp_sync("GIOP.mdl"));
+        assert_eq!(a.network(1).unwrap().mdl, "GIOP.mdl");
+        assert!(a.network(2).is_none());
+    }
+}

@@ -1,0 +1,513 @@
+//! A textual language for k-colored automata.
+//!
+//! The paper's case study writes automata "using the XML-based Starlink
+//! language for k-colored automata" (§5.1). This reproduction defines an
+//! equivalent *textual* syntax (documented deviation, DESIGN.md §6):
+//!
+//! ```text
+//! automaton AFlickr color=1 {
+//!   network color=1 transport=tcp mode=sync mdl=XMLRPC.mdl
+//!   states s0 s1 s2 s3
+//!   state m1 colors=1,2
+//!   initial s0
+//!   final s3
+//!   s0 -> s1 : !flickr.photos.search(api_key, text, per_page?)
+//!   s1 -> s2 : ?flickr.photos.search.reply(photos)
+//!   s2 -> s3 : gamma { m3.q = m1.text }
+//! }
+//! ```
+//!
+//! * `!name(args)` / `?name(args)` declare send/receive transitions whose
+//!   message template has the named mandatory fields (a `?` suffix marks
+//!   a field optional),
+//! * `gamma { … }` declares a γ-transition whose braces hold the MTL
+//!   program verbatim (may span lines),
+//! * `#` starts a comment.
+
+use crate::automaton::Automaton;
+use crate::error::AutomatonError;
+use crate::transition::{InteractionMode, NetworkSemantics};
+use crate::Result;
+use starlink_message::{AbstractMessage, Field, Value};
+use std::fmt::Write as _;
+
+/// Parses one `automaton … { … }` block.
+///
+/// # Errors
+///
+/// [`AutomatonError::DslSyntax`] on malformed input and the usual
+/// construction errors for inconsistent models.
+pub fn parse(text: &str) -> Result<Automaton> {
+    let mut lines = text.lines().enumerate().peekable();
+    // Header.
+    let (header_line_no, header) = loop {
+        match lines.next() {
+            Some((i, l)) => {
+                let l = strip_comment(l).trim();
+                if l.is_empty() {
+                    continue;
+                }
+                break (i + 1, l.to_owned());
+            }
+            None => {
+                return Err(AutomatonError::DslSyntax {
+                    message: "empty input".into(),
+                    line: 1,
+                })
+            }
+        }
+    };
+    let header = header
+        .strip_suffix('{')
+        .ok_or_else(|| AutomatonError::DslSyntax {
+            message: "expected `{` at end of automaton header".into(),
+            line: header_line_no,
+        })?
+        .trim();
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some("automaton") {
+        return Err(AutomatonError::DslSyntax {
+            message: "expected `automaton <name> color=<k> {`".into(),
+            line: header_line_no,
+        });
+    }
+    let name = parts.next().ok_or_else(|| AutomatonError::DslSyntax {
+        message: "automaton needs a name".into(),
+        line: header_line_no,
+    })?;
+    let mut color = 1u8;
+    for p in parts {
+        if let Some(c) = p.strip_prefix("color=") {
+            color = c.parse().map_err(|_| AutomatonError::DslSyntax {
+                message: format!("bad color `{c}`"),
+                line: header_line_no,
+            })?;
+        }
+    }
+    let mut a = Automaton::new(name, color);
+
+    // Body.
+    let mut initial: Option<String> = None;
+    let mut finals: Vec<String> = Vec::new();
+    struct PendingTransition {
+        from: String,
+        to: String,
+        action_text: String,
+        line: usize,
+    }
+    let mut pending: Vec<PendingTransition> = Vec::new();
+
+    while let Some((idx, raw)) = lines.next() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim().to_owned();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "}" {
+            // Construct transitions now that all states exist.
+            let initial = initial.ok_or_else(|| AutomatonError::DslSyntax {
+                message: "automaton lacks an `initial` marker".into(),
+                line: line_no,
+            })?;
+            a.set_initial(&initial)?;
+            for f in &finals {
+                a.add_final(f)?;
+            }
+            for t in pending {
+                let action = parse_action(&t.action_text, t.line)?;
+                match action {
+                    ParsedAction::Send(m) => a.add_send(&t.from, &t.to, m)?,
+                    ParsedAction::Receive(m) => a.add_receive(&t.from, &t.to, m)?,
+                    ParsedAction::Gamma(mtl) => a.add_gamma(&t.from, &t.to, mtl)?,
+                }
+            }
+            a.validate()?;
+            return Ok(a);
+        }
+        if let Some(rest) = line.strip_prefix("states ") {
+            for s in rest.split_whitespace() {
+                a.add_state(s);
+            }
+        } else if let Some(rest) = line.strip_prefix("state ") {
+            let mut ps = rest.split_whitespace();
+            let id = ps.next().ok_or_else(|| AutomatonError::DslSyntax {
+                message: "state needs an id".into(),
+                line: line_no,
+            })?;
+            let mut colors = vec![color];
+            for p in ps {
+                if let Some(cs) = p.strip_prefix("colors=") {
+                    colors = cs
+                        .split(',')
+                        .map(|c| {
+                            c.parse::<u8>().map_err(|_| AutomatonError::DslSyntax {
+                                message: format!("bad color `{c}`"),
+                                line: line_no,
+                            })
+                        })
+                        .collect::<Result<Vec<u8>>>()?;
+                }
+            }
+            a.add_colored_state(id, colors);
+        } else if let Some(rest) = line.strip_prefix("initial ") {
+            initial = Some(rest.trim().to_owned());
+        } else if let Some(rest) = line.strip_prefix("final ") {
+            finals.extend(rest.split_whitespace().map(str::to_owned));
+        } else if let Some(rest) = line.strip_prefix("network ") {
+            let mut net_color = color;
+            let mut transport = "tcp".to_owned();
+            let mut mode = InteractionMode::Sync;
+            let mut mdl = String::new();
+            let mut multicast = false;
+            for p in rest.split_whitespace() {
+                if let Some(v) = p.strip_prefix("color=") {
+                    net_color = v.parse().map_err(|_| AutomatonError::DslSyntax {
+                        message: format!("bad color `{v}`"),
+                        line: line_no,
+                    })?;
+                } else if let Some(v) = p.strip_prefix("transport=") {
+                    transport = v.to_owned();
+                } else if let Some(v) = p.strip_prefix("mode=") {
+                    mode = match v {
+                        "sync" => InteractionMode::Sync,
+                        "async" => InteractionMode::Async,
+                        other => {
+                            return Err(AutomatonError::DslSyntax {
+                                message: format!("bad mode `{other}`"),
+                                line: line_no,
+                            })
+                        }
+                    };
+                } else if let Some(v) = p.strip_prefix("mdl=") {
+                    mdl = v.to_owned();
+                } else if p == "multicast" {
+                    multicast = true;
+                }
+            }
+            a.set_network(
+                net_color,
+                NetworkSemantics {
+                    transport,
+                    mode,
+                    mdl,
+                    multicast,
+                },
+            );
+        } else if line.contains("->") {
+            // `from -> to : action` — the action's gamma braces may span
+            // multiple lines; gather until balanced.
+            let mut full = line.clone();
+            while brace_depth(&full) > 0 {
+                match lines.next() {
+                    Some((_, more)) => {
+                        full.push('\n');
+                        full.push_str(strip_comment(more));
+                    }
+                    None => {
+                        return Err(AutomatonError::DslSyntax {
+                            message: "unterminated `gamma {` block".into(),
+                            line: line_no,
+                        })
+                    }
+                }
+            }
+            let (endpoints, action_text) =
+                full.split_once(':').ok_or_else(|| AutomatonError::DslSyntax {
+                    message: "transition needs `from -> to : action`".into(),
+                    line: line_no,
+                })?;
+            let (from, to) =
+                endpoints
+                    .split_once("->")
+                    .ok_or_else(|| AutomatonError::DslSyntax {
+                        message: "transition needs `from -> to`".into(),
+                        line: line_no,
+                    })?;
+            pending.push(PendingTransition {
+                from: from.trim().to_owned(),
+                to: to.trim().to_owned(),
+                action_text: action_text.trim().to_owned(),
+                line: line_no,
+            });
+        } else {
+            return Err(AutomatonError::DslSyntax {
+                message: format!("unrecognised line `{line}`"),
+                line: line_no,
+            });
+        }
+    }
+    Err(AutomatonError::DslSyntax {
+        message: "missing closing `}`".into(),
+        line: text.lines().count(),
+    })
+}
+
+enum ParsedAction {
+    Send(AbstractMessage),
+    Receive(AbstractMessage),
+    Gamma(String),
+}
+
+fn parse_action(text: &str, line: usize) -> Result<ParsedAction> {
+    if let Some(rest) = text.strip_prefix("gamma") {
+        let rest = rest.trim();
+        let mtl = if rest.is_empty() {
+            String::new()
+        } else {
+            let inner = rest
+                .strip_prefix('{')
+                .and_then(|s| s.strip_suffix('}'))
+                .ok_or_else(|| AutomatonError::DslSyntax {
+                    message: "gamma body must be wrapped in `{ … }`".into(),
+                    line,
+                })?;
+            inner.trim().to_owned()
+        };
+        return Ok(ParsedAction::Gamma(mtl));
+    }
+    let (direction, rest) = match text.chars().next() {
+        Some('!') => (true, &text[1..]),
+        Some('?') => (false, &text[1..]),
+        _ => {
+            return Err(AutomatonError::DslSyntax {
+                message: format!("action must start with `!`, `?` or `gamma`: `{text}`"),
+                line,
+            })
+        }
+    };
+    let (name, args) = match rest.find('(') {
+        Some(i) => {
+            let name = &rest[..i];
+            let close = rest.rfind(')').ok_or_else(|| AutomatonError::DslSyntax {
+                message: "unclosed argument list".into(),
+                line,
+            })?;
+            (name, &rest[i + 1..close])
+        }
+        None => (rest, ""),
+    };
+    let mut msg = AbstractMessage::new(name.trim());
+    for arg in args.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        match arg.strip_suffix('?') {
+            Some(opt) => msg.push_field(Field::optional(opt.trim(), Value::Null)),
+            None => msg.push_field(Field::new(arg, Value::Null)),
+        }
+    }
+    Ok(if direction {
+        ParsedAction::Send(msg)
+    } else {
+        ParsedAction::Receive(msg)
+    })
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn brace_depth(text: &str) -> i32 {
+    let mut depth = 0;
+    for c in text.chars() {
+        match c {
+            '{' => depth += 1,
+            '}' => depth -= 1,
+            _ => {}
+        }
+    }
+    depth
+}
+
+/// Serialises an automaton back to the DSL text.
+pub fn print(a: &Automaton) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "automaton {} color={} {{", a.name(), a.color());
+    for color in collect_colors(a) {
+        if let Some(n) = a.network(color) {
+            let _ = writeln!(
+                out,
+                "  network color={color} transport={} mode={} mdl={}{}",
+                n.transport,
+                match n.mode {
+                    InteractionMode::Sync => "sync",
+                    InteractionMode::Async => "async",
+                },
+                n.mdl,
+                if n.multicast { " multicast" } else { "" }
+            );
+        }
+    }
+    for s in a.states() {
+        if s.colors == vec![a.color()] {
+            let _ = writeln!(out, "  states {}", s.id);
+        } else {
+            let colors: Vec<String> = s.colors.iter().map(u8::to_string).collect();
+            let _ = writeln!(out, "  state {} colors={}", s.id, colors.join(","));
+        }
+    }
+    if let Some(init) = a.initial() {
+        let _ = writeln!(out, "  initial {init}");
+    }
+    for f in a.finals() {
+        let _ = writeln!(out, "  final {f}");
+    }
+    for t in a.transitions() {
+        match &t.action {
+            crate::transition::Action::Gamma { mtl } => {
+                if mtl.is_empty() {
+                    let _ = writeln!(out, "  {} -> {} : gamma", t.from, t.to);
+                } else {
+                    let _ = writeln!(out, "  {} -> {} : gamma {{ {} }}", t.from, t.to, mtl.replace('\n', "\n    "));
+                }
+            }
+            action => {
+                let msg = action.message().expect("non-gamma carries a message");
+                let args: Vec<String> = msg
+                    .fields()
+                    .iter()
+                    .map(|f| {
+                        if f.is_mandatory() {
+                            f.label().to_owned()
+                        } else {
+                            format!("{}?", f.label())
+                        }
+                    })
+                    .collect();
+                let prefix = match action {
+                    crate::transition::Action::Send(_) => '!',
+                    _ => '?',
+                };
+                let _ = writeln!(
+                    out,
+                    "  {} -> {} : {prefix}{}({})",
+                    t.from,
+                    t.to,
+                    msg.name(),
+                    args.join(", ")
+                );
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn collect_colors(a: &Automaton) -> Vec<u8> {
+    let mut colors: Vec<u8> = a.states().iter().flat_map(|s| s.colors.clone()).collect();
+    colors.sort_unstable();
+    colors.dedup();
+    colors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transition::Action;
+
+    const SAMPLE: &str = "\
+# Flickr client usage protocol
+automaton AFlickr color=1 {
+  network color=1 transport=tcp mode=sync mdl=XMLRPC.mdl
+  states s0 s1 s2 s3 s4
+  state b1 colors=1,2
+  initial s0
+  final s4
+  s0 -> s1 : !flickr.photos.search(api_key, text, per_page?)
+  s1 -> s2 : ?flickr.photos.search.reply(photos)
+  s2 -> s3 : !flickr.photos.getInfo(photo_id)
+  s3 -> b1 : ?flickr.photos.getInfo.reply(photo)
+  b1 -> s4 : gamma {
+    s4.q = s1.text
+    s4.max-results = s1.per_page
+  }
+}";
+
+    #[test]
+    fn parses_sample() {
+        let a = parse(SAMPLE).unwrap();
+        assert_eq!(a.name(), "AFlickr");
+        assert_eq!(a.color(), 1);
+        assert_eq!(a.states().len(), 6);
+        assert_eq!(a.transitions().len(), 5);
+        assert_eq!(a.initial(), Some("s0"));
+        assert!(a.is_final("s4"));
+        assert_eq!(a.network(1).unwrap().mdl, "XMLRPC.mdl");
+        // Optional field survives.
+        let t0 = &a.transitions()[0];
+        let msg = t0.action.message().unwrap();
+        assert!(!msg.field("per_page").unwrap().is_mandatory());
+        // Multi-line gamma preserved.
+        match &a.transitions()[4].action {
+            Action::Gamma { mtl } => {
+                assert!(mtl.contains("s4.q = s1.text"));
+                assert!(mtl.contains("max-results"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Bi-colored state parsed.
+        assert!(a.state("b1").unwrap().is_bicolored());
+    }
+
+    #[test]
+    fn roundtrip_print_parse() {
+        let a = parse(SAMPLE).unwrap();
+        let text = print(&a);
+        let b = parse(&text).unwrap();
+        assert_eq!(a.states().len(), b.states().len());
+        assert_eq!(a.transitions().len(), b.transitions().len());
+        assert_eq!(a.initial(), b.initial());
+        for (x, y) in a.transitions().iter().zip(b.transitions()) {
+            assert_eq!(x.action.label(), y.action.label());
+            assert_eq!(x.from, y.from);
+            assert_eq!(x.to, y.to);
+        }
+    }
+
+    #[test]
+    fn syntax_errors_carry_lines() {
+        let bad = "automaton X color=1 {\n  bogus line here\n}";
+        match parse(bad) {
+            Err(AutomatonError::DslSyntax { line, .. }) => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_missing_brace_and_header() {
+        assert!(matches!(
+            parse("automaton X color=1 {\n initial s0\n"),
+            Err(AutomatonError::DslSyntax { .. })
+        ));
+        assert!(matches!(
+            parse("not-an-automaton {\n}"),
+            Err(AutomatonError::DslSyntax { .. })
+        ));
+        assert!(matches!(parse(""), Err(AutomatonError::DslSyntax { .. })));
+    }
+
+    #[test]
+    fn rejects_unknown_transition_state() {
+        let bad = "automaton X color=1 {\n  states s0\n  initial s0\n  final s0\n  s0 -> s9 : !m\n}";
+        assert!(matches!(
+            parse(bad),
+            Err(AutomatonError::UnknownState { .. })
+        ));
+    }
+
+    #[test]
+    fn gamma_without_body() {
+        let text = "automaton X color=1 {\n  states s0 s1\n  initial s0\n  final s1\n  s0 -> s1 : gamma\n}";
+        let a = parse(text).unwrap();
+        assert!(a.transitions()[0].action.is_gamma());
+    }
+
+    #[test]
+    fn validation_runs_on_parse() {
+        let unreachable = "automaton X color=1 {\n  states s0 s1 s2\n  initial s0\n  final s1\n  s0 -> s1 : !m\n}";
+        assert!(matches!(
+            parse(unreachable),
+            Err(AutomatonError::UnreachableState { .. })
+        ));
+    }
+}

@@ -1,0 +1,89 @@
+use std::fmt;
+
+/// Errors produced when building, validating or merging automata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AutomatonError {
+    /// A transition or marker references a state that does not exist.
+    UnknownState {
+        /// The automaton involved.
+        automaton: String,
+        /// The missing state id.
+        state: String,
+    },
+    /// The automaton has no initial state.
+    NoInitialState {
+        /// The automaton involved.
+        automaton: String,
+    },
+    /// The automaton has no final (accepting) state.
+    NoFinalState {
+        /// The automaton involved.
+        automaton: String,
+    },
+    /// A state can never be reached from the initial state.
+    UnreachableState {
+        /// The automaton involved.
+        automaton: String,
+        /// The unreachable state id.
+        state: String,
+    },
+    /// No final state is reachable from the initial state.
+    NoPathToFinal {
+        /// The automaton involved.
+        automaton: String,
+    },
+    /// A state id was declared twice.
+    DuplicateState {
+        /// The automaton involved.
+        automaton: String,
+        /// The duplicated state id.
+        state: String,
+    },
+    /// Two automata could not be merged.
+    NotMergeable {
+        /// Human-readable reason, naming the operation that failed to
+        /// intertwine or be satisfied from history.
+        reason: String,
+    },
+    /// The automaton DSL text was malformed.
+    DslSyntax {
+        /// Description of the problem.
+        message: String,
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for AutomatonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutomatonError::UnknownState { automaton, state } => {
+                write!(f, "automaton `{automaton}` has no state `{state}`")
+            }
+            AutomatonError::NoInitialState { automaton } => {
+                write!(f, "automaton `{automaton}` has no initial state")
+            }
+            AutomatonError::NoFinalState { automaton } => {
+                write!(f, "automaton `{automaton}` has no final state")
+            }
+            AutomatonError::UnreachableState { automaton, state } => {
+                write!(f, "state `{state}` of `{automaton}` is unreachable")
+            }
+            AutomatonError::NoPathToFinal { automaton } => {
+                write!(f, "no final state of `{automaton}` is reachable")
+            }
+            AutomatonError::DuplicateState { automaton, state } => {
+                write!(f, "state `{state}` declared twice in `{automaton}`")
+            }
+            AutomatonError::NotMergeable { reason } => {
+                write!(f, "automata are not mergeable: {reason}")
+            }
+            AutomatonError::DslSyntax { message, line } => {
+                write!(f, "automaton dsl syntax error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AutomatonError {}

@@ -1,0 +1,57 @@
+//! k-colored automata for the Starlink interoperability framework.
+//!
+//! Paper §3 models both *API usage protocols* (application behaviour) and
+//! *middleware protocols* as automata whose transitions send (`!m`) or
+//! receive (`?m`) abstract messages. Two such automata, each painted with
+//! a color `k`, can be **merged** (`A¹ ⊕ A²`, Def. 7/8) into a k-colored
+//! automaton whose **γ-transitions** jump between colors while applying
+//! data transformations — the model a Starlink mediator executes.
+//!
+//! This crate provides:
+//!
+//! * [`Automaton`] — states, send/receive/γ transitions, initial/final
+//!   state sets, per-color network semantics (Fig. 4),
+//! * validation and reachability analysis,
+//! * the **intertwining** analysis of Def. 5 and the automatic merge
+//!   construction ([`merge::intertwine`]) with strong/weak classification
+//!   (§3.3) — the paper's §6 names automatic merge generation as emerging
+//!   work; this reproduction implements it for the sequential
+//!   request/response protocols the case study uses,
+//! * a [`MergeBuilder`](merge::MergeBuilder) for hand-constructed merges
+//!   (the paper's primary workflow),
+//! * a textual DSL ([`dsl`]) standing in for the paper's XML-based
+//!   automaton language, plus DOT export for visualisation.
+//!
+//! # Example
+//!
+//! ```
+//! use starlink_automata::{Automaton, Action};
+//! use starlink_message::AbstractMessage;
+//!
+//! let mut a = Automaton::new("AddClient", 1);
+//! a.add_state("A1");
+//! a.add_state("A2");
+//! a.set_initial("A1")?;
+//! a.add_final("A2")?;
+//! a.add_send("A1", "A2", AbstractMessage::new("Add"))?;
+//! a.validate()?;
+//! assert_eq!(a.transitions_from("A1").count(), 1);
+//! # Ok::<(), starlink_automata::AutomatonError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod automaton;
+pub mod dsl;
+mod error;
+pub mod merge;
+mod transition;
+
+pub use automaton::{linear_usage_protocol, Automaton, State};
+pub use error::AutomatonError;
+pub use merge::{MergeClass, MergeReport};
+pub use transition::{Action, InteractionMode, NetworkSemantics, Transition};
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, AutomatonError>;

@@ -1,0 +1,964 @@
+//! Merging API usage protocols: the `⊕` operator of paper Def. 7/8.
+//!
+//! A mediator between applications A¹ and A² executes the *merged*
+//! automaton `A¹ ⊕ A²`: a k-colored automaton that alternates between the
+//! client-facing color (1) and the service-facing color (2), crossing via
+//! **γ-transitions** at bi-colored states where MTL translations run.
+//!
+//! Two construction paths are provided:
+//!
+//! * [`MergeBuilder`] — the paper's primary workflow ("currently Starlink
+//!   developers construct the merged automata", §6): the developer states
+//!   which operations intertwine and supplies the translation logic.
+//! * [`intertwine`] — automatic construction for sequential
+//!   request/response protocols, implementing the intertwining operator of
+//!   Def. 5 driven by a [`SemanticRegistry`]: operations whose requests
+//!   are semantically equivalent (over the message history `⇒`) are
+//!   intertwined; client operations with no counterpart are answered
+//!   locally from history when their reply is derivable (the Flickr
+//!   `getInfo` case); service operations the client never performs are
+//!   auto-invoked when their requests are derivable from history.
+//!
+//! The result is classified **strongly** or **weakly** merged per §3.3: a
+//! merge stays strong while every non-intertwined client operation's
+//! reply is semantically equivalent to replies already received from the
+//! service; otherwise it is weak (the mediator must answer with
+//! incomplete data).
+
+use crate::automaton::Automaton;
+use crate::error::AutomatonError;
+use crate::transition::Action;
+use crate::Result;
+use starlink_message::equiv::SemanticRegistry;
+use starlink_message::{AbstractMessage, Field};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Strong/weak classification of a merged automaton (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeClass {
+    /// Every non-intertwined client operation's reply is semantically
+    /// equivalent to data already received from the service.
+    Strong,
+    /// At least one non-intertwined reply cannot be fully derived from
+    /// service data; interoperation proceeds with degraded answers.
+    Weak,
+}
+
+/// Where in the intertwining pattern a γ-transition sits. Used to key
+/// custom MTL overrides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GammaKind {
+    /// Client request → service request translation.
+    Request,
+    /// Service reply → client reply translation.
+    Reply,
+    /// Local answer: client reply derived from history, no service call.
+    Local,
+}
+
+/// How one client operation was resolved by the merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpResolution {
+    /// Intertwined with the named service operation.
+    Intertwined {
+        /// Client request message name.
+        client_op: String,
+        /// Service request message name.
+        service_op: String,
+    },
+    /// Answered locally from history (extra/missing message mismatch).
+    AnsweredFromHistory {
+        /// Client request message name.
+        client_op: String,
+        /// Whether the reply was fully derivable (strong) or not (weak).
+        derivable: bool,
+    },
+    /// A service operation auto-invoked by the mediator (one-to-many
+    /// mismatch: the service needs it, the client never asks).
+    AutoInvoked {
+        /// Service request message name.
+        service_op: String,
+    },
+}
+
+/// The outcome of a merge: the automaton plus analysis metadata.
+#[derive(Debug, Clone)]
+pub struct MergeReport {
+    /// Strong or weak classification.
+    pub class: MergeClass,
+    /// Resolution of every operation, in merge order.
+    pub resolutions: Vec<OpResolution>,
+}
+
+impl MergeReport {
+    /// Number of intertwined operation pairs.
+    pub fn intertwined_count(&self) -> usize {
+        self.resolutions
+            .iter()
+            .filter(|r| matches!(r, OpResolution::Intertwined { .. }))
+            .count()
+    }
+}
+
+/// Options controlling automatic merge construction.
+#[derive(Debug, Clone, Default)]
+pub struct MergeOptions {
+    /// Custom MTL programs, keyed by `(client or service op name, kind)`.
+    /// When absent, a default field-mapping program is generated from the
+    /// semantic registry.
+    pub mtl_overrides: HashMap<(String, GammaKind), String>,
+}
+
+impl MergeOptions {
+    /// Registers a custom MTL program for a γ-transition.
+    pub fn with_mtl(
+        mut self,
+        op: impl Into<String>,
+        kind: GammaKind,
+        mtl: impl Into<String>,
+    ) -> MergeOptions {
+        self.mtl_overrides.insert((op.into(), kind), mtl.into());
+        self
+    }
+}
+
+/// One `!req … ?rep` operation extracted from a linear usage protocol.
+#[derive(Debug, Clone)]
+struct Op {
+    request: AbstractMessage,
+    reply: AbstractMessage,
+}
+
+/// Extracts the operation sequence from a linear automaton
+/// (`!op ?rv !op ?rv …`).
+fn linear_ops(a: &Automaton) -> Result<Vec<Op>> {
+    let initial = a.initial().ok_or_else(|| AutomatonError::NoInitialState {
+        automaton: a.name().to_owned(),
+    })?;
+    let mut ops = Vec::new();
+    let mut current = initial;
+    loop {
+        let outgoing: Vec<_> = a.transitions_from(current).collect();
+        if outgoing.is_empty() {
+            break;
+        }
+        if outgoing.len() > 1 {
+            return Err(AutomatonError::NotMergeable {
+                reason: format!(
+                    "automatic merge requires sequential protocols; state `{current}` of `{}` branches (use MergeBuilder)",
+                    a.name()
+                ),
+            });
+        }
+        let send = outgoing[0];
+        let request = match &send.action {
+            Action::Send(m) => m.clone(),
+            other => {
+                return Err(AutomatonError::NotMergeable {
+                    reason: format!(
+                        "expected a send at `{current}` of `{}`, found {}",
+                        a.name(),
+                        other.label()
+                    ),
+                })
+            }
+        };
+        let mid = send.to.as_str();
+        let next: Vec<_> = a.transitions_from(mid).collect();
+        if next.len() != 1 {
+            return Err(AutomatonError::NotMergeable {
+                reason: format!(
+                    "expected exactly one reply after `!{}` in `{}`",
+                    request.name(),
+                    a.name()
+                ),
+            });
+        }
+        let reply = match &next[0].action {
+            Action::Receive(m) => m.clone(),
+            other => {
+                return Err(AutomatonError::NotMergeable {
+                    reason: format!(
+                        "expected a receive after `!{}` in `{}`, found {}",
+                        request.name(),
+                        a.name(),
+                        other.label()
+                    ),
+                })
+            }
+        };
+        ops.push(Op { request, reply });
+        current = next[0].to.as_str();
+    }
+    Ok(ops)
+}
+
+/// Incrementally constructs a merged k-colored automaton using the
+/// 6-state intertwining pattern of Fig. 3 and the local-answer pattern of
+/// Fig. 10.
+///
+/// The client-facing color is the first automaton's, the service-facing
+/// color the second's. MTL programs attached to γ-transitions use
+/// state-qualified references (`m3.field = m1.field`), matching the
+/// paper's `S22.Msg → X = S21.Msg → X` notation.
+#[derive(Debug)]
+pub struct MergeBuilder {
+    merged: Automaton,
+    client_color: u8,
+    service_color: u8,
+    current: String,
+    next_id: usize,
+    /// message name → merged state at which it is observed (for MTL
+    /// generation and history lookups).
+    observed: HashMap<String, String>,
+    resolutions: Vec<OpResolution>,
+    weak: bool,
+}
+
+impl MergeBuilder {
+    /// Starts a merge of two colored automata.
+    pub fn new(name: impl Into<String>, client_color: u8, service_color: u8) -> MergeBuilder {
+        let mut merged = Automaton::new(name, client_color);
+        let current = merged.add_state("m0");
+        merged.set_initial("m0").expect("state m0 was just added");
+        MergeBuilder {
+            merged,
+            client_color,
+            service_color,
+            current,
+            next_id: 1,
+            observed: HashMap::new(),
+            resolutions: Vec::new(),
+            weak: false,
+        }
+    }
+
+    fn fresh(&mut self, colors: Vec<u8>) -> String {
+        let id = format!("m{}", self.next_id);
+        self.next_id += 1;
+        self.merged.add_colored_state(id.clone(), colors);
+        id
+    }
+
+    /// The merged state at which `message_name` was most recently
+    /// observed, if any.
+    pub fn observed_at(&self, message_name: &str) -> Option<&str> {
+        self.observed.get(message_name).map(String::as_str)
+    }
+
+    /// Appends the full intertwining pattern for one operation pair:
+    ///
+    /// `?c_req → γ(mtl_request) → !s_req → ?s_rep → γ(mtl_reply) → !c_rep`
+    ///
+    /// # Errors
+    ///
+    /// Never fails on a well-formed builder; returns [`AutomatonError`]
+    /// if internal state construction is violated.
+    pub fn intertwined(
+        &mut self,
+        c_req: AbstractMessage,
+        c_rep: AbstractMessage,
+        s_req: AbstractMessage,
+        s_rep: AbstractMessage,
+        mtl_request: impl Into<String>,
+        mtl_reply: impl Into<String>,
+    ) -> Result<&mut MergeBuilder> {
+        // Deterministic id scheme (relied on by `intertwine` for MTL
+        // generation): a=+0 recv [cc,sc], b=+1 compose-request [sc],
+        // c=+2 sent [sc], wait=+3 reply received [sc,cc],
+        // compose=+4 compose-reply [cc], done=+5 [cc].
+        let cc = self.client_color;
+        let sc = self.service_color;
+        let a = self.fresh(vec![cc, sc]);
+        let b = self.fresh(vec![sc]);
+        let c = self.fresh(vec![sc]);
+        let wait = self.fresh(vec![sc, cc]);
+        let compose = self.fresh(vec![cc]);
+        let done = self.fresh(vec![cc]);
+        self.observed.insert(c_req.name().to_owned(), a.clone());
+        self.observed.insert(s_rep.name().to_owned(), wait.clone());
+        self.resolutions.push(OpResolution::Intertwined {
+            client_op: c_req.name().to_owned(),
+            service_op: s_req.name().to_owned(),
+        });
+        let from = self.current.clone();
+        self.merged.add_receive(&from, &a, c_req)?;
+        self.merged.add_gamma(&a, &b, mtl_request)?;
+        self.merged.add_send(&b, &c, s_req)?;
+        self.merged.add_receive(&c, &wait, s_rep)?;
+        self.merged.add_gamma(&wait, &compose, mtl_reply)?;
+        self.merged.add_send(&compose, &done, c_rep)?;
+        self.current = done;
+        Ok(self)
+    }
+
+    /// Appends the local-answer pattern (extra/missing message mismatch,
+    /// Fig. 10): `?c_req → γ(mtl) → !c_rep`, no service interaction.
+    ///
+    /// `derivable` states whether the reply is fully derivable from
+    /// history (keeps the merge strong) or not (demotes it to weak).
+    ///
+    /// # Errors
+    ///
+    /// Never fails on a well-formed builder.
+    pub fn local_answer(
+        &mut self,
+        c_req: AbstractMessage,
+        c_rep: AbstractMessage,
+        mtl: impl Into<String>,
+        derivable: bool,
+    ) -> Result<&mut MergeBuilder> {
+        let cc = self.client_color;
+        let recv = self.fresh(vec![cc]);
+        let compose = self.fresh(vec![cc]);
+        let done = self.fresh(vec![cc]);
+        self.observed.insert(c_req.name().to_owned(), recv.clone());
+        self.resolutions.push(OpResolution::AnsweredFromHistory {
+            client_op: c_req.name().to_owned(),
+            derivable,
+        });
+        if !derivable {
+            self.weak = true;
+        }
+        let from = self.current.clone();
+        self.merged.add_receive(&from, &recv, c_req)?;
+        self.merged.add_gamma(&recv, &compose, mtl)?;
+        self.merged.add_send(&compose, &done, c_rep)?;
+        self.current = done;
+        Ok(self)
+    }
+
+    /// Appends a mediator-initiated service invocation (one-to-many
+    /// mismatch): `γ(mtl) → !s_req → ?s_rep → γ()`, returning to the
+    /// client color without any client interaction.
+    ///
+    /// # Errors
+    ///
+    /// Never fails on a well-formed builder.
+    pub fn auto_invoke(
+        &mut self,
+        s_req: AbstractMessage,
+        s_rep: AbstractMessage,
+        mtl_request: impl Into<String>,
+    ) -> Result<&mut MergeBuilder> {
+        let cc = self.client_color;
+        let sc = self.service_color;
+        // The γ target is where the service request is composed and sent
+        // from: its *primary* color must be the service color (the engine
+        // routes sends by a state's first color).
+        let a = self.fresh(vec![sc, cc]);
+        let b = self.fresh(vec![sc]);
+        let c = self.fresh(vec![sc, cc]);
+        let d = self.fresh(vec![cc]);
+        self.resolutions.push(OpResolution::AutoInvoked {
+            service_op: s_req.name().to_owned(),
+        });
+        let from = self.current.clone();
+        self.merged.add_gamma(&from, &a, mtl_request)?;
+        self.merged.add_send(&a, &b, s_req)?;
+        self.merged.add_receive(&b, &c, s_rep.clone())?;
+        self.observed.insert(s_rep.name().to_owned(), c.clone());
+        self.merged.add_gamma(&c, &d, "")?;
+        self.current = d;
+        Ok(self)
+    }
+
+    /// Finishes the merge: marks the current state final and validates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Automaton::validate`] failures and rejects merges
+    /// with no intertwined pair (Def. 7 requires one).
+    pub fn finish(mut self) -> Result<(Automaton, MergeReport)> {
+        let current = self.current.clone();
+        self.merged.add_final(&current)?;
+        if !self
+            .resolutions
+            .iter()
+            .any(|r| matches!(r, OpResolution::Intertwined { .. }))
+        {
+            return Err(AutomatonError::NotMergeable {
+                reason: "no operation pair could be intertwined (Def. 7)".into(),
+            });
+        }
+        self.merged.validate()?;
+        let class = if self.weak {
+            MergeClass::Weak
+        } else {
+            MergeClass::Strong
+        };
+        Ok((
+            self.merged,
+            MergeReport {
+                class,
+                resolutions: self.resolutions,
+            },
+        ))
+    }
+
+    /// Access to the automaton under construction (for attaching network
+    /// semantics before `finish`).
+    pub fn automaton_mut(&mut self) -> &mut Automaton {
+        &mut self.merged
+    }
+}
+
+/// Generates the default MTL field-mapping program for a γ-transition:
+/// for every mandatory field of `target` (to be composed at state
+/// `target_state`), finds a semantically equivalent field among the
+/// `sources` (message name → merged state where it was observed) and
+/// emits `targetstate.field = sourcestate.sourcefield`.
+pub fn default_mtl(
+    reg: &SemanticRegistry,
+    target: &AbstractMessage,
+    target_state: &str,
+    sources: &[(&AbstractMessage, &str)],
+) -> String {
+    let mut out = String::new();
+    for field in target.mandatory_fields() {
+        let mut found = None;
+        for (src_msg, src_state) in sources {
+            if let Some(src_field) = reg.find_equivalent(src_msg, field) {
+                found = Some((src_field.label().to_owned(), (*src_state).to_owned()));
+                break;
+            }
+        }
+        if let Some((src_label, src_state)) = found {
+            let _ = writeln!(
+                out,
+                "{target_state}.{} = {src_state}.{src_label}",
+                field.label()
+            );
+        }
+    }
+    out
+}
+
+/// Checks whether every mandatory field of `target` is derivable from the
+/// given source messages (Def. 2 applied across a history).
+fn derivable(
+    reg: &SemanticRegistry,
+    target: &AbstractMessage,
+    sources: &[(&AbstractMessage, &str)],
+) -> bool {
+    target.mandatory_fields().all(|f| {
+        sources
+            .iter()
+            .any(|(m, _)| reg.find_equivalent(m, f).is_some())
+    })
+}
+
+/// Automatically merges two *linear* API usage protocols (the shape of
+/// Fig. 2) into a k-colored mediator automaton (Fig. 3), resolving
+/// ordering, extra/missing-message and one-to-many mismatches via the
+/// semantic registry.
+///
+/// `client` is the usage protocol of the application whose requests the
+/// mediator will receive; `service` is the protocol the mediator replays
+/// against the real service.
+///
+/// # Errors
+///
+/// [`AutomatonError::NotMergeable`] when a client operation can neither
+/// be intertwined nor answered from history, when a service operation is
+/// skipped but not derivable, or when no pair intertwines at all
+/// (Def. 7). Non-linear automata are rejected with a pointer to
+/// [`MergeBuilder`].
+pub fn intertwine(
+    client: &Automaton,
+    service: &Automaton,
+    reg: &SemanticRegistry,
+    options: &MergeOptions,
+) -> Result<(Automaton, MergeReport)> {
+    let client_ops = linear_ops(client)?;
+    let service_ops = linear_ops(service)?;
+    let mut builder = MergeBuilder::new(
+        format!("{}+{}", client.name(), service.name()),
+        client.color(),
+        service.color(),
+    );
+    // Observed application messages (name → template) for derivability
+    // analysis, alongside the merged state at which each lands.
+    let mut history: Vec<(AbstractMessage, String)> = Vec::new();
+    let mut s_idx = 0usize;
+
+    for cop in &client_ops {
+        // Find the next service op with an equivalent request, allowing
+        // skips over service ops that are themselves derivable from
+        // history (ordering / one-to-many mismatches).
+        let mut matched: Option<usize> = None;
+        for (j, sop) in service_ops.iter().enumerate().skip(s_idx) {
+            if reg.message_names_equivalent(cop.request.name(), sop.request.name()) {
+                matched = Some(j);
+                break;
+            }
+        }
+        match matched {
+            Some(j) => {
+                // Auto-invoke any skipped service ops first.
+                for sop in &service_ops[s_idx..j] {
+                    let sources: Vec<(&AbstractMessage, &str)> = history
+                        .iter()
+                        .map(|(m, s)| (m, s.as_str()))
+                        .collect();
+                    if !derivable(reg, &sop.request, &sources) {
+                        return Err(AutomatonError::NotMergeable {
+                            reason: format!(
+                                "service operation `{}` is required before `{}` but its request is not derivable from history",
+                                sop.request.name(),
+                                cop.request.name()
+                            ),
+                        });
+                    }
+                    let mtl = options
+                        .mtl_overrides
+                        .get(&(sop.request.name().to_owned(), GammaKind::Request))
+                        .cloned()
+                        .unwrap_or_else(|| {
+                            // Target state: the bi-colored γ target (next
+                            // fresh id is current next_id).
+                            let target_state = format!("m{}", builder.next_id);
+                            default_mtl(reg, &sop.request, &target_state, &sources)
+                        });
+                    builder.auto_invoke(sop.request.clone(), sop.reply.clone(), mtl)?;
+                    let state = builder
+                        .observed_at(sop.reply.name())
+                        .expect("auto_invoke records the reply")
+                        .to_owned();
+                    history.push((sop.reply.clone(), state));
+                }
+                s_idx = j + 1;
+                let sop = &service_ops[j];
+
+                // Request-side Def. 2 check: the service request must be
+                // derivable from the client request plus history.
+                let mut sources: Vec<(&AbstractMessage, &str)> = vec![(&cop.request, "")];
+                sources.extend(history.iter().map(|(m, s)| (m, s.as_str())));
+                if !derivable(reg, &sop.request, &sources) {
+                    return Err(AutomatonError::NotMergeable {
+                        reason: format!(
+                            "request `{}` is not semantically equivalent to `{}` plus history (Def. 2)",
+                            sop.request.name(),
+                            cop.request.name()
+                        ),
+                    });
+                }
+
+                // γ target states for MTL generation: receive lands at
+                // m{next}, request-γ target is m{next+1}; the reply wait
+                // state is m{next+3}? — compute from the builder's
+                // deterministic id scheme documented in `intertwined`:
+                // a=+0, b=+1, c=+2, wait=+3, compose=+4, done=+5.
+                let base = builder.next_id;
+                let recv_state = format!("m{base}");
+                let req_target = format!("m{}", base + 1);
+                let wait_state = format!("m{}", base + 3);
+                let rep_target = format!("m{}", base + 4);
+
+                let mtl_request = options
+                    .mtl_overrides
+                    .get(&(cop.request.name().to_owned(), GammaKind::Request))
+                    .cloned()
+                    .unwrap_or_else(|| {
+                        let mut srcs: Vec<(&AbstractMessage, &str)> =
+                            vec![(&cop.request, recv_state.as_str())];
+                        srcs.extend(history.iter().map(|(m, s)| (m, s.as_str())));
+                        default_mtl(reg, &sop.request, &req_target, &srcs)
+                    });
+                let mtl_reply = options
+                    .mtl_overrides
+                    .get(&(cop.request.name().to_owned(), GammaKind::Reply))
+                    .cloned()
+                    .unwrap_or_else(|| {
+                        let mut srcs: Vec<(&AbstractMessage, &str)> =
+                            vec![(&sop.reply, wait_state.as_str())];
+                        srcs.extend(history.iter().map(|(m, s)| (m, s.as_str())));
+                        default_mtl(reg, &cop.reply, &rep_target, &srcs)
+                    });
+                builder.intertwined(
+                    cop.request.clone(),
+                    cop.reply.clone(),
+                    sop.request.clone(),
+                    sop.reply.clone(),
+                    mtl_request,
+                    mtl_reply,
+                )?;
+                history.push((cop.request.clone(), recv_state));
+                history.push((sop.reply.clone(), wait_state));
+            }
+            None => {
+                // Extra/missing-message mismatch: answer from history.
+                let sources: Vec<(&AbstractMessage, &str)> = history
+                    .iter()
+                    .map(|(m, s)| (m, s.as_str()))
+                    .collect();
+                let recv_state = format!("m{}", builder.next_id);
+                let compose_state = format!("m{}", builder.next_id + 1);
+                let fully = derivable(reg, &cop.reply, &sources);
+                let mtl = options
+                    .mtl_overrides
+                    .get(&(cop.request.name().to_owned(), GammaKind::Local))
+                    .cloned()
+                    .unwrap_or_else(|| {
+                        let mut srcs: Vec<(&AbstractMessage, &str)> =
+                            vec![(&cop.request, recv_state.as_str())];
+                        srcs.extend(sources.iter().copied());
+                        default_mtl(reg, &cop.reply, &compose_state, &srcs)
+                    });
+                builder.local_answer(cop.request.clone(), cop.reply.clone(), mtl, fully)?;
+                history.push((cop.request.clone(), recv_state));
+            }
+        }
+    }
+    // Trailing service ops must be derivable, else the service protocol
+    // cannot reach its final state (Def. 7).
+    for sop in &service_ops[s_idx..] {
+        let sources: Vec<(&AbstractMessage, &str)> =
+            history.iter().map(|(m, s)| (m, s.as_str())).collect();
+        if !derivable(reg, &sop.request, &sources) {
+            return Err(AutomatonError::NotMergeable {
+                reason: format!(
+                    "service operation `{}` is never performed and not derivable from history",
+                    sop.request.name()
+                ),
+            });
+        }
+        let target_state = format!("m{}", builder.next_id);
+        let mtl = options
+            .mtl_overrides
+            .get(&(sop.request.name().to_owned(), GammaKind::Request))
+            .cloned()
+            .unwrap_or_else(|| default_mtl(reg, &sop.request, &target_state, &sources));
+        builder.auto_invoke(sop.request.clone(), sop.reply.clone(), mtl)?;
+        let state = builder
+            .observed_at(sop.reply.name())
+            .expect("auto_invoke records the reply")
+            .to_owned();
+        history.push((sop.reply.clone(), state));
+    }
+    builder.finish()
+}
+
+
+/// Folds a *linear* merged automaton (one traversal of the client's
+/// session, Fig. 3) into a **service loop**: the states between operation
+/// patterns — the initial state and every state reached after a reply is
+/// sent to the client — collapse into a single hub, so the deployed
+/// mediator serves operations in any order and any number of times. The
+/// hub is the only accepting state.
+///
+/// MTL state references are unaffected: they name receive/compose/wait
+/// states, never the spine states being folded.
+///
+/// # Errors
+///
+/// Construction errors if the input automaton is malformed.
+pub fn into_service_loop(merged: &Automaton) -> Result<Automaton> {
+    let initial = merged
+        .initial()
+        .ok_or_else(|| AutomatonError::NoInitialState {
+            automaton: merged.name().to_owned(),
+        })?
+        .to_owned();
+    // Spine = initial + targets of client-reply sends + finals.
+    let mut spine: std::collections::HashSet<String> =
+        std::collections::HashSet::new();
+    spine.insert(initial.clone());
+    for f in merged.finals() {
+        spine.insert(f.to_owned());
+    }
+    for t in merged.transitions() {
+        if let Action::Send(m) = &t.action {
+            if m.name().ends_with(".reply") {
+                spine.insert(t.to.clone());
+            }
+        }
+    }
+    let hub = initial;
+    let fold = |id: &str| -> String {
+        if spine.contains(id) {
+            hub.clone()
+        } else {
+            id.to_owned()
+        }
+    };
+    let mut out = Automaton::new(format!("{}-service", merged.name()), merged.color());
+    for s in merged.states() {
+        if !spine.contains(&s.id) {
+            out.add_colored_state(s.id.clone(), s.colors.clone());
+        }
+    }
+    out.add_colored_state(
+        hub.clone(),
+        merged
+            .state(&hub)
+            .map(|s| s.colors.clone())
+            .unwrap_or_else(|| vec![merged.color()]),
+    );
+    out.set_initial(&hub)?;
+    out.add_final(&hub)?;
+    for t in merged.transitions() {
+        out.add_transition(crate::transition::Transition {
+            from: fold(&t.from),
+            to: fold(&t.to),
+            action: t.action.clone(),
+            network: t.network.clone(),
+        })?;
+    }
+    out.validate()?;
+    Ok(out)
+}
+
+/// Convenience: a message template with the given mandatory field labels
+/// (used when declaring usage protocols whose values are runtime data).
+pub fn template(name: &str, fields: &[&str]) -> AbstractMessage {
+    let mut m = AbstractMessage::new(name);
+    for f in fields {
+        m.push_field(Field::new(*f, starlink_message::Value::Null));
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::linear_usage_protocol;
+
+    fn registry() -> SemanticRegistry {
+        let mut reg = SemanticRegistry::new();
+        reg.declare_message_concept("search", ["flickr.photos.search", "picasa.photos.search"]);
+        reg.declare_message_concept(
+            "comments",
+            ["flickr.photos.comments.getList", "picasa.getComments"],
+        );
+        reg.declare_field_concept("keyword", ["text", "q"]);
+        reg.declare_field_concept("limit", ["per_page", "max-results"]);
+        reg.declare_field_concept("photos", ["photos", "entries"]);
+        reg.declare_field_concept("photo-ref", ["photo_id", "entry_id"]);
+        reg.declare_field_concept("comments", ["comments", "commentEntries"]);
+        reg
+    }
+
+    fn flickr() -> Automaton {
+        linear_usage_protocol(
+            "AFlickr",
+            1,
+            &[
+                (
+                    template("flickr.photos.search", &["text", "per_page"]),
+                    template("flickr.photos.search.reply", &["photos"]),
+                ),
+                (
+                    template("flickr.photos.getInfo", &["photo_id"]),
+                    template("flickr.photos.getInfo.reply", &["photos"]),
+                ),
+                (
+                    template("flickr.photos.comments.getList", &["photo_id"]),
+                    template("flickr.photos.comments.getList.reply", &["comments"]),
+                ),
+            ],
+        )
+    }
+
+    fn picasa() -> Automaton {
+        linear_usage_protocol(
+            "APicasa",
+            2,
+            &[
+                (
+                    template("picasa.photos.search", &["q", "max-results"]),
+                    template("picasa.photos.search.reply", &["entries"]),
+                ),
+                (
+                    template("picasa.getComments", &["entry_id"]),
+                    template("picasa.getComments.reply", &["commentEntries"]),
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn case_study_merge_is_strong() {
+        let (merged, report) =
+            intertwine(&flickr(), &picasa(), &registry(), &MergeOptions::default()).unwrap();
+        assert_eq!(report.class, MergeClass::Strong);
+        assert_eq!(report.intertwined_count(), 2);
+        assert!(report.resolutions.iter().any(|r| matches!(
+            r,
+            OpResolution::AnsweredFromHistory { client_op, derivable: true }
+                if client_op == "flickr.photos.getInfo"
+        )));
+        merged.validate().unwrap();
+        // Two intertwined ops → 4 bi-colored states; getInfo adds none.
+        let bicolored = merged.states().iter().filter(|s| s.is_bicolored()).count();
+        assert_eq!(bicolored, 4);
+        assert_eq!(merged.gamma_count(), 5); // 2 per intertwined + 1 local
+    }
+
+    #[test]
+    fn default_mtl_maps_equivalent_fields() {
+        let reg = registry();
+        let target = template("picasa.photos.search", &["q", "max-results"]);
+        let source = template("flickr.photos.search", &["text", "per_page"]);
+        let mtl = default_mtl(&reg, &target, "m2", &[(&source, "m1")]);
+        assert!(mtl.contains("m2.q = m1.text"));
+        assert!(mtl.contains("m2.max-results = m1.per_page"));
+    }
+
+    #[test]
+    fn underivable_local_answer_demotes_to_weak() {
+        let mut reg = registry();
+        // getInfo's reply needs a field nothing provides.
+        let client = linear_usage_protocol(
+            "C",
+            1,
+            &[
+                (
+                    template("flickr.photos.search", &["text"]),
+                    template("flickr.photos.search.reply", &["photos"]),
+                ),
+                (
+                    template("flickr.photos.getInfo", &["photo_id"]),
+                    template("flickr.photos.getInfo.reply", &["exif_data"]),
+                ),
+            ],
+        );
+        let service = linear_usage_protocol(
+            "S",
+            2,
+            &[(
+                template("picasa.photos.search", &["q"]),
+                template("picasa.photos.search.reply", &["entries"]),
+            )],
+        );
+        reg.declare_field_concept("keyword", ["text", "q"]);
+        let (_, report) =
+            intertwine(&client, &service, &reg, &MergeOptions::default()).unwrap();
+        assert_eq!(report.class, MergeClass::Weak);
+    }
+
+    #[test]
+    fn no_intertwined_pair_is_not_mergeable() {
+        let reg = SemanticRegistry::new();
+        let client = linear_usage_protocol(
+            "C",
+            1,
+            &[(template("a.op", &[]), template("a.op.reply", &[]))],
+        );
+        let service = linear_usage_protocol(
+            "S",
+            2,
+            &[(template("b.unrelated", &["zz"]), template("b.unrelated.reply", &[]))],
+        );
+        let err = intertwine(&client, &service, &reg, &MergeOptions::default()).unwrap_err();
+        assert!(matches!(err, AutomatonError::NotMergeable { .. }));
+    }
+
+    #[test]
+    fn missing_request_fields_block_merge() {
+        let mut reg = SemanticRegistry::new();
+        reg.declare_message_concept("op", ["c.op", "s.op"]);
+        // Service request needs `token`; client provides nothing like it.
+        let client = linear_usage_protocol(
+            "C",
+            1,
+            &[(template("c.op", &["x"]), template("c.op.reply", &[]))],
+        );
+        let service = linear_usage_protocol(
+            "S",
+            2,
+            &[(template("s.op", &["token"]), template("s.op.reply", &[]))],
+        );
+        let err = intertwine(&client, &service, &reg, &MergeOptions::default()).unwrap_err();
+        match err {
+            AutomatonError::NotMergeable { reason } => {
+                assert!(reason.contains("Def. 2"), "reason: {reason}")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_service_op_auto_invoked_when_derivable() {
+        let mut reg = SemanticRegistry::new();
+        reg.declare_message_concept("op", ["c.op", "s.op"]);
+        reg.declare_field_concept("k", ["x", "y"]);
+        reg.declare_field_concept("ack", ["done", "fin"]);
+        let client = linear_usage_protocol(
+            "C",
+            1,
+            &[(template("c.op", &["x"]), template("c.op.reply", &["r"]))],
+        );
+        let service = linear_usage_protocol(
+            "S",
+            2,
+            &[
+                (template("s.op", &["y"]), template("s.op.reply", &["r"])),
+                // Trailing op derivable from history (`y` ≅ `x`).
+                (template("s.commit", &["y"]), template("s.commit.reply", &["fin"])),
+            ],
+        );
+        let (merged, report) =
+            intertwine(&client, &service, &reg, &MergeOptions::default()).unwrap();
+        assert!(report
+            .resolutions
+            .iter()
+            .any(|r| matches!(r, OpResolution::AutoInvoked { service_op } if service_op == "s.commit")));
+        merged.validate().unwrap();
+    }
+
+    #[test]
+    fn mtl_overrides_take_precedence() {
+        let options = MergeOptions::default().with_mtl(
+            "flickr.photos.search",
+            GammaKind::Request,
+            "custom-program",
+        );
+        let (merged, _) = intertwine(&flickr(), &picasa(), &registry(), &options).unwrap();
+        let has_custom = merged.transitions().iter().any(|t| {
+            matches!(&t.action, Action::Gamma { mtl } if mtl == "custom-program")
+        });
+        assert!(has_custom);
+    }
+
+    #[test]
+    fn branching_automata_rejected() {
+        let mut a = Automaton::new("B", 1);
+        a.add_state("s0");
+        a.add_state("s1");
+        a.add_state("s2");
+        a.set_initial("s0").unwrap();
+        a.add_final("s1").unwrap();
+        a.add_final("s2").unwrap();
+        a.add_send("s0", "s1", AbstractMessage::new("x")).unwrap();
+        a.add_send("s0", "s2", AbstractMessage::new("y")).unwrap();
+        let err = intertwine(&a, &picasa(), &registry(), &MergeOptions::default()).unwrap_err();
+        match err {
+            AutomatonError::NotMergeable { reason } => {
+                assert!(reason.contains("MergeBuilder"))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_records_observations() {
+        let mut b = MergeBuilder::new("M", 1, 2);
+        b.intertwined(
+            template("c.req", &[]),
+            template("c.rep", &[]),
+            template("s.req", &[]),
+            template("s.rep", &[]),
+            "",
+            "",
+        )
+        .unwrap();
+        assert!(b.observed_at("c.req").is_some());
+        assert!(b.observed_at("s.rep").is_some());
+        assert!(b.observed_at("zzz").is_none());
+        let (merged, report) = b.finish().unwrap();
+        assert_eq!(report.class, MergeClass::Strong);
+        merged.validate().unwrap();
+    }
+}

@@ -1,0 +1,190 @@
+use serde::{Deserialize, Serialize};
+use starlink_message::AbstractMessage;
+use std::fmt;
+
+/// Whether messages on a colored automaton are exchanged synchronously on
+/// one connection (RPC style) or asynchronously.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum InteractionMode {
+    /// Request and response travel on the same connection, blocking
+    /// (GIOP, SOAP-over-HTTP, XML-RPC — Fig. 4's `mode="sync"`).
+    #[default]
+    Sync,
+    /// Fire-and-forget / independently delivered messages.
+    Async,
+}
+
+/// Network semantics attached to a color of a k-colored automaton:
+/// "a transition in the k-colored automata attaches network semantics to
+/// describe the requirements of the network" (paper §4.2, Fig. 4).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkSemantics {
+    /// Transport protocol name understood by the network engine
+    /// (`"tcp"`, `"udp"`, `"memory"`).
+    pub transport: String,
+    /// Interaction mode.
+    pub mode: InteractionMode,
+    /// Name of the MDL spec describing this color's messages
+    /// (`"GIOP.mdl"` in Fig. 4); resolved by the model registry.
+    pub mdl: String,
+    /// Whether requests are sent by multicast (service discovery
+    /// protocols) rather than unicast.
+    pub multicast: bool,
+}
+
+impl NetworkSemantics {
+    /// Unicast, synchronous TCP semantics with the given MDL reference —
+    /// the common RPC shape.
+    pub fn tcp_sync(mdl: impl Into<String>) -> NetworkSemantics {
+        NetworkSemantics {
+            transport: "tcp".into(),
+            mode: InteractionMode::Sync,
+            mdl: mdl.into(),
+            multicast: false,
+        }
+    }
+
+    /// In-memory deterministic transport (testing).
+    pub fn memory_sync(mdl: impl Into<String>) -> NetworkSemantics {
+        NetworkSemantics {
+            transport: "memory".into(),
+            mode: InteractionMode::Sync,
+            mdl: mdl.into(),
+            multicast: false,
+        }
+    }
+}
+
+impl fmt::Display for NetworkSemantics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "transport_protocol=\"{}\" mode=\"{}\" mdl=\"{}\"{}",
+            self.transport,
+            match self.mode {
+                InteractionMode::Sync => "sync",
+                InteractionMode::Async => "async",
+            },
+            self.mdl,
+            if self.multicast { " multicast" } else { "" }
+        )
+    }
+}
+
+/// The action performed by a transition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Action {
+    /// `!m` — send the message (invoke an operation).
+    Send(AbstractMessage),
+    /// `?m` — receive the message (an invocation reply, or an incoming
+    /// request on the server/mediator side).
+    Receive(AbstractMessage),
+    /// A γ-transition between colors: no message crosses the network;
+    /// the attached translation program (MTL text, interpreted by the
+    /// runtime) maps data between semantically equivalent messages.
+    Gamma {
+        /// MTL program source executed when the transition fires.
+        mtl: String,
+    },
+}
+
+impl Action {
+    /// The message template carried by a send/receive action.
+    pub fn message(&self) -> Option<&AbstractMessage> {
+        match self {
+            Action::Send(m) | Action::Receive(m) => Some(m),
+            Action::Gamma { .. } => None,
+        }
+    }
+
+    /// The paper's notation: `!name`, `?name` or `γ`.
+    pub fn label(&self) -> String {
+        match self {
+            Action::Send(m) => format!("!{}", m.name()),
+            Action::Receive(m) => format!("?{}", m.name()),
+            Action::Gamma { .. } => "γ".to_owned(),
+        }
+    }
+
+    /// Whether this is a γ-transition.
+    pub fn is_gamma(&self) -> bool {
+        matches!(self, Action::Gamma { .. })
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A transition of a (possibly merged) automaton.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transition {
+    /// Source state id.
+    pub from: String,
+    /// Target state id.
+    pub to: String,
+    /// What happens when the transition fires.
+    pub action: Action,
+    /// Per-transition network override; when `None` the color's
+    /// [`NetworkSemantics`] applies.
+    pub network: Option<NetworkSemantics>,
+}
+
+impl Transition {
+    /// Creates a transition with no network override.
+    pub fn new(from: impl Into<String>, to: impl Into<String>, action: Action) -> Transition {
+        Transition {
+            from: from.into(),
+            to: to.into(),
+            action,
+            network: None,
+        }
+    }
+}
+
+impl fmt::Display for Transition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} --{}--> {}", self.from, self.action, self.to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_labels_match_paper_notation() {
+        let send = Action::Send(AbstractMessage::new("flickr.photos.search"));
+        let recv = Action::Receive(AbstractMessage::new("flickr.photos.search"));
+        let gamma = Action::Gamma { mtl: String::new() };
+        assert_eq!(send.label(), "!flickr.photos.search");
+        assert_eq!(recv.label(), "?flickr.photos.search");
+        assert_eq!(gamma.label(), "γ");
+        assert!(gamma.is_gamma());
+        assert!(!send.is_gamma());
+    }
+
+    #[test]
+    fn network_semantics_display_matches_fig4() {
+        let n = NetworkSemantics::tcp_sync("GIOP.mdl");
+        assert_eq!(
+            n.to_string(),
+            "transport_protocol=\"tcp\" mode=\"sync\" mdl=\"GIOP.mdl\""
+        );
+    }
+
+    #[test]
+    fn transition_display() {
+        let t = Transition::new("A1", "A2", Action::Send(AbstractMessage::new("GIOPRequest")));
+        assert_eq!(t.to_string(), "A1 --!GIOPRequest--> A2");
+    }
+
+    #[test]
+    fn message_accessor() {
+        let m = AbstractMessage::new("x");
+        assert_eq!(Action::Send(m.clone()).message(), Some(&m));
+        assert_eq!(Action::Gamma { mtl: "".into() }.message(), None);
+    }
+}

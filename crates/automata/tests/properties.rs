@@ -1,0 +1,154 @@
+//! Property-based tests for automata: DSL round trips, merge invariants,
+//! service-loop preservation.
+
+use proptest::prelude::*;
+use starlink_automata::merge::{intertwine, into_service_loop, template, MergeOptions};
+use starlink_automata::{dsl, linear_usage_protocol, Action, Automaton};
+use starlink_message::equiv::SemanticRegistry;
+use starlink_message::AbstractMessage;
+
+fn op_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,6}"
+}
+
+fn linear(names: &[String], color: u8, prefix: &str) -> Automaton {
+    let ops: Vec<(AbstractMessage, AbstractMessage)> = names
+        .iter()
+        .map(|n| {
+            (
+                template(&format!("{prefix}.{n}"), &["a"]),
+                template(&format!("{prefix}.{n}.reply"), &["r"]),
+            )
+        })
+        .collect();
+    linear_usage_protocol(&format!("A{prefix}"), color, &ops)
+}
+
+/// Distinct operation-name lists.
+fn op_names() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(op_name(), 1..6).prop_map(|mut v| {
+        v.sort();
+        v.dedup();
+        v
+    })
+}
+
+proptest! {
+    #[test]
+    fn linear_protocols_always_validate(names in op_names(), color in 1u8..9) {
+        let a = linear(&names, color, "x");
+        prop_assert!(a.validate().is_ok());
+        prop_assert_eq!(a.transitions().len(), names.len() * 2);
+    }
+
+    #[test]
+    fn dsl_roundtrip_preserves_structure(names in op_names()) {
+        let a = linear(&names, 1, "svc");
+        let text = dsl::print(&a);
+        let b = dsl::parse(&text).unwrap();
+        prop_assert_eq!(a.states().len(), b.states().len());
+        prop_assert_eq!(a.transitions().len(), b.transitions().len());
+        for (x, y) in a.transitions().iter().zip(b.transitions()) {
+            prop_assert_eq!(x.action.label(), y.action.label());
+        }
+    }
+
+    #[test]
+    fn identity_merge_intertwines_everything(names in op_names()) {
+        // The same ops on both sides (identical names) always merge
+        // strongly with every pair intertwined.
+        let client = linear(&names, 1, "app");
+        let service = linear(&names, 2, "app");
+        let (merged, report) = intertwine(
+            &client,
+            &service,
+            &SemanticRegistry::new(),
+            &MergeOptions::default(),
+        )
+        .unwrap();
+        prop_assert_eq!(report.intertwined_count(), names.len());
+        prop_assert!(merged.validate().is_ok());
+        // Structure: per op, 6 fresh states + the initial.
+        prop_assert_eq!(merged.states().len(), names.len() * 6 + 1);
+        prop_assert_eq!(merged.gamma_count(), names.len() * 2);
+    }
+
+    #[test]
+    fn merge_alternates_directions(names in op_names()) {
+        let client = linear(&names, 1, "app");
+        let service = linear(&names, 2, "app");
+        let (merged, _) = intertwine(
+            &client,
+            &service,
+            &SemanticRegistry::new(),
+            &MergeOptions::default(),
+        )
+        .unwrap();
+        // Walk the single path: actions must cycle
+        // receive, γ, send, receive, γ, send, …
+        let mut current = merged.initial().unwrap().to_owned();
+        let mut step = 0usize;
+        loop {
+            let outs: Vec<_> = merged.transitions_from(&current).collect();
+            if outs.is_empty() {
+                break;
+            }
+            prop_assert_eq!(outs.len(), 1);
+            let expected = match step % 3 {
+                0 => "receive",
+                1 => "gamma",
+                _ => "send",
+            };
+            let actual = match outs[0].action {
+                Action::Receive(_) => "receive",
+                Action::Gamma { .. } => "gamma",
+                Action::Send(_) => "send",
+            };
+            prop_assert_eq!(actual, expected, "step {}", step);
+            current = outs[0].to.clone();
+            step += 1;
+        }
+        prop_assert_eq!(step, names.len() * 6);
+    }
+
+    #[test]
+    fn service_loop_preserves_transitions(names in op_names()) {
+        let client = linear(&names, 1, "app");
+        let service = linear(&names, 2, "app");
+        let (merged, _) = intertwine(
+            &client,
+            &service,
+            &SemanticRegistry::new(),
+            &MergeOptions::default(),
+        )
+        .unwrap();
+        let looped = into_service_loop(&merged).unwrap();
+        prop_assert_eq!(looped.transitions().len(), merged.transitions().len());
+        // Spine states collapsed: one hub replaces (ops + 1) spine states.
+        prop_assert_eq!(looped.states().len(), merged.states().len() - names.len());
+        // The hub is initial, final, and the source of every op's entry.
+        let hub = looped.initial().unwrap();
+        prop_assert!(looped.is_final(hub));
+        prop_assert_eq!(looped.transitions_from(hub).count(), names.len());
+    }
+
+    #[test]
+    fn reachability_is_monotone(names in op_names()) {
+        let a = linear(&names, 1, "x");
+        let initial = a.initial().unwrap();
+        let from_initial = a.reachable_from(initial);
+        prop_assert_eq!(from_initial.len(), a.states().len());
+        // Reachability from any state is a subset.
+        for s in a.states() {
+            prop_assert!(a.reachable_from(&s.id).len() <= from_initial.len());
+        }
+    }
+
+    #[test]
+    fn dot_is_wellformed(names in op_names()) {
+        let a = linear(&names, 1, "x");
+        let dot = a.to_dot();
+        prop_assert!(dot.starts_with("digraph"));
+        prop_assert_eq!(dot.matches("->").count(), a.transitions().len() + 1); // +1 for __start
+    }
+}

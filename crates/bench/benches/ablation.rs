@@ -1,0 +1,136 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * **interpretation cost** — MTL programs are pre-parsed at mediator
+//!   construction; how much does that save vs parsing at every γ?
+//! * **variant-selection cost** — MDL codecs try message variants in
+//!   order; how does parse cost scale with the number of variants?
+//! * **layering cost** — the layered (HTTP + XML) codec vs the bare XML
+//!   document codec.
+//! * **bit- vs byte-aligned binary fields** — MDL field lengths are in
+//!   bits; what does sub-byte packing cost?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use starlink_mdl::{MdlCodec, MessageCodec};
+use starlink_message::{AbstractMessage, Direction, History, Value};
+use starlink_mtl::{MtlContext, MtlProgram, TranslationCache};
+use starlink_protocols::xmlrpc::{xmlrpc_codec, xmlrpc_document_codec};
+
+fn bench_mtl_preparse(c: &mut Criterion) {
+    let text = "out.a = s.a\nout.b = s.b\nout.c = concat(s.a, \"-\", s.b)";
+    let mut src = AbstractMessage::new("src");
+    src.set_field("a", Value::from("x"));
+    src.set_field("b", Value::from("y"));
+    let mut history = History::new();
+    history.record("s", Direction::Received, src);
+
+    let mut group = c.benchmark_group("ablation/mtl");
+    let preparsed = MtlProgram::parse(text).unwrap();
+    group.bench_function("preparsed-execute", |b| {
+        b.iter(|| {
+            let mut cache = TranslationCache::new();
+            let mut ctx = MtlContext::new(&history, &mut cache);
+            ctx.add_output("out", AbstractMessage::new("out"));
+            preparsed.execute(&mut ctx).unwrap();
+        });
+    });
+    group.bench_function("parse-every-gamma", |b| {
+        b.iter(|| {
+            let program = MtlProgram::parse(text).unwrap();
+            let mut cache = TranslationCache::new();
+            let mut ctx = MtlContext::new(&history, &mut cache);
+            ctx.add_output("out", AbstractMessage::new("out"));
+            program.execute(&mut ctx).unwrap();
+        });
+    });
+    group.finish();
+}
+
+/// Builds a binary spec with `n` variants discriminated by a Kind rule;
+/// the target message is the *last* variant (worst case for in-order
+/// variant search).
+fn many_variant_spec(n: usize) -> String {
+    let mut spec = String::new();
+    for i in 0..n {
+        spec.push_str(&format!(
+            "<Message:V{i}>\n<Rule:Kind={i}>\n<Kind:8>\n<Payload:eof:text>\n<End:Message>\n"
+        ));
+    }
+    spec
+}
+
+fn bench_variant_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/variant-selection");
+    for n in [1usize, 4, 16, 64] {
+        let codec = MdlCodec::from_text(&many_variant_spec(n)).unwrap();
+        let mut msg = AbstractMessage::new(format!("V{}", n - 1));
+        msg.set_field("Payload", Value::from("hello"));
+        let wire = codec.compose(&msg).unwrap();
+        group.bench_with_input(BenchmarkId::new("worst-case-parse", n), &n, |b, _| {
+            b.iter(|| codec.parse(&wire).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_layering(c: &mut Criterion) {
+    let bare = xmlrpc_document_codec().unwrap();
+    let layered = xmlrpc_codec("h.example.org", "/rpc").unwrap();
+    let mut msg = AbstractMessage::new("MethodCall");
+    msg.set_field("MethodName", Value::from("flickr.photos.search"));
+    msg.set_field(
+        "Params",
+        Value::Array(vec![Value::Struct(vec![starlink_message::Field::new(
+            "value",
+            Value::from("tree"),
+        )])]),
+    );
+    let bare_wire = bare.compose(&msg).unwrap();
+    let layered_wire = layered.compose(&msg).unwrap();
+
+    let mut group = c.benchmark_group("ablation/layering");
+    group.bench_function("xml-document-only/parse", |b| {
+        b.iter(|| bare.parse(&bare_wire).unwrap())
+    });
+    group.bench_function("http-plus-xml/parse", |b| {
+        b.iter(|| layered.parse(&layered_wire).unwrap())
+    });
+    group.bench_function("xml-document-only/compose", |b| {
+        b.iter(|| bare.compose(&msg).unwrap())
+    });
+    group.bench_function("http-plus-xml/compose", |b| {
+        b.iter(|| layered.compose(&msg).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_bit_packing(c: &mut Criterion) {
+    // 8 single-bit flags packed into one byte vs 8 byte-wide fields.
+    let packed_spec = "<Message:P>\n<F0:1><F1:1><F2:1><F3:1><F4:1><F5:1><F6:1><F7:1>\n<End:Message>";
+    let byte_spec = "<Message:P>\n<F0:8><F1:8><F2:8><F3:8><F4:8><F5:8><F6:8><F7:8>\n<End:Message>";
+    let packed = MdlCodec::from_text(packed_spec).unwrap();
+    let bytes = MdlCodec::from_text(byte_spec).unwrap();
+    let mut msg = AbstractMessage::new("P");
+    for i in 0..8 {
+        msg.set_field(&format!("F{i}"), Value::UInt(u64::from(i % 2 == 0)));
+    }
+    let packed_wire = packed.compose(&msg).unwrap();
+    let byte_wire = bytes.compose(&msg).unwrap();
+    assert_eq!(packed_wire.len(), 1);
+    assert_eq!(byte_wire.len(), 8);
+
+    let mut group = c.benchmark_group("ablation/bit-packing");
+    group.bench_function("sub-byte-fields/parse", |b| {
+        b.iter(|| packed.parse(&packed_wire).unwrap())
+    });
+    group.bench_function("byte-aligned-fields/parse", |b| {
+        b.iter(|| bytes.parse(&byte_wire).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_mtl_preparse, bench_variant_selection, bench_layering, bench_bit_packing
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! B3 — automata machinery cost: merge construction (the intertwining
+//! analysis), validation, DSL parsing, DOT export, versus protocol size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use starlink_automata::merge::{intertwine, template, MergeOptions};
+use starlink_automata::{dsl, linear_usage_protocol, Automaton};
+use starlink_message::equiv::SemanticRegistry;
+
+/// Builds a pair of mergeable linear protocols with `ops` operations.
+fn protocol_pair(ops: usize) -> (Automaton, Automaton, SemanticRegistry) {
+    let mut reg = SemanticRegistry::new();
+    let mut client_ops = Vec::new();
+    let mut service_ops = Vec::new();
+    for i in 0..ops {
+        reg.declare_message_concept(
+            &format!("op{i}"),
+            [format!("client.op{i}"), format!("service.op{i}")],
+        );
+        reg.declare_field_concept(&format!("arg{i}"), [format!("a{i}"), format!("b{i}")]);
+        reg.declare_field_concept(&format!("res{i}"), [format!("ra{i}"), format!("rb{i}")]);
+        client_ops.push((
+            template(&format!("client.op{i}"), &[&format!("a{i}")]),
+            template(&format!("client.op{i}.reply"), &[&format!("ra{i}")]),
+        ));
+        service_ops.push((
+            template(&format!("service.op{i}"), &[&format!("b{i}")]),
+            template(&format!("service.op{i}.reply"), &[&format!("rb{i}")]),
+        ));
+    }
+    (
+        linear_usage_protocol("C", 1, &client_ops),
+        linear_usage_protocol("S", 2, &service_ops),
+        reg,
+    )
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge/intertwine");
+    for ops in [1usize, 4, 16, 64] {
+        let (client, service, reg) = protocol_pair(ops);
+        group.bench_with_input(BenchmarkId::from_parameter(ops), &ops, |b, _| {
+            b.iter(|| intertwine(&client, &service, &reg, &MergeOptions::default()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_validate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("automaton/validate");
+    for ops in [4usize, 64] {
+        let (client, service, reg) = protocol_pair(ops);
+        let (merged, _) = intertwine(&client, &service, &reg, &MergeOptions::default()).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(ops), &ops, |b, _| {
+            b.iter(|| merged.validate().unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_dsl(c: &mut Criterion) {
+    let (client, service, reg) = protocol_pair(8);
+    let (merged, _) = intertwine(&client, &service, &reg, &MergeOptions::default()).unwrap();
+    let text = dsl::print(&merged);
+    c.bench_function("dsl/print", |b| b.iter(|| dsl::print(&merged)));
+    c.bench_function("dsl/parse", |b| b.iter(|| dsl::parse(&text).unwrap()));
+    c.bench_function("dot/export", |b| b.iter(|| merged.to_dot()));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_merge, bench_validate, bench_dsl
+}
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! B2 — parser/composer cost per protocol family (binary vs text vs
+//! XML), versus message size. Regenerates the implicit claim that
+//! spec-driven generic codecs are cheap enough for the request path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use starlink_bench::{gdata_feed, giop_request, http_get, soap_request, xmlrpc_call};
+use starlink_mdl::MessageCodec;
+use starlink_protocols::gdata::gdata_document_codec;
+use starlink_protocols::giop::giop_codec;
+use starlink_protocols::http::http_codec;
+use starlink_protocols::soap::soap_envelope_codec;
+use starlink_protocols::xmlrpc::xmlrpc_document_codec;
+
+fn bench_compose(c: &mut Criterion) {
+    let giop = giop_codec().unwrap();
+    let http = http_codec().unwrap();
+    let xmlrpc = xmlrpc_document_codec().unwrap();
+    let soap = soap_envelope_codec().unwrap();
+    let gdata = gdata_document_codec().unwrap();
+
+    let mut group = c.benchmark_group("compose");
+    for size in [1usize, 8, 64] {
+        group.bench_with_input(BenchmarkId::new("giop-binary", size), &size, |b, &s| {
+            let msg = giop_request(s);
+            b.iter(|| giop.compose(&msg).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("xmlrpc-xml", size), &size, |b, &s| {
+            let msg = xmlrpc_call(s);
+            b.iter(|| xmlrpc.compose(&msg).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("soap-xml", size), &size, |b, &s| {
+            let msg = soap_request(s);
+            b.iter(|| soap.compose(&msg).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("gdata-xml", size), &size, |b, &s| {
+            let msg = gdata_feed(s);
+            b.iter(|| gdata.compose(&msg).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("http-text", size), &size, |b, &s| {
+            let msg = http_get(s * 8);
+            b.iter(|| http.compose(&msg).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let giop = giop_codec().unwrap();
+    let http = http_codec().unwrap();
+    let xmlrpc = xmlrpc_document_codec().unwrap();
+    let soap = soap_envelope_codec().unwrap();
+    let gdata = gdata_document_codec().unwrap();
+
+    let mut group = c.benchmark_group("parse");
+    for size in [1usize, 8, 64] {
+        let giop_wire = giop.compose(&giop_request(size)).unwrap();
+        let xmlrpc_wire = xmlrpc.compose(&xmlrpc_call(size)).unwrap();
+        let soap_wire = soap.compose(&soap_request(size)).unwrap();
+        let gdata_wire = gdata.compose(&gdata_feed(size)).unwrap();
+        let http_wire = http.compose(&http_get(size * 8)).unwrap();
+
+        group.throughput(Throughput::Bytes(giop_wire.len() as u64));
+        group.bench_with_input(BenchmarkId::new("giop-binary", size), &size, |b, _| {
+            b.iter(|| giop.parse(&giop_wire).unwrap());
+        });
+        group.throughput(Throughput::Bytes(xmlrpc_wire.len() as u64));
+        group.bench_with_input(BenchmarkId::new("xmlrpc-xml", size), &size, |b, _| {
+            b.iter(|| xmlrpc.parse(&xmlrpc_wire).unwrap());
+        });
+        group.throughput(Throughput::Bytes(soap_wire.len() as u64));
+        group.bench_with_input(BenchmarkId::new("soap-xml", size), &size, |b, _| {
+            b.iter(|| soap.parse(&soap_wire).unwrap());
+        });
+        group.throughput(Throughput::Bytes(gdata_wire.len() as u64));
+        group.bench_with_input(BenchmarkId::new("gdata-xml", size), &size, |b, _| {
+            b.iter(|| gdata.parse(&gdata_wire).unwrap());
+        });
+        group.throughput(Throughput::Bytes(http_wire.len() as u64));
+        group.bench_with_input(BenchmarkId::new("http-text", size), &size, |b, _| {
+            b.iter(|| http.parse(&http_wire).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_spec_compilation(c: &mut Criterion) {
+    // Deploying a mediator compiles its MDL specs; this must be cheap
+    // enough for runtime deployment ("dynamically generate parsers").
+    c.bench_function("compile/giop-spec", |b| {
+        b.iter(|| giop_codec().unwrap());
+    });
+    c.bench_function("compile/http-spec", |b| {
+        b.iter(|| http_codec().unwrap());
+    });
+    c.bench_function("compile/xmlrpc-spec", |b| {
+        b.iter(|| xmlrpc_document_codec().unwrap());
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_compose, bench_parse, bench_spec_compilation
+}
+criterion_main!(benches);

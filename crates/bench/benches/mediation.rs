@@ -1,0 +1,137 @@
+//! B1 — mediation overhead on the request path: latency of a direct
+//! (homogeneous) call versus the same call through a Starlink mediator,
+//! for both the calculator and the Flickr/Picasa case study.
+//!
+//! The paper's shape claim: mediation adds parse + translate + compose
+//! work and one extra network hop — a constant factor, not an
+//! asymptotic change.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use starlink_apps::calculator::{add_plus_mediator, AddClient, AddService, PlusService};
+use starlink_apps::flickr::{FlickrClient, FlickrFlavor};
+use starlink_apps::models::flickr_picasa_mediator;
+use starlink_apps::picasa::{PicasaClient, PicasaService};
+use starlink_apps::store::PhotoStore;
+use starlink_core::MediatorHost;
+use starlink_net::{Endpoint, MemoryTransport, NetworkEngine};
+use std::sync::Arc;
+
+fn network() -> NetworkEngine {
+    let mut net = NetworkEngine::new();
+    net.register(Arc::new(MemoryTransport::new()));
+    net
+}
+
+fn bench_calculator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("latency/calculator");
+
+    // Direct: IIOP client → IIOP service.
+    {
+        let net = network();
+        let service = AddService::deploy(&net, &Endpoint::memory("add")).unwrap();
+        let mut client = AddClient::connect(&net, service.endpoint()).unwrap();
+        group.bench_function("direct-iiop", |b| {
+            b.iter(|| client.add(30, 12).unwrap());
+        });
+    }
+
+    // Mediated: IIOP client → mediator → SOAP service.
+    {
+        let net = network();
+        let plus = PlusService::deploy(&net, &Endpoint::memory("plus")).unwrap();
+        let mediator = add_plus_mediator(net.clone(), plus.endpoint().clone()).unwrap();
+        let host = MediatorHost::deploy(mediator, &Endpoint::memory("bridge")).unwrap();
+        let mut client = AddClient::connect(&net, host.endpoint()).unwrap();
+        group.bench_function("mediated-iiop-to-soap", |b| {
+            b.iter(|| client.add(30, 12).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_case_study_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("latency/photo-search");
+
+    // Direct: native REST client → Picasa.
+    {
+        let net = network();
+        let service =
+            PicasaService::deploy(&net, &Endpoint::memory("picasa"), PhotoStore::with_fixture())
+                .unwrap();
+        let mut client = PicasaClient::connect(&net, service.endpoint()).unwrap();
+        group.bench_function("direct-rest", |b| {
+            b.iter(|| client.search("tree", 3).unwrap());
+        });
+    }
+
+    // Mediated: XML-RPC Flickr client → mediator → Picasa.
+    {
+        let net = network();
+        let service =
+            PicasaService::deploy(&net, &Endpoint::memory("picasa"), PhotoStore::with_fixture())
+                .unwrap();
+        let mediator = flickr_picasa_mediator(
+            net.clone(),
+            FlickrFlavor::XmlRpc,
+            service.endpoint().clone(),
+        )
+        .unwrap();
+        let host = MediatorHost::deploy(mediator, &Endpoint::memory("mediator")).unwrap();
+        let mut client =
+            FlickrClient::connect(&net, host.endpoint(), FlickrFlavor::XmlRpc).unwrap();
+        group.bench_function("mediated-xmlrpc-to-rest", |b| {
+            b.iter(|| client.search("tree", 3).unwrap());
+        });
+    }
+
+    // Mediated, SOAP flavor.
+    {
+        let net = network();
+        let service =
+            PicasaService::deploy(&net, &Endpoint::memory("picasa"), PhotoStore::with_fixture())
+                .unwrap();
+        let mediator = flickr_picasa_mediator(
+            net.clone(),
+            FlickrFlavor::Soap,
+            service.endpoint().clone(),
+        )
+        .unwrap();
+        let host = MediatorHost::deploy(mediator, &Endpoint::memory("mediator")).unwrap();
+        let mut client =
+            FlickrClient::connect(&net, host.endpoint(), FlickrFlavor::Soap).unwrap();
+        group.bench_function("mediated-soap-to-rest", |b| {
+            b.iter(|| client.search("tree", 3).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_getinfo_cache_answer(c: &mut Criterion) {
+    // The Fig. 10 path: answered entirely inside the mediator — should
+    // be *faster* than an intertwined operation (no service hop).
+    let net = network();
+    let service =
+        PicasaService::deploy(&net, &Endpoint::memory("picasa"), PhotoStore::with_fixture())
+            .unwrap();
+    let mediator = flickr_picasa_mediator(
+        net.clone(),
+        FlickrFlavor::XmlRpc,
+        service.endpoint().clone(),
+    )
+    .unwrap();
+    let host = MediatorHost::deploy(mediator, &Endpoint::memory("mediator")).unwrap();
+    let mut client =
+        FlickrClient::connect(&net, host.endpoint(), FlickrFlavor::XmlRpc).unwrap();
+    let ids = client.search("tree", 3).unwrap();
+    let id = ids[0].clone();
+    c.bench_function("latency/getinfo-from-cache", |b| {
+        b.iter(|| client.get_info(&id).unwrap());
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_calculator, bench_case_study_search, bench_getinfo_cache_answer
+}
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! B4 — MTL interpretation cost: parsing, plain assignments, list
+//! translation with the Fig. 9 cache pattern, `getcache` lookups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use starlink_message::{AbstractMessage, Direction, Field, History, Value};
+use starlink_mtl::{MtlContext, MtlProgram, TranslationCache};
+
+fn history_with_entries(entries: usize) -> History {
+    let mut reply = AbstractMessage::new("picasa.search.reply");
+    reply.set_field(
+        "Entries",
+        Value::Array(
+            (0..entries)
+                .map(|i| {
+                    Value::Struct(vec![
+                        Field::new("id", Value::Str(format!("gphoto-{i}"))),
+                        Field::new("title", Value::Str(format!("Photo {i}"))),
+                        Field::new("url", Value::Str(format!("http://x/{i}.jpg"))),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    let mut h = History::new();
+    h.record("m4", Direction::Received, reply);
+    h
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let fig9 = r#"
+m5.photos = newarray()
+foreach e in m4.Entries {
+  let p = newstruct()
+  p.id = genid()
+  cache(p.id, e)
+  append(m5.photos, p)
+}
+"#;
+    c.bench_function("mtl/parse-fig9", |b| {
+        b.iter(|| MtlProgram::parse(fig9).unwrap())
+    });
+
+    let assignments: String = (0..32)
+        .map(|i| format!("out.f{i} = src.f{i}\n"))
+        .collect();
+    c.bench_function("mtl/parse-32-assignments", |b| {
+        b.iter(|| MtlProgram::parse(&assignments).unwrap())
+    });
+}
+
+fn bench_assignments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mtl/execute-assignments");
+    for n in [2usize, 8, 32] {
+        let program_text: String = (0..n).map(|i| format!("out.f{i} = src.f{i}\n")).collect();
+        let program = MtlProgram::parse(&program_text).unwrap();
+        let mut src = AbstractMessage::new("src");
+        for i in 0..n {
+            src.set_field(&format!("f{i}"), Value::Int(i as i64));
+        }
+        let mut history = History::new();
+        history.record("src", Direction::Received, src);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut cache = TranslationCache::new();
+                let mut ctx = MtlContext::new(&history, &mut cache);
+                ctx.add_output("out", AbstractMessage::new("out"));
+                program.execute(&mut ctx).unwrap();
+                ctx.take_output("out").unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig9_foreach(c: &mut Criterion) {
+    let program = MtlProgram::parse(
+        r#"
+m5.photos = newarray()
+foreach e in m4.Entries {
+  let p = newstruct()
+  p.id = genid()
+  cache(p.id, e)
+  append(m5.photos, p)
+}
+"#,
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("mtl/fig9-cache-translation");
+    for entries in [3usize, 25, 200] {
+        let history = history_with_entries(entries);
+        group.bench_with_input(BenchmarkId::from_parameter(entries), &entries, |b, _| {
+            b.iter(|| {
+                let mut cache = TranslationCache::new();
+                let mut ctx = MtlContext::new(&history, &mut cache);
+                ctx.add_output("m5", AbstractMessage::new("flickr.search.reply"));
+                program.execute(&mut ctx).unwrap();
+                ctx.take_output("m5").unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_getcache(c: &mut Criterion) {
+    let program = MtlProgram::parse(
+        "let e = getcache(m8.photo_id)\nm9.photo = e\nm9.url = e.url",
+    )
+    .unwrap();
+    let mut cache = TranslationCache::new();
+    for i in 0..1000 {
+        cache.put(
+            format!("{}", 1000 + i),
+            Value::Struct(vec![
+                Field::new("title", Value::Str(format!("Photo {i}"))),
+                Field::new("url", Value::Str(format!("http://x/{i}.jpg"))),
+            ]),
+        );
+    }
+    let mut getinfo = AbstractMessage::new("flickr.photos.getInfo");
+    getinfo.set_field("photo_id", Value::from("1500"));
+    let mut history = History::new();
+    history.record("m8", Direction::Received, getinfo);
+    c.bench_function("mtl/fig10-getcache", |b| {
+        b.iter(|| {
+            let mut ctx = MtlContext::new(&history, &mut cache);
+            ctx.add_output("m9", AbstractMessage::new("flickr.photos.getInfo.reply"));
+            program.execute(&mut ctx).unwrap();
+            ctx.take_output("m9").unwrap()
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_parse, bench_assignments, bench_fig9_foreach, bench_getcache
+}
+criterion_main!(benches);

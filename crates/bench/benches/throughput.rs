@@ -1,0 +1,75 @@
+//! B5 — mediated throughput: requests/second through one mediator with
+//! increasing client concurrency, against the direct-call baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use starlink_apps::calculator::{add_plus_mediator, AddClient, AddService, PlusService};
+use starlink_core::MediatorHost;
+use starlink_net::{Endpoint, MemoryTransport, NetworkEngine};
+use std::sync::Arc;
+
+const REQUESTS_PER_CLIENT: usize = 20;
+
+fn network() -> NetworkEngine {
+    let mut net = NetworkEngine::new();
+    net.register(Arc::new(MemoryTransport::new()));
+    net
+}
+
+/// Runs `clients` threads, each performing `REQUESTS_PER_CLIENT` calls.
+fn run_clients(net: &NetworkEngine, endpoint: &Endpoint, clients: usize) {
+    let mut handles = Vec::new();
+    for _ in 0..clients {
+        let net = net.clone();
+        let endpoint = endpoint.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut client = AddClient::connect(&net, &endpoint).unwrap();
+            for i in 0..REQUESTS_PER_CLIENT {
+                assert_eq!(client.add(i as i64, 1).unwrap(), i as i64 + 1);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("throughput/add");
+    for clients in [1usize, 4, 8] {
+        group.throughput(Throughput::Elements((clients * REQUESTS_PER_CLIENT) as u64));
+
+        // Direct baseline.
+        {
+            let net = network();
+            let service = AddService::deploy(&net, &Endpoint::memory("add")).unwrap();
+            let endpoint = service.endpoint().clone();
+            group.bench_with_input(
+                BenchmarkId::new("direct", clients),
+                &clients,
+                |b, &n| b.iter(|| run_clients(&net, &endpoint, n)),
+            );
+        }
+
+        // Through the mediator.
+        {
+            let net = network();
+            let plus = PlusService::deploy(&net, &Endpoint::memory("plus")).unwrap();
+            let mediator = add_plus_mediator(net.clone(), plus.endpoint().clone()).unwrap();
+            let host = MediatorHost::deploy(mediator, &Endpoint::memory("bridge")).unwrap();
+            let endpoint = host.endpoint().clone();
+            group.bench_with_input(
+                BenchmarkId::new("mediated", clients),
+                &clients,
+                |b, &n| b.iter(|| run_clients(&net, &endpoint, n)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_throughput
+}
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Shared fixtures for the Starlink benchmark harness (DESIGN.md §4,
+//! rows B1–B5). Each Criterion bench regenerates one implicit performance
+//! claim of the paper's evaluation; EXPERIMENTS.md records the measured
+//! shapes.
+
+use starlink_message::{AbstractMessage, Field, Value};
+
+/// A GIOP request with `params` integer parameters.
+pub fn giop_request(params: usize) -> AbstractMessage {
+    let mut m = AbstractMessage::new("GIOPRequest");
+    m.set_field("VersionMajor", Value::UInt(1));
+    m.set_field("VersionMinor", Value::UInt(0));
+    m.set_field("Flags", Value::UInt(0));
+    m.set_field("RequestID", Value::UInt(7));
+    m.set_field("ResponseExpected", Value::UInt(1));
+    m.set_field("ObjectKey", Value::Bytes(b"bench".to_vec()));
+    m.set_field("Operation", Value::from("benchOp"));
+    m.set_field(
+        "ParameterArray",
+        Value::Array((0..params).map(|i| Value::Int(i as i64)).collect()),
+    );
+    m
+}
+
+/// An XML-RPC method call with `params` string parameters.
+pub fn xmlrpc_call(params: usize) -> AbstractMessage {
+    let mut m = AbstractMessage::new("MethodCall");
+    m.set_field("MethodName", Value::from("flickr.photos.search"));
+    m.set_field(
+        "Params",
+        Value::Array(
+            (0..params)
+                .map(|i| {
+                    Value::Struct(vec![Field::new("value", Value::Str(format!("param-{i}")))])
+                })
+                .collect(),
+        ),
+    );
+    m
+}
+
+/// A SOAP request with `params` string parameters.
+pub fn soap_request(params: usize) -> AbstractMessage {
+    let mut m = AbstractMessage::new("SOAPRequest");
+    m.set_field("MethodName", Value::from("benchOp"));
+    m.set_field(
+        "Params",
+        Value::Array(
+            (0..params)
+                .map(|i| Value::Str(format!("param-{i}")))
+                .collect(),
+        ),
+    );
+    m
+}
+
+/// A GData feed with `entries` photo entries.
+pub fn gdata_feed(entries: usize) -> AbstractMessage {
+    let mut m = AbstractMessage::new("GDataFeed");
+    m.set_field("Title", Value::from("Search Results"));
+    m.set_field(
+        "Entries",
+        Value::Array(
+            (0..entries)
+                .map(|i| {
+                    Value::Struct(vec![
+                        Field::new("id", Value::Str(format!("gphoto-{i}"))),
+                        Field::new("title", Value::Str(format!("Photo {i}"))),
+                        Field::new("url", Value::Str(format!("http://p.example.org/{i}.jpg"))),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    m
+}
+
+/// An HTTP GET request message.
+pub fn http_get(query_len: usize) -> AbstractMessage {
+    let mut m = AbstractMessage::new("HTTPRequest");
+    m.set_field("Method", Value::from("GET"));
+    m.set_field(
+        "RequestURI",
+        Value::Str(format!("/data/feed/api/all?q={}", "x".repeat(query_len))),
+    );
+    m.set_field("Version", Value::from("HTTP/1.1"));
+    m.set_field(
+        "Headers",
+        Value::Struct(vec![Field::new("Host", Value::from("bench.example.org"))]),
+    );
+    m.set_field("Body", Value::from(""));
+    m
+}

@@ -1,0 +1,270 @@
+//! `starlink` — command-line tools for Starlink models.
+//!
+//! ```text
+//! starlink validate <model.atm>…         validate automaton models
+//! starlink dot <model.atm>               print Graphviz DOT
+//! starlink mdl-check <spec.mdl>…         compile MDL specs, list variants
+//! starlink mtl-check <program.mtl>…      parse MTL programs
+//! starlink merge <client.atm> <service.atm> [options]
+//!     --registry <file>   semantic declarations (see below)
+//!     --loop              emit the deployable service-loop form
+//!     --out <file>        write the merged model (DSL) instead of stdout
+//! starlink models <dir>                  load a model bundle, summarise
+//! ```
+//!
+//! Registry file format (one declaration per line):
+//!
+//! ```text
+//! # comments allowed
+//! message photo-search = flickr.photos.search, picasa.photos.search
+//! field keyword = text, q
+//! ```
+
+use starlink_automata::merge::{intertwine, into_service_loop, MergeOptions};
+use starlink_automata::{dsl, Automaton};
+use starlink_core::ModelRegistry;
+use starlink_mdl::{MdlCodec, MessageCodec};
+use starlink_message::equiv::SemanticRegistry;
+use starlink_mtl::MtlProgram;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("dot") => cmd_dot(&args[1..]),
+        Some("mdl-check") => cmd_mdl_check(&args[1..]),
+        Some("mtl-check") => cmd_mtl_check(&args[1..]),
+        Some("merge") => cmd_merge(&args[1..]),
+        Some("models") => cmd_models(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{}", USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("starlink: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+starlink — tools for Starlink interoperability models
+
+USAGE:
+  starlink validate <model.atm>...       validate automaton models
+  starlink dot <model.atm>               print Graphviz DOT
+  starlink mdl-check <spec.mdl>...       compile MDL specs, list variants
+  starlink mtl-check <program.mtl>...    parse MTL programs
+  starlink merge <client.atm> <service.atm> [--registry <file>] [--loop] [--out <file>]
+  starlink models <dir>                  load a model bundle, summarise
+";
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn load_automaton(path: &str) -> Result<Automaton, String> {
+    let text = read(path)?;
+    dsl::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_validate(files: &[String]) -> Result<(), String> {
+    if files.is_empty() {
+        return Err("validate: no model files given".into());
+    }
+    for file in files {
+        let automaton = load_automaton(file)?;
+        automaton.validate().map_err(|e| format!("{file}: {e}"))?;
+        println!(
+            "{file}: ok — {} ({} states, {} transitions, {} γ, colors {:?})",
+            automaton.name(),
+            automaton.states().len(),
+            automaton.transitions().len(),
+            automaton.gamma_count(),
+            {
+                let mut colors: Vec<u8> = automaton
+                    .states()
+                    .iter()
+                    .flat_map(|s| s.colors.clone())
+                    .collect();
+                colors.sort_unstable();
+                colors.dedup();
+                colors
+            }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_dot(files: &[String]) -> Result<(), String> {
+    let [file] = files else {
+        return Err("dot: exactly one model file expected".into());
+    };
+    let automaton = load_automaton(file)?;
+    print!("{}", automaton.to_dot());
+    Ok(())
+}
+
+fn cmd_mdl_check(files: &[String]) -> Result<(), String> {
+    if files.is_empty() {
+        return Err("mdl-check: no spec files given".into());
+    }
+    for file in files {
+        let text = read(file)?;
+        let codec = MdlCodec::from_text(&text).map_err(|e| format!("{file}: {e}"))?;
+        println!("{file}: ok — variants: {}", codec.message_names().join(", "));
+    }
+    Ok(())
+}
+
+fn cmd_mtl_check(files: &[String]) -> Result<(), String> {
+    if files.is_empty() {
+        return Err("mtl-check: no program files given".into());
+    }
+    for file in files {
+        let text = read(file)?;
+        let program = MtlProgram::parse(&text).map_err(|e| format!("{file}: {e}"))?;
+        println!("{file}: ok — {} statements", program.statements.len());
+    }
+    Ok(())
+}
+
+/// Parses the registry declaration format documented in the crate docs.
+fn parse_registry(text: &str) -> Result<SemanticRegistry, String> {
+    let mut registry = SemanticRegistry::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| format!("registry line {}: {msg}: `{raw}`", i + 1);
+        let (kind, rest) = line
+            .split_once(' ')
+            .ok_or_else(|| err("expected `message`/`field` declaration"))?;
+        let (concept, names) = rest
+            .split_once('=')
+            .ok_or_else(|| err("expected `concept = name, name`"))?;
+        let concept = concept.trim();
+        let names: Vec<&str> = names.split(',').map(str::trim).collect();
+        match kind {
+            "message" => registry.declare_message_concept(concept, names),
+            "field" => registry.declare_field_concept(concept, names),
+            other => return Err(err(&format!("unknown declaration kind `{other}`"))),
+        }
+    }
+    Ok(registry)
+}
+
+fn cmd_merge(args: &[String]) -> Result<(), String> {
+    let mut files = Vec::new();
+    let mut registry_file = None;
+    let mut out_file = None;
+    let mut loop_form = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--registry" => {
+                registry_file = Some(
+                    args.get(i + 1)
+                        .ok_or("merge: --registry needs a file")?
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--out" => {
+                out_file = Some(args.get(i + 1).ok_or("merge: --out needs a file")?.clone());
+                i += 2;
+            }
+            "--loop" => {
+                loop_form = true;
+                i += 1;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("merge: unknown option `{other}`"));
+            }
+            _ => {
+                files.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    let [client_file, service_file] = files.as_slice() else {
+        return Err("merge: expected <client.atm> <service.atm>".into());
+    };
+    let client = load_automaton(client_file)?;
+    let service = load_automaton(service_file)?;
+    let registry = match registry_file {
+        Some(f) => parse_registry(&read(&f)?)?,
+        None => SemanticRegistry::new(),
+    };
+    let (merged, report) = intertwine(&client, &service, &registry, &MergeOptions::default())
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "merge: {:?} — {} intertwined pair(s)",
+        report.class,
+        report.intertwined_count()
+    );
+    for r in &report.resolutions {
+        eprintln!("  {r:?}");
+    }
+    let final_model = if loop_form {
+        into_service_loop(&merged).map_err(|e| e.to_string())?
+    } else {
+        merged
+    };
+    let text = dsl::print(&final_model);
+    match out_file {
+        Some(f) => {
+            std::fs::write(&f, text).map_err(|e| format!("cannot write {f}: {e}"))?;
+            eprintln!("merge: wrote {f}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_models(args: &[String]) -> Result<(), String> {
+    let [dir] = args else {
+        return Err("models: exactly one directory expected".into());
+    };
+    let mut registry = ModelRegistry::new();
+    let loaded = registry
+        .load_dir(Path::new(dir))
+        .map_err(|e| e.to_string())?;
+    println!("{dir}: loaded {loaded} model file(s)");
+    for name in registry.codec_names() {
+        println!("  mdl      {name}");
+    }
+    for name in registry.automaton_names() {
+        println!("  automaton {name}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_format_parses() {
+        let reg = parse_registry(
+            "# comment\nmessage search = a.search, b.find\nfield keyword = text, q\n",
+        )
+        .unwrap();
+        assert!(reg.message_names_equivalent("a.search", "b.find"));
+        assert_eq!(reg.field_concept("text"), reg.field_concept("q"));
+    }
+
+    #[test]
+    fn registry_format_rejects_garbage() {
+        assert!(parse_registry("bogus line").is_err());
+        assert!(parse_registry("message missing-equals").is_err());
+        assert!(parse_registry("widget x = a, b").is_err());
+    }
+}

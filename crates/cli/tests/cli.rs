@@ -1,0 +1,181 @@
+//! End-to-end tests of the `starlink` CLI binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_starlink-tool"))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("starlink-cli-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const CLIENT_ATM: &str = "\
+automaton AClient color=1 {
+  states s0 s1 s2
+  initial s0
+  final s2
+  s0 -> s1 : !client.search(text)
+  s1 -> s2 : ?client.search.reply(items)
+}";
+
+const SERVICE_ATM: &str = "\
+automaton AService color=2 {
+  states s0 s1 s2
+  initial s0
+  final s2
+  s0 -> s1 : !service.find(q)
+  s1 -> s2 : ?service.find.reply(results)
+}";
+
+const REGISTRY: &str = "\
+message search = client.search, service.find
+field keyword = text, q
+field result-set = items, results
+";
+
+#[test]
+fn validate_accepts_good_models() {
+    let dir = temp_dir("validate");
+    let model = dir.join("client.atm");
+    std::fs::write(&model, CLIENT_ATM).unwrap();
+    let output = bin().arg("validate").arg(&model).output().unwrap();
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("AClient"));
+    assert!(stdout.contains("3 states"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn validate_rejects_broken_models() {
+    let dir = temp_dir("validate-bad");
+    let model = dir.join("bad.atm");
+    std::fs::write(&model, "automaton X color=1 {\n  initial s0\n}").unwrap();
+    let output = bin().arg("validate").arg(&model).output().unwrap();
+    assert!(!output.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dot_prints_graphviz() {
+    let dir = temp_dir("dot");
+    let model = dir.join("client.atm");
+    std::fs::write(&model, CLIENT_ATM).unwrap();
+    let output = bin().arg("dot").arg(&model).output().unwrap();
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.starts_with("digraph"));
+    assert!(stdout.contains("!client.search"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn merge_produces_loadable_model() {
+    let dir = temp_dir("merge");
+    let client = dir.join("client.atm");
+    let service = dir.join("service.atm");
+    let registry = dir.join("registry.txt");
+    let merged = dir.join("merged.atm");
+    std::fs::write(&client, CLIENT_ATM).unwrap();
+    std::fs::write(&service, SERVICE_ATM).unwrap();
+    std::fs::write(&registry, REGISTRY).unwrap();
+
+    let output = bin()
+        .args(["merge"])
+        .arg(&client)
+        .arg(&service)
+        .arg("--registry")
+        .arg(&registry)
+        .arg("--out")
+        .arg(&merged)
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("Strong"));
+
+    // The emitted model validates through the CLI again.
+    let output = bin().arg("validate").arg(&merged).output().unwrap();
+    assert!(output.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn merge_loop_form_validates() {
+    let dir = temp_dir("merge-loop");
+    let client = dir.join("client.atm");
+    let service = dir.join("service.atm");
+    let registry = dir.join("registry.txt");
+    std::fs::write(&client, CLIENT_ATM).unwrap();
+    std::fs::write(&service, SERVICE_ATM).unwrap();
+    std::fs::write(&registry, REGISTRY).unwrap();
+    let output = bin()
+        .args(["merge", "--loop"])
+        .arg(&client)
+        .arg(&service)
+        .arg("--registry")
+        .arg(&registry)
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("-service"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mdl_check_lists_variants() {
+    let dir = temp_dir("mdl");
+    let spec = dir.join("wire.mdl");
+    std::fs::write(
+        &spec,
+        "<Message:Req><Kind:8><End:Message>\n<Message:Rep><Kind:8><End:Message>",
+    )
+    .unwrap();
+    let output = bin().arg("mdl-check").arg(&spec).output().unwrap();
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("Req, Rep"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn models_summarises_bundle() {
+    let dir = temp_dir("models");
+    std::fs::write(
+        dir.join("wire.mdl"),
+        "<Message:Req><Kind:8><End:Message>",
+    )
+    .unwrap();
+    std::fs::write(dir.join("client.atm"), CLIENT_ATM).unwrap();
+    let output = bin().arg("models").arg(&dir).output().unwrap();
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("loaded 2 model file(s)"));
+    assert!(stdout.contains("wire.mdl"));
+    assert!(stdout.contains("AClient"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let output = bin().arg("frobnicate").output().unwrap();
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("USAGE"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let output = bin().arg("help").output().unwrap();
+    assert!(output.status.success());
+    assert!(String::from_utf8_lossy(&output.stdout).contains("USAGE"));
+}

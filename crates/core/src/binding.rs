@@ -1,0 +1,900 @@
+//! Protocol binding rules (paper §4.3, Fig. 7).
+//!
+//! An API-usage automaton is abstract: its transitions carry application
+//! actions (`Add(x, y)`). To execute it, each color is bound to a
+//! protocol via rules stating (i) where the **action label** lives in the
+//! protocol message (`?Action = GIOPRequest → operation`) and (ii) where
+//! **parameters** live (`ParameterN = GIOPRequest → ParameterArray →
+//! ParameterN`). This module implements those rules bidirectionally:
+//! `bind_*` turns application messages into protocol messages,
+//! `unbind_*` recovers application messages from parsed protocol
+//! messages.
+//!
+//! Application-level convention: an operation's reply message is named
+//! `<operation>.reply`.
+
+use crate::error::CoreError;
+use crate::Result;
+use starlink_message::{AbstractMessage, Field, FieldPath, Value};
+
+/// Where a request's action label is encoded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ActionRule {
+    /// A field of the protocol message holds the label verbatim
+    /// (GIOP `Operation`, XML-RPC `MethodName`, SOAP operation element).
+    Field(FieldPath),
+    /// REST: the label maps to an HTTP method + path route.
+    Rest {
+        /// Field holding the HTTP method (`Method`).
+        method_field: FieldPath,
+        /// Field holding the request target (`RequestURI`).
+        uri_field: FieldPath,
+        /// Route table, matched in order (first prefix match wins on
+        /// unbind).
+        routes: Vec<RestRoute>,
+    },
+}
+
+/// One REST route: an application action ↔ method + path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestRoute {
+    /// The application action label.
+    pub action: String,
+    /// HTTP method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path (no query string), e.g. `/data/feed/api/all`.
+    pub path: String,
+}
+
+/// How a reply is associated with its action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplyAction {
+    /// A field holds the action label (SOAP reply's method name).
+    Field(FieldPath),
+    /// A field holds the action label decorated with a suffix — the
+    /// WSDL-style `<op>Response` convention. On compose the suffix is
+    /// appended; on parse it is stripped.
+    FieldWithSuffix {
+        /// The field holding the decorated label.
+        path: FieldPath,
+        /// The decoration (`"Response"`).
+        suffix: String,
+    },
+    /// The reply is correlated with the pending request (GIOP's
+    /// `RequestID`, HTTP's request/response pairing): its application
+    /// name is `<pending-op>.reply`.
+    Correlated,
+}
+
+/// How application parameters map onto protocol fields.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamRule {
+    /// Parameters in order into an array field (GIOP `ParameterArray`,
+    /// SOAP `Params`).
+    PositionalArray(FieldPath),
+    /// Positional, but each item wrapped in a one-field struct
+    /// (XML-RPC's `<param><value>…</value></param>`: `array="Params"`,
+    /// `item="value"`).
+    Wrapped {
+        /// The array field.
+        array: FieldPath,
+        /// The wrapper sub-field name.
+        item: String,
+    },
+    /// Parameters by name, optionally under a struct prefix; `None`
+    /// prefix = top-level protocol fields (layered REST bodies).
+    NamedFields(Option<FieldPath>),
+    /// REST request parameters as a query string appended to the URI.
+    Query {
+        /// The URI field to append `?k=v&…` to.
+        uri_field: FieldPath,
+    },
+    /// The operation carries no parameters at this direction.
+    None,
+    /// Different rules per application action (REST APIs mix query-string
+    /// GETs with XML-body POSTs). Matched on the action label (reply
+    /// rules match with the `.reply` suffix stripped); unmatched actions
+    /// use the default rule.
+    PerAction {
+        /// `(action label, rule)` pairs, first match wins.
+        rules: Vec<(String, ParamRule)>,
+        /// Fallback rule.
+        default: Box<ParamRule>,
+    },
+}
+
+/// A complete binding of application actions onto one protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolBinding {
+    /// Human-readable protocol name (`IIOP`, `SOAP`, `XML-RPC`, `REST`).
+    pub name: String,
+    /// Registry name of the MDL codec for this protocol.
+    pub mdl: String,
+    /// Protocol message variant used for requests.
+    pub request_message: String,
+    /// Protocol message variant used for replies.
+    pub reply_message: String,
+    /// Where the request action label goes.
+    pub request_action: ActionRule,
+    /// How replies relate to actions.
+    pub reply_action: ReplyAction,
+    /// Parameter mapping for requests.
+    pub request_params: ParamRule,
+    /// Parameter mapping for replies.
+    pub reply_params: ParamRule,
+    /// Correlation field echoed from request to reply (GIOP
+    /// `RequestID`), applied on both messages.
+    pub correlation: Option<FieldPath>,
+    /// Constant protocol fields set on requests when absent (HTTP
+    /// `Version`, `Headers`, a fixed GIOP `ObjectKey`, …).
+    pub request_defaults: Vec<(FieldPath, Value)>,
+    /// Constant protocol fields set on replies when absent (HTTP status
+    /// line parts).
+    pub reply_defaults: Vec<(FieldPath, Value)>,
+    /// Per-action request message variant overrides (a REST `addComment`
+    /// composes an XML-body variant while searches compose plain GETs).
+    pub request_message_overrides: Vec<(String, String)>,
+    /// Per-application-reply-name protocol variant overrides.
+    pub reply_message_overrides: Vec<(String, String)>,
+}
+
+impl ProtocolBinding {
+    /// Creates a binding with the common RPC defaults: action label in an
+    /// `Operation` field, correlated replies, no parameters. Configure
+    /// with the `with_*` builder methods.
+    pub fn new(
+        name: impl Into<String>,
+        mdl: impl Into<String>,
+        request_message: impl Into<String>,
+        reply_message: impl Into<String>,
+    ) -> ProtocolBinding {
+        ProtocolBinding {
+            name: name.into(),
+            mdl: mdl.into(),
+            request_message: request_message.into(),
+            reply_message: reply_message.into(),
+            request_action: ActionRule::Field(FieldPath::name("Operation")),
+            reply_action: ReplyAction::Correlated,
+            request_params: ParamRule::None,
+            reply_params: ParamRule::None,
+            correlation: None,
+            request_defaults: Vec::new(),
+            reply_defaults: Vec::new(),
+            request_message_overrides: Vec::new(),
+            reply_message_overrides: Vec::new(),
+        }
+    }
+
+    /// Builder-style: sets the request action rule.
+    #[must_use]
+    pub fn with_request_action(mut self, rule: ActionRule) -> ProtocolBinding {
+        self.request_action = rule;
+        self
+    }
+
+    /// Builder-style: sets the reply action rule.
+    #[must_use]
+    pub fn with_reply_action(mut self, rule: ReplyAction) -> ProtocolBinding {
+        self.reply_action = rule;
+        self
+    }
+
+    /// Builder-style: sets both parameter rules.
+    #[must_use]
+    pub fn with_params(mut self, request: ParamRule, reply: ParamRule) -> ProtocolBinding {
+        self.request_params = request;
+        self.reply_params = reply;
+        self
+    }
+
+    /// Builder-style: sets the correlation field.
+    #[must_use]
+    pub fn with_correlation(mut self, path: FieldPath) -> ProtocolBinding {
+        self.correlation = Some(path);
+        self
+    }
+
+    /// Builder-style: adds a request default.
+    #[must_use]
+    pub fn with_request_default(mut self, path: FieldPath, value: Value) -> ProtocolBinding {
+        self.request_defaults.push((path, value));
+        self
+    }
+
+    /// Builder-style: adds a reply default.
+    #[must_use]
+    pub fn with_reply_default(mut self, path: FieldPath, value: Value) -> ProtocolBinding {
+        self.reply_defaults.push((path, value));
+        self
+    }
+
+    /// Builder-style: overrides the request message variant for one
+    /// action.
+    #[must_use]
+    pub fn with_request_message_override(
+        mut self,
+        action: impl Into<String>,
+        message: impl Into<String>,
+    ) -> ProtocolBinding {
+        self.request_message_overrides
+            .push((action.into(), message.into()));
+        self
+    }
+
+    /// Builder-style: overrides the reply message variant for one
+    /// application reply name.
+    #[must_use]
+    pub fn with_reply_message_override(
+        mut self,
+        reply_name: impl Into<String>,
+        message: impl Into<String>,
+    ) -> ProtocolBinding {
+        self.reply_message_overrides
+            .push((reply_name.into(), message.into()));
+        self
+    }
+
+    fn request_variant(&self, action: &str) -> &str {
+        self.request_message_overrides
+            .iter()
+            .find(|(a, _)| a == action)
+            .map(|(_, m)| m.as_str())
+            .unwrap_or(&self.request_message)
+    }
+
+    fn reply_variant(&self, reply_name: &str) -> &str {
+        self.reply_message_overrides
+            .iter()
+            .find(|(a, _)| a == reply_name)
+            .map(|(_, m)| m.as_str())
+            .unwrap_or(&self.reply_message)
+    }
+
+    fn resolve_rule<'r>(rule: &'r ParamRule, action: &str) -> &'r ParamRule {
+        match rule {
+            ParamRule::PerAction { rules, default } => {
+                let op = action.strip_suffix(".reply").unwrap_or(action);
+                rules
+                    .iter()
+                    .find(|(a, _)| a == op || a == action)
+                    .map(|(_, r)| r)
+                    .unwrap_or(default)
+            }
+            other => other,
+        }
+    }
+
+    /// Binds an application request to a protocol message.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Binding`] when the action has no route or values
+    /// cannot be placed.
+    pub fn bind_request(&self, app: &AbstractMessage) -> Result<AbstractMessage> {
+        let mut proto = AbstractMessage::new(self.request_variant(app.name()));
+        match &self.request_action {
+            ActionRule::Field(path) => {
+                proto.set_path(path, Value::Str(app.name().to_owned()))?;
+            }
+            ActionRule::Rest {
+                method_field,
+                uri_field,
+                routes,
+            } => {
+                let route = routes
+                    .iter()
+                    .find(|r| r.action == app.name())
+                    .ok_or_else(|| CoreError::Binding {
+                        message: format!("no REST route for action `{}`", app.name()),
+                    })?;
+                proto.set_path(method_field, Value::Str(route.method.clone()))?;
+                proto.set_path(uri_field, Value::Str(route.path.clone()))?;
+            }
+        }
+        let rule = Self::resolve_rule(&self.request_params, app.name());
+        self.place_params(&mut proto, app, rule)?;
+        self.apply_defaults(&mut proto, &self.request_defaults)?;
+        Ok(proto)
+    }
+
+    /// Recovers the application request from a parsed protocol message.
+    /// `templates` supplies parameter names for positional rules: it maps
+    /// action labels to application request templates.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Binding`] when the action cannot be identified.
+    pub fn unbind_request<'t>(
+        &self,
+        proto: &AbstractMessage,
+        templates: impl Fn(&str) -> Option<&'t AbstractMessage>,
+    ) -> Result<AbstractMessage> {
+        let action = match &self.request_action {
+            ActionRule::Field(path) => proto
+                .get_path(path)
+                .map_err(CoreError::from)?
+                .to_text(),
+            ActionRule::Rest {
+                method_field,
+                uri_field,
+                routes,
+            } => {
+                let method = proto.get_path(method_field)?.to_text();
+                let uri = proto.get_path(uri_field)?.to_text();
+                let path_only = uri.split('?').next().unwrap_or("");
+                routes
+                    .iter()
+                    .find(|r| r.method == method && path_only.starts_with(&r.path))
+                    .map(|r| r.action.clone())
+                    .ok_or_else(|| CoreError::Binding {
+                        message: format!("no REST route matches {method} {uri}"),
+                    })?
+            }
+        };
+        let template = templates(&action);
+        let mut app = AbstractMessage::new(&action);
+        let rule = Self::resolve_rule(&self.request_params, &action);
+        self.extract_params(&mut app, proto, rule, template)?;
+        Ok(app)
+    }
+
+    /// Binds an application reply to a protocol message. `request_proto`
+    /// is the protocol request being answered (for correlation echo).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Binding`] on placement failures.
+    pub fn bind_reply(
+        &self,
+        app: &AbstractMessage,
+        request_proto: Option<&AbstractMessage>,
+    ) -> Result<AbstractMessage> {
+        let mut proto = AbstractMessage::new(self.reply_variant(app.name()));
+        match &self.reply_action {
+            ReplyAction::Field(path) => {
+                // Strip the `.reply` suffix for the wire label.
+                let label = app.name().strip_suffix(".reply").unwrap_or(app.name());
+                proto.set_path(path, Value::Str(label.to_owned()))?;
+            }
+            ReplyAction::FieldWithSuffix { path, suffix } => {
+                let label = app.name().strip_suffix(".reply").unwrap_or(app.name());
+                proto.set_path(path, Value::Str(format!("{label}{suffix}")))?;
+            }
+            ReplyAction::Correlated => {}
+        }
+        if let (Some(corr), Some(req)) = (&self.correlation, request_proto) {
+            if let Ok(v) = req.get_path(corr) {
+                proto.set_path(corr, v.clone())?;
+            }
+        }
+        let rule = Self::resolve_rule(&self.reply_params, app.name());
+        self.place_params(&mut proto, app, rule)?;
+        self.apply_defaults(&mut proto, &self.reply_defaults)?;
+        Ok(proto)
+    }
+
+    /// Recovers the application reply from a parsed protocol message.
+    /// `pending_op` names the operation being answered (correlated
+    /// replies); `template` supplies positional parameter names.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Binding`] when the reply cannot be attributed.
+    pub fn unbind_reply(
+        &self,
+        proto: &AbstractMessage,
+        pending_op: &str,
+        template: Option<&AbstractMessage>,
+    ) -> Result<AbstractMessage> {
+        let name = match &self.reply_action {
+            ReplyAction::Field(path) => {
+                let label = proto.get_path(path)?.to_text();
+                format!("{label}.reply")
+            }
+            ReplyAction::FieldWithSuffix { path, suffix } => {
+                let label = proto.get_path(path)?.to_text();
+                let label = label.strip_suffix(suffix.as_str()).unwrap_or(&label);
+                format!("{label}.reply")
+            }
+            ReplyAction::Correlated => format!("{pending_op}.reply"),
+        };
+        let mut app = AbstractMessage::new(&name);
+        let rule = Self::resolve_rule(&self.reply_params, &name);
+        self.extract_params(&mut app, proto, rule, template)?;
+        Ok(app)
+    }
+
+    fn apply_defaults(
+        &self,
+        proto: &mut AbstractMessage,
+        defaults: &[(FieldPath, Value)],
+    ) -> Result<()> {
+        for (path, value) in defaults {
+            if proto.get_path(path).is_err() {
+                proto.set_path(path, value.clone())?;
+            }
+        }
+        Ok(())
+    }
+
+    fn place_params(
+        &self,
+        proto: &mut AbstractMessage,
+        app: &AbstractMessage,
+        rule: &ParamRule,
+    ) -> Result<()> {
+        match rule {
+            ParamRule::PerAction { .. } => {
+                let rule = Self::resolve_rule(rule, app.name());
+                self.place_params(proto, app, rule)
+            }
+            ParamRule::None => Ok(()),
+            ParamRule::PositionalArray(path) => {
+                let items: Vec<Value> =
+                    app.fields().iter().map(|f| f.value().clone()).collect();
+                proto.set_path(path, Value::Array(items))?;
+                Ok(())
+            }
+            ParamRule::Wrapped { array, item } => {
+                let items: Vec<Value> = app
+                    .fields()
+                    .iter()
+                    .map(|f| Value::Struct(vec![Field::new(item.clone(), f.value().clone())]))
+                    .collect();
+                proto.set_path(array, Value::Array(items))?;
+                Ok(())
+            }
+            ParamRule::NamedFields(prefix) => {
+                for f in app.fields() {
+                    match prefix {
+                        None => proto.set_field(f.label(), f.value().clone()),
+                        Some(p) => {
+                            proto.set_path(&p.child(f.label()), f.value().clone())?;
+                        }
+                    }
+                }
+                Ok(())
+            }
+            ParamRule::Query { uri_field } => {
+                let base = proto.get_path(uri_field)?.to_text();
+                let mut uri = base;
+                let mut first = !uri.contains('?');
+                for f in app.fields() {
+                    if f.value().is_null() {
+                        continue;
+                    }
+                    uri.push(if first { '?' } else { '&' });
+                    first = false;
+                    uri.push_str(&percent_encode(f.label()));
+                    uri.push('=');
+                    uri.push_str(&percent_encode(&f.value().to_text()));
+                }
+                proto.set_path(uri_field, Value::Str(uri))?;
+                Ok(())
+            }
+        }
+    }
+
+    fn extract_params(
+        &self,
+        app: &mut AbstractMessage,
+        proto: &AbstractMessage,
+        rule: &ParamRule,
+        template: Option<&AbstractMessage>,
+    ) -> Result<()> {
+        match rule {
+            ParamRule::PerAction { .. } => {
+                let rule = Self::resolve_rule(rule, app.name());
+                self.extract_params(app, proto, rule, template)
+            }
+            ParamRule::None => Ok(()),
+            ParamRule::PositionalArray(path) | ParamRule::Wrapped { array: path, .. } => {
+                let items = match proto.get_path(path) {
+                    Ok(Value::Array(items)) => items.clone(),
+                    Ok(other) => vec![other.clone()],
+                    Err(_) => Vec::new(),
+                };
+                let unwrap_item = |v: &Value| -> Value {
+                    if let ParamRule::Wrapped { item, .. } = rule {
+                        if let Value::Struct(fields) = v {
+                            if let Some(f) = fields.iter().find(|f| f.label() == item.as_str()) {
+                                return f.value().clone();
+                            }
+                        }
+                    }
+                    v.clone()
+                };
+                match template {
+                    Some(t) => {
+                        for (i, tf) in t.fields().iter().enumerate() {
+                            match items.get(i) {
+                                Some(v) => app.set_field(tf.label(), unwrap_item(v)),
+                                None if !tf.is_mandatory() => {}
+                                None => {
+                                    return Err(CoreError::Binding {
+                                        message: format!(
+                                            "missing positional parameter {} (`{}`)",
+                                            i,
+                                            tf.label()
+                                        ),
+                                    })
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        // No template: synthesize param1..paramN.
+                        for (i, v) in items.iter().enumerate() {
+                            app.set_field(&format!("param{}", i + 1), unwrap_item(v));
+                        }
+                    }
+                }
+                Ok(())
+            }
+            ParamRule::NamedFields(prefix) => {
+                let source_fields: Vec<Field> = match prefix {
+                    None => proto.fields().to_vec(),
+                    Some(p) => match proto.get_path(p) {
+                        Ok(Value::Struct(fields)) => fields.clone(),
+                        _ => Vec::new(),
+                    },
+                };
+                match template {
+                    Some(t) => {
+                        for tf in t.fields() {
+                            if let Some(f) =
+                                source_fields.iter().find(|f| f.label() == tf.label())
+                            {
+                                app.set_field(tf.label(), f.value().clone());
+                            } else if tf.is_mandatory() {
+                                return Err(CoreError::Binding {
+                                    message: format!("missing named parameter `{}`", tf.label()),
+                                });
+                            }
+                        }
+                    }
+                    None => {
+                        for f in source_fields {
+                            app.set_field(f.label(), f.value().clone());
+                        }
+                    }
+                }
+                Ok(())
+            }
+            ParamRule::Query { uri_field } => {
+                let uri = proto.get_path(uri_field)?.to_text();
+                if let Some(q) = uri.split_once('?').map(|(_, q)| q) {
+                    for pair in q.split('&').filter(|s| !s.is_empty()) {
+                        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+                        app.set_field(&percent_decode(k), Value::Str(percent_decode(v)));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Percent-encodes a query-string component (RFC 3986 unreserved set
+/// passes through).
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'.' | b'_' | b'~' => {
+                out.push(b as char)
+            }
+            other => out.push_str(&format!("%{other:02X}")),
+        }
+    }
+    out
+}
+
+/// Decodes percent-escapes (and `+` as space, tolerating form encoding).
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).unwrap_or("");
+                match u8::from_str_radix(hex, 16) {
+                    Ok(v) => {
+                        out.push(v);
+                        i += 3;
+                    }
+                    Err(_) => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            other => {
+                out.push(other);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn giop_binding() -> ProtocolBinding {
+        // Fig. 7's IIOP binding: action = GIOPRequest→Operation,
+        // ParameterN = ParameterArray→ParameterN, replies correlated by
+        // RequestID.
+        ProtocolBinding {
+            name: "IIOP".into(),
+            mdl: "GIOP.mdl".into(),
+            request_message: "GIOPRequest".into(),
+            reply_message: "GIOPReply".into(),
+            request_action: ActionRule::Field("Operation".parse().unwrap()),
+            reply_action: ReplyAction::Correlated,
+            request_params: ParamRule::PositionalArray("ParameterArray".parse().unwrap()),
+            reply_params: ParamRule::PositionalArray("ParameterArray".parse().unwrap()),
+            correlation: Some("RequestID".parse().unwrap()),
+            request_defaults: Vec::new(),
+            reply_defaults: Vec::new(),
+            request_message_overrides: Vec::new(),
+            reply_message_overrides: Vec::new(),
+        }
+    }
+
+    fn add_app() -> AbstractMessage {
+        let mut m = AbstractMessage::new("Add");
+        m.set_field("x", Value::Int(3));
+        m.set_field("y", Value::Int(4));
+        m
+    }
+
+    #[test]
+    fn fig7_bind_request_to_giop() {
+        let b = giop_binding();
+        let proto = b.bind_request(&add_app()).unwrap();
+        assert_eq!(proto.name(), "GIOPRequest");
+        assert_eq!(proto.get("Operation").unwrap().as_str(), Some("Add"));
+        assert_eq!(
+            proto.get("ParameterArray").unwrap().as_array().unwrap(),
+            &[Value::Int(3), Value::Int(4)]
+        );
+    }
+
+    #[test]
+    fn fig7_unbind_request_with_template() {
+        let b = giop_binding();
+        let proto = b.bind_request(&add_app()).unwrap();
+        let template = add_app();
+        let app = b
+            .unbind_request(&proto, |action| {
+                (action == "Add").then_some(&template)
+            })
+            .unwrap();
+        assert_eq!(app.name(), "Add");
+        assert_eq!(app.get("x").unwrap().as_int(), Some(3));
+        assert_eq!(app.get("y").unwrap().as_int(), Some(4));
+    }
+
+    #[test]
+    fn correlated_reply_roundtrip() {
+        let b = giop_binding();
+        let mut req_proto = b.bind_request(&add_app()).unwrap();
+        req_proto.set_field("RequestID", Value::UInt(77));
+        let mut app_reply = AbstractMessage::new("Add.reply");
+        app_reply.set_field("z", Value::Int(7));
+        let proto_reply = b.bind_reply(&app_reply, Some(&req_proto)).unwrap();
+        assert_eq!(proto_reply.get("RequestID").unwrap().as_uint(), Some(77));
+        let mut template = AbstractMessage::new("Add.reply");
+        template.set_field("z", Value::Null);
+        let back = b.unbind_reply(&proto_reply, "Add", Some(&template)).unwrap();
+        assert_eq!(back.name(), "Add.reply");
+        assert_eq!(back.get("z").unwrap().as_int(), Some(7));
+    }
+
+    #[test]
+    fn wrapped_params_for_xmlrpc() {
+        let b = ProtocolBinding {
+            name: "XML-RPC".into(),
+            mdl: "XMLRPC.mdl".into(),
+            request_message: "MethodCall".into(),
+            reply_message: "MethodResponse".into(),
+            request_action: ActionRule::Field("MethodName".parse().unwrap()),
+            reply_action: ReplyAction::Correlated,
+            request_params: ParamRule::Wrapped {
+                array: "Params".parse().unwrap(),
+                item: "value".into(),
+            },
+            reply_params: ParamRule::Wrapped {
+                array: "Params".parse().unwrap(),
+                item: "value".into(),
+            },
+            correlation: None,
+            request_defaults: Vec::new(),
+            reply_defaults: Vec::new(),
+            request_message_overrides: Vec::new(),
+            reply_message_overrides: Vec::new(),
+        };
+        let mut app = AbstractMessage::new("flickr.photos.search");
+        app.set_field("text", Value::from("tree"));
+        let proto = b.bind_request(&app).unwrap();
+        let params = proto.get("Params").unwrap().as_array().unwrap();
+        match &params[0] {
+            Value::Struct(fields) => {
+                assert_eq!(fields[0].label(), "value");
+                assert_eq!(fields[0].value().as_str(), Some("tree"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let mut template = AbstractMessage::new("flickr.photos.search");
+        template.set_field("text", Value::Null);
+        let back = b
+            .unbind_request(&proto, |a| {
+                (a == "flickr.photos.search").then_some(&template)
+            })
+            .unwrap();
+        assert_eq!(back.get("text").unwrap().as_str(), Some("tree"));
+    }
+
+    #[test]
+    fn rest_route_and_query_binding() {
+        let b = ProtocolBinding {
+            name: "REST".into(),
+            mdl: "HTTP.mdl".into(),
+            request_message: "HTTPRequest".into(),
+            reply_message: "HTTPResponse".into(),
+            request_action: ActionRule::Rest {
+                method_field: "Method".parse().unwrap(),
+                uri_field: "RequestURI".parse().unwrap(),
+                routes: vec![RestRoute {
+                    action: "picasa.photos.search".into(),
+                    method: "GET".into(),
+                    path: "/data/feed/api/all".into(),
+                }],
+            },
+            reply_action: ReplyAction::Correlated,
+            request_params: ParamRule::Query {
+                uri_field: "RequestURI".parse().unwrap(),
+            },
+            reply_params: ParamRule::NamedFields(None),
+            correlation: None,
+            request_defaults: Vec::new(),
+            reply_defaults: Vec::new(),
+            request_message_overrides: Vec::new(),
+            reply_message_overrides: Vec::new(),
+        };
+        let mut app = AbstractMessage::new("picasa.photos.search");
+        app.set_field("q", Value::from("tall tree"));
+        app.set_field("max-results", Value::Int(3));
+        let proto = b.bind_request(&app).unwrap();
+        assert_eq!(proto.get("Method").unwrap().as_str(), Some("GET"));
+        assert_eq!(
+            proto.get("RequestURI").unwrap().as_str(),
+            Some("/data/feed/api/all?q=tall%20tree&max-results=3")
+        );
+        let back = b.unbind_request(&proto, |_| None).unwrap();
+        assert_eq!(back.name(), "picasa.photos.search");
+        assert_eq!(back.get("q").unwrap().as_str(), Some("tall tree"));
+        assert_eq!(back.get("max-results").unwrap().as_str(), Some("3"));
+    }
+
+    #[test]
+    fn rest_unknown_route_is_an_error() {
+        let b = ProtocolBinding {
+            name: "REST".into(),
+            mdl: "HTTP.mdl".into(),
+            request_message: "HTTPRequest".into(),
+            reply_message: "HTTPResponse".into(),
+            request_action: ActionRule::Rest {
+                method_field: "Method".parse().unwrap(),
+                uri_field: "RequestURI".parse().unwrap(),
+                routes: vec![],
+            },
+            reply_action: ReplyAction::Correlated,
+            request_params: ParamRule::None,
+            reply_params: ParamRule::None,
+            correlation: None,
+            request_defaults: Vec::new(),
+            reply_defaults: Vec::new(),
+            request_message_overrides: Vec::new(),
+            reply_message_overrides: Vec::new(),
+        };
+        assert!(matches!(
+            b.bind_request(&AbstractMessage::new("nope")),
+            Err(CoreError::Binding { .. })
+        ));
+    }
+
+    #[test]
+    fn named_fields_with_prefix() {
+        let b = ProtocolBinding {
+            name: "T".into(),
+            mdl: "t".into(),
+            request_message: "Req".into(),
+            reply_message: "Rep".into(),
+            request_action: ActionRule::Field("op".parse().unwrap()),
+            reply_action: ReplyAction::Correlated,
+            request_params: ParamRule::NamedFields(Some("body".parse().unwrap())),
+            reply_params: ParamRule::None,
+            correlation: None,
+            request_defaults: Vec::new(),
+            reply_defaults: Vec::new(),
+            request_message_overrides: Vec::new(),
+            reply_message_overrides: Vec::new(),
+        };
+        let mut app = AbstractMessage::new("do");
+        app.set_field("k", Value::from("v"));
+        let proto = b.bind_request(&app).unwrap();
+        assert_eq!(
+            proto
+                .get_path(&"body.k".parse().unwrap())
+                .unwrap()
+                .as_str(),
+            Some("v")
+        );
+        let mut template = AbstractMessage::new("do");
+        template.set_field("k", Value::Null);
+        let back = b
+            .unbind_request(&proto, |a| (a == "do").then_some(&template))
+            .unwrap();
+        assert_eq!(back.get("k").unwrap().as_str(), Some("v"));
+    }
+
+    #[test]
+    fn missing_mandatory_named_param_detected() {
+        let b = ProtocolBinding {
+            name: "T".into(),
+            mdl: "t".into(),
+            request_message: "Req".into(),
+            reply_message: "Rep".into(),
+            request_action: ActionRule::Field("op".parse().unwrap()),
+            reply_action: ReplyAction::Correlated,
+            request_params: ParamRule::NamedFields(None),
+            reply_params: ParamRule::None,
+            correlation: None,
+            request_defaults: Vec::new(),
+            reply_defaults: Vec::new(),
+            request_message_overrides: Vec::new(),
+            reply_message_overrides: Vec::new(),
+        };
+        let mut proto = AbstractMessage::new("Req");
+        proto.set_field("op", Value::from("do"));
+        let mut template = AbstractMessage::new("do");
+        template.set_field("needed", Value::Null);
+        assert!(matches!(
+            b.unbind_request(&proto, |a| (a == "do").then_some(&template)),
+            Err(CoreError::Binding { .. })
+        ));
+    }
+
+    #[test]
+    fn percent_coding_roundtrip() {
+        for s in ["plain", "with space", "a&b=c", "naïve café", "100%"] {
+            assert_eq!(percent_decode(&percent_encode(s)), s);
+        }
+        assert_eq!(percent_decode("a+b"), "a b");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn optional_positional_params_may_be_absent() {
+        let b = giop_binding();
+        let mut proto = AbstractMessage::new("GIOPRequest");
+        proto.set_field("Operation", Value::from("op"));
+        proto.set_field("ParameterArray", Value::Array(vec![Value::Int(1)]));
+        let mut template = AbstractMessage::new("op");
+        template.set_field("a", Value::Null);
+        template.push_field(Field::optional("b", Value::Null));
+        let app = b
+            .unbind_request(&proto, |a| (a == "op").then_some(&template))
+            .unwrap();
+        assert_eq!(app.get("a").unwrap().as_int(), Some(1));
+        assert!(app.get("b").is_none());
+    }
+}

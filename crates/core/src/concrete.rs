@@ -1,0 +1,348 @@
+//! Concretization: producing the application-middleware automaton of
+//! paper §4.3–4.4 (Fig. 7/8).
+//!
+//! The abstract (merged) automaton carries application actions and
+//! application-level MTL. Binding it to protocols yields the *concrete*
+//! automaton whose transitions carry protocol message templates
+//! (`!GIOPRequest(Add, X, Y)`) and whose MTL references protocol field
+//! paths (`S22.SOAPRqst → X = S21.GIOPRqst → X`). The engine executes
+//! the abstract automaton with bindings applied at the edges — an
+//! equivalent formulation — so `concretize` exists for inspection,
+//! export, DOT rendering, and the Fig. 7/8 reproduction tests.
+
+use crate::binding::{ParamRule, ProtocolBinding};
+use crate::Result;
+use starlink_automata::{Action, Automaton, Transition};
+use starlink_message::{AbstractMessage, FieldPath, PathSegment};
+use starlink_mtl::MtlProgram;
+use std::collections::HashMap;
+
+/// Where a state's message sits in the request/reply cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Request,
+    Reply,
+}
+
+/// Binds every transition of a (possibly merged) automaton to concrete
+/// protocol messages using the per-color bindings.
+///
+/// # Errors
+///
+/// Binding failures (unroutable actions) and automaton construction
+/// failures.
+pub fn concretize(
+    automaton: &Automaton,
+    bindings: &HashMap<u8, ProtocolBinding>,
+) -> Result<Automaton> {
+    let mut out = Automaton::new(format!("{}-concrete", automaton.name()), automaton.color());
+    for s in automaton.states() {
+        out.add_colored_state(s.id.clone(), s.colors.clone());
+    }
+    if let Some(init) = automaton.initial() {
+        out.set_initial(init)?;
+    }
+    for f in automaton.finals() {
+        out.add_final(f)?;
+    }
+    for color in bindings.keys() {
+        if let Some(n) = automaton.network(*color) {
+            out.set_network(*color, n.clone());
+        }
+    }
+
+    // Map every send/receive endpoint state to the application message
+    // handled there, for MTL rewriting.
+    let mut at_state: HashMap<String, (u8, Kind, AbstractMessage)> = HashMap::new();
+    for t in automaton.transitions() {
+        let color = automaton
+            .state(&t.from)
+            .map(|s| s.colors[0])
+            .unwrap_or(automaton.color());
+        match &t.action {
+            Action::Send(m) => {
+                at_state.insert(t.from.clone(), (color, kind_of(m), m.clone()));
+            }
+            Action::Receive(m) => {
+                at_state.insert(t.to.clone(), (color, kind_of(m), m.clone()));
+            }
+            Action::Gamma { .. } => {}
+        }
+    }
+
+    for t in automaton.transitions() {
+        let color = automaton
+            .state(&t.from)
+            .map(|s| s.colors[0])
+            .unwrap_or(automaton.color());
+        let binding = bindings.get(&color);
+        let action = match (&t.action, binding) {
+            (Action::Send(m), Some(b)) => Action::Send(bind_template(b, m)?),
+            (Action::Receive(m), Some(b)) => Action::Receive(bind_template(b, m)?),
+            (Action::Gamma { mtl }, _) => {
+                let mut program = MtlProgram::parse(mtl)?;
+                program.rewrite_refs(|slot, path| {
+                    if let (Some((c, kind, template)), Some(p)) =
+                        (at_state.get(slot.as_str()), path.as_mut())
+                    {
+                        if let Some(b) = bindings.get(c) {
+                            if let Some(rewritten) = protocol_path(b, *kind, template, p) {
+                                *p = rewritten;
+                            }
+                        }
+                    }
+                });
+                Action::Gamma {
+                    mtl: program.to_string(),
+                }
+            }
+            (other, None) => other.clone(),
+        };
+        out.add_transition(Transition {
+            from: t.from.clone(),
+            to: t.to.clone(),
+            action,
+            network: t.network.clone(),
+        })?;
+    }
+    Ok(out)
+}
+
+
+fn resolve_per_action<'r>(rule: &'r ParamRule, action: &str) -> &'r ParamRule {
+    match rule {
+        ParamRule::PerAction { rules, default } => {
+            let op = action.strip_suffix(".reply").unwrap_or(action);
+            rules
+                .iter()
+                .find(|(a, _)| a == op || a == action)
+                .map(|(_, r)| r)
+                .unwrap_or(default)
+        }
+        other => other,
+    }
+}
+
+fn kind_of(m: &AbstractMessage) -> Kind {
+    if m.name().ends_with(".reply") {
+        Kind::Reply
+    } else {
+        Kind::Request
+    }
+}
+
+fn bind_template(b: &ProtocolBinding, app: &AbstractMessage) -> Result<AbstractMessage> {
+    match kind_of(app) {
+        Kind::Request => b.bind_request(app),
+        Kind::Reply => b.bind_reply(app, None),
+    }
+}
+
+/// Rewrites an application field path into the protocol field path the
+/// binding places it at (`X` → `ParameterArray[0]`, `q` → `Params.q`, …).
+/// Returns `None` when the rule keeps application paths intact or the
+/// field is not part of the template.
+fn protocol_path(
+    b: &ProtocolBinding,
+    kind: Kind,
+    template: &AbstractMessage,
+    app_path: &FieldPath,
+) -> Option<FieldPath> {
+    let base = match kind {
+        Kind::Request => &b.request_params,
+        Kind::Reply => &b.reply_params,
+    };
+    let rule = resolve_per_action(base, template.name());
+    let head = match app_path.head() {
+        PathSegment::Name(n) => n.clone(),
+        PathSegment::Index(_) => return None,
+    };
+    let rest: Vec<PathSegment> = app_path.segments()[1..].to_vec();
+    let position = template.fields().iter().position(|f| f.label() == head);
+    let mut segments: Vec<PathSegment> = match rule {
+        ParamRule::PositionalArray(array) => {
+            let i = position?;
+            let mut s: Vec<PathSegment> = array.segments().to_vec();
+            s.push(PathSegment::Index(i));
+            s
+        }
+        ParamRule::Wrapped { array, item } => {
+            let i = position?;
+            let mut s: Vec<PathSegment> = array.segments().to_vec();
+            s.push(PathSegment::Index(i));
+            s.push(PathSegment::Name(item.clone()));
+            s
+        }
+        ParamRule::NamedFields(Some(prefix)) => {
+            let mut s: Vec<PathSegment> = prefix.segments().to_vec();
+            s.push(PathSegment::Name(head));
+            s
+        }
+        ParamRule::NamedFields(None) => return None,
+        ParamRule::Query { uri_field } => uri_field.segments().to_vec(),
+        ParamRule::None | ParamRule::PerAction { .. } => return None,
+    };
+    segments.extend(rest);
+    FieldPath::from_segments(segments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::{ActionRule, ReplyAction};
+    use starlink_automata::merge::{template, MergeBuilder};
+    use starlink_automata::linear_usage_protocol;
+    use starlink_message::Value;
+
+    fn iiop_binding() -> ProtocolBinding {
+        ProtocolBinding {
+            name: "IIOP".into(),
+            mdl: "GIOP.mdl".into(),
+            request_message: "GIOPRequest".into(),
+            reply_message: "GIOPReply".into(),
+            request_action: ActionRule::Field("Operation".parse().unwrap()),
+            reply_action: ReplyAction::Correlated,
+            request_params: ParamRule::PositionalArray("ParameterArray".parse().unwrap()),
+            reply_params: ParamRule::PositionalArray("ParameterArray".parse().unwrap()),
+            correlation: Some("RequestID".parse().unwrap()),
+            request_defaults: Vec::new(),
+            reply_defaults: Vec::new(),
+            request_message_overrides: Vec::new(),
+            reply_message_overrides: Vec::new(),
+        }
+    }
+
+    fn soap_binding() -> ProtocolBinding {
+        ProtocolBinding {
+            name: "SOAP".into(),
+            mdl: "SOAP.mdl".into(),
+            request_message: "SOAPRequest".into(),
+            reply_message: "SOAPReply".into(),
+            request_action: ActionRule::Field("MethodName".parse().unwrap()),
+            reply_action: ReplyAction::Field("MethodName".parse().unwrap()),
+            request_params: ParamRule::PositionalArray("Params".parse().unwrap()),
+            reply_params: ParamRule::PositionalArray("Params".parse().unwrap()),
+            correlation: None,
+            request_defaults: Vec::new(),
+            reply_defaults: Vec::new(),
+            request_message_overrides: Vec::new(),
+            reply_message_overrides: Vec::new(),
+        }
+    }
+
+    fn add_usage() -> Automaton {
+        linear_usage_protocol(
+            "AddClient",
+            1,
+            &[(template("Add", &["x", "y"]), template("Add.reply", &["z"]))],
+        )
+    }
+
+    #[test]
+    fn fig7_binding_to_iiop_and_soap() {
+        // The same abstract Add automaton binds to both protocols.
+        let usage = add_usage();
+        let iiop = concretize(&usage, &HashMap::from([(1, iiop_binding())])).unwrap();
+        let soap = concretize(&usage, &HashMap::from([(1, soap_binding())])).unwrap();
+
+        let iiop_labels: Vec<String> =
+            iiop.transitions().iter().map(|t| t.action.label()).collect();
+        assert_eq!(iiop_labels, vec!["!GIOPRequest", "?GIOPReply"]);
+        let soap_labels: Vec<String> =
+            soap.transitions().iter().map(|t| t.action.label()).collect();
+        assert_eq!(soap_labels, vec!["!SOAPRequest", "?SOAPReply"]);
+
+        // The action label landed in the binding's action field.
+        let req = iiop.transitions()[0].action.message().unwrap();
+        assert_eq!(req.get("Operation").unwrap().as_str(), Some("Add"));
+        let sreq = soap.transitions()[0].action.message().unwrap();
+        assert_eq!(sreq.get("MethodName").unwrap().as_str(), Some("Add"));
+    }
+
+    #[test]
+    fn fig8_concrete_merged_automaton() {
+        // Merged Add(IIOP client) / Plus(SOAP service) automaton.
+        let mut b = MergeBuilder::new("Add+Plus", 1, 2);
+        b.intertwined(
+            template("Add", &["x", "y"]),
+            template("Add.reply", &["z"]),
+            template("Plus", &["x", "y"]),
+            template("Plus.reply", &["z"]),
+            "m2.x = m1.x\nm2.y = m1.y",
+            "m5.z = m4.z",
+        )
+        .unwrap();
+        let (merged, _) = b.finish().unwrap();
+
+        let bindings = HashMap::from([(1, iiop_binding()), (2, soap_binding())]);
+        let concrete = concretize(&merged, &bindings).unwrap();
+
+        // Send/receive transitions now carry protocol messages; client
+        // color 1 is GIOP, service color 2 is SOAP.
+        let labels: Vec<String> = concrete
+            .transitions()
+            .iter()
+            .map(|t| t.action.label())
+            .collect();
+        assert_eq!(
+            labels,
+            vec![
+                "?GIOPRequest",
+                "γ",
+                "!SOAPRequest",
+                "?SOAPReply",
+                "γ",
+                "!GIOPReply"
+            ]
+        );
+
+        // Fig. 8's concrete MTL: S22.SOAPRqst→X = S21.GIOPRqst→X becomes
+        // positional ParameterArray paths on both sides.
+        let request_gamma = match &concrete.transitions()[1].action {
+            Action::Gamma { mtl } => mtl.clone(),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(request_gamma.contains("m2.Params[0] = m1.ParameterArray[0]"));
+        assert!(request_gamma.contains("m2.Params[1] = m1.ParameterArray[1]"));
+        let reply_gamma = match &concrete.transitions()[4].action {
+            Action::Gamma { mtl } => mtl.clone(),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(reply_gamma.contains("m5.ParameterArray[0] = m4.Params[0]"));
+    }
+
+    #[test]
+    fn named_prefix_rewrite() {
+        let mut binding = soap_binding();
+        binding.request_params = ParamRule::NamedFields(Some("Body".parse().unwrap()));
+        let t = template("op", &["k"]);
+        let rewritten = protocol_path(
+            &binding,
+            Kind::Request,
+            &t,
+            &"k.sub".parse().unwrap(),
+        )
+        .unwrap();
+        assert_eq!(rewritten.to_string(), "Body.k.sub");
+    }
+
+    #[test]
+    fn unknown_fields_left_alone() {
+        let binding = iiop_binding();
+        let t = template("op", &["k"]);
+        assert!(protocol_path(&binding, Kind::Request, &t, &"zz".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn concrete_reply_template_has_status_defaults() {
+        let mut binding = soap_binding();
+        binding.reply_defaults = vec![(
+            "Status".parse().unwrap(),
+            Value::Str("200".into()),
+        )];
+        let usage = add_usage();
+        let concrete = concretize(&usage, &HashMap::from([(1, binding)])).unwrap();
+        let reply = concrete.transitions()[1].action.message().unwrap();
+        assert_eq!(reply.get("Status").unwrap().as_str(), Some("200"));
+    }
+}

@@ -1,0 +1,123 @@
+use std::fmt;
+
+/// Errors produced by the Starlink runtime.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Message-model failure (field paths, values).
+    Message(starlink_message::MessageError),
+    /// MDL spec or codec failure.
+    Mdl(starlink_mdl::MdlError),
+    /// Automaton model failure.
+    Automaton(starlink_automata::AutomatonError),
+    /// MTL translation failure.
+    Mtl(starlink_mtl::MtlLangError),
+    /// Network engine failure.
+    Net(starlink_net::NetError),
+    /// A registry lookup failed.
+    NotRegistered {
+        /// What kind of model was looked up (`"mdl"`, `"automaton"`).
+        kind: &'static str,
+        /// The name that missed.
+        name: String,
+    },
+    /// The automaton reached a state whose outgoing transitions cannot
+    /// process the situation (e.g. an unexpected message arrived).
+    UnexpectedMessage {
+        /// The state the engine was in.
+        state: String,
+        /// The (application-level) message that arrived.
+        received: String,
+        /// The action labels that were acceptable.
+        expected: Vec<String>,
+    },
+    /// The engine reached a state with no outgoing transition that is
+    /// not final.
+    Stuck {
+        /// The state in question.
+        state: String,
+    },
+    /// A binding could not translate between application and protocol
+    /// levels.
+    Binding {
+        /// Human-readable description.
+        message: String,
+    },
+    /// The session was aborted by the peer or by a handler.
+    Aborted {
+        /// Why.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Message(e) => write!(f, "message error: {e}"),
+            CoreError::Mdl(e) => write!(f, "mdl error: {e}"),
+            CoreError::Automaton(e) => write!(f, "automaton error: {e}"),
+            CoreError::Mtl(e) => write!(f, "mtl error: {e}"),
+            CoreError::Net(e) => write!(f, "network error: {e}"),
+            CoreError::NotRegistered { kind, name } => {
+                write!(f, "no {kind} registered under `{name}`")
+            }
+            CoreError::UnexpectedMessage {
+                state,
+                received,
+                expected,
+            } => write!(
+                f,
+                "unexpected message `{received}` in state `{state}` (expected one of: {})",
+                expected.join(", ")
+            ),
+            CoreError::Stuck { state } => {
+                write!(f, "automaton stuck in non-final state `{state}`")
+            }
+            CoreError::Binding { message } => write!(f, "binding error: {message}"),
+            CoreError::Aborted { reason } => write!(f, "session aborted: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Message(e) => Some(e),
+            CoreError::Mdl(e) => Some(e),
+            CoreError::Automaton(e) => Some(e),
+            CoreError::Mtl(e) => Some(e),
+            CoreError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<starlink_message::MessageError> for CoreError {
+    fn from(e: starlink_message::MessageError) -> Self {
+        CoreError::Message(e)
+    }
+}
+
+impl From<starlink_mdl::MdlError> for CoreError {
+    fn from(e: starlink_mdl::MdlError) -> Self {
+        CoreError::Mdl(e)
+    }
+}
+
+impl From<starlink_automata::AutomatonError> for CoreError {
+    fn from(e: starlink_automata::AutomatonError) -> Self {
+        CoreError::Automaton(e)
+    }
+}
+
+impl From<starlink_mtl::MtlLangError> for CoreError {
+    fn from(e: starlink_mtl::MtlLangError) -> Self {
+        CoreError::Mtl(e)
+    }
+}
+
+impl From<starlink_net::NetError> for CoreError {
+    fn from(e: starlink_net::NetError) -> Self {
+        CoreError::Net(e)
+    }
+}

@@ -1,0 +1,55 @@
+//! The Starlink runtime: binding models to protocols, generating
+//! mediators, and executing k-colored automata against the network.
+//!
+//! This crate is the paper's primary contribution (Fig. 6): a "runtime
+//! middleware framework which provides an engine to dynamically interpret
+//! and execute middleware models".
+//!
+//! * [`ProtocolBinding`] — the action/data rules of §4.3 (Fig. 7) that
+//!   bind an abstract API-usage automaton to a concrete protocol: where
+//!   the action label lives in the protocol message, and how application
+//!   parameters map onto protocol fields,
+//! * [`ModelRegistry`] — named MDL codecs and automata, the deployable
+//!   model bundle,
+//! * [`concretize`] — produces the concrete application-middleware
+//!   automaton of Fig. 7/8 (protocol message templates on transitions,
+//!   MTL rewritten onto protocol field paths) for inspection and export,
+//! * [`RpcClient`] / [`RpcServer`] — application endpoints executing
+//!   their side of an application-middleware automaton (used to build
+//!   the case study's heterogeneous clients and services),
+//! * [`Mediator`] / [`MediatorHost`] — the automata engine of §4.2:
+//!   receiving states block on parsed messages, no-action (γ) states run
+//!   MTL translations, sending states compose and transmit; sessions are
+//!   spawned per client connection.
+//!
+//! Execution note: the engine applies binding rules *at the network
+//! edges* (parse→unbind on receive, bind→compose on send) and runs MTL on
+//! application-level messages. This is semantically the concrete merged
+//! automaton of Fig. 8 — `concretize` materialises that view — but keeps
+//! translation programs independent of protocol field layouts, which is
+//! exactly the property §5.2 claims for the approach.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod binding;
+mod concrete;
+mod engine;
+mod error;
+mod mediator;
+mod monitor;
+mod registry;
+mod rpc;
+
+pub use binding::{ActionRule, ParamRule, ProtocolBinding, ReplyAction, RestRoute};
+pub use binding::{percent_decode, percent_encode};
+pub use concrete::concretize;
+pub use engine::{ColorRuntime, SessionOutcome};
+pub use error::CoreError;
+pub use mediator::{Mediator, MediatorHost};
+pub use monitor::ProtocolMonitor;
+pub use registry::ModelRegistry;
+pub use rpc::{RpcClient, RpcServer, ServiceHandler, ServiceInterface};
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,182 @@
+//! Mediator construction and deployment.
+//!
+//! A [`Mediator`] packages a merged k-colored automaton with per-color
+//! runtime configurations; a [`MediatorHost`] deploys it "in the
+//! network" (paper §5.1): it listens at the client-facing endpoint and
+//! runs one engine session per client automaton traversal. Combined with
+//! a redirect proxy (see the apps crate) this reproduces the paper's
+//! deployment, where unmodified Flickr clients were pointed at the local
+//! Starlink mediator.
+
+use crate::engine::{ColorRuntime, ConnectionState, Session, SessionOutcome};
+use crate::error::CoreError;
+use crate::Result;
+use starlink_automata::{Action, Automaton};
+use starlink_message::AbstractMessage;
+use starlink_mtl::MtlProgram;
+use starlink_net::{Connection, Endpoint, NetworkEngine};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A deployable mediator: merged automaton + per-color runtimes.
+pub struct Mediator {
+    automaton: Arc<Automaton>,
+    client_color: u8,
+    runtimes: HashMap<u8, ColorRuntime>,
+    gammas: HashMap<(String, String), MtlProgram>,
+    templates: HashMap<String, AbstractMessage>,
+    net: NetworkEngine,
+    /// Per-exchange receive timeout.
+    pub timeout: Duration,
+}
+
+impl Mediator {
+    /// Builds a mediator, pre-parsing every γ-transition's MTL program
+    /// and collecting the application message templates the binding
+    /// rules need.
+    ///
+    /// # Errors
+    ///
+    /// Automaton validation failures and MTL syntax errors (reported at
+    /// deployment time, not mid-session).
+    pub fn new(
+        automaton: Automaton,
+        client_color: u8,
+        runtimes: Vec<ColorRuntime>,
+        net: NetworkEngine,
+    ) -> Result<Mediator> {
+        automaton.validate()?;
+        let mut gammas = HashMap::new();
+        let mut templates = HashMap::new();
+        for t in automaton.transitions() {
+            match &t.action {
+                Action::Gamma { mtl } => {
+                    let program = MtlProgram::parse(mtl)?;
+                    gammas.insert((t.from.clone(), t.to.clone()), program);
+                }
+                Action::Send(m) | Action::Receive(m) => {
+                    templates.insert(m.name().to_owned(), m.clone());
+                }
+            }
+        }
+        Ok(Mediator {
+            automaton: Arc::new(automaton),
+            client_color,
+            runtimes: runtimes.into_iter().map(|r| (r.color, r)).collect(),
+            gammas,
+            templates,
+            net,
+            timeout: Duration::from_secs(10),
+        })
+    }
+
+    /// The merged automaton this mediator executes.
+    pub fn automaton(&self) -> &Automaton {
+        &self.automaton
+    }
+
+    /// Runs one full automaton traversal against an already-accepted
+    /// client connection (testing / embedded use).
+    ///
+    /// # Errors
+    ///
+    /// Any engine failure; the connection should be dropped afterwards.
+    pub fn run_session(&self, client_conn: &mut dyn Connection) -> Result<SessionOutcome> {
+        let mut state = ConnectionState::new();
+        self.session().run(client_conn, &mut state)
+    }
+
+    fn session(&self) -> Session<'_> {
+        Session {
+            automaton: &self.automaton,
+            client_color: self.client_color,
+            runtimes: &self.runtimes,
+            gammas: &self.gammas,
+            templates: &self.templates,
+            net: &self.net,
+            timeout: self.timeout,
+        }
+    }
+}
+
+/// A deployed mediator: listening at the client-facing endpoint,
+/// spawning a session loop per client connection.
+pub struct MediatorHost {
+    endpoint: Endpoint,
+    stop: Arc<AtomicBool>,
+    sessions: Arc<AtomicUsize>,
+}
+
+impl MediatorHost {
+    /// Deploys the mediator at `listen`.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn deploy(mediator: Mediator, listen: &Endpoint) -> Result<MediatorHost> {
+        let listener = mediator.net.listen(listen)?;
+        let endpoint = listener.local_endpoint();
+        let stop = Arc::new(AtomicBool::new(false));
+        let sessions = Arc::new(AtomicUsize::new(0));
+        let accept_stop = stop.clone();
+        let session_count = sessions.clone();
+        let mediator = Arc::new(mediator);
+        std::thread::spawn(move || {
+            while !accept_stop.load(Ordering::SeqCst) {
+                let mut conn = match listener.accept() {
+                    Ok(c) => c,
+                    Err(_) => return,
+                };
+                let mediator = mediator.clone();
+                let stop = accept_stop.clone();
+                let session_count = session_count.clone();
+                std::thread::spawn(move || {
+                    // The translation cache persists across traversals on
+                    // the same connection (getInfo after search).
+                    let mut state = ConnectionState::new();
+                    while !stop.load(Ordering::SeqCst) {
+                        match mediator.session().run(conn.as_mut(), &mut state) {
+                            Ok(_) => {
+                                session_count.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Err(CoreError::Net(starlink_net::NetError::Closed)) => return,
+                            Err(CoreError::Net(starlink_net::NetError::Timeout)) => {
+                                continue;
+                            }
+                            Err(_) => return,
+                        }
+                    }
+                });
+            }
+        });
+        Ok(MediatorHost {
+            endpoint,
+            stop,
+            sessions,
+        })
+    }
+
+    /// The endpoint the mediator is reachable at.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Number of completed sessions (traversals) so far.
+    pub fn completed_sessions(&self) -> usize {
+        self.sessions.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown: no new sessions start; in-flight sessions end
+    /// at their next timeout check.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Drop for MediatorHost {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,226 @@
+//! Runtime conformance monitoring against an API usage protocol.
+//!
+//! Paper §3.1: the usage-protocol automaton "acts as a call graph of
+//! invoked operations and specifies the order in which they should be
+//! invoked". A [`ProtocolMonitor`] enforces that order at runtime: each
+//! observed send/receive advances the automaton; an action the protocol
+//! does not allow in the current state is a conformance violation —
+//! caught *before* a non-conforming request reaches the network when the
+//! monitor is attached to an [`crate::RpcClient`].
+
+use crate::error::CoreError;
+use crate::Result;
+use starlink_automata::{Action, Automaton};
+use starlink_message::Direction;
+use std::sync::Arc;
+
+/// A cursor over a usage-protocol automaton, advanced by observed
+/// actions.
+#[derive(Clone)]
+pub struct ProtocolMonitor {
+    automaton: Arc<Automaton>,
+    current: String,
+    observed: usize,
+}
+
+impl ProtocolMonitor {
+    /// Creates a monitor at the automaton's initial state.
+    ///
+    /// # Errors
+    ///
+    /// Validation failures of the underlying automaton.
+    pub fn new(automaton: Automaton) -> Result<ProtocolMonitor> {
+        automaton.validate()?;
+        let current = automaton
+            .initial()
+            .expect("validate() guarantees an initial state")
+            .to_owned();
+        Ok(ProtocolMonitor {
+            automaton: Arc::new(automaton),
+            current,
+            observed: 0,
+        })
+    }
+
+    /// The state the monitor is currently in.
+    pub fn state(&self) -> &str {
+        &self.current
+    }
+
+    /// Number of actions observed since the last reset.
+    pub fn observed(&self) -> usize {
+        self.observed
+    }
+
+    /// Whether the protocol run so far may stop here.
+    pub fn is_accepting(&self) -> bool {
+        self.automaton.is_final(&self.current)
+    }
+
+    /// Observes one action (`!` for sends, `?` for receives) on the named
+    /// message and advances the automaton. Silent γ-transitions are
+    /// crossed automatically.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnexpectedMessage`] when the usage protocol does not
+    /// allow the action in the current state; the monitor state is left
+    /// unchanged so the caller can recover or report.
+    pub fn observe(&mut self, direction: Direction, message_name: &str) -> Result<()> {
+        let label = format!("{}{message_name}", direction.symbol());
+        let mut probe = self.current.clone();
+        // Cross γ-transitions until the action matches or nothing is left.
+        for _ in 0..self.automaton.states().len() + 1 {
+            if let Some(t) = self
+                .automaton
+                .transitions_from(&probe)
+                .find(|t| t.action.label() == label)
+            {
+                self.current = t.to.clone();
+                self.observed += 1;
+                return Ok(());
+            }
+            match self
+                .automaton
+                .transitions_from(&probe)
+                .find(|t| t.action.is_gamma())
+            {
+                Some(g) => probe = g.to.clone(),
+                None => break,
+            }
+        }
+        Err(CoreError::UnexpectedMessage {
+            state: self.current.clone(),
+            received: label,
+            expected: self
+                .automaton
+                .transitions_from(&self.current)
+                .map(|t| t.action.label())
+                .collect(),
+        })
+    }
+
+    /// Returns to the initial state (a new session).
+    pub fn reset(&mut self) {
+        self.current = self
+            .automaton
+            .initial()
+            .expect("validated automaton has an initial state")
+            .to_owned();
+        self.observed = 0;
+    }
+
+    /// The action labels allowed next (after silently crossing γs).
+    pub fn allowed(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut probe = self.current.clone();
+        for _ in 0..self.automaton.states().len() + 1 {
+            for t in self.automaton.transitions_from(&probe) {
+                if !t.action.is_gamma() {
+                    out.push(t.action.label());
+                }
+            }
+            match self
+                .automaton
+                .transitions_from(&probe)
+                .find(|t| t.action.is_gamma())
+            {
+                Some(g) => probe = g.to.clone(),
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for ProtocolMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProtocolMonitor")
+            .field("automaton", &self.automaton.name())
+            .field("state", &self.current)
+            .field("observed", &self.observed)
+            .finish()
+    }
+}
+
+/// Marker trait use: keep `Action` imported for label parity with the
+/// automaton (compile-time coupling only).
+const _: fn(&Action) -> String = Action::label;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starlink_automata::linear_usage_protocol;
+    use starlink_automata::merge::template;
+
+    fn monitor() -> ProtocolMonitor {
+        let a = linear_usage_protocol(
+            "AFlickr",
+            1,
+            &[
+                (
+                    template("flickr.photos.search", &["text"]),
+                    template("flickr.photos.search.reply", &["photos"]),
+                ),
+                (
+                    template("flickr.photos.getInfo", &["photo_id"]),
+                    template("flickr.photos.getInfo.reply", &["photo"]),
+                ),
+            ],
+        );
+        ProtocolMonitor::new(a).unwrap()
+    }
+
+    #[test]
+    fn conforming_run_accepts() {
+        let mut m = monitor();
+        assert!(!m.is_accepting());
+        m.observe(Direction::Sent, "flickr.photos.search").unwrap();
+        m.observe(Direction::Received, "flickr.photos.search.reply")
+            .unwrap();
+        m.observe(Direction::Sent, "flickr.photos.getInfo").unwrap();
+        m.observe(Direction::Received, "flickr.photos.getInfo.reply")
+            .unwrap();
+        assert!(m.is_accepting());
+        assert_eq!(m.observed(), 4);
+    }
+
+    #[test]
+    fn out_of_order_call_is_a_violation() {
+        let mut m = monitor();
+        let err = m
+            .observe(Direction::Sent, "flickr.photos.getInfo")
+            .unwrap_err();
+        match err {
+            CoreError::UnexpectedMessage { expected, .. } => {
+                assert_eq!(expected, vec!["!flickr.photos.search"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // State unchanged: the conforming call still works.
+        m.observe(Direction::Sent, "flickr.photos.search").unwrap();
+    }
+
+    #[test]
+    fn wrong_direction_is_a_violation() {
+        let mut m = monitor();
+        assert!(m
+            .observe(Direction::Received, "flickr.photos.search")
+            .is_err());
+    }
+
+    #[test]
+    fn reset_starts_over() {
+        let mut m = monitor();
+        m.observe(Direction::Sent, "flickr.photos.search").unwrap();
+        m.reset();
+        assert_eq!(m.observed(), 0);
+        m.observe(Direction::Sent, "flickr.photos.search").unwrap();
+    }
+
+    #[test]
+    fn allowed_lists_next_actions() {
+        let m = monitor();
+        assert_eq!(m.allowed(), vec!["!flickr.photos.search"]);
+    }
+}

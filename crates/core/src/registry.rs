@@ -1,0 +1,191 @@
+use crate::error::CoreError;
+use crate::Result;
+use starlink_automata::{dsl, Automaton};
+use starlink_mdl::{MdlCodec, MessageCodec};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+/// The deployable model bundle: named MDL codecs and automata.
+///
+/// A Starlink node is configured by loading models into a registry:
+/// k-colored automata reference their MDL by name (`mdl="GIOP.mdl"`),
+/// and the engine resolves those references here at execution time —
+/// this is what makes deploying a new mediator a data operation rather
+/// than a code change (§5.2's evolution claim).
+#[derive(Clone, Default)]
+pub struct ModelRegistry {
+    codecs: HashMap<String, Arc<dyn MessageCodec>>,
+    automata: HashMap<String, Arc<Automaton>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> ModelRegistry {
+        ModelRegistry::default()
+    }
+
+    /// Registers a codec under a name (typically `<Protocol>.mdl`).
+    pub fn register_codec(&mut self, name: impl Into<String>, codec: Arc<dyn MessageCodec>) {
+        self.codecs.insert(name.into(), codec);
+    }
+
+    /// Registers an automaton under its own name.
+    pub fn register_automaton(&mut self, automaton: Automaton) {
+        self.automata
+            .insert(automaton.name().to_owned(), Arc::new(automaton));
+    }
+
+    /// Resolves a codec.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotRegistered`] when absent.
+    pub fn codec(&self, name: &str) -> Result<Arc<dyn MessageCodec>> {
+        self.codecs
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CoreError::NotRegistered {
+                kind: "mdl",
+                name: name.to_owned(),
+            })
+    }
+
+    /// Resolves an automaton.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotRegistered`] when absent.
+    pub fn automaton(&self, name: &str) -> Result<Arc<Automaton>> {
+        self.automata
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CoreError::NotRegistered {
+                kind: "automaton",
+                name: name.to_owned(),
+            })
+    }
+
+    /// Names of all registered codecs, sorted.
+    pub fn codec_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.codecs.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Names of all registered automata, sorted.
+    pub fn automaton_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.automata.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Loads a model bundle from a directory: every `*.mdl` file is
+    /// compiled into a codec registered under its file name
+    /// (`GIOP.mdl`), every `*.atm` file is parsed with the automaton DSL
+    /// and registered under the automaton's own name.
+    ///
+    /// This is the deployment story of §5.2: shipping a new mediator (or
+    /// evolving an API) is a matter of dropping model files, not
+    /// rebuilding code.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures (wrapped as [`CoreError::NotRegistered`] context-free
+    /// reads are not useful, so the underlying message is preserved),
+    /// MDL compilation and DSL parse errors.
+    pub fn load_dir(&mut self, dir: &Path) -> Result<usize> {
+        let mut loaded = 0usize;
+        let entries = std::fs::read_dir(dir).map_err(|e| CoreError::Aborted {
+            reason: format!("cannot read model directory {}: {e}", dir.display()),
+        })?;
+        let mut paths: Vec<std::path::PathBuf> =
+            entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        paths.sort();
+        for path in paths {
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let read = |p: &Path| {
+                std::fs::read_to_string(p).map_err(|e| CoreError::Aborted {
+                    reason: format!("cannot read model file {}: {e}", p.display()),
+                })
+            };
+            if name.ends_with(".mdl") {
+                let text = read(&path)?;
+                let codec = MdlCodec::from_text(&text)?;
+                self.register_codec(name, Arc::new(codec));
+                loaded += 1;
+            } else if name.ends_with(".atm") {
+                let text = read(&path)?;
+                let automaton = dsl::parse(&text)?;
+                self.register_automaton(automaton);
+                loaded += 1;
+            }
+        }
+        Ok(loaded)
+    }
+
+    /// Writes a model bundle to a directory: MDL specs and automata
+    /// (DSL form). The inverse of [`ModelRegistry::load_dir`].
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn save_models(
+        dir: &Path,
+        mdl_specs: &[(&str, &str)],
+        automata: &[&Automaton],
+    ) -> Result<()> {
+        std::fs::create_dir_all(dir).map_err(|e| CoreError::Aborted {
+            reason: format!("cannot create {}: {e}", dir.display()),
+        })?;
+        for (name, text) in mdl_specs {
+            std::fs::write(dir.join(name), text).map_err(|e| CoreError::Aborted {
+                reason: format!("cannot write {name}: {e}"),
+            })?;
+        }
+        for automaton in automata {
+            let file = format!("{}.atm", automaton.name());
+            std::fs::write(dir.join(&file), dsl::print(automaton)).map_err(|e| {
+                CoreError::Aborted {
+                    reason: format!("cannot write {file}: {e}"),
+                }
+            })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starlink_mdl::MdlCodec;
+
+    #[test]
+    fn codec_registration_and_lookup() {
+        let mut reg = ModelRegistry::new();
+        let codec =
+            MdlCodec::from_text("<Message:M><F:8><End:Message>").expect("valid spec");
+        reg.register_codec("Test.mdl", Arc::new(codec));
+        assert!(reg.codec("Test.mdl").is_ok());
+        assert!(matches!(
+            reg.codec("Ghost.mdl"),
+            Err(CoreError::NotRegistered { .. })
+        ));
+        assert_eq!(reg.codec_names(), vec!["Test.mdl"]);
+    }
+
+    #[test]
+    fn automaton_registration_and_lookup() {
+        let mut reg = ModelRegistry::new();
+        let mut a = Automaton::new("A", 1);
+        a.add_state("s0");
+        a.set_initial("s0").unwrap();
+        a.add_final("s0").unwrap();
+        reg.register_automaton(a);
+        assert!(reg.automaton("A").is_ok());
+        assert!(reg.automaton("B").is_err());
+        assert_eq!(reg.automaton_names(), vec!["A"]);
+    }
+}

@@ -1,0 +1,477 @@
+//! Application endpoints: executors for one side of an
+//! application-middleware automaton (paper §4.3).
+//!
+//! The case study's "hand developed test standalone client applications
+//! in SOAP and XML-RPC" (§5.1) are built on [`RpcClient`]; the simulated
+//! Flickr/Picasa services on [`RpcServer`]. Both speak *application*
+//! messages and let the binding + codec layers produce the wire form, so
+//! the same application code runs over any bound protocol.
+
+use crate::binding::ProtocolBinding;
+use crate::error::CoreError;
+use crate::monitor::ProtocolMonitor;
+use crate::Result;
+use starlink_mdl::MessageCodec;
+use starlink_message::{AbstractMessage, Value};
+use starlink_net::{Connection, Endpoint, Listener, NetworkEngine};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The application-level interface of a service: request and reply
+/// templates per operation (field names and mandatory flags — values are
+/// ignored). Positional parameter rules need these to name parameters.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceInterface {
+    ops: Vec<(AbstractMessage, AbstractMessage)>,
+}
+
+impl ServiceInterface {
+    /// An empty interface.
+    pub fn new() -> ServiceInterface {
+        ServiceInterface::default()
+    }
+
+    /// Adds an operation (request template, reply template).
+    pub fn add_operation(
+        &mut self,
+        request: AbstractMessage,
+        reply: AbstractMessage,
+    ) -> &mut ServiceInterface {
+        self.ops.push((request, reply));
+        self
+    }
+
+    /// Builder-style [`ServiceInterface::add_operation`].
+    #[must_use]
+    pub fn with_operation(
+        mut self,
+        request: AbstractMessage,
+        reply: AbstractMessage,
+    ) -> ServiceInterface {
+        self.ops.push((request, reply));
+        self
+    }
+
+    /// Request template for an action label.
+    pub fn request_template(&self, action: &str) -> Option<&AbstractMessage> {
+        self.ops
+            .iter()
+            .find(|(req, _)| req.name() == action)
+            .map(|(req, _)| req)
+    }
+
+    /// Reply template for an action label.
+    pub fn reply_template(&self, action: &str) -> Option<&AbstractMessage> {
+        self.ops
+            .iter()
+            .find(|(req, _)| req.name() == action)
+            .map(|(_, rep)| rep)
+    }
+
+    /// All operations.
+    pub fn operations(&self) -> &[(AbstractMessage, AbstractMessage)] {
+        &self.ops
+    }
+}
+
+/// A synchronous RPC client bound to one protocol.
+pub struct RpcClient {
+    connection: Box<dyn Connection>,
+    codec: Arc<dyn MessageCodec>,
+    binding: ProtocolBinding,
+    interface: ServiceInterface,
+    next_correlation: u64,
+    monitor: Option<ProtocolMonitor>,
+    /// Receive timeout for replies.
+    pub timeout: Duration,
+}
+
+impl RpcClient {
+    /// Connects to a service endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Network connect failures.
+    pub fn connect(
+        engine: &NetworkEngine,
+        endpoint: &Endpoint,
+        codec: Arc<dyn MessageCodec>,
+        binding: ProtocolBinding,
+        interface: ServiceInterface,
+    ) -> Result<RpcClient> {
+        let connection = engine.connect(endpoint)?;
+        Ok(RpcClient {
+            connection,
+            codec,
+            binding,
+            interface,
+            next_correlation: 1,
+            monitor: None,
+            timeout: Duration::from_secs(10),
+        })
+    }
+
+    /// Wraps an existing connection (testing, custom transports).
+    pub fn over(
+        connection: Box<dyn Connection>,
+        codec: Arc<dyn MessageCodec>,
+        binding: ProtocolBinding,
+        interface: ServiceInterface,
+    ) -> RpcClient {
+        RpcClient {
+            connection,
+            codec,
+            binding,
+            interface,
+            next_correlation: 1,
+            monitor: None,
+            timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// Attaches a usage-protocol monitor: every `call` first checks that
+    /// the invocation conforms to the protocol (paper §3.1's ordered call
+    /// graph) and fails *before* sending a non-conforming request.
+    #[must_use]
+    pub fn with_monitor(mut self, monitor: ProtocolMonitor) -> RpcClient {
+        self.monitor = Some(monitor);
+        self
+    }
+
+    /// The attached monitor, if any.
+    pub fn monitor(&self) -> Option<&ProtocolMonitor> {
+        self.monitor.as_ref()
+    }
+
+    /// Invokes an operation: binds, composes, sends, receives, parses,
+    /// unbinds.
+    ///
+    /// # Errors
+    ///
+    /// Binding, codec, or network failures; [`CoreError::Aborted`] when
+    /// the service signalled a fault.
+    pub fn call(&mut self, request: &AbstractMessage) -> Result<AbstractMessage> {
+        if let Some(monitor) = &mut self.monitor {
+            monitor.observe(starlink_message::Direction::Sent, request.name())?;
+        }
+        let mut proto = self.binding.bind_request(request)?;
+        if let Some(corr) = &self.binding.correlation {
+            if proto.get_path(corr).is_err() {
+                proto.set_path(corr, Value::UInt(self.next_correlation))?;
+            }
+            self.next_correlation += 1;
+        }
+        let wire = self.codec.compose(&proto)?;
+        self.connection.send(&wire)?;
+        let reply_wire = self.connection.receive_timeout(self.timeout)?;
+        let reply_proto = self.codec.parse(&reply_wire)?;
+        let template = self.interface.reply_template(request.name());
+        let reply = self
+            .binding
+            .unbind_reply(&reply_proto, request.name(), template)?;
+        if let Some(monitor) = &mut self.monitor {
+            monitor.observe(starlink_message::Direction::Received, reply.name())?;
+        }
+        Ok(reply)
+    }
+
+    /// The raw protocol-level exchange (benchmarks observing wire sizes).
+    ///
+    /// # Errors
+    ///
+    /// Codec or network failures.
+    pub fn call_raw(&mut self, proto: &AbstractMessage) -> Result<AbstractMessage> {
+        let wire = self.codec.compose(proto)?;
+        self.connection.send(&wire)?;
+        let reply_wire = self.connection.receive_timeout(self.timeout)?;
+        Ok(self.codec.parse(&reply_wire)?)
+    }
+}
+
+/// The handler a service implements: application request in, application
+/// reply out (or a fault string).
+pub type ServiceHandler =
+    dyn Fn(&AbstractMessage) -> std::result::Result<AbstractMessage, String> + Send + Sync;
+
+/// A synchronous RPC server bound to one protocol. Each accepted
+/// connection is served on its own thread until the peer disconnects.
+pub struct RpcServer {
+    endpoint: Endpoint,
+    stop: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl RpcServer {
+    /// Binds and starts serving in background threads.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn serve(
+        engine: &NetworkEngine,
+        endpoint: &Endpoint,
+        codec: Arc<dyn MessageCodec>,
+        binding: ProtocolBinding,
+        interface: ServiceInterface,
+        handler: Arc<ServiceHandler>,
+    ) -> Result<RpcServer> {
+        let listener = engine.listen(endpoint)?;
+        let local = listener.local_endpoint();
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = stop.clone();
+        let interface = Arc::new(interface);
+        let binding = Arc::new(binding);
+        let accept_thread = std::thread::spawn(move || {
+            accept_loop(listener, codec, binding, interface, handler, accept_stop);
+        });
+        Ok(RpcServer {
+            endpoint: local,
+            stop,
+            threads: vec![accept_thread],
+        })
+    }
+
+    /// The endpoint actually bound (resolved port for `tcp://…:0`).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Requests shutdown. Serving threads exit as their connections
+    /// close; this does not forcibly unblock `accept`.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Drop for RpcServer {
+    fn drop(&mut self) {
+        self.shutdown();
+        // Accept threads block on `accept`; they are detached rather than
+        // joined so tests and examples exit promptly.
+        self.threads.clear();
+    }
+}
+
+fn accept_loop(
+    listener: Box<dyn Listener>,
+    codec: Arc<dyn MessageCodec>,
+    binding: Arc<ProtocolBinding>,
+    interface: Arc<ServiceInterface>,
+    handler: Arc<ServiceHandler>,
+    stop: Arc<AtomicBool>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok(conn) => {
+                let codec = codec.clone();
+                let binding = binding.clone();
+                let interface = interface.clone();
+                let handler = handler.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    serve_connection(conn, codec, binding, interface, handler, stop);
+                });
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn serve_connection(
+    mut conn: Box<dyn Connection>,
+    codec: Arc<dyn MessageCodec>,
+    binding: Arc<ProtocolBinding>,
+    interface: Arc<ServiceInterface>,
+    handler: Arc<ServiceHandler>,
+    stop: Arc<AtomicBool>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        let wire = match conn.receive_timeout(Duration::from_millis(500)) {
+            Ok(w) => w,
+            Err(starlink_net::NetError::Timeout) => continue,
+            Err(_) => return,
+        };
+        let reply = handle_one(&wire, &codec, &binding, &interface, &handler);
+        match reply {
+            Ok(reply_wire) => {
+                if conn.send(&reply_wire).is_err() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_one(
+    wire: &[u8],
+    codec: &Arc<dyn MessageCodec>,
+    binding: &ProtocolBinding,
+    interface: &ServiceInterface,
+    handler: &Arc<ServiceHandler>,
+) -> Result<Vec<u8>> {
+    let proto = codec.parse(wire)?;
+    let app_request =
+        binding.unbind_request(&proto, |action| interface.request_template(action))?;
+    let app_reply = handler(&app_request).map_err(|reason| CoreError::Aborted { reason })?;
+    let reply_proto = binding.bind_reply(&app_reply, Some(&proto))?;
+    Ok(codec.compose(&reply_proto)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::{ActionRule, ParamRule, ReplyAction};
+    use starlink_mdl::MdlCodec;
+
+    const CALC_MDL: &str = "\
+<Message:CalcRequest>\n\
+<Rule:MessageType=0>\n\
+<MessageType:8><RequestID:32>\n\
+<OperationLength:32><Operation:OperationLength>\n\
+<align:64><ParameterArray:eof:valueseq>\n\
+<End:Message>\n\
+<Message:CalcReply>\n\
+<Rule:MessageType=1>\n\
+<MessageType:8><RequestID:32>\n\
+<align:64><ParameterArray:eof:valueseq>\n\
+<End:Message>";
+
+    fn calc_binding() -> ProtocolBinding {
+        ProtocolBinding {
+            name: "CALC".into(),
+            mdl: "Calc.mdl".into(),
+            request_message: "CalcRequest".into(),
+            reply_message: "CalcReply".into(),
+            request_action: ActionRule::Field("Operation".parse().unwrap()),
+            reply_action: ReplyAction::Correlated,
+            request_params: ParamRule::PositionalArray("ParameterArray".parse().unwrap()),
+            reply_params: ParamRule::PositionalArray("ParameterArray".parse().unwrap()),
+            correlation: Some("RequestID".parse().unwrap()),
+            request_defaults: Vec::new(),
+            reply_defaults: Vec::new(),
+            request_message_overrides: Vec::new(),
+            reply_message_overrides: Vec::new(),
+        }
+    }
+
+    fn calc_interface() -> ServiceInterface {
+        let mut add = AbstractMessage::new("Add");
+        add.set_field("x", Value::Null);
+        add.set_field("y", Value::Null);
+        let mut add_reply = AbstractMessage::new("Add.reply");
+        add_reply.set_field("z", Value::Null);
+        ServiceInterface::new().with_operation(add, add_reply)
+    }
+
+    #[test]
+    fn end_to_end_rpc_over_memory_transport() {
+        let engine = NetworkEngine::with_defaults();
+        let codec: Arc<dyn MessageCodec> =
+            Arc::new(MdlCodec::from_text(CALC_MDL).expect("valid spec"));
+        let ep = Endpoint::memory("calc");
+        let handler: Arc<ServiceHandler> = Arc::new(|req| {
+            if req.name() != "Add" {
+                return Err(format!("unknown operation {}", req.name()));
+            }
+            let x = req.get("x").and_then(Value::as_int).ok_or("missing x")?;
+            let y = req.get("y").and_then(Value::as_int).ok_or("missing y")?;
+            let mut reply = AbstractMessage::new("Add.reply");
+            reply.set_field("z", Value::Int(x + y));
+            Ok(reply)
+        });
+        let _server = RpcServer::serve(
+            &engine,
+            &ep,
+            codec.clone(),
+            calc_binding(),
+            calc_interface(),
+            handler,
+        )
+        .unwrap();
+
+        let mut client =
+            RpcClient::connect(&engine, &ep, codec, calc_binding(), calc_interface()).unwrap();
+        let mut request = AbstractMessage::new("Add");
+        request.set_field("x", Value::Int(30));
+        request.set_field("y", Value::Int(12));
+        let reply = client.call(&request).unwrap();
+        assert_eq!(reply.name(), "Add.reply");
+        assert_eq!(reply.get("z").unwrap().as_int(), Some(42));
+
+        // Multiple sequential calls on the same connection work.
+        let reply2 = client.call(&request).unwrap();
+        assert_eq!(reply2.get("z").unwrap().as_int(), Some(42));
+    }
+
+    #[test]
+    fn rpc_over_tcp_loopback() {
+        let engine = NetworkEngine::with_defaults();
+        let codec: Arc<dyn MessageCodec> =
+            Arc::new(MdlCodec::from_text(CALC_MDL).expect("valid spec"));
+        let ep = Endpoint::tcp("127.0.0.1", 0);
+        let handler: Arc<ServiceHandler> = Arc::new(|req| {
+            let x = req.get("x").and_then(Value::as_int).unwrap_or(0);
+            let y = req.get("y").and_then(Value::as_int).unwrap_or(0);
+            let mut reply = AbstractMessage::new("Add.reply");
+            reply.set_field("z", Value::Int(x * y));
+            Ok(reply)
+        });
+        let server = RpcServer::serve(
+            &engine,
+            &ep,
+            codec.clone(),
+            calc_binding(),
+            calc_interface(),
+            handler,
+        )
+        .unwrap();
+        let mut client = RpcClient::connect(
+            &engine,
+            server.endpoint(),
+            codec,
+            calc_binding(),
+            calc_interface(),
+        )
+        .unwrap();
+        let mut request = AbstractMessage::new("Add");
+        request.set_field("x", Value::Int(6));
+        request.set_field("y", Value::Int(7));
+        assert_eq!(client.call(&request).unwrap().get("z").unwrap().as_int(), Some(42));
+    }
+
+    #[test]
+    fn handler_fault_closes_exchange() {
+        let engine = NetworkEngine::with_defaults();
+        let codec: Arc<dyn MessageCodec> =
+            Arc::new(MdlCodec::from_text(CALC_MDL).expect("valid spec"));
+        let ep = Endpoint::memory("calc-fault");
+        let handler: Arc<ServiceHandler> = Arc::new(|_| Err("nope".into()));
+        let _server = RpcServer::serve(
+            &engine,
+            &ep,
+            codec.clone(),
+            calc_binding(),
+            calc_interface(),
+            handler,
+        )
+        .unwrap();
+        let mut client =
+            RpcClient::connect(&engine, &ep, codec, calc_binding(), calc_interface()).unwrap();
+        client.timeout = Duration::from_millis(300);
+        let mut request = AbstractMessage::new("Add");
+        request.set_field("x", Value::Int(1));
+        request.set_field("y", Value::Int(2));
+        assert!(client.call(&request).is_err());
+    }
+
+    #[test]
+    fn interface_lookup() {
+        let iface = calc_interface();
+        assert!(iface.request_template("Add").is_some());
+        assert!(iface.reply_template("Add").is_some());
+        assert!(iface.request_template("Sub").is_none());
+        assert_eq!(iface.operations().len(), 1);
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests for protocol bindings: `unbind ∘ wire ∘ bind`
+//! recovers the application message for every binding family.
+
+use proptest::prelude::*;
+use starlink_core::{ActionRule, ParamRule, ProtocolBinding, ReplyAction};
+use starlink_mdl::{MdlCodec, MessageCodec};
+use starlink_message::{AbstractMessage, Value};
+
+const BIN_MDL: &str = "\
+<Message:Req>\n\
+<Rule:Kind=0>\n\
+<Kind:8><Id:32><OpLength:32><Op:OpLength>\n\
+<align:64><Params:eof:valueseq>\n\
+<End:Message>\n\
+<Message:Rep>\n\
+<Rule:Kind=1>\n\
+<Kind:8><Id:32>\n\
+<align:64><Params:eof:valueseq>\n\
+<End:Message>";
+
+fn positional_binding() -> ProtocolBinding {
+    ProtocolBinding::new("BIN", "BIN.mdl", "Req", "Rep")
+        .with_request_action(ActionRule::Field("Op".parse().unwrap()))
+        .with_reply_action(ReplyAction::Correlated)
+        .with_params(
+            ParamRule::PositionalArray("Params".parse().unwrap()),
+            ParamRule::PositionalArray("Params".parse().unwrap()),
+        )
+        .with_correlation("Id".parse().unwrap())
+}
+
+fn label() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}"
+}
+
+fn action() -> impl Strategy<Value = String> {
+    "[a-z][a-zA-Z0-9._]{0,16}"
+}
+
+fn primitive() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        any::<bool>().prop_map(Value::Bool),
+        "[a-zA-Z0-9 _.-]{0,16}".prop_map(Value::Str),
+    ]
+}
+
+/// App message + matching template (same field names, Null values).
+fn app_message() -> impl Strategy<Value = (AbstractMessage, AbstractMessage)> {
+    (action(), proptest::collection::vec((label(), primitive()), 0..6)).prop_map(
+        |(name, fields)| {
+            let mut seen = std::collections::HashSet::new();
+            let mut msg = AbstractMessage::new(&name);
+            let mut template = AbstractMessage::new(&name);
+            for (l, v) in fields {
+                if seen.insert(l.clone()) {
+                    msg.set_field(&l, v);
+                    template.set_field(&l, Value::Null);
+                }
+            }
+            (msg, template)
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn positional_bind_unbind_roundtrip((app, template) in app_message()) {
+        let binding = positional_binding();
+        let codec = MdlCodec::from_text(BIN_MDL).unwrap();
+
+        // Request direction, over the real wire codec.
+        let mut proto = binding.bind_request(&app).unwrap();
+        proto.set_field("Id", Value::UInt(1));
+        let wire = codec.compose(&proto).unwrap();
+        let parsed = codec.parse(&wire).unwrap();
+        let back = binding
+            .unbind_request(&parsed, |a| (a == app.name()).then_some(&template))
+            .unwrap();
+        prop_assert_eq!(back.name(), app.name());
+        for f in app.fields() {
+            prop_assert_eq!(back.get(f.label()).unwrap(), f.value());
+        }
+    }
+
+    #[test]
+    fn correlated_reply_roundtrip((app, template) in app_message()) {
+        let binding = positional_binding();
+        let codec = MdlCodec::from_text(BIN_MDL).unwrap();
+        let reply_name = format!("{}.reply", app.name());
+        let mut app_reply = AbstractMessage::new(&reply_name);
+        for f in app.fields() {
+            app_reply.set_field(f.label(), f.value().clone());
+        }
+        let mut reply_template = AbstractMessage::new(&reply_name);
+        for f in template.fields() {
+            reply_template.set_field(f.label(), Value::Null);
+        }
+        let mut req_proto = AbstractMessage::new("Req");
+        req_proto.set_field("Id", Value::UInt(42));
+        let mut proto = binding.bind_reply(&app_reply, Some(&req_proto)).unwrap();
+        prop_assert_eq!(proto.get("Id").unwrap().as_uint(), Some(42));
+        proto.set_field("Id", Value::UInt(42));
+        let wire = codec.compose(&proto).unwrap();
+        let parsed = codec.parse(&wire).unwrap();
+        let back = binding
+            .unbind_reply(&parsed, app.name(), Some(&reply_template))
+            .unwrap();
+        prop_assert_eq!(back.name(), reply_name);
+        for f in app_reply.fields() {
+            prop_assert_eq!(back.get(f.label()).unwrap(), f.value());
+        }
+    }
+
+    #[test]
+    fn named_fields_roundtrip((app, template) in app_message()) {
+        let binding = ProtocolBinding::new("T", "t", "Req", "Rep")
+            .with_request_action(ActionRule::Field("Op".parse().unwrap()))
+            .with_params(ParamRule::NamedFields(None), ParamRule::None);
+        let proto = binding.bind_request(&app).unwrap();
+        let back = binding
+            .unbind_request(&proto, |a| (a == app.name()).then_some(&template))
+            .unwrap();
+        for f in app.fields() {
+            prop_assert_eq!(back.get(f.label()).unwrap(), f.value());
+        }
+    }
+
+    #[test]
+    fn query_roundtrip_preserves_text_values(
+        name in action(),
+        fields in proptest::collection::vec((label(), "[a-zA-Z0-9 &=%_.-]{0,12}"), 0..5),
+    ) {
+        // Query strings carry text; values survive percent-coding.
+        let binding = ProtocolBinding::new("REST", "r", "HTTPRequest", "HTTPResponse")
+            .with_request_action(ActionRule::Rest {
+                method_field: "Method".parse().unwrap(),
+                uri_field: "RequestURI".parse().unwrap(),
+                routes: vec![starlink_core::RestRoute {
+                    action: name.clone(),
+                    method: "GET".into(),
+                    path: "/api".into(),
+                }],
+            })
+            .with_params(
+                ParamRule::Query { uri_field: "RequestURI".parse().unwrap() },
+                ParamRule::None,
+            );
+        let mut seen = std::collections::HashSet::new();
+        let mut app = AbstractMessage::new(&name);
+        for (l, v) in &fields {
+            if seen.insert(l.clone()) {
+                app.set_field(l, Value::Str(v.clone()));
+            }
+        }
+        let proto = binding.bind_request(&app).unwrap();
+        let back = binding.unbind_request(&proto, |_| None).unwrap();
+        prop_assert_eq!(back.name(), name);
+        for f in app.fields() {
+            prop_assert_eq!(back.get(f.label()).unwrap(), f.value());
+        }
+    }
+
+    #[test]
+    fn percent_coding_roundtrip(s in "\\PC{0,48}") {
+        let encoded = starlink_core::percent_encode(&s);
+        prop_assert_eq!(starlink_core::percent_decode(&encoded), s);
+    }
+}

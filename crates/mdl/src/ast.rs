@@ -1,0 +1,329 @@
+use crate::error::MdlError;
+use crate::Result;
+
+/// Which dialect engine interprets a spec's message definitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Dialect {
+    /// Bit-level binary messages (GIOP/IIOP-style). The default, matching
+    /// the paper's Fig. 5 which carries no dialect header.
+    #[default]
+    Binary,
+    /// Line-oriented text messages (HTTP-style).
+    Text,
+    /// XML messages (SOAP, XML-RPC, GData feeds).
+    Xml,
+}
+
+/// Byte order for multi-octet binary fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Endian {
+    /// Network byte order (GIOP's default when the flags bit is 0).
+    #[default]
+    Big,
+    /// Little-endian.
+    Little,
+}
+
+/// One raw `<Key:rest>` item of an MDL spec.
+///
+/// The split happens at the *first* `:` only; dialect compilers interpret
+/// the remainder (which may itself contain `:` — URLs in XML attribute
+/// values, type suffixes in binary field items, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecItem {
+    /// The item key (`Message`, `Rule`, a field name, …).
+    pub key: String,
+    /// Everything after the first `:`.
+    pub rest: String,
+    /// 1-based line number in the spec text, for diagnostics.
+    pub line: usize,
+}
+
+impl SpecItem {
+    /// Splits `rest` on `:` — used by the binary dialect where no value
+    /// legitimately contains a colon.
+    pub fn rest_parts(&self) -> Vec<&str> {
+        self.rest.split(':').collect()
+    }
+
+    /// Splits `rest` at the first `=` into `(name, value)`.
+    pub fn name_value(&self) -> Option<(&str, &str)> {
+        self.rest.split_once('=')
+    }
+}
+
+/// A single `<Message:Name> … <End:Message>` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MessageSpec {
+    /// The message variant name (also the abstract message's name).
+    pub name: String,
+    /// The items between the `Message` and `End` markers, in order.
+    pub items: Vec<SpecItem>,
+}
+
+/// A parsed MDL document: a dialect, an optional endianness, and one or
+/// more message definitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MdlDocument {
+    /// Dialect all message definitions in this document use.
+    pub dialect: Dialect,
+    /// Byte order (binary dialect only; ignored otherwise).
+    pub endian: Endian,
+    /// Message definitions in declaration order.
+    pub messages: Vec<MessageSpec>,
+}
+
+impl MdlDocument {
+    /// Parses MDL spec text.
+    ///
+    /// Lines may contain any number of `<…>` items; `#` starts a comment
+    /// running to end of line; blank lines are ignored. `<Dialect:…>` and
+    /// `<Endian:…>` must appear before the first `<Message:…>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdlError::SpecSyntax`] on malformed items, unterminated
+    /// messages, nested messages, or items outside a message body.
+    pub fn parse(text: &str) -> Result<MdlDocument> {
+        let mut dialect = Dialect::default();
+        let mut endian = Endian::default();
+        let mut messages: Vec<MessageSpec> = Vec::new();
+        let mut current: Option<MessageSpec> = None;
+
+        for (line_idx, raw_line) in text.lines().enumerate() {
+            let line_no = line_idx + 1;
+            let line = match raw_line.find('#') {
+                Some(i) => &raw_line[..i],
+                None => raw_line,
+            };
+            let mut rest = line.trim();
+            while !rest.is_empty() {
+                let start = rest.find('<').ok_or_else(|| MdlError::SpecSyntax {
+                    message: format!("stray text `{rest}` outside an item"),
+                    line: line_no,
+                })?;
+                if !rest[..start].trim().is_empty() {
+                    return Err(MdlError::SpecSyntax {
+                        message: format!("stray text `{}` before item", rest[..start].trim()),
+                        line: line_no,
+                    });
+                }
+                let end = rest[start..].find('>').ok_or_else(|| MdlError::SpecSyntax {
+                    message: "unterminated `<…>` item".into(),
+                    line: line_no,
+                })? + start;
+                let body = &rest[start + 1..end];
+                rest = rest[end + 1..].trim_start();
+
+                let (key, value) = body.split_once(':').ok_or_else(|| MdlError::SpecSyntax {
+                    message: format!("item `<{body}>` lacks a `:`"),
+                    line: line_no,
+                })?;
+                let key = key.trim();
+                let value = value.trim();
+                if key.is_empty() {
+                    return Err(MdlError::SpecSyntax {
+                        message: "item has an empty key".into(),
+                        line: line_no,
+                    });
+                }
+                match key {
+                    "Dialect" => {
+                        if current.is_some() || !messages.is_empty() {
+                            return Err(MdlError::SpecSyntax {
+                                message: "<Dialect:…> must precede all messages".into(),
+                                line: line_no,
+                            });
+                        }
+                        dialect = match value {
+                            "binary" => Dialect::Binary,
+                            "text" => Dialect::Text,
+                            "xml" => Dialect::Xml,
+                            other => {
+                                return Err(MdlError::SpecSyntax {
+                                    message: format!("unknown dialect `{other}`"),
+                                    line: line_no,
+                                })
+                            }
+                        };
+                    }
+                    "Endian" => {
+                        endian = match value {
+                            "big" => Endian::Big,
+                            "little" => Endian::Little,
+                            other => {
+                                return Err(MdlError::SpecSyntax {
+                                    message: format!("unknown endianness `{other}`"),
+                                    line: line_no,
+                                })
+                            }
+                        };
+                    }
+                    "Message" => {
+                        if current.is_some() {
+                            return Err(MdlError::SpecSyntax {
+                                message: "nested <Message:…> (missing <End:Message>?)".into(),
+                                line: line_no,
+                            });
+                        }
+                        if value.is_empty() {
+                            return Err(MdlError::SpecSyntax {
+                                message: "message name is empty".into(),
+                                line: line_no,
+                            });
+                        }
+                        current = Some(MessageSpec {
+                            name: value.to_owned(),
+                            items: Vec::new(),
+                        });
+                    }
+                    "End" => {
+                        let msg = current.take().ok_or_else(|| MdlError::SpecSyntax {
+                            message: "<End:Message> without an open message".into(),
+                            line: line_no,
+                        })?;
+                        messages.push(msg);
+                    }
+                    _ => {
+                        let msg = current.as_mut().ok_or_else(|| MdlError::SpecSyntax {
+                            message: format!("item `<{key}:…>` outside a message definition"),
+                            line: line_no,
+                        })?;
+                        msg.items.push(SpecItem {
+                            key: key.to_owned(),
+                            rest: value.to_owned(),
+                            line: line_no,
+                        });
+                    }
+                }
+            }
+        }
+        if let Some(open) = current {
+            return Err(MdlError::SpecSyntax {
+                message: format!("message `{}` not closed by <End:Message>", open.name),
+                line: text.lines().count(),
+            });
+        }
+        if messages.is_empty() {
+            return Err(MdlError::SpecSyntax {
+                message: "spec defines no messages".into(),
+                line: 1,
+            });
+        }
+        Ok(MdlDocument {
+            dialect,
+            endian,
+            messages,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fig5_parses_verbatim() {
+        // The GIOP spec exactly as printed in Fig. 5 of the paper.
+        let text = "\
+<Message:GIOPRequest>\n\
+<Rule:MessageType=0>\n\
+<RequestID:32><Response:8>\n\
+<ObjectKeyLength:32><ObjectKey:ObjectKeyLength>\n\
+<OperationLength:32><Operation:OperationLength>\n\
+<align:64><ParameterArray:eof>\n\
+<End:Message>\n\
+\n\
+<Message:GIOPReply>\n\
+<Rule:MessageType=1>\n\
+<RequestID:32><ReplyStatus:32><ContextListLength:32>\n\
+<align:64><ParameterArray:eof>\n\
+<End:Message>\n";
+        let doc = MdlDocument::parse(text).unwrap();
+        assert_eq!(doc.dialect, Dialect::Binary);
+        assert_eq!(doc.messages.len(), 2);
+        assert_eq!(doc.messages[0].name, "GIOPRequest");
+        assert_eq!(doc.messages[0].items.len(), 9);
+        assert_eq!(doc.messages[1].name, "GIOPReply");
+        let rule = &doc.messages[1].items[0];
+        assert_eq!(rule.key, "Rule");
+        assert_eq!(rule.name_value(), Some(("MessageType", "1")));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# GIOP subset\n<Dialect:binary>\n\n<Message:M> # inline\n<F:8>\n<End:Message>\n";
+        let doc = MdlDocument::parse(text).unwrap();
+        assert_eq!(doc.messages[0].items.len(), 1);
+    }
+
+    #[test]
+    fn dialect_and_endian_headers() {
+        let doc =
+            MdlDocument::parse("<Dialect:xml>\n<Message:M>\n<Root:r>\n<End:Message>").unwrap();
+        assert_eq!(doc.dialect, Dialect::Xml);
+        let doc = MdlDocument::parse(
+            "<Dialect:binary><Endian:little>\n<Message:M><F:8><End:Message>",
+        )
+        .unwrap();
+        assert_eq!(doc.endian, Endian::Little);
+    }
+
+    #[test]
+    fn rest_preserves_colons_in_urls() {
+        let doc = MdlDocument::parse(
+            "<Dialect:xml>\n<Message:M>\n<RootAttr:xmlns=http://schemas.xmlsoap.org/soap/envelope/>\n<End:Message>",
+        )
+        .unwrap();
+        let item = &doc.messages[0].items[0];
+        assert_eq!(
+            item.name_value(),
+            Some(("xmlns", "http://schemas.xmlsoap.org/soap/envelope/"))
+        );
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(
+            MdlDocument::parse("<Message:M><F:8>"),
+            Err(MdlError::SpecSyntax { .. })
+        ));
+        assert!(matches!(
+            MdlDocument::parse("<End:Message>"),
+            Err(MdlError::SpecSyntax { .. })
+        ));
+        assert!(matches!(
+            MdlDocument::parse("<Message:A><Message:B>"),
+            Err(MdlError::SpecSyntax { .. })
+        ));
+        assert!(matches!(
+            MdlDocument::parse("<F:8>"),
+            Err(MdlError::SpecSyntax { .. })
+        ));
+        assert!(matches!(
+            MdlDocument::parse("stray <Message:M><End:Message>"),
+            Err(MdlError::SpecSyntax { .. })
+        ));
+        assert!(matches!(
+            MdlDocument::parse("<NoColon>"),
+            Err(MdlError::SpecSyntax { .. })
+        ));
+        assert!(matches!(
+            MdlDocument::parse(""),
+            Err(MdlError::SpecSyntax { .. })
+        ));
+        assert!(matches!(
+            MdlDocument::parse("<Message:M><End:Message><Dialect:xml>"),
+            Err(MdlError::SpecSyntax { .. })
+        ));
+    }
+
+    #[test]
+    fn line_numbers_reported() {
+        let err = MdlDocument::parse("<Message:M>\n<bad\n<End:Message>").unwrap_err();
+        match err {
+            MdlError::SpecSyntax { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,1092 @@
+//! The binary MDL dialect engine: Fig. 5-style bit-level message specs.
+//!
+//! Supported field items inside a `<Message:…>` block:
+//!
+//! * `<Name:32>` — fixed-length field, length in **bits**; optional type
+//!   suffix `<Name:32:int>` (`uint` default, `int`, `float`, `text`,
+//!   `opaque`),
+//! * `<Name:OtherField>` — variable-length field whose length in **bytes**
+//!   is the value of the previously read field `OtherField` (the composer
+//!   fills the length field in automatically),
+//! * `<Name:eof>` — the field extends to the end of the message; type
+//!   suffix `opaque` (default), `text`, or `valueseq` (a self-describing
+//!   tagged encoding of a [`Value`] sequence, standing in for CDR-encoded
+//!   GIOP parameter arrays — see [`encode_value`]),
+//! * `<Name:32:remaining>` — the field's value is the number of bytes that
+//!   follow it (GIOP's `MessageSize`); checked on parse, computed on
+//!   compose (at most one per message),
+//! * `<align:64>` — advance/pad to the next 64-bit boundary,
+//! * `<Rule:Name=Value>` — guard: when parsing, the field `Name` must hold
+//!   `Value` for this variant to match; when composing, supplies the value
+//!   if the abstract message omits the field.
+
+use crate::ast::{Endian, MessageSpec, SpecItem};
+use crate::bits::{BitReader, BitWriter};
+use crate::error::MdlError;
+use crate::Result;
+use starlink_message::{AbstractMessage, Field, FieldType, Value};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BinType {
+    Int,
+    UInt,
+    Float,
+    Text,
+    Opaque,
+    ValueSeq,
+}
+
+impl BinType {
+    fn parse(s: &str, line: usize) -> Result<BinType> {
+        match s {
+            "int" => Ok(BinType::Int),
+            "uint" => Ok(BinType::UInt),
+            "float" => Ok(BinType::Float),
+            "text" => Ok(BinType::Text),
+            "opaque" => Ok(BinType::Opaque),
+            "valueseq" => Ok(BinType::ValueSeq),
+            other => Err(MdlError::SpecSyntax {
+                message: format!("unknown binary field type `{other}`"),
+                line,
+            }),
+        }
+    }
+
+    fn field_type(self) -> FieldType {
+        match self {
+            BinType::Int => FieldType::Int,
+            BinType::UInt => FieldType::UInt,
+            BinType::Float => FieldType::Float,
+            BinType::Text => FieldType::Text,
+            BinType::Opaque => FieldType::Opaque,
+            BinType::ValueSeq => FieldType::Sequence,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum BinItem {
+    Fixed {
+        name: String,
+        bits: usize,
+        ty: BinType,
+    },
+    VarLen {
+        name: String,
+        len_field: String,
+        ty: BinType,
+    },
+    Eof {
+        name: String,
+        ty: BinType,
+    },
+    Remaining {
+        name: String,
+        bits: usize,
+    },
+    Align {
+        bits: usize,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct BinRule {
+    field: String,
+    value: String,
+}
+
+/// A compiled binary message variant.
+#[derive(Debug, Clone)]
+pub(crate) struct BinaryProgram {
+    pub(crate) name: String,
+    endian: Endian,
+    items: Vec<BinItem>,
+    rules: Vec<BinRule>,
+    /// name of length field → name of the sized field
+    length_roles: HashMap<String, String>,
+}
+
+impl BinaryProgram {
+    pub(crate) fn compile(spec: &MessageSpec, endian: Endian) -> Result<BinaryProgram> {
+        let mut items = Vec::new();
+        let mut rules = Vec::new();
+        let mut remaining_seen = false;
+        for item in &spec.items {
+            match item.key.as_str() {
+                "Rule" => {
+                    let (field, value) =
+                        item.name_value().ok_or_else(|| MdlError::SpecSyntax {
+                            message: "Rule needs `Field=Value`".into(),
+                            line: item.line,
+                        })?;
+                    rules.push(BinRule {
+                        field: field.to_owned(),
+                        value: value.to_owned(),
+                    });
+                }
+                "align" => {
+                    let bits: usize =
+                        item.rest.parse().map_err(|_| MdlError::SpecSyntax {
+                            message: format!("bad alignment `{}`", item.rest),
+                            line: item.line,
+                        })?;
+                    if bits == 0 || !bits.is_multiple_of(8) {
+                        return Err(MdlError::SpecSyntax {
+                            message: "alignment must be a positive multiple of 8 bits".into(),
+                            line: item.line,
+                        });
+                    }
+                    items.push(BinItem::Align { bits });
+                }
+                name => {
+                    items.push(compile_field(name, item, &mut remaining_seen)?);
+                }
+            }
+        }
+        let mut length_roles = HashMap::new();
+        for it in &items {
+            if let BinItem::VarLen {
+                name, len_field, ..
+            } = it
+            {
+                length_roles.insert(len_field.clone(), name.clone());
+            }
+        }
+        // Every referenced length field must be a fixed uint declared earlier.
+        for it in &items {
+            if let BinItem::VarLen { len_field, name, .. } = it {
+                let found = items.iter().any(|x| {
+                    matches!(x, BinItem::Fixed { name: n, ty, .. }
+                             if n == len_field && matches!(ty, BinType::UInt | BinType::Int))
+                });
+                if !found {
+                    return Err(MdlError::SpecSemantics {
+                        message: format!(
+                            "field `{name}` references length field `{len_field}` which is not a fixed integer field"
+                        ),
+                        message_name: spec.name.clone(),
+                    });
+                }
+            }
+        }
+        Ok(BinaryProgram {
+            name: spec.name.clone(),
+            endian,
+            items,
+            rules,
+            length_roles,
+        })
+    }
+
+    /// Parses wire bytes into an abstract message, enforcing the variant's
+    /// rule guards.
+    pub(crate) fn parse(&self, data: &[u8]) -> Result<AbstractMessage> {
+        let mut reader = BitReader::new(data);
+        let mut msg = AbstractMessage::new(&self.name);
+        for item in &self.items {
+            match item {
+                BinItem::Align { bits } => reader.align_to(*bits, "align")?,
+                BinItem::Fixed { name, bits, ty } => {
+                    let value = self.read_fixed(&mut reader, name, *bits, *ty)?;
+                    // Early rule check lets mismatched variants fail fast.
+                    for rule in self.rules.iter().filter(|r| &r.field == name) {
+                        check_rule(&self.name, rule, &value)?;
+                    }
+                    msg.push_field(
+                        Field::new(name.clone(), value)
+                            .with_length_bits(*bits as u32)
+                            .with_type(ty.field_type()),
+                    );
+                }
+                BinItem::VarLen { name, len_field, ty } => {
+                    let len = msg
+                        .get(len_field)
+                        .and_then(Value::as_uint)
+                        .ok_or_else(|| MdlError::BadValue {
+                            field: len_field.clone(),
+                            message: "length field missing or not an integer".into(),
+                        })?;
+                    let bytes = reader.read_bytes(len as usize, name)?;
+                    msg.push_field(Field::new(name.clone(), bytes_value(bytes, *ty, name)?));
+                }
+                BinItem::Eof { name, ty } => {
+                    let bytes = reader.read_to_end(name)?;
+                    let value = match ty {
+                        BinType::ValueSeq => decode_value_seq(bytes, name)?,
+                        _ => bytes_value(bytes, *ty, name)?,
+                    };
+                    msg.push_field(Field::new(name.clone(), value));
+                }
+                BinItem::Remaining { name, bits } => {
+                    let declared = reader.read_bits(*bits, name)?;
+                    let actual = (reader.remaining_bits() / 8) as u64;
+                    if declared != actual {
+                        return Err(MdlError::BadValue {
+                            field: name.clone(),
+                            message: format!(
+                                "remaining-length mismatch: declared {declared}, actual {actual}"
+                            ),
+                        });
+                    }
+                    msg.push_field(
+                        Field::new(name.clone(), Value::UInt(declared))
+                            .with_length_bits(*bits as u32),
+                    );
+                }
+            }
+        }
+        for rule in &self.rules {
+            let value = msg.get(&rule.field).ok_or_else(|| MdlError::RuleFailed {
+                message_name: self.name.clone(),
+                field: rule.field.clone(),
+                expected: rule.value.clone(),
+                actual: "<absent>".into(),
+            })?;
+            check_rule(&self.name, rule, value)?;
+        }
+        Ok(msg)
+    }
+
+    /// Composes an abstract message to wire bytes. Length fields and
+    /// rule-constrained fields are filled in automatically.
+    pub(crate) fn compose(&self, msg: &AbstractMessage) -> Result<Vec<u8>> {
+        // Pre-encode variable-length payloads so length fields can be
+        // computed when they are reached (they precede their payloads).
+        let mut encoded: HashMap<&str, Vec<u8>> = HashMap::new();
+        for item in &self.items {
+            match item {
+                BinItem::VarLen { name, ty, .. } => {
+                    let value = self.required(msg, name)?;
+                    encoded.insert(name.as_str(), value_bytes(value, *ty, name)?);
+                }
+                BinItem::Eof { name, ty } => {
+                    let value = self.required(msg, name)?;
+                    let bytes = match ty {
+                        BinType::ValueSeq => encode_value_seq(value)?,
+                        _ => value_bytes(value, *ty, name)?,
+                    };
+                    encoded.insert(name.as_str(), bytes);
+                }
+                _ => {}
+            }
+        }
+
+        // Handle the optional `remaining` field by composing the tail
+        // separately, then stitching.
+        if let Some(pos) = self
+            .items
+            .iter()
+            .position(|i| matches!(i, BinItem::Remaining { .. }))
+        {
+            let head = self.compose_items(&self.items[..pos], msg, &encoded, 0)?;
+            let (name, bits) = match &self.items[pos] {
+                BinItem::Remaining { name, bits } => (name.clone(), *bits),
+                _ => unreachable!("position() matched Remaining"),
+            };
+            let tail_offset = head.len() * 8 + bits;
+            let tail = self.compose_items(&self.items[pos + 1..], msg, &encoded, tail_offset)?;
+            let mut w = BitWriter::new();
+            w.write_bytes(&head, "head")?;
+            w.write_bits(tail.len() as u64, bits);
+            let _ = name;
+            w.write_bytes(&tail, "tail")?;
+            return Ok(w.into_bytes());
+        }
+        self.compose_items(&self.items, msg, &encoded, 0)
+    }
+
+    fn compose_items(
+        &self,
+        items: &[BinItem],
+        msg: &AbstractMessage,
+        encoded: &HashMap<&str, Vec<u8>>,
+        start_bit: usize,
+    ) -> Result<Vec<u8>> {
+        let mut w = BitWriter::new();
+        // Alignment is relative to the whole message, so offset-adjust.
+        let offset = start_bit;
+        for item in items {
+            match item {
+                BinItem::Align { bits } => {
+                    let pos = offset + w.position_bits();
+                    let rem = pos % bits;
+                    if rem != 0 {
+                        let pad = bits - rem;
+                        // Write pad zero bits in ≤64-bit chunks.
+                        let mut left = pad;
+                        while left > 0 {
+                            let chunk = left.min(64);
+                            w.write_bits(0, chunk);
+                            left -= chunk;
+                        }
+                    }
+                }
+                BinItem::Fixed { name, bits, ty } => {
+                    let value = if let Some(sized) = self.length_roles.get(name) {
+                        // Auto-computed length field.
+                        let payload =
+                            encoded.get(sized.as_str()).ok_or_else(|| MdlError::MissingField {
+                                message_name: self.name.clone(),
+                                field: sized.clone(),
+                            })?;
+                        Value::UInt(payload.len() as u64)
+                    } else if let Some(v) = msg.get(name) {
+                        v.clone()
+                    } else if let Some(rule) =
+                        self.rules.iter().find(|r| &r.field == name)
+                    {
+                        rule_value(&rule.value)
+                    } else {
+                        return Err(MdlError::MissingField {
+                            message_name: self.name.clone(),
+                            field: name.clone(),
+                        });
+                    };
+                    self.write_fixed(&mut w, name, *bits, *ty, &value)?;
+                }
+                BinItem::VarLen { name, .. } | BinItem::Eof { name, .. } => {
+                    let bytes =
+                        encoded.get(name.as_str()).ok_or_else(|| MdlError::MissingField {
+                            message_name: self.name.clone(),
+                            field: name.clone(),
+                        })?;
+                    w.write_bytes(bytes, name)?;
+                }
+                BinItem::Remaining { name, .. } => {
+                    return Err(MdlError::SpecSemantics {
+                        message: format!("multiple `remaining` fields (second: `{name}`)"),
+                        message_name: self.name.clone(),
+                    });
+                }
+            }
+        }
+        Ok(w.into_bytes())
+    }
+
+    fn required<'m>(&self, msg: &'m AbstractMessage, name: &str) -> Result<&'m Value> {
+        msg.get(name).ok_or_else(|| MdlError::MissingField {
+            message_name: self.name.clone(),
+            field: name.to_owned(),
+        })
+    }
+
+    fn read_fixed(
+        &self,
+        reader: &mut BitReader<'_>,
+        name: &str,
+        bits: usize,
+        ty: BinType,
+    ) -> Result<Value> {
+        match ty {
+            BinType::UInt | BinType::Int | BinType::Float if bits <= 64 => {
+                let raw = if self.endian == Endian::Little && bits.is_multiple_of(8) && bits > 8 {
+                    let bytes = reader.read_bytes(bits / 8, name)?;
+                    let mut v: u64 = 0;
+                    for (i, b) in bytes.iter().enumerate() {
+                        v |= u64::from(*b) << (8 * i);
+                    }
+                    v
+                } else {
+                    reader.read_bits(bits, name)?
+                };
+                Ok(match ty {
+                    BinType::UInt => Value::UInt(raw),
+                    BinType::Int => Value::Int(sign_extend(raw, bits)),
+                    BinType::Float => match bits {
+                        32 => Value::Float(f64::from(f32::from_bits(raw as u32))),
+                        64 => Value::Float(f64::from_bits(raw)),
+                        _ => {
+                            return Err(MdlError::BadValue {
+                                field: name.to_owned(),
+                                message: "float fields must be 32 or 64 bits".into(),
+                            })
+                        }
+                    },
+                    _ => unreachable!("outer match restricts ty"),
+                })
+            }
+            BinType::Text | BinType::Opaque => {
+                if !bits.is_multiple_of(8) {
+                    return Err(MdlError::BadValue {
+                        field: name.to_owned(),
+                        message: "text/opaque fields must be byte-sized".into(),
+                    });
+                }
+                let bytes = reader.read_bytes(bits / 8, name)?;
+                bytes_value(bytes, ty, name)
+            }
+            _ => Err(MdlError::BadValue {
+                field: name.to_owned(),
+                message: format!("unsupported fixed field ({bits} bits)"),
+            }),
+        }
+    }
+
+    fn write_fixed(
+        &self,
+        w: &mut BitWriter,
+        name: &str,
+        bits: usize,
+        ty: BinType,
+        value: &Value,
+    ) -> Result<()> {
+        match ty {
+            BinType::UInt | BinType::Int | BinType::Float if bits <= 64 => {
+                let raw: u64 = match ty {
+                    BinType::UInt => value.as_uint().ok_or_else(|| MdlError::BadValue {
+                        field: name.to_owned(),
+                        message: format!("expected unsigned integer, found {}", value.kind()),
+                    })?,
+                    BinType::Int => {
+                        let v = value.as_int().ok_or_else(|| MdlError::BadValue {
+                            field: name.to_owned(),
+                            message: format!("expected integer, found {}", value.kind()),
+                        })?;
+                        (v as u64) & mask(bits)
+                    }
+                    BinType::Float => {
+                        let f = value.as_float().ok_or_else(|| MdlError::BadValue {
+                            field: name.to_owned(),
+                            message: format!("expected float, found {}", value.kind()),
+                        })?;
+                        match bits {
+                            32 => u64::from((f as f32).to_bits()),
+                            64 => f.to_bits(),
+                            _ => {
+                                return Err(MdlError::BadValue {
+                                    field: name.to_owned(),
+                                    message: "float fields must be 32 or 64 bits".into(),
+                                })
+                            }
+                        }
+                    }
+                    _ => unreachable!("outer match restricts ty"),
+                };
+                if ty == BinType::UInt && bits < 64 && raw > mask(bits) {
+                    return Err(MdlError::BadValue {
+                        field: name.to_owned(),
+                        message: format!("value {raw} does not fit in {bits} bits"),
+                    });
+                }
+                if self.endian == Endian::Little && bits.is_multiple_of(8) && bits > 8 {
+                    let mut bytes = Vec::with_capacity(bits / 8);
+                    for i in 0..bits / 8 {
+                        bytes.push(((raw >> (8 * i)) & 0xFF) as u8);
+                    }
+                    w.write_bytes(&bytes, name)?;
+                } else {
+                    w.write_bits(raw & mask(bits), bits);
+                }
+                Ok(())
+            }
+            BinType::Text | BinType::Opaque => {
+                if !bits.is_multiple_of(8) {
+                    return Err(MdlError::BadValue {
+                        field: name.to_owned(),
+                        message: "text/opaque fields must be byte-sized".into(),
+                    });
+                }
+                let mut bytes = value_bytes(value, ty, name)?;
+                let want = bits / 8;
+                if bytes.len() > want {
+                    return Err(MdlError::BadValue {
+                        field: name.to_owned(),
+                        message: format!("{} bytes exceed fixed size {want}", bytes.len()),
+                    });
+                }
+                bytes.resize(want, 0);
+                w.write_bytes(&bytes, name)
+            }
+            _ => Err(MdlError::BadValue {
+                field: name.to_owned(),
+                message: "unsupported fixed field".into(),
+            }),
+        }
+    }
+}
+
+fn compile_field(name: &str, item: &SpecItem, remaining_seen: &mut bool) -> Result<BinItem> {
+    let parts = item.rest_parts();
+    let len_spec = parts[0].trim();
+    let ty_spec = parts.get(1).map(|s| s.trim());
+    if parts.len() > 2 {
+        return Err(MdlError::SpecSyntax {
+            message: format!("too many `:` parts in field `{name}`"),
+            line: item.line,
+        });
+    }
+    if len_spec == "eof" {
+        let ty = match ty_spec {
+            None => BinType::Opaque,
+            Some(t) => BinType::parse(t, item.line)?,
+        };
+        return Ok(BinItem::Eof {
+            name: name.to_owned(),
+            ty,
+        });
+    }
+    if let Ok(bits) = len_spec.parse::<usize>() {
+        if bits == 0 {
+            return Err(MdlError::SpecSyntax {
+                message: format!("field `{name}` has zero length"),
+                line: item.line,
+            });
+        }
+        if ty_spec == Some("remaining") {
+            if *remaining_seen {
+                return Err(MdlError::SpecSyntax {
+                    message: "at most one `remaining` field per message".into(),
+                    line: item.line,
+                });
+            }
+            *remaining_seen = true;
+            return Ok(BinItem::Remaining {
+                name: name.to_owned(),
+                bits,
+            });
+        }
+        let ty = match ty_spec {
+            None => BinType::UInt,
+            Some(t) => BinType::parse(t, item.line)?,
+        };
+        return Ok(BinItem::Fixed {
+            name: name.to_owned(),
+            bits,
+            ty,
+        });
+    }
+    // Length is a field reference (bytes).
+    let ty = match ty_spec {
+        None => BinType::Text,
+        Some(t) => BinType::parse(t, item.line)?,
+    };
+    Ok(BinItem::VarLen {
+        name: name.to_owned(),
+        len_field: len_spec.to_owned(),
+        ty,
+    })
+}
+
+fn mask(bits: usize) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+fn sign_extend(raw: u64, bits: usize) -> i64 {
+    if bits >= 64 {
+        return raw as i64;
+    }
+    let sign = 1u64 << (bits - 1);
+    if raw & sign != 0 {
+        (raw | !mask(bits)) as i64
+    } else {
+        raw as i64
+    }
+}
+
+fn bytes_value(bytes: &[u8], ty: BinType, field: &str) -> Result<Value> {
+    match ty {
+        BinType::Text => {
+            let s = std::str::from_utf8(bytes).map_err(|_| MdlError::NotUtf8 {
+                field: field.to_owned(),
+            })?;
+            // Fixed-size text fields may carry zero padding.
+            Ok(Value::Str(s.trim_end_matches('\0').to_owned()))
+        }
+        BinType::Opaque => Ok(Value::Bytes(bytes.to_vec())),
+        _ => Err(MdlError::BadValue {
+            field: field.to_owned(),
+            message: "variable-length fields must be text or opaque".into(),
+        }),
+    }
+}
+
+fn value_bytes(value: &Value, ty: BinType, field: &str) -> Result<Vec<u8>> {
+    match ty {
+        BinType::Text => match value {
+            Value::Str(s) => Ok(s.clone().into_bytes()),
+            other => Ok(other.to_text().into_bytes()),
+        },
+        BinType::Opaque => value
+            .as_bytes()
+            .map(<[u8]>::to_vec)
+            .ok_or_else(|| MdlError::BadValue {
+                field: field.to_owned(),
+                message: format!("expected bytes, found {}", value.kind()),
+            }),
+        _ => Err(MdlError::BadValue {
+            field: field.to_owned(),
+            message: "variable-length fields must be text or opaque".into(),
+        }),
+    }
+}
+
+fn rule_value(text: &str) -> Value {
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        if let Ok(v) = u64::from_str_radix(hex, 16) {
+            return Value::UInt(v);
+        }
+    }
+    if let Ok(v) = text.parse::<u64>() {
+        return Value::UInt(v);
+    }
+    if let Ok(v) = text.parse::<i64>() {
+        return Value::Int(v);
+    }
+    Value::Str(text.to_owned())
+}
+
+fn check_rule(message_name: &str, rule: &BinRule, actual: &Value) -> Result<()> {
+    let expected = rule_value(&rule.value);
+    let matches = match (&expected, actual) {
+        (a, b) if a == b => true,
+        _ => match (expected.as_uint(), actual.as_uint()) {
+            (Some(a), Some(b)) => a == b,
+            _ => expected.to_text() == actual.to_text(),
+        },
+    };
+    if matches {
+        Ok(())
+    } else {
+        Err(MdlError::RuleFailed {
+            message_name: message_name.to_owned(),
+            field: rule.field.clone(),
+            expected: rule.value.clone(),
+            actual: actual.to_text(),
+        })
+    }
+}
+
+// --- The `valueseq` tagged encoding (simplified CDR) -----------------------
+//
+// GIOP encodes operation parameters with CDR, which needs out-of-band type
+// information from an IDL. Starlink's abstract messages are self-contained,
+// so the reproduction uses a compact self-describing encoding instead:
+// u32 count, then per element a 1-byte tag and a payload. Integers are 8
+// bytes big-endian; strings/bytes are u32-length-prefixed; structs encode
+// (name, value) pairs; arrays nest. Both endpoints of every experiment
+// speak this encoding, so the substitution is behaviour-preserving
+// (DESIGN.md §2).
+
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_UINT: u8 = 2;
+const TAG_FLOAT: u8 = 3;
+const TAG_BOOL: u8 = 4;
+const TAG_STR: u8 = 5;
+const TAG_BYTES: u8 = 6;
+const TAG_STRUCT: u8 = 7;
+const TAG_ARRAY: u8 = 8;
+
+/// Encodes one [`Value`] with the `valueseq` tagged encoding.
+pub(crate) fn encode_value(value: &Value, out: &mut Vec<u8>) -> Result<()> {
+    match value {
+        Value::Null => out.push(TAG_NULL),
+        Value::Int(i) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&i.to_be_bytes());
+        }
+        Value::UInt(u) => {
+            out.push(TAG_UINT);
+            out.extend_from_slice(&u.to_be_bytes());
+        }
+        Value::Float(f) => {
+            out.push(TAG_FLOAT);
+            out.extend_from_slice(&f.to_be_bytes());
+        }
+        Value::Bool(b) => {
+            out.push(TAG_BOOL);
+            out.push(u8::from(*b));
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            write_blob(out, s.as_bytes());
+        }
+        Value::Bytes(b) => {
+            out.push(TAG_BYTES);
+            write_blob(out, b);
+        }
+        Value::Struct(fields) => {
+            out.push(TAG_STRUCT);
+            out.extend_from_slice(&(fields.len() as u32).to_be_bytes());
+            for f in fields {
+                write_blob(out, f.label().as_bytes());
+                encode_value(f.value(), out)?;
+            }
+        }
+        Value::Array(items) => {
+            out.push(TAG_ARRAY);
+            out.extend_from_slice(&(items.len() as u32).to_be_bytes());
+            for item in items {
+                encode_value(item, out)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn write_blob(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    out.extend_from_slice(bytes);
+}
+
+fn encode_value_seq(value: &Value) -> Result<Vec<u8>> {
+    let items: &[Value] = match value {
+        Value::Array(items) => items,
+        // Tolerate a single non-array value as a 1-element sequence.
+        other => std::slice::from_ref(other),
+    };
+    let mut out = Vec::new();
+    out.extend_from_slice(&(items.len() as u32).to_be_bytes());
+    for item in items {
+        encode_value(item, &mut out)?;
+    }
+    Ok(out)
+}
+
+struct SeqReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    field: String,
+}
+
+impl<'a> SeqReader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.data.len() - self.pos < n {
+            return Err(MdlError::Truncated {
+                field: self.field.clone(),
+                needed_bits: n * 8,
+                available_bits: (self.data.len() - self.pos) * 8,
+            });
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_be_bytes(a))
+    }
+
+    fn blob(&mut self) -> Result<&'a [u8]> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        let tag = self.take(1)?[0];
+        Ok(match tag {
+            TAG_NULL => Value::Null,
+            TAG_INT => Value::Int(self.u64()? as i64),
+            TAG_UINT => Value::UInt(self.u64()?),
+            TAG_FLOAT => Value::Float(f64::from_bits(self.u64()?)),
+            TAG_BOOL => Value::Bool(self.take(1)?[0] != 0),
+            TAG_STR => {
+                let b = self.blob()?;
+                Value::Str(
+                    std::str::from_utf8(b)
+                        .map_err(|_| MdlError::NotUtf8 {
+                            field: self.field.clone(),
+                        })?
+                        .to_owned(),
+                )
+            }
+            TAG_BYTES => Value::Bytes(self.blob()?.to_vec()),
+            TAG_STRUCT => {
+                let count = self.u32()? as usize;
+                let mut fields = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    let name = std::str::from_utf8(self.blob()?)
+                        .map_err(|_| MdlError::NotUtf8 {
+                            field: self.field.clone(),
+                        })?
+                        .to_owned();
+                    let v = self.value()?;
+                    fields.push(Field::new(name, v));
+                }
+                Value::Struct(fields)
+            }
+            TAG_ARRAY => {
+                let count = self.u32()? as usize;
+                let mut items = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    items.push(self.value()?);
+                }
+                Value::Array(items)
+            }
+            other => {
+                return Err(MdlError::BadValue {
+                    field: self.field.clone(),
+                    message: format!("unknown valueseq tag {other}"),
+                })
+            }
+        })
+    }
+}
+
+fn decode_value_seq(bytes: &[u8], field: &str) -> Result<Value> {
+    let mut r = SeqReader {
+        data: bytes,
+        pos: 0,
+        field: field.to_owned(),
+    };
+    let count = r.u32()? as usize;
+    let mut items = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        items.push(r.value()?);
+    }
+    if r.pos != bytes.len() {
+        return Err(MdlError::BadValue {
+            field: field.to_owned(),
+            message: format!("{} trailing bytes after sequence", bytes.len() - r.pos),
+        });
+    }
+    Ok(Value::Array(items))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::MdlDocument;
+
+    fn program(spec: &str) -> BinaryProgram {
+        let doc = MdlDocument::parse(spec).unwrap();
+        BinaryProgram::compile(&doc.messages[0], doc.endian).unwrap()
+    }
+
+    const GIOP_REQ: &str = "\
+<Message:GIOPRequest>\n\
+<Rule:MessageType=0>\n\
+<MessageType:8>\n\
+<RequestID:32>\n\
+<ObjectKeyLength:32><ObjectKey:ObjectKeyLength:opaque>\n\
+<OperationLength:32><Operation:OperationLength>\n\
+<align:64>\n\
+<ParameterArray:eof:valueseq>\n\
+<End:Message>";
+
+    fn giop_request() -> AbstractMessage {
+        let mut m = AbstractMessage::new("GIOPRequest");
+        m.set_field("RequestID", Value::UInt(42));
+        m.set_field("ObjectKey", Value::Bytes(vec![1, 2, 3]));
+        m.set_field("Operation", Value::from("Add"));
+        m.set_field(
+            "ParameterArray",
+            Value::Array(vec![Value::Int(3), Value::Int(4)]),
+        );
+        m
+    }
+
+    #[test]
+    fn giop_roundtrip() {
+        let p = program(GIOP_REQ);
+        let bytes = p.compose(&giop_request()).unwrap();
+        let back = p.parse(&bytes).unwrap();
+        assert_eq!(back.get("RequestID").unwrap().as_uint(), Some(42));
+        assert_eq!(back.get("MessageType").unwrap().as_uint(), Some(0));
+        assert_eq!(back.get("Operation").unwrap().as_str(), Some("Add"));
+        assert_eq!(
+            back.get("ObjectKey").unwrap().as_bytes(),
+            Some([1u8, 2, 3].as_ref())
+        );
+        let params = back.get("ParameterArray").unwrap().as_array().unwrap();
+        assert_eq!(params, &[Value::Int(3), Value::Int(4)]);
+    }
+
+    #[test]
+    fn alignment_is_applied() {
+        let p = program(GIOP_REQ);
+        let bytes = p.compose(&giop_request()).unwrap();
+        // Header: 1 + 4 + 4 + 3 + 4 + 3 = 19 bytes, aligned to 24 before
+        // the parameter array.
+        let expect_body_at = 24;
+        let count = u32::from_be_bytes([
+            bytes[expect_body_at],
+            bytes[expect_body_at + 1],
+            bytes[expect_body_at + 2],
+            bytes[expect_body_at + 3],
+        ]);
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn rule_guard_rejects_wrong_variant() {
+        let p = program(GIOP_REQ);
+        let mut bytes = p.compose(&giop_request()).unwrap();
+        bytes[0] = 1; // flip MessageType
+        let err = p.parse(&bytes).unwrap_err();
+        assert!(matches!(err, MdlError::RuleFailed { .. }));
+    }
+
+    #[test]
+    fn rule_fills_missing_field_on_compose() {
+        let p = program(GIOP_REQ);
+        let bytes = p.compose(&giop_request()).unwrap();
+        assert_eq!(bytes[0], 0, "MessageType supplied by rule");
+    }
+
+    #[test]
+    fn length_fields_autocomputed() {
+        let p = program(GIOP_REQ);
+        let bytes = p.compose(&giop_request()).unwrap();
+        // ObjectKeyLength at offset 5..9.
+        let okl = u32::from_be_bytes([bytes[5], bytes[6], bytes[7], bytes[8]]);
+        assert_eq!(okl, 3);
+    }
+
+    #[test]
+    fn signed_and_float_fixed_fields() {
+        let p = program(
+            "<Message:M><A:16:int><B:32:float><C:64:float><End:Message>",
+        );
+        let mut m = AbstractMessage::new("M");
+        m.set_field("A", Value::Int(-5));
+        m.set_field("B", Value::Float(1.5));
+        m.set_field("C", Value::Float(-2.25));
+        let bytes = p.compose(&m).unwrap();
+        let back = p.parse(&bytes).unwrap();
+        assert_eq!(back.get("A").unwrap().as_int(), Some(-5));
+        assert_eq!(back.get("B").unwrap().as_float(), Some(1.5));
+        assert_eq!(back.get("C").unwrap().as_float(), Some(-2.25));
+    }
+
+    #[test]
+    fn sub_byte_fields() {
+        let p = program("<Message:M><Version:4><Flags:4><Body:eof:text><End:Message>");
+        let mut m = AbstractMessage::new("M");
+        m.set_field("Version", Value::UInt(2));
+        m.set_field("Flags", Value::UInt(9));
+        m.set_field("Body", Value::from("hi"));
+        let bytes = p.compose(&m).unwrap();
+        assert_eq!(bytes[0], 0x29);
+        let back = p.parse(&bytes).unwrap();
+        assert_eq!(back.get("Flags").unwrap().as_uint(), Some(9));
+        assert_eq!(back.get("Body").unwrap().as_str(), Some("hi"));
+    }
+
+    #[test]
+    fn little_endian_fixed_fields() {
+        let p = program(
+            "<Dialect:binary><Endian:little>\n<Message:M><A:32><End:Message>",
+        );
+        let mut m = AbstractMessage::new("M");
+        m.set_field("A", Value::UInt(0x0102_0304));
+        let bytes = p.compose(&m).unwrap();
+        assert_eq!(bytes, vec![0x04, 0x03, 0x02, 0x01]);
+        assert_eq!(p.parse(&bytes).unwrap().get("A").unwrap().as_uint(), Some(0x0102_0304));
+    }
+
+    #[test]
+    fn remaining_field_roundtrip() {
+        let p = program(
+            "<Message:M><Kind:8><MessageSize:32:remaining><Body:eof:text><End:Message>",
+        );
+        let mut m = AbstractMessage::new("M");
+        m.set_field("Kind", Value::UInt(1));
+        m.set_field("Body", Value::from("hello"));
+        let bytes = p.compose(&m).unwrap();
+        assert_eq!(bytes[1..5], 5u32.to_be_bytes());
+        let back = p.parse(&bytes).unwrap();
+        assert_eq!(back.get("MessageSize").unwrap().as_uint(), Some(5));
+        assert_eq!(back.get("Body").unwrap().as_str(), Some("hello"));
+        // Corrupt the size: parse must fail.
+        let mut bad = bytes.clone();
+        bad[4] = 99;
+        assert!(p.parse(&bad).is_err());
+    }
+
+    #[test]
+    fn value_overflow_detected() {
+        let p = program("<Message:M><A:8><End:Message>");
+        let mut m = AbstractMessage::new("M");
+        m.set_field("A", Value::UInt(300));
+        assert!(matches!(p.compose(&m), Err(MdlError::BadValue { .. })));
+    }
+
+    #[test]
+    fn missing_field_reported() {
+        let p = program("<Message:M><A:8><End:Message>");
+        let m = AbstractMessage::new("M");
+        assert!(matches!(p.compose(&m), Err(MdlError::MissingField { .. })));
+    }
+
+    #[test]
+    fn truncated_input_reported() {
+        let p = program("<Message:M><A:32><End:Message>");
+        assert!(matches!(
+            p.parse(&[1, 2]),
+            Err(MdlError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn valueseq_all_types_roundtrip() {
+        let p = program("<Message:M><P:eof:valueseq><End:Message>");
+        let nested = Value::Struct(vec![
+            Field::new("id", Value::from("p1")),
+            Field::new("views", Value::UInt(10)),
+        ]);
+        let mut m = AbstractMessage::new("M");
+        m.set_field(
+            "P",
+            Value::Array(vec![
+                Value::Null,
+                Value::Int(-1),
+                Value::UInt(2),
+                Value::Float(2.5),
+                Value::Bool(true),
+                Value::Str("s".into()),
+                Value::Bytes(vec![9]),
+                nested.clone(),
+                Value::Array(vec![Value::Int(1)]),
+            ]),
+        );
+        let bytes = p.compose(&m).unwrap();
+        let back = p.parse(&bytes).unwrap();
+        let arr = back.get("P").unwrap().as_array().unwrap();
+        assert_eq!(arr.len(), 9);
+        assert_eq!(arr[7], nested);
+        assert_eq!(arr[8], Value::Array(vec![Value::Int(1)]));
+    }
+
+    #[test]
+    fn valueseq_trailing_garbage_rejected() {
+        let p = program("<Message:M><P:eof:valueseq><End:Message>");
+        let mut m = AbstractMessage::new("M");
+        m.set_field("P", Value::Array(vec![]));
+        let mut bytes = p.compose(&m).unwrap();
+        bytes.push(0xFF);
+        assert!(p.parse(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_length_reference_rejected_at_compile() {
+        let doc = MdlDocument::parse("<Message:M><Body:NoSuchLen><End:Message>").unwrap();
+        assert!(matches!(
+            BinaryProgram::compile(&doc.messages[0], Endian::Big),
+            Err(MdlError::SpecSemantics { .. })
+        ));
+    }
+
+    #[test]
+    fn fixed_text_zero_padded() {
+        let p = program("<Message:M><Tag:32:text><End:Message>");
+        let mut m = AbstractMessage::new("M");
+        m.set_field("Tag", Value::from("ab"));
+        let bytes = p.compose(&m).unwrap();
+        assert_eq!(bytes, b"ab\0\0");
+        assert_eq!(p.parse(&bytes).unwrap().get("Tag").unwrap().as_str(), Some("ab"));
+    }
+}

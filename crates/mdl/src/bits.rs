@@ -1,0 +1,293 @@
+//! Bit-level reading and writing for the binary MDL dialect.
+//!
+//! MDL field lengths are expressed in **bits** (paper §3.1: "a length
+//! defining the length in bits of the field"), so the binary engine works
+//! on a bit cursor. Bytes are filled most-significant-bit first, matching
+//! how packed binary protocol headers are conventionally drawn.
+
+use crate::error::MdlError;
+use crate::Result;
+
+/// A bit-granular cursor over an input buffer.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Cursor position in bits from the start of `data`.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader at bit offset 0.
+    pub fn new(data: &'a [u8]) -> BitReader<'a> {
+        BitReader { data, pos: 0 }
+    }
+
+    /// Bits remaining until the end of the buffer.
+    pub fn remaining_bits(&self) -> usize {
+        self.data.len() * 8 - self.pos
+    }
+
+    /// Current position in bits.
+    pub fn position_bits(&self) -> usize {
+        self.pos
+    }
+
+    /// Whether the cursor is on a byte boundary.
+    pub fn is_byte_aligned(&self) -> bool {
+        self.pos.is_multiple_of(8)
+    }
+
+    /// Reads `n` bits (0 < n ≤ 64) as a big-endian unsigned integer.
+    ///
+    /// # Errors
+    ///
+    /// [`MdlError::Truncated`] when fewer than `n` bits remain.
+    pub fn read_bits(&mut self, n: usize, field: &str) -> Result<u64> {
+        debug_assert!((1..=64).contains(&n), "read_bits supports 1..=64 bits");
+        if self.remaining_bits() < n {
+            return Err(MdlError::Truncated {
+                field: field.to_owned(),
+                needed_bits: n,
+                available_bits: self.remaining_bits(),
+            });
+        }
+        let mut out: u64 = 0;
+        for _ in 0..n {
+            let byte = self.data[self.pos / 8];
+            let bit = (byte >> (7 - (self.pos % 8))) & 1;
+            out = (out << 1) | u64::from(bit);
+            self.pos += 1;
+        }
+        Ok(out)
+    }
+
+    /// Reads `n` whole bytes; requires byte alignment.
+    ///
+    /// # Errors
+    ///
+    /// [`MdlError::Truncated`] on short input; [`MdlError::BadValue`] when
+    /// the cursor is mid-byte.
+    pub fn read_bytes(&mut self, n: usize, field: &str) -> Result<&'a [u8]> {
+        if !self.is_byte_aligned() {
+            return Err(MdlError::BadValue {
+                field: field.to_owned(),
+                message: "byte read at non-byte-aligned position".into(),
+            });
+        }
+        if self.remaining_bits() < n * 8 {
+            return Err(MdlError::Truncated {
+                field: field.to_owned(),
+                needed_bits: n * 8,
+                available_bits: self.remaining_bits(),
+            });
+        }
+        let start = self.pos / 8;
+        self.pos += n * 8;
+        Ok(&self.data[start..start + n])
+    }
+
+    /// Reads every remaining byte; requires byte alignment.
+    ///
+    /// # Errors
+    ///
+    /// [`MdlError::BadValue`] when the cursor is mid-byte.
+    pub fn read_to_end(&mut self, field: &str) -> Result<&'a [u8]> {
+        let n = self.remaining_bits() / 8;
+        self.read_bytes(n, field)
+    }
+
+    /// Advances to the next multiple of `bits` from the start of the
+    /// buffer (GIOP bodies are 8-byte aligned: `align_to(64)`).
+    ///
+    /// # Errors
+    ///
+    /// [`MdlError::Truncated`] if the padding would run past the buffer.
+    pub fn align_to(&mut self, bits: usize, field: &str) -> Result<()> {
+        debug_assert!(bits > 0);
+        let rem = self.pos % bits;
+        if rem == 0 {
+            return Ok(());
+        }
+        let pad = bits - rem;
+        if self.remaining_bits() < pad {
+            return Err(MdlError::Truncated {
+                field: field.to_owned(),
+                needed_bits: pad,
+                available_bits: self.remaining_bits(),
+            });
+        }
+        self.pos += pad;
+        Ok(())
+    }
+}
+
+/// A bit-granular output buffer.
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    data: Vec<u8>,
+    /// Number of valid bits in `data` (the final byte may be partial).
+    bits: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> BitWriter {
+        BitWriter::default()
+    }
+
+    /// Number of bits written so far.
+    pub fn position_bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Whether the cursor is on a byte boundary.
+    pub fn is_byte_aligned(&self) -> bool {
+        self.bits.is_multiple_of(8)
+    }
+
+    /// Writes the low `n` bits of `value`, most significant first.
+    pub fn write_bits(&mut self, value: u64, n: usize) {
+        debug_assert!((1..=64).contains(&n));
+        for i in (0..n).rev() {
+            let bit = ((value >> i) & 1) as u8;
+            if self.bits.is_multiple_of(8) {
+                self.data.push(0);
+            }
+            let byte = self.data.last_mut().expect("pushed above");
+            *byte |= bit << (7 - (self.bits % 8));
+            self.bits += 1;
+        }
+    }
+
+    /// Writes whole bytes; requires byte alignment.
+    ///
+    /// # Errors
+    ///
+    /// [`MdlError::BadValue`] when the cursor is mid-byte.
+    pub fn write_bytes(&mut self, bytes: &[u8], field: &str) -> Result<()> {
+        if !self.is_byte_aligned() {
+            return Err(MdlError::BadValue {
+                field: field.to_owned(),
+                message: "byte write at non-byte-aligned position".into(),
+            });
+        }
+        self.data.extend_from_slice(bytes);
+        self.bits += bytes.len() * 8;
+        Ok(())
+    }
+
+    /// Zero-pads to the next multiple of `bits`.
+    pub fn align_to(&mut self, bits: usize) {
+        debug_assert!(bits > 0);
+        let rem = self.bits % bits;
+        if rem != 0 {
+            let pad = bits - rem;
+            for _ in 0..pad {
+                if self.bits.is_multiple_of(8) {
+                    self.data.push(0);
+                }
+                self.bits += 1;
+            }
+        }
+    }
+
+    /// Finishes writing, zero-padding any partial final byte.
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        self.align_to(8);
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_bit_fields() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0x1F, 5);
+        w.write_bits(0xDEAD, 16);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3, "a").unwrap(), 0b101);
+        assert_eq!(r.read_bits(5, "b").unwrap(), 0x1F);
+        assert_eq!(r.read_bits(16, "c").unwrap(), 0xDEAD);
+    }
+
+    #[test]
+    fn sixty_four_bit_values() {
+        let mut w = BitWriter::new();
+        w.write_bits(u64::MAX, 64);
+        w.write_bits(0x0123_4567_89AB_CDEF, 64);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(64, "x").unwrap(), u64::MAX);
+        assert_eq!(r.read_bits(64, "y").unwrap(), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = [0xFFu8];
+        let mut r = BitReader::new(&bytes);
+        r.read_bits(4, "a").unwrap();
+        let err = r.read_bits(8, "b").unwrap_err();
+        assert!(matches!(err, MdlError::Truncated { available_bits: 4, .. }));
+    }
+
+    #[test]
+    fn alignment_reader_writer_agree() {
+        let mut w = BitWriter::new();
+        w.write_bits(1, 8);
+        w.align_to(64);
+        w.write_bytes(b"XY", "tail").unwrap();
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 10);
+        let mut r = BitReader::new(&bytes);
+        r.read_bits(8, "head").unwrap();
+        r.align_to(64, "pad").unwrap();
+        assert_eq!(r.read_bytes(2, "tail").unwrap(), b"XY");
+    }
+
+    #[test]
+    fn unaligned_byte_access_rejected() {
+        let mut w = BitWriter::new();
+        w.write_bits(1, 3);
+        assert!(w.write_bytes(b"z", "f").is_err());
+
+        let data = [0u8; 2];
+        let mut r = BitReader::new(&data);
+        r.read_bits(3, "a").unwrap();
+        assert!(r.read_bytes(1, "f").is_err());
+        assert!(r.read_to_end("f").is_err());
+    }
+
+    #[test]
+    fn read_to_end_consumes_all() {
+        let data = b"hello";
+        let mut r = BitReader::new(data);
+        assert_eq!(r.read_to_end("f").unwrap(), b"hello");
+        assert_eq!(r.remaining_bits(), 0);
+    }
+
+    #[test]
+    fn align_when_already_aligned_is_noop() {
+        let data = [1u8, 2, 3, 4, 5, 6, 7, 8];
+        let mut r = BitReader::new(&data);
+        r.align_to(64, "pad").unwrap();
+        assert_eq!(r.position_bits(), 0);
+        let mut w = BitWriter::new();
+        w.write_bits(0xAB, 8);
+        let before = w.position_bits();
+        w.align_to(8);
+        assert_eq!(w.position_bits(), before);
+    }
+
+    #[test]
+    fn align_past_end_is_truncation() {
+        let data = [0u8; 3];
+        let mut r = BitReader::new(&data);
+        r.read_bits(8, "a").unwrap();
+        assert!(r.align_to(64, "pad").is_err());
+    }
+}

@@ -1,0 +1,223 @@
+use crate::ast::{Dialect, MdlDocument};
+use crate::binary::BinaryProgram;
+use crate::error::MdlError;
+use crate::text::TextProgram;
+use crate::xml::XmlProgram;
+use crate::Result;
+use starlink_message::AbstractMessage;
+
+/// A parser/composer pair over abstract messages.
+///
+/// This is the interface the Starlink runtime sees: "message parsers read
+/// the contents of a network packet and parse them into the
+/// AbstractMessage representation […] message composers construct the data
+/// packet for a particular protocol message" (paper §4.2). [`MdlCodec`]
+/// is the spec-driven implementation; protocol crates may wrap it with
+/// protocol-specific conveniences.
+pub trait MessageCodec: Send + Sync {
+    /// Parses wire bytes into an abstract message, selecting the matching
+    /// message variant.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined; [`MdlCodec`] returns
+    /// [`MdlError::NoVariantMatched`] when nothing matches.
+    fn parse(&self, data: &[u8]) -> Result<AbstractMessage>;
+
+    /// Composes an abstract message to wire bytes, selecting the variant
+    /// by the message's name.
+    ///
+    /// # Errors
+    ///
+    /// [`MdlError::UnknownMessage`] when the name matches no variant.
+    fn compose(&self, msg: &AbstractMessage) -> Result<Vec<u8>>;
+
+    /// The names of the message variants this codec understands.
+    fn message_names(&self) -> Vec<String>;
+}
+
+#[derive(Debug, Clone)]
+enum Program {
+    Binary(BinaryProgram),
+    Text(TextProgram),
+    Xml(XmlProgram),
+}
+
+impl Program {
+    fn name(&self) -> &str {
+        match self {
+            Program::Binary(p) => &p.name,
+            Program::Text(p) => &p.name,
+            Program::Xml(p) => &p.name,
+        }
+    }
+
+    fn parse(&self, data: &[u8]) -> Result<AbstractMessage> {
+        match self {
+            Program::Binary(p) => p.parse(data),
+            Program::Text(p) => p.parse(data),
+            Program::Xml(p) => p.parse(data),
+        }
+    }
+
+    fn compose(&self, msg: &AbstractMessage) -> Result<Vec<u8>> {
+        match self {
+            Program::Binary(p) => p.compose(msg),
+            Program::Text(p) => p.compose(msg),
+            Program::Xml(p) => p.compose(msg),
+        }
+    }
+}
+
+/// A compiled MDL document: parses and composes every message variant the
+/// spec defines. This is the runtime-specialised "generic parser/composer"
+/// of the paper — building one from spec text is cheap enough to do on
+/// deployment of a mediator.
+#[derive(Debug, Clone)]
+pub struct MdlCodec {
+    programs: Vec<Program>,
+}
+
+impl MdlCodec {
+    /// Compiles an MDL document from its text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdlError::SpecSyntax`]/[`MdlError::SpecSemantics`] on
+    /// malformed specs.
+    pub fn from_text(spec: &str) -> Result<MdlCodec> {
+        MdlCodec::from_document(&MdlDocument::parse(spec)?)
+    }
+
+    /// Compiles an already-parsed MDL document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdlError::SpecSemantics`] on dialect violations.
+    pub fn from_document(doc: &MdlDocument) -> Result<MdlCodec> {
+        let mut programs = Vec::with_capacity(doc.messages.len());
+        for msg in &doc.messages {
+            programs.push(match doc.dialect {
+                Dialect::Binary => Program::Binary(BinaryProgram::compile(msg, doc.endian)?),
+                Dialect::Text => Program::Text(TextProgram::compile(msg)?),
+                Dialect::Xml => Program::Xml(XmlProgram::compile(msg)?),
+            });
+        }
+        Ok(MdlCodec { programs })
+    }
+
+    /// Parses with a specific message variant rather than trying all.
+    ///
+    /// # Errors
+    ///
+    /// [`MdlError::UnknownMessage`] when `name` matches no variant, or the
+    /// variant's own parse error.
+    pub fn parse_named(&self, name: &str, data: &[u8]) -> Result<AbstractMessage> {
+        let program = self
+            .programs
+            .iter()
+            .find(|p| p.name() == name)
+            .ok_or_else(|| MdlError::UnknownMessage {
+                name: name.to_owned(),
+            })?;
+        program.parse(data)
+    }
+}
+
+impl MessageCodec for MdlCodec {
+    fn parse(&self, data: &[u8]) -> Result<AbstractMessage> {
+        let mut attempts = Vec::new();
+        for program in &self.programs {
+            match program.parse(data) {
+                Ok(msg) => return Ok(msg),
+                Err(e) => attempts.push(format!("{}: {e}", program.name())),
+            }
+        }
+        Err(MdlError::NoVariantMatched { attempts })
+    }
+
+    fn compose(&self, msg: &AbstractMessage) -> Result<Vec<u8>> {
+        let program = self
+            .programs
+            .iter()
+            .find(|p| p.name() == msg.name())
+            .ok_or_else(|| MdlError::UnknownMessage {
+                name: msg.name().to_owned(),
+            })?;
+        program.compose(msg)
+    }
+
+    fn message_names(&self) -> Vec<String> {
+        self.programs.iter().map(|p| p.name().to_owned()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starlink_message::Value;
+
+    const GIOP: &str = "\
+<Message:GIOPRequest>\n\
+<Rule:MessageType=0>\n\
+<MessageType:8><RequestID:32>\n\
+<OperationLength:32><Operation:OperationLength>\n\
+<align:64><ParameterArray:eof:valueseq>\n\
+<End:Message>\n\
+<Message:GIOPReply>\n\
+<Rule:MessageType=1>\n\
+<MessageType:8><RequestID:32><ReplyStatus:32>\n\
+<align:64><ParameterArray:eof:valueseq>\n\
+<End:Message>";
+
+    #[test]
+    fn variant_selection_by_rules() {
+        let codec = MdlCodec::from_text(GIOP).unwrap();
+        assert_eq!(codec.message_names(), vec!["GIOPRequest", "GIOPReply"]);
+
+        let mut reply = AbstractMessage::new("GIOPReply");
+        reply.set_field("RequestID", Value::UInt(9));
+        reply.set_field("ReplyStatus", Value::UInt(0));
+        reply.set_field("ParameterArray", Value::Array(vec![Value::Int(7)]));
+        let bytes = codec.compose(&reply).unwrap();
+        let back = codec.parse(&bytes).unwrap();
+        assert_eq!(back.name(), "GIOPReply");
+        assert_eq!(back.get("RequestID").unwrap().as_uint(), Some(9));
+    }
+
+    #[test]
+    fn no_variant_matched_lists_attempts() {
+        let codec = MdlCodec::from_text(GIOP).unwrap();
+        let err = codec.parse(&[0xFF; 2]).unwrap_err();
+        match err {
+            MdlError::NoVariantMatched { attempts } => assert_eq!(attempts.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_message_on_compose() {
+        let codec = MdlCodec::from_text(GIOP).unwrap();
+        let msg = AbstractMessage::new("NotAThing");
+        assert!(matches!(
+            codec.compose(&msg),
+            Err(MdlError::UnknownMessage { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_named_bypasses_variant_search() {
+        let codec = MdlCodec::from_text(GIOP).unwrap();
+        let mut req = AbstractMessage::new("GIOPRequest");
+        req.set_field("RequestID", Value::UInt(1));
+        req.set_field("Operation", Value::from("Add"));
+        req.set_field("ParameterArray", Value::Array(vec![]));
+        let bytes = codec.compose(&req).unwrap();
+        assert!(codec.parse_named("GIOPRequest", &bytes).is_ok());
+        assert!(codec.parse_named("GIOPReply", &bytes).is_err());
+        assert!(matches!(
+            codec.parse_named("Nope", &bytes),
+            Err(MdlError::UnknownMessage { .. })
+        ));
+    }
+}

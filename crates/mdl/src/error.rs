@@ -1,0 +1,128 @@
+use std::fmt;
+
+/// Errors produced when compiling an MDL spec or running a codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MdlError {
+    /// The spec text is syntactically malformed.
+    SpecSyntax {
+        /// Description of the problem.
+        message: String,
+        /// 1-based line number in the spec text.
+        line: usize,
+    },
+    /// The spec is syntactically fine but semantically invalid for its
+    /// dialect (e.g. a text-dialect item inside a binary message).
+    SpecSemantics {
+        /// Description of the problem.
+        message: String,
+        /// Name of the message definition involved, when known.
+        message_name: String,
+    },
+    /// Wire input ended before the spec was satisfied.
+    Truncated {
+        /// The field being read when input ran out.
+        field: String,
+        /// Bits still required.
+        needed_bits: usize,
+        /// Bits remaining in the buffer.
+        available_bits: usize,
+    },
+    /// Wire input did not match any message variant of the spec.
+    NoVariantMatched {
+        /// Per-variant failure notes, `name: reason`.
+        attempts: Vec<String>,
+    },
+    /// A rule guard failed while parsing a specific variant.
+    RuleFailed {
+        /// The message variant.
+        message_name: String,
+        /// The guarded field.
+        field: String,
+        /// Expected value (spec side).
+        expected: String,
+        /// Actual value (wire side).
+        actual: String,
+    },
+    /// Composition failed because the abstract message lacks a field the
+    /// spec needs.
+    MissingField {
+        /// The message variant being composed.
+        message_name: String,
+        /// The missing field.
+        field: String,
+    },
+    /// Composition/parsing hit a value of the wrong shape.
+    BadValue {
+        /// The field involved.
+        field: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// The abstract message's name matches no variant of the spec.
+    UnknownMessage {
+        /// The offending name.
+        name: String,
+    },
+    /// Underlying XML parse failure (xml dialect).
+    Xml(String),
+    /// The wire text was not valid UTF-8 where text was required.
+    NotUtf8 {
+        /// The field involved.
+        field: String,
+    },
+}
+
+impl fmt::Display for MdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MdlError::SpecSyntax { message, line } => {
+                write!(f, "mdl spec syntax error on line {line}: {message}")
+            }
+            MdlError::SpecSemantics {
+                message,
+                message_name,
+            } => write!(f, "mdl spec error in <Message:{message_name}>: {message}"),
+            MdlError::Truncated {
+                field,
+                needed_bits,
+                available_bits,
+            } => write!(
+                f,
+                "truncated input reading `{field}`: need {needed_bits} bits, have {available_bits}"
+            ),
+            MdlError::NoVariantMatched { attempts } => {
+                write!(f, "no message variant matched input: {}", attempts.join("; "))
+            }
+            MdlError::RuleFailed {
+                message_name,
+                field,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "rule failed for {message_name}: {field} expected {expected}, found {actual}"
+            ),
+            MdlError::MissingField {
+                message_name,
+                field,
+            } => write!(f, "cannot compose {message_name}: field `{field}` missing"),
+            MdlError::BadValue { field, message } => {
+                write!(f, "bad value for `{field}`: {message}")
+            }
+            MdlError::UnknownMessage { name } => {
+                write!(f, "spec defines no message named `{name}`")
+            }
+            MdlError::Xml(e) => write!(f, "xml error: {e}"),
+            MdlError::NotUtf8 { field } => write!(f, "field `{field}` is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for MdlError {}
+
+impl From<starlink_xml::XmlError> for MdlError {
+    fn from(e: starlink_xml::XmlError) -> Self {
+        MdlError::Xml(e.to_string())
+    }
+}

@@ -1,0 +1,489 @@
+//! The text MDL dialect engine: line-oriented protocols such as HTTP.
+//!
+//! Supported items inside a `<Message:…>` block:
+//!
+//! * `<Request:Method RequestURI Version>` — the first line, split on
+//!   single spaces into the named fields; a trailing `+` on the last name
+//!   (`Reason+`) captures the rest of the line including spaces,
+//! * `<Status:Version Code Reason+>` — alias of `Request` for response
+//!   messages (the engine treats both as a line template),
+//! * `<Headers:Name>` — the header block parsed into a structured field
+//!   `Name` (one sub-field per header, duplicates preserved in order),
+//! * `<Body:Name>` — everything after the blank line into text field
+//!   `Name`; when composing, a `Content-Length` header is set
+//!   automatically if the message has a header block,
+//! * `<Rule:Field=Value>` — parse guard; also supports `Field^=Prefix`
+//!   (starts-with) and `Field*=Substring` (contains), which REST messages
+//!   need to discriminate on URI shapes.
+//!
+//! Wire form uses CRLF line endings; bare LF is tolerated on input.
+
+use crate::ast::{MessageSpec, SpecItem};
+use crate::error::MdlError;
+use crate::Result;
+use starlink_message::{AbstractMessage, Field, Value};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RuleOp {
+    Equals,
+    StartsWith,
+    Contains,
+}
+
+#[derive(Debug, Clone)]
+struct TextRule {
+    field: String,
+    op: RuleOp,
+    value: String,
+}
+
+#[derive(Debug, Clone)]
+enum TextItem {
+    Line { fields: Vec<String>, rest_last: bool },
+    Headers { name: String },
+    Body { name: String },
+}
+
+/// A compiled text message variant.
+#[derive(Debug, Clone)]
+pub(crate) struct TextProgram {
+    pub(crate) name: String,
+    items: Vec<TextItem>,
+    rules: Vec<TextRule>,
+}
+
+impl TextProgram {
+    pub(crate) fn compile(spec: &MessageSpec) -> Result<TextProgram> {
+        let mut items = Vec::new();
+        let mut rules = Vec::new();
+        for item in &spec.items {
+            match item.key.as_str() {
+                "Request" | "Status" | "Line" => items.push(compile_line(item)?),
+                "Headers" => items.push(TextItem::Headers {
+                    name: item.rest.trim().to_owned(),
+                }),
+                "Body" => items.push(TextItem::Body {
+                    name: item.rest.trim().to_owned(),
+                }),
+                "Rule" => rules.push(compile_rule(item)?),
+                other => {
+                    return Err(MdlError::SpecSemantics {
+                        message: format!("unknown text-dialect item `<{other}:…>`"),
+                        message_name: spec.name.clone(),
+                    })
+                }
+            }
+        }
+        let line_count = items
+            .iter()
+            .filter(|i| matches!(i, TextItem::Line { .. }))
+            .count();
+        if line_count != 1 {
+            return Err(MdlError::SpecSemantics {
+                message: format!(
+                    "text message needs exactly one Request/Status line, found {line_count}"
+                ),
+                message_name: spec.name.clone(),
+            });
+        }
+        Ok(TextProgram {
+            name: spec.name.clone(),
+            items,
+            rules,
+        })
+    }
+
+    pub(crate) fn parse(&self, data: &[u8]) -> Result<AbstractMessage> {
+        let text = std::str::from_utf8(data).map_err(|_| MdlError::NotUtf8 {
+            field: self.name.clone(),
+        })?;
+        // Split head from body at the first blank line.
+        let (head, body) = match text.find("\r\n\r\n") {
+            Some(i) => (&text[..i], &text[i + 4..]),
+            None => match text.find("\n\n") {
+                Some(i) => (&text[..i], &text[i + 2..]),
+                None => (text, ""),
+            },
+        };
+        let mut lines = head.lines();
+        let first = lines.next().unwrap_or("");
+        let mut msg = AbstractMessage::new(&self.name);
+        for item in &self.items {
+            match item {
+                TextItem::Line { fields, rest_last } => {
+                    parse_line(first, fields, *rest_last, &mut msg, &self.name)?;
+                }
+                TextItem::Headers { name } => {
+                    let mut headers = Vec::new();
+                    for line in lines.by_ref() {
+                        let line = line.trim_end_matches('\r');
+                        if line.is_empty() {
+                            continue;
+                        }
+                        let (hname, hvalue) =
+                            line.split_once(':').ok_or_else(|| MdlError::BadValue {
+                                field: name.clone(),
+                                message: format!("malformed header line `{line}`"),
+                            })?;
+                        headers.push(Field::new(
+                            hname.trim().to_owned(),
+                            Value::Str(hvalue.trim().to_owned()),
+                        ));
+                    }
+                    msg.push_field(Field::new(name.clone(), Value::Struct(headers)));
+                }
+                TextItem::Body { name } => {
+                    msg.push_field(Field::new(name.clone(), Value::Str(body.to_owned())));
+                }
+            }
+        }
+        for rule in &self.rules {
+            self.check_rule(rule, &msg)?;
+        }
+        Ok(msg)
+    }
+
+    pub(crate) fn compose(&self, msg: &AbstractMessage) -> Result<Vec<u8>> {
+        let mut out = String::new();
+        let body: Option<String> = self.items.iter().find_map(|i| match i {
+            TextItem::Body { name } => Some(
+                msg.get(name)
+                    .map(Value::to_text)
+                    .unwrap_or_default(),
+            ),
+            _ => None,
+        });
+        for item in &self.items {
+            match item {
+                TextItem::Line { fields, .. } => {
+                    let mut parts = Vec::with_capacity(fields.len());
+                    for f in fields {
+                        let v = msg
+                            .get(f)
+                            .map(Value::to_text)
+                            .or_else(|| {
+                                self.rules
+                                    .iter()
+                                    .find(|r| &r.field == f && r.op == RuleOp::Equals)
+                                    .map(|r| r.value.clone())
+                            })
+                            .ok_or_else(|| MdlError::MissingField {
+                                message_name: self.name.clone(),
+                                field: f.clone(),
+                            })?;
+                        parts.push(v);
+                    }
+                    out.push_str(&parts.join(" "));
+                    out.push_str("\r\n");
+                }
+                TextItem::Headers { name } => {
+                    let mut wrote_content_length = false;
+                    if let Some(Value::Struct(headers)) = msg.get(name) {
+                        for h in headers {
+                            if h.label().eq_ignore_ascii_case("content-length") {
+                                // Recomputed below from the actual body.
+                                continue;
+                            }
+                            out.push_str(h.label());
+                            out.push_str(": ");
+                            out.push_str(&h.value().to_text());
+                            out.push_str("\r\n");
+                        }
+                    }
+                    if let Some(b) = &body {
+                        out.push_str(&format!("Content-Length: {}\r\n", b.len()));
+                        wrote_content_length = true;
+                    }
+                    let _ = wrote_content_length;
+                }
+                TextItem::Body { .. } => {}
+            }
+        }
+        out.push_str("\r\n");
+        if let Some(b) = body {
+            out.push_str(&b);
+        }
+        Ok(out.into_bytes())
+    }
+
+    fn check_rule(&self, rule: &TextRule, msg: &AbstractMessage) -> Result<()> {
+        let actual = msg
+            .get(&rule.field)
+            .map(Value::to_text)
+            .ok_or_else(|| MdlError::RuleFailed {
+                message_name: self.name.clone(),
+                field: rule.field.clone(),
+                expected: rule.value.clone(),
+                actual: "<absent>".into(),
+            })?;
+        let ok = match rule.op {
+            RuleOp::Equals => actual == rule.value,
+            RuleOp::StartsWith => actual.starts_with(&rule.value),
+            RuleOp::Contains => actual.contains(&rule.value),
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(MdlError::RuleFailed {
+                message_name: self.name.clone(),
+                field: rule.field.clone(),
+                expected: rule.value.clone(),
+                actual,
+            })
+        }
+    }
+}
+
+fn compile_line(item: &SpecItem) -> Result<TextItem> {
+    let mut fields: Vec<String> = item
+        .rest
+        .split_whitespace()
+        .map(str::to_owned)
+        .collect();
+    if fields.is_empty() {
+        return Err(MdlError::SpecSyntax {
+            message: "line template has no fields".into(),
+            line: item.line,
+        });
+    }
+    let mut rest_last = false;
+    if let Some(last) = fields.last_mut() {
+        if let Some(stripped) = last.strip_suffix('+') {
+            *last = stripped.to_owned();
+            rest_last = true;
+        }
+    }
+    Ok(TextItem::Line { fields, rest_last })
+}
+
+fn compile_rule(item: &SpecItem) -> Result<TextRule> {
+    for (needle, op) in [
+        ("^=", RuleOp::StartsWith),
+        ("*=", RuleOp::Contains),
+        ("=", RuleOp::Equals),
+    ] {
+        if let Some(i) = item.rest.find(needle) {
+            let field = item.rest[..i].trim().to_owned();
+            let value = item.rest[i + needle.len()..].trim().to_owned();
+            if field.is_empty() {
+                break;
+            }
+            return Ok(TextRule { field, op, value });
+        }
+    }
+    Err(MdlError::SpecSyntax {
+        message: format!("malformed rule `{}`", item.rest),
+        line: item.line,
+    })
+}
+
+fn parse_line(
+    line: &str,
+    fields: &[String],
+    rest_last: bool,
+    msg: &mut AbstractMessage,
+    message_name: &str,
+) -> Result<()> {
+    let mut remainder = line.trim_end_matches('\r');
+    for (i, fname) in fields.iter().enumerate() {
+        let is_last = i == fields.len() - 1;
+        if is_last {
+            if remainder.is_empty() && !rest_last {
+                return Err(MdlError::BadValue {
+                    field: fname.clone(),
+                    message: format!("line of `{message_name}` too short"),
+                });
+            }
+            msg.push_field(Field::new(fname.clone(), Value::Str(remainder.to_owned())));
+            return Ok(());
+        }
+        match remainder.split_once(' ') {
+            Some((head, tail)) => {
+                msg.push_field(Field::new(fname.clone(), Value::Str(head.to_owned())));
+                remainder = tail;
+            }
+            None => {
+                return Err(MdlError::BadValue {
+                    field: fname.clone(),
+                    message: format!("line of `{message_name}` too short"),
+                })
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::MdlDocument;
+
+    const HTTP: &str = "\
+<Dialect:text>\n\
+<Message:HTTPRequest>\n\
+<Request:Method RequestURI Version>\n\
+<Headers:Headers>\n\
+<Body:Body>\n\
+<End:Message>\n\
+<Message:HTTPResponse>\n\
+<Status:Version Code Reason+>\n\
+<Headers:Headers>\n\
+<Body:Body>\n\
+<End:Message>";
+
+    fn programs() -> Vec<TextProgram> {
+        let doc = MdlDocument::parse(HTTP).unwrap();
+        doc.messages
+            .iter()
+            .map(|m| TextProgram::compile(m).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn parse_get_request() {
+        let p = &programs()[0];
+        let wire = b"GET /data/feed/api/all?q=tree HTTP/1.1\r\nHost: picasaweb.google.com\r\nAccept: */*\r\n\r\n";
+        let msg = p.parse(wire).unwrap();
+        assert_eq!(msg.get("Method").unwrap().as_str(), Some("GET"));
+        assert_eq!(
+            msg.get("RequestURI").unwrap().as_str(),
+            Some("/data/feed/api/all?q=tree")
+        );
+        let headers = msg.get("Headers").unwrap().as_struct().unwrap();
+        assert_eq!(headers.len(), 2);
+        assert_eq!(headers[0].label(), "Host");
+        assert_eq!(msg.get("Body").unwrap().as_str(), Some(""));
+    }
+
+    #[test]
+    fn compose_sets_content_length() {
+        let p = &programs()[0];
+        let mut msg = AbstractMessage::new("HTTPRequest");
+        msg.set_field("Method", Value::from("POST"));
+        msg.set_field("RequestURI", Value::from("/xml-rpc"));
+        msg.set_field("Version", Value::from("HTTP/1.1"));
+        msg.set_field(
+            "Headers",
+            Value::Struct(vec![Field::new("Host", Value::from("flickr.com"))]),
+        );
+        msg.set_field("Body", Value::from("<methodCall/>"));
+        let wire = String::from_utf8(p.compose(&msg).unwrap()).unwrap();
+        assert!(wire.starts_with("POST /xml-rpc HTTP/1.1\r\n"));
+        assert!(wire.contains("Content-Length: 13\r\n"));
+        assert!(wire.ends_with("\r\n\r\n<methodCall/>"));
+    }
+
+    #[test]
+    fn roundtrip_response_with_reason_spaces() {
+        let p = &programs()[1];
+        let mut msg = AbstractMessage::new("HTTPResponse");
+        msg.set_field("Version", Value::from("HTTP/1.1"));
+        msg.set_field("Code", Value::from("404"));
+        msg.set_field("Reason", Value::from("Not Found"));
+        msg.set_field("Headers", Value::Struct(vec![]));
+        msg.set_field("Body", Value::from("missing"));
+        let wire = p.compose(&msg).unwrap();
+        let back = p.parse(&wire).unwrap();
+        assert_eq!(back.get("Reason").unwrap().as_str(), Some("Not Found"));
+        assert_eq!(back.get("Body").unwrap().as_str(), Some("missing"));
+    }
+
+    #[test]
+    fn stale_content_length_is_recomputed() {
+        let p = &programs()[0];
+        let mut msg = AbstractMessage::new("HTTPRequest");
+        msg.set_field("Method", Value::from("POST"));
+        msg.set_field("RequestURI", Value::from("/x"));
+        msg.set_field("Version", Value::from("HTTP/1.1"));
+        msg.set_field(
+            "Headers",
+            Value::Struct(vec![Field::new("Content-Length", Value::from("9999"))]),
+        );
+        msg.set_field("Body", Value::from("ab"));
+        let wire = String::from_utf8(p.compose(&msg).unwrap()).unwrap();
+        assert!(wire.contains("Content-Length: 2\r\n"));
+        assert!(!wire.contains("9999"));
+    }
+
+    #[test]
+    fn lf_only_input_tolerated() {
+        let p = &programs()[0];
+        let wire = b"GET /x HTTP/1.1\nHost: h\n\nbody";
+        let msg = p.parse(wire).unwrap();
+        assert_eq!(msg.get("Body").unwrap().as_str(), Some("body"));
+        let headers = msg.get("Headers").unwrap().as_struct().unwrap();
+        assert_eq!(headers[0].value().as_str(), Some("h"));
+    }
+
+    #[test]
+    fn short_line_rejected() {
+        let p = &programs()[0];
+        assert!(matches!(
+            p.parse(b"GET\r\n\r\n"),
+            Err(MdlError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn rules_guard_variants() {
+        let spec = "\
+<Dialect:text>\n\
+<Message:SearchRequest>\n\
+<Request:Method RequestURI Version>\n\
+<Rule:Method=GET>\n\
+<Rule:RequestURI^=/data/feed>\n\
+<Headers:Headers>\n\
+<Body:Body>\n\
+<End:Message>";
+        let doc = MdlDocument::parse(spec).unwrap();
+        let p = TextProgram::compile(&doc.messages[0]).unwrap();
+        assert!(p.parse(b"GET /data/feed/api/all?q=x HTTP/1.1\r\n\r\n").is_ok());
+        assert!(matches!(
+            p.parse(b"POST /data/feed/api/all HTTP/1.1\r\n\r\n"),
+            Err(MdlError::RuleFailed { .. })
+        ));
+        assert!(matches!(
+            p.parse(b"GET /other HTTP/1.1\r\n\r\n"),
+            Err(MdlError::RuleFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn rule_supplies_line_field_on_compose() {
+        let spec = "\
+<Dialect:text>\n\
+<Message:SearchRequest>\n\
+<Request:Method RequestURI Version>\n\
+<Rule:Method=GET>\n\
+<Headers:Headers>\n\
+<Body:Body>\n\
+<End:Message>";
+        let doc = MdlDocument::parse(spec).unwrap();
+        let p = TextProgram::compile(&doc.messages[0]).unwrap();
+        let mut msg = AbstractMessage::new("SearchRequest");
+        msg.set_field("RequestURI", Value::from("/data/feed/all"));
+        msg.set_field("Version", Value::from("HTTP/1.1"));
+        let wire = String::from_utf8(p.compose(&msg).unwrap()).unwrap();
+        assert!(wire.starts_with("GET /data/feed/all HTTP/1.1"));
+    }
+
+    #[test]
+    fn missing_line_template_rejected() {
+        let doc =
+            MdlDocument::parse("<Dialect:text><Message:M><Body:B><End:Message>").unwrap();
+        assert!(matches!(
+            TextProgram::compile(&doc.messages[0]),
+            Err(MdlError::SpecSemantics { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_headers_preserved() {
+        let p = &programs()[0];
+        let wire = b"GET / HTTP/1.1\r\nSet-Thing: a\r\nSet-Thing: b\r\n\r\n";
+        let msg = p.parse(wire).unwrap();
+        let headers = msg.get("Headers").unwrap().as_struct().unwrap();
+        assert_eq!(headers.len(), 2);
+        assert_eq!(headers[1].value().as_str(), Some("b"));
+    }
+}

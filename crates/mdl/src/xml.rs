@@ -1,0 +1,1078 @@
+//! The XML MDL dialect engine: element/attribute templates for SOAP,
+//! XML-RPC and GData-feed messages.
+//!
+//! Supported items inside a `<Message:…>` block:
+//!
+//! * `<Root:methodCall>` — the document's root element name (local-name
+//!   matched on parse, created verbatim on compose),
+//! * `<RootAttr:name=value>` — a literal attribute emitted on the root
+//!   (namespace declarations); not checked on parse,
+//! * `<Name:Field=path>` — binds `Field` to the *element name* of the
+//!   first element child of the element at `path` (SOAP's operation
+//!   element); later paths may reference it as a `{Field}` step,
+//! * `<Text:Field=path>` — binds `Field` to the text content at `path`,
+//! * `<Attr:Field=path@attr>` — binds `Field` to an attribute value,
+//! * `<List:Field=path>` — binds `Field` to an array; the last path step
+//!   names the repeated element (`*` matches any child element). Without
+//!   item rules each element's text becomes one array item; with item
+//!   rules each element becomes a structure:
+//! * `<ItemText:Field.sub=relpath>` / `<ItemAttr:Field.sub=relpath@attr>` /
+//!   `<ItemName:Field.sub>` — sub-field extraction relative to each list
+//!   item element (`.` = the item element itself),
+//! * `<Rule:Field=Value>` — guard after extraction (`=`, `^=` prefix,
+//!   `*=` contains), used to discriminate message variants (e.g. the
+//!   SOAP operation name or an XML-RPC method name).
+//!
+//! A field name ending in `?` is optional: missing elements are skipped on
+//! parse, missing fields are skipped on compose.
+
+use crate::ast::MessageSpec;
+use crate::error::MdlError;
+use crate::Result;
+use starlink_message::{AbstractMessage, Field, Value};
+use starlink_xml::Element;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Step {
+    /// A literal element local name.
+    Name(String),
+    /// `{Field}` — the element whose name was bound by a `<Name:…>` rule.
+    Dynamic(String),
+    /// `*` — any element (first child on parse).
+    Any,
+}
+
+type XPath = Vec<Step>;
+
+fn parse_path(text: &str, line: usize) -> Result<XPath> {
+    let mut steps = Vec::new();
+    for raw in text.split('/') {
+        let raw = raw.trim();
+        if raw.is_empty() {
+            continue;
+        }
+        if raw == "*" {
+            steps.push(Step::Any);
+        } else if let Some(inner) = raw.strip_prefix('{').and_then(|s| s.strip_suffix('}')) {
+            if inner.is_empty() {
+                return Err(MdlError::SpecSyntax {
+                    message: "empty `{}` path step".into(),
+                    line,
+                });
+            }
+            steps.push(Step::Dynamic(inner.to_owned()));
+        } else {
+            steps.push(Step::Name(raw.to_owned()));
+        }
+    }
+    Ok(steps)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GuardOp {
+    Equals,
+    StartsWith,
+    Contains,
+}
+
+#[derive(Debug, Clone)]
+struct Guard {
+    field: String,
+    op: GuardOp,
+    value: String,
+}
+
+#[derive(Debug, Clone)]
+enum XmlBinding {
+    Name {
+        field: String,
+        path: XPath,
+        optional: bool,
+    },
+    Text {
+        field: String,
+        path: XPath,
+        optional: bool,
+    },
+    Attr {
+        field: String,
+        path: XPath,
+        attr: String,
+        optional: bool,
+    },
+    List {
+        field: String,
+        parent: XPath,
+        item: Step,
+    },
+}
+
+#[derive(Debug, Clone)]
+enum ItemRule {
+    Text { sub: String, rel: XPath },
+    /// Structured sub-field ↔ nested XML tree (see `tree_to_value`).
+    Tree { sub: String, rel: XPath },
+    Attr { sub: String, rel: XPath, attr: String },
+    Name { sub: String },
+}
+
+/// A compiled XML message variant.
+#[derive(Debug, Clone)]
+pub(crate) struct XmlProgram {
+    pub(crate) name: String,
+    root: String,
+    root_attrs: Vec<(String, String)>,
+    bindings: Vec<XmlBinding>,
+    /// list field name → its item rules, in declaration order
+    item_rules: HashMap<String, Vec<ItemRule>>,
+    guards: Vec<Guard>,
+}
+
+fn split_field(text: &str) -> (String, bool) {
+    match text.strip_suffix('?') {
+        Some(f) => (f.to_owned(), true),
+        None => (text.to_owned(), false),
+    }
+}
+
+fn split_attr_path(text: &str, line: usize) -> Result<(XPath, String)> {
+    let (path, attr) = text.rsplit_once('@').ok_or_else(|| MdlError::SpecSyntax {
+        message: format!("attribute binding `{text}` lacks `@attr`"),
+        line,
+    })?;
+    Ok((parse_path(path, line)?, attr.trim().to_owned()))
+}
+
+impl XmlProgram {
+    pub(crate) fn compile(spec: &MessageSpec) -> Result<XmlProgram> {
+        let mut root = None;
+        let mut root_attrs = Vec::new();
+        let mut bindings = Vec::new();
+        let mut item_rules: HashMap<String, Vec<ItemRule>> = HashMap::new();
+        let mut guards = Vec::new();
+        for item in &spec.items {
+            match item.key.as_str() {
+                "Root" => root = Some(item.rest.trim().to_owned()),
+                "RootAttr" => {
+                    let (n, v) = item.name_value().ok_or_else(|| MdlError::SpecSyntax {
+                        message: "RootAttr needs `name=value`".into(),
+                        line: item.line,
+                    })?;
+                    root_attrs.push((n.trim().to_owned(), v.trim().to_owned()));
+                }
+                "Name" | "Text" | "Attr" | "List" => {
+                    let (field_text, rest) =
+                        item.name_value().ok_or_else(|| MdlError::SpecSyntax {
+                            message: format!("{} needs `Field=path`", item.key),
+                            line: item.line,
+                        })?;
+                    let (field, optional) = split_field(field_text.trim());
+                    match item.key.as_str() {
+                        "Name" => bindings.push(XmlBinding::Name {
+                            field,
+                            path: parse_path(rest, item.line)?,
+                            optional,
+                        }),
+                        "Text" => bindings.push(XmlBinding::Text {
+                            field,
+                            path: parse_path(rest, item.line)?,
+                            optional,
+                        }),
+                        "Attr" => {
+                            let (path, attr) = split_attr_path(rest, item.line)?;
+                            bindings.push(XmlBinding::Attr {
+                                field,
+                                path,
+                                attr,
+                                optional,
+                            });
+                        }
+                        "List" => {
+                            let mut path = parse_path(rest, item.line)?;
+                            let item_step = path.pop().ok_or_else(|| MdlError::SpecSyntax {
+                                message: "List path must name the repeated element".into(),
+                                line: item.line,
+                            })?;
+                            bindings.push(XmlBinding::List {
+                                field,
+                                parent: path,
+                                item: item_step,
+                            });
+                        }
+                        _ => unreachable!("outer match restricts keys"),
+                    }
+                }
+                "ItemText" | "ItemTree" | "ItemAttr" | "ItemName" => {
+                    let rest = item.rest.as_str();
+                    let (target, rel_text) = match item.key.as_str() {
+                        "ItemName" => (rest, ""),
+                        _ => item.name_value().ok_or_else(|| MdlError::SpecSyntax {
+                            message: format!("{} needs `List.sub=relpath`", item.key),
+                            line: item.line,
+                        })?,
+                    };
+                    let (list, sub) =
+                        target.trim().split_once('.').ok_or_else(|| MdlError::SpecSyntax {
+                            message: format!("{} target must be `List.sub`", item.key),
+                            line: item.line,
+                        })?;
+                    let rule = match item.key.as_str() {
+                        "ItemText" => ItemRule::Text {
+                            sub: sub.to_owned(),
+                            rel: if rel_text.trim() == "." {
+                                Vec::new()
+                            } else {
+                                parse_path(rel_text, item.line)?
+                            },
+                        },
+                        "ItemTree" => ItemRule::Tree {
+                            sub: sub.to_owned(),
+                            rel: if rel_text.trim() == "." {
+                                Vec::new()
+                            } else {
+                                parse_path(rel_text, item.line)?
+                            },
+                        },
+                        "ItemAttr" => {
+                            let (rel, attr) = split_attr_path(rel_text, item.line)?;
+                            ItemRule::Attr {
+                                sub: sub.to_owned(),
+                                rel,
+                                attr,
+                            }
+                        }
+                        "ItemName" => ItemRule::Name {
+                            sub: sub.to_owned(),
+                        },
+                        _ => unreachable!("outer match restricts keys"),
+                    };
+                    item_rules.entry(list.to_owned()).or_default().push(rule);
+                }
+                "Rule" => {
+                    let rest = &item.rest;
+                    let mut parsed = None;
+                    for (needle, op) in [
+                        ("^=", GuardOp::StartsWith),
+                        ("*=", GuardOp::Contains),
+                        ("=", GuardOp::Equals),
+                    ] {
+                        if let Some(i) = rest.find(needle) {
+                            parsed = Some(Guard {
+                                field: rest[..i].trim().to_owned(),
+                                op,
+                                value: rest[i + needle.len()..].trim().to_owned(),
+                            });
+                            break;
+                        }
+                    }
+                    guards.push(parsed.ok_or_else(|| MdlError::SpecSyntax {
+                        message: format!("malformed rule `{rest}`"),
+                        line: item.line,
+                    })?);
+                }
+                other => {
+                    return Err(MdlError::SpecSemantics {
+                        message: format!("unknown xml-dialect item `<{other}:…>`"),
+                        message_name: spec.name.clone(),
+                    })
+                }
+            }
+        }
+        let root = root.ok_or_else(|| MdlError::SpecSemantics {
+            message: "xml message needs a <Root:…> item".into(),
+            message_name: spec.name.clone(),
+        })?;
+        // Item rules must reference declared lists.
+        for list in item_rules.keys() {
+            let declared = bindings
+                .iter()
+                .any(|b| matches!(b, XmlBinding::List { field, .. } if field == list));
+            if !declared {
+                return Err(MdlError::SpecSemantics {
+                    message: format!("item rules reference undeclared list `{list}`"),
+                    message_name: spec.name.clone(),
+                });
+            }
+        }
+        Ok(XmlProgram {
+            name: spec.name.clone(),
+            root,
+            root_attrs,
+            bindings,
+            item_rules,
+            guards,
+        })
+    }
+
+    // --- parse --------------------------------------------------------
+
+    pub(crate) fn parse(&self, data: &[u8]) -> Result<AbstractMessage> {
+        let text = std::str::from_utf8(data).map_err(|_| MdlError::NotUtf8 {
+            field: self.name.clone(),
+        })?;
+        let root = Element::parse(text)?;
+        self.parse_element(&root)
+    }
+
+    /// Parses from an already-built DOM (used when the XML payload is
+    /// embedded in an HTTP body that was parsed separately).
+    pub(crate) fn parse_element(&self, root: &Element) -> Result<AbstractMessage> {
+        if root.local_name() != local(&self.root) {
+            return Err(MdlError::RuleFailed {
+                message_name: self.name.clone(),
+                field: "Root".into(),
+                expected: self.root.clone(),
+                actual: root.name.clone(),
+            });
+        }
+        let mut msg = AbstractMessage::new(&self.name);
+        let mut dynamic: HashMap<String, String> = HashMap::new();
+        for binding in &self.bindings {
+            match binding {
+                XmlBinding::Name {
+                    field,
+                    path,
+                    optional,
+                } => {
+                    let parent = match self.resolve(root, path, &dynamic) {
+                        Some(e) => e,
+                        None if *optional => continue,
+                        None => return Err(self.not_found(field, path)),
+                    };
+                    let child = match parent.child_elements().next() {
+                        Some(c) => c,
+                        None if *optional => continue,
+                        None => return Err(self.not_found(field, path)),
+                    };
+                    dynamic.insert(field.clone(), child.local_name().to_owned());
+                    msg.push_field(Field::new(
+                        field.clone(),
+                        Value::Str(child.local_name().to_owned()),
+                    ));
+                }
+                XmlBinding::Text {
+                    field,
+                    path,
+                    optional,
+                } => match self.resolve(root, path, &dynamic) {
+                    Some(e) => {
+                        msg.push_field(Field::new(field.clone(), Value::Str(e.text())))
+                    }
+                    None if *optional => {}
+                    None => return Err(self.not_found(field, path)),
+                },
+                XmlBinding::Attr {
+                    field,
+                    path,
+                    attr,
+                    optional,
+                } => match self
+                    .resolve(root, path, &dynamic)
+                    .and_then(|e| e.attr(attr))
+                {
+                    Some(v) => {
+                        msg.push_field(Field::new(field.clone(), Value::Str(v.to_owned())))
+                    }
+                    None if *optional => {}
+                    None => return Err(self.not_found(field, path)),
+                },
+                XmlBinding::List {
+                    field,
+                    parent,
+                    item,
+                } => {
+                    let parent_el = match self.resolve(root, parent, &dynamic) {
+                        Some(e) => e,
+                        // A missing list parent is an empty list.
+                        None => {
+                            msg.push_field(Field::new(field.clone(), Value::Array(vec![])));
+                            continue;
+                        }
+                    };
+                    let mut items = Vec::new();
+                    for child in parent_el.child_elements() {
+                        let matches = match item {
+                            Step::Any => true,
+                            Step::Name(n) => child.local_name() == local(n),
+                            Step::Dynamic(f) => dynamic
+                                .get(f)
+                                .map(|n| child.local_name() == n)
+                                .unwrap_or(false),
+                        };
+                        if !matches {
+                            continue;
+                        }
+                        items.push(self.parse_item(field, child)?);
+                    }
+                    msg.push_field(Field::new(field.clone(), Value::Array(items)));
+                }
+            }
+        }
+        for guard in &self.guards {
+            let actual = msg.get(&guard.field).map(Value::to_text).ok_or_else(|| {
+                MdlError::RuleFailed {
+                    message_name: self.name.clone(),
+                    field: guard.field.clone(),
+                    expected: guard.value.clone(),
+                    actual: "<absent>".into(),
+                }
+            })?;
+            let ok = match guard.op {
+                GuardOp::Equals => actual == guard.value,
+                GuardOp::StartsWith => actual.starts_with(&guard.value),
+                GuardOp::Contains => actual.contains(&guard.value),
+            };
+            if !ok {
+                return Err(MdlError::RuleFailed {
+                    message_name: self.name.clone(),
+                    field: guard.field.clone(),
+                    expected: guard.value.clone(),
+                    actual,
+                });
+            }
+        }
+        Ok(msg)
+    }
+
+    fn parse_item(&self, list_field: &str, el: &Element) -> Result<Value> {
+        match self.item_rules.get(list_field) {
+            None => Ok(tree_to_value(el)),
+            Some(rules) => {
+                let mut fields = Vec::new();
+                for rule in rules {
+                    match rule {
+                        ItemRule::Text { sub, rel } => {
+                            if let Some(target) = resolve_static(el, rel) {
+                                fields.push(Field::new(sub.clone(), Value::Str(target.text())));
+                            }
+                        }
+                        ItemRule::Tree { sub, rel } => {
+                            if let Some(target) = resolve_static(el, rel) {
+                                fields.push(Field::new(sub.clone(), tree_to_value(target)));
+                            }
+                        }
+                        ItemRule::Attr { sub, rel, attr } => {
+                            if let Some(v) =
+                                resolve_static(el, rel).and_then(|t| t.attr(attr))
+                            {
+                                fields.push(Field::new(sub.clone(), Value::Str(v.to_owned())));
+                            }
+                        }
+                        ItemRule::Name { sub } => {
+                            fields.push(Field::new(
+                                sub.clone(),
+                                Value::Str(el.local_name().to_owned()),
+                            ));
+                        }
+                    }
+                }
+                Ok(Value::Struct(fields))
+            }
+        }
+    }
+
+    fn resolve<'e>(
+        &self,
+        root: &'e Element,
+        path: &XPath,
+        dynamic: &HashMap<String, String>,
+    ) -> Option<&'e Element> {
+        let mut current = root;
+        for step in path {
+            current = match step {
+                Step::Name(n) => current.child(local(n))?,
+                Step::Any => current.child_elements().next()?,
+                Step::Dynamic(f) => {
+                    let name = dynamic.get(f)?;
+                    current.child(name)?
+                }
+            };
+        }
+        Some(current)
+    }
+
+    fn not_found(&self, field: &str, path: &XPath) -> MdlError {
+        let path_text: Vec<String> = path
+            .iter()
+            .map(|s| match s {
+                Step::Name(n) => n.clone(),
+                Step::Dynamic(f) => format!("{{{f}}}"),
+                Step::Any => "*".into(),
+            })
+            .collect();
+        MdlError::BadValue {
+            field: field.to_owned(),
+            message: format!(
+                "path `{}` not found in {} document",
+                path_text.join("/"),
+                self.name
+            ),
+        }
+    }
+
+    // --- compose ------------------------------------------------------
+
+    pub(crate) fn compose(&self, msg: &AbstractMessage) -> Result<Vec<u8>> {
+        Ok(self.compose_element(msg)?.to_document().into_bytes())
+    }
+
+    /// Composes to a DOM (used when embedding in an HTTP body).
+    pub(crate) fn compose_element(&self, msg: &AbstractMessage) -> Result<Element> {
+        let mut root = Element::new(self.root.clone());
+        for (n, v) in &self.root_attrs {
+            root.set_attr(n.clone(), v.clone());
+        }
+        let mut dynamic: HashMap<String, String> = HashMap::new();
+        for binding in &self.bindings {
+            match binding {
+                XmlBinding::Name {
+                    field, path, optional, ..
+                } => {
+                    let value = match self.field_text(msg, field) {
+                        Some(v) => v,
+                        None if *optional => continue,
+                        None => {
+                            return Err(MdlError::MissingField {
+                                message_name: self.name.clone(),
+                                field: field.clone(),
+                            })
+                        }
+                    };
+                    let parent = ensure_path(&mut root, path, &dynamic);
+                    if parent.child(&value).is_none() {
+                        parent.children.push(starlink_xml::Node::Element(
+                            Element::new(value.clone()),
+                        ));
+                    }
+                    dynamic.insert(field.clone(), value);
+                }
+                XmlBinding::Text {
+                    field, path, optional, ..
+                } => {
+                    let value = match self.field_text(msg, field) {
+                        Some(v) => v,
+                        None if *optional => continue,
+                        None => {
+                            return Err(MdlError::MissingField {
+                                message_name: self.name.clone(),
+                                field: field.clone(),
+                            })
+                        }
+                    };
+                    let el = ensure_path(&mut root, path, &dynamic);
+                    el.children
+                        .push(starlink_xml::Node::Text(value));
+                }
+                XmlBinding::Attr {
+                    field,
+                    path,
+                    attr,
+                    optional,
+                } => {
+                    let value = match self.field_text(msg, field) {
+                        Some(v) => v,
+                        None if *optional => continue,
+                        None => {
+                            return Err(MdlError::MissingField {
+                                message_name: self.name.clone(),
+                                field: field.clone(),
+                            })
+                        }
+                    };
+                    let el = ensure_path(&mut root, path, &dynamic);
+                    el.set_attr(attr.clone(), value);
+                }
+                XmlBinding::List {
+                    field,
+                    parent,
+                    item,
+                } => {
+                    let items: Vec<Value> = match msg.get(field) {
+                        Some(Value::Array(items)) => items.clone(),
+                        Some(other) => vec![other.clone()],
+                        None => Vec::new(),
+                    };
+                    let rules = self.item_rules.get(field);
+                    let parent_el = ensure_path(&mut root, parent, &dynamic);
+                    for (i, value) in items.iter().enumerate() {
+                        let el = self.compose_item(field, item, rules, value, i)?;
+                        parent_el
+                            .children
+                            .push(starlink_xml::Node::Element(el));
+                    }
+                }
+            }
+        }
+        // Guards supply constant fields that the abstract message omitted
+        // (e.g. a fixed method name for this variant). Nothing to emit —
+        // the Text/Name bindings already consumed them via field_text.
+        Ok(root)
+    }
+
+    fn compose_item(
+        &self,
+        list_field: &str,
+        item: &Step,
+        rules: Option<&Vec<ItemRule>>,
+        value: &Value,
+        index: usize,
+    ) -> Result<Element> {
+        // Element name: ItemName rule > static step name > positional.
+        let mut name = match item {
+            Step::Name(n) => n.clone(),
+            Step::Any | Step::Dynamic(_) => format!("param{}", index + 1),
+        };
+        let mut el;
+        match rules {
+            None => {
+                el = Element::new(String::new());
+                value_to_tree(&mut el, value);
+            }
+            Some(rules) => {
+                let fields = value.as_struct().ok_or_else(|| MdlError::BadValue {
+                    field: list_field.to_owned(),
+                    message: format!(
+                        "list with item rules needs struct items, found {}",
+                        value.kind()
+                    ),
+                })?;
+                el = Element::new(String::new());
+                for rule in rules {
+                    match rule {
+                        ItemRule::Name { sub } => {
+                            if let Some(v) = struct_text(fields, sub) {
+                                name = v;
+                            }
+                        }
+                        ItemRule::Text { sub, rel } => {
+                            if let Some(v) = struct_text(fields, sub) {
+                                let target = ensure_path(&mut el, rel, &HashMap::new());
+                                target.children.push(starlink_xml::Node::Text(v));
+                            }
+                        }
+                        ItemRule::Tree { sub, rel } => {
+                            if let Some(f) = fields.iter().find(|f| f.label() == sub.as_str()) {
+                                let target = ensure_path(&mut el, rel, &HashMap::new());
+                                value_to_tree(target, f.value());
+                            }
+                        }
+                        ItemRule::Attr { sub, rel, attr } => {
+                            if let Some(v) = struct_text(fields, sub) {
+                                let target = ensure_path(&mut el, rel, &HashMap::new());
+                                target.set_attr(attr.clone(), v);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        el.name = name;
+        Ok(el)
+    }
+
+    /// A field's text value, falling back to an equality guard's constant.
+    fn field_text(&self, msg: &AbstractMessage, field: &str) -> Option<String> {
+        msg.get(field).map(Value::to_text).or_else(|| {
+            self.guards
+                .iter()
+                .find(|g| g.field == field && g.op == GuardOp::Equals)
+                .map(|g| g.value.clone())
+        })
+    }
+}
+
+
+/// Canonical XML ↔ [`Value`] tree mapping, used by list items without
+/// explicit rules and by `ItemTree` rules:
+///
+/// * a leaf element ↔ its text ([`Value::Str`]),
+/// * an element whose children are all named `item` ↔ [`Value::Array`],
+/// * any other element with children ↔ [`Value::Struct`] (one field per
+///   child element, named by its local name).
+fn tree_to_value(el: &Element) -> Value {
+    let children: Vec<&Element> = el.child_elements().collect();
+    if children.is_empty() {
+        return Value::Str(el.text());
+    }
+    if children.iter().all(|c| c.local_name() == "item") {
+        return Value::Array(children.into_iter().map(tree_to_value).collect());
+    }
+    Value::Struct(
+        children
+            .into_iter()
+            .map(|c| Field::new(c.local_name().to_owned(), tree_to_value(c)))
+            .collect(),
+    )
+}
+
+/// Inverse of [`tree_to_value`]: renders a value into child nodes of
+/// `parent`.
+fn value_to_tree(parent: &mut Element, value: &Value) {
+    match value {
+        Value::Struct(fields) => {
+            for f in fields {
+                let mut child = Element::new(f.label().to_owned());
+                value_to_tree(&mut child, f.value());
+                parent.children.push(starlink_xml::Node::Element(child));
+            }
+        }
+        Value::Array(items) => {
+            for item in items {
+                let mut child = Element::new("item");
+                value_to_tree(&mut child, item);
+                parent.children.push(starlink_xml::Node::Element(child));
+            }
+        }
+        Value::Null => {}
+        other => parent
+            .children
+            .push(starlink_xml::Node::Text(other.to_text())),
+    }
+}
+
+fn local(name: &str) -> &str {
+    match name.rfind(':') {
+        Some(i) => &name[i + 1..],
+        None => name,
+    }
+}
+
+fn resolve_static<'e>(root: &'e Element, path: &XPath) -> Option<&'e Element> {
+    let mut current = root;
+    for step in path {
+        current = match step {
+            Step::Name(n) => current.child(local(n))?,
+            Step::Any => current.child_elements().next()?,
+            Step::Dynamic(_) => return None,
+        };
+    }
+    Some(current)
+}
+
+fn struct_text(fields: &[Field], sub: &str) -> Option<String> {
+    fields
+        .iter()
+        .find(|f| f.label() == sub)
+        .map(|f| f.value().to_text())
+}
+
+/// Walks `path` from `root`, creating missing elements, and returns the
+/// final element. `Dynamic` steps resolve through the bound-name map and
+/// create an element with the bound name when missing.
+fn ensure_path<'e>(
+    root: &'e mut Element,
+    path: &XPath,
+    dynamic: &HashMap<String, String>,
+) -> &'e mut Element {
+    let mut current = root;
+    for step in path {
+        let name: String = match step {
+            Step::Name(n) => n.clone(),
+            Step::Dynamic(f) => dynamic.get(f).cloned().unwrap_or_else(|| f.clone()),
+            Step::Any => {
+                // First element child, creating a generic one if empty.
+                let has_el = current.child_elements().next().is_some();
+                if !has_el {
+                    current
+                        .children
+                        .push(starlink_xml::Node::Element(Element::new("item")));
+                }
+                let idx = current
+                    .children
+                    .iter()
+                    .position(|c| matches!(c, starlink_xml::Node::Element(_)))
+                    .expect("element child ensured above");
+                current = match &mut current.children[idx] {
+                    starlink_xml::Node::Element(e) => e,
+                    starlink_xml::Node::Text(_) => unreachable!("position matched an element"),
+                };
+                continue;
+            }
+        };
+        let pos = current.children.iter().position(|c| {
+            matches!(c, starlink_xml::Node::Element(e) if e.local_name() == local(&name))
+        });
+        let idx = match pos {
+            Some(i) => i,
+            None => {
+                current
+                    .children
+                    .push(starlink_xml::Node::Element(Element::new(name.clone())));
+                current.children.len() - 1
+            }
+        };
+        current = match &mut current.children[idx] {
+            starlink_xml::Node::Element(e) => e,
+            starlink_xml::Node::Text(_) => unreachable!("index selects an element"),
+        };
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::MdlDocument;
+
+    fn program(spec: &str) -> XmlProgram {
+        let doc = MdlDocument::parse(spec).unwrap();
+        XmlProgram::compile(&doc.messages[0], ).unwrap()
+    }
+
+    const XMLRPC_CALL: &str = "\
+<Dialect:xml>\n\
+<Message:MethodCall>\n\
+<Root:methodCall>\n\
+<Text:MethodName=methodName>\n\
+<List:Params=params/param>\n\
+<ItemText:Params.value=value>\n\
+<End:Message>";
+
+    #[test]
+    fn xmlrpc_methodcall_roundtrip() {
+        let p = program(XMLRPC_CALL);
+        let mut msg = AbstractMessage::new("MethodCall");
+        msg.set_field("MethodName", Value::from("flickr.photos.search"));
+        msg.set_field(
+            "Params",
+            Value::Array(vec![
+                Value::Struct(vec![Field::new("value", Value::from("tree"))]),
+                Value::Struct(vec![Field::new("value", Value::from("3"))]),
+            ]),
+        );
+        let bytes = p.compose(&msg).unwrap();
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        assert!(text.contains("<methodName>flickr.photos.search</methodName>"));
+        assert!(text.contains("<param><value>tree</value></param>"));
+        let back = p.parse(&bytes).unwrap();
+        assert_eq!(
+            back.get("MethodName").unwrap().as_str(),
+            Some("flickr.photos.search")
+        );
+        let params = back.get("Params").unwrap().as_array().unwrap();
+        assert_eq!(params.len(), 2);
+        assert_eq!(
+            params[1].as_struct().unwrap()[0].value().as_str(),
+            Some("3")
+        );
+    }
+
+    #[test]
+    fn xmlrpc_typed_values_transparent_on_parse() {
+        let p = program(XMLRPC_CALL);
+        let wire = b"<methodCall><methodName>m</methodName><params>\
+<param><value><string>hello</string></value></param>\
+<param><value><int>4</int></value></param>\
+</params></methodCall>";
+        let msg = p.parse(wire).unwrap();
+        let params = msg.get("Params").unwrap().as_array().unwrap();
+        assert_eq!(
+            params[0].as_struct().unwrap()[0].value().as_str(),
+            Some("hello")
+        );
+        assert_eq!(params[1].as_struct().unwrap()[0].value().as_str(), Some("4"));
+    }
+
+    const SOAP_REQ: &str = "\
+<Dialect:xml>\n\
+<Message:SOAPRequest>\n\
+<Root:soap:Envelope>\n\
+<RootAttr:xmlns:soap=http://schemas.xmlsoap.org/soap/envelope/>\n\
+<Name:MethodName=Body>\n\
+<List:Params=Body/{MethodName}/*>\n\
+<End:Message>";
+
+    #[test]
+    fn soap_dynamic_operation_name() {
+        let p = program(SOAP_REQ);
+        let mut msg = AbstractMessage::new("SOAPRequest");
+        msg.set_field("MethodName", Value::from("Plus"));
+        msg.set_field(
+            "Params",
+            Value::Array(vec![Value::from("3"), Value::from("4")]),
+        );
+        let bytes = p.compose(&msg).unwrap();
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        assert!(text.contains("<Plus>"));
+        assert!(text.contains("<param1>3</param1>"));
+        let back = p.parse(&bytes).unwrap();
+        assert_eq!(back.get("MethodName").unwrap().as_str(), Some("Plus"));
+        let params = back.get("Params").unwrap().as_array().unwrap();
+        assert_eq!(params, &[Value::Str("3".into()), Value::Str("4".into())]);
+    }
+
+    #[test]
+    fn soap_parse_foreign_prefixes() {
+        let p = program(SOAP_REQ);
+        let wire = b"<soapenv:Envelope xmlns:soapenv=\"http://schemas.xmlsoap.org/soap/envelope/\">\
+<soapenv:Body><m:Add xmlns:m=\"urn:calc\"><x>1</x><y>2</y></m:Add></soapenv:Body></soapenv:Envelope>";
+        let msg = p.parse(wire).unwrap();
+        assert_eq!(msg.get("MethodName").unwrap().as_str(), Some("Add"));
+        let params = msg.get("Params").unwrap().as_array().unwrap();
+        assert_eq!(params.len(), 2);
+    }
+
+    const GDATA_FEED: &str = "\
+<Dialect:xml>\n\
+<Message:Feed>\n\
+<Root:feed>\n\
+<Text:Title?=title>\n\
+<List:Entries=entry>\n\
+<ItemText:Entries.id=id>\n\
+<ItemText:Entries.title=title>\n\
+<ItemAttr:Entries.url=content@src>\n\
+<End:Message>";
+
+    #[test]
+    fn gdata_feed_structured_entries() {
+        let p = program(GDATA_FEED);
+        let wire = b"<feed><title>Search Results</title>\
+<entry><id>photo1</id><title>Tree</title><content type=\"image/jpeg\" src=\"http://x/1.jpg\"/></entry>\
+<entry><id>photo2</id><title>Oak</title><content src=\"http://x/2.jpg\"/></entry>\
+</feed>";
+        let msg = p.parse(wire).unwrap();
+        assert_eq!(msg.get("Title").unwrap().as_str(), Some("Search Results"));
+        let entries = msg.get("Entries").unwrap().as_array().unwrap();
+        assert_eq!(entries.len(), 2);
+        let e0 = entries[0].as_struct().unwrap();
+        assert_eq!(struct_text(e0, "id"), Some("photo1".into()));
+        assert_eq!(struct_text(e0, "url"), Some("http://x/1.jpg".into()));
+        // Roundtrip.
+        let bytes = p.compose(&msg).unwrap();
+        let back = p.parse(&bytes).unwrap();
+        assert_eq!(back.get("Entries").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn optional_fields_skippable() {
+        let p = program(GDATA_FEED);
+        let msg = p.parse(b"<feed><entry><id>a</id></entry></feed>").unwrap();
+        assert!(msg.get("Title").is_none());
+        // Compose without the optional field also works.
+        let bytes = p.compose(&msg).unwrap();
+        assert!(p.parse(&bytes).is_ok());
+    }
+
+    #[test]
+    fn missing_mandatory_text_is_error() {
+        let p = program(XMLRPC_CALL);
+        assert!(matches!(
+            p.parse(b"<methodCall></methodCall>"),
+            Err(MdlError::BadValue { .. })
+        ));
+        let msg = AbstractMessage::new("MethodCall");
+        assert!(matches!(
+            p.compose(&msg),
+            Err(MdlError::MissingField { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_root_is_rule_failure() {
+        let p = program(XMLRPC_CALL);
+        assert!(matches!(
+            p.parse(b"<other/>"),
+            Err(MdlError::RuleFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn guards_discriminate_variants() {
+        let spec = "\
+<Dialect:xml>\n\
+<Message:SearchCall>\n\
+<Root:methodCall>\n\
+<Text:MethodName=methodName>\n\
+<Rule:MethodName=flickr.photos.search>\n\
+<End:Message>";
+        let p = program(spec);
+        assert!(p
+            .parse(b"<methodCall><methodName>flickr.photos.search</methodName></methodCall>")
+            .is_ok());
+        assert!(matches!(
+            p.parse(b"<methodCall><methodName>flickr.photos.getInfo</methodName></methodCall>"),
+            Err(MdlError::RuleFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn guard_constant_fills_compose() {
+        let spec = "\
+<Dialect:xml>\n\
+<Message:SearchCall>\n\
+<Root:methodCall>\n\
+<Text:MethodName=methodName>\n\
+<Rule:MethodName=flickr.photos.search>\n\
+<End:Message>";
+        let p = program(spec);
+        let msg = AbstractMessage::new("SearchCall");
+        let bytes = p.compose(&msg).unwrap();
+        assert!(String::from_utf8(bytes)
+            .unwrap()
+            .contains("<methodName>flickr.photos.search</methodName>"));
+    }
+
+    #[test]
+    fn item_name_rule_names_elements() {
+        let spec = "\
+<Dialect:xml>\n\
+<Message:Typed>\n\
+<Root:r>\n\
+<List:Items=list/*>\n\
+<ItemName:Items.kind>\n\
+<ItemText:Items.text=.>\n\
+<End:Message>";
+        let p = program(spec);
+        let mut msg = AbstractMessage::new("Typed");
+        msg.set_field(
+            "Items",
+            Value::Array(vec![Value::Struct(vec![
+                Field::new("kind", Value::from("int")),
+                Field::new("text", Value::from("42")),
+            ])]),
+        );
+        let bytes = p.compose(&msg).unwrap();
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        assert!(text.contains("<int>42</int>"));
+        let back = p.parse(&bytes).unwrap();
+        let items = back.get("Items").unwrap().as_array().unwrap();
+        let fields = items[0].as_struct().unwrap();
+        assert_eq!(struct_text(fields, "kind"), Some("int".into()));
+        assert_eq!(struct_text(fields, "text"), Some("42".into()));
+    }
+
+    #[test]
+    fn empty_list_composes_and_parses() {
+        let p = program(XMLRPC_CALL);
+        let mut msg = AbstractMessage::new("MethodCall");
+        msg.set_field("MethodName", Value::from("noargs"));
+        msg.set_field("Params", Value::Array(vec![]));
+        let bytes = p.compose(&msg).unwrap();
+        let back = p.parse(&bytes).unwrap();
+        assert_eq!(back.get("Params").unwrap().as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn compile_rejects_bad_specs() {
+        let no_root = MdlDocument::parse("<Dialect:xml><Message:M><Text:F=p><End:Message>").unwrap();
+        assert!(matches!(
+            XmlProgram::compile(&no_root.messages[0]),
+            Err(MdlError::SpecSemantics { .. })
+        ));
+        let orphan_item =
+            MdlDocument::parse("<Dialect:xml><Message:M><Root:r><ItemText:L.s=p><End:Message>")
+                .unwrap();
+        assert!(matches!(
+            XmlProgram::compile(&orphan_item.messages[0]),
+            Err(MdlError::SpecSemantics { .. })
+        ));
+        let bad_attr =
+            MdlDocument::parse("<Dialect:xml><Message:M><Root:r><Attr:F=path-no-at><End:Message>")
+                .unwrap();
+        assert!(matches!(
+            XmlProgram::compile(&bad_attr.messages[0]),
+            Err(MdlError::SpecSyntax { .. })
+        ));
+    }
+}

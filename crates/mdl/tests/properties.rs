@@ -1,0 +1,157 @@
+//! Property-based tests for MDL codecs: `parse ∘ compose` is the
+//! identity over well-typed messages, for all three dialects.
+
+use proptest::prelude::*;
+use starlink_mdl::{MdlCodec, MessageCodec};
+use starlink_message::{AbstractMessage, Field, Value};
+
+const BINARY_SPEC: &str = "\
+<Message:Bin>
+<Kind:8>
+<Id:32>
+<Signed:16:int>
+<Score:64:float>
+<NameLength:32>
+<Name:NameLength:text>
+<align:64>
+<Params:eof:valueseq>
+<End:Message>";
+
+fn primitive() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        any::<u64>().prop_map(Value::UInt),
+        any::<bool>().prop_map(Value::Bool),
+        // Finite floats only: NaN breaks equality, infinities round-trip.
+        any::<i32>().prop_map(|i| Value::Float(f64::from(i) / 8.0)),
+        "[a-zA-Z0-9 _.-]{0,16}".prop_map(Value::Str),
+        proptest::collection::vec(any::<u8>(), 0..12).prop_map(Value::Bytes),
+    ]
+}
+
+fn nested_value() -> impl Strategy<Value = Value> {
+    primitive().prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Array),
+            proptest::collection::vec(("[a-z][a-z0-9]{0,5}", inner), 0..4).prop_map(|fs| {
+                Value::Struct(fs.into_iter().map(|(l, v)| Field::new(l, v)).collect())
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn binary_roundtrip(
+        kind in 0u64..256,
+        id in any::<u32>(),
+        signed in any::<i16>(),
+        score in any::<i32>().prop_map(|i| f64::from(i) / 4.0),
+        name in "[a-zA-Z0-9 ]{0,24}",
+        params in proptest::collection::vec(nested_value(), 0..5),
+    ) {
+        let codec = MdlCodec::from_text(BINARY_SPEC).unwrap();
+        let mut msg = AbstractMessage::new("Bin");
+        msg.set_field("Kind", Value::UInt(kind));
+        msg.set_field("Id", Value::UInt(u64::from(id)));
+        msg.set_field("Signed", Value::Int(i64::from(signed)));
+        msg.set_field("Score", Value::Float(score));
+        msg.set_field("Name", Value::Str(name.clone()));
+        msg.set_field("Params", Value::Array(params.clone()));
+        let wire = codec.compose(&msg).unwrap();
+        let back = codec.parse(&wire).unwrap();
+        prop_assert_eq!(back.get("Kind").unwrap().as_uint(), Some(kind));
+        prop_assert_eq!(back.get("Id").unwrap().as_uint(), Some(u64::from(id)));
+        prop_assert_eq!(back.get("Signed").unwrap().as_int(), Some(i64::from(signed)));
+        prop_assert_eq!(back.get("Score").unwrap().as_float(), Some(score));
+        prop_assert_eq!(back.get("Name").unwrap().as_str(), Some(name.as_str()));
+        prop_assert_eq!(back.get("Params").unwrap().as_array().unwrap(), params.as_slice());
+    }
+
+    #[test]
+    fn binary_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let codec = MdlCodec::from_text(BINARY_SPEC).unwrap();
+        let _ = codec.parse(&bytes);
+    }
+
+    #[test]
+    fn text_roundtrip(
+        method in "(GET|POST|PUT|DELETE)",
+        uri in "/[a-zA-Z0-9/_-]{0,24}",
+        headers in proptest::collection::vec(("[A-Za-z][A-Za-z0-9-]{0,10}", "[a-zA-Z0-9 /=_.-]{0,16}"), 0..4),
+        body in "[a-zA-Z0-9 <>/=\"_.-]{0,64}",
+    ) {
+        let spec = "<Dialect:text>\n<Message:Req>\n<Request:Method RequestURI Version>\n<Headers:Headers>\n<Body:Body>\n<End:Message>";
+        let codec = MdlCodec::from_text(spec).unwrap();
+        let mut msg = AbstractMessage::new("Req");
+        msg.set_field("Method", Value::Str(method.clone()));
+        msg.set_field("RequestURI", Value::Str(uri.clone()));
+        msg.set_field("Version", Value::from("HTTP/1.1"));
+        msg.set_field(
+            "Headers",
+            Value::Struct(
+                headers
+                    .iter()
+                    .map(|(n, v)| Field::new(n.clone(), Value::Str(v.trim().to_owned())))
+                    .collect(),
+            ),
+        );
+        msg.set_field("Body", Value::Str(body.clone()));
+        let wire = codec.compose(&msg).unwrap();
+        let back = codec.parse(&wire).unwrap();
+        prop_assert_eq!(back.get("Method").unwrap().as_str(), Some(method.as_str()));
+        prop_assert_eq!(back.get("RequestURI").unwrap().as_str(), Some(uri.as_str()));
+        prop_assert_eq!(back.get("Body").unwrap().as_str(), Some(body.as_str()));
+        // Headers survive (plus the auto Content-Length).
+        let parsed_headers = back.get("Headers").unwrap().as_struct().unwrap();
+        for (n, v) in &headers {
+            let found = parsed_headers
+                .iter()
+                .find(|f| f.label() == n && f.value().as_str() == Some(v.trim()));
+            prop_assert!(found.is_some(), "header {} lost", n);
+        }
+    }
+
+    #[test]
+    fn xml_roundtrip(
+        method in "[a-zA-Z][a-zA-Z0-9._]{0,16}",
+        params in proptest::collection::vec("[a-zA-Z0-9 _.-]{0,16}", 0..5),
+    ) {
+        let spec = "<Dialect:xml>\n<Message:Call>\n<Root:methodCall>\n<Text:MethodName=methodName>\n<List:Params=params/param>\n<End:Message>";
+        let codec = MdlCodec::from_text(spec).unwrap();
+        let mut msg = AbstractMessage::new("Call");
+        msg.set_field("MethodName", Value::Str(method.clone()));
+        msg.set_field(
+            "Params",
+            Value::Array(params.iter().map(|p| Value::Str(p.clone())).collect()),
+        );
+        let wire = codec.compose(&msg).unwrap();
+        let back = codec.parse(&wire).unwrap();
+        prop_assert_eq!(back.get("MethodName").unwrap().as_str(), Some(method.as_str()));
+        let got = back.get("Params").unwrap().as_array().unwrap();
+        prop_assert_eq!(got.len(), params.len());
+        for (g, p) in got.iter().zip(&params) {
+            prop_assert_eq!(g.to_text(), p.clone());
+        }
+    }
+
+    #[test]
+    fn xml_tree_values_roundtrip(v in nested_value()) {
+        // Lists without item rules use the canonical tree mapping; any
+        // nested value must survive (primitives become their text form).
+        let spec = "<Dialect:xml>\n<Message:M>\n<Root:r>\n<List:Items=list/item>\n<End:Message>";
+        let codec = MdlCodec::from_text(spec).unwrap();
+        let mut msg = AbstractMessage::new("M");
+        msg.set_field("Items", Value::Array(vec![v.clone()]));
+        let wire = codec.compose(&msg).unwrap();
+        let back = codec.parse(&wire).unwrap();
+        let items = back.get("Items").unwrap().as_array().unwrap();
+        prop_assert_eq!(items.len(), 1);
+        // One roundtrip normalises (primitives become text, empty
+        // containers flatten); a second roundtrip must be the identity.
+        let wire2 = codec.compose(&back).unwrap();
+        let back2 = codec.parse(&wire2).unwrap();
+        prop_assert_eq!(back2, back);
+    }
+}

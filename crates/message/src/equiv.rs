@@ -1,0 +1,382 @@
+//! The semantic-equivalence operator `≅` of paper §3.2.
+//!
+//! Two heterogeneous APIs name the same concepts differently: Flickr's
+//! keyword-search parameter is `text`, Picasa's is `q`. Definition 2 of the
+//! paper says a message `n` is semantically equivalent to a sequence of
+//! messages `m⃗` (`n ≅ m⃗`) iff every *mandatory* field of `n` finds a
+//! semantically equivalent field in some message of `m⃗`.
+//!
+//! Field-level equivalence itself is domain knowledge. Starlink captures it
+//! in a [`SemanticRegistry`]: a table mapping field labels and
+//! action/message names onto shared *concepts* (in the full CONNECT vision
+//! this table would be derived from ontologies; here, as in the paper's
+//! case study, the developer declares it as part of the merge model).
+//!
+//! # Example
+//!
+//! ```
+//! use starlink_message::equiv::SemanticRegistry;
+//! use starlink_message::{AbstractMessage, Value};
+//!
+//! let mut reg = SemanticRegistry::new();
+//! reg.declare_field_concept("keyword", ["text", "q"]);
+//! reg.declare_message_concept("photo-search", ["flickr.photos.search", "picasa.photo.search"]);
+//!
+//! let mut flickr = AbstractMessage::new("flickr.photos.search");
+//! flickr.set_field("text", Value::from("tree"));
+//! let mut picasa = AbstractMessage::new("picasa.photo.search");
+//! picasa.set_field("q", Value::from("tree"));
+//!
+//! assert!(reg.messages_equivalent(&flickr, &picasa));
+//! assert!(reg.message_names_equivalent("flickr.photos.search", "picasa.photo.search"));
+//! ```
+
+use crate::field::Field;
+use crate::message::AbstractMessage;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Normalises a label for comparison: ASCII-lowercase with separator
+/// characters (`_`, `-`, `.`, whitespace) removed, so `per_page`,
+/// `per-page` and `PerPage` all compare equal.
+pub fn normalize_label(label: &str) -> String {
+    label
+        .chars()
+        .filter(|c| !matches!(c, '_' | '-' | '.' | ' ' | '\t'))
+        .flat_map(char::to_lowercase)
+        .collect()
+}
+
+/// Registry of declared semantic equivalences between field labels and
+/// between message/action names.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SemanticRegistry {
+    /// normalised field label → concept id
+    field_concepts: HashMap<String, String>,
+    /// normalised message name → concept id
+    message_concepts: HashMap<String, String>,
+}
+
+impl SemanticRegistry {
+    /// Creates an empty registry: only identical (normalised) labels
+    /// compare equivalent.
+    pub fn new() -> SemanticRegistry {
+        SemanticRegistry::default()
+    }
+
+    /// Declares that all the given field labels denote `concept`.
+    pub fn declare_field_concept<I, S>(&mut self, concept: &str, labels: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        for label in labels {
+            self.field_concepts
+                .insert(normalize_label(label.as_ref()), concept.to_owned());
+        }
+    }
+
+    /// Declares that all the given message/action names denote `concept`.
+    pub fn declare_message_concept<I, S>(&mut self, concept: &str, names: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        for name in names {
+            self.message_concepts
+                .insert(normalize_label(name.as_ref()), concept.to_owned());
+        }
+    }
+
+    /// The concept a field label maps to, defaulting to its own
+    /// normalised form.
+    pub fn field_concept(&self, label: &str) -> String {
+        let norm = normalize_label(label);
+        self.field_concepts.get(&norm).cloned().unwrap_or(norm)
+    }
+
+    /// The concept a message name maps to, defaulting to its own
+    /// normalised form.
+    pub fn message_concept(&self, name: &str) -> String {
+        let norm = normalize_label(name);
+        self.message_concepts.get(&norm).cloned().unwrap_or(norm)
+    }
+
+    /// Field-level `≅`: same concept and type-compatible values.
+    pub fn fields_equivalent(&self, a: &Field, b: &Field) -> bool {
+        self.field_concept(a.label()) == self.field_concept(b.label())
+            && a.value().type_compatible(b.value())
+    }
+
+    /// Whether two message/action names denote the same concept.
+    pub fn message_names_equivalent(&self, a: &str, b: &str) -> bool {
+        self.message_concept(a) == self.message_concept(b)
+    }
+
+    /// `n ≅ m` for a single message: every mandatory field of `n` has an
+    /// equivalent field somewhere in `m` (searching nested structures).
+    pub fn messages_equivalent(&self, n: &AbstractMessage, m: &AbstractMessage) -> bool {
+        self.message_equivalent_to_sequence(n, std::slice::from_ref(&m))
+    }
+
+    /// `n ≅ m⃗` (Def. 2): every mandatory field of `n` finds an equivalent
+    /// field in at least one message of the sequence.
+    pub fn message_equivalent_to_sequence<M>(&self, n: &AbstractMessage, seq: &[M]) -> bool
+    where
+        M: std::borrow::Borrow<AbstractMessage>,
+    {
+        n.mandatory_fields().all(|needed| {
+            seq.iter()
+                .any(|m| contains_equivalent_field(self, m.borrow().fields(), needed))
+        })
+    }
+
+    /// Finds the first field in `m` (searching nested structures,
+    /// depth-first) that is semantically equivalent to `needed`.
+    pub fn find_equivalent<'m>(
+        &self,
+        m: &'m AbstractMessage,
+        needed: &Field,
+    ) -> Option<&'m Field> {
+        find_equivalent_field(self, m.fields(), needed)
+    }
+}
+
+
+/// Infers a [`SemanticRegistry`] from *example exchanges*: pairs of
+/// messages known to carry the same request/reply in the two APIs, with
+/// real data filled in.
+///
+/// This is a small, deterministic instance of the paper's §7 outlook
+/// ("for full automation, machine learning is required […] to learn the
+/// interaction behaviour"): fields are aligned when their rendered
+/// values coincide *unambiguously and consistently* across the examples
+/// (mutual best match by vote count), and each example pair's message
+/// names are declared equivalent.
+///
+/// The result is a starting point a developer reviews, not ground truth:
+/// coincidental value collisions (two fields holding `"3"` in every
+/// example) stay ambiguous and are skipped rather than guessed.
+///
+/// # Example
+///
+/// ```
+/// use starlink_message::equiv::infer_from_examples;
+/// use starlink_message::{AbstractMessage, Value};
+///
+/// let mut flickr = AbstractMessage::new("flickr.photos.search");
+/// flickr.set_field("api_key", Value::from("k-123"));
+/// flickr.set_field("text", Value::from("tree"));
+/// flickr.set_field("per_page", Value::from("7"));
+/// let mut picasa = AbstractMessage::new("picasa.photos.search");
+/// picasa.set_field("q", Value::from("tree"));
+/// picasa.set_field("max-results", Value::from("7"));
+///
+/// let reg = infer_from_examples([(&flickr, &picasa)]);
+/// assert!(reg.message_names_equivalent("flickr.photos.search", "picasa.photos.search"));
+/// assert_eq!(reg.field_concept("text"), reg.field_concept("q"));
+/// assert_eq!(reg.field_concept("per_page"), reg.field_concept("max-results"));
+/// // api_key has no counterpart: left alone.
+/// assert_ne!(reg.field_concept("api_key"), reg.field_concept("q"));
+/// ```
+pub fn infer_from_examples<'a, I>(pairs: I) -> SemanticRegistry
+where
+    I: IntoIterator<Item = (&'a AbstractMessage, &'a AbstractMessage)>,
+{
+    let mut reg = SemanticRegistry::new();
+    // (label_a, label_b) → number of examples where the pair matched
+    // unambiguously.
+    let mut votes: HashMap<(String, String), usize> = HashMap::new();
+
+    for (a, b) in pairs {
+        reg.declare_message_concept(
+            &format!("inferred:{}+{}", normalize_label(a.name()), normalize_label(b.name())),
+            [a.name(), b.name()],
+        );
+        for fa in a.fields() {
+            let value_a = fa.value().to_text();
+            if value_a.is_empty() {
+                continue;
+            }
+            let matches: Vec<&Field> = b
+                .fields()
+                .iter()
+                .filter(|fb| fb.value().to_text() == value_a)
+                .collect();
+            if let [only] = matches.as_slice() {
+                // Skip trivial identity (same normalised label): already
+                // equivalent without a declaration.
+                if normalize_label(fa.label()) != normalize_label(only.label()) {
+                    *votes
+                        .entry((
+                            normalize_label(fa.label()),
+                            normalize_label(only.label()),
+                        ))
+                        .or_default() += 1;
+                }
+            }
+        }
+    }
+
+    // Mutual best match: a→b must be a's top vote AND b's top vote.
+    let mut best_a: HashMap<&str, (&str, usize)> = HashMap::new();
+    let mut best_b: HashMap<&str, (&str, usize)> = HashMap::new();
+    for ((la, lb), n) in &votes {
+        if best_a.get(la.as_str()).map(|(_, m)| n > m).unwrap_or(true) {
+            best_a.insert(la, (lb, *n));
+        }
+        if best_b.get(lb.as_str()).map(|(_, m)| n > m).unwrap_or(true) {
+            best_b.insert(lb, (la, *n));
+        }
+    }
+    for (la, (lb, _)) in &best_a {
+        if best_b.get(*lb).map(|(back, _)| back == la).unwrap_or(false) {
+            reg.declare_field_concept(&format!("inferred:{la}-{lb}"), [*la, *lb]);
+        }
+    }
+    reg
+}
+
+fn contains_equivalent_field(reg: &SemanticRegistry, fields: &[Field], needed: &Field) -> bool {
+    find_equivalent_field(reg, fields, needed).is_some()
+}
+
+fn find_equivalent_field<'m>(
+    reg: &SemanticRegistry,
+    fields: &'m [Field],
+    needed: &Field,
+) -> Option<&'m Field> {
+    for f in fields {
+        if reg.fields_equivalent(f, needed) {
+            return Some(f);
+        }
+        if let Value::Struct(inner) = f.value() {
+            if let Some(found) = find_equivalent_field(reg, inner, needed) {
+                return Some(found);
+            }
+        }
+        if let Value::Array(items) = f.value() {
+            for item in items {
+                if let Value::Struct(inner) = item {
+                    if let Some(found) = find_equivalent_field(reg, inner, needed) {
+                        return Some(found);
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalisation_folds_separators_and_case() {
+        assert_eq!(normalize_label("per_page"), "perpage");
+        assert_eq!(normalize_label("Per-Page"), "perpage");
+        assert_eq!(normalize_label("flickr.photos.search"), "flickrphotossearch");
+    }
+
+    #[test]
+    fn identical_labels_equivalent_without_declarations() {
+        let reg = SemanticRegistry::new();
+        let a = Field::new("photo_id", Value::from("1"));
+        let b = Field::new("PhotoId", Value::from("2"));
+        assert!(reg.fields_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn declared_concepts_bridge_labels() {
+        let mut reg = SemanticRegistry::new();
+        reg.declare_field_concept("keyword", ["text", "q", "tags"]);
+        let a = Field::new("text", Value::from("tree"));
+        let b = Field::new("q", Value::from("tree"));
+        let c = Field::new("unrelated", Value::from("tree"));
+        assert!(reg.fields_equivalent(&a, &b));
+        assert!(!reg.fields_equivalent(&a, &c));
+    }
+
+    #[test]
+    fn type_incompatibility_blocks_equivalence() {
+        let mut reg = SemanticRegistry::new();
+        reg.declare_field_concept("k", ["a", "b"]);
+        let a = Field::new("a", Value::Struct(vec![]));
+        let b = Field::new("b", Value::Int(1));
+        assert!(!reg.fields_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn def2_requires_all_mandatory_fields() {
+        let mut reg = SemanticRegistry::new();
+        reg.declare_field_concept("keyword", ["text", "q"]);
+        reg.declare_field_concept("limit", ["per_page", "max-results"]);
+
+        let mut flickr = AbstractMessage::new("flickr.photos.search");
+        flickr.set_field("text", Value::from("tree"));
+        flickr.set_field("per_page", Value::Int(3));
+
+        let mut picasa = AbstractMessage::new("picasa.photo.search");
+        picasa.set_field("q", Value::from("tree"));
+
+        // per_page has no counterpart yet.
+        assert!(!reg.messages_equivalent(&flickr, &picasa));
+        picasa.set_field("max-results", Value::Int(3));
+        assert!(reg.messages_equivalent(&flickr, &picasa));
+    }
+
+    #[test]
+    fn optional_fields_do_not_block() {
+        let reg = SemanticRegistry::new();
+        let mut n = AbstractMessage::new("n");
+        n.push_field(Field::optional("extra", Value::Int(9)));
+        n.set_field("shared", Value::Int(1));
+        let mut m = AbstractMessage::new("m");
+        m.set_field("shared", Value::Int(2));
+        assert!(reg.messages_equivalent(&n, &m));
+    }
+
+    #[test]
+    fn sequence_equivalence_gathers_across_history() {
+        // The Picasa photoSearch must be equivalent to the *sequence*
+        // (flickr search, flickr getInfo) — a one-to-many mismatch.
+        let mut reg = SemanticRegistry::new();
+        reg.declare_field_concept("keyword", ["text", "q"]);
+        reg.declare_field_concept("photo-ref", ["photo_id", "entry_id"]);
+
+        let mut picasa = AbstractMessage::new("picasa.search");
+        picasa.set_field("q", Value::from("tree"));
+        picasa.set_field("entry_id", Value::from("e1"));
+
+        let mut f_search = AbstractMessage::new("flickr.search");
+        f_search.set_field("text", Value::from("tree"));
+        let mut f_getinfo = AbstractMessage::new("flickr.getInfo");
+        f_getinfo.set_field("photo_id", Value::from("p1"));
+
+        assert!(!reg.message_equivalent_to_sequence(&picasa, &[f_search.clone()]));
+        assert!(reg.message_equivalent_to_sequence(&picasa, &[f_search, f_getinfo]));
+    }
+
+    #[test]
+    fn nested_fields_are_searched() {
+        let reg = SemanticRegistry::new();
+        let mut n = AbstractMessage::new("n");
+        n.set_field("id", Value::from("x"));
+        let mut m = AbstractMessage::new("m");
+        m.set_path(&"body.entry.id".parse().unwrap(), Value::from("y"))
+            .unwrap();
+        assert!(reg.messages_equivalent(&n, &m));
+    }
+
+    #[test]
+    fn message_name_equivalence() {
+        let mut reg = SemanticRegistry::new();
+        reg.declare_message_concept("search", ["flickr.photos.search", "picasa.photo.search"]);
+        assert!(reg.message_names_equivalent("flickr.photos.search", "picasa.photo.search"));
+        assert!(!reg.message_names_equivalent("flickr.photos.search", "other.op"));
+        // Identity holds without declaration.
+        assert!(reg.message_names_equivalent("a.b", "a.b"));
+    }
+}

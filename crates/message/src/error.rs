@@ -1,0 +1,116 @@
+use std::fmt;
+
+/// Errors produced when manipulating abstract messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MessageError {
+    /// A field named by a selector does not exist in the message.
+    FieldNotFound {
+        /// Name of the message that was searched.
+        message: String,
+        /// The path that failed to resolve.
+        path: String,
+    },
+    /// A path step tried to descend into a value that has no children.
+    NotAStructure {
+        /// The path that failed to resolve.
+        path: String,
+        /// Human-readable description of the value actually found.
+        found: &'static str,
+    },
+    /// An array index was out of bounds.
+    IndexOutOfBounds {
+        /// The path that failed to resolve.
+        path: String,
+        /// The requested index.
+        index: usize,
+        /// The actual array length.
+        len: usize,
+    },
+    /// A value had a different type than the operation required.
+    TypeMismatch {
+        /// What the operation expected.
+        expected: &'static str,
+        /// Description of the value actually found.
+        found: &'static str,
+    },
+    /// A malformed field path string.
+    Path(PathError),
+}
+
+impl fmt::Display for MessageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MessageError::FieldNotFound { message, path } => {
+                write!(f, "field `{path}` not found in message `{message}`")
+            }
+            MessageError::NotAStructure { path, found } => {
+                write!(f, "path `{path}` descends into non-structured value ({found})")
+            }
+            MessageError::IndexOutOfBounds { path, index, len } => {
+                write!(f, "index {index} out of bounds (len {len}) at `{path}`")
+            }
+            MessageError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            MessageError::Path(e) => write!(f, "invalid field path: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MessageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MessageError::Path(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PathError> for MessageError {
+    fn from(e: PathError) -> Self {
+        MessageError::Path(e)
+    }
+}
+
+/// Errors produced when parsing a [`crate::FieldPath`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PathError {
+    /// The path string was empty.
+    Empty,
+    /// A path segment was empty (e.g. `a..b`).
+    EmptySegment {
+        /// Byte offset of the offending segment.
+        offset: usize,
+    },
+    /// An index bracket was malformed (e.g. `a[`, `a[x]`).
+    BadIndex {
+        /// The text inside (or around) the brackets.
+        text: String,
+    },
+    /// Unexpected character in a segment.
+    BadCharacter {
+        /// The offending character.
+        ch: char,
+        /// Byte offset of the character.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathError::Empty => write!(f, "empty path"),
+            PathError::EmptySegment { offset } => {
+                write!(f, "empty path segment at offset {offset}")
+            }
+            PathError::BadIndex { text } => write!(f, "malformed index `{text}`"),
+            PathError::BadCharacter { ch, offset } => {
+                write!(f, "unexpected character `{ch}` at offset {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PathError {}

@@ -1,0 +1,206 @@
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Declared wire type of a primitive field, as written in MDL specs.
+///
+/// The paper's primitive field carries "a type describing the type of the
+/// data content" and "a length defining the length in bits of the field"
+/// (§3.1). `FieldType` captures the former; the latter lives on
+/// [`Field::length_bits`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum FieldType {
+    /// Signed integer (width given by the field length).
+    Int,
+    /// Unsigned integer (width given by the field length).
+    UInt,
+    /// IEEE-754 float (32- or 64-bit per the field length).
+    Float,
+    /// Boolean (one octet on the wire unless stated otherwise).
+    Bool,
+    /// UTF-8 (or ASCII) text.
+    Text,
+    /// Opaque octets.
+    Opaque,
+    /// A structured field composed of sub-fields.
+    Structured,
+    /// A repeated sequence of values.
+    Sequence,
+}
+
+impl FieldType {
+    /// Infers the most natural declared type for a value.
+    pub fn of(value: &Value) -> FieldType {
+        match value {
+            Value::Null => FieldType::Opaque,
+            Value::Int(_) => FieldType::Int,
+            Value::UInt(_) => FieldType::UInt,
+            Value::Float(_) => FieldType::Float,
+            Value::Bool(_) => FieldType::Bool,
+            Value::Str(_) => FieldType::Text,
+            Value::Bytes(_) => FieldType::Opaque,
+            Value::Struct(_) => FieldType::Structured,
+            Value::Array(_) => FieldType::Sequence,
+        }
+    }
+}
+
+impl fmt::Display for FieldType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FieldType::Int => "int",
+            FieldType::UInt => "uint",
+            FieldType::Float => "float",
+            FieldType::Bool => "bool",
+            FieldType::Text => "text",
+            FieldType::Opaque => "opaque",
+            FieldType::Structured => "structured",
+            FieldType::Sequence => "sequence",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A labelled field of an abstract message.
+///
+/// Per paper §3.1 a primitive field is `(label, type, length, value)`;
+/// a structured field is "composed of multiple primitive fields"
+/// (represented by a [`Value::Struct`] value). The `mandatory` flag feeds
+/// the `Mfields(n)` set used by the semantic-equivalence operator `≅`
+/// (Def. 2): only mandatory fields must find an equivalent counterpart.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Field {
+    label: String,
+    #[serde(rename = "type")]
+    field_type: FieldType,
+    length_bits: Option<u32>,
+    value: Value,
+    mandatory: bool,
+}
+
+impl Field {
+    /// Creates a mandatory field with a type inferred from the value.
+    pub fn new(label: impl Into<String>, value: Value) -> Field {
+        let field_type = FieldType::of(&value);
+        Field {
+            label: label.into(),
+            field_type,
+            length_bits: None,
+            value,
+            mandatory: true,
+        }
+    }
+
+    /// Creates an optional field (not counted in `Mfields`).
+    pub fn optional(label: impl Into<String>, value: Value) -> Field {
+        let mut f = Field::new(label, value);
+        f.mandatory = false;
+        f
+    }
+
+    /// Builder-style: declares the wire length in bits.
+    #[must_use]
+    pub fn with_length_bits(mut self, bits: u32) -> Field {
+        self.length_bits = Some(bits);
+        self
+    }
+
+    /// Builder-style: overrides the declared type.
+    #[must_use]
+    pub fn with_type(mut self, field_type: FieldType) -> Field {
+        self.field_type = field_type;
+        self
+    }
+
+    /// Builder-style: sets the mandatory flag.
+    #[must_use]
+    pub fn with_mandatory(mut self, mandatory: bool) -> Field {
+        self.mandatory = mandatory;
+        self
+    }
+
+    /// The field's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The field's declared wire type.
+    pub fn field_type(&self) -> FieldType {
+        self.field_type
+    }
+
+    /// Declared wire length in bits, when fixed.
+    pub fn length_bits(&self) -> Option<u32> {
+        self.length_bits
+    }
+
+    /// The field's value.
+    pub fn value(&self) -> &Value {
+        &self.value
+    }
+
+    /// Mutable access to the field's value.
+    pub fn value_mut(&mut self) -> &mut Value {
+        &mut self.value
+    }
+
+    /// Replaces the value, keeping label and metadata.
+    pub fn set_value(&mut self, value: Value) {
+        self.value = value;
+    }
+
+    /// Consumes the field, returning its value.
+    pub fn into_value(self) -> Value {
+        self.value
+    }
+
+    /// Whether the field is mandatory (member of `Mfields`).
+    pub fn is_mandatory(&self) -> bool {
+        self.mandatory
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} = {}", self.label, self.field_type, self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inferred_types() {
+        assert_eq!(Field::new("a", Value::Int(1)).field_type(), FieldType::Int);
+        assert_eq!(
+            Field::new("a", Value::from("s")).field_type(),
+            FieldType::Text
+        );
+        assert_eq!(
+            Field::new("a", Value::Struct(vec![])).field_type(),
+            FieldType::Structured
+        );
+    }
+
+    #[test]
+    fn builder_chain() {
+        let f = Field::new("RequestID", Value::UInt(7))
+            .with_length_bits(32)
+            .with_mandatory(false);
+        assert_eq!(f.length_bits(), Some(32));
+        assert!(!f.is_mandatory());
+    }
+
+    #[test]
+    fn optional_constructor() {
+        assert!(!Field::optional("per_page", Value::Int(10)).is_mandatory());
+    }
+
+    #[test]
+    fn display_format() {
+        let f = Field::new("op", Value::from("add"));
+        assert_eq!(f.to_string(), "op: text = add");
+    }
+}

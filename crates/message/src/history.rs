@@ -1,0 +1,200 @@
+use crate::message::AbstractMessage;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether a message was sent (`!`) or received (`?`) — the `Act` set of
+/// the automaton definition (paper §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// `!m` — the message was sent (an operation was invoked).
+    Sent,
+    /// `?m` — the message was received (an invocation reply arrived).
+    Received,
+}
+
+impl Direction {
+    /// The paper's one-character notation: `!` for sent, `?` for received.
+    pub fn symbol(self) -> char {
+        match self {
+            Direction::Sent => '!',
+            Direction::Received => '?',
+        }
+    }
+
+    /// The opposite direction.
+    #[must_use]
+    pub fn flipped(self) -> Direction {
+        match self {
+            Direction::Sent => Direction::Received,
+            Direction::Received => Direction::Sent,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+/// One entry of a message history: a message observed at a given automaton
+/// state, with its direction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistoryEntry {
+    /// Identifier of the state at which the message was observed.
+    pub state: String,
+    /// Whether the message was sent or received.
+    pub direction: Direction,
+    /// The observed message.
+    pub message: AbstractMessage,
+}
+
+/// The sequence of abstract messages exchanged so far along an automaton
+/// run — the domain of the history operator `⇒` (paper Def. 4).
+///
+/// `s1 !m⟹ s2` "gives the sequence of abstract messages sent from state s1
+/// to s2"; at runtime the automata engine records every send/receive here
+/// so that MTL translations and the `≅` operator can draw on earlier
+/// messages (one-to-many mismatches, the Flickr `getInfo` case).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct History {
+    entries: Vec<HistoryEntry>,
+}
+
+impl History {
+    /// Creates an empty history.
+    pub fn new() -> History {
+        History::default()
+    }
+
+    /// Records a message observation.
+    pub fn record(
+        &mut self,
+        state: impl Into<String>,
+        direction: Direction,
+        message: AbstractMessage,
+    ) {
+        self.entries.push(HistoryEntry {
+            state: state.into(),
+            direction,
+            message,
+        });
+    }
+
+    /// All entries in observation order.
+    pub fn entries(&self) -> &[HistoryEntry] {
+        &self.entries
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no message has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Messages observed with the given direction, oldest first —
+    /// the `s0 !m⟹ si` / `s0 ?m⟹ si` sequences of Def. 4.
+    pub fn with_direction(&self, direction: Direction) -> impl Iterator<Item = &HistoryEntry> {
+        self.entries
+            .iter()
+            .filter(move |e| e.direction == direction)
+    }
+
+    /// The most recent message observed at the given state, if any.
+    pub fn at_state(&self, state: &str) -> Option<&HistoryEntry> {
+        self.entries.iter().rev().find(|e| e.state == state)
+    }
+
+    /// The most recent message with the given name, if any.
+    pub fn by_name(&self, name: &str) -> Option<&HistoryEntry> {
+        self.entries.iter().rev().find(|e| e.message.name() == name)
+    }
+
+    /// The most recent entry, if any.
+    pub fn last(&self) -> Option<&HistoryEntry> {
+        self.entries.last()
+    }
+
+    /// Drops all entries (a mediator session reset).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl fmt::Display for History {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.entries.is_empty() {
+            return f.write_str("(empty history)");
+        }
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ; ")?;
+            }
+            write!(f, "{}{}@{}", e.direction, e.message.name(), e.state)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn msg(name: &str) -> AbstractMessage {
+        let mut m = AbstractMessage::new(name);
+        m.set_field("f", Value::Int(1));
+        m
+    }
+
+    #[test]
+    fn direction_symbols() {
+        assert_eq!(Direction::Sent.symbol(), '!');
+        assert_eq!(Direction::Received.symbol(), '?');
+        assert_eq!(Direction::Sent.flipped(), Direction::Received);
+    }
+
+    #[test]
+    fn record_and_query() {
+        let mut h = History::new();
+        h.record("s0", Direction::Sent, msg("search"));
+        h.record("s1", Direction::Received, msg("searchReply"));
+        h.record("s1", Direction::Received, msg("searchReply2"));
+
+        assert_eq!(h.len(), 2 + 1);
+        assert_eq!(h.with_direction(Direction::Sent).count(), 1);
+        assert_eq!(h.at_state("s1").unwrap().message.name(), "searchReply2");
+        assert_eq!(h.by_name("search").unwrap().state, "s0");
+        assert!(h.by_name("absent").is_none());
+    }
+
+    #[test]
+    fn latest_entry_wins_for_state_lookup() {
+        let mut h = History::new();
+        h.record("s", Direction::Sent, msg("a"));
+        h.record("s", Direction::Sent, msg("b"));
+        assert_eq!(h.at_state("s").unwrap().message.name(), "b");
+    }
+
+    #[test]
+    fn display_compact() {
+        let mut h = History::new();
+        assert_eq!(h.to_string(), "(empty history)");
+        h.record("s0", Direction::Sent, msg("add"));
+        h.record("s1", Direction::Received, msg("addReply"));
+        assert_eq!(h.to_string(), "!add@s0 ; ?addReply@s1");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = History::new();
+        h.record("s0", Direction::Sent, msg("a"));
+        h.clear();
+        assert!(h.is_empty());
+        assert!(h.last().is_none());
+    }
+}

@@ -1,0 +1,57 @@
+//! Abstract message representation for the Starlink interoperability
+//! framework.
+//!
+//! Starlink (Bromberg et al., MIDDLEWARE 2011) models every interaction —
+//! whether an application-level operation invocation or a middleware
+//! protocol packet — as an **abstract message**: a named, ordered set of
+//! fields. A *primitive* field carries a label, a type, an optional wire
+//! length and a value; a *structured* field is composed of nested fields
+//! (paper §3.1).
+//!
+//! This crate provides:
+//!
+//! * [`Value`] — the dynamic value model (integers, floats, booleans,
+//!   strings, byte blobs, structures and arrays),
+//! * [`Field`] — a labelled value with wire metadata and a mandatory flag,
+//! * [`AbstractMessage`] — the message itself,
+//! * [`FieldPath`] — `msg.field.sub[2]` selectors used by the MTL
+//!   translation language and the protocol binding rules,
+//! * [`equiv`] — the semantic-equivalence operator `≅` of paper §3.2,
+//! * [`History`] — the message history used by the `⇒` operator of §3.3.
+//!
+//! # Example
+//!
+//! ```
+//! use starlink_message::{AbstractMessage, Value};
+//!
+//! // The paper abstracts `rvalue operation(arg1..argn)` as two messages:
+//! // an outgoing `operation` message and an incoming `rvalue` message.
+//! let mut search = AbstractMessage::new("flickr.photos.search");
+//! search.set_field("api_key", Value::from("abc123"));
+//! search.set_field("text", Value::from("tree"));
+//! search.set_field("per_page", Value::from(3i64));
+//!
+//! assert_eq!(search.get("text").unwrap().as_str(), Some("tree"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod field;
+mod history;
+mod message;
+mod path;
+mod value;
+
+pub mod equiv;
+
+pub use error::{MessageError, PathError};
+pub use field::{Field, FieldType};
+pub use history::{Direction, History, HistoryEntry};
+pub use message::{get_value_path, get_value_path_mut, set_value_path, AbstractMessage};
+pub use path::{FieldPath, PathSegment};
+pub use value::Value;
+
+/// Convenience result alias used across this crate.
+pub type Result<T> = std::result::Result<T, MessageError>;

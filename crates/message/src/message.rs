@@ -1,0 +1,508 @@
+use crate::error::MessageError;
+use crate::field::Field;
+use crate::path::{FieldPath, PathSegment};
+use crate::value::Value;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An abstract message: the protocol- and application-neutral unit of
+/// interaction in Starlink.
+///
+/// A message has a *name* (the paper abstracts the invocation
+/// `rvalue operation(arg1..argn)` as a sent message named `operation` and a
+/// received message named `rvalue`, §3.1) and an ordered list of fields.
+/// Field order matters because binary composers emit fields in order.
+///
+/// # Example
+///
+/// ```
+/// use starlink_message::{AbstractMessage, Field, Value};
+///
+/// let mut msg = AbstractMessage::new("GIOPRequest");
+/// msg.push_field(Field::new("RequestID", Value::UInt(42)).with_length_bits(32));
+/// msg.set_path(&"Params.param1".parse()?, Value::Int(7))?;
+///
+/// assert_eq!(msg.get_path(&"Params.param1".parse()?)?.as_int(), Some(7));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AbstractMessage {
+    name: String,
+    fields: Vec<Field>,
+}
+
+impl AbstractMessage {
+    /// Creates an empty message with the given name.
+    pub fn new(name: impl Into<String>) -> AbstractMessage {
+        AbstractMessage {
+            name: name.into(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// The message name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the message (used when a mediator re-labels an action).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// The message's top-level fields, in wire order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Mutable access to the top-level fields.
+    pub fn fields_mut(&mut self) -> &mut Vec<Field> {
+        &mut self.fields
+    }
+
+    /// Appends a field (keeps duplicates; see [`AbstractMessage::set_field`]
+    /// for upsert semantics).
+    pub fn push_field(&mut self, field: Field) {
+        self.fields.push(field);
+    }
+
+    /// Upserts a top-level field by label.
+    pub fn set_field(&mut self, label: &str, value: Value) {
+        if let Some(f) = self.fields.iter_mut().find(|f| f.label() == label) {
+            f.set_value(value);
+        } else {
+            self.fields.push(Field::new(label, value));
+        }
+    }
+
+    /// Looks up a top-level field's value by label.
+    pub fn get(&self, label: &str) -> Option<&Value> {
+        self.fields
+            .iter()
+            .find(|f| f.label() == label)
+            .map(Field::value)
+    }
+
+    /// Looks up a top-level field by label.
+    pub fn field(&self, label: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.label() == label)
+    }
+
+    /// Mutable top-level field lookup.
+    pub fn field_mut(&mut self, label: &str) -> Option<&mut Field> {
+        self.fields.iter_mut().find(|f| f.label() == label)
+    }
+
+    /// Removes a top-level field by label, returning it if present.
+    pub fn remove_field(&mut self, label: &str) -> Option<Field> {
+        let idx = self.fields.iter().position(|f| f.label() == label)?;
+        Some(self.fields.remove(idx))
+    }
+
+    /// The mandatory fields of the message — `Mfields(n)` in Def. 2.
+    pub fn mandatory_fields(&self) -> impl Iterator<Item = &Field> {
+        self.fields.iter().filter(|f| f.is_mandatory())
+    }
+
+    /// Resolves a (possibly nested) path to a value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MessageError::FieldNotFound`], [`MessageError::NotAStructure`]
+    /// or [`MessageError::IndexOutOfBounds`] when the path does not resolve.
+    pub fn get_path(&self, path: &FieldPath) -> Result<&Value> {
+        let mut segments = path.segments().iter();
+        let first = segments.next().expect("FieldPath is never empty");
+        let mut current: &Value = match first {
+            PathSegment::Name(n) => self.get(n).ok_or_else(|| MessageError::FieldNotFound {
+                message: self.name.clone(),
+                path: path.to_string(),
+            })?,
+            PathSegment::Index(_) => {
+                return Err(MessageError::NotAStructure {
+                    path: path.to_string(),
+                    found: "message root",
+                })
+            }
+        };
+        for seg in segments {
+            current = descend(current, seg, path)?;
+        }
+        Ok(current)
+    }
+
+
+    /// Mutable variant of [`AbstractMessage::get_path`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AbstractMessage::get_path`].
+    pub fn get_path_mut(&mut self, path: &FieldPath) -> Result<&mut Value> {
+        let segments = path.segments();
+        let name = match &segments[0] {
+            PathSegment::Name(n) => n.clone(),
+            PathSegment::Index(_) => {
+                return Err(MessageError::NotAStructure {
+                    path: path.to_string(),
+                    found: "message root",
+                })
+            }
+        };
+        let message_name = self.name.clone();
+        let field = self
+            .field_mut(&name)
+            .ok_or(MessageError::FieldNotFound {
+                message: message_name,
+                path: path.to_string(),
+            })?;
+        let mut current = field.value_mut();
+        for seg in &segments[1..] {
+            current = descend_mut(current, seg, path)?;
+        }
+        Ok(current)
+    }
+
+    /// Resolves a path, walking into structures/arrays, creating missing
+    /// intermediate structures, and sets the final value.
+    ///
+    /// Missing *name* segments are created as new fields (with `Struct`
+    /// values for intermediates). Index segments extend arrays with `Null`
+    /// padding when the index is exactly one past the end, so sequential
+    /// `set_path(..[0]..)`, `set_path(..[1]..)` builds an array naturally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MessageError::NotAStructure`] when descending into a
+    /// primitive, or [`MessageError::IndexOutOfBounds`] for a sparse index.
+    pub fn set_path(&mut self, path: &FieldPath, value: Value) -> Result<()> {
+        let segments = path.segments();
+        let first = &segments[0];
+        let name = match first {
+            PathSegment::Name(n) => n.clone(),
+            PathSegment::Index(_) => {
+                return Err(MessageError::NotAStructure {
+                    path: path.to_string(),
+                    found: "message root",
+                })
+            }
+        };
+        if segments.len() == 1 {
+            self.set_field(&name, value);
+            return Ok(());
+        }
+        if self.field(&name).is_none() {
+            let placeholder = match segments[1] {
+                PathSegment::Index(_) => Value::Array(Vec::new()),
+                PathSegment::Name(_) => Value::Struct(Vec::new()),
+            };
+            self.push_field(Field::new(name.clone(), placeholder));
+        }
+        let field = self
+            .field_mut(&name)
+            .expect("field was just ensured to exist");
+        set_in_value(field.value_mut(), &segments[1..], value, path)
+    }
+
+    /// Total number of primitive leaves across all fields.
+    pub fn leaf_count(&self) -> usize {
+        self.fields.iter().map(|f| f.value().leaf_count()).sum()
+    }
+}
+
+impl fmt::Display for AbstractMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{field}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// Resolves a path *inside* a bare [`Value`] (for callers holding values
+/// outside any message, e.g. MTL local variables).
+///
+/// # Errors
+///
+/// Same as [`AbstractMessage::get_path`].
+pub fn get_value_path<'a>(value: &'a Value, path: &FieldPath) -> Result<&'a Value> {
+    let mut current = value;
+    for seg in path.segments() {
+        current = descend(current, seg, path)?;
+    }
+    Ok(current)
+}
+
+/// Sets a path *inside* a bare [`Value`], creating intermediate
+/// structures the same way [`AbstractMessage::set_path`] does. The root
+/// value is auto-vivified from `Null` when needed.
+///
+/// # Errors
+///
+/// Same as [`AbstractMessage::set_path`].
+pub fn set_value_path(target: &mut Value, path: &FieldPath, value: Value) -> Result<()> {
+    set_in_value(target, path.segments(), value, path)
+}
+
+fn descend<'a>(value: &'a Value, seg: &PathSegment, full: &FieldPath) -> Result<&'a Value> {
+    match seg {
+        PathSegment::Name(n) => match value {
+            Value::Struct(fields) => fields
+                .iter()
+                .find(|f| f.label() == n)
+                .map(Field::value)
+                .ok_or_else(|| MessageError::FieldNotFound {
+                    message: String::new(),
+                    path: full.to_string(),
+                }),
+            other => Err(MessageError::NotAStructure {
+                path: full.to_string(),
+                found: other.kind(),
+            }),
+        },
+        PathSegment::Index(i) => match value {
+            Value::Array(items) => items.get(*i).ok_or_else(|| MessageError::IndexOutOfBounds {
+                path: full.to_string(),
+                index: *i,
+                len: items.len(),
+            }),
+            other => Err(MessageError::NotAStructure {
+                path: full.to_string(),
+                found: other.kind(),
+            }),
+        },
+    }
+}
+
+
+/// Mutable variant of [`get_value_path`].
+///
+/// # Errors
+///
+/// Same as [`AbstractMessage::get_path`].
+pub fn get_value_path_mut<'a>(value: &'a mut Value, path: &FieldPath) -> Result<&'a mut Value> {
+    let mut current = value;
+    for seg in path.segments() {
+        current = descend_mut(current, seg, path)?;
+    }
+    Ok(current)
+}
+
+fn descend_mut<'a>(
+    value: &'a mut Value,
+    seg: &PathSegment,
+    full: &FieldPath,
+) -> Result<&'a mut Value> {
+    let kind = value.kind();
+    match seg {
+        PathSegment::Name(n) => match value {
+            Value::Struct(fields) => fields
+                .iter_mut()
+                .find(|f| f.label() == n)
+                .map(Field::value_mut)
+                .ok_or_else(|| MessageError::FieldNotFound {
+                    message: String::new(),
+                    path: full.to_string(),
+                }),
+            _ => Err(MessageError::NotAStructure {
+                path: full.to_string(),
+                found: kind,
+            }),
+        },
+        PathSegment::Index(i) => match value {
+            Value::Array(items) => {
+                let len = items.len();
+                items.get_mut(*i).ok_or(MessageError::IndexOutOfBounds {
+                    path: full.to_string(),
+                    index: *i,
+                    len,
+                })
+            }
+            _ => Err(MessageError::NotAStructure {
+                path: full.to_string(),
+                found: kind,
+            }),
+        },
+    }
+}
+
+fn set_in_value(
+    current: &mut Value,
+    rest: &[PathSegment],
+    value: Value,
+    full: &FieldPath,
+) -> Result<()> {
+    let (seg, remaining) = rest.split_first().expect("rest is non-empty");
+    match seg {
+        PathSegment::Name(n) => {
+            // Auto-vivify nulls into structures so deep sets "just work".
+            if current.is_null() {
+                *current = Value::Struct(Vec::new());
+            }
+            let kind = current.kind();
+            let fields = current
+                .as_struct_mut()
+                .ok_or_else(|| MessageError::NotAStructure {
+                    path: full.to_string(),
+                    found: kind,
+                })?;
+            if !fields.iter().any(|f| f.label() == n) {
+                let placeholder = if remaining.is_empty() {
+                    Value::Null
+                } else {
+                    match remaining[0] {
+                        PathSegment::Index(_) => Value::Array(Vec::new()),
+                        PathSegment::Name(_) => Value::Struct(Vec::new()),
+                    }
+                };
+                fields.push(Field::new(n.clone(), placeholder));
+            }
+            let slot = fields
+                .iter_mut()
+                .find(|f| f.label() == n)
+                .expect("field was just ensured to exist");
+            if remaining.is_empty() {
+                slot.set_value(value);
+                Ok(())
+            } else {
+                set_in_value(slot.value_mut(), remaining, value, full)
+            }
+        }
+        PathSegment::Index(i) => {
+            if current.is_null() {
+                *current = Value::Array(Vec::new());
+            }
+            let kind = current.kind();
+            let items = current
+                .as_array_mut()
+                .ok_or_else(|| MessageError::NotAStructure {
+                    path: full.to_string(),
+                    found: kind,
+                })?;
+            if *i == items.len() {
+                items.push(Value::Null);
+            } else if *i > items.len() {
+                return Err(MessageError::IndexOutOfBounds {
+                    path: full.to_string(),
+                    index: *i,
+                    len: items.len(),
+                });
+            }
+            let slot = &mut items[*i];
+            if remaining.is_empty() {
+                *slot = value;
+                Ok(())
+            } else {
+                set_in_value(slot, remaining, value, full)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(s: &str) -> FieldPath {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn upsert_semantics() {
+        let mut m = AbstractMessage::new("m");
+        m.set_field("a", Value::Int(1));
+        m.set_field("a", Value::Int(2));
+        assert_eq!(m.fields().len(), 1);
+        assert_eq!(m.get("a").unwrap().as_int(), Some(2));
+    }
+
+    #[test]
+    fn nested_get_set() {
+        let mut m = AbstractMessage::new("GIOPRequest");
+        m.set_path(&path("Params.param1"), Value::Int(7)).unwrap();
+        m.set_path(&path("Params.param2"), Value::Int(8)).unwrap();
+        assert_eq!(m.get_path(&path("Params.param1")).unwrap().as_int(), Some(7));
+        assert_eq!(m.get_path(&path("Params.param2")).unwrap().as_int(), Some(8));
+        // Intermediate is a struct field.
+        assert_eq!(m.get("Params").unwrap().as_struct().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn array_building_by_sequential_indexes() {
+        let mut m = AbstractMessage::new("feed");
+        m.set_path(&path("entries[0].id"), Value::from("p1")).unwrap();
+        m.set_path(&path("entries[1].id"), Value::from("p2")).unwrap();
+        let arr = m.get_path(&path("entries")).unwrap().as_array().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(
+            m.get_path(&path("entries[1].id")).unwrap().as_str(),
+            Some("p2")
+        );
+    }
+
+    #[test]
+    fn sparse_index_rejected() {
+        let mut m = AbstractMessage::new("m");
+        let err = m.set_path(&path("a[3]"), Value::Int(1)).unwrap_err();
+        assert!(matches!(err, MessageError::IndexOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn descend_into_primitive_fails() {
+        let mut m = AbstractMessage::new("m");
+        m.set_field("a", Value::Int(1));
+        let err = m.get_path(&path("a.b")).unwrap_err();
+        assert!(matches!(err, MessageError::NotAStructure { .. }));
+        let err = m.set_path(&path("a.b"), Value::Int(2)).unwrap_err();
+        assert!(matches!(err, MessageError::NotAStructure { .. }));
+    }
+
+    #[test]
+    fn missing_field_error_names_message() {
+        let m = AbstractMessage::new("GIOPReply");
+        let err = m.get_path(&path("nope")).unwrap_err();
+        match err {
+            MessageError::FieldNotFound { message, .. } => assert_eq!(message, "GIOPReply"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mandatory_fields_iterator() {
+        let mut m = AbstractMessage::new("m");
+        m.push_field(Field::new("must", Value::Int(1)));
+        m.push_field(Field::optional("may", Value::Int(2)));
+        let labels: Vec<&str> = m.mandatory_fields().map(Field::label).collect();
+        assert_eq!(labels, vec!["must"]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut m = AbstractMessage::new("Add");
+        m.set_field("x", Value::Int(1));
+        m.set_field("y", Value::Int(2));
+        assert_eq!(m.to_string(), "Add(x: int = 1, y: int = 2)");
+    }
+
+    #[test]
+    fn remove_field_roundtrip() {
+        let mut m = AbstractMessage::new("m");
+        m.set_field("a", Value::Int(1));
+        let f = m.remove_field("a").unwrap();
+        assert_eq!(f.label(), "a");
+        assert!(m.get("a").is_none());
+        assert!(m.remove_field("a").is_none());
+    }
+
+    #[test]
+    fn null_autovivifies_on_deep_set() {
+        let mut m = AbstractMessage::new("m");
+        m.set_path(&path("a[0]"), Value::Null).unwrap();
+        m.set_path(&path("a[0].inner"), Value::Int(5)).unwrap();
+        assert_eq!(m.get_path(&path("a[0].inner")).unwrap().as_int(), Some(5));
+    }
+}

@@ -1,0 +1,264 @@
+use crate::error::PathError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// One step of a [`FieldPath`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PathSegment {
+    /// Descend into the named field of a message or structure.
+    Name(String),
+    /// Index into an array value.
+    Index(usize),
+}
+
+impl fmt::Display for PathSegment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathSegment::Name(n) => f.write_str(n),
+            PathSegment::Index(i) => write!(f, "[{i}]"),
+        }
+    }
+}
+
+/// A selector naming a (possibly nested) field of an abstract message.
+///
+/// The paper writes `msg . field` for field selection (§3.1) and the MTL
+/// examples use chained selectors such as
+/// `S22.SOAPRqst → Params.param1` (Fig. 8–10). `FieldPath` is the parsed
+/// form of the dotted part: `Params.param1`, `Body.entry[2].id`, ….
+///
+/// Grammar: `segment ('.' segment)*` where a segment is an identifier
+/// (letters, digits, `_`, `-`, `:` — XML tag names may contain `:`)
+/// optionally followed by one or more `[index]` suffixes.
+///
+/// # Example
+///
+/// ```
+/// use starlink_message::FieldPath;
+///
+/// let p: FieldPath = "Params.param[0].value".parse()?;
+/// assert_eq!(p.segments().len(), 4);
+/// assert_eq!(p.to_string(), "Params.param[0].value");
+/// # Ok::<(), starlink_message::PathError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FieldPath {
+    segments: Vec<PathSegment>,
+}
+
+impl FieldPath {
+    /// Builds a path from pre-parsed segments.
+    ///
+    /// Returns `None` if `segments` is empty — an empty path selects
+    /// nothing and is always a caller bug.
+    pub fn from_segments(segments: Vec<PathSegment>) -> Option<FieldPath> {
+        if segments.is_empty() {
+            None
+        } else {
+            Some(FieldPath { segments })
+        }
+    }
+
+    /// Single-name path.
+    pub fn name(name: impl Into<String>) -> FieldPath {
+        FieldPath {
+            segments: vec![PathSegment::Name(name.into())],
+        }
+    }
+
+    /// The path's segments, in order.
+    pub fn segments(&self) -> &[PathSegment] {
+        &self.segments
+    }
+
+    /// First segment.
+    pub fn head(&self) -> &PathSegment {
+        &self.segments[0]
+    }
+
+    /// Path with the first segment removed; `None` if this was the last.
+    pub fn tail(&self) -> Option<FieldPath> {
+        if self.segments.len() <= 1 {
+            None
+        } else {
+            Some(FieldPath {
+                segments: self.segments[1..].to_vec(),
+            })
+        }
+    }
+
+    /// Appends a name segment, returning the extended path.
+    #[must_use]
+    pub fn child(&self, name: impl Into<String>) -> FieldPath {
+        let mut segments = self.segments.clone();
+        segments.push(PathSegment::Name(name.into()));
+        FieldPath { segments }
+    }
+
+    /// Appends an index segment, returning the extended path.
+    #[must_use]
+    pub fn at(&self, index: usize) -> FieldPath {
+        let mut segments = self.segments.clone();
+        segments.push(PathSegment::Index(index));
+        FieldPath { segments }
+    }
+}
+
+impl fmt::Display for FieldPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for seg in &self.segments {
+            match seg {
+                PathSegment::Name(n) => {
+                    if !first {
+                        f.write_str(".")?;
+                    }
+                    f.write_str(n)?;
+                }
+                PathSegment::Index(i) => write!(f, "[{i}]")?,
+            }
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for FieldPath {
+    type Err = PathError;
+
+    fn from_str(s: &str) -> Result<FieldPath, PathError> {
+        if s.is_empty() {
+            return Err(PathError::Empty);
+        }
+        let mut segments = Vec::new();
+        let bytes = s.as_bytes();
+        let mut i = 0usize;
+        let mut expect_name = true;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'.' => {
+                    if expect_name {
+                        return Err(PathError::EmptySegment { offset: i });
+                    }
+                    expect_name = true;
+                    i += 1;
+                }
+                b'[' => {
+                    if expect_name {
+                        // `[0]` directly after `.` or at start is invalid.
+                        return Err(PathError::BadCharacter { ch: '[', offset: i });
+                    }
+                    let close = s[i..]
+                        .find(']')
+                        .map(|off| i + off)
+                        .ok_or_else(|| PathError::BadIndex { text: s[i..].to_owned() })?;
+                    let inner = &s[i + 1..close];
+                    let index: usize = inner
+                        .parse()
+                        .map_err(|_| PathError::BadIndex { text: inner.to_owned() })?;
+                    segments.push(PathSegment::Index(index));
+                    i = close + 1;
+                }
+                _ => {
+                    if !expect_name {
+                        return Err(PathError::BadCharacter {
+                            ch: s[i..].chars().next().unwrap_or('?'),
+                            offset: i,
+                        });
+                    }
+                    let start = i;
+                    while i < bytes.len() && bytes[i] != b'.' && bytes[i] != b'[' {
+                        let c = bytes[i] as char;
+                        if !(c.is_alphanumeric() || matches!(c, '_' | '-' | ':' | '*')) {
+                            return Err(PathError::BadCharacter { ch: c, offset: i });
+                        }
+                        i += 1;
+                    }
+                    segments.push(PathSegment::Name(s[start..i].to_owned()));
+                    expect_name = false;
+                }
+            }
+        }
+        if expect_name {
+            return Err(PathError::EmptySegment { offset: s.len() });
+        }
+        FieldPath::from_segments(segments).ok_or(PathError::Empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_path() {
+        let p: FieldPath = "Operation".parse().unwrap();
+        assert_eq!(p.segments(), &[PathSegment::Name("Operation".into())]);
+    }
+
+    #[test]
+    fn dotted_path() {
+        let p: FieldPath = "Params.param1".parse().unwrap();
+        assert_eq!(p.segments().len(), 2);
+        assert_eq!(p.to_string(), "Params.param1");
+    }
+
+    #[test]
+    fn indexed_path() {
+        let p: FieldPath = "Body.entry[3].id".parse().unwrap();
+        assert_eq!(
+            p.segments(),
+            &[
+                PathSegment::Name("Body".into()),
+                PathSegment::Name("entry".into()),
+                PathSegment::Index(3),
+                PathSegment::Name("id".into()),
+            ]
+        );
+        assert_eq!(p.to_string(), "Body.entry[3].id");
+    }
+
+    #[test]
+    fn xml_style_names() {
+        let p: FieldPath = "soap:Envelope.soap:Body".parse().unwrap();
+        assert_eq!(p.segments().len(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!("".parse::<FieldPath>().is_err());
+        assert!("a..b".parse::<FieldPath>().is_err());
+        assert!("a.".parse::<FieldPath>().is_err());
+        assert!(".a".parse::<FieldPath>().is_err());
+        assert!("a[".parse::<FieldPath>().is_err());
+        assert!("a[x]".parse::<FieldPath>().is_err());
+        assert!("[0]".parse::<FieldPath>().is_err());
+        assert!("a b".parse::<FieldPath>().is_err());
+    }
+
+    #[test]
+    fn head_tail_decomposition() {
+        let p: FieldPath = "a.b.c".parse().unwrap();
+        assert_eq!(p.head(), &PathSegment::Name("a".into()));
+        let t = p.tail().unwrap();
+        assert_eq!(t.to_string(), "b.c");
+        assert!(t.tail().unwrap().tail().is_none());
+    }
+
+    #[test]
+    fn builders_extend() {
+        let p = FieldPath::name("Params").child("param").at(0);
+        assert_eq!(p.to_string(), "Params.param[0]");
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        for text in ["a", "a.b", "a[0].b", "ns:tag.x[12]"] {
+            let p: FieldPath = text.parse().unwrap();
+            assert_eq!(p.to_string(), text);
+            let again: FieldPath = p.to_string().parse().unwrap();
+            assert_eq!(again, p);
+        }
+    }
+}

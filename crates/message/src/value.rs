@@ -1,0 +1,342 @@
+use crate::field::Field;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dynamic value carried by an abstract-message field.
+///
+/// The paper's message model distinguishes *primitive* fields (integers,
+/// strings, …) from *structured* fields composed of nested fields; protocol
+/// payloads such as GIOP's `ParameterArray` additionally need ordered,
+/// unnamed element sequences, modelled here by [`Value::Array`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub enum Value {
+    /// Absent / nil value (e.g. an optional parameter that was omitted).
+    #[default]
+    Null,
+    /// Signed integer of up to 64 bits.
+    Int(i64),
+    /// Unsigned integer of up to 64 bits.
+    UInt(u64),
+    /// IEEE-754 double-precision float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// UTF-8 text.
+    Str(String),
+    /// Raw octets (opaque payloads, CDR-encoded blobs, …).
+    Bytes(Vec<u8>),
+    /// A structured value: ordered, named sub-fields.
+    Struct(Vec<Field>),
+    /// An ordered sequence of unnamed values.
+    Array(Vec<Value>),
+}
+
+impl Value {
+    /// Human-readable name of the value's variant, for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Int(_) => "int",
+            Value::UInt(_) => "uint",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "bool",
+            Value::Str(_) => "string",
+            Value::Bytes(_) => "bytes",
+            Value::Struct(_) => "struct",
+            Value::Array(_) => "array",
+        }
+    }
+
+    /// Returns `true` for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// View as a signed integer, coercing from `UInt` when it fits.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) => i64::try_from(*u).ok(),
+            Value::Bool(b) => Some(i64::from(*b)),
+            _ => None,
+        }
+    }
+
+    /// View as an unsigned integer, coercing from non-negative `Int`.
+    pub fn as_uint(&self) -> Option<u64> {
+        match self {
+            Value::UInt(u) => Some(*u),
+            Value::Int(i) => u64::try_from(*i).ok(),
+            Value::Bool(b) => Some(u64::from(*b)),
+            _ => None,
+        }
+    }
+
+    /// View as a float, coercing from integers.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    /// View as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            Value::Int(i) => Some(*i != 0),
+            Value::UInt(u) => Some(*u != 0),
+            _ => None,
+        }
+    }
+
+    /// View as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// View as raw bytes.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            Value::Str(s) => Some(s.as_bytes()),
+            _ => None,
+        }
+    }
+
+    /// View as a structure's fields.
+    pub fn as_struct(&self) -> Option<&[Field]> {
+        match self {
+            Value::Struct(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Mutable view as a structure's fields.
+    pub fn as_struct_mut(&mut self) -> Option<&mut Vec<Field>> {
+        match self {
+            Value::Struct(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// View as an array's elements.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Mutable view as an array's elements.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as display text, the way the MTL `tostring`
+    /// builtin and text-protocol composers serialise it.
+    pub fn to_text(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Int(i) => i.to_string(),
+            Value::UInt(u) => u.to_string(),
+            Value::Float(f) => {
+                if f.fract() == 0.0 && f.is_finite() && f.abs() < 1e15 {
+                    format!("{f:.1}")
+                } else {
+                    f.to_string()
+                }
+            }
+            Value::Bool(b) => b.to_string(),
+            Value::Str(s) => s.clone(),
+            Value::Bytes(b) => b.iter().map(|x| format!("{x:02x}")).collect(),
+            Value::Struct(fields) => {
+                let inner: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{}={}", f.label(), f.value().to_text()))
+                    .collect();
+                format!("{{{}}}", inner.join(", "))
+            }
+            Value::Array(items) => {
+                let inner: Vec<String> = items.iter().map(Value::to_text).collect();
+                format!("[{}]", inner.join(", "))
+            }
+        }
+    }
+
+    /// Structural "deep size": the number of primitive leaves in the value.
+    /// Used by benches and by merge heuristics to weight messages.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            Value::Struct(fields) => fields.iter().map(|f| f.value().leaf_count()).sum(),
+            Value::Array(items) => items.iter().map(Value::leaf_count).sum(),
+            _ => 1,
+        }
+    }
+
+    /// Whether two values are *type compatible* for the semantic-equivalence
+    /// operator `≅`: values interchangeable after a lossless-enough
+    /// transformation (paper §3.2 reasons about semantic equivalence at the
+    /// field level; numeric widths and numeric/text boundaries are bridged
+    /// by MTL transformation functions).
+    pub fn type_compatible(&self, other: &Value) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => true,
+            (Int(_) | UInt(_) | Float(_) | Bool(_), Int(_) | UInt(_) | Float(_) | Bool(_)) => true,
+            (Str(_), Str(_)) => true,
+            // Text protocols carry numbers as strings; treat as compatible.
+            (Str(_), Int(_) | UInt(_) | Float(_) | Bool(_)) => true,
+            (Int(_) | UInt(_) | Float(_) | Bool(_), Str(_)) => true,
+            (Bytes(_), Bytes(_) | Str(_)) | (Str(_), Bytes(_)) => true,
+            (Struct(_), Struct(_)) => true,
+            (Array(_), Array(_)) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(i64::from(v))
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::UInt(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::UInt(u64::from(v))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value::Bytes(v)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::Array(v)
+    }
+}
+
+impl From<Vec<Field>> for Value {
+    fn from(v: Vec<Field>) -> Self {
+        Value::Struct(v)
+    }
+}
+
+impl FromIterator<Value> for Value {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Value::Array(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_coercions() {
+        assert_eq!(Value::Int(7).as_uint(), Some(7));
+        assert_eq!(Value::Int(-7).as_uint(), None);
+        assert_eq!(Value::UInt(u64::MAX).as_int(), None);
+        assert_eq!(Value::Bool(true).as_int(), Some(1));
+        assert_eq!(Value::Int(3).as_float(), Some(3.0));
+    }
+
+    #[test]
+    fn string_views() {
+        let v = Value::from("hello");
+        assert_eq!(v.as_str(), Some("hello"));
+        assert_eq!(v.as_bytes(), Some(b"hello".as_ref()));
+        assert_eq!(v.as_int(), None);
+    }
+
+    #[test]
+    fn display_rendering() {
+        assert_eq!(Value::Int(-4).to_text(), "-4");
+        assert_eq!(Value::Float(2.0).to_text(), "2.0");
+        assert_eq!(Value::Bool(true).to_text(), "true");
+        assert_eq!(Value::Null.to_text(), "");
+        assert_eq!(Value::Bytes(vec![0xde, 0xad]).to_text(), "dead");
+        let arr = Value::Array(vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(arr.to_text(), "[1, 2]");
+    }
+
+    #[test]
+    fn type_compatibility_matrix() {
+        assert!(Value::Int(1).type_compatible(&Value::UInt(1)));
+        assert!(Value::Int(1).type_compatible(&Value::Str("1".into())));
+        assert!(Value::Null.type_compatible(&Value::Struct(vec![])));
+        assert!(!Value::Struct(vec![]).type_compatible(&Value::Int(0)));
+        assert!(!Value::Array(vec![]).type_compatible(&Value::Struct(vec![])));
+    }
+
+    #[test]
+    fn leaf_count_nested() {
+        let v = Value::Struct(vec![
+            Field::new("a", Value::Int(1)),
+            Field::new(
+                "b",
+                Value::Array(vec![Value::Int(2), Value::Str("x".into())]),
+            ),
+        ]);
+        assert_eq!(v.leaf_count(), 3);
+    }
+
+    #[test]
+    fn default_is_null() {
+        assert!(Value::default().is_null());
+    }
+}

@@ -1,0 +1,278 @@
+use crate::parser;
+use crate::Result;
+use starlink_message::FieldPath;
+use std::fmt;
+
+/// An assignment target: `slot.path` where `slot` names an output message
+/// slot (the state at which the message will be sent, per the paper's
+/// `S22.Msg → X` notation) or a local variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LValue {
+    /// The slot or local variable name.
+    pub slot: String,
+    /// The field path inside it; `None` assigns the whole local.
+    pub path: Option<FieldPath>,
+}
+
+impl fmt::Display for LValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.path {
+            Some(p) => write!(f, "{}.{p}", self.slot),
+            None => f.write_str(&self.slot),
+        }
+    }
+}
+
+/// An MTL expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// String literal.
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// The `null` literal.
+    Null,
+    /// A reference `slot[.path]` into an output slot, local variable or
+    /// history state.
+    Ref {
+        /// Slot / local / state identifier.
+        slot: String,
+        /// Optional field path within it.
+        path: Option<FieldPath>,
+    },
+    /// A builtin call `name(args…)`.
+    Call {
+        /// Builtin name.
+        name: String,
+        /// Arguments, in order.
+        args: Vec<Expr>,
+    },
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Str(s) => write!(f, "{s:?}"),
+            Expr::Int(i) => write!(f, "{i}"),
+            Expr::Bool(b) => write!(f, "{b}"),
+            Expr::Null => f.write_str("null"),
+            Expr::Ref { slot, path } => match path {
+                Some(p) => write!(f, "{slot}.{p}"),
+                None => f.write_str(slot),
+            },
+            Expr::Call { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+/// One MTL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `lhs = expr`.
+    Assign {
+        /// Target.
+        target: LValue,
+        /// Source expression.
+        value: Expr,
+    },
+    /// `let name = expr` — introduces/overwrites a local variable.
+    Let {
+        /// Variable name.
+        name: String,
+        /// Initialiser.
+        value: Expr,
+    },
+    /// `cache(key, value)` — stores `value` under `key` in the
+    /// translation cache (Fig. 9).
+    Cache {
+        /// Key expression (converted to text).
+        key: Expr,
+        /// Value expression.
+        value: Expr,
+    },
+    /// `sethost(url)` — rebinds the service endpoint (Fig. 9's
+    /// `SetHost(https://picasaweb.google.com)`).
+    SetHost {
+        /// The endpoint expression.
+        url: Expr,
+    },
+    /// `append(target, value)` — pushes onto an array field.
+    Append {
+        /// Array target.
+        target: LValue,
+        /// Element expression.
+        value: Expr,
+    },
+    /// `foreach var in expr { body }`.
+    ForEach {
+        /// Loop variable bound to each element.
+        var: String,
+        /// Array expression.
+        iterable: Expr,
+        /// Loop body.
+        body: Vec<Statement>,
+    },
+}
+
+/// A parsed MTL program: a sequence of statements executed in order at a
+/// γ-transition / no-action state.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MtlProgram {
+    /// Top-level statements, in order.
+    pub statements: Vec<Statement>,
+}
+
+impl MtlProgram {
+    /// Parses MTL program text.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::MtlLangError::Syntax`] on malformed input.
+    pub fn parse(text: &str) -> Result<MtlProgram> {
+        parser::parse(text)
+    }
+
+    /// An empty program (identity translation).
+    pub fn empty() -> MtlProgram {
+        MtlProgram::default()
+    }
+
+    /// Whether the program contains no statements.
+    pub fn is_empty(&self) -> bool {
+        self.statements.is_empty()
+    }
+
+    /// Applies `f` to every reference (lvalues and ref-expressions) in the
+    /// program — the hook the binding step uses to rewrite application
+    /// field paths into protocol field paths (Fig. 8's translation from
+    /// `S22.Msg → X` to `S22.SOAPRqst → X`).
+    pub fn rewrite_refs<F>(&mut self, mut f: F)
+    where
+        F: FnMut(&mut String, &mut Option<FieldPath>),
+    {
+        fn walk_expr<F: FnMut(&mut String, &mut Option<FieldPath>)>(e: &mut Expr, f: &mut F) {
+            match e {
+                Expr::Ref { slot, path } => f(slot, path),
+                Expr::Call { args, .. } => {
+                    for a in args {
+                        walk_expr(a, f);
+                    }
+                }
+                _ => {}
+            }
+        }
+        fn walk_stmt<F: FnMut(&mut String, &mut Option<FieldPath>)>(s: &mut Statement, f: &mut F) {
+            match s {
+                Statement::Assign { target, value } => {
+                    let mut p = target.path.take();
+                    f(&mut target.slot, &mut p);
+                    target.path = p;
+                    walk_expr(value, f);
+                }
+                Statement::Let { value, .. } => walk_expr(value, f),
+                Statement::Cache { key, value } => {
+                    walk_expr(key, f);
+                    walk_expr(value, f);
+                }
+                Statement::SetHost { url } => walk_expr(url, f),
+                Statement::Append { target, value } => {
+                    let mut p = target.path.take();
+                    f(&mut target.slot, &mut p);
+                    target.path = p;
+                    walk_expr(value, f);
+                }
+                Statement::ForEach { iterable, body, .. } => {
+                    walk_expr(iterable, f);
+                    for s in body {
+                        walk_stmt(s, f);
+                    }
+                }
+            }
+        }
+        for s in &mut self.statements {
+            walk_stmt(s, &mut f);
+        }
+    }
+}
+
+impl fmt::Display for MtlProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn write_stmt(
+            s: &Statement,
+            f: &mut fmt::Formatter<'_>,
+            indent: usize,
+        ) -> fmt::Result {
+            let pad = "  ".repeat(indent);
+            match s {
+                Statement::Assign { target, value } => writeln!(f, "{pad}{target} = {value}"),
+                Statement::Let { name, value } => writeln!(f, "{pad}let {name} = {value}"),
+                Statement::Cache { key, value } => writeln!(f, "{pad}cache({key}, {value})"),
+                Statement::SetHost { url } => writeln!(f, "{pad}sethost({url})"),
+                Statement::Append { target, value } => {
+                    writeln!(f, "{pad}append({target}, {value})")
+                }
+                Statement::ForEach { var, iterable, body } => {
+                    writeln!(f, "{pad}foreach {var} in {iterable} {{")?;
+                    for s in body {
+                        write_stmt(s, f, indent + 1)?;
+                    }
+                    writeln!(f, "{pad}}}")
+                }
+            }
+        }
+        for s in &self.statements {
+            write_stmt(s, f, 0)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        let src = "\
+m2.q = m1.text
+let p = newstruct()
+cache(p.id, m1)
+sethost(\"https://picasaweb.google.com\")
+foreach e in m5.entries {
+  append(m6.photos, e)
+}
+";
+        let prog = MtlProgram::parse(src).unwrap();
+        let printed = prog.to_string();
+        let again = MtlProgram::parse(&printed).unwrap();
+        assert_eq!(prog, again);
+    }
+
+    #[test]
+    fn rewrite_refs_visits_everything() {
+        let src = "m2.q = concat(m1.text, \"!\")\nforeach e in m5.list { append(m2.out, e.id) }";
+        let mut prog = MtlProgram::parse(src).unwrap();
+        let mut seen = Vec::new();
+        prog.rewrite_refs(|slot, _path| {
+            seen.push(slot.clone());
+            if slot == "m1" {
+                *slot = "S21".to_owned();
+            }
+        });
+        assert!(seen.contains(&"m1".to_owned()));
+        assert!(seen.contains(&"m2".to_owned()));
+        assert!(seen.contains(&"e".to_owned()));
+        assert!(prog.to_string().contains("S21.text"));
+    }
+}

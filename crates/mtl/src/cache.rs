@@ -1,0 +1,83 @@
+use starlink_message::Value;
+use std::collections::HashMap;
+
+/// The translation cache of paper Fig. 9/10.
+///
+/// "The MTL provides a keyword operation `cache` that caches data values
+/// for arbitrary data identifiers" — the Flickr-Picasa mediator stores
+/// each Picasa `<entry>` under a generated dummy photo id at search time
+/// and retrieves it with `getcache` when the client later calls
+/// `getInfo`. The cache also hosts the deterministic id generator behind
+/// the `genid()` builtin.
+#[derive(Debug, Clone, Default)]
+pub struct TranslationCache {
+    entries: HashMap<String, Value>,
+    next_id: u64,
+}
+
+impl TranslationCache {
+    /// Creates an empty cache.
+    pub fn new() -> TranslationCache {
+        TranslationCache::default()
+    }
+
+    /// Stores `value` under `key`, replacing any previous entry.
+    pub fn put(&mut self, key: impl Into<String>, value: Value) {
+        self.entries.insert(key.into(), value);
+    }
+
+    /// Looks up a value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.get(key)
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Produces the next dummy identifier (`genid()`): `"1000"`,
+    /// `"1001"`, … — shaped like Flickr photo ids.
+    pub fn generate_id(&mut self) -> String {
+        let id = 1000 + self.next_id;
+        self.next_id += 1;
+        id.to_string()
+    }
+
+    /// Drops all entries and resets the id generator (new mediation
+    /// session).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.next_id = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_overwrite() {
+        let mut c = TranslationCache::new();
+        assert!(c.is_empty());
+        c.put("k", Value::Int(1));
+        c.put("k", Value::Int(2));
+        assert_eq!(c.get("k"), Some(&Value::Int(2)));
+        assert_eq!(c.len(), 1);
+        assert!(c.get("missing").is_none());
+    }
+
+    #[test]
+    fn generated_ids_unique_and_deterministic() {
+        let mut c = TranslationCache::new();
+        assert_eq!(c.generate_id(), "1000");
+        assert_eq!(c.generate_id(), "1001");
+        c.clear();
+        assert_eq!(c.generate_id(), "1000");
+    }
+}

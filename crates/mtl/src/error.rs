@@ -1,0 +1,90 @@
+use std::fmt;
+
+/// Errors produced when parsing or executing MTL programs.
+///
+/// Named `MtlLangError` to avoid colliding with `starlink_mdl::MdlError`
+/// in crates importing both.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MtlLangError {
+    /// The program text is syntactically malformed.
+    Syntax {
+        /// Description of the problem.
+        message: String,
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A reference's first identifier is neither an output slot, a local
+    /// variable, nor a state with recorded history.
+    UnknownReference {
+        /// The identifier.
+        name: String,
+    },
+    /// A field path did not resolve inside the referenced message/value.
+    PathResolution {
+        /// The full reference text.
+        reference: String,
+        /// Underlying message-crate error text.
+        cause: String,
+    },
+    /// An unknown builtin function was called.
+    UnknownFunction {
+        /// The function name.
+        name: String,
+    },
+    /// A builtin was called with the wrong number or type of arguments.
+    BadArguments {
+        /// The function name.
+        function: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// `getcache` missed: no entry under the key.
+    CacheMiss {
+        /// The key that was looked up.
+        key: String,
+    },
+    /// Assignment target cannot be written (e.g. unknown slot).
+    BadAssignment {
+        /// The left-hand side text.
+        target: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// `foreach` iterated over a non-array value.
+    NotIterable {
+        /// Description of the value found.
+        found: String,
+    },
+}
+
+impl fmt::Display for MtlLangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MtlLangError::Syntax { message, line } => {
+                write!(f, "mtl syntax error on line {line}: {message}")
+            }
+            MtlLangError::UnknownReference { name } => {
+                write!(f, "`{name}` is not an output slot, local, or history state")
+            }
+            MtlLangError::PathResolution { reference, cause } => {
+                write!(f, "cannot resolve `{reference}`: {cause}")
+            }
+            MtlLangError::UnknownFunction { name } => {
+                write!(f, "unknown mtl function `{name}`")
+            }
+            MtlLangError::BadArguments { function, message } => {
+                write!(f, "bad arguments to `{function}`: {message}")
+            }
+            MtlLangError::CacheMiss { key } => write!(f, "cache miss for key `{key}`"),
+            MtlLangError::BadAssignment { target, message } => {
+                write!(f, "cannot assign `{target}`: {message}")
+            }
+            MtlLangError::NotIterable { found } => {
+                write!(f, "foreach needs an array, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MtlLangError {}

@@ -1,0 +1,75 @@
+//! MTL — the Message Translation Logic of the Starlink framework.
+//!
+//! "When several protocols need to interoperate it is necessary to […]
+//! describe the message translation logic (MTL), which defines how to
+//! translate messages from one protocol to another. […] One key operator
+//! of the MTL language is the assignment operation" (paper §4.1). MTL
+//! programs run at the bi-colored (no-action) states of a merged
+//! k-colored automaton and "typically consist of field transformation
+//! where a field in the message to be composed is assigned a value from a
+//! received field".
+//!
+//! The concrete syntax reproduces the paper's state-qualified assignments
+//! (`S22.Msg → X = S21.Msg → X` is written `S22.X = S21.X`) and the
+//! `cache`/`getcache` keywords of Fig. 9/10, and adds the `foreach` loop
+//! the figures use informally ("For all `<entry>` …"):
+//!
+//! ```text
+//! # Fig. 9: Flickr search → Picasa search
+//! m3.q = m1.text
+//! m3.max-results = m1.per_page
+//! sethost("https://picasaweb.google.com")
+//!
+//! # Fig. 9, response: cache Picasa entries behind Flickr dummy ids
+//! foreach e in m5.entries {
+//!   let p = newstruct()
+//!   p.id = genid()
+//!   cache(p.id, e)
+//!   append(m6.photos, p)
+//! }
+//! ```
+//!
+//! Statements: assignment, `let`, `cache(k, v)`, `sethost(url)`,
+//! `append(target, value)`, `foreach v in expr { … }`. Expressions:
+//! string/integer/boolean/null literals, state- or local-qualified field
+//! paths, and the builtins `concat`, `tostring`, `toint`, `getcache`,
+//! `newstruct`, `genid`, `count`, `item`, `default`.
+//!
+//! # Example
+//!
+//! ```
+//! use starlink_mtl::{MtlProgram, MtlContext, TranslationCache};
+//! use starlink_message::{AbstractMessage, Direction, History, Value};
+//!
+//! let program = MtlProgram::parse("m2.q = m1.text")?;
+//!
+//! let mut history = History::new();
+//! let mut req = AbstractMessage::new("flickr.photos.search");
+//! req.set_field("text", Value::from("tree"));
+//! history.record("m1", Direction::Received, req);
+//!
+//! let mut cache = TranslationCache::new();
+//! let mut ctx = MtlContext::new(&history, &mut cache);
+//! ctx.add_output("m2", AbstractMessage::new("picasa.photos.search"));
+//! program.execute(&mut ctx)?;
+//!
+//! assert_eq!(ctx.output("m2").unwrap().get("q").unwrap().as_str(), Some("tree"));
+//! # Ok::<(), starlink_mtl::MtlLangError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod cache;
+mod error;
+mod interp;
+mod parser;
+
+pub use ast::{Expr, LValue, MtlProgram, Statement};
+pub use cache::TranslationCache;
+pub use error::MtlLangError;
+pub use interp::MtlContext;
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, MtlLangError>;

@@ -1,0 +1,560 @@
+use crate::ast::{Expr, LValue, MtlProgram, Statement};
+use crate::error::MtlLangError;
+use crate::Result;
+use starlink_message::{FieldPath, PathSegment};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Dot,
+    Eq,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Newline,
+}
+
+struct Lexer<'a> {
+    text: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '-' | ':' | '*')
+}
+
+impl<'a> Lexer<'a> {
+    fn new(text: &'a str) -> Lexer<'a> {
+        Lexer { text, pos: 0, line: 1 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> MtlLangError {
+        MtlLangError::Syntax {
+            message: message.into(),
+            line: self.line,
+        }
+    }
+
+    fn tokens(mut self) -> Result<Vec<(Token, usize)>> {
+        let mut out = Vec::new();
+        let bytes = self.text.as_bytes();
+        while self.pos < bytes.len() {
+            let c = self.text[self.pos..].chars().next().expect("pos < len");
+            match c {
+                '\n' => {
+                    out.push((Token::Newline, self.line));
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                ';' => {
+                    out.push((Token::Newline, self.line));
+                    self.pos += 1;
+                }
+                '#' => {
+                    // Comment to end of line.
+                    while self.pos < bytes.len() && bytes[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                c if c.is_whitespace() => self.pos += c.len_utf8(),
+                '.' => {
+                    out.push((Token::Dot, self.line));
+                    self.pos += 1;
+                }
+                '=' => {
+                    out.push((Token::Eq, self.line));
+                    self.pos += 1;
+                }
+                '(' => {
+                    out.push((Token::LParen, self.line));
+                    self.pos += 1;
+                }
+                ')' => {
+                    out.push((Token::RParen, self.line));
+                    self.pos += 1;
+                }
+                '{' => {
+                    out.push((Token::LBrace, self.line));
+                    self.pos += 1;
+                }
+                '}' => {
+                    out.push((Token::RBrace, self.line));
+                    self.pos += 1;
+                }
+                '[' => {
+                    out.push((Token::LBracket, self.line));
+                    self.pos += 1;
+                }
+                ']' => {
+                    out.push((Token::RBracket, self.line));
+                    self.pos += 1;
+                }
+                ',' => {
+                    out.push((Token::Comma, self.line));
+                    self.pos += 1;
+                }
+                '"' => {
+                    self.pos += 1;
+                    let mut s = String::new();
+                    loop {
+                        let rest = &self.text[self.pos..];
+                        let mut chars = rest.chars();
+                        match chars.next() {
+                            None => return Err(self.error("unterminated string literal")),
+                            Some('"') => {
+                                self.pos += 1;
+                                break;
+                            }
+                            Some('\\') => {
+                                let esc = chars
+                                    .next()
+                                    .ok_or_else(|| self.error("dangling escape"))?;
+                                s.push(match esc {
+                                    'n' => '\n',
+                                    't' => '\t',
+                                    '"' => '"',
+                                    '\\' => '\\',
+                                    other => {
+                                        return Err(self
+                                            .error(format!("unknown escape `\\{other}`")))
+                                    }
+                                });
+                                self.pos += 1 + esc.len_utf8();
+                            }
+                            Some('\n') => return Err(self.error("newline in string literal")),
+                            Some(other) => {
+                                s.push(other);
+                                self.pos += other.len_utf8();
+                            }
+                        }
+                    }
+                    out.push((Token::Str(s), self.line));
+                }
+                c if c.is_ascii_digit() || is_ident_char(c) => {
+                    // One char-correct scan covers identifiers, integer
+                    // literals, and negative literals (`-` is an ident
+                    // char because field names like `max-results` use it;
+                    // a token that parses as i64 becomes an Int).
+                    let start = self.pos;
+                    while let Some(ch) = self.text[self.pos..].chars().next() {
+                        if is_ident_char(ch) || ch.is_ascii_digit() {
+                            self.pos += ch.len_utf8();
+                        } else {
+                            break;
+                        }
+                    }
+                    let token_text = &self.text[start..self.pos];
+                    let all_digits_or_sign = {
+                        let t = token_text.strip_prefix('-').unwrap_or(token_text);
+                        !t.is_empty() && t.bytes().all(|b| b.is_ascii_digit())
+                    };
+                    if all_digits_or_sign {
+                        let n: i64 = token_text
+                            .parse()
+                            .map_err(|_| self.error("integer literal out of range"))?;
+                        out.push((Token::Int(n), self.line));
+                    } else {
+                        out.push((Token::Ident(token_text.to_owned()), self.line));
+                    }
+                }
+                other => return Err(self.error(format!("unexpected character `{other}`"))),
+            }
+        }
+        Ok(out)
+    }
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|(_, l)| *l)
+            .unwrap_or(1)
+    }
+
+    fn error(&self, message: impl Into<String>) -> MtlLangError {
+        MtlLangError::Syntax {
+            message: message.into(),
+            line: self.line(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, token: &Token, what: &str) -> Result<()> {
+        match self.next() {
+            Some(t) if &t == token => Ok(()),
+            Some(t) => Err(self.error(format!("expected {what}, found {t:?}"))),
+            None => Err(self.error(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while matches!(self.peek(), Some(Token::Newline)) {
+            self.pos += 1;
+        }
+    }
+
+    fn statements(&mut self, until_brace: bool) -> Result<Vec<Statement>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_newlines();
+            match self.peek() {
+                None => {
+                    if until_brace {
+                        return Err(self.error("missing closing `}`"));
+                    }
+                    return Ok(out);
+                }
+                Some(Token::RBrace) if until_brace => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(Token::RBrace) => return Err(self.error("unmatched `}`")),
+                _ => out.push(self.statement()?),
+            }
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        let name = match self.next() {
+            Some(Token::Ident(n)) => n,
+            other => return Err(self.error(format!("expected a statement, found {other:?}"))),
+        };
+        match name.as_str() {
+            "let" => {
+                let var = match self.next() {
+                    Some(Token::Ident(v)) => v,
+                    other => {
+                        return Err(self.error(format!("expected variable name, found {other:?}")))
+                    }
+                };
+                self.expect(&Token::Eq, "`=`")?;
+                let value = self.expr()?;
+                Ok(Statement::Let { name: var, value })
+            }
+            "cache" => {
+                self.expect(&Token::LParen, "`(`")?;
+                let key = self.expr()?;
+                self.expect(&Token::Comma, "`,`")?;
+                let value = self.expr()?;
+                self.expect(&Token::RParen, "`)`")?;
+                Ok(Statement::Cache { key, value })
+            }
+            "sethost" | "SetHost" => {
+                self.expect(&Token::LParen, "`(`")?;
+                let url = self.expr()?;
+                self.expect(&Token::RParen, "`)`")?;
+                Ok(Statement::SetHost { url })
+            }
+            "append" => {
+                self.expect(&Token::LParen, "`(`")?;
+                let target = self.lvalue()?;
+                self.expect(&Token::Comma, "`,`")?;
+                let value = self.expr()?;
+                self.expect(&Token::RParen, "`)`")?;
+                Ok(Statement::Append { target, value })
+            }
+            "foreach" => {
+                let var = match self.next() {
+                    Some(Token::Ident(v)) => v,
+                    other => {
+                        return Err(self.error(format!("expected loop variable, found {other:?}")))
+                    }
+                };
+                match self.next() {
+                    Some(Token::Ident(kw)) if kw == "in" => {}
+                    other => return Err(self.error(format!("expected `in`, found {other:?}"))),
+                }
+                let iterable = self.expr()?;
+                self.expect(&Token::LBrace, "`{`")?;
+                let body = self.statements(true)?;
+                Ok(Statement::ForEach {
+                    var,
+                    iterable,
+                    body,
+                })
+            }
+            _ => {
+                // Assignment: `<ref> = expr`.
+                let target = self.lvalue_from(name)?;
+                self.expect(&Token::Eq, "`=`")?;
+                let value = self.expr()?;
+                Ok(Statement::Assign { target, value })
+            }
+        }
+    }
+
+    fn lvalue(&mut self) -> Result<LValue> {
+        let name = match self.next() {
+            Some(Token::Ident(n)) => n,
+            other => return Err(self.error(format!("expected an lvalue, found {other:?}"))),
+        };
+        self.lvalue_from(name)
+    }
+
+    fn lvalue_from(&mut self, slot: String) -> Result<LValue> {
+        let path = self.path_tail()?;
+        Ok(LValue { slot, path })
+    }
+
+    /// Parses `('.' ident | '[' int ']')*` into an optional FieldPath.
+    fn path_tail(&mut self) -> Result<Option<FieldPath>> {
+        let mut segments: Vec<PathSegment> = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::Dot) => {
+                    self.pos += 1;
+                    match self.next() {
+                        Some(Token::Ident(seg)) => segments.push(PathSegment::Name(seg)),
+                        Some(Token::Int(n)) => segments.push(PathSegment::Name(n.to_string())),
+                        other => {
+                            return Err(
+                                self.error(format!("expected path segment, found {other:?}"))
+                            )
+                        }
+                    }
+                }
+                Some(Token::LBracket) => {
+                    self.pos += 1;
+                    let idx = match self.next() {
+                        Some(Token::Int(n)) if n >= 0 => n as usize,
+                        other => {
+                            return Err(self.error(format!("expected index, found {other:?}")))
+                        }
+                    };
+                    self.expect(&Token::RBracket, "`]`")?;
+                    segments.push(PathSegment::Index(idx));
+                }
+                _ => break,
+            }
+        }
+        Ok(FieldPath::from_segments(segments))
+    }
+
+    fn expr(&mut self) -> Result<Expr> {
+        match self.next() {
+            Some(Token::Str(s)) => Ok(Expr::Str(s)),
+            Some(Token::Int(n)) => Ok(Expr::Int(n)),
+            Some(Token::Ident(name)) => match name.as_str() {
+                "null" => Ok(Expr::Null),
+                "true" => Ok(Expr::Bool(true)),
+                "false" => Ok(Expr::Bool(false)),
+                _ => {
+                    if matches!(self.peek(), Some(Token::LParen)) {
+                        self.pos += 1;
+                        let mut args = Vec::new();
+                        if !matches!(self.peek(), Some(Token::RParen)) {
+                            loop {
+                                args.push(self.expr()?);
+                                match self.next() {
+                                    Some(Token::Comma) => continue,
+                                    Some(Token::RParen) => break,
+                                    other => {
+                                        return Err(self.error(format!(
+                                            "expected `,` or `)`, found {other:?}"
+                                        )))
+                                    }
+                                }
+                            }
+                        } else {
+                            self.pos += 1;
+                        }
+                        Ok(Expr::Call { name, args })
+                    } else {
+                        let path = self.path_tail()?;
+                        Ok(Expr::Ref { slot: name, path })
+                    }
+                }
+            },
+            other => Err(self.error(format!("expected an expression, found {other:?}"))),
+        }
+    }
+}
+
+pub(crate) fn parse(text: &str) -> Result<MtlProgram> {
+    let tokens = Lexer::new(text).tokens()?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let statements = parser.statements(false)?;
+    Ok(MtlProgram { statements })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_fig8_assignments() {
+        // `S22.SOAPRqst → X = S21.GIOPRqst → X` in our notation:
+        let p = parse("S22.X = S21.X\nS22.Y = S21.Y").unwrap();
+        assert_eq!(p.statements.len(), 2);
+        match &p.statements[0] {
+            Statement::Assign { target, value } => {
+                assert_eq!(target.slot, "S22");
+                assert_eq!(target.path.as_ref().unwrap().to_string(), "X");
+                assert_eq!(
+                    value,
+                    &Expr::Ref {
+                        slot: "S21".into(),
+                        path: Some("X".parse().unwrap())
+                    }
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_fig9_cache_and_sethost() {
+        let src = r#"
+sethost("https://picasaweb.google.com")
+foreach e in m5.Body.entries {
+  let p = newstruct()
+  p.id = genid()
+  cache(p.id, e)
+  append(m6.Params.photos, p)
+}
+"#;
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.statements.len(), 2);
+        match &prog.statements[1] {
+            Statement::ForEach { var, body, .. } => {
+                assert_eq!(var, "e");
+                assert_eq!(body.len(), 4);
+                assert!(matches!(body[3], Statement::Append { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_getcache_expression() {
+        let prog = parse("m8.photo = getcache(m8.photo_id)").unwrap();
+        match &prog.statements[0] {
+            Statement::Assign { value, .. } => match value {
+                Expr::Call { name, args } => {
+                    assert_eq!(name, "getcache");
+                    assert_eq!(args.len(), 1);
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dashes_in_field_names() {
+        let prog = parse("m3.max-results = m1.per_page").unwrap();
+        match &prog.statements[0] {
+            Statement::Assign { target, .. } => {
+                assert_eq!(target.path.as_ref().unwrap().to_string(), "max-results");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn indexed_paths() {
+        let prog = parse("out.first = m1.entries[0].id").unwrap();
+        match &prog.statements[0] {
+            Statement::Assign { value, .. } => match value {
+                Expr::Ref { path, .. } => {
+                    assert_eq!(path.as_ref().unwrap().to_string(), "entries[0].id")
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn string_escapes() {
+        let prog = parse(r#"x.a = "he said \"hi\"\n""#).unwrap();
+        match &prog.statements[0] {
+            Statement::Assign { value, .. } => {
+                assert_eq!(value, &Expr::Str("he said \"hi\"\n".into()))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn semicolons_separate_statements() {
+        let prog = parse("a.x = 1; a.y = 2").unwrap();
+        assert_eq!(prog.statements.len(), 2);
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let prog = parse("# header\na.x = 1 # trailing\n").unwrap();
+        assert_eq!(prog.statements.len(), 1);
+    }
+
+    #[test]
+    fn literals() {
+        let prog = parse("a.s = \"str\"\na.i = 42\na.t = true\na.f = false\na.n = null").unwrap();
+        let values: Vec<&Expr> = prog
+            .statements
+            .iter()
+            .map(|s| match s {
+                Statement::Assign { value, .. } => value,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(values[0], &Expr::Str("str".into()));
+        assert_eq!(values[1], &Expr::Int(42));
+        assert_eq!(values[2], &Expr::Bool(true));
+        assert_eq!(values[3], &Expr::Bool(false));
+        assert_eq!(values[4], &Expr::Null);
+    }
+
+    #[test]
+    fn error_reporting_with_lines() {
+        let cases: [(&str, usize); 8] = [
+            ("a.x = ", 1),
+            ("a.x 1", 1),
+            ("\n\nforeach x y {}", 3),
+            ("foreach e in xs {\n a.x = 1\n", 2),
+            ("a.b = \"unterminated", 1),
+            ("a.b = 99999999999999999999", 1),
+            ("cache(1)", 1),
+            ("}", 1),
+        ];
+        for (src, expect_line) in cases {
+            match parse(src) {
+                Err(MtlLangError::Syntax { line, .. }) => {
+                    assert!(line >= expect_line.saturating_sub(1), "src: {src}")
+                }
+                other => panic!("expected syntax error for {src:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_program_ok() {
+        assert!(parse("").unwrap().is_empty());
+        assert!(parse("\n# only comments\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for MTL: print∘parse is the identity on ASTs,
+//! and generated assignment programs execute correctly.
+
+use proptest::prelude::*;
+use starlink_message::{AbstractMessage, Direction, History, Value};
+use starlink_mtl::{MtlContext, MtlProgram, TranslationCache};
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_]{0,8}"
+}
+
+proptest! {
+    #[test]
+    fn print_parse_identity_for_assignments(
+        pairs in proptest::collection::vec((ident(), ident(), ident(), ident()), 1..8)
+    ) {
+        let mut text = String::new();
+        for (ts, tf, ss, sf) in &pairs {
+            text.push_str(&format!("{ts}.{tf} = {ss}.{sf}\n"));
+        }
+        let prog = MtlProgram::parse(&text).unwrap();
+        let printed = prog.to_string();
+        let again = MtlProgram::parse(&printed).unwrap();
+        prop_assert_eq!(prog, again);
+    }
+
+    #[test]
+    fn print_parse_identity_with_structures(
+        var in ident(),
+        list_state in ident(),
+        list_field in ident(),
+        key in "[a-zA-Z0-9 _.-]{0,12}",
+    ) {
+        let text = format!(
+            "sethost(\"https://h\")\nlet {var} = newstruct()\ncache(\"{key}\", {var})\nforeach e in {list_state}.{list_field} {{\n  append({var}.items, e)\n}}\n"
+        );
+        let prog = MtlProgram::parse(&text).unwrap();
+        let again = MtlProgram::parse(&prog.to_string()).unwrap();
+        prop_assert_eq!(prog, again);
+    }
+
+    #[test]
+    fn generated_assignments_copy_all_fields(
+        fields in proptest::collection::vec((ident(), any::<i64>()), 1..10)
+    ) {
+        // Deduplicate labels (upsert semantics would skew counts).
+        let mut seen = std::collections::HashSet::new();
+        let fields: Vec<_> = fields
+            .into_iter()
+            .filter(|(l, _)| seen.insert(l.clone()))
+            .collect();
+
+        let mut src = AbstractMessage::new("src");
+        let mut text = String::new();
+        for (label, v) in &fields {
+            src.set_field(label, Value::Int(*v));
+            text.push_str(&format!("out.{label} = s1.{label}\n"));
+        }
+        let mut history = History::new();
+        history.record("s1", Direction::Received, src);
+        let program = MtlProgram::parse(&text).unwrap();
+        let mut cache = TranslationCache::new();
+        let mut ctx = MtlContext::new(&history, &mut cache);
+        ctx.add_output("out", AbstractMessage::new("out"));
+        program.execute(&mut ctx).unwrap();
+        let out = ctx.take_output("out").unwrap();
+        for (label, v) in &fields {
+            prop_assert_eq!(out.get(label).unwrap().as_int(), Some(*v));
+        }
+    }
+
+    #[test]
+    fn cache_roundtrip_arbitrary_keys(key in "[a-zA-Z0-9 _.:-]{1,24}", v in any::<i64>()) {
+        let history = History::new();
+        let mut cache = TranslationCache::new();
+        {
+            let mut ctx = MtlContext::new(&history, &mut cache);
+            ctx.add_output("o", AbstractMessage::new("o"));
+            let program = MtlProgram::parse(&format!("cache(\"{key}\", {v})\no.x = getcache(\"{key}\")")).unwrap();
+            program.execute(&mut ctx).unwrap();
+            prop_assert_eq!(ctx.output("o").unwrap().get("x").unwrap().as_int(), Some(v));
+        }
+        prop_assert_eq!(cache.get(&key).unwrap().as_int(), Some(v));
+    }
+
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,96}") {
+        let _ = MtlProgram::parse(&s);
+    }
+
+    #[test]
+    fn foreach_visits_every_element(n in 0usize..20) {
+        let mut msg = AbstractMessage::new("m");
+        msg.set_field(
+            "xs",
+            Value::Array((0..n).map(|i| Value::Int(i as i64)).collect()),
+        );
+        let mut history = History::new();
+        history.record("s", Direction::Received, msg);
+        let program = MtlProgram::parse(
+            "o.out = newarray()\nforeach x in s.xs { append(o.out, x) }",
+        )
+        .unwrap();
+        let mut cache = TranslationCache::new();
+        let mut ctx = MtlContext::new(&history, &mut cache);
+        ctx.add_output("o", AbstractMessage::new("o"));
+        program.execute(&mut ctx).unwrap();
+        let out = ctx.take_output("o").unwrap();
+        prop_assert_eq!(out.get("out").unwrap().as_array().unwrap().len(), n);
+    }
+}

@@ -1,0 +1,69 @@
+use crate::{Endpoint, Result};
+use std::time::Duration;
+
+/// A bidirectional, message-oriented connection between two peers.
+///
+/// Connections carry whole protocol messages (framing already applied);
+/// the automata engine's receiving states block on [`Connection::receive`]
+/// and its sending states call [`Connection::send`].
+pub trait Connection: Send {
+    /// Sends one message.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::NetError::Closed`] if the peer is gone, or I/O errors.
+    fn send(&mut self, data: &[u8]) -> Result<()>;
+
+    /// Blocks until one message arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::NetError::Closed`] when the peer closes.
+    fn receive(&mut self) -> Result<Vec<u8>>;
+
+    /// Blocks up to `timeout` for a message.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::NetError::Timeout`] on expiry, [`crate::NetError::Closed`]
+    /// when the peer closes.
+    fn receive_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>>;
+
+    /// A printable description of the remote peer.
+    fn peer(&self) -> String;
+}
+
+/// A passive endpoint accepting connections.
+pub trait Listener: Send {
+    /// Blocks until a peer connects.
+    ///
+    /// # Errors
+    ///
+    /// Transport-specific accept failures.
+    fn accept(&self) -> Result<Box<dyn Connection>>;
+
+    /// The endpoint this listener is bound to (with the actual port for
+    /// `tcp://host:0` binds).
+    fn local_endpoint(&self) -> Endpoint;
+}
+
+/// A transport: a way of connecting and listening for a given endpoint
+/// scheme. Implementations: TCP, UDP, in-memory.
+pub trait Transport: Send + Sync {
+    /// The endpoint scheme this transport serves (`"tcp"`, …).
+    fn scheme(&self) -> &str;
+
+    /// Binds a listener.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures (address in use, …).
+    fn listen(&self, endpoint: &Endpoint) -> Result<Box<dyn Listener>>;
+
+    /// Connects to a peer.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures (refused, unreachable, nothing listening).
+    fn connect(&self, endpoint: &Endpoint) -> Result<Box<dyn Connection>>;
+}

@@ -1,0 +1,172 @@
+use crate::NetError;
+use std::fmt;
+use std::str::FromStr;
+
+/// A network endpoint: `scheme://host[:port][/path]`.
+///
+/// The scheme selects the transport (`tcp`, `udp`, `memory`); the
+/// host/port (or a bare name for `memory`) identify the peer. An optional
+/// path is carried for HTTP-style protocols whose requests embed it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Endpoint {
+    scheme: String,
+    host: String,
+    port: Option<u16>,
+    path: String,
+}
+
+impl Endpoint {
+    /// Builds an endpoint from parts.
+    pub fn new(scheme: impl Into<String>, host: impl Into<String>, port: Option<u16>) -> Endpoint {
+        Endpoint {
+            scheme: scheme.into(),
+            host: host.into(),
+            port,
+            path: String::new(),
+        }
+    }
+
+    /// A TCP endpoint.
+    pub fn tcp(host: impl Into<String>, port: u16) -> Endpoint {
+        Endpoint::new("tcp", host, Some(port))
+    }
+
+    /// An in-memory endpoint (name-addressed).
+    pub fn memory(name: impl Into<String>) -> Endpoint {
+        Endpoint::new("memory", name, None)
+    }
+
+    /// The transport scheme.
+    pub fn scheme(&self) -> &str {
+        &self.scheme
+    }
+
+    /// Host name, IP, or in-memory service name.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// Port, when meaningful for the transport.
+    pub fn port(&self) -> Option<u16> {
+        self.port
+    }
+
+    /// Optional request path (HTTP-style endpoints).
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Builder-style: sets the path component.
+    #[must_use]
+    pub fn with_path(mut self, path: impl Into<String>) -> Endpoint {
+        self.path = path.into();
+        self
+    }
+
+    /// `host:port` (or bare host) — the socket-address part.
+    pub fn authority(&self) -> String {
+        match self.port {
+            Some(p) => format!("{}:{p}", self.host),
+            None => self.host.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}://{}{}", self.scheme, self.authority(), self.path)
+    }
+}
+
+impl FromStr for Endpoint {
+    type Err = NetError;
+
+    fn from_str(s: &str) -> Result<Endpoint, NetError> {
+        let (scheme, rest) = s.split_once("://").ok_or_else(|| NetError::BadEndpoint {
+            text: s.to_owned(),
+            message: "missing `scheme://`".into(),
+        })?;
+        if scheme.is_empty() {
+            return Err(NetError::BadEndpoint {
+                text: s.to_owned(),
+                message: "empty scheme".into(),
+            });
+        }
+        let (authority, path) = match rest.find('/') {
+            Some(i) => (&rest[..i], rest[i..].to_owned()),
+            None => (rest, String::new()),
+        };
+        if authority.is_empty() {
+            return Err(NetError::BadEndpoint {
+                text: s.to_owned(),
+                message: "empty host".into(),
+            });
+        }
+        let (host, port) = match authority.rsplit_once(':') {
+            Some((h, p)) => {
+                let port: u16 = p.parse().map_err(|_| NetError::BadEndpoint {
+                    text: s.to_owned(),
+                    message: format!("bad port `{p}`"),
+                })?;
+                (h.to_owned(), Some(port))
+            }
+            None => (authority.to_owned(), None),
+        };
+        Ok(Endpoint {
+            scheme: scheme.to_owned(),
+            host,
+            port,
+            path,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_tcp_with_port_and_path() {
+        let e: Endpoint = "tcp://127.0.0.1:8080/data/feed".parse().unwrap();
+        assert_eq!(e.scheme(), "tcp");
+        assert_eq!(e.host(), "127.0.0.1");
+        assert_eq!(e.port(), Some(8080));
+        assert_eq!(e.path(), "/data/feed");
+        assert_eq!(e.to_string(), "tcp://127.0.0.1:8080/data/feed");
+    }
+
+    #[test]
+    fn parse_memory_name() {
+        let e: Endpoint = "memory://picasa-service".parse().unwrap();
+        assert_eq!(e.scheme(), "memory");
+        assert_eq!(e.host(), "picasa-service");
+        assert_eq!(e.port(), None);
+        assert_eq!(e.authority(), "picasa-service");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!("no-scheme".parse::<Endpoint>().is_err());
+        assert!("://x".parse::<Endpoint>().is_err());
+        assert!("tcp://".parse::<Endpoint>().is_err());
+        assert!("tcp://h:notaport".parse::<Endpoint>().is_err());
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Endpoint::tcp("h", 1).to_string(), "tcp://h:1");
+        assert_eq!(Endpoint::memory("svc").to_string(), "memory://svc");
+        assert_eq!(
+            Endpoint::memory("svc").with_path("/a").to_string(),
+            "memory://svc/a"
+        );
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for text in ["tcp://a:1", "memory://b", "udp://239.255.255.250:1900"] {
+            let e: Endpoint = text.parse().unwrap();
+            assert_eq!(e.to_string(), text);
+        }
+    }
+}

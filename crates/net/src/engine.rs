@@ -1,0 +1,127 @@
+use crate::connection::{Connection, Listener, Transport};
+use crate::endpoint::Endpoint;
+use crate::memory::MemoryTransport;
+use crate::tcp::TcpTransport;
+use crate::udp::UdpTransport;
+use crate::{NetError, Result};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The transport registry: dispatches connect/listen calls on the
+/// endpoint scheme, so a k-colored transition's
+/// `transport_protocol="tcp"` annotation picks the right service
+/// (paper §4.2). Configurable: new transports (ad-hoc routing à la
+/// MANETKit is the paper's example) register under their scheme.
+#[derive(Clone)]
+pub struct NetworkEngine {
+    transports: HashMap<String, Arc<dyn Transport>>,
+}
+
+impl NetworkEngine {
+    /// An engine with no transports (register your own).
+    pub fn new() -> NetworkEngine {
+        NetworkEngine {
+            transports: HashMap::new(),
+        }
+    }
+
+    /// An engine with the standard `tcp`, `udp` and `memory` transports.
+    pub fn with_defaults() -> NetworkEngine {
+        let mut engine = NetworkEngine::new();
+        engine.register(Arc::new(TcpTransport::new()));
+        engine.register(Arc::new(UdpTransport::new()));
+        engine.register(Arc::new(MemoryTransport::new()));
+        engine
+    }
+
+    /// Registers (or replaces) a transport under its scheme.
+    pub fn register(&mut self, transport: Arc<dyn Transport>) {
+        self.transports
+            .insert(transport.scheme().to_owned(), transport);
+    }
+
+    /// Registers a transport under an explicit scheme alias (e.g. an
+    /// HTTP-framed TCP transport as `http`).
+    pub fn register_as(&mut self, scheme: impl Into<String>, transport: Arc<dyn Transport>) {
+        self.transports.insert(scheme.into(), transport);
+    }
+
+    /// The registered schemes.
+    pub fn schemes(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.transports.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn transport(&self, scheme: &str) -> Result<&Arc<dyn Transport>> {
+        self.transports
+            .get(scheme)
+            .ok_or_else(|| NetError::UnknownScheme {
+                scheme: scheme.to_owned(),
+            })
+    }
+
+    /// Connects to an endpoint via the transport its scheme names.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownScheme`] or the transport's connect error.
+    pub fn connect(&self, endpoint: &Endpoint) -> Result<Box<dyn Connection>> {
+        self.transport(endpoint.scheme())?.connect(endpoint)
+    }
+
+    /// Binds a listener at an endpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownScheme`] or the transport's bind error.
+    pub fn listen(&self, endpoint: &Endpoint) -> Result<Box<dyn Listener>> {
+        self.transport(endpoint.scheme())?.listen(endpoint)
+    }
+}
+
+impl Default for NetworkEngine {
+    fn default() -> Self {
+        NetworkEngine::with_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_schemes_present() {
+        let e = NetworkEngine::with_defaults();
+        assert_eq!(e.schemes(), vec!["memory", "tcp", "udp"]);
+    }
+
+    #[test]
+    fn unknown_scheme_rejected() {
+        let e = NetworkEngine::with_defaults();
+        let ep: Endpoint = "carrier-pigeon://roof".parse().unwrap();
+        assert!(matches!(
+            e.connect(&ep),
+            Err(NetError::UnknownScheme { .. })
+        ));
+        assert!(matches!(e.listen(&ep), Err(NetError::UnknownScheme { .. })));
+    }
+
+    #[test]
+    fn dispatch_to_memory_transport() {
+        let e = NetworkEngine::with_defaults();
+        let ep = Endpoint::memory("svc");
+        let listener = e.listen(&ep).unwrap();
+        let mut client = e.connect(&ep).unwrap();
+        client.send(b"x").unwrap();
+        let mut server = listener.accept().unwrap();
+        assert_eq!(server.receive().unwrap(), b"x");
+    }
+
+    #[test]
+    fn register_alias() {
+        let mut e = NetworkEngine::new();
+        e.register_as("http", Arc::new(TcpTransport::new()));
+        assert_eq!(e.schemes(), vec!["http"]);
+    }
+}

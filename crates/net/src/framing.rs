@@ -1,0 +1,207 @@
+use crate::{NetError, Result};
+
+/// Cuts a byte stream into protocol messages, and wraps outgoing messages
+/// for the wire.
+///
+/// TCP delivers a stream; Starlink's automata engine consumes discrete
+/// messages. The default framing is a 4-byte big-endian length prefix;
+/// the HTTP protocol stack supplies header/`Content-Length` framing so
+/// that real, unprefixed HTTP flows over the same transport.
+pub trait Framing: Send + Sync {
+    /// Attempts to extract one complete frame from the front of `buf`.
+    ///
+    /// Returns `Ok(Some((consumed, frame)))` when a frame is complete,
+    /// `Ok(None)` when more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::FrameTooLarge`] or other framing violations.
+    fn extract(&self, buf: &[u8]) -> Result<Option<(usize, Vec<u8>)>>;
+
+    /// Wraps an outgoing message for the wire.
+    fn wrap(&self, frame: &[u8]) -> Vec<u8>;
+}
+
+/// 4-byte big-endian length-prefixed framing (the default).
+#[derive(Debug, Clone)]
+pub struct LengthPrefixFraming {
+    /// Maximum accepted frame size in bytes.
+    pub max_frame: usize,
+}
+
+impl Default for LengthPrefixFraming {
+    fn default() -> Self {
+        LengthPrefixFraming {
+            max_frame: 16 * 1024 * 1024,
+        }
+    }
+}
+
+impl Framing for LengthPrefixFraming {
+    fn extract(&self, buf: &[u8]) -> Result<Option<(usize, Vec<u8>)>> {
+        if buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        if len > self.max_frame {
+            return Err(NetError::FrameTooLarge {
+                size: len,
+                limit: self.max_frame,
+            });
+        }
+        if buf.len() < 4 + len {
+            return Ok(None);
+        }
+        Ok(Some((4 + len, buf[4..4 + len].to_vec())))
+    }
+
+    fn wrap(&self, frame: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + frame.len());
+        out.extend_from_slice(&(frame.len() as u32).to_be_bytes());
+        out.extend_from_slice(frame);
+        out
+    }
+}
+
+/// HTTP/1.1 message framing: head up to the blank line, body sized by
+/// `Content-Length` (defaulting to 0). Lives here rather than in the
+/// HTTP protocol crate so any transport can carry raw HTTP.
+#[derive(Debug, Clone)]
+pub struct HttpFraming {
+    /// Maximum accepted message size in bytes.
+    pub max_frame: usize,
+}
+
+impl Default for HttpFraming {
+    fn default() -> Self {
+        HttpFraming {
+            max_frame: 16 * 1024 * 1024,
+        }
+    }
+}
+
+impl Framing for HttpFraming {
+    fn extract(&self, buf: &[u8]) -> Result<Option<(usize, Vec<u8>)>> {
+        // Find end of head.
+        let head_end = match find_subslice(buf, b"\r\n\r\n") {
+            Some(i) => i + 4,
+            None => {
+                if buf.len() > self.max_frame {
+                    return Err(NetError::FrameTooLarge {
+                        size: buf.len(),
+                        limit: self.max_frame,
+                    });
+                }
+                return Ok(None);
+            }
+        };
+        let head = &buf[..head_end];
+        let mut content_length = 0usize;
+        for line in head.split(|b| *b == b'\n') {
+            let line = std::str::from_utf8(line).unwrap_or("");
+            if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().trim_end_matches('\r').parse().unwrap_or(0);
+                }
+            }
+        }
+        let total = head_end + content_length;
+        if total > self.max_frame {
+            return Err(NetError::FrameTooLarge {
+                size: total,
+                limit: self.max_frame,
+            });
+        }
+        if buf.len() < total {
+            return Ok(None);
+        }
+        Ok(Some((total, buf[..total].to_vec())))
+    }
+
+    fn wrap(&self, frame: &[u8]) -> Vec<u8> {
+        // HTTP messages are self-delimiting (Content-Length composed by
+        // the MDL text engine); pass through.
+        frame.to_vec()
+    }
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_prefix_roundtrip() {
+        let f = LengthPrefixFraming::default();
+        let wire = f.wrap(b"hello");
+        let (consumed, frame) = f.extract(&wire).unwrap().unwrap();
+        assert_eq!(consumed, wire.len());
+        assert_eq!(frame, b"hello");
+    }
+
+    #[test]
+    fn length_prefix_partial_needs_more() {
+        let f = LengthPrefixFraming::default();
+        let wire = f.wrap(b"hello");
+        assert!(f.extract(&wire[..2]).unwrap().is_none());
+        assert!(f.extract(&wire[..6]).unwrap().is_none());
+    }
+
+    #[test]
+    fn length_prefix_two_frames() {
+        let f = LengthPrefixFraming::default();
+        let mut wire = f.wrap(b"one");
+        wire.extend(f.wrap(b"two"));
+        let (c1, f1) = f.extract(&wire).unwrap().unwrap();
+        assert_eq!(f1, b"one");
+        let (_, f2) = f.extract(&wire[c1..]).unwrap().unwrap();
+        assert_eq!(f2, b"two");
+    }
+
+    #[test]
+    fn length_prefix_limit_enforced() {
+        let f = LengthPrefixFraming { max_frame: 4 };
+        let wire = LengthPrefixFraming::default().wrap(b"toolarge");
+        assert!(matches!(
+            f.extract(&wire),
+            Err(NetError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn http_framing_with_body() {
+        let f = HttpFraming::default();
+        let msg = b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let (consumed, frame) = f.extract(msg).unwrap().unwrap();
+        assert_eq!(consumed, msg.len());
+        assert_eq!(frame, msg);
+        // Partial body: not yet.
+        assert!(f.extract(&msg[..msg.len() - 1]).unwrap().is_none());
+    }
+
+    #[test]
+    fn http_framing_without_body() {
+        let f = HttpFraming::default();
+        let msg = b"GET /x HTTP/1.1\r\nHost: h\r\n\r\n";
+        let (consumed, _) = f.extract(msg).unwrap().unwrap();
+        assert_eq!(consumed, msg.len());
+    }
+
+    #[test]
+    fn http_framing_back_to_back() {
+        let f = HttpFraming::default();
+        let one = b"GET /a HTTP/1.1\r\n\r\n".to_vec();
+        let two = b"GET /b HTTP/1.1\r\n\r\n".to_vec();
+        let mut wire = one.clone();
+        wire.extend(&two);
+        let (c1, f1) = f.extract(&wire).unwrap().unwrap();
+        assert_eq!(f1, one);
+        let (_, f2) = f.extract(&wire[c1..]).unwrap().unwrap();
+        assert_eq!(f2, two);
+    }
+}

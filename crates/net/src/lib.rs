@@ -1,0 +1,149 @@
+//! The network engine of the Starlink framework.
+//!
+//! "The network engine sends and receives physical messages (i.e. data
+//! packets) to and from the network. […] The current implementation of
+//! the network engine provides traditional TCP and UDP services for
+//! infrastructure networks. However, the architecture is configurable"
+//! (paper §4.2). This crate reproduces that architecture:
+//!
+//! * a [`Transport`] trait with three implementations — [`TcpTransport`],
+//!   [`UdpTransport`] and the deterministic, fault-injectable
+//!   [`MemoryTransport`] used by tests and benchmarks,
+//! * pluggable message [`Framing`] so byte streams can be cut into
+//!   protocol messages (length-prefixed by default; the HTTP stack plugs
+//!   in header/Content-Length framing),
+//! * blocking [`Connection`]/[`Listener`] abstractions sized for the
+//!   synchronous RPC interactions the paper's protocols use,
+//! * a [`NetworkEngine`] registry dispatching on endpoint schemes
+//!   (`tcp://`, `udp://`, `memory://`), mirroring how k-colored
+//!   transitions name their transport,
+//! * simulated multicast groups on the in-memory transport (service
+//!   discovery experiments).
+//!
+//! # Example
+//!
+//! ```
+//! use starlink_net::{Endpoint, NetworkEngine};
+//!
+//! let engine = NetworkEngine::with_defaults();
+//! let ep: Endpoint = "memory://calc".parse()?;
+//! let listener = engine.listen(&ep)?;
+//!
+//! let mut client = engine.connect(&ep)?;
+//! client.send(b"ping")?;
+//!
+//! let mut server_side = listener.accept()?;
+//! assert_eq!(server_side.receive()?, b"ping");
+//! # Ok::<(), starlink_net::NetError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod connection;
+mod endpoint;
+mod engine;
+mod framing;
+mod memory;
+mod tcp;
+mod udp;
+
+pub use connection::{Connection, Listener, Transport};
+pub use endpoint::Endpoint;
+pub use engine::NetworkEngine;
+pub use framing::{Framing, HttpFraming, LengthPrefixFraming};
+pub use memory::{FaultPlan, MemoryTransport, MulticastGroup};
+pub use tcp::TcpTransport;
+pub use udp::UdpTransport;
+
+use std::fmt;
+
+/// Errors produced by the network engine.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NetError {
+    /// Endpoint string could not be parsed.
+    BadEndpoint {
+        /// The offending text.
+        text: String,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// No transport is registered for the endpoint's scheme.
+    UnknownScheme {
+        /// The scheme.
+        scheme: String,
+    },
+    /// The peer closed the connection.
+    Closed,
+    /// A receive timed out.
+    Timeout,
+    /// No service is listening at the endpoint (in-memory transport).
+    NotListening {
+        /// The endpoint text.
+        endpoint: String,
+    },
+    /// An endpoint is already bound (in-memory transport).
+    AlreadyBound {
+        /// The endpoint text.
+        endpoint: String,
+    },
+    /// A frame exceeded the configured size limit.
+    FrameTooLarge {
+        /// Declared/observed size.
+        size: usize,
+        /// The limit.
+        limit: usize,
+    },
+    /// Underlying OS-level I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::BadEndpoint { text, message } => {
+                write!(f, "bad endpoint `{text}`: {message}")
+            }
+            NetError::UnknownScheme { scheme } => {
+                write!(f, "no transport registered for scheme `{scheme}`")
+            }
+            NetError::Closed => write!(f, "connection closed by peer"),
+            NetError::Timeout => write!(f, "receive timed out"),
+            NetError::NotListening { endpoint } => {
+                write!(f, "nothing is listening at `{endpoint}`")
+            }
+            NetError::AlreadyBound { endpoint } => {
+                write!(f, "endpoint `{endpoint}` is already bound")
+            }
+            NetError::FrameTooLarge { size, limit } => {
+                write!(f, "frame of {size} bytes exceeds limit {limit}")
+            }
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => NetError::Timeout,
+            std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::BrokenPipe => NetError::Closed,
+            _ => NetError::Io(e),
+        }
+    }
+}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, NetError>;

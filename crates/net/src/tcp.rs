@@ -1,0 +1,213 @@
+use crate::connection::{Connection, Listener, Transport};
+use crate::endpoint::Endpoint;
+use crate::framing::{Framing, LengthPrefixFraming};
+use crate::{NetError, Result};
+use std::io::{Read, Write};
+use std::net::{TcpListener as StdListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// TCP transport with pluggable framing.
+///
+/// The default framing is the 4-byte length prefix; construct with
+/// [`TcpTransport::with_framing`] (e.g. HTTP framing) to carry
+/// self-delimiting protocols verbatim.
+pub struct TcpTransport {
+    framing: Arc<dyn Framing>,
+}
+
+impl Default for TcpTransport {
+    fn default() -> Self {
+        TcpTransport::new()
+    }
+}
+
+impl TcpTransport {
+    /// Length-prefix framed TCP.
+    pub fn new() -> TcpTransport {
+        TcpTransport {
+            framing: Arc::new(LengthPrefixFraming::default()),
+        }
+    }
+
+    /// TCP with custom framing.
+    pub fn with_framing(framing: Arc<dyn Framing>) -> TcpTransport {
+        TcpTransport { framing }
+    }
+}
+
+struct TcpConnection {
+    stream: TcpStream,
+    framing: Arc<dyn Framing>,
+    buffer: Vec<u8>,
+    peer: String,
+}
+
+impl TcpConnection {
+    fn new(stream: TcpStream, framing: Arc<dyn Framing>) -> TcpConnection {
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown>".to_owned());
+        TcpConnection {
+            stream,
+            framing,
+            buffer: Vec::new(),
+            peer,
+        }
+    }
+
+    fn read_frame(&mut self) -> Result<Vec<u8>> {
+        loop {
+            if let Some((consumed, frame)) = self.framing.extract(&self.buffer)? {
+                self.buffer.drain(..consumed);
+                return Ok(frame);
+            }
+            let mut chunk = [0u8; 8192];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(NetError::Closed);
+            }
+            self.buffer.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+impl Connection for TcpConnection {
+    fn send(&mut self, data: &[u8]) -> Result<()> {
+        let wire = self.framing.wrap(data);
+        self.stream.write_all(&wire)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    fn receive(&mut self) -> Result<Vec<u8>> {
+        self.stream.set_read_timeout(None)?;
+        self.read_frame()
+    }
+
+    fn receive_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>> {
+        self.stream.set_read_timeout(Some(timeout))?;
+        let r = self.read_frame();
+        let _ = self.stream.set_read_timeout(None);
+        r
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}
+
+struct TcpListenerWrapper {
+    listener: StdListener,
+    framing: Arc<dyn Framing>,
+    endpoint: Endpoint,
+}
+
+impl Listener for TcpListenerWrapper {
+    fn accept(&self) -> Result<Box<dyn Connection>> {
+        let (stream, _) = self.listener.accept()?;
+        stream.set_nodelay(true).ok();
+        Ok(Box::new(TcpConnection::new(stream, self.framing.clone())))
+    }
+
+    fn local_endpoint(&self) -> Endpoint {
+        self.endpoint.clone()
+    }
+}
+
+impl Transport for TcpTransport {
+    fn scheme(&self) -> &str {
+        "tcp"
+    }
+
+    fn listen(&self, endpoint: &Endpoint) -> Result<Box<dyn Listener>> {
+        let listener = StdListener::bind(endpoint.authority())?;
+        let actual = listener.local_addr()?;
+        Ok(Box::new(TcpListenerWrapper {
+            listener,
+            framing: self.framing.clone(),
+            endpoint: Endpoint::tcp(actual.ip().to_string(), actual.port()),
+        }))
+    }
+
+    fn connect(&self, endpoint: &Endpoint) -> Result<Box<dyn Connection>> {
+        let stream = TcpStream::connect(endpoint.authority())?;
+        stream.set_nodelay(true).ok();
+        Ok(Box::new(TcpConnection::new(stream, self.framing.clone())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framing::HttpFraming;
+
+    #[test]
+    fn loopback_roundtrip() {
+        let t = TcpTransport::new();
+        let listener = t.listen(&Endpoint::tcp("127.0.0.1", 0)).unwrap();
+        let ep = listener.local_endpoint();
+        let handle = std::thread::spawn(move || {
+            let mut server = listener.accept().unwrap();
+            let req = server.receive().unwrap();
+            server.send(&[req.as_slice(), b" world"].concat()).unwrap();
+        });
+        let mut client = t.connect(&ep).unwrap();
+        client.send(b"hello").unwrap();
+        assert_eq!(client.receive().unwrap(), b"hello world");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn http_framing_over_tcp() {
+        let t = TcpTransport::with_framing(Arc::new(HttpFraming::default()));
+        let listener = t.listen(&Endpoint::tcp("127.0.0.1", 0)).unwrap();
+        let ep = listener.local_endpoint();
+        let handle = std::thread::spawn(move || {
+            let mut server = listener.accept().unwrap();
+            let req = server.receive().unwrap();
+            assert!(req.starts_with(b"POST /x HTTP/1.1"));
+            server
+                .send(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok")
+                .unwrap();
+        });
+        let mut client = t.connect(&ep).unwrap();
+        client
+            .send(b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello")
+            .unwrap();
+        let resp = client.receive().unwrap();
+        assert!(resp.ends_with(b"ok"));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn timeout_reported() {
+        let t = TcpTransport::new();
+        let listener = t.listen(&Endpoint::tcp("127.0.0.1", 0)).unwrap();
+        let ep = listener.local_endpoint();
+        let mut client = t.connect(&ep).unwrap();
+        assert!(matches!(
+            client.receive_timeout(Duration::from_millis(20)),
+            Err(NetError::Timeout)
+        ));
+    }
+
+    #[test]
+    fn connect_refused() {
+        let t = TcpTransport::new();
+        // Port 1 is essentially never open.
+        assert!(t.connect(&Endpoint::tcp("127.0.0.1", 1)).is_err());
+    }
+
+    #[test]
+    fn peer_closed_detected() {
+        let t = TcpTransport::new();
+        let listener = t.listen(&Endpoint::tcp("127.0.0.1", 0)).unwrap();
+        let ep = listener.local_endpoint();
+        let mut client = t.connect(&ep).unwrap();
+        let server = listener.accept().unwrap();
+        drop(server);
+        assert!(matches!(client.receive(), Err(NetError::Closed)));
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests for message framing: frames survive arbitrary
+//! stream fragmentation and concatenation.
+
+use proptest::prelude::*;
+use starlink_net::{Framing, HttpFraming, LengthPrefixFraming};
+
+/// Extracts all frames from a buffer fed in arbitrary chunks, simulating
+/// TCP segmentation: bytes arrive `chunk_len` at a time.
+fn extract_chunked(framing: &dyn Framing, wire: &[u8], chunk_len: usize) -> Vec<Vec<u8>> {
+    let mut buffer: Vec<u8> = Vec::new();
+    let mut frames = Vec::new();
+    for chunk in wire.chunks(chunk_len.max(1)) {
+        buffer.extend_from_slice(chunk);
+        while let Some((consumed, frame)) = framing.extract(&buffer).unwrap() {
+            buffer.drain(..consumed);
+            frames.push(frame);
+        }
+    }
+    assert!(buffer.is_empty(), "no partial frame may remain");
+    frames
+}
+
+proptest! {
+    #[test]
+    fn length_prefix_survives_fragmentation(
+        frames in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..6),
+        chunk_len in 1usize..32,
+    ) {
+        let framing = LengthPrefixFraming::default();
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend(framing.wrap(f));
+        }
+        let extracted = extract_chunked(&framing, &wire, chunk_len);
+        prop_assert_eq!(extracted, frames);
+    }
+
+    #[test]
+    fn http_framing_survives_fragmentation(
+        bodies in proptest::collection::vec("[a-zA-Z0-9 ]{0,48}", 1..5),
+        chunk_len in 1usize..24,
+    ) {
+        let framing = HttpFraming::default();
+        let mut wire = Vec::new();
+        let mut expected = Vec::new();
+        for body in &bodies {
+            let msg = format!(
+                "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+                body.len(),
+                body
+            );
+            wire.extend_from_slice(msg.as_bytes());
+            expected.push(msg.into_bytes());
+        }
+        let extracted = extract_chunked(&framing, &wire, chunk_len);
+        prop_assert_eq!(extracted, expected);
+    }
+
+    #[test]
+    fn length_prefix_never_yields_bogus_frames(junk in proptest::collection::vec(any::<u8>(), 0..32)) {
+        // Arbitrary bytes either produce an error (frame-too-large) or
+        // wait for more input — never a frame larger than the buffer.
+        let framing = LengthPrefixFraming { max_frame: 1024 };
+        if let Ok(Some((consumed, frame))) = framing.extract(&junk) {
+            prop_assert!(consumed <= junk.len());
+            prop_assert_eq!(frame.len() + 4, consumed);
+        }
+    }
+}

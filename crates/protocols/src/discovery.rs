@@ -1,0 +1,441 @@
+//! Service-discovery protocols and their bridge.
+//!
+//! The paper positions Starlink as bridging "middleware protocols of
+//! similar types, such as service discovery and RPC" (§4, citing the
+//! ICDCS'11 companion, where SLP↔UPnP bridging was the flagship case).
+//! This module reproduces that flavor with two simplified protocols:
+//!
+//! * **SSDP-like** (UPnP simple service discovery): HTTP-shaped
+//!   `M-SEARCH` datagrams on a multicast group, unicast `200 OK`
+//!   responses with `ST`/`LOCATION` headers — a *text* MDL,
+//! * **SLP-like** (service location protocol): binary request/reply
+//!   datagrams against a directory agent — a *binary* MDL,
+//! * a [`DiscoveryBridge`]: answers SSDP searches by querying the SLP
+//!   directory, translating service-type vocabularies with the semantic
+//!   registry mechanism (a fixed type map here).
+//!
+//! Both protocols run over datagrams: the in-memory transport's
+//! simulated multicast (deterministic tests) with explicit `Reply-To`
+//! endpoints standing in for UDP source addresses.
+
+use starlink_mdl::{MdlCodec, MdlError, MessageCodec};
+use starlink_message::{AbstractMessage, Field, Value};
+use starlink_net::{Endpoint, MemoryTransport, NetworkEngine};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// SSDP-like message formats (text dialect, HTTP-shaped datagrams).
+pub const SSDP_MDL: &str = "\
+# SSDP-like discovery messages (text dialect)
+<Dialect:text>
+<Message:MSearch>
+<Request:Method Target Version>
+<Rule:Method=M-SEARCH>
+<Headers:Headers>
+<Body:Body>
+<End:Message>
+<Message:SearchResponse>
+<Status:Version Code Reason+>
+<Rule:Version^=HTTP/>
+<Headers:Headers>
+<Body:Body>
+<End:Message>";
+
+/// SLP-like message formats (binary dialect).
+pub const SLP_MDL: &str = "\
+# SLP-like directory agent messages (binary dialect)
+<Dialect:binary>
+<Message:SrvRqst>
+<Rule:Version=2>
+<Rule:Function=1>
+<Version:8>
+<Function:8>
+<TypeLength:32>
+<ServiceType:TypeLength:text>
+<End:Message>
+<Message:SrvRply>
+<Rule:Version=2>
+<Rule:Function=2>
+<Version:8>
+<Function:8>
+<ErrorCode:16>
+<Urls:eof:valueseq>
+<End:Message>";
+
+/// Compiles the SSDP codec.
+///
+/// # Errors
+///
+/// Never fails for the embedded spec.
+pub fn ssdp_codec() -> Result<MdlCodec, MdlError> {
+    MdlCodec::from_text(SSDP_MDL)
+}
+
+/// Compiles the SLP codec.
+///
+/// # Errors
+///
+/// Never fails for the embedded spec.
+pub fn slp_codec() -> Result<MdlCodec, MdlError> {
+    MdlCodec::from_text(SLP_MDL)
+}
+
+/// The multicast group SSDP searches travel on.
+pub const SSDP_GROUP: &str = "ssdp:239.255.255.250:1900";
+
+/// A simplified SLP directory agent: a service-type → URLs registry
+/// answering `SrvRqst` datagrams at a unicast endpoint.
+pub struct SlpDirectory {
+    endpoint: Endpoint,
+    stop: Arc<AtomicBool>,
+}
+
+impl SlpDirectory {
+    /// Deploys the directory at `endpoint` with a static registration
+    /// table.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn deploy(
+        net: &NetworkEngine,
+        endpoint: &Endpoint,
+        registrations: HashMap<String, Vec<String>>,
+    ) -> Result<SlpDirectory, starlink_net::NetError> {
+        let listener = net.listen(endpoint)?;
+        let local = listener.local_endpoint();
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = stop.clone();
+        let codec = slp_codec().expect("embedded spec is valid");
+        std::thread::spawn(move || {
+            while !accept_stop.load(Ordering::SeqCst) {
+                let mut conn = match listener.accept() {
+                    Ok(c) => c,
+                    Err(_) => return,
+                };
+                let wire = match conn.receive_timeout(Duration::from_secs(5)) {
+                    Ok(w) => w,
+                    Err(_) => continue,
+                };
+                let Ok(request) = codec.parse(&wire) else {
+                    continue;
+                };
+                if request.name() != "SrvRqst" {
+                    continue;
+                }
+                let service_type = request
+                    .get("ServiceType")
+                    .map(Value::to_text)
+                    .unwrap_or_default();
+                let urls: Vec<Value> = registrations
+                    .get(&service_type)
+                    .map(|v| v.iter().map(|u| Value::Str(u.clone())).collect())
+                    .unwrap_or_default();
+                let mut reply = AbstractMessage::new("SrvRply");
+                reply.set_field("Version", Value::UInt(2));
+                reply.set_field("ErrorCode", Value::UInt(0));
+                reply.set_field("Urls", Value::Array(urls));
+                if let Ok(wire) = codec.compose(&reply) {
+                    let _ = conn.send(&wire);
+                }
+            }
+        });
+        Ok(SlpDirectory {
+            endpoint: local,
+            stop,
+        })
+    }
+
+    /// The directory's endpoint.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Requests shutdown.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Drop for SlpDirectory {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Bridges SSDP searches to an SLP directory: the dual-protocol
+/// discovery mediator.
+pub struct DiscoveryBridge {
+    stop: Arc<AtomicBool>,
+}
+
+impl DiscoveryBridge {
+    /// Deploys the bridge: it joins the SSDP multicast group on
+    /// `transport` and answers searches by querying the SLP directory at
+    /// `slp_endpoint` via `net`. `type_map` translates SSDP search
+    /// targets (`urn:…:service:Printing:1`) to SLP service types
+    /// (`service:printer`).
+    pub fn deploy(
+        transport: &MemoryTransport,
+        net: NetworkEngine,
+        slp_endpoint: Endpoint,
+        type_map: HashMap<String, String>,
+    ) -> DiscoveryBridge {
+        let group = transport.join_multicast(SSDP_GROUP);
+        let stop = Arc::new(AtomicBool::new(false));
+        let run_stop = stop.clone();
+        let ssdp = ssdp_codec().expect("embedded spec is valid");
+        let slp = slp_codec().expect("embedded spec is valid");
+        std::thread::spawn(move || {
+            while !run_stop.load(Ordering::SeqCst) {
+                let datagram = match group.receive_timeout(Duration::from_millis(200)) {
+                    Ok(d) => d,
+                    Err(starlink_net::NetError::Timeout) => continue,
+                    Err(_) => return,
+                };
+                let Ok(search) = ssdp.parse(&datagram) else {
+                    continue;
+                };
+                if search.name() != "MSearch" {
+                    continue;
+                }
+                let headers = search
+                    .get("Headers")
+                    .and_then(Value::as_struct)
+                    .unwrap_or(&[])
+                    .to_vec();
+                let header = |name: &str| {
+                    headers
+                        .iter()
+                        .find(|f| f.label().eq_ignore_ascii_case(name))
+                        .map(|f| f.value().to_text())
+                };
+                let Some(st) = header("ST") else { continue };
+                let Some(reply_to) = header("Reply-To") else {
+                    continue;
+                };
+                // Vocabulary translation: SSDP search target → SLP type.
+                let Some(slp_type) = type_map.get(&st).cloned() else {
+                    continue; // not our service family: stay silent
+                };
+                // Query the SLP directory (γ: compose SrvRqst).
+                let mut rqst = AbstractMessage::new("SrvRqst");
+                rqst.set_field("Version", Value::UInt(2));
+                rqst.set_field("ServiceType", Value::Str(slp_type));
+                let urls: Vec<String> = (|| {
+                    let wire = slp.compose(&rqst).ok()?;
+                    let mut conn = net.connect(&slp_endpoint).ok()?;
+                    conn.send(&wire).ok()?;
+                    let reply_wire = conn.receive_timeout(Duration::from_secs(2)).ok()?;
+                    let reply = slp.parse(&reply_wire).ok()?;
+                    Some(
+                        reply
+                            .get("Urls")
+                            .and_then(Value::as_array)
+                            .unwrap_or(&[])
+                            .iter()
+                            .map(Value::to_text)
+                            .collect(),
+                    )
+                })()
+                .unwrap_or_default();
+                // Answer the searcher (γ: compose SearchResponse per URL).
+                let Ok(reply_ep) = reply_to.parse::<Endpoint>() else {
+                    continue;
+                };
+                let Ok(mut back) = net.connect(&reply_ep) else {
+                    continue;
+                };
+                for url in urls {
+                    let mut response = AbstractMessage::new("SearchResponse");
+                    response.set_field("Version", Value::from("HTTP/1.1"));
+                    response.set_field("Code", Value::from("200"));
+                    response.set_field("Reason", Value::from("OK"));
+                    response.set_field(
+                        "Headers",
+                        Value::Struct(vec![
+                            Field::new("ST", Value::Str(st.clone())),
+                            Field::new("LOCATION", Value::Str(url.clone())),
+                            Field::new("USN", Value::Str(format!("uuid:starlink::{st}"))),
+                        ]),
+                    );
+                    response.set_field("Body", Value::from(""));
+                    if let Ok(wire) = ssdp.compose(&response) {
+                        let _ = back.send(&wire);
+                    }
+                }
+            }
+        });
+        DiscoveryBridge { stop }
+    }
+
+    /// Requests shutdown.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Drop for DiscoveryBridge {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// An SSDP client: multicasts an `M-SEARCH` and collects responses
+/// arriving at its unicast reply endpoint until the timeout elapses.
+/// Responses are gathered by a background collector thread so a silent
+/// network (no responders) simply yields an empty result.
+pub struct SsdpClient {
+    transport: MemoryTransport,
+    reply_endpoint: Endpoint,
+    collected: Arc<parking_lot::Mutex<Vec<String>>>,
+}
+
+impl SsdpClient {
+    /// Creates a client; `reply_name` names its unicast reply endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures on the reply endpoint.
+    pub fn new(
+        transport: MemoryTransport,
+        net: NetworkEngine,
+        reply_name: &str,
+    ) -> Result<SsdpClient, starlink_net::NetError> {
+        let reply_endpoint = Endpoint::memory(reply_name);
+        let listener = net.listen(&reply_endpoint)?;
+        let collected: Arc<parking_lot::Mutex<Vec<String>>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let sink = collected.clone();
+        std::thread::spawn(move || {
+            let codec = ssdp_codec().expect("embedded spec is valid");
+            loop {
+                let Ok(mut conn) = listener.accept() else { return };
+                while let Ok(wire) = conn.receive_timeout(Duration::from_millis(200)) {
+                    let Ok(response) = codec.parse(&wire) else {
+                        continue;
+                    };
+                    if response.name() != "SearchResponse" {
+                        continue;
+                    }
+                    if let Some(headers) =
+                        response.get("Headers").and_then(Value::as_struct)
+                    {
+                        if let Some(loc) = headers
+                            .iter()
+                            .find(|f| f.label().eq_ignore_ascii_case("location"))
+                        {
+                            sink.lock().push(loc.value().to_text());
+                        }
+                    }
+                }
+            }
+        });
+        Ok(SsdpClient {
+            transport,
+            reply_endpoint,
+            collected,
+        })
+    }
+
+    /// Searches for `st`, returning the `LOCATION` URLs discovered
+    /// within `wait`.
+    ///
+    /// # Errors
+    ///
+    /// Codec failures (never for the embedded spec).
+    pub fn search(&self, st: &str, wait: Duration) -> Result<Vec<String>, MdlError> {
+        self.collected.lock().clear();
+        let codec = ssdp_codec()?;
+        let mut msearch = AbstractMessage::new("MSearch");
+        msearch.set_field("Method", Value::from("M-SEARCH"));
+        msearch.set_field("Target", Value::from("*"));
+        msearch.set_field("Version", Value::from("HTTP/1.1"));
+        msearch.set_field(
+            "Headers",
+            Value::Struct(vec![
+                Field::new("HOST", Value::from("239.255.255.250:1900")),
+                Field::new("MAN", Value::from("\"ssdp:discover\"")),
+                Field::new("ST", Value::Str(st.to_owned())),
+                Field::new("Reply-To", Value::Str(self.reply_endpoint.to_string())),
+            ]),
+        );
+        msearch.set_field("Body", Value::from(""));
+        let wire = codec.compose(&msearch)?;
+        self.transport.send_multicast(SSDP_GROUP, &wire);
+        std::thread::sleep(wait);
+        Ok(self.collected.lock().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ssdp_codec_roundtrip() {
+        let codec = ssdp_codec().unwrap();
+        let wire = b"M-SEARCH * HTTP/1.1\r\nHOST: 239.255.255.250:1900\r\nST: urn:svc:Printing:1\r\n\r\n";
+        let msg = codec.parse(wire).unwrap();
+        assert_eq!(msg.name(), "MSearch");
+        let headers = msg.get("Headers").unwrap().as_struct().unwrap();
+        assert!(headers.iter().any(|f| f.label() == "ST"));
+    }
+
+    #[test]
+    fn slp_codec_roundtrip() {
+        let codec = slp_codec().unwrap();
+        let mut rqst = AbstractMessage::new("SrvRqst");
+        rqst.set_field("Version", Value::UInt(2));
+        rqst.set_field("ServiceType", Value::Str("service:printer".into()));
+        let wire = codec.compose(&rqst).unwrap();
+        assert_eq!(wire[0], 2, "SLP version");
+        assert_eq!(wire[1], 1, "SrvRqst function id");
+        let back = codec.parse(&wire).unwrap();
+        assert_eq!(back.name(), "SrvRqst");
+        assert_eq!(
+            back.get("ServiceType").unwrap().as_str(),
+            Some("service:printer")
+        );
+    }
+
+    #[test]
+    fn slp_directory_answers_queries() {
+        let transport = MemoryTransport::new();
+        let mut net = NetworkEngine::new();
+        net.register(Arc::new(transport.clone()));
+        let directory = SlpDirectory::deploy(
+            &net,
+            &Endpoint::memory("slp-da"),
+            HashMap::from([(
+                "service:printer".to_owned(),
+                vec!["service:printer://printsrv:515".to_owned()],
+            )]),
+        )
+        .unwrap();
+        let codec = slp_codec().unwrap();
+        let mut rqst = AbstractMessage::new("SrvRqst");
+        rqst.set_field("Version", Value::UInt(2));
+        rqst.set_field("ServiceType", Value::Str("service:printer".into()));
+        let mut conn = net.connect(directory.endpoint()).unwrap();
+        conn.send(&codec.compose(&rqst).unwrap()).unwrap();
+        let reply = codec
+            .parse(&conn.receive_timeout(Duration::from_secs(2)).unwrap())
+            .unwrap();
+        assert_eq!(reply.name(), "SrvRply");
+        let urls = reply.get("Urls").unwrap().as_array().unwrap();
+        assert_eq!(urls.len(), 1);
+        // Unknown type → empty reply.
+        let mut rqst2 = AbstractMessage::new("SrvRqst");
+        rqst2.set_field("Version", Value::UInt(2));
+        rqst2.set_field("ServiceType", Value::Str("service:fax".into()));
+        let mut conn2 = net.connect(directory.endpoint()).unwrap();
+        conn2.send(&codec.compose(&rqst2).unwrap()).unwrap();
+        let reply2 = codec
+            .parse(&conn2.receive_timeout(Duration::from_secs(2)).unwrap())
+            .unwrap();
+        assert!(reply2.get("Urls").unwrap().as_array().unwrap().is_empty());
+    }
+}

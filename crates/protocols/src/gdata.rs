@@ -1,0 +1,243 @@
+//! The Picasa-style REST protocol: HTTP verbs + GData Atom feeds
+//! (paper Fig. 1: `GET PicasaBaseURL/all?q=tree&max-results=3`).
+//!
+//! Feed and entry documents are XML-dialect MDL messages layered over
+//! HTTP. Requests are plain HTTP (GET with query parameters) except
+//! `addComment`, which POSTs an `<entry>` document — the binding
+//! expresses that with per-action parameter rules and message-variant
+//! overrides.
+
+use crate::http::http_codec;
+use crate::layered::{http_request_defaults, http_response_defaults, LayerRoute, LayeredCodec};
+use starlink_core::{ActionRule, ParamRule, ProtocolBinding, ReplyAction, RestRoute};
+use starlink_mdl::{MdlCodec, MdlError};
+use starlink_message::{Field, Value};
+
+/// GData feed/entry MDL (xml dialect).
+///
+/// `GDataFeed` covers both photo feeds (entries with `content@src`) and
+/// comment feeds (entries with text content); the optional item rules
+/// extract whichever parts are present. `GDataEntry` is the POST body of
+/// `addComment`; `GDataEntryReply` its echo in the response.
+pub const GDATA_MDL: &str = "\
+# GData Atom feed subset (xml dialect)
+<Dialect:xml>
+<Message:GDataFeed>
+<Root:feed>
+<Text:Title?=title>
+<List:Entries=entry>
+<ItemText:Entries.id=id>
+<ItemText:Entries.title=title>
+<ItemAttr:Entries.url=content@src>
+<ItemText:Entries.content=content>
+<ItemText:Entries.author=author/name>
+<End:Message>
+<Message:GDataEntry>
+<Root:entry>
+<Text:id?=id>
+<Text:entry_id?=entry_id>
+<Text:content?=content>
+<Text:author?=author/name>
+<End:Message>
+<Message:GDataEntryReply>
+<Root:entry>
+<Text:id?=id>
+<Text:content?=content>
+<Text:author?=author/name>
+<End:Message>";
+
+/// Compiles the plain GData document codec (no HTTP layer).
+///
+/// # Errors
+///
+/// Never fails for the embedded spec.
+pub fn gdata_document_codec() -> Result<MdlCodec, MdlError> {
+    MdlCodec::from_text(GDATA_MDL)
+}
+
+/// Compiles the full REST codec: GData documents over HTTP against
+/// `host`.
+///
+/// # Errors
+///
+/// Never fails for the embedded specs.
+pub fn rest_codec(host: &str) -> Result<LayeredCodec, MdlError> {
+    let mut entry_defaults = http_request_defaults(host);
+    entry_defaults.push((
+        "Method".parse().expect("static path"),
+        Value::Str("POST".into()),
+    ));
+    entry_defaults.push((
+        "RequestURI".parse().expect("static path"),
+        Value::Str(COMMENTS_PATH.into()),
+    ));
+    Ok(LayeredCodec::new(
+        std::sync::Arc::new(http_codec()?),
+        std::sync::Arc::new(gdata_document_codec()?),
+        "Body",
+        vec![
+            LayerRoute {
+                inner: "GDataFeed".into(),
+                outer_message: "HTTPResponse".into(),
+                outer_defaults: http_response_defaults(),
+            },
+            LayerRoute {
+                inner: "GDataEntry".into(),
+                outer_message: "HTTPRequest".into(),
+                outer_defaults: entry_defaults,
+            },
+            LayerRoute {
+                inner: "GDataEntryReply".into(),
+                outer_message: "HTTPResponse".into(),
+                outer_defaults: http_response_defaults(),
+            },
+        ],
+    ))
+}
+
+/// Route paths of the simulated Picasa API (DESIGN.md §2: our service
+/// speaks the GData shapes of the paper's Fig. 1 at fixed paths).
+pub const SEARCH_PATH: &str = "/data/feed/api/all";
+/// Comment listing + posting path.
+pub const COMMENTS_PATH: &str = "/data/feed/api/comments";
+
+/// The standard REST binding for the Picasa-style API: actions route to
+/// method+path, query-string parameters for GETs, an `<entry>` body for
+/// `addComment`.
+pub fn rest_binding() -> ProtocolBinding {
+    let uri: starlink_message::FieldPath = "RequestURI".parse().expect("static path");
+    ProtocolBinding::new("REST", "REST.mdl", "HTTPRequest", "GDataFeed")
+        .with_request_action(ActionRule::Rest {
+            method_field: "Method".parse().expect("static path"),
+            uri_field: uri.clone(),
+            routes: vec![
+                RestRoute {
+                    action: "picasa.photos.search".into(),
+                    method: "GET".into(),
+                    path: SEARCH_PATH.into(),
+                },
+                RestRoute {
+                    action: "picasa.getComments".into(),
+                    method: "GET".into(),
+                    path: COMMENTS_PATH.into(),
+                },
+                RestRoute {
+                    action: "picasa.addComment".into(),
+                    method: "POST".into(),
+                    path: COMMENTS_PATH.into(),
+                },
+            ],
+        })
+        .with_reply_action(ReplyAction::Correlated)
+        .with_params(
+            ParamRule::PerAction {
+                rules: vec![(
+                    "picasa.addComment".into(),
+                    ParamRule::NamedFields(None),
+                )],
+                default: Box::new(ParamRule::Query { uri_field: uri }),
+            },
+            ParamRule::NamedFields(None),
+        )
+        .with_request_message_override("picasa.addComment", "GDataEntry")
+        .with_reply_message_override("picasa.addComment.reply", "GDataEntryReply")
+        .with_request_default(
+            "Version".parse().expect("static path"),
+            Value::Str("HTTP/1.1".into()),
+        )
+        .with_request_default(
+            "Headers".parse().expect("static path"),
+            Value::Struct(vec![Field::new(
+                "Host",
+                Value::Str("picasaweb.google.com".into()),
+            )]),
+        )
+        .with_request_default("Body".parse().expect("static path"), Value::Str(String::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starlink_mdl::MessageCodec;
+    use starlink_message::AbstractMessage;
+
+    #[test]
+    fn search_request_is_plain_get_with_query() {
+        let binding = rest_binding();
+        let codec = rest_codec("picasaweb.google.com").unwrap();
+        let mut app = AbstractMessage::new("picasa.photos.search");
+        app.set_field("q", Value::from("tree"));
+        app.set_field("max-results", Value::Int(3));
+        let proto = binding.bind_request(&app).unwrap();
+        let wire = codec.compose(&proto).unwrap();
+        let text = String::from_utf8(wire.clone()).unwrap();
+        // Fig. 1's `GET PicasaBaseURL/all?q=tree&max-results=3`.
+        assert!(text.starts_with("GET /data/feed/api/all?q=tree&max-results=3 HTTP/1.1"));
+        // The service-side unbind recovers the parameters.
+        let parsed = codec.parse(&wire).unwrap();
+        let back = binding.unbind_request(&parsed, |_| None).unwrap();
+        assert_eq!(back.name(), "picasa.photos.search");
+        assert_eq!(back.get("q").unwrap().as_str(), Some("tree"));
+    }
+
+    #[test]
+    fn feed_reply_roundtrip() {
+        let codec = rest_codec("h").unwrap();
+        let mut feed = AbstractMessage::new("GDataFeed");
+        feed.set_field("Title", Value::from("Search Results"));
+        feed.set_field(
+            "Entries",
+            Value::Array(vec![Value::Struct(vec![
+                Field::new("id", Value::from("gphoto-1")),
+                Field::new("title", Value::from("Tree")),
+                Field::new("url", Value::from("http://p/1.jpg")),
+            ])]),
+        );
+        let wire = codec.compose(&feed).unwrap();
+        let text = String::from_utf8(wire.clone()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK"));
+        assert!(text.contains("<feed>"));
+        assert!(text.contains("src=\"http://p/1.jpg\""));
+        let back = codec.parse(&wire).unwrap();
+        assert_eq!(back.name(), "GDataFeed");
+        let entries = back.get("Entries").unwrap().as_array().unwrap();
+        assert_eq!(entries.len(), 1);
+    }
+
+    #[test]
+    fn add_comment_posts_entry_body() {
+        let binding = rest_binding();
+        let codec = rest_codec("picasaweb.google.com").unwrap();
+        let mut app = AbstractMessage::new("picasa.addComment");
+        app.set_field("entry_id", Value::from("gphoto-1"));
+        app.set_field("content", Value::from("great shot"));
+        let proto = binding.bind_request(&app).unwrap();
+        assert_eq!(proto.name(), "GDataEntry");
+        let wire = codec.compose(&proto).unwrap();
+        let text = String::from_utf8(wire.clone()).unwrap();
+        // Fig. 1's `addComment(entry) [POST PhotoURL, <entry></entry>]`.
+        assert!(text.starts_with("POST /data/feed/api/comments HTTP/1.1"));
+        assert!(text.contains("<entry>"));
+        assert!(text.contains("<content>great shot</content>"));
+        let parsed = codec.parse(&wire).unwrap();
+        let back = binding.unbind_request(&parsed, |_| None).unwrap();
+        assert_eq!(back.name(), "picasa.addComment");
+        assert_eq!(back.get("content").unwrap().as_str(), Some("great shot"));
+    }
+
+    #[test]
+    fn comment_feed_entries_have_text_content() {
+        let codec = gdata_document_codec().unwrap();
+        let wire = b"<feed><entry><id>c1</id><content>nice</content><author><name>bob</name></author></entry></feed>";
+        let msg = codec.parse(wire).unwrap();
+        let entries = msg.get("Entries").unwrap().as_array().unwrap();
+        let fields = entries[0].as_struct().unwrap();
+        let content = fields
+            .iter()
+            .find(|f| f.label() == "content")
+            .unwrap();
+        assert_eq!(content.value().as_str(), Some("nice"));
+        let author = fields.iter().find(|f| f.label() == "author").unwrap();
+        assert_eq!(author.value().as_str(), Some("bob"));
+    }
+}

@@ -1,0 +1,75 @@
+//! HTTP/1.1 as a text-dialect MDL: the substrate under REST, SOAP and
+//! XML-RPC.
+
+use starlink_mdl::{MdlCodec, MdlError};
+use starlink_net::{HttpFraming, TcpTransport, Transport};
+use std::sync::Arc;
+
+/// The HTTP/1.1 MDL spec (text dialect): one request variant, one
+/// response variant.
+pub const HTTP_MDL: &str = "\
+# HTTP/1.1 message formats (text dialect)
+<Dialect:text>
+<Message:HTTPRequest>
+<Request:Method RequestURI Version>
+<Rule:Version^=HTTP/>
+<Headers:Headers>
+<Body:Body>
+<End:Message>
+<Message:HTTPResponse>
+<Status:Version Code Reason+>
+<Rule:Version^=HTTP/>
+<Headers:Headers>
+<Body:Body>
+<End:Message>";
+
+/// Compiles the HTTP codec.
+///
+/// # Errors
+///
+/// Never fails for the embedded spec; the `Result` guards against future
+/// spec edits.
+pub fn http_codec() -> Result<MdlCodec, MdlError> {
+    MdlCodec::from_text(HTTP_MDL)
+}
+
+/// A TCP transport cutting streams at HTTP message boundaries — register
+/// it under the `tcp` scheme (or an alias) when a color speaks raw HTTP.
+pub fn http_transport() -> Arc<dyn Transport> {
+    Arc::new(TcpTransport::with_framing(Arc::new(HttpFraming::default())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starlink_mdl::MessageCodec;
+    use starlink_message::{AbstractMessage, Value};
+
+    #[test]
+    fn request_roundtrip() {
+        let codec = http_codec().unwrap();
+        let mut msg = AbstractMessage::new("HTTPRequest");
+        msg.set_field("Method", Value::from("GET"));
+        msg.set_field("RequestURI", Value::from("/data/feed/api/all?q=tree"));
+        msg.set_field("Version", Value::from("HTTP/1.1"));
+        msg.set_field("Headers", Value::Struct(vec![]));
+        msg.set_field("Body", Value::from(""));
+        let wire = codec.compose(&msg).unwrap();
+        let back = codec.parse(&wire).unwrap();
+        assert_eq!(back.name(), "HTTPRequest");
+        assert_eq!(
+            back.get("RequestURI").unwrap().as_str(),
+            Some("/data/feed/api/all?q=tree")
+        );
+    }
+
+    #[test]
+    fn response_distinguished_from_request() {
+        let codec = http_codec().unwrap();
+        let wire = b"HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n";
+        let msg = codec.parse(wire).unwrap();
+        assert_eq!(msg.name(), "HTTPResponse");
+        assert_eq!(msg.get("Code").unwrap().as_str(), Some("404"));
+        assert_eq!(msg.get("Reason").unwrap().as_str(), Some("Not Found"));
+    }
+}

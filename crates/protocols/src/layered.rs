@@ -1,0 +1,270 @@
+use starlink_mdl::{MdlError, MessageCodec};
+use starlink_message::{AbstractMessage, Field, FieldPath, Value};
+use std::sync::Arc;
+
+/// How one inner message variant travels inside the outer protocol.
+#[derive(Debug, Clone)]
+pub struct LayerRoute {
+    /// Inner message variant name (`MethodCall`, `SOAPRequest`,
+    /// `GDataFeed`, …).
+    pub inner: String,
+    /// Outer message variant to wrap it in (`HTTPRequest`/`HTTPResponse`).
+    pub outer_message: String,
+    /// Outer fields set when absent (method, URI, version, headers,
+    /// status code…).
+    pub outer_defaults: Vec<(FieldPath, Value)>,
+}
+
+/// Composes an *outer* codec (HTTP) with an *inner* codec (an XML
+/// dialect) carried in one of the outer message's fields.
+///
+/// SOAP, XML-RPC and the GData feed are all "XML over HTTP": Starlink's
+/// architecture handles this by layering two MDL-driven codecs rather
+/// than writing protocol-specific parsers. On parse, the outer message is
+/// parsed first; if the designated body field holds a document the inner
+/// codec recognises, the result is the inner message *merged with* the
+/// outer fields (body removed). On compose, a message named after an
+/// inner variant is composed with the inner codec and wrapped using its
+/// [`LayerRoute`]; a message named after an outer variant passes through.
+#[derive(Clone)]
+pub struct LayeredCodec {
+    outer: Arc<dyn MessageCodec>,
+    inner: Arc<dyn MessageCodec>,
+    body_field: String,
+    routes: Vec<LayerRoute>,
+}
+
+impl LayeredCodec {
+    /// Creates a layered codec; `body_field` names the outer field
+    /// carrying the inner document (`"Body"` for HTTP).
+    pub fn new(
+        outer: Arc<dyn MessageCodec>,
+        inner: Arc<dyn MessageCodec>,
+        body_field: impl Into<String>,
+        routes: Vec<LayerRoute>,
+    ) -> LayeredCodec {
+        LayeredCodec {
+            outer,
+            inner,
+            body_field: body_field.into(),
+            routes,
+        }
+    }
+
+    fn route(&self, inner_name: &str) -> Option<&LayerRoute> {
+        self.routes.iter().find(|r| r.inner == inner_name)
+    }
+}
+
+impl MessageCodec for LayeredCodec {
+    fn parse(&self, data: &[u8]) -> Result<AbstractMessage, MdlError> {
+        let outer = self.outer.parse(data)?;
+        let body = outer
+            .get(&self.body_field)
+            .and_then(Value::as_str)
+            .unwrap_or("");
+        if body.trim().is_empty() {
+            return Ok(outer);
+        }
+        match self.inner.parse(body.as_bytes()) {
+            Ok(inner) => {
+                // Merge: inner fields take priority; outer fields (minus
+                // the body) are kept for binding rules that need them
+                // (Method/RequestURI/Code).
+                let mut merged = AbstractMessage::new(inner.name());
+                for f in inner.fields() {
+                    merged.push_field(f.clone());
+                }
+                for f in outer.fields() {
+                    if f.label() != self.body_field && merged.get(f.label()).is_none() {
+                        merged.push_field(f.clone());
+                    }
+                }
+                Ok(merged)
+            }
+            // An unrecognised body stays opaque on the outer message.
+            Err(_) => Ok(outer),
+        }
+    }
+
+    fn compose(&self, msg: &AbstractMessage) -> Result<Vec<u8>, MdlError> {
+        match self.route(msg.name()) {
+            None => self.outer.compose(msg),
+            Some(route) => {
+                let inner_bytes = self.inner.compose(msg)?;
+                let inner_text =
+                    String::from_utf8(inner_bytes).map_err(|_| MdlError::NotUtf8 {
+                        field: self.body_field.clone(),
+                    })?;
+                let mut outer = AbstractMessage::new(&route.outer_message);
+                // Carry over any outer-level fields present on the
+                // message (Method/RequestURI set by the binding).
+                for f in msg.fields() {
+                    outer.push_field(f.clone());
+                }
+                for (path, value) in &route.outer_defaults {
+                    if outer.get_path(path).is_err() {
+                        outer
+                            .set_path(path, value.clone())
+                            .map_err(|e| MdlError::BadValue {
+                                field: path.to_string(),
+                                message: e.to_string(),
+                            })?;
+                    }
+                }
+                outer.set_field(&self.body_field, Value::Str(inner_text));
+                self.outer.compose(&outer)
+            }
+        }
+    }
+
+    fn message_names(&self) -> Vec<String> {
+        let mut names = self.inner.message_names();
+        names.extend(self.outer.message_names());
+        names
+    }
+}
+
+/// Standard HTTP defaults for a request route (`Version`, `Host` and
+/// `Content-Type` headers).
+pub fn http_request_defaults(host: &str) -> Vec<(FieldPath, Value)> {
+    vec![
+        (
+            "Version".parse().expect("static path"),
+            Value::Str("HTTP/1.1".into()),
+        ),
+        (
+            "Headers".parse().expect("static path"),
+            Value::Struct(vec![
+                Field::new("Host", Value::Str(host.to_owned())),
+                Field::new("Content-Type", Value::Str("text/xml".into())),
+            ]),
+        ),
+    ]
+}
+
+/// Standard HTTP defaults for a 200 response route.
+pub fn http_response_defaults() -> Vec<(FieldPath, Value)> {
+    vec![
+        (
+            "Version".parse().expect("static path"),
+            Value::Str("HTTP/1.1".into()),
+        ),
+        ("Code".parse().expect("static path"), Value::Str("200".into())),
+        (
+            "Reason".parse().expect("static path"),
+            Value::Str("OK".into()),
+        ),
+        (
+            "Headers".parse().expect("static path"),
+            Value::Struct(vec![Field::new(
+                "Content-Type",
+                Value::Str("text/xml".into()),
+            )]),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::http_codec;
+    use starlink_mdl::MdlCodec;
+
+    const INNER: &str = "\
+<Dialect:xml>\n\
+<Message:MethodCall>\n\
+<Root:methodCall>\n\
+<Text:MethodName=methodName>\n\
+<End:Message>";
+
+    fn layered() -> LayeredCodec {
+        LayeredCodec::new(
+            Arc::new(http_codec().expect("valid spec")),
+            Arc::new(MdlCodec::from_text(INNER).expect("valid spec")),
+            "Body",
+            vec![LayerRoute {
+                inner: "MethodCall".into(),
+                outer_message: "HTTPRequest".into(),
+                outer_defaults: {
+                    let mut d = http_request_defaults("flickr.com");
+                    d.push((
+                        "Method".parse().unwrap(),
+                        Value::Str("POST".into()),
+                    ));
+                    d.push((
+                        "RequestURI".parse().unwrap(),
+                        Value::Str("/services/xmlrpc".into()),
+                    ));
+                    d
+                },
+            }],
+        )
+    }
+
+    #[test]
+    fn compose_wraps_inner_in_http_post() {
+        let codec = layered();
+        let mut msg = AbstractMessage::new("MethodCall");
+        msg.set_field("MethodName", Value::from("flickr.photos.search"));
+        let wire = codec.compose(&msg).unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("POST /services/xmlrpc HTTP/1.1\r\n"));
+        assert!(text.contains("Host: flickr.com"));
+        assert!(text.contains("<methodName>flickr.photos.search</methodName>"));
+        assert!(text.contains("Content-Length:"));
+    }
+
+    #[test]
+    fn parse_merges_inner_and_outer_fields() {
+        let codec = layered();
+        let mut msg = AbstractMessage::new("MethodCall");
+        msg.set_field("MethodName", Value::from("op"));
+        let wire = codec.compose(&msg).unwrap();
+        let back = codec.parse(&wire).unwrap();
+        assert_eq!(back.name(), "MethodCall");
+        assert_eq!(back.get("MethodName").unwrap().as_str(), Some("op"));
+        // Outer fields survive for REST-style bindings.
+        assert_eq!(back.get("Method").unwrap().as_str(), Some("POST"));
+        assert!(back.get("Body").is_none());
+    }
+
+    #[test]
+    fn bodyless_message_stays_outer() {
+        let codec = layered();
+        let wire = b"GET /photos HTTP/1.1\r\nHost: x\r\n\r\n";
+        let msg = codec.parse(wire).unwrap();
+        assert_eq!(msg.name(), "HTTPRequest");
+        assert_eq!(msg.get("Method").unwrap().as_str(), Some("GET"));
+    }
+
+    #[test]
+    fn unrecognised_body_stays_opaque() {
+        let codec = layered();
+        let wire =
+            b"POST /x HTTP/1.1\r\nContent-Length: 12\r\n\r\n<unknown/>!!";
+        let msg = codec.parse(wire).unwrap();
+        assert_eq!(msg.name(), "HTTPRequest");
+        assert!(msg.get("Body").unwrap().as_str().unwrap().contains("unknown"));
+    }
+
+    #[test]
+    fn outer_variant_composes_directly() {
+        let codec = layered();
+        let mut msg = AbstractMessage::new("HTTPRequest");
+        msg.set_field("Method", Value::from("GET"));
+        msg.set_field("RequestURI", Value::from("/a"));
+        msg.set_field("Version", Value::from("HTTP/1.1"));
+        msg.set_field("Headers", Value::Struct(vec![]));
+        msg.set_field("Body", Value::from(""));
+        let wire = codec.compose(&msg).unwrap();
+        assert!(String::from_utf8(wire).unwrap().starts_with("GET /a HTTP/1.1"));
+    }
+
+    #[test]
+    fn message_names_are_union() {
+        let names = layered().message_names();
+        assert!(names.contains(&"MethodCall".to_owned()));
+        assert!(names.contains(&"HTTPRequest".to_owned()));
+    }
+}

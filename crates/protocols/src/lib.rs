@@ -1,0 +1,31 @@
+//! Concrete protocol stacks for the Starlink reproduction, built on MDL
+//! specs and the network engine:
+//!
+//! * [`giop`] — GIOP/IIOP (CORBA's binary RPC protocol; Fig. 4a/5),
+//! * [`http`] — HTTP/1.1 request/response as a text-dialect MDL,
+//! * [`soap`] — SOAP 1.1 envelopes over HTTP POST (Fig. 4b),
+//! * [`xmlrpc`] — XML-RPC `methodCall`/`methodResponse` over HTTP POST,
+//! * [`gdata`] — the Picasa-style REST/GData feed protocol,
+//! * [`LayeredCodec`] — composition of an outer (HTTP) codec with an
+//!   inner (XML) codec carried in its body, so SOAP/XML-RPC/GData parse
+//!   and compose through the same spec-driven machinery.
+//!
+//! Each protocol module exports its MDL spec text (a constant — the
+//! deployable model), a codec constructor, the k-colored client automaton
+//! of Fig. 4, and the standard [`ProtocolBinding`] mapping application
+//! actions onto the protocol (Fig. 7).
+//!
+//! [`ProtocolBinding`]: starlink_core::ProtocolBinding
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod discovery;
+pub mod gdata;
+pub mod giop;
+pub mod http;
+mod layered;
+pub mod soap;
+pub mod xmlrpc;
+
+pub use layered::{http_request_defaults, http_response_defaults, LayerRoute, LayeredCodec};

@@ -1,0 +1,178 @@
+//! XML-RPC over HTTP POST — the protocol of the paper's first Flickr
+//! client (Fig. 9).
+
+use crate::http::http_codec;
+use crate::layered::{http_request_defaults, http_response_defaults, LayerRoute, LayeredCodec};
+use starlink_automata::{Automaton, NetworkSemantics};
+use starlink_core::{ActionRule, ParamRule, ProtocolBinding, ReplyAction};
+use starlink_mdl::{MdlCodec, MdlError};
+use starlink_message::{AbstractMessage, Value};
+use std::sync::Arc;
+
+/// XML-RPC message MDL (xml dialect): `methodCall` and `methodResponse`
+/// documents with `<param><value>…</value></param>` parameter lists.
+pub const XMLRPC_MDL: &str = "\
+# XML-RPC messages (xml dialect)
+<Dialect:xml>
+<Message:MethodCall>
+<Root:methodCall>
+<Text:MethodName=methodName>
+<List:Params=params/param>
+<ItemTree:Params.value=value>
+<End:Message>
+<Message:MethodResponse>
+<Root:methodResponse>
+<List:Params=params/param>
+<ItemTree:Params.value=value>
+<End:Message>";
+
+/// Compiles the plain XML-RPC document codec (no HTTP layer).
+///
+/// # Errors
+///
+/// Never fails for the embedded spec.
+pub fn xmlrpc_document_codec() -> Result<MdlCodec, MdlError> {
+    MdlCodec::from_text(XMLRPC_MDL)
+}
+
+/// Compiles the XML-RPC-over-HTTP codec posting to `endpoint_path` on
+/// `host`.
+///
+/// # Errors
+///
+/// Never fails for the embedded specs.
+pub fn xmlrpc_codec(host: &str, endpoint_path: &str) -> Result<LayeredCodec, MdlError> {
+    let mut request_defaults = http_request_defaults(host);
+    request_defaults.push((
+        "Method".parse().expect("static path"),
+        Value::Str("POST".into()),
+    ));
+    request_defaults.push((
+        "RequestURI".parse().expect("static path"),
+        Value::Str(endpoint_path.to_owned()),
+    ));
+    Ok(LayeredCodec::new(
+        Arc::new(http_codec()?),
+        Arc::new(xmlrpc_document_codec()?),
+        "Body",
+        vec![
+            LayerRoute {
+                inner: "MethodCall".into(),
+                outer_message: "HTTPRequest".into(),
+                outer_defaults: request_defaults,
+            },
+            LayerRoute {
+                inner: "MethodResponse".into(),
+                outer_message: "HTTPResponse".into(),
+                outer_defaults: http_response_defaults(),
+            },
+        ],
+    ))
+}
+
+/// The standard XML-RPC binding: action label in `methodName`, wrapped
+/// positional parameters, correlated replies (`methodResponse` carries no
+/// method name).
+pub fn xmlrpc_binding() -> ProtocolBinding {
+    ProtocolBinding::new("XML-RPC", "XMLRPC.mdl", "MethodCall", "MethodResponse")
+        .with_request_action(ActionRule::Field(
+            "MethodName".parse().expect("static path"),
+        ))
+        .with_reply_action(ReplyAction::Correlated)
+        .with_params(
+            ParamRule::Wrapped {
+                array: "Params".parse().expect("static path"),
+                item: "value".into(),
+            },
+            ParamRule::Wrapped {
+                array: "Params".parse().expect("static path"),
+                item: "value".into(),
+            },
+        )
+}
+
+/// The XML-RPC client k-colored automaton (same shape as Fig. 4).
+pub fn xmlrpc_client_automaton(color: u8) -> Automaton {
+    let mut a = Automaton::new("XMLRPCClient", color);
+    a.add_state("C1");
+    a.add_state("C2");
+    a.set_initial("C1").expect("state C1 was just added");
+    a.add_final("C1").expect("state C1 was just added");
+    a.add_send("C1", "C2", AbstractMessage::new("MethodCall"))
+        .expect("states exist");
+    a.add_receive("C2", "C1", AbstractMessage::new("MethodResponse"))
+        .expect("states exist");
+    a.set_network(color, NetworkSemantics::tcp_sync("XMLRPC.mdl"));
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starlink_mdl::MessageCodec;
+
+    #[test]
+    fn fig9_wire_shape() {
+        // Fig. 9's XML-RPC search request:
+        // POST /xml-rpc … <methodCall><methodName>flickr.photos.search…
+        let codec = xmlrpc_codec("flickr.com", "/xml-rpc").unwrap();
+        let mut msg = AbstractMessage::new("MethodCall");
+        msg.set_field("MethodName", Value::from("flickr.photos.search"));
+        msg.set_field(
+            "Params",
+            Value::Array(vec![Value::Struct(vec![starlink_message::Field::new(
+                "value",
+                Value::from("tree"),
+            )])]),
+        );
+        let wire = codec.compose(&msg).unwrap();
+        let text = String::from_utf8(wire.clone()).unwrap();
+        assert!(text.starts_with("POST /xml-rpc HTTP/1.1\r\n"));
+        assert!(text.contains("Content-Type: text/xml"));
+        assert!(text.contains("<methodCall>"));
+        assert!(text.contains("<methodName>flickr.photos.search</methodName>"));
+        assert!(text.contains("<param><value>tree</value></param>"));
+        let back = codec.parse(&wire).unwrap();
+        assert_eq!(back.name(), "MethodCall");
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let codec = xmlrpc_codec("h", "/x").unwrap();
+        let mut msg = AbstractMessage::new("MethodResponse");
+        msg.set_field(
+            "Params",
+            Value::Array(vec![Value::Struct(vec![starlink_message::Field::new(
+                "value",
+                Value::from("<Photos>…</Photos>"),
+            )])]),
+        );
+        let wire = codec.compose(&msg).unwrap();
+        let back = codec.parse(&wire).unwrap();
+        assert_eq!(back.name(), "MethodResponse");
+        let params = back.get("Params").unwrap().as_array().unwrap();
+        assert_eq!(params.len(), 1);
+    }
+
+    #[test]
+    fn binding_wraps_and_unwraps() {
+        let binding = xmlrpc_binding();
+        let mut app = AbstractMessage::new("flickr.photos.getInfo");
+        app.set_field("photo_id", Value::from("1000"));
+        let proto = binding.bind_request(&app).unwrap();
+        assert_eq!(proto.name(), "MethodCall");
+        let mut template = AbstractMessage::new("flickr.photos.getInfo");
+        template.set_field("photo_id", Value::Null);
+        let back = binding
+            .unbind_request(&proto, |a| {
+                (a == "flickr.photos.getInfo").then_some(&template)
+            })
+            .unwrap();
+        assert_eq!(back.get("photo_id").unwrap().as_str(), Some("1000"));
+    }
+
+    #[test]
+    fn client_automaton_validates() {
+        xmlrpc_client_automaton(1).validate().unwrap();
+    }
+}

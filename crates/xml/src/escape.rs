@@ -1,0 +1,139 @@
+use crate::error::XmlError;
+
+/// Escapes text content for inclusion in an XML document: `&`, `<`, `>`.
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes an attribute value (double-quote delimited): additionally
+/// escapes `"` and normalisation-sensitive whitespace.
+pub fn escape_attr(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            '\t' => out.push_str("&#9;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Resolves the five predefined entities and numeric character references.
+///
+/// # Errors
+///
+/// Returns [`XmlError::UnknownEntity`] for undefined named entities and
+/// [`XmlError::Syntax`]-free behaviour otherwise: an unterminated `&...`
+/// run is treated as an unknown entity as well.
+pub fn unescape(text: &str) -> Result<String, XmlError> {
+    if !text.contains('&') {
+        return Ok(text.to_owned());
+    }
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.char_indices();
+    while let Some((i, c)) = chars.next() {
+        if c != '&' {
+            out.push(c);
+            continue;
+        }
+        let rest = &text[i + 1..];
+        let semi = rest.find(';').ok_or_else(|| XmlError::UnknownEntity {
+            name: rest.chars().take(12).collect(),
+        })?;
+        let name = &rest[..semi];
+        let resolved = match name {
+            "amp" => '&',
+            "lt" => '<',
+            "gt" => '>',
+            "quot" => '"',
+            "apos" => '\'',
+            _ if name.starts_with("#x") || name.starts_with("#X") => {
+                let cp = u32::from_str_radix(&name[2..], 16).map_err(|_| {
+                    XmlError::UnknownEntity { name: name.to_owned() }
+                })?;
+                char::from_u32(cp).ok_or_else(|| XmlError::UnknownEntity {
+                    name: name.to_owned(),
+                })?
+            }
+            _ if name.starts_with('#') => {
+                let cp: u32 = name[1..].parse().map_err(|_| XmlError::UnknownEntity {
+                    name: name.to_owned(),
+                })?;
+                char::from_u32(cp).ok_or_else(|| XmlError::UnknownEntity {
+                    name: name.to_owned(),
+                })?
+            }
+            _ => {
+                return Err(XmlError::UnknownEntity {
+                    name: name.to_owned(),
+                })
+            }
+        };
+        out.push(resolved);
+        // Skip over the consumed entity body.
+        for _ in 0..semi + 1 {
+            chars.next();
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_roundtrip() {
+        let original = r#"a < b && c > "d" 'e'"#;
+        assert_eq!(unescape(&escape(original)).unwrap(), original);
+        assert_eq!(unescape(&escape_attr(original)).unwrap(), original);
+    }
+
+    #[test]
+    fn escapes_minimum_set() {
+        assert_eq!(escape("a&b<c>d"), "a&amp;b&lt;c&gt;d");
+        assert_eq!(escape_attr("say \"hi\""), "say &quot;hi&quot;");
+    }
+
+    #[test]
+    fn numeric_references() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;").unwrap(), "ABc");
+        assert_eq!(unescape("caf&#233;").unwrap(), "café");
+    }
+
+    #[test]
+    fn unknown_entities_error() {
+        assert!(matches!(
+            unescape("&nbsp;"),
+            Err(XmlError::UnknownEntity { .. })
+        ));
+        assert!(matches!(unescape("a&b"), Err(XmlError::UnknownEntity { .. })));
+        assert!(matches!(
+            unescape("&#xZZ;"),
+            Err(XmlError::UnknownEntity { .. })
+        ));
+        assert!(matches!(
+            unescape("&#1114112;"), // beyond char::MAX
+            Err(XmlError::UnknownEntity { .. })
+        ));
+    }
+
+    #[test]
+    fn plain_text_fast_path() {
+        assert_eq!(unescape("no entities here").unwrap(), "no entities here");
+    }
+}

@@ -1,0 +1,333 @@
+use crate::dom::Attribute;
+use crate::error::XmlError;
+use crate::escape::unescape;
+
+/// One parse event produced by [`Reader::next_event`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// `<?xml version="1.0" ...?>` — the raw content between `<?xml` and `?>`.
+    Declaration(String),
+    /// An opening tag. `self_closing` is `true` for `<tag/>`.
+    StartElement {
+        /// Tag name, prefix included (`soap:Envelope`).
+        name: String,
+        /// Attributes in document order, values unescaped.
+        attributes: Vec<Attribute>,
+        /// Whether the tag closed itself (`<br/>`).
+        self_closing: bool,
+    },
+    /// A closing tag `</name>`.
+    EndElement {
+        /// Tag name.
+        name: String,
+    },
+    /// Character data between tags, entities resolved.
+    Text(String),
+    /// `<![CDATA[...]]>` content, verbatim.
+    CData(String),
+    /// `<!-- ... -->` content, verbatim.
+    Comment(String),
+    /// `<?target ...?>` other than the XML declaration.
+    ProcessingInstruction(String),
+    /// End of input.
+    Eof,
+}
+
+/// A streaming pull parser over an in-memory XML string.
+///
+/// # Example
+///
+/// ```
+/// use starlink_xml::{Event, Reader};
+///
+/// let mut r = Reader::new("<a x='1'>hi</a>");
+/// assert!(matches!(r.next_event()?, Event::StartElement { .. }));
+/// assert_eq!(r.next_event()?, Event::Text("hi".into()));
+/// assert_eq!(r.next_event()?, Event::EndElement { name: "a".into() });
+/// assert_eq!(r.next_event()?, Event::Eof);
+/// # Ok::<(), starlink_xml::XmlError>(())
+/// ```
+#[derive(Debug)]
+pub struct Reader<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over the given input.
+    pub fn new(input: &'a str) -> Reader<'a> {
+        Reader { input, pos: 0 }
+    }
+
+    /// Current byte offset into the input.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn bump(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn error(&self, message: impl Into<String>) -> XmlError {
+        XmlError::Syntax {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    /// Pulls the next event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XmlError`] on malformed input; the reader should not be
+    /// used again after an error.
+    pub fn next_event(&mut self) -> Result<Event, XmlError> {
+        if self.rest().is_empty() {
+            return Ok(Event::Eof);
+        }
+        if self.rest().starts_with('<') {
+            self.read_markup()
+        } else {
+            self.read_text()
+        }
+    }
+
+    fn read_text(&mut self) -> Result<Event, XmlError> {
+        let rest = self.rest();
+        let end = rest.find('<').unwrap_or(rest.len());
+        let raw = &rest[..end];
+        self.bump(end);
+        Ok(Event::Text(unescape(raw)?))
+    }
+
+    fn read_markup(&mut self) -> Result<Event, XmlError> {
+        let rest = self.rest();
+        if let Some(body) = rest.strip_prefix("<!--") {
+            let end = body.find("-->").ok_or(XmlError::UnexpectedEof {
+                context: "comment",
+            })?;
+            let text = body[..end].to_owned();
+            self.bump(4 + end + 3);
+            return Ok(Event::Comment(text));
+        }
+        if let Some(body) = rest.strip_prefix("<![CDATA[") {
+            let end = body.find("]]>").ok_or(XmlError::UnexpectedEof {
+                context: "CDATA section",
+            })?;
+            let text = body[..end].to_owned();
+            self.bump(9 + end + 3);
+            return Ok(Event::CData(text));
+        }
+        if rest.starts_with("<!") {
+            // DOCTYPE or other declaration: skip to matching '>'.
+            // (External DTD subsets are intentionally not processed.)
+            let end = rest.find('>').ok_or(XmlError::UnexpectedEof {
+                context: "markup declaration",
+            })?;
+            self.bump(end + 1);
+            return self.next_event();
+        }
+        if let Some(body) = rest.strip_prefix("<?") {
+            let end = body.find("?>").ok_or(XmlError::UnexpectedEof {
+                context: "processing instruction",
+            })?;
+            let text = body[..end].to_owned();
+            self.bump(2 + end + 2);
+            return if text.starts_with("xml") {
+                Ok(Event::Declaration(text))
+            } else {
+                Ok(Event::ProcessingInstruction(text))
+            };
+        }
+        if let Some(body) = rest.strip_prefix("</") {
+            let end = body.find('>').ok_or(XmlError::UnexpectedEof {
+                context: "closing tag",
+            })?;
+            let name = body[..end].trim().to_owned();
+            if name.is_empty() {
+                return Err(self.error("empty closing tag"));
+            }
+            self.bump(2 + end + 1);
+            return Ok(Event::EndElement { name });
+        }
+        self.read_start_tag()
+    }
+
+    fn read_start_tag(&mut self) -> Result<Event, XmlError> {
+        debug_assert!(self.rest().starts_with('<'));
+        self.bump(1);
+        let name = self.read_name()?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_whitespace();
+            let rest = self.rest();
+            if rest.starts_with("/>") {
+                self.bump(2);
+                return Ok(Event::StartElement {
+                    name,
+                    attributes,
+                    self_closing: true,
+                });
+            }
+            if rest.starts_with('>') {
+                self.bump(1);
+                return Ok(Event::StartElement {
+                    name,
+                    attributes,
+                    self_closing: false,
+                });
+            }
+            if rest.is_empty() {
+                return Err(XmlError::UnexpectedEof { context: "start tag" });
+            }
+            let attr_name = self.read_name()?;
+            self.skip_whitespace();
+            if !self.rest().starts_with('=') {
+                return Err(self.error(format!("expected `=` after attribute `{attr_name}`")));
+            }
+            self.bump(1);
+            self.skip_whitespace();
+            let quote = self
+                .rest()
+                .chars()
+                .next()
+                .ok_or(XmlError::UnexpectedEof { context: "attribute value" })?;
+            if quote != '"' && quote != '\'' {
+                return Err(self.error("attribute value must be quoted"));
+            }
+            self.bump(1);
+            let rest = self.rest();
+            let end = rest.find(quote).ok_or(XmlError::UnexpectedEof {
+                context: "attribute value",
+            })?;
+            let raw = &rest[..end];
+            self.bump(end + 1);
+            attributes.push(Attribute {
+                name: attr_name,
+                value: unescape(raw)?,
+            });
+        }
+    }
+
+    fn read_name(&mut self) -> Result<String, XmlError> {
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| c.is_whitespace() || matches!(c, '>' | '/' | '='))
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return Err(self.error("expected a name"));
+        }
+        let name = rest[..end].to_owned();
+        self.bump(end);
+        Ok(name)
+    }
+
+    fn skip_whitespace(&mut self) {
+        let rest = self.rest();
+        let n = rest.len() - rest.trim_start().len();
+        self.bump(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(input: &str) -> Vec<Event> {
+        let mut r = Reader::new(input);
+        let mut out = Vec::new();
+        loop {
+            let e = r.next_event().unwrap();
+            if e == Event::Eof {
+                return out;
+            }
+            out.push(e);
+        }
+    }
+
+    #[test]
+    fn simple_document() {
+        let evs = events("<a><b>x</b></a>");
+        assert_eq!(evs.len(), 5);
+        assert!(matches!(&evs[0], Event::StartElement { name, .. } if name == "a"));
+        assert_eq!(evs[2], Event::Text("x".into()));
+        assert_eq!(evs[4], Event::EndElement { name: "a".into() });
+    }
+
+    #[test]
+    fn attributes_both_quote_styles() {
+        let evs = events(r#"<tag a="1" b='two' c="x &amp; y"/>"#);
+        match &evs[0] {
+            Event::StartElement {
+                attributes,
+                self_closing,
+                ..
+            } => {
+                assert!(*self_closing);
+                assert_eq!(attributes.len(), 3);
+                assert_eq!(attributes[1].value, "two");
+                assert_eq!(attributes[2].value, "x & y");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn declaration_and_pi() {
+        let evs = events("<?xml version=\"1.0\"?><?style sheet?><r/>");
+        assert!(matches!(&evs[0], Event::Declaration(d) if d.starts_with("xml")));
+        assert!(matches!(&evs[1], Event::ProcessingInstruction(p) if p.starts_with("style")));
+    }
+
+    #[test]
+    fn cdata_preserved_verbatim() {
+        let evs = events("<r><![CDATA[a < b & c]]></r>");
+        assert_eq!(evs[1], Event::CData("a < b & c".into()));
+    }
+
+    #[test]
+    fn comments_surface() {
+        let evs = events("<r><!-- note --></r>");
+        assert_eq!(evs[1], Event::Comment(" note ".into()));
+    }
+
+    #[test]
+    fn doctype_is_skipped() {
+        let evs = events("<!DOCTYPE html><r/>");
+        assert!(matches!(&evs[0], Event::StartElement { name, .. } if name == "r"));
+    }
+
+    #[test]
+    fn text_entities_resolved() {
+        let evs = events("<r>a &lt; b</r>");
+        assert_eq!(evs[1], Event::Text("a < b".into()));
+    }
+
+    #[test]
+    fn truncated_inputs_error() {
+        assert!(Reader::new("<a").next_event().is_err());
+        assert!(Reader::new("<!-- x").next_event().is_err());
+        assert!(Reader::new("<![CDATA[x").next_event().is_err());
+        assert!(Reader::new("<a x=>").next_event().is_err());
+        assert!(Reader::new("<a x=1>").next_event().is_err());
+        assert!(Reader::new("<a x=\"1>").next_event().is_err());
+    }
+
+    #[test]
+    fn namespaced_names_pass_through() {
+        let evs = events("<soap:Envelope xmlns:soap=\"http://s\"/>");
+        match &evs[0] {
+            Event::StartElement { name, attributes, .. } => {
+                assert_eq!(name, "soap:Envelope");
+                assert_eq!(attributes[0].name, "xmlns:soap");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,140 @@
+use crate::dom::{Element, Node};
+use crate::escape::{escape, escape_attr};
+use std::fmt::Write;
+
+impl Element {
+    /// Serialises the element to compact XML (no added whitespace).
+    ///
+    /// Text is entity-escaped; attribute values are quote-escaped. The
+    /// output round-trips through [`Element::parse`].
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    /// Serialises to an indented form for logs and docs (2-space indent).
+    ///
+    /// Elements whose only child is text stay on one line; mixed content
+    /// falls back to compact form to avoid changing its meaning.
+    pub fn to_pretty_xml(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    /// Serialises with an `<?xml version="1.0"?>` declaration prefix.
+    pub fn to_document(&self) -> String {
+        format!("<?xml version=\"1.0\" encoding=\"UTF-8\"?>{}", self.to_xml())
+    }
+
+    fn write_open_tag(&self, out: &mut String, self_close: bool) {
+        out.push('<');
+        out.push_str(&self.name);
+        for attr in &self.attributes {
+            let _ = write!(out, " {}=\"{}\"", attr.name, escape_attr(&attr.value));
+        }
+        if self_close {
+            out.push_str("/>");
+        } else {
+            out.push('>');
+        }
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        if self.children.is_empty() {
+            self.write_open_tag(out, true);
+            return;
+        }
+        self.write_open_tag(out, false);
+        for child in &self.children {
+            match child {
+                Node::Text(t) => out.push_str(&escape(t)),
+                Node::Element(e) => e.write_compact(out),
+            }
+        }
+        let _ = write!(out, "</{}>", self.name);
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        out.push_str(&pad);
+        if self.children.is_empty() {
+            self.write_open_tag(out, true);
+            out.push('\n');
+            return;
+        }
+        let only_text = self.children.iter().all(|c| matches!(c, Node::Text(_)));
+        let has_text = self.children.iter().any(|c| matches!(c, Node::Text(_)));
+        if only_text {
+            self.write_open_tag(out, false);
+            for child in &self.children {
+                if let Node::Text(t) = child {
+                    out.push_str(&escape(t));
+                }
+            }
+            let _ = writeln!(out, "</{}>", self.name);
+            return;
+        }
+        if has_text {
+            // Mixed content: whitespace would alter meaning; stay compact.
+            self.write_compact(out);
+            out.push('\n');
+            return;
+        }
+        self.write_open_tag(out, false);
+        out.push('\n');
+        for child in &self.children {
+            if let Node::Element(e) = child {
+                e.write_pretty(out, depth + 1);
+            }
+        }
+        let _ = writeln!(out, "{pad}</{}>", self.name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::dom::Element;
+
+    #[test]
+    fn compact_roundtrip() {
+        let src = "<a x=\"1 &amp; 2\"><b>t &lt; u</b><c/></a>";
+        let e = Element::parse(src).unwrap();
+        assert_eq!(e.to_xml(), src);
+    }
+
+    #[test]
+    fn document_has_declaration() {
+        let e = Element::new("r");
+        assert!(e.to_document().starts_with("<?xml version=\"1.0\""));
+        assert!(Element::parse(&e.to_document()).is_ok());
+    }
+
+    #[test]
+    fn pretty_indents_nested_elements() {
+        let e = Element::parse("<a><b><c>1</c></b></a>").unwrap();
+        let pretty = e.to_pretty_xml();
+        assert_eq!(pretty, "<a>\n  <b>\n    <c>1</c>\n  </b>\n</a>\n");
+        // Pretty output still parses to an equivalent tree (text-only leaf
+        // content preserved).
+        let re = Element::parse(&pretty).unwrap();
+        assert_eq!(re.select("b/c").unwrap().text(), "1");
+    }
+
+    #[test]
+    fn mixed_content_stays_compact() {
+        let e = Element::parse("<p>hello <b>world</b></p>").unwrap();
+        let pretty = e.to_pretty_xml();
+        assert_eq!(pretty, "<p>hello <b>world</b></p>\n");
+    }
+
+    #[test]
+    fn attribute_quoting_in_output() {
+        let e = Element::new("x").with_attr("a", "say \"hi\" <now>");
+        let xml = e.to_xml();
+        let re = Element::parse(&xml).unwrap();
+        assert_eq!(re.attr("a"), Some("say \"hi\" <now>"));
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the XML substrate: arbitrary trees survive
+//! the write→parse round trip; escaping is lossless.
+
+use proptest::prelude::*;
+use starlink_xml::{escape, escape_attr, unescape, Element, Node};
+
+fn tag_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_-]{0,8}"
+}
+
+/// Text content without raw control characters (XML cannot carry them).
+fn text_content() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 <>&\"'.,!?_-]{0,32}"
+}
+
+fn element() -> impl Strategy<Value = Element> {
+    let leaf = (tag_name(), proptest::option::of(text_content())).prop_map(|(name, text)| {
+        let mut e = Element::new(name);
+        if let Some(t) = text {
+            if !t.is_empty() {
+                e.children.push(Node::Text(t));
+            }
+        }
+        e
+    });
+    leaf.prop_recursive(3, 20, 4, |inner| {
+        (
+            tag_name(),
+            proptest::collection::vec((tag_name(), text_content()), 0..3),
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attrs, children)| {
+                let mut e = Element::new(name);
+                for (an, av) in attrs {
+                    e.set_attr(an, av);
+                }
+                for c in children {
+                    e.children.push(Node::Element(c));
+                }
+                e
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn escape_unescape_roundtrip(s in "\\PC{0,64}") {
+        prop_assert_eq!(unescape(&escape(&s)).unwrap(), s.clone());
+        prop_assert_eq!(unescape(&escape_attr(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn write_parse_roundtrip(e in element()) {
+        let xml = e.to_xml();
+        let parsed = Element::parse(&xml).unwrap();
+        prop_assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn document_form_also_roundtrips(e in element()) {
+        let doc = e.to_document();
+        let parsed = Element::parse(&doc).unwrap();
+        prop_assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn pretty_output_is_parseable(e in element()) {
+        // Pretty form may normalise whitespace but must stay well-formed.
+        let pretty = e.to_pretty_xml();
+        prop_assert!(Element::parse(&pretty).is_ok());
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "\\PC{0,128}") {
+        let _ = Element::parse(&s);
+    }
+
+    #[test]
+    fn find_all_is_bounded_by_tree_size(e in element(), needle in tag_name()) {
+        fn count(e: &Element) -> usize {
+            1 + e.child_elements().map(count).sum::<usize>()
+        }
+        let total = count(&e);
+        prop_assert!(e.find_all(&needle).len() < total);
+    }
+}

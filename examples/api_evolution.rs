@@ -1,0 +1,53 @@
+//! Hypothesis H3: the service API evolves (new paths, renamed
+//! parameters) and the unmodified client keeps working after a
+//! *model-only* update — no client or engine code changes.
+//!
+//! Run: `cargo run --example api_evolution`
+
+use starlink::apps::evolution::{flickr_picasa_v2_mediator, PicasaV2Service};
+use starlink::apps::flickr::{FlickrClient, FlickrFlavor};
+use starlink::apps::models::flickr_picasa_mediator;
+use starlink::apps::store::PhotoStore;
+use starlink::core::MediatorHost;
+use starlink::net::{Endpoint, MemoryTransport, NetworkEngine};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== API evolution (hypothesis H3) ===\n");
+    println!("Picasa ships v2: /data/feed/api/all → /v2/search, q → query, max-results → limit\n");
+
+    let mut net = NetworkEngine::new();
+    net.register(Arc::new(MemoryTransport::new()));
+    let store = PhotoStore::with_fixture();
+    let v2 = PicasaV2Service::deploy(&net, &Endpoint::memory("picasa-v2"), store)?;
+
+    // 1. The old mediator (v1 models) breaks against the v2 API — the
+    //    §2.2 failure mode.
+    let old = flickr_picasa_mediator(net.clone(), FlickrFlavor::XmlRpc, v2.endpoint().clone())?;
+    let old_host = MediatorHost::deploy(old, &Endpoint::memory("old-mediator"))?;
+    let mut client = FlickrClient::connect(&net, old_host.endpoint(), FlickrFlavor::XmlRpc)?;
+    client.set_timeout(Duration::from_millis(400));
+    match client.search("tree", 3) {
+        Err(e) => println!("old models vs v2 service: FAILS as expected ({e})"),
+        Ok(_) => println!("old models unexpectedly worked?!"),
+    }
+
+    // 2. The updated models: three declarative artefacts changed (route
+    //    table, interface templates, two MTL lines). Same client binary.
+    let new = flickr_picasa_v2_mediator(net.clone(), FlickrFlavor::XmlRpc, v2.endpoint().clone())?;
+    let new_host = MediatorHost::deploy(new, &Endpoint::memory("new-mediator"))?;
+    let mut client = FlickrClient::connect(&net, new_host.endpoint(), FlickrFlavor::XmlRpc)?;
+
+    let ids = client.search("tree", 3)?;
+    println!("\nupdated models vs v2 service:");
+    println!("  search(\"tree\") → {ids:?}");
+    let info = client.get_info(&ids[0])?;
+    println!("  getInfo({}) → \"{}\"", ids[0], info.title);
+    let cid = client.add_comment(&ids[0], "evolution handled")?;
+    println!("  addComment → {cid}");
+
+    println!("\nModel delta: 3 route entries, renamed template fields, 2 MTL lines.");
+    println!("Client delta: zero.");
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Dual-protocol service discovery: an SSDP (UPnP-style) searcher finds
+//! devices that are registered only with an SLP directory agent, through
+//! a Starlink discovery bridge — the paper's "service discovery" bridging
+//! domain alongside RPC.
+//!
+//! Run: `cargo run --example discovery`
+
+use starlink::net::{Endpoint, MemoryTransport, NetworkEngine};
+use starlink::protocols::discovery::{DiscoveryBridge, SlpDirectory, SsdpClient};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== SSDP searcher ↔ SLP directory, bridged ===\n");
+
+    let transport = MemoryTransport::new();
+    let mut net = NetworkEngine::new();
+    net.register(Arc::new(transport.clone()));
+
+    // Legacy services registered with the SLP directory agent only.
+    let directory = SlpDirectory::deploy(
+        &net,
+        &Endpoint::memory("slp-directory"),
+        HashMap::from([
+            (
+                "service:printer".to_owned(),
+                vec![
+                    "service:printer://print-room-1:515".to_owned(),
+                    "service:printer://print-room-2:515".to_owned(),
+                ],
+            ),
+            (
+                "service:scanner".to_owned(),
+                vec!["service:scanner://archive:6566".to_owned()],
+            ),
+        ]),
+    )?;
+    println!("SLP directory agent at {}", directory.endpoint());
+
+    // The bridge joins the SSDP multicast group and translates service
+    // vocabularies between the two discovery worlds.
+    let _bridge = DiscoveryBridge::deploy(
+        &transport,
+        net.clone(),
+        directory.endpoint().clone(),
+        HashMap::from([
+            (
+                "urn:schemas-upnp-org:service:Printing:1".to_owned(),
+                "service:printer".to_owned(),
+            ),
+            (
+                "urn:schemas-upnp-org:service:Scanning:1".to_owned(),
+                "service:scanner".to_owned(),
+            ),
+        ]),
+    );
+    println!("discovery bridge listening on the SSDP multicast group\n");
+
+    // A UPnP-era device searches the way it always did.
+    let client = SsdpClient::new(transport, net, "control-point")?;
+    for st in [
+        "urn:schemas-upnp-org:service:Printing:1",
+        "urn:schemas-upnp-org:service:Scanning:1",
+        "urn:schemas-upnp-org:service:Television:1",
+    ] {
+        let found = client.search(st, Duration::from_millis(500))?;
+        println!("M-SEARCH {st}");
+        if found.is_empty() {
+            println!("  (no responses)");
+        }
+        for location in found {
+            println!("  LOCATION: {location}");
+        }
+    }
+
+    println!("\nSSDP searchers see SLP-registered services — discovery bridged.");
+    Ok(())
+}

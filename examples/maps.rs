@@ -1,0 +1,42 @@
+//! A second application domain: an XML-RPC geocoding client (GMaps-style
+//! API) served by a REST maps service (BMaps-style API) through a
+//! generated mediator — the paper's §3 motivation that heterogeneous
+//! maps APIs are the same interoperability problem as photo APIs.
+//!
+//! Run: `cargo run --example maps`
+
+use starlink::apps::maps::{gmaps_bmaps_mediator, BMapsService, GMapsClient};
+use starlink::core::MediatorHost;
+use starlink::net::{Endpoint, MemoryTransport, NetworkEngine};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== GMaps (XML-RPC) client ↔ BMaps (REST) service ===\n");
+
+    let mut net = NetworkEngine::new();
+    net.register(Arc::new(MemoryTransport::new()));
+    let bmaps = BMapsService::deploy(&net, &Endpoint::memory("bmaps"))?;
+    let mediator = gmaps_bmaps_mediator(net.clone(), bmaps.endpoint().clone())?;
+    let host = MediatorHost::deploy(mediator, &Endpoint::memory("maps-mediator"))?;
+    println!("BMaps REST service at {}", bmaps.endpoint());
+    println!("mediator at           {}\n", host.endpoint());
+
+    let mut client = GMapsClient::connect(&net, host.endpoint())?;
+
+    for place in ["lisbon", "bordeaux", "lancaster"] {
+        for hit in client.geocode(place)? {
+            println!(
+                "geocode(\"{place}\") → {} at ({:.3}, {:.3})",
+                hit.formatted, hit.lat, hit.lng
+            );
+        }
+    }
+
+    let (km, minutes) = client.directions("lisbon", "porto")?;
+    println!("\ndirections(lisbon → porto) → {km:.1} km, ≈{minutes:.0} min");
+    let (km, minutes) = client.directions("bordeaux", "rennes")?;
+    println!("directions(bordeaux → rennes) → {km:.1} km, ≈{minutes:.0} min");
+
+    println!("\nSame framework, different domain: only models changed.");
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! Pure middleware bridging: the *same* Flickr application on both
+//! sides, different protocols (XML-RPC client, SOAP service). With no
+//! application heterogeneity the merge needs zero custom declarations —
+//! registry empty, all MTL generated.
+//!
+//! Run: `cargo run --example protocol_bridge`
+
+use starlink::apps::flickr::{
+    flickr_binding, flickr_codec, flickr_interface, FlickrClient, FlickrFlavor, FlickrService,
+};
+use starlink::apps::store::PhotoStore;
+use starlink::automata::linear_usage_protocol;
+use starlink::automata::merge::{intertwine, into_service_loop, MergeOptions};
+use starlink::core::{ColorRuntime, Mediator, MediatorHost};
+use starlink::message::equiv::SemanticRegistry;
+use starlink::net::{Endpoint, MemoryTransport, NetworkEngine};
+use std::sync::Arc;
+
+fn usage(color: u8) -> starlink::automata::Automaton {
+    let iface = flickr_interface();
+    let ops: Vec<_> = iface
+        .operations()
+        .iter()
+        .map(|(req, rep)| (req.clone(), rep.clone()))
+        .collect();
+    linear_usage_protocol("AFlickr", color, &ops)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== Protocol bridge: XML-RPC Flickr client → SOAP Flickr service ===\n");
+
+    let mut net = NetworkEngine::new();
+    net.register(Arc::new(MemoryTransport::new()));
+    let service = FlickrService::deploy(
+        &net,
+        &Endpoint::memory("flickr-soap"),
+        FlickrFlavor::Soap,
+        PhotoStore::with_fixture(),
+    )?;
+
+    // Identity merge: no semantic declarations needed at all.
+    let (merged, report) = intertwine(
+        &usage(1),
+        &usage(2),
+        &SemanticRegistry::new(),
+        &MergeOptions::default(),
+    )?;
+    println!(
+        "automatic merge: {} intertwined operations, class {:?}",
+        report.intertwined_count(),
+        report.class
+    );
+
+    let mediator = Mediator::new(
+        into_service_loop(&merged)?,
+        1,
+        vec![
+            ColorRuntime {
+                color: 1,
+                binding: flickr_binding(FlickrFlavor::XmlRpc),
+                codec: flickr_codec(FlickrFlavor::XmlRpc)?,
+                endpoint: None,
+            },
+            ColorRuntime {
+                color: 2,
+                binding: flickr_binding(FlickrFlavor::Soap),
+                codec: flickr_codec(FlickrFlavor::Soap)?,
+                endpoint: Some(service.endpoint().clone()),
+            },
+        ],
+        net.clone(),
+    )?;
+    let host = MediatorHost::deploy(mediator, &Endpoint::memory("bridge"))?;
+    println!("bridge deployed at {}\n", host.endpoint());
+
+    let mut client = FlickrClient::connect(&net, host.endpoint(), FlickrFlavor::XmlRpc)?;
+    let ids = client.search("tree", 2)?;
+    println!("search → {ids:?}  (real service ids pass straight through)");
+    let info = client.get_info(&ids[1])?;
+    println!("getInfo({}) → \"{}\"", ids[1], info.title);
+    client.add_comment(&ids[1], "bridged comment")?;
+    println!("comments now: {:?}", client.get_comments(&ids[1])?);
+
+    println!("\nMiddleware-only heterogeneity: bridged with an empty registry.");
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! The second use case of §5.1: a **SOAP** Flickr client against the
+//! same Picasa REST service — demonstrating hypothesis H1: the single
+//! application model binds to a different middleware without changes.
+//!
+//! Run: `cargo run --example soap_mediation`
+
+use starlink::apps::flickr::{FlickrClient, FlickrFlavor};
+use starlink::apps::models::flickr_picasa_mediator;
+use starlink::apps::picasa::PicasaService;
+use starlink::apps::store::PhotoStore;
+use starlink::core::MediatorHost;
+use starlink::net::{Endpoint, MemoryTransport, NetworkEngine};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== SOAP Flickr client → Picasa REST (use case 2) ===\n");
+
+    let mut net = NetworkEngine::new();
+    net.register(Arc::new(MemoryTransport::new()));
+    let store = PhotoStore::with_fixture();
+    let picasa = PicasaService::deploy(&net, &Endpoint::memory("picasa"), store)?;
+
+    // Identical application model, different client-facing binding: only
+    // `FlickrFlavor::Soap` differs from the XML-RPC example.
+    let mediator =
+        flickr_picasa_mediator(net.clone(), FlickrFlavor::Soap, picasa.endpoint().clone())?;
+    let host = MediatorHost::deploy(mediator, &Endpoint::memory("mediator"))?;
+    println!("mediator (SOAP face) at {}\n", host.endpoint());
+
+    let mut client = FlickrClient::connect(&net, host.endpoint(), FlickrFlavor::Soap)?;
+
+    let ids = client.search("tree", 2)?;
+    println!("search(\"tree\") → {ids:?}");
+    let info = client.get_info(&ids[0])?;
+    println!("getInfo({}) → \"{}\" ({})", ids[0], info.title, info.url);
+    let comments = client.get_comments(&ids[0])?;
+    println!("getList({}) → {} comments", ids[0], comments.len());
+    let cid = client.add_comment(&ids[0], "soap says hi")?;
+    println!("addComment → {cid}");
+
+    println!("\nSame model, second middleware: hypothesis H1 in action.");
+    Ok(())
+}

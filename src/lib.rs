@@ -1,0 +1,61 @@
+//! # Starlink — bridging combined application and middleware heterogeneity
+//!
+//! A Rust reproduction of the Starlink interoperability framework from
+//! *"Bridging the Interoperability Gap: Overcoming Combined Application
+//! and Middleware Heterogeneity"* (Bromberg, Grace, Réveillère, Blair —
+//! MIDDLEWARE 2011).
+//!
+//! Starlink makes independently developed systems interoperate by
+//! *generating mediators from models* instead of hand-coding bridges:
+//!
+//! 1. application behaviour is modelled as **API usage protocol
+//!    automata** ([`automata`]),
+//! 2. two automata are **merged** into a k-colored automaton whose
+//!    γ-transitions carry **MTL** data translations ([`mtl`]),
+//! 3. message formats are described in **MDL**, a DSL from which generic
+//!    parsers/composers are specialised at runtime ([`mdl`]),
+//! 4. **binding rules** attach the abstract model to concrete protocols
+//!    (GIOP, SOAP, XML-RPC, REST — [`protocols`]), and
+//! 5. the **automata engine** executes the result against live
+//!    connections ([`core`]).
+//!
+//! # Quickstart: the Fig. 8 calculator
+//!
+//! An IIOP client invoking `Add(x, y)` reaches a SOAP service exposing
+//! `Plus(x, y)` through a generated mediator:
+//!
+//! ```
+//! use starlink::apps::calculator::{add_plus_mediator, AddClient, PlusService};
+//! use starlink::core::MediatorHost;
+//! use starlink::net::{Endpoint, MemoryTransport, NetworkEngine};
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut net = NetworkEngine::new();
+//! net.register(Arc::new(MemoryTransport::new()));
+//!
+//! let plus = PlusService::deploy(&net, &Endpoint::memory("plus"))?;
+//! let mediator = add_plus_mediator(net.clone(), plus.endpoint().clone())?;
+//! let host = MediatorHost::deploy(mediator, &Endpoint::memory("bridge"))?;
+//!
+//! let mut client = AddClient::connect(&net, host.endpoint())?;
+//! assert_eq!(client.add(40, 2)?, 42);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for the full Flickr→Picasa case study and DESIGN.md /
+//! EXPERIMENTS.md for the paper-reproduction map.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use starlink_apps as apps;
+pub use starlink_automata as automata;
+pub use starlink_core as core;
+pub use starlink_mdl as mdl;
+pub use starlink_message as message;
+pub use starlink_mtl as mtl;
+pub use starlink_net as net;
+pub use starlink_protocols as protocols;
+pub use starlink_xml as xml;

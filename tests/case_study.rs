@@ -1,0 +1,142 @@
+//! The paper's §5.1 case study, end to end: unmodified Flickr clients
+//! (XML-RPC and SOAP) search and comment on photographs served by a
+//! Picasa-compatible REST service, through generated Starlink mediators.
+//!
+//! Reproduces experiment rows F1/F9/F10 and H2 of DESIGN.md §4.
+
+use starlink::apps::flickr::{FlickrClient, FlickrFlavor};
+use starlink::apps::models::flickr_picasa_mediator;
+use starlink::apps::picasa::{PicasaService, PicasaClient};
+use starlink::apps::proxy::RedirectProxy;
+use starlink::apps::store::PhotoStore;
+use starlink::core::MediatorHost;
+use starlink::net::{Endpoint, MemoryTransport, NetworkEngine};
+use std::sync::Arc;
+
+fn network() -> NetworkEngine {
+    let mut net = NetworkEngine::new();
+    net.register(Arc::new(MemoryTransport::new()));
+    net
+}
+
+/// Deploys store + Picasa service + mediator; returns the network, the
+/// mediator endpoint, and the store (for cross-checking side effects).
+fn deploy(flavor: FlickrFlavor) -> (NetworkEngine, Endpoint, PhotoStore, MediatorHost) {
+    let net = network();
+    let store = PhotoStore::with_fixture();
+    let picasa =
+        PicasaService::deploy(&net, &Endpoint::memory("picasa"), store.clone()).unwrap();
+    let mediator =
+        flickr_picasa_mediator(net.clone(), flavor, picasa.endpoint().clone()).unwrap();
+    let host = MediatorHost::deploy(mediator, &Endpoint::memory("mediator")).unwrap();
+    let endpoint = host.endpoint().clone();
+    // Keep the service alive for the test's duration.
+    std::mem::forget(picasa);
+    (net, endpoint, store, host)
+}
+
+fn full_case_study(flavor: FlickrFlavor) {
+    let (net, mediator_ep, store, _host) = deploy(flavor);
+    let mut client = FlickrClient::connect(&net, &mediator_ep, flavor).unwrap();
+
+    // 1. Keyword search on public photos (Fig. 9). The mediator answers
+    //    with dummy Flickr photo ids minted by the MTL cache.
+    let ids = client.search("tree", 3).unwrap();
+    assert_eq!(ids.len(), 3, "three tree photos in the fixture");
+    assert_eq!(ids[0], "1000", "dummy ids are deterministic");
+    assert_eq!(ids[1], "1001");
+
+    // 2. getInfo — no Picasa operation exists; the mediator answers from
+    //    the cache (Fig. 10) with the data of the Picasa search entry.
+    let info = client.get_info(&ids[0]).unwrap();
+    assert_eq!(info.id, "1000");
+    assert_eq!(info.title, "Tall Tree");
+    assert_eq!(info.url, "http://photos.example.org/1.jpg");
+
+    let info2 = client.get_info(&ids[1]).unwrap();
+    assert_eq!(info2.title, "Old Oak");
+
+    // 3. Listing comments maps the dummy id back to the Picasa entry.
+    let comments = client.get_comments(&ids[0]).unwrap();
+    assert_eq!(
+        comments,
+        vec![
+            ("bob".to_owned(), "great shot".to_owned()),
+            ("carol".to_owned(), "love the light".to_owned()),
+        ]
+    );
+
+    // 4. Adding a comment writes through to the Picasa store.
+    let before = store.comments("gphoto-1").len();
+    let comment_id = client.add_comment(&ids[0], "lovely tree!").unwrap();
+    assert!(comment_id.starts_with("comment-"));
+    let after = store.comments("gphoto-1");
+    assert_eq!(after.len(), before + 1);
+    assert_eq!(after.last().unwrap().text, "lovely tree!");
+}
+
+#[test]
+fn xmlrpc_flickr_client_interoperates_with_picasa() {
+    full_case_study(FlickrFlavor::XmlRpc);
+}
+
+#[test]
+fn soap_flickr_client_interoperates_with_picasa() {
+    full_case_study(FlickrFlavor::Soap);
+}
+
+#[test]
+fn deployment_with_redirect_proxy() {
+    // §5.1: "we deployed a simple proxy to redirect the Flickr requests
+    // (originally directed to the Flickr servers) to the local Starlink
+    // mediator" — the client's configured endpoint never changes.
+    let (net, mediator_ep, _store, _host) = deploy(FlickrFlavor::XmlRpc);
+    let proxy =
+        RedirectProxy::deploy(&net, &Endpoint::memory("api.flickr.com"), &mediator_ep).unwrap();
+    let mut client = FlickrClient::connect(
+        &net,
+        &Endpoint::memory("api.flickr.com"),
+        FlickrFlavor::XmlRpc,
+    )
+    .unwrap();
+    let ids = client.search("beach", 5).unwrap();
+    assert_eq!(ids.len(), 1);
+    let info = client.get_info(&ids[0]).unwrap();
+    assert_eq!(info.title, "Sunny Beach");
+    assert!(proxy.relayed_exchanges() >= 2);
+}
+
+#[test]
+fn mediated_and_native_views_agree() {
+    // The mediated Flickr view and the native Picasa view must observe
+    // the same service state.
+    let (net, mediator_ep, _store, _host) = deploy(FlickrFlavor::XmlRpc);
+    let mut flickr = FlickrClient::connect(&net, &mediator_ep, FlickrFlavor::XmlRpc).unwrap();
+    let mut picasa = PicasaClient::connect(&net, &Endpoint::memory("picasa")).unwrap();
+
+    let ids = flickr.search("tree", 3).unwrap();
+    flickr.add_comment(&ids[2], "via flickr").unwrap();
+
+    // Natively, gphoto-3 (third tree photo) now carries the comment.
+    let native = picasa.get_comments("gphoto-3").unwrap();
+    assert_eq!(native, vec![("starlink-user".to_owned(), "via flickr".to_owned())]);
+}
+
+#[test]
+fn search_with_no_results_yields_empty_reply() {
+    let (net, mediator_ep, _store, _host) = deploy(FlickrFlavor::XmlRpc);
+    let mut client = FlickrClient::connect(&net, &mediator_ep, FlickrFlavor::XmlRpc).unwrap();
+    let ids = client.search("zebra", 10).unwrap();
+    assert!(ids.is_empty());
+}
+
+#[test]
+fn sequential_sessions_share_the_translation_cache() {
+    // getInfo in a later traversal must still resolve ids minted in an
+    // earlier one (the cache lives with the client connection).
+    let (net, mediator_ep, _store, _host) = deploy(FlickrFlavor::XmlRpc);
+    let mut client = FlickrClient::connect(&net, &mediator_ep, FlickrFlavor::XmlRpc).unwrap();
+    let first = client.search("tree", 2).unwrap();
+    let info = client.get_info(&first[1]).unwrap();
+    assert_eq!(info.title, "Old Oak");
+}

@@ -1,0 +1,108 @@
+//! Runtime conformance monitoring end to end: a monitored client cannot
+//! deviate from its declared usage protocol; a conforming run is
+//! accepted.
+
+use starlink::apps::calculator::{add_usage_automaton, AddService};
+use starlink::apps::flickr::flickr_interface;
+use starlink::apps::models::flickr_usage_automaton;
+use starlink::core::{ProtocolMonitor, RpcClient};
+use starlink::message::{AbstractMessage, Value};
+use starlink::net::{Endpoint, MemoryTransport, NetworkEngine};
+use starlink::protocols::giop::{giop_binding, giop_codec};
+use std::sync::Arc;
+
+fn network() -> NetworkEngine {
+    let mut net = NetworkEngine::new();
+    net.register(Arc::new(MemoryTransport::new()));
+    net
+}
+
+#[test]
+fn monitored_client_conforming_run() {
+    let net = network();
+    let service = AddService::deploy(&net, &Endpoint::memory("add")).unwrap();
+    let monitor = ProtocolMonitor::new(add_usage_automaton()).unwrap();
+    let mut client = RpcClient::connect(
+        &net,
+        service.endpoint(),
+        Arc::new(giop_codec().unwrap()),
+        giop_binding(),
+        starlink::apps::calculator::add_interface(),
+    )
+    .unwrap()
+    .with_monitor(monitor);
+
+    let mut req = AbstractMessage::new("Add");
+    req.set_field("x", Value::Int(1));
+    req.set_field("y", Value::Int(2));
+    let reply = client.call(&req).unwrap();
+    assert_eq!(reply.get("z").unwrap().to_text(), "3");
+    assert!(client.monitor().unwrap().is_accepting());
+}
+
+#[test]
+fn monitored_client_blocks_nonconforming_call_before_sending() {
+    let net = network();
+    let service = AddService::deploy(&net, &Endpoint::memory("add")).unwrap();
+    let monitor = ProtocolMonitor::new(add_usage_automaton()).unwrap();
+    let mut client = RpcClient::connect(
+        &net,
+        service.endpoint(),
+        Arc::new(giop_codec().unwrap()),
+        giop_binding(),
+        starlink::apps::calculator::add_interface(),
+    )
+    .unwrap()
+    .with_monitor(monitor);
+
+    // `Subtract` is not part of the Add usage protocol: rejected locally,
+    // the wire never sees it.
+    let mut bad = AbstractMessage::new("Subtract");
+    bad.set_field("x", Value::Int(1));
+    bad.set_field("y", Value::Int(2));
+    let err = bad_call(&mut client, &bad);
+    assert!(err.contains("unexpected message"), "{err}");
+
+    // The protocol run is unharmed: the conforming call succeeds.
+    let mut req = AbstractMessage::new("Add");
+    req.set_field("x", Value::Int(5));
+    req.set_field("y", Value::Int(6));
+    assert_eq!(client.call(&req).unwrap().get("z").unwrap().to_text(), "11");
+}
+
+fn bad_call(client: &mut RpcClient, request: &AbstractMessage) -> String {
+    match client.call(request) {
+        Ok(_) => panic!("non-conforming call must not succeed"),
+        Err(e) => e.to_string(),
+    }
+}
+
+#[test]
+fn flickr_usage_protocol_monitor_tracks_the_case_study_order() {
+    use starlink::message::Direction;
+    let mut monitor = ProtocolMonitor::new(flickr_usage_automaton()).unwrap();
+    // The Fig. 2 order.
+    let ops = [
+        "flickr.photos.search",
+        "flickr.photos.getInfo",
+        "flickr.photos.comments.getList",
+        "flickr.photos.comments.addComment",
+    ];
+    for op in ops {
+        monitor.observe(Direction::Sent, op).unwrap();
+        monitor
+            .observe(Direction::Received, &format!("{op}.reply"))
+            .unwrap();
+    }
+    assert!(monitor.is_accepting());
+
+    // Skipping ahead violates the protocol.
+    monitor.reset();
+    assert!(monitor
+        .observe(Direction::Sent, "flickr.photos.comments.addComment")
+        .is_err());
+    // The interface has 4 operations; the monitor knows only one is
+    // allowed first.
+    assert_eq!(flickr_interface().operations().len(), 4);
+    assert_eq!(monitor.allowed(), vec!["!flickr.photos.search"]);
+}

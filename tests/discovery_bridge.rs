@@ -1,0 +1,120 @@
+//! Dual-protocol service discovery (the paper's "service discovery and
+//! RPC" bridging domain): an SSDP-style searcher finds services that are
+//! registered only with an SLP directory, through a Starlink discovery
+//! bridge.
+
+use starlink::net::{Endpoint, MemoryTransport, NetworkEngine};
+use starlink::protocols::discovery::{DiscoveryBridge, SlpDirectory, SsdpClient};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn setup() -> (MemoryTransport, NetworkEngine) {
+    let transport = MemoryTransport::new();
+    let mut net = NetworkEngine::new();
+    net.register(Arc::new(transport.clone()));
+    (transport, net)
+}
+
+#[test]
+fn ssdp_search_discovers_slp_registered_service() {
+    let (transport, net) = setup();
+    let directory = SlpDirectory::deploy(
+        &net,
+        &Endpoint::memory("slp-da"),
+        HashMap::from([
+            (
+                "service:printer".to_owned(),
+                vec![
+                    "service:printer://printsrv:515".to_owned(),
+                    "service:printer://backup:515".to_owned(),
+                ],
+            ),
+            (
+                "service:scanner".to_owned(),
+                vec!["service:scanner://scansrv:6566".to_owned()],
+            ),
+        ]),
+    )
+    .unwrap();
+    let _bridge = DiscoveryBridge::deploy(
+        &transport,
+        net.clone(),
+        directory.endpoint().clone(),
+        HashMap::from([
+            (
+                "urn:schemas-upnp-org:service:Printing:1".to_owned(),
+                "service:printer".to_owned(),
+            ),
+            (
+                "urn:schemas-upnp-org:service:Scanning:1".to_owned(),
+                "service:scanner".to_owned(),
+            ),
+        ]),
+    );
+
+    let client = SsdpClient::new(transport, net, "searcher-1").unwrap();
+    let locations = client
+        .search("urn:schemas-upnp-org:service:Printing:1", Duration::from_secs(1))
+        .unwrap();
+    assert_eq!(
+        locations,
+        vec![
+            "service:printer://printsrv:515".to_owned(),
+            "service:printer://backup:515".to_owned(),
+        ]
+    );
+}
+
+#[test]
+fn unknown_service_family_gets_no_answer() {
+    let (transport, net) = setup();
+    let directory =
+        SlpDirectory::deploy(&net, &Endpoint::memory("slp-da"), HashMap::new()).unwrap();
+    let _bridge = DiscoveryBridge::deploy(
+        &transport,
+        net.clone(),
+        directory.endpoint().clone(),
+        HashMap::from([(
+            "urn:schemas-upnp-org:service:Printing:1".to_owned(),
+            "service:printer".to_owned(),
+        )]),
+    );
+    let client = SsdpClient::new(transport, net, "searcher-2").unwrap();
+    // The bridge has no mapping for this target: silence, like a real
+    // SSDP network with no matching device.
+    let locations = client
+        .search("urn:schemas-upnp-org:service:Unknown:1", Duration::from_millis(300))
+        .unwrap();
+    assert!(locations.is_empty());
+}
+
+#[test]
+fn two_searchers_both_get_answers() {
+    let (transport, net) = setup();
+    let directory = SlpDirectory::deploy(
+        &net,
+        &Endpoint::memory("slp-da"),
+        HashMap::from([(
+            "service:printer".to_owned(),
+            vec!["service:printer://printsrv:515".to_owned()],
+        )]),
+    )
+    .unwrap();
+    let _bridge = DiscoveryBridge::deploy(
+        &transport,
+        net.clone(),
+        directory.endpoint().clone(),
+        HashMap::from([(
+            "urn:schemas-upnp-org:service:Printing:1".to_owned(),
+            "service:printer".to_owned(),
+        )]),
+    );
+    for name in ["searcher-a", "searcher-b"] {
+        let client = SsdpClient::new(transport.clone(), net.clone(), name).unwrap();
+        let locations = client
+            .search("urn:schemas-upnp-org:service:Printing:1", Duration::from_secs(1))
+            .unwrap();
+        assert_eq!(locations.len(), 1, "{name}");
+    }
+}

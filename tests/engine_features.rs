@@ -1,0 +1,280 @@
+//! Engine features beyond the happy path: `sethost` endpoint rebinding
+//! (Fig. 9's `SetHost(https://picasaweb.google.com)`), mediator-initiated
+//! service operations (one-to-many mismatches), and degraded weak-merge
+//! behaviour.
+
+use starlink::automata::merge::{intertwine, template, MergeBuilder, MergeClass, MergeOptions};
+use starlink::automata::linear_usage_protocol;
+use starlink::core::{
+    ActionRule, ColorRuntime, Mediator, MediatorHost, ParamRule, ProtocolBinding, ReplyAction,
+    RpcClient, RpcServer, ServiceHandler, ServiceInterface,
+};
+use starlink::mdl::MdlCodec;
+use starlink::message::equiv::SemanticRegistry;
+use starlink::message::{AbstractMessage, Field, Value};
+use starlink::net::{Endpoint, MemoryTransport, NetworkEngine};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const WIRE_MDL: &str = "\
+<Message:Req>\n\
+<Rule:Kind=0>\n\
+<Kind:8><OpLength:32><Op:OpLength>\n\
+<align:64><Params:eof:valueseq>\n\
+<End:Message>\n\
+<Message:Rep>\n\
+<Rule:Kind=1>\n\
+<Kind:8><OpLength:32><Op:OpLength>\n\
+<align:64><Params:eof:valueseq>\n\
+<End:Message>";
+
+fn binding() -> ProtocolBinding {
+    ProtocolBinding::new("WIRE", "WIRE.mdl", "Req", "Rep")
+        .with_request_action(ActionRule::Field("Op".parse().unwrap()))
+        .with_reply_action(ReplyAction::Field("Op".parse().unwrap()))
+        .with_params(
+            ParamRule::PositionalArray("Params".parse().unwrap()),
+            ParamRule::PositionalArray("Params".parse().unwrap()),
+        )
+}
+
+fn network() -> NetworkEngine {
+    let mut net = NetworkEngine::new();
+    net.register(Arc::new(MemoryTransport::new()));
+    net
+}
+
+fn echo_interface(op: &str, arg: &str, res: &str) -> ServiceInterface {
+    let mut req = AbstractMessage::new(op);
+    req.set_field(arg, Value::Null);
+    let mut rep = AbstractMessage::new(format!("{op}.reply"));
+    rep.set_field(res, Value::Null);
+    ServiceInterface::new().with_operation(req, rep)
+}
+
+#[test]
+fn sethost_redirects_the_service_connection() {
+    // The mediator's color-2 runtime has NO static endpoint; the MTL's
+    // `sethost` names the real service — exercising Fig. 9's dynamic
+    // endpoint rebinding.
+    let net = network();
+    let codec = Arc::new(MdlCodec::from_text(WIRE_MDL).unwrap());
+
+    let handler: Arc<ServiceHandler> = Arc::new(|req| {
+        let mut reply = AbstractMessage::new("svc.op.reply");
+        reply.set_field("r", req.get("a").cloned().unwrap_or(Value::Null));
+        Ok(reply)
+    });
+    let _service = RpcServer::serve(
+        &net,
+        &Endpoint::memory("the-real-service"),
+        codec.clone(),
+        binding(),
+        echo_interface("svc.op", "a", "r"),
+        handler,
+    )
+    .unwrap();
+
+    let mut b = MergeBuilder::new("SetHostDemo", 1, 2);
+    b.intertwined(
+        template("client.op", &["a"]),
+        template("client.op.reply", &["r"]),
+        template("svc.op", &["a"]),
+        template("svc.op.reply", &["r"]),
+        "sethost(\"memory://the-real-service\")\nm2.a = m1.a",
+        "m5.r = m4.r",
+    )
+    .unwrap();
+    let (merged, _) = b.finish().unwrap();
+
+    let mediator = Mediator::new(
+        merged,
+        1,
+        vec![
+            ColorRuntime {
+                color: 1,
+                binding: binding(),
+                codec: codec.clone(),
+                endpoint: None,
+            },
+            ColorRuntime {
+                color: 2,
+                binding: binding(),
+                codec: codec.clone(),
+                endpoint: None, // only sethost knows where to go
+            },
+        ],
+        net.clone(),
+    )
+    .unwrap();
+    let host = MediatorHost::deploy(mediator, &Endpoint::memory("mediator")).unwrap();
+    let mut client = RpcClient::connect(
+        &net,
+        host.endpoint(),
+        codec,
+        binding(),
+        echo_interface("client.op", "a", "r"),
+    )
+    .unwrap();
+    let mut req = AbstractMessage::new("client.op");
+    req.set_field("a", Value::Int(99));
+    let reply = client.call(&req).unwrap();
+    assert_eq!(reply.get("r").unwrap().as_int(), Some(99));
+}
+
+#[test]
+fn trailing_service_op_is_auto_invoked() {
+    // Service protocol: op then a mandatory `logout` the client never
+    // performs (one-to-many mismatch). The mediator must auto-invoke it.
+    let net = network();
+    let codec = Arc::new(MdlCodec::from_text(WIRE_MDL).unwrap());
+    let logout_count = Arc::new(AtomicUsize::new(0));
+
+    let counted = logout_count.clone();
+    let handler: Arc<ServiceHandler> = Arc::new(move |req| match req.name() {
+        "svc.op" => {
+            let mut reply = AbstractMessage::new("svc.op.reply");
+            reply.set_field("r", req.get("a").cloned().unwrap_or(Value::Null));
+            Ok(reply)
+        }
+        "svc.logout" => {
+            counted.fetch_add(1, Ordering::SeqCst);
+            let mut reply = AbstractMessage::new("svc.logout.reply");
+            reply.set_field("done", Value::Bool(true));
+            Ok(reply)
+        }
+        other => Err(format!("unexpected {other}")),
+    });
+    let mut svc_iface = ServiceInterface::new();
+    {
+        let mut req = AbstractMessage::new("svc.op");
+        req.set_field("a", Value::Null);
+        let mut rep = AbstractMessage::new("svc.op.reply");
+        rep.set_field("r", Value::Null);
+        svc_iface.add_operation(req, rep);
+        let mut req = AbstractMessage::new("svc.logout");
+        req.set_field("a", Value::Null);
+        let mut rep = AbstractMessage::new("svc.logout.reply");
+        rep.set_field("done", Value::Null);
+        svc_iface.add_operation(req, rep);
+    }
+    let service = RpcServer::serve(
+        &net,
+        &Endpoint::memory("svc"),
+        codec.clone(),
+        binding(),
+        svc_iface,
+        handler,
+    )
+    .unwrap();
+
+    // Automatic merge: svc.logout is trailing and derivable from history
+    // (its `a` parameter matches the client's).
+    let mut reg = SemanticRegistry::new();
+    reg.declare_message_concept("op", ["client.op", "svc.op"]);
+    let client_usage = linear_usage_protocol(
+        "C",
+        1,
+        &[(
+            template("client.op", &["a"]),
+            template("client.op.reply", &["r"]),
+        )],
+    );
+    let service_usage = linear_usage_protocol(
+        "S",
+        2,
+        &[
+            (template("svc.op", &["a"]), template("svc.op.reply", &["r"])),
+            (
+                template("svc.logout", &["a"]),
+                template("svc.logout.reply", &["done"]),
+            ),
+        ],
+    );
+    let (merged, report) =
+        intertwine(&client_usage, &service_usage, &reg, &MergeOptions::default()).unwrap();
+    assert_eq!(report.resolutions.len(), 2);
+
+    let mediator = Mediator::new(
+        merged,
+        1,
+        vec![
+            ColorRuntime {
+                color: 1,
+                binding: binding(),
+                codec: codec.clone(),
+                endpoint: None,
+            },
+            ColorRuntime {
+                color: 2,
+                binding: binding(),
+                codec: codec.clone(),
+                endpoint: Some(service.endpoint().clone()),
+            },
+        ],
+        net.clone(),
+    )
+    .unwrap();
+    let host = MediatorHost::deploy(mediator, &Endpoint::memory("mediator")).unwrap();
+    let mut client = RpcClient::connect(
+        &net,
+        host.endpoint(),
+        codec,
+        binding(),
+        echo_interface("client.op", "a", "r"),
+    )
+    .unwrap();
+    let mut req = AbstractMessage::new("client.op");
+    req.set_field("a", Value::Int(5));
+    let reply = client.call(&req).unwrap();
+    assert_eq!(reply.get("r").unwrap().as_int(), Some(5));
+    // The logout the client never asked for happened behind the scenes.
+    for _ in 0..50 {
+        if logout_count.load(Ordering::SeqCst) > 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert_eq!(logout_count.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn weak_merge_executes_with_degraded_reply() {
+    // The client's second operation needs data no service reply carries:
+    // the merge is weak; at runtime the mediator answers with whatever
+    // it has (here: the optional field stays absent).
+    let mut reg = SemanticRegistry::new();
+    reg.declare_message_concept("op", ["client.op", "svc.op"]);
+    let client_usage = linear_usage_protocol(
+        "C",
+        1,
+        &[
+            (
+                template("client.op", &["a"]),
+                template("client.op.reply", &["r"]),
+            ),
+            (
+                {
+                    let mut m = AbstractMessage::new("client.extra");
+                    m.set_field("a", Value::Null);
+                    m
+                },
+                {
+                    let mut m = AbstractMessage::new("client.extra.reply");
+                    m.push_field(Field::optional("exotic", Value::Null));
+                    m.push_field(Field::new("unobtainable", Value::Null));
+                    m
+                },
+            ),
+        ],
+    );
+    let service_usage = linear_usage_protocol(
+        "S",
+        2,
+        &[(template("svc.op", &["a"]), template("svc.op.reply", &["r"]))],
+    );
+    let (merged, report) =
+        intertwine(&client_usage, &service_usage, &reg, &MergeOptions::default()).unwrap();
+    assert_eq!(report.class, MergeClass::Weak);
+    merged.validate().unwrap();
+}

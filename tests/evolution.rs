@@ -1,0 +1,93 @@
+//! Hypothesis H3, end to end: when the service API evolves, only models
+//! change — the unmodified Flickr client keeps working (DESIGN.md row
+//! H3).
+
+use starlink::apps::evolution::{flickr_picasa_v2_mediator, PicasaV2Service};
+use starlink::apps::flickr::{FlickrClient, FlickrFlavor};
+use starlink::apps::store::PhotoStore;
+use starlink::core::MediatorHost;
+use starlink::net::{Endpoint, MemoryTransport, NetworkEngine};
+use std::sync::Arc;
+
+fn network() -> NetworkEngine {
+    let mut net = NetworkEngine::new();
+    net.register(Arc::new(MemoryTransport::new()));
+    net
+}
+
+#[test]
+fn unmodified_client_survives_api_evolution() {
+    // The service has moved to v2: new paths, renamed parameters.
+    let net = network();
+    let store = PhotoStore::with_fixture();
+    let picasa_v2 =
+        PicasaV2Service::deploy(&net, &Endpoint::memory("picasa-v2"), store.clone()).unwrap();
+
+    // Only the models changed; this is the v1 client binary, untouched.
+    let mediator = flickr_picasa_v2_mediator(
+        net.clone(),
+        FlickrFlavor::XmlRpc,
+        picasa_v2.endpoint().clone(),
+    )
+    .unwrap();
+    let host = MediatorHost::deploy(mediator, &Endpoint::memory("mediator")).unwrap();
+    let mut client =
+        FlickrClient::connect(&net, host.endpoint(), FlickrFlavor::XmlRpc).unwrap();
+
+    let ids = client.search("tree", 3).unwrap();
+    assert_eq!(ids.len(), 3);
+    let info = client.get_info(&ids[0]).unwrap();
+    assert_eq!(info.title, "Tall Tree");
+    client.add_comment(&ids[0], "still works after v2").unwrap();
+    assert_eq!(
+        store.comments("gphoto-1").last().unwrap().text,
+        "still works after v2"
+    );
+}
+
+#[test]
+fn old_mediator_fails_against_v2_service() {
+    // The motivating failure: v1 routes no longer exist server-side, so
+    // the *old* mediator (old models) breaks against the new API — this
+    // is exactly the situation §2.2 describes.
+    let net = network();
+    let picasa_v2 = PicasaV2Service::deploy(
+        &net,
+        &Endpoint::memory("picasa-v2"),
+        PhotoStore::with_fixture(),
+    )
+    .unwrap();
+    let mediator = starlink::apps::models::flickr_picasa_mediator(
+        net.clone(),
+        FlickrFlavor::XmlRpc,
+        picasa_v2.endpoint().clone(),
+    )
+    .unwrap();
+    let host = MediatorHost::deploy(mediator, &Endpoint::memory("old-mediator")).unwrap();
+    let mut client =
+        FlickrClient::connect(&net, host.endpoint(), FlickrFlavor::XmlRpc).unwrap();
+    client.set_timeout(std::time::Duration::from_millis(400));
+    assert!(client.search("tree", 3).is_err());
+}
+
+#[test]
+fn soap_client_also_survives_evolution() {
+    let net = network();
+    let picasa_v2 = PicasaV2Service::deploy(
+        &net,
+        &Endpoint::memory("picasa-v2"),
+        PhotoStore::with_fixture(),
+    )
+    .unwrap();
+    let mediator = flickr_picasa_v2_mediator(
+        net.clone(),
+        FlickrFlavor::Soap,
+        picasa_v2.endpoint().clone(),
+    )
+    .unwrap();
+    let host = MediatorHost::deploy(mediator, &Endpoint::memory("mediator")).unwrap();
+    let mut client = FlickrClient::connect(&net, host.endpoint(), FlickrFlavor::Soap).unwrap();
+    let ids = client.search("beach", 5).unwrap();
+    assert_eq!(ids.len(), 1);
+    assert_eq!(client.get_info(&ids[0]).unwrap().title, "Sunny Beach");
+}

@@ -1,0 +1,136 @@
+//! Model inference (paper §7's outlook on automating model generation):
+//! semantic declarations are learned from example exchanges, and the
+//! learned registry drives the automatic merge end to end.
+
+use starlink::automata::linear_usage_protocol;
+use starlink::automata::merge::{intertwine, template, MergeClass, MergeOptions};
+use starlink::message::equiv::infer_from_examples;
+use starlink::message::{AbstractMessage, Value};
+
+fn example(name: &str, fields: &[(&str, &str)]) -> AbstractMessage {
+    let mut m = AbstractMessage::new(name);
+    for (label, value) in fields {
+        m.set_field(label, Value::Str((*value).to_owned()));
+    }
+    m
+}
+
+#[test]
+fn inferred_registry_drives_the_merge() {
+    // The developer records one real exchange against each API carrying
+    // the same data, instead of writing declarations by hand.
+    let examples = [
+        (
+            example("client.search", &[("text", "tree"), ("page_size", "7")]),
+            example("service.find", &[("q", "tree"), ("limit", "7")]),
+        ),
+        (
+            example("client.search.reply", &[("items", "[a, b]")]),
+            example("service.find.reply", &[("results", "[a, b]")]),
+        ),
+        (
+            example("client.post", &[("target", "x-1"), ("body", "hello")]),
+            example("service.add", &[("id", "x-1"), ("content", "hello")]),
+        ),
+        (
+            example("client.post.reply", &[("ticket", "t-9")]),
+            example("service.add.reply", &[("receipt", "t-9")]),
+        ),
+    ];
+    let registry = infer_from_examples(examples.iter().map(|(a, b)| (a, b)));
+
+    // Learned declarations.
+    assert!(registry.message_names_equivalent("client.search", "service.find"));
+    assert!(registry.message_names_equivalent("client.post", "service.add"));
+    assert_eq!(registry.field_concept("text"), registry.field_concept("q"));
+    assert_eq!(
+        registry.field_concept("page_size"),
+        registry.field_concept("limit")
+    );
+    assert_eq!(
+        registry.field_concept("items"),
+        registry.field_concept("results")
+    );
+    assert_eq!(
+        registry.field_concept("target"),
+        registry.field_concept("id")
+    );
+    assert_eq!(
+        registry.field_concept("body"),
+        registry.field_concept("content")
+    );
+
+    // The learned registry is enough for the intertwining analysis.
+    let client = linear_usage_protocol(
+        "C",
+        1,
+        &[
+            (
+                template("client.search", &["text", "page_size"]),
+                template("client.search.reply", &["items"]),
+            ),
+            (
+                template("client.post", &["target", "body"]),
+                template("client.post.reply", &["ticket"]),
+            ),
+        ],
+    );
+    let service = linear_usage_protocol(
+        "S",
+        2,
+        &[
+            (
+                template("service.find", &["q", "limit"]),
+                template("service.find.reply", &["results"]),
+            ),
+            (
+                template("service.add", &["id", "content"]),
+                template("service.add.reply", &["receipt"]),
+            ),
+        ],
+    );
+    let (merged, report) =
+        intertwine(&client, &service, &registry, &MergeOptions::default()).unwrap();
+    assert_eq!(report.class, MergeClass::Strong);
+    assert_eq!(report.intertwined_count(), 2);
+    merged.validate().unwrap();
+
+    // The generated MTL contains the learned field mappings.
+    let mtl: String = merged
+        .transitions()
+        .iter()
+        .filter_map(|t| match &t.action {
+            starlink::automata::Action::Gamma { mtl } => Some(mtl.clone()),
+            _ => None,
+        })
+        .collect();
+    assert!(mtl.contains("m2.q = m1.text"));
+    assert!(mtl.contains("m2.limit = m1.page_size"));
+    assert!(mtl.contains("m8.id = m7.target"));
+}
+
+#[test]
+fn ambiguous_values_are_not_guessed() {
+    // Two candidate fields hold the same value: no alignment is inferred.
+    let a = example("a.op", &[("x", "5")]);
+    let b = example("b.op", &[("p", "5"), ("q", "5")]);
+    let registry = infer_from_examples([(&a, &b)]);
+    assert_ne!(registry.field_concept("x"), registry.field_concept("p"));
+    assert_ne!(registry.field_concept("x"), registry.field_concept("q"));
+}
+
+#[test]
+fn more_examples_resolve_conflicts() {
+    // One noisy example suggests x≅wrong; two clean examples outvote it.
+    let pairs = [
+        (example("a.op", &[("x", "1")]), example("b.op", &[("y", "1")])),
+        (example("a.op", &[("x", "2")]), example("b.op", &[("y", "2")])),
+        (
+            example("a.op", &[("x", "3")]),
+            example("b.op", &[("wrong", "3")]),
+        ),
+    ];
+    let registry = infer_from_examples(pairs.iter().map(|(a, b)| (a, b)));
+    assert_eq!(registry.field_concept("x"), registry.field_concept("y"));
+    assert_ne!(registry.field_concept("x"), registry.field_concept("wrong"));
+}

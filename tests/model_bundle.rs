@@ -1,0 +1,117 @@
+//! Models are data: the case-study model bundle survives a save/load
+//! round trip through the registry, and a mediator built from the
+//! *loaded* models still works — deploying Starlink is file distribution
+//! (§5.2's evolution/deployment claim).
+
+use starlink::apps::flickr::{flickr_binding, FlickrClient, FlickrFlavor};
+use starlink::apps::models::merged_flickr_picasa;
+use starlink::apps::picasa::PicasaService;
+use starlink::apps::store::PhotoStore;
+use starlink::automata::merge::into_service_loop;
+use starlink::core::{ColorRuntime, Mediator, MediatorHost, ModelRegistry};
+use starlink::net::{Endpoint, MemoryTransport, NetworkEngine};
+use starlink::protocols::gdata::{rest_binding, GDATA_MDL};
+use starlink::protocols::giop::GIOP_MDL;
+use starlink::protocols::http::HTTP_MDL;
+use starlink::protocols::soap::SOAP_MDL;
+use starlink::protocols::xmlrpc::XMLRPC_MDL;
+use std::sync::Arc;
+
+fn bundle_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("starlink-models-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn save_load_roundtrip_counts() {
+    let dir = bundle_dir("counts");
+    let (merged, _) = merged_flickr_picasa().unwrap();
+    ModelRegistry::save_models(
+        &dir,
+        &[
+            ("GIOP.mdl", GIOP_MDL),
+            ("HTTP.mdl", HTTP_MDL),
+            ("SOAP.mdl", SOAP_MDL),
+            ("XMLRPC.mdl", XMLRPC_MDL),
+            ("GDATA.mdl", GDATA_MDL),
+        ],
+        &[&merged],
+    )
+    .unwrap();
+
+    let mut registry = ModelRegistry::new();
+    let loaded = registry.load_dir(&dir).unwrap();
+    assert_eq!(loaded, 6);
+    assert_eq!(
+        registry.codec_names(),
+        vec!["GDATA.mdl", "GIOP.mdl", "HTTP.mdl", "SOAP.mdl", "XMLRPC.mdl"]
+    );
+    assert_eq!(registry.automaton_names(), vec!["AFlickr+APicasa"]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mediator_from_loaded_models_works() {
+    let dir = bundle_dir("deploy");
+    let (merged, _) = merged_flickr_picasa().unwrap();
+    ModelRegistry::save_models(&dir, &[], &[&merged]).unwrap();
+
+    // A "fresh node" loads the bundle and deploys from it.
+    let mut registry = ModelRegistry::new();
+    registry.load_dir(&dir).unwrap();
+    let loaded = registry.automaton("AFlickr+APicasa").unwrap();
+
+    let mut net = NetworkEngine::new();
+    net.register(Arc::new(MemoryTransport::new()));
+    let store = PhotoStore::with_fixture();
+    let picasa = PicasaService::deploy(&net, &Endpoint::memory("picasa"), store).unwrap();
+
+    let mediator = Mediator::new(
+        into_service_loop(&loaded).unwrap(),
+        1,
+        vec![
+            ColorRuntime {
+                color: 1,
+                binding: flickr_binding(FlickrFlavor::XmlRpc),
+                codec: starlink::apps::flickr::flickr_codec(FlickrFlavor::XmlRpc).unwrap(),
+                endpoint: None,
+            },
+            ColorRuntime {
+                color: 2,
+                binding: rest_binding(),
+                codec: Arc::new(
+                    starlink::protocols::gdata::rest_codec("picasaweb.google.com").unwrap(),
+                ),
+                endpoint: Some(picasa.endpoint().clone()),
+            },
+        ],
+        net.clone(),
+    )
+    .unwrap();
+    let host = MediatorHost::deploy(mediator, &Endpoint::memory("mediator")).unwrap();
+    let mut client =
+        FlickrClient::connect(&net, host.endpoint(), FlickrFlavor::XmlRpc).unwrap();
+    let ids = client.search("tree", 2).unwrap();
+    assert_eq!(ids.len(), 2);
+    assert_eq!(client.get_info(&ids[0]).unwrap().title, "Tall Tree");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn load_dir_rejects_broken_models() {
+    let dir = bundle_dir("broken");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("bad.mdl"), "<NotAMessage").unwrap();
+    let mut registry = ModelRegistry::new();
+    assert!(registry.load_dir(&dir).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn load_dir_missing_directory_errors() {
+    let mut registry = ModelRegistry::new();
+    assert!(registry
+        .load_dir(std::path::Path::new("/definitely/not/here"))
+        .is_err());
+}

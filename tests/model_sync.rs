@@ -1,0 +1,90 @@
+//! Keeps the committed `models/` directory (the deployable model bundle a
+//! Starlink operator would ship) in sync with the in-code models.
+//!
+//! Run with `STARLINK_UPDATE_MODELS=1` to regenerate the files.
+
+use starlink::apps::models::{flickr_usage_automaton, merged_flickr_picasa, picasa_usage_automaton};
+use starlink::automata::dsl;
+use starlink::protocols::discovery::{SLP_MDL, SSDP_MDL};
+use starlink::protocols::gdata::GDATA_MDL;
+use starlink::protocols::giop::GIOP_MDL;
+use starlink::protocols::http::HTTP_MDL;
+use starlink::protocols::soap::SOAP_MDL;
+use starlink::protocols::xmlrpc::XMLRPC_MDL;
+use std::path::Path;
+
+const REGISTRY_TXT: &str = "\
+# Semantic declarations of the Flickr/Picasa case study (paper §3.2):
+# which operations and fields of the two APIs denote the same concepts.
+message photo-search = flickr.photos.search, picasa.photos.search
+message comment-list = flickr.photos.comments.getList, picasa.getComments
+message comment-add = flickr.photos.comments.addComment, picasa.addComment
+field keyword = text, q
+field result-limit = per_page, max-results
+field photo-ref = photo_id, entry_id
+field comment-text = comment_text, content
+field photo-data = photo, photos, Entries
+field comment-data = comments, commentEntries
+";
+
+fn expected_files() -> Vec<(&'static str, String)> {
+    vec![
+        ("GIOP.mdl", GIOP_MDL.to_owned()),
+        ("HTTP.mdl", HTTP_MDL.to_owned()),
+        ("SOAP.mdl", SOAP_MDL.to_owned()),
+        ("XMLRPC.mdl", XMLRPC_MDL.to_owned()),
+        ("GDATA.mdl", GDATA_MDL.to_owned()),
+        ("SSDP.mdl", SSDP_MDL.to_owned()),
+        ("SLP.mdl", SLP_MDL.to_owned()),
+        ("case-study-registry.txt", REGISTRY_TXT.to_owned()),
+        ("AFlickr.atm", dsl::print(&flickr_usage_automaton())),
+        ("APicasa.atm", dsl::print(&picasa_usage_automaton())),
+        (
+            "AFlickr+APicasa.atm",
+            dsl::print(&merged_flickr_picasa().unwrap().0),
+        ),
+    ]
+}
+
+#[test]
+fn committed_models_match_code() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("models");
+    let update = std::env::var("STARLINK_UPDATE_MODELS").is_ok();
+    if update {
+        std::fs::create_dir_all(&dir).unwrap();
+    }
+    let mut mismatches = Vec::new();
+    for (name, expected) in expected_files() {
+        let path = dir.join(name);
+        if update {
+            std::fs::write(&path, &expected).unwrap();
+            continue;
+        }
+        match std::fs::read_to_string(&path) {
+            Ok(actual) if actual == expected => {}
+            Ok(_) => mismatches.push(format!("{name}: content differs")),
+            Err(e) => mismatches.push(format!("{name}: {e}")),
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "models/ out of sync (run with STARLINK_UPDATE_MODELS=1 to regenerate):\n{}",
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn committed_automata_parse_and_validate() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("models");
+    for entry in std::fs::read_dir(&dir).into_iter().flatten().flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) == Some("atm") {
+            let text = std::fs::read_to_string(&path).unwrap();
+            let automaton = dsl::parse(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            automaton
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Pure middleware bridging (the Starlink ICDCS'11 scenario the paper
+//! builds on): the *application* is identical on both sides — only the
+//! middleware differs — so the merge needs no custom MTL at all: the
+//! default field mappings generated from the semantic registry suffice.
+
+use starlink::apps::flickr::{
+    flickr_binding, flickr_codec, flickr_interface, FlickrClient, FlickrFlavor, FlickrService,
+};
+use starlink::apps::store::PhotoStore;
+use starlink::automata::linear_usage_protocol;
+use starlink::automata::merge::{intertwine, into_service_loop, MergeOptions};
+use starlink::core::{ColorRuntime, Mediator, MediatorHost};
+use starlink::message::equiv::SemanticRegistry;
+use starlink::net::{Endpoint, MemoryTransport, NetworkEngine};
+use std::sync::Arc;
+
+fn usage(color: u8) -> starlink::automata::Automaton {
+    let iface = flickr_interface();
+    let ops: Vec<_> = iface
+        .operations()
+        .iter()
+        .map(|(req, rep)| (req.clone(), rep.clone()))
+        .collect();
+    linear_usage_protocol("AFlickr", color, &ops)
+}
+
+#[test]
+fn xmlrpc_client_bridged_to_soap_flickr_service() {
+    let mut net = NetworkEngine::new();
+    net.register(Arc::new(MemoryTransport::new()));
+
+    // A SOAP Flickr service with real data.
+    let service = FlickrService::deploy(
+        &net,
+        &Endpoint::memory("flickr-soap"),
+        FlickrFlavor::Soap,
+        PhotoStore::with_fixture(),
+    )
+    .unwrap();
+
+    // Identity application merge: no registry declarations, no MTL
+    // overrides — everything is derived automatically because operation
+    // names and field labels coincide.
+    let (merged, report) = intertwine(
+        &usage(1),
+        &usage(2),
+        &SemanticRegistry::new(),
+        &MergeOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(report.intertwined_count(), 4, "all four ops intertwine");
+
+    let mediator = Mediator::new(
+        into_service_loop(&merged).unwrap(),
+        1,
+        vec![
+            ColorRuntime {
+                color: 1,
+                binding: flickr_binding(FlickrFlavor::XmlRpc),
+                codec: flickr_codec(FlickrFlavor::XmlRpc).unwrap(),
+                endpoint: None,
+            },
+            ColorRuntime {
+                color: 2,
+                binding: flickr_binding(FlickrFlavor::Soap),
+                codec: flickr_codec(FlickrFlavor::Soap).unwrap(),
+                endpoint: Some(service.endpoint().clone()),
+            },
+        ],
+        net.clone(),
+    )
+    .unwrap();
+    let host = MediatorHost::deploy(mediator, &Endpoint::memory("bridge")).unwrap();
+
+    // The unmodified XML-RPC client drives the full flow through the
+    // bridge: here getInfo really reaches the service (no cache trick —
+    // both APIs have the operation).
+    let mut client =
+        FlickrClient::connect(&net, host.endpoint(), FlickrFlavor::XmlRpc).unwrap();
+    let ids = client.search("tree", 2).unwrap();
+    assert_eq!(ids, vec!["gphoto-1", "gphoto-2"], "real service ids pass through");
+    let info = client.get_info(&ids[1]).unwrap();
+    assert_eq!(info.title, "Old Oak");
+    let comments = client.get_comments(&ids[1]).unwrap();
+    assert_eq!(comments.len(), 1);
+    client.add_comment(&ids[1], "bridged!").unwrap();
+    assert_eq!(client.get_comments(&ids[1]).unwrap().len(), 2);
+}
+
+#[test]
+fn soap_client_bridged_to_xmlrpc_flickr_service() {
+    // The reverse direction: SOAP client, XML-RPC service.
+    let mut net = NetworkEngine::new();
+    net.register(Arc::new(MemoryTransport::new()));
+    let service = FlickrService::deploy(
+        &net,
+        &Endpoint::memory("flickr-xmlrpc"),
+        FlickrFlavor::XmlRpc,
+        PhotoStore::with_fixture(),
+    )
+    .unwrap();
+    let (merged, _) = intertwine(
+        &usage(1),
+        &usage(2),
+        &SemanticRegistry::new(),
+        &MergeOptions::default(),
+    )
+    .unwrap();
+    let mediator = Mediator::new(
+        into_service_loop(&merged).unwrap(),
+        1,
+        vec![
+            ColorRuntime {
+                color: 1,
+                binding: flickr_binding(FlickrFlavor::Soap),
+                codec: flickr_codec(FlickrFlavor::Soap).unwrap(),
+                endpoint: None,
+            },
+            ColorRuntime {
+                color: 2,
+                binding: flickr_binding(FlickrFlavor::XmlRpc),
+                codec: flickr_codec(FlickrFlavor::XmlRpc).unwrap(),
+                endpoint: Some(service.endpoint().clone()),
+            },
+        ],
+        net.clone(),
+    )
+    .unwrap();
+    let host = MediatorHost::deploy(mediator, &Endpoint::memory("bridge")).unwrap();
+    let mut client = FlickrClient::connect(&net, host.endpoint(), FlickrFlavor::Soap).unwrap();
+    let ids = client.search("beach", 5).unwrap();
+    assert_eq!(ids.len(), 1);
+    assert_eq!(client.get_info(&ids[0]).unwrap().title, "Sunny Beach");
+}

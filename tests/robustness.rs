@@ -1,0 +1,118 @@
+//! Robustness: deployed mediators and services must survive malformed
+//! wire input — drop the offending session, keep serving others.
+
+use starlink::apps::calculator::{add_plus_mediator, AddClient, PlusService};
+use starlink::apps::flickr::{FlickrClient, FlickrFlavor};
+use starlink::apps::models::flickr_picasa_mediator;
+use starlink::apps::picasa::PicasaService;
+use starlink::apps::store::PhotoStore;
+use starlink::core::MediatorHost;
+use starlink::net::{Endpoint, MemoryTransport, NetworkEngine};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn network() -> NetworkEngine {
+    let mut net = NetworkEngine::new();
+    net.register(Arc::new(MemoryTransport::new()));
+    net
+}
+
+#[test]
+fn mediator_survives_garbage_bytes() {
+    let net = network();
+    let plus = PlusService::deploy(&net, &Endpoint::memory("plus")).unwrap();
+    let mediator = add_plus_mediator(net.clone(), plus.endpoint().clone()).unwrap();
+    let host = MediatorHost::deploy(mediator, &Endpoint::memory("bridge")).unwrap();
+
+    // An attacker / confused peer sends junk frames.
+    for payload in [
+        &b""[..],
+        &b"\x00"[..],
+        &b"GIOPBUTNOTREALLY"[..],
+        &[0xFFu8; 512][..],
+        "<xml-but-not-giop/>".as_bytes(),
+    ] {
+        let mut raw = net.connect(host.endpoint()).unwrap();
+        let _ = raw.send(payload);
+        // The mediator must not answer garbage with a protocol reply.
+        assert!(raw.receive_timeout(Duration::from_millis(150)).is_err());
+    }
+
+    // A well-behaved client still gets served afterwards.
+    let mut client = AddClient::connect(&net, host.endpoint()).unwrap();
+    assert_eq!(client.add(40, 2).unwrap(), 42);
+}
+
+#[test]
+fn picasa_service_survives_garbage_http() {
+    let net = network();
+    let picasa =
+        PicasaService::deploy(&net, &Endpoint::memory("picasa"), PhotoStore::with_fixture())
+            .unwrap();
+    for payload in [
+        &b"NOT HTTP AT ALL"[..],
+        &b"GET\r\n\r\n"[..],
+        &b"POST /data/feed/api/comments HTTP/1.1\r\n\r\n<entry>unclosed"[..],
+    ] {
+        let mut raw = net.connect(picasa.endpoint()).unwrap();
+        let _ = raw.send(payload);
+        let _ = raw.receive_timeout(Duration::from_millis(100));
+    }
+    // Still serving.
+    let mut client =
+        starlink::apps::picasa::PicasaClient::connect(&net, picasa.endpoint()).unwrap();
+    assert_eq!(client.search("tree", 2).unwrap().len(), 2);
+}
+
+#[test]
+fn case_study_mediator_survives_wrong_protocol_client() {
+    // A SOAP client speaks to the XML-RPC-facing mediator: the wire
+    // messages parse as HTTP but not as XML-RPC calls; the session is
+    // dropped and fresh XML-RPC clients are unaffected.
+    let net = network();
+    let picasa =
+        PicasaService::deploy(&net, &Endpoint::memory("picasa"), PhotoStore::with_fixture())
+            .unwrap();
+    let mediator = flickr_picasa_mediator(
+        net.clone(),
+        FlickrFlavor::XmlRpc,
+        picasa.endpoint().clone(),
+    )
+    .unwrap();
+    let host = MediatorHost::deploy(mediator, &Endpoint::memory("mediator")).unwrap();
+
+    let mut wrong = FlickrClient::connect(&net, host.endpoint(), FlickrFlavor::Soap).unwrap();
+    wrong.set_timeout(Duration::from_millis(300));
+    assert!(wrong.search("tree", 3).is_err());
+
+    let mut right =
+        FlickrClient::connect(&net, host.endpoint(), FlickrFlavor::XmlRpc).unwrap();
+    assert_eq!(right.search("tree", 3).unwrap().len(), 3);
+}
+
+#[test]
+fn half_session_disconnects_do_not_wedge_the_mediator() {
+    let net = network();
+    let picasa =
+        PicasaService::deploy(&net, &Endpoint::memory("picasa"), PhotoStore::with_fixture())
+            .unwrap();
+    let mediator = flickr_picasa_mediator(
+        net.clone(),
+        FlickrFlavor::XmlRpc,
+        picasa.endpoint().clone(),
+    )
+    .unwrap();
+    let host = MediatorHost::deploy(mediator, &Endpoint::memory("mediator")).unwrap();
+
+    // Ten clients search then vanish mid-protocol.
+    for _ in 0..10 {
+        let mut c = FlickrClient::connect(&net, host.endpoint(), FlickrFlavor::XmlRpc).unwrap();
+        let _ = c.search("tree", 1).unwrap();
+        drop(c);
+    }
+    // The mediator still serves a full flow.
+    let mut c = FlickrClient::connect(&net, host.endpoint(), FlickrFlavor::XmlRpc).unwrap();
+    let ids = c.search("oak", 5).unwrap();
+    assert_eq!(ids.len(), 1);
+    assert_eq!(c.get_info(&ids[0]).unwrap().title, "Old Oak");
+}

@@ -1,0 +1,173 @@
+//! The case study over the real TCP loopback (the network engine's
+//! production transport, Fig. 6), plus fault-injection behaviour on the
+//! deterministic in-memory transport.
+
+use starlink::apps::calculator::{add_plus_mediator, AddClient, PlusService};
+use starlink::apps::flickr::{FlickrClient, FlickrFlavor};
+use starlink::apps::models::flickr_picasa_mediator;
+use starlink::apps::picasa::PicasaService;
+use starlink::apps::store::PhotoStore;
+use starlink::core::MediatorHost;
+use starlink::net::{Endpoint, FaultPlan, MemoryTransport, NetworkEngine};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn full_case_study_over_tcp_loopback() {
+    let net = NetworkEngine::with_defaults();
+    let store = PhotoStore::with_fixture();
+    let picasa =
+        PicasaService::deploy(&net, &Endpoint::tcp("127.0.0.1", 0), store.clone()).unwrap();
+    let mediator = flickr_picasa_mediator(
+        net.clone(),
+        FlickrFlavor::XmlRpc,
+        picasa.endpoint().clone(),
+    )
+    .unwrap();
+    let host = MediatorHost::deploy(mediator, &Endpoint::tcp("127.0.0.1", 0)).unwrap();
+    let mut client =
+        FlickrClient::connect(&net, host.endpoint(), FlickrFlavor::XmlRpc).unwrap();
+
+    let ids = client.search("tree", 3).unwrap();
+    assert_eq!(ids.len(), 3);
+    let info = client.get_info(&ids[0]).unwrap();
+    assert_eq!(info.title, "Tall Tree");
+    client.add_comment(&ids[0], "over tcp").unwrap();
+    assert_eq!(store.comments("gphoto-1").last().unwrap().text, "over tcp");
+}
+
+#[test]
+fn calculator_over_tcp_loopback() {
+    let net = NetworkEngine::with_defaults();
+    let plus = PlusService::deploy(&net, &Endpoint::tcp("127.0.0.1", 0)).unwrap();
+    let mediator = add_plus_mediator(net.clone(), plus.endpoint().clone()).unwrap();
+    let host = MediatorHost::deploy(mediator, &Endpoint::tcp("127.0.0.1", 0)).unwrap();
+    let mut client = AddClient::connect(&net, host.endpoint()).unwrap();
+    for (x, y) in [(1, 2), (0, 0), (-7, 7), (1_000_000, 2_000_000)] {
+        assert_eq!(client.add(x, y).unwrap(), x + y);
+    }
+}
+
+#[test]
+fn dropped_message_surfaces_as_timeout() {
+    // The 3rd message through the transport (the client's request after
+    // a successful exchange) is silently dropped; the client observes a
+    // timeout rather than a corrupt result.
+    let mut net = NetworkEngine::new();
+    net.register(Arc::new(MemoryTransport::with_faults(FaultPlan {
+        drop_nth: vec![3],
+        ..FaultPlan::default()
+    })));
+    let plus = PlusService::deploy(&net, &Endpoint::memory("plus")).unwrap();
+    let mediator = add_plus_mediator(net.clone(), plus.endpoint().clone()).unwrap();
+    let host = MediatorHost::deploy(mediator, &Endpoint::memory("bridge")).unwrap();
+    let mut client = AddClient::connect(&net, host.endpoint()).unwrap();
+    // First exchange uses messages 1..=4 (client→med, med→svc, svc→med,
+    // med→client); with message 3 dropped the reply never forms.
+    let r = client.add(1, 1);
+    assert!(r.is_err(), "dropped wire message must not yield a result");
+}
+
+#[test]
+fn delayed_transport_still_correct() {
+    let mut net = NetworkEngine::new();
+    net.register(Arc::new(MemoryTransport::with_faults(FaultPlan {
+        delay: Some(Duration::from_millis(5)),
+        ..FaultPlan::default()
+    })));
+    let plus = PlusService::deploy(&net, &Endpoint::memory("plus")).unwrap();
+    let mediator = add_plus_mediator(net.clone(), plus.endpoint().clone()).unwrap();
+    let host = MediatorHost::deploy(mediator, &Endpoint::memory("bridge")).unwrap();
+    let mut client = AddClient::connect(&net, host.endpoint()).unwrap();
+    assert_eq!(client.add(20, 22).unwrap(), 42);
+}
+
+#[test]
+fn duplicated_request_does_not_corrupt_later_exchanges() {
+    // Message 1 (the client's first request) is delivered twice. The
+    // mediator treats the duplicate as the next session's request; the
+    // calculator is idempotent so the client's own exchanges stay
+    // correct.
+    let mut net = NetworkEngine::new();
+    net.register(Arc::new(MemoryTransport::with_faults(FaultPlan {
+        duplicate_nth: vec![1],
+        ..FaultPlan::default()
+    })));
+    let plus = PlusService::deploy(&net, &Endpoint::memory("plus")).unwrap();
+    let mediator = add_plus_mediator(net.clone(), plus.endpoint().clone()).unwrap();
+    let host = MediatorHost::deploy(mediator, &Endpoint::memory("bridge")).unwrap();
+    let mut client = AddClient::connect(&net, host.endpoint()).unwrap();
+    assert_eq!(client.add(2, 3).unwrap(), 5);
+}
+
+#[test]
+fn concurrent_clients_are_isolated() {
+    // Several clients mediate simultaneously; sessions (and their
+    // translation caches) must not bleed into each other.
+    let net = NetworkEngine::with_defaults();
+    let store = PhotoStore::with_fixture();
+    let picasa = PicasaService::deploy(&net, &Endpoint::memory("picasa"), store).unwrap();
+    let mediator = flickr_picasa_mediator(
+        net.clone(),
+        FlickrFlavor::XmlRpc,
+        picasa.endpoint().clone(),
+    )
+    .unwrap();
+    let host = MediatorHost::deploy(mediator, &Endpoint::memory("mediator")).unwrap();
+    let endpoint = host.endpoint().clone();
+
+    let mut handles = Vec::new();
+    for i in 0..6 {
+        let net = net.clone();
+        let endpoint = endpoint.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut client =
+                FlickrClient::connect(&net, &endpoint, FlickrFlavor::XmlRpc).unwrap();
+            let keyword = if i % 2 == 0 { "tree" } else { "beach" };
+            let ids = client.search(keyword, 5).unwrap();
+            let expected = if i % 2 == 0 { 3 } else { 1 };
+            assert_eq!(ids.len(), expected, "client {i} ({keyword})");
+            let info = client.get_info(&ids[0]).unwrap();
+            assert!(!info.url.is_empty());
+            info.title
+        }));
+    }
+    let titles: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for (i, title) in titles.iter().enumerate() {
+        let expected = if i % 2 == 0 { "Tall Tree" } else { "Sunny Beach" };
+        assert_eq!(title, expected);
+    }
+}
+
+#[test]
+fn slp_directory_over_real_udp() {
+    // The discovery substrate over the real UDP transport: SrvRqst and
+    // SrvRply as actual datagrams on the loopback interface.
+    use starlink::mdl::MessageCodec;
+    use starlink::message::AbstractMessage;
+    use starlink::message::Value;
+    use starlink::protocols::discovery::{slp_codec, SlpDirectory};
+    use std::collections::HashMap;
+
+    let net = NetworkEngine::with_defaults();
+    let directory = SlpDirectory::deploy(
+        &net,
+        &"udp://127.0.0.1:0".parse().unwrap(),
+        HashMap::from([(
+            "service:printer".to_owned(),
+            vec!["service:printer://printsrv:515".to_owned()],
+        )]),
+    )
+    .unwrap();
+    let codec = slp_codec().unwrap();
+    let mut rqst = AbstractMessage::new("SrvRqst");
+    rqst.set_field("Version", Value::UInt(2));
+    rqst.set_field("ServiceType", Value::Str("service:printer".into()));
+    let mut conn = net.connect(directory.endpoint()).unwrap();
+    conn.send(&codec.compose(&rqst).unwrap()).unwrap();
+    let reply = codec
+        .parse(&conn.receive_timeout(Duration::from_secs(5)).unwrap())
+        .unwrap();
+    assert_eq!(reply.name(), "SrvRply");
+    assert_eq!(reply.get("Urls").unwrap().as_array().unwrap().len(), 1);
+}
