@@ -96,9 +96,8 @@ impl PlusService {
     ///
     /// Bind failures.
     pub fn deploy(net: &NetworkEngine, endpoint: &Endpoint) -> Result<PlusService> {
-        let codec: Arc<dyn MessageCodec> = Arc::new(
-            soap_codec("calc.example.org", "/calc").map_err(CoreError::Mdl)?,
-        );
+        let codec: Arc<dyn MessageCodec> =
+            Arc::new(soap_codec("calc.example.org", "/calc").map_err(CoreError::Mdl)?);
         let handler: Arc<ServiceHandler> = Arc::new(|req| {
             if req.name() != "Plus" {
                 return Err(format!("unknown operation `{}`", req.name()));
@@ -146,8 +145,7 @@ impl AddService {
     ///
     /// Bind failures.
     pub fn deploy(net: &NetworkEngine, endpoint: &Endpoint) -> Result<AddService> {
-        let codec: Arc<dyn MessageCodec> =
-            Arc::new(giop_codec().map_err(CoreError::Mdl)?);
+        let codec: Arc<dyn MessageCodec> = Arc::new(giop_codec().map_err(CoreError::Mdl)?);
         let handler: Arc<ServiceHandler> = Arc::new(|req| {
             if req.name() != "Add" {
                 return Err(format!("unknown operation `{}`", req.name()));
@@ -187,8 +185,7 @@ impl AddClient {
     ///
     /// Connect failures.
     pub fn connect(net: &NetworkEngine, endpoint: &Endpoint) -> Result<AddClient> {
-        let codec: Arc<dyn MessageCodec> =
-            Arc::new(giop_codec().map_err(CoreError::Mdl)?);
+        let codec: Arc<dyn MessageCodec> = Arc::new(giop_codec().map_err(CoreError::Mdl)?);
         let rpc = RpcClient::connect(net, endpoint, codec, giop_binding(), add_interface())?;
         Ok(AddClient { rpc })
     }
@@ -234,14 +231,42 @@ pub fn add_plus_mediator(net: NetworkEngine, plus_endpoint: Endpoint) -> Result<
             ColorRuntime {
                 color: 2,
                 binding: soap_binding(),
-                codec: Arc::new(
-                    soap_codec("calc.example.org", "/calc").map_err(CoreError::Mdl)?,
-                ),
+                codec: Arc::new(soap_codec("calc.example.org", "/calc").map_err(CoreError::Mdl)?),
                 endpoint: Some(plus_endpoint),
             },
         ],
         net,
     )
+}
+
+/// Drives `clients` concurrent `Add` workloads of `requests` calls each
+/// against `endpoint` (a service or a deployed mediator host), returning
+/// the number of calls that completed with the correct sum. The
+/// throughput benchmarks and the host scale tests share this generator.
+pub fn run_add_workload(
+    net: &NetworkEngine,
+    endpoint: &Endpoint,
+    clients: usize,
+    requests: usize,
+) -> usize {
+    let mut handles = Vec::with_capacity(clients);
+    for _ in 0..clients {
+        let net = net.clone();
+        let endpoint = endpoint.clone();
+        handles.push(std::thread::spawn(move || {
+            let Ok(mut client) = AddClient::connect(&net, &endpoint) else {
+                return 0;
+            };
+            let mut ok = 0;
+            for i in 0..requests {
+                if matches!(client.add(i as i64, 1), Ok(z) if z == i as i64 + 1) {
+                    ok += 1;
+                }
+            }
+            ok
+        }));
+    }
+    handles.into_iter().map(|h| h.join().unwrap_or(0)).sum()
 }
 
 #[cfg(test)]
@@ -287,10 +312,25 @@ mod tests {
         let plus = PlusService::deploy(&net, &Endpoint::memory("plus")).unwrap();
         let mediator = add_plus_mediator(net.clone(), plus.endpoint().clone()).unwrap();
         let host =
-            starlink_core::MediatorHost::deploy(mediator, &Endpoint::memory("add-bridge"))
-                .unwrap();
+            starlink_core::MediatorHost::deploy(mediator, &Endpoint::memory("add-bridge")).unwrap();
         let mut client = AddClient::connect(&net, host.endpoint()).unwrap();
         assert_eq!(client.add(40, 2).unwrap(), 42);
         assert_eq!(client.add(-5, 5).unwrap(), 0);
+    }
+
+    #[test]
+    fn workload_generator_through_multiplexed_host() {
+        let net = net();
+        let plus = PlusService::deploy(&net, &Endpoint::memory("plus")).unwrap();
+        let mediator = add_plus_mediator(net.clone(), plus.endpoint().clone()).unwrap();
+        let host = starlink_core::MediatorHost::deploy_multiplexed(
+            mediator,
+            &Endpoint::memory("add-bridge"),
+            2,
+        )
+        .unwrap();
+        let completed = run_add_workload(&net, host.endpoint(), 8, 3);
+        assert_eq!(completed, 24);
+        assert!(host.completed_sessions() >= 24);
     }
 }

@@ -19,7 +19,7 @@ use starlink_automata::merge::{intertwine, into_service_loop, GammaKind, MergeOp
 use starlink_automata::Automaton;
 use starlink_core::{
     ActionRule, ColorRuntime, CoreError, Mediator, ParamRule, ProtocolBinding, ReplyAction,
-    Result, RestRoute, RpcServer, ServiceHandler, ServiceInterface,
+    RestRoute, Result, RpcServer, ServiceHandler, ServiceInterface,
 };
 use starlink_mdl::MessageCodec;
 use starlink_message::equiv::SemanticRegistry;
@@ -199,9 +199,8 @@ impl PicasaV2Service {
         endpoint: &Endpoint,
         store: PhotoStore,
     ) -> Result<PicasaV2Service> {
-        let codec: Arc<dyn MessageCodec> = Arc::new(
-            rest_codec("picasaweb.google.com").map_err(CoreError::Mdl)?,
-        );
+        let codec: Arc<dyn MessageCodec> =
+            Arc::new(rest_codec("picasaweb.google.com").map_err(CoreError::Mdl)?);
         let server = RpcServer::serve(
             net,
             endpoint,
@@ -378,8 +377,7 @@ mod tests {
         )
         .unwrap();
         // Drive it at the protocol level through a v2 binding client.
-        let codec: Arc<dyn MessageCodec> =
-            Arc::new(rest_codec("picasaweb.google.com").unwrap());
+        let codec: Arc<dyn MessageCodec> = Arc::new(rest_codec("picasaweb.google.com").unwrap());
         let mut rpc = starlink_core::RpcClient::connect(
             &net,
             service.endpoint(),

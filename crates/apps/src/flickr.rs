@@ -15,9 +15,7 @@
 //!   comment_text)` → `…reply(comment_id)`.
 
 use crate::store::PhotoStore;
-use starlink_core::{
-    CoreError, Result, RpcClient, RpcServer, ServiceHandler, ServiceInterface,
-};
+use starlink_core::{CoreError, Result, RpcClient, RpcServer, ServiceHandler, ServiceInterface};
 use starlink_mdl::MessageCodec;
 use starlink_message::{AbstractMessage, Field, Value};
 use starlink_net::{Endpoint, NetworkEngine};
@@ -51,8 +49,7 @@ pub fn flickr_interface() -> ServiceInterface {
     add_comment.set_field("api_key", Value::Null);
     add_comment.set_field("photo_id", Value::Null);
     add_comment.set_field("comment_text", Value::Null);
-    let mut add_comment_reply =
-        AbstractMessage::new("flickr.photos.comments.addComment.reply");
+    let mut add_comment_reply = AbstractMessage::new("flickr.photos.comments.addComment.reply");
     add_comment_reply.set_field("comment_id", Value::Null);
 
     ServiceInterface::new()
@@ -166,12 +163,12 @@ pub enum FlickrFlavor {
 /// Never fails for the embedded specs.
 pub fn flickr_codec(flavor: FlickrFlavor) -> Result<Arc<dyn MessageCodec>> {
     Ok(match flavor {
-        FlickrFlavor::XmlRpc => Arc::new(
-            xmlrpc_codec("api.flickr.com", "/services/xmlrpc").map_err(CoreError::Mdl)?,
-        ),
-        FlickrFlavor::Soap => Arc::new(
-            soap_codec("api.flickr.com", "/services/soap/").map_err(CoreError::Mdl)?,
-        ),
+        FlickrFlavor::XmlRpc => {
+            Arc::new(xmlrpc_codec("api.flickr.com", "/services/xmlrpc").map_err(CoreError::Mdl)?)
+        }
+        FlickrFlavor::Soap => {
+            Arc::new(soap_codec("api.flickr.com", "/services/soap/").map_err(CoreError::Mdl)?)
+        }
     })
 }
 

@@ -19,7 +19,7 @@ use starlink_automata::merge::{intertwine, into_service_loop, GammaKind, MergeOp
 use starlink_automata::{linear_usage_protocol, Automaton};
 use starlink_core::{
     ActionRule, ColorRuntime, CoreError, Mediator, ParamRule, ProtocolBinding, ReplyAction,
-    Result, RestRoute, RpcClient, RpcServer, ServiceHandler, ServiceInterface,
+    RestRoute, Result, RpcClient, RpcServer, ServiceHandler, ServiceInterface,
 };
 use starlink_mdl::MessageCodec;
 use starlink_message::equiv::SemanticRegistry;
@@ -81,44 +81,49 @@ pub fn bmaps_codec() -> Result<LayeredCodec> {
 /// The BMaps REST binding.
 pub fn bmaps_binding() -> ProtocolBinding {
     let uri: starlink_message::FieldPath = "RequestURI".parse().expect("static path");
-    ProtocolBinding::new("BMAPS-REST", "BMAPS.mdl", "HTTPRequest", "LocationsResponse")
-        .with_request_action(ActionRule::Rest {
-            method_field: "Method".parse().expect("static path"),
-            uri_field: uri.clone(),
-            routes: vec![
-                RestRoute {
-                    action: "bmaps.locations".into(),
-                    method: "GET".into(),
-                    path: LOCATIONS_PATH.into(),
-                },
-                RestRoute {
-                    action: "bmaps.routes".into(),
-                    method: "GET".into(),
-                    path: ROUTES_PATH.into(),
-                },
-            ],
-        })
-        .with_reply_action(ReplyAction::Correlated)
-        .with_params(
-            ParamRule::Query { uri_field: uri },
-            ParamRule::NamedFields(None),
-        )
-        .with_reply_message_override("bmaps.routes.reply", "RouteResponse")
-        .with_request_default(
-            "Version".parse().expect("static path"),
-            Value::Str("HTTP/1.1".into()),
-        )
-        .with_request_default(
-            "Headers".parse().expect("static path"),
-            Value::Struct(vec![Field::new(
-                "Host",
-                Value::Str("dev.virtualearth.example".into()),
-            )]),
-        )
-        .with_request_default(
-            "Body".parse().expect("static path"),
-            Value::Str(String::new()),
-        )
+    ProtocolBinding::new(
+        "BMAPS-REST",
+        "BMAPS.mdl",
+        "HTTPRequest",
+        "LocationsResponse",
+    )
+    .with_request_action(ActionRule::Rest {
+        method_field: "Method".parse().expect("static path"),
+        uri_field: uri.clone(),
+        routes: vec![
+            RestRoute {
+                action: "bmaps.locations".into(),
+                method: "GET".into(),
+                path: LOCATIONS_PATH.into(),
+            },
+            RestRoute {
+                action: "bmaps.routes".into(),
+                method: "GET".into(),
+                path: ROUTES_PATH.into(),
+            },
+        ],
+    })
+    .with_reply_action(ReplyAction::Correlated)
+    .with_params(
+        ParamRule::Query { uri_field: uri },
+        ParamRule::NamedFields(None),
+    )
+    .with_reply_message_override("bmaps.routes.reply", "RouteResponse")
+    .with_request_default(
+        "Version".parse().expect("static path"),
+        Value::Str("HTTP/1.1".into()),
+    )
+    .with_request_default(
+        "Headers".parse().expect("static path"),
+        Value::Struct(vec![Field::new(
+            "Host",
+            Value::Str("dev.virtualearth.example".into()),
+        )]),
+    )
+    .with_request_default(
+        "Body".parse().expect("static path"),
+        Value::Str(String::new()),
+    )
 }
 
 /// The BMaps application interface.
@@ -370,9 +375,8 @@ impl GMapsClient {
     ///
     /// Connect failures.
     pub fn connect(net: &NetworkEngine, endpoint: &Endpoint) -> Result<GMapsClient> {
-        let codec: Arc<dyn MessageCodec> = Arc::new(
-            xmlrpc_codec("maps.example.org", "/xmlrpc").map_err(CoreError::Mdl)?,
-        );
+        let codec: Arc<dyn MessageCodec> =
+            Arc::new(xmlrpc_codec("maps.example.org", "/xmlrpc").map_err(CoreError::Mdl)?);
         let rpc = RpcClient::connect(net, endpoint, codec, xmlrpc_binding(), gmaps_interface())?;
         Ok(GMapsClient { rpc })
     }
@@ -482,7 +486,10 @@ mod tests {
         assert!((hits[0].lat - 38.722).abs() < 1e-6);
 
         let (km, minutes) = client.directions("lisbon", "porto").unwrap();
-        assert!((250.0..350.0).contains(&km), "Lisbon–Porto ≈ 274 km, got {km}");
+        assert!(
+            (250.0..350.0).contains(&km),
+            "Lisbon–Porto ≈ 274 km, got {km}"
+        );
         assert!(minutes > 100.0);
     }
 

@@ -5,7 +5,9 @@
 
 use crate::flickr::{flickr_binding, flickr_codec, flickr_interface, FlickrFlavor};
 use crate::picasa::picasa_interface;
-use starlink_automata::merge::{intertwine, into_service_loop, GammaKind, MergeOptions, MergeReport};
+use starlink_automata::merge::{
+    intertwine, into_service_loop, GammaKind, MergeOptions, MergeReport,
+};
 use starlink_automata::{linear_usage_protocol, Automaton, NetworkSemantics};
 use starlink_core::{ColorRuntime, CoreError, Mediator, Result, ServiceInterface};
 use starlink_message::equiv::SemanticRegistry;
@@ -241,7 +243,9 @@ mod tests {
             })
             .collect();
         assert!(mtl_texts.iter().any(|m| m.contains("cache(p.id, e)")));
-        assert!(mtl_texts.iter().any(|m| m.contains("getcache(m7.photo_id)")));
+        assert!(mtl_texts
+            .iter()
+            .any(|m| m.contains("getcache(m7.photo_id)")));
         assert!(mtl_texts.iter().any(|m| m.contains("m2.q = m1.text")));
     }
 

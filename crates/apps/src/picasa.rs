@@ -11,9 +11,7 @@
 //! * `picasa.addComment(entry_id, content)` → `…reply(id, content)`.
 
 use crate::store::PhotoStore;
-use starlink_core::{
-    CoreError, Result, RpcClient, RpcServer, ServiceHandler, ServiceInterface,
-};
+use starlink_core::{CoreError, Result, RpcClient, RpcServer, ServiceHandler, ServiceInterface};
 use starlink_mdl::MessageCodec;
 use starlink_message::{AbstractMessage, Field, Value};
 use starlink_net::{Endpoint, NetworkEngine};
@@ -136,9 +134,8 @@ impl PicasaService {
         endpoint: &Endpoint,
         store: PhotoStore,
     ) -> Result<PicasaService> {
-        let codec: Arc<dyn MessageCodec> = Arc::new(
-            rest_codec("picasaweb.google.com").map_err(CoreError::Mdl)?,
-        );
+        let codec: Arc<dyn MessageCodec> =
+            Arc::new(rest_codec("picasaweb.google.com").map_err(CoreError::Mdl)?);
         let server = RpcServer::serve(
             net,
             endpoint,
@@ -168,9 +165,8 @@ impl PicasaClient {
     ///
     /// Connect failures.
     pub fn connect(net: &NetworkEngine, endpoint: &Endpoint) -> Result<PicasaClient> {
-        let codec: Arc<dyn MessageCodec> = Arc::new(
-            rest_codec("picasaweb.google.com").map_err(CoreError::Mdl)?,
-        );
+        let codec: Arc<dyn MessageCodec> =
+            Arc::new(rest_codec("picasaweb.google.com").map_err(CoreError::Mdl)?);
         let rpc = RpcClient::connect(net, endpoint, codec, rest_binding(), picasa_interface())?;
         Ok(PicasaClient { rpc })
     }
@@ -264,9 +260,12 @@ mod tests {
     #[test]
     fn native_rest_client_full_flow() {
         let net = net();
-        let service =
-            PicasaService::deploy(&net, &Endpoint::memory("picasa"), PhotoStore::with_fixture())
-                .unwrap();
+        let service = PicasaService::deploy(
+            &net,
+            &Endpoint::memory("picasa"),
+            PhotoStore::with_fixture(),
+        )
+        .unwrap();
         let mut client = PicasaClient::connect(&net, service.endpoint()).unwrap();
 
         let results = client.search("tree", 3).unwrap();
@@ -288,9 +287,12 @@ mod tests {
     #[test]
     fn search_respects_limit_and_misses() {
         let net = net();
-        let service =
-            PicasaService::deploy(&net, &Endpoint::memory("picasa"), PhotoStore::with_fixture())
-                .unwrap();
+        let service = PicasaService::deploy(
+            &net,
+            &Endpoint::memory("picasa"),
+            PhotoStore::with_fixture(),
+        )
+        .unwrap();
         let mut client = PicasaClient::connect(&net, service.endpoint()).unwrap();
         assert_eq!(client.search("tree", 1).unwrap().len(), 1);
         assert!(client.search("zebra", 10).unwrap().is_empty());
@@ -299,9 +301,12 @@ mod tests {
     #[test]
     fn add_comment_to_unknown_photo_fails() {
         let net = net();
-        let service =
-            PicasaService::deploy(&net, &Endpoint::memory("picasa"), PhotoStore::with_fixture())
-                .unwrap();
+        let service = PicasaService::deploy(
+            &net,
+            &Endpoint::memory("picasa"),
+            PhotoStore::with_fixture(),
+        )
+        .unwrap();
         let mut client = PicasaClient::connect(&net, service.endpoint()).unwrap();
         client.rpc.timeout = std::time::Duration::from_millis(300);
         assert!(client.add_comment("gphoto-999", "hi").is_err());

@@ -5,11 +5,26 @@
 //! behaviour (DESIGN.md §2): keyword search over public photos, comment
 //! listing, and comment posting.
 
-use parking_lot::RwLock;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
+
+/// Minimal deterministic PRNG (splitmix64) for workload generation;
+/// the same seed always yields the same store contents.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound.max(1) as u64) as usize
+    }
+}
 
 /// A stored photograph.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -86,16 +101,16 @@ impl PhotoStore {
     /// seed) — the benchmark workload generator.
     pub fn with_random_photos(n: usize, seed: u64) -> PhotoStore {
         let store = PhotoStore::new();
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64(seed);
         let tags = ["tree", "oak", "beach", "city", "sky", "river"];
         let owners = ["alice", "bob", "carol", "dave"];
         for i in 0..n {
-            let tag = tags[rng.gen_range(0..tags.len())];
+            let tag = tags[rng.below(tags.len())];
             store.add_photo(Photo {
                 id: format!("gphoto-{}", i + 1),
                 title: format!("{tag} #{i}"),
                 url: format!("http://photos.example.org/{}.jpg", i + 1),
-                owner: owners[rng.gen_range(0..owners.len())].to_owned(),
+                owner: owners[rng.below(owners.len())].to_owned(),
                 tags: vec![tag.to_owned()],
             });
         }
@@ -104,7 +119,7 @@ impl PhotoStore {
 
     /// Adds a photo.
     pub fn add_photo(&self, photo: Photo) {
-        self.inner.write().photos.push(photo);
+        self.inner.write().unwrap().photos.push(photo);
     }
 
     /// Keyword search over titles and tags, capped at `limit` results.
@@ -112,6 +127,7 @@ impl PhotoStore {
         let keyword = keyword.to_ascii_lowercase();
         self.inner
             .read()
+            .unwrap()
             .photos
             .iter()
             .filter(|p| {
@@ -125,18 +141,25 @@ impl PhotoStore {
 
     /// Photo lookup by id.
     pub fn photo(&self, id: &str) -> Option<Photo> {
-        self.inner.read().photos.iter().find(|p| p.id == id).cloned()
+        self.inner
+            .read()
+            .unwrap()
+            .photos
+            .iter()
+            .find(|p| p.id == id)
+            .cloned()
     }
 
     /// Total number of photos.
     pub fn photo_count(&self) -> usize {
-        self.inner.read().photos.len()
+        self.inner.read().unwrap().photos.len()
     }
 
     /// Comments on a photo, oldest first.
     pub fn comments(&self, photo_id: &str) -> Vec<Comment> {
         self.inner
             .read()
+            .unwrap()
             .comments
             .iter()
             .filter(|(pid, _)| pid == photo_id)
@@ -146,7 +169,10 @@ impl PhotoStore {
 
     /// Adds a comment; returns the stored comment (with its new id).
     pub fn add_comment(&self, photo_id: &str, author: &str, text: &str) -> Comment {
-        let id = format!("comment-{}", self.next_comment.fetch_add(1, Ordering::SeqCst) + 1);
+        let id = format!(
+            "comment-{}",
+            self.next_comment.fetch_add(1, Ordering::SeqCst) + 1
+        );
         let comment = Comment {
             id,
             author: author.to_owned(),
@@ -154,6 +180,7 @@ impl PhotoStore {
         };
         self.inner
             .write()
+            .unwrap()
             .comments
             .push((photo_id.to_owned(), comment.clone()));
         comment

@@ -1,7 +1,6 @@
 use crate::error::AutomatonError;
 use crate::transition::{Action, NetworkSemantics, Transition};
 use crate::Result;
-use serde::{Deserialize, Serialize};
 use starlink_message::AbstractMessage;
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::fmt;
@@ -12,7 +11,7 @@ use std::fmt::Write as _;
 /// In a merged automaton a state may carry **two** colors — the
 /// bi-colored nodes of Fig. 3 where γ-transitions translate between the
 /// two systems.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct State {
     /// Unique id within the automaton (`s0`, `s1²`, …).
     pub id: String,
@@ -35,7 +34,7 @@ impl State {
 /// An automaton in the sense of paper §3.1 (`AS = (Q, M, q0, F, Act, →)`),
 /// extended with colors and γ-transitions so that the same type also
 /// represents merged automata (Def. 8).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Automaton {
     name: String,
     /// Default color painted on newly added states.
@@ -183,11 +182,7 @@ impl Automaton {
     ///
     /// [`AutomatonError::UnknownState`] if either endpoint is missing.
     pub fn add_gamma(&mut self, from: &str, to: &str, mtl: impl Into<String>) -> Result<()> {
-        self.add_transition(Transition::new(
-            from,
-            to,
-            Action::Gamma { mtl: mtl.into() },
-        ))
+        self.add_transition(Transition::new(from, to, Action::Gamma { mtl: mtl.into() }))
     }
 
     /// Adds an arbitrary transition.
@@ -217,18 +212,22 @@ impl Automaton {
     }
 
     /// Checks well-formedness: an initial state, at least one final
-    /// state, every state reachable, and a final state reachable from
-    /// the initial state.
+    /// state, every state reachable, a final state reachable from the
+    /// initial state, and no state mixing action kinds on its outgoing
+    /// transitions (the engine classifies states as receiving, sending
+    /// or no-action; a state that is several at once is unexecutable —
+    /// multiple *receive* alternatives from one state remain legal).
     ///
     /// # Errors
     ///
     /// The first violation found, as an [`AutomatonError`].
     pub fn validate(&self) -> Result<()> {
-        let initial = self.initial.as_deref().ok_or_else(|| {
-            AutomatonError::NoInitialState {
+        let initial = self
+            .initial
+            .as_deref()
+            .ok_or_else(|| AutomatonError::NoInitialState {
                 automaton: self.name.clone(),
-            }
-        })?;
+            })?;
         if self.finals.is_empty() {
             return Err(AutomatonError::NoFinalState {
                 automaton: self.name.clone(),
@@ -247,6 +246,19 @@ impl Automaton {
             return Err(AutomatonError::NoPathToFinal {
                 automaton: self.name.clone(),
             });
+        }
+        for s in &self.states {
+            let outgoing: Vec<&Transition> = self.transitions_from(&s.id).collect();
+            let mixed = outgoing
+                .iter()
+                .any(|t| action_kind(&t.action) != action_kind(&outgoing[0].action));
+            if mixed {
+                return Err(AutomatonError::MixedActionKinds {
+                    automaton: self.name.clone(),
+                    state: s.id.clone(),
+                    labels: outgoing.iter().map(|t| t.action.label()).collect(),
+                });
+            }
         }
         Ok(())
     }
@@ -276,7 +288,6 @@ impl Automaton {
             .filter(|t| t.action.is_gamma())
             .count()
     }
-
 
     /// Whether the automaton accepts the given trace of action labels
     /// (`"!op"`, `"?op.reply"`, `"γ"`), walking deterministically by
@@ -385,6 +396,15 @@ impl Automaton {
                 state: id.to_owned(),
             })
         }
+    }
+}
+
+/// The kind of a transition action, for mixed-kind detection.
+fn action_kind(action: &Action) -> u8 {
+    match action {
+        Action::Send(_) => 0,
+        Action::Receive(_) => 1,
+        Action::Gamma { .. } => 2,
     }
 }
 
@@ -503,6 +523,39 @@ mod tests {
     }
 
     #[test]
+    fn validate_rejects_mixed_action_kinds() {
+        let mut a = Automaton::new("T", 1);
+        a.add_state("s0");
+        a.add_state("s1");
+        a.set_initial("s0").unwrap();
+        a.add_final("s1").unwrap();
+        a.add_send("s0", "s1", msg("req")).unwrap();
+        a.add_receive("s0", "s1", msg("push")).unwrap();
+        let err = a.validate().unwrap_err();
+        match err {
+            AutomatonError::MixedActionKinds { state, labels, .. } => {
+                assert_eq!(state, "s0");
+                assert_eq!(labels, vec!["!req", "?push"]);
+            }
+            other => panic!("expected MixedActionKinds, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_allows_multiple_receive_alternatives() {
+        let mut a = Automaton::new("T", 1);
+        a.add_state("s0");
+        a.add_state("s1");
+        a.add_state("s2");
+        a.set_initial("s0").unwrap();
+        a.add_final("s1").unwrap();
+        a.add_final("s2").unwrap();
+        a.add_receive("s0", "s1", msg("yes")).unwrap();
+        a.add_receive("s0", "s2", msg("no")).unwrap();
+        a.validate().unwrap();
+    }
+
+    #[test]
     fn transition_requires_states() {
         let mut a = Automaton::new("T", 1);
         a.add_state("s0");
@@ -541,8 +594,14 @@ mod tests {
             "AFlickr",
             1,
             &[
-                (msg("flickr.photos.search"), msg("flickr.photos.search.reply")),
-                (msg("flickr.photos.getInfo"), msg("flickr.photos.getInfo.reply")),
+                (
+                    msg("flickr.photos.search"),
+                    msg("flickr.photos.search.reply"),
+                ),
+                (
+                    msg("flickr.photos.getInfo"),
+                    msg("flickr.photos.getInfo.reply"),
+                ),
             ],
         );
         flickr.validate().unwrap();
@@ -566,7 +625,6 @@ mod tests {
         );
     }
 
-
     #[test]
     fn accepts_valid_traces() {
         let a = linear_usage_protocol(
@@ -578,7 +636,10 @@ mod tests {
             ],
         );
         assert!(a.accepts(&["!search", "?search.reply", "!get", "?get.reply"]));
-        assert!(!a.accepts(&["!search", "?search.reply"]), "stops before final");
+        assert!(
+            !a.accepts(&["!search", "?search.reply"]),
+            "stops before final"
+        );
         assert!(!a.accepts(&["!get"]), "wrong order");
         assert!(!a.accepts(&["!search", "!search"]), "unexpected repeat");
         assert!(!a.accepts(&[]), "initial is not accepting here");

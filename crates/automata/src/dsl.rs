@@ -212,10 +212,11 @@ pub fn parse(text: &str) -> Result<Automaton> {
                 }
             }
             let (endpoints, action_text) =
-                full.split_once(':').ok_or_else(|| AutomatonError::DslSyntax {
-                    message: "transition needs `from -> to : action`".into(),
-                    line: line_no,
-                })?;
+                full.split_once(':')
+                    .ok_or_else(|| AutomatonError::DslSyntax {
+                        message: "transition needs `from -> to : action`".into(),
+                        line: line_no,
+                    })?;
             let (from, to) =
                 endpoints
                     .split_once("->")
@@ -358,7 +359,13 @@ pub fn print(a: &Automaton) -> String {
                 if mtl.is_empty() {
                     let _ = writeln!(out, "  {} -> {} : gamma", t.from, t.to);
                 } else {
-                    let _ = writeln!(out, "  {} -> {} : gamma {{ {} }}", t.from, t.to, mtl.replace('\n', "\n    "));
+                    let _ = writeln!(
+                        out,
+                        "  {} -> {} : gamma {{ {} }}",
+                        t.from,
+                        t.to,
+                        mtl.replace('\n', "\n    ")
+                    );
                 }
             }
             action => {
@@ -488,7 +495,8 @@ automaton AFlickr color=1 {
 
     #[test]
     fn rejects_unknown_transition_state() {
-        let bad = "automaton X color=1 {\n  states s0\n  initial s0\n  final s0\n  s0 -> s9 : !m\n}";
+        let bad =
+            "automaton X color=1 {\n  states s0\n  initial s0\n  final s0\n  s0 -> s9 : !m\n}";
         assert!(matches!(
             parse(bad),
             Err(AutomatonError::UnknownState { .. })

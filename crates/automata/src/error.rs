@@ -40,6 +40,20 @@ pub enum AutomatonError {
         /// The duplicated state id.
         state: String,
     },
+    /// A state's outgoing transitions mix action kinds (send vs receive
+    /// vs γ). The engine classifies each state as receiving, sending or
+    /// no-action from its outgoing transitions (paper §4.2), so a mixed
+    /// state is ambiguous and cannot be executed. Multiple *receive*
+    /// transitions from one state stay legal (a receiving state with
+    /// alternatives).
+    MixedActionKinds {
+        /// The automaton involved.
+        automaton: String,
+        /// The offending state id.
+        state: String,
+        /// Labels of the conflicting transitions.
+        labels: Vec<String>,
+    },
     /// Two automata could not be merged.
     NotMergeable {
         /// Human-readable reason, naming the operation that failed to
@@ -75,6 +89,17 @@ impl fmt::Display for AutomatonError {
             }
             AutomatonError::DuplicateState { automaton, state } => {
                 write!(f, "state `{state}` declared twice in `{automaton}`")
+            }
+            AutomatonError::MixedActionKinds {
+                automaton,
+                state,
+                labels,
+            } => {
+                write!(
+                    f,
+                    "state `{state}` of `{automaton}` mixes action kinds: {}",
+                    labels.join(", ")
+                )
             }
             AutomatonError::NotMergeable { reason } => {
                 write!(f, "automata are not mergeable: {reason}")

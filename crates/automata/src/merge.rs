@@ -498,10 +498,8 @@ pub fn intertwine(
             Some(j) => {
                 // Auto-invoke any skipped service ops first.
                 for sop in &service_ops[s_idx..j] {
-                    let sources: Vec<(&AbstractMessage, &str)> = history
-                        .iter()
-                        .map(|(m, s)| (m, s.as_str()))
-                        .collect();
+                    let sources: Vec<(&AbstractMessage, &str)> =
+                        history.iter().map(|(m, s)| (m, s.as_str())).collect();
                     if !derivable(reg, &sop.request, &sources) {
                         return Err(AutomatonError::NotMergeable {
                             reason: format!(
@@ -589,10 +587,8 @@ pub fn intertwine(
             }
             None => {
                 // Extra/missing-message mismatch: answer from history.
-                let sources: Vec<(&AbstractMessage, &str)> = history
-                    .iter()
-                    .map(|(m, s)| (m, s.as_str()))
-                    .collect();
+                let sources: Vec<(&AbstractMessage, &str)> =
+                    history.iter().map(|(m, s)| (m, s.as_str())).collect();
                 let recv_state = format!("m{}", builder.next_id);
                 let compose_state = format!("m{}", builder.next_id + 1);
                 let fully = derivable(reg, &cop.reply, &sources);
@@ -640,7 +636,6 @@ pub fn intertwine(
     builder.finish()
 }
 
-
 /// Folds a *linear* merged automaton (one traversal of the client's
 /// session, Fig. 3) into a **service loop**: the states between operation
 /// patterns — the initial state and every state reached after a reply is
@@ -662,8 +657,7 @@ pub fn into_service_loop(merged: &Automaton) -> Result<Automaton> {
         })?
         .to_owned();
     // Spine = initial + targets of client-reply sends + finals.
-    let mut spine: std::collections::HashSet<String> =
-        std::collections::HashSet::new();
+    let mut spine: std::collections::HashSet<String> = std::collections::HashSet::new();
     spine.insert(initial.clone());
     for f in merged.finals() {
         spine.insert(f.to_owned());
@@ -833,8 +827,7 @@ mod tests {
             )],
         );
         reg.declare_field_concept("keyword", ["text", "q"]);
-        let (_, report) =
-            intertwine(&client, &service, &reg, &MergeOptions::default()).unwrap();
+        let (_, report) = intertwine(&client, &service, &reg, &MergeOptions::default()).unwrap();
         assert_eq!(report.class, MergeClass::Weak);
     }
 
@@ -849,7 +842,10 @@ mod tests {
         let service = linear_usage_protocol(
             "S",
             2,
-            &[(template("b.unrelated", &["zz"]), template("b.unrelated.reply", &[]))],
+            &[(
+                template("b.unrelated", &["zz"]),
+                template("b.unrelated.reply", &[]),
+            )],
         );
         let err = intertwine(&client, &service, &reg, &MergeOptions::default()).unwrap_err();
         assert!(matches!(err, AutomatonError::NotMergeable { .. }));
@@ -896,15 +892,17 @@ mod tests {
             &[
                 (template("s.op", &["y"]), template("s.op.reply", &["r"])),
                 // Trailing op derivable from history (`y` ≅ `x`).
-                (template("s.commit", &["y"]), template("s.commit.reply", &["fin"])),
+                (
+                    template("s.commit", &["y"]),
+                    template("s.commit.reply", &["fin"]),
+                ),
             ],
         );
         let (merged, report) =
             intertwine(&client, &service, &reg, &MergeOptions::default()).unwrap();
-        assert!(report
-            .resolutions
-            .iter()
-            .any(|r| matches!(r, OpResolution::AutoInvoked { service_op } if service_op == "s.commit")));
+        assert!(report.resolutions.iter().any(
+            |r| matches!(r, OpResolution::AutoInvoked { service_op } if service_op == "s.commit")
+        ));
         merged.validate().unwrap();
     }
 
@@ -916,9 +914,10 @@ mod tests {
             "custom-program",
         );
         let (merged, _) = intertwine(&flickr(), &picasa(), &registry(), &options).unwrap();
-        let has_custom = merged.transitions().iter().any(|t| {
-            matches!(&t.action, Action::Gamma { mtl } if mtl == "custom-program")
-        });
+        let has_custom = merged
+            .transitions()
+            .iter()
+            .any(|t| matches!(&t.action, Action::Gamma { mtl } if mtl == "custom-program"));
         assert!(has_custom);
     }
 

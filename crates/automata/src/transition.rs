@@ -1,10 +1,9 @@
-use serde::{Deserialize, Serialize};
 use starlink_message::AbstractMessage;
 use std::fmt;
 
 /// Whether messages on a colored automaton are exchanged synchronously on
 /// one connection (RPC style) or asynchronously.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum InteractionMode {
     /// Request and response travel on the same connection, blocking
     /// (GIOP, SOAP-over-HTTP, XML-RPC — Fig. 4's `mode="sync"`).
@@ -17,7 +16,7 @@ pub enum InteractionMode {
 /// Network semantics attached to a color of a k-colored automaton:
 /// "a transition in the k-colored automata attaches network semantics to
 /// describe the requirements of the network" (paper §4.2, Fig. 4).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NetworkSemantics {
     /// Transport protocol name understood by the network engine
     /// (`"tcp"`, `"udp"`, `"memory"`).
@@ -72,7 +71,7 @@ impl fmt::Display for NetworkSemantics {
 }
 
 /// The action performed by a transition.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Action {
     /// `!m` — send the message (invoke an operation).
     Send(AbstractMessage),
@@ -119,7 +118,7 @@ impl fmt::Display for Action {
 }
 
 /// A transition of a (possibly merged) automaton.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Transition {
     /// Source state id.
     pub from: String,
@@ -177,7 +176,11 @@ mod tests {
 
     #[test]
     fn transition_display() {
-        let t = Transition::new("A1", "A2", Action::Send(AbstractMessage::new("GIOPRequest")));
+        let t = Transition::new(
+            "A1",
+            "A2",
+            Action::Send(AbstractMessage::new("GIOPRequest")),
+        );
         assert_eq!(t.to_string(), "A1 --!GIOPRequest--> A2");
     }
 

@@ -105,7 +105,8 @@ fn bench_layering(c: &mut Criterion) {
 
 fn bench_bit_packing(c: &mut Criterion) {
     // 8 single-bit flags packed into one byte vs 8 byte-wide fields.
-    let packed_spec = "<Message:P>\n<F0:1><F1:1><F2:1><F3:1><F4:1><F5:1><F6:1><F7:1>\n<End:Message>";
+    let packed_spec =
+        "<Message:P>\n<F0:1><F1:1><F2:1><F3:1><F4:1><F5:1><F6:1><F7:1>\n<End:Message>";
     let byte_spec = "<Message:P>\n<F0:8><F1:8><F2:8><F3:8><F4:8><F5:8><F6:8><F7:8>\n<End:Message>";
     let packed = MdlCodec::from_text(packed_spec).unwrap();
     let bytes = MdlCodec::from_text(byte_spec).unwrap();

@@ -55,9 +55,12 @@ fn bench_case_study_search(c: &mut Criterion) {
     // Direct: native REST client → Picasa.
     {
         let net = network();
-        let service =
-            PicasaService::deploy(&net, &Endpoint::memory("picasa"), PhotoStore::with_fixture())
-                .unwrap();
+        let service = PicasaService::deploy(
+            &net,
+            &Endpoint::memory("picasa"),
+            PhotoStore::with_fixture(),
+        )
+        .unwrap();
         let mut client = PicasaClient::connect(&net, service.endpoint()).unwrap();
         group.bench_function("direct-rest", |b| {
             b.iter(|| client.search("tree", 3).unwrap());
@@ -67,9 +70,12 @@ fn bench_case_study_search(c: &mut Criterion) {
     // Mediated: XML-RPC Flickr client → mediator → Picasa.
     {
         let net = network();
-        let service =
-            PicasaService::deploy(&net, &Endpoint::memory("picasa"), PhotoStore::with_fixture())
-                .unwrap();
+        let service = PicasaService::deploy(
+            &net,
+            &Endpoint::memory("picasa"),
+            PhotoStore::with_fixture(),
+        )
+        .unwrap();
         let mediator = flickr_picasa_mediator(
             net.clone(),
             FlickrFlavor::XmlRpc,
@@ -87,18 +93,17 @@ fn bench_case_study_search(c: &mut Criterion) {
     // Mediated, SOAP flavor.
     {
         let net = network();
-        let service =
-            PicasaService::deploy(&net, &Endpoint::memory("picasa"), PhotoStore::with_fixture())
-                .unwrap();
-        let mediator = flickr_picasa_mediator(
-            net.clone(),
-            FlickrFlavor::Soap,
-            service.endpoint().clone(),
+        let service = PicasaService::deploy(
+            &net,
+            &Endpoint::memory("picasa"),
+            PhotoStore::with_fixture(),
         )
         .unwrap();
+        let mediator =
+            flickr_picasa_mediator(net.clone(), FlickrFlavor::Soap, service.endpoint().clone())
+                .unwrap();
         let host = MediatorHost::deploy(mediator, &Endpoint::memory("mediator")).unwrap();
-        let mut client =
-            FlickrClient::connect(&net, host.endpoint(), FlickrFlavor::Soap).unwrap();
+        let mut client = FlickrClient::connect(&net, host.endpoint(), FlickrFlavor::Soap).unwrap();
         group.bench_function("mediated-soap-to-rest", |b| {
             b.iter(|| client.search("tree", 3).unwrap());
         });
@@ -110,9 +115,12 @@ fn bench_getinfo_cache_answer(c: &mut Criterion) {
     // The Fig. 10 path: answered entirely inside the mediator — should
     // be *faster* than an intertwined operation (no service hop).
     let net = network();
-    let service =
-        PicasaService::deploy(&net, &Endpoint::memory("picasa"), PhotoStore::with_fixture())
-            .unwrap();
+    let service = PicasaService::deploy(
+        &net,
+        &Endpoint::memory("picasa"),
+        PhotoStore::with_fixture(),
+    )
+    .unwrap();
     let mediator = flickr_picasa_mediator(
         net.clone(),
         FlickrFlavor::XmlRpc,
@@ -120,8 +128,7 @@ fn bench_getinfo_cache_answer(c: &mut Criterion) {
     )
     .unwrap();
     let host = MediatorHost::deploy(mediator, &Endpoint::memory("mediator")).unwrap();
-    let mut client =
-        FlickrClient::connect(&net, host.endpoint(), FlickrFlavor::XmlRpc).unwrap();
+    let mut client = FlickrClient::connect(&net, host.endpoint(), FlickrFlavor::XmlRpc).unwrap();
     let ids = client.search("tree", 3).unwrap();
     let id = ids[0].clone();
     c.bench_function("latency/getinfo-from-cache", |b| {

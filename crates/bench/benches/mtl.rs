@@ -40,9 +40,7 @@ foreach e in m4.Entries {
         b.iter(|| MtlProgram::parse(fig9).unwrap())
     });
 
-    let assignments: String = (0..32)
-        .map(|i| format!("out.f{i} = src.f{i}\n"))
-        .collect();
+    let assignments: String = (0..32).map(|i| format!("out.f{i} = src.f{i}\n")).collect();
     c.bench_function("mtl/parse-32-assignments", |b| {
         b.iter(|| MtlProgram::parse(&assignments).unwrap())
     });
@@ -102,10 +100,8 @@ foreach e in m4.Entries {
 }
 
 fn bench_getcache(c: &mut Criterion) {
-    let program = MtlProgram::parse(
-        "let e = getcache(m8.photo_id)\nm9.photo = e\nm9.url = e.url",
-    )
-    .unwrap();
+    let program =
+        MtlProgram::parse("let e = getcache(m8.photo_id)\nm9.photo = e\nm9.url = e.url").unwrap();
     let mut cache = TranslationCache::new();
     for i in 0..1000 {
         cache.put(

@@ -1,8 +1,10 @@
 //! B5 — mediated throughput: requests/second through one mediator with
 //! increasing client concurrency, against the direct-call baseline.
+//! Compares the thread-per-connection host against the multiplexed host
+//! (bounded worker pool) at each concurrency level.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use starlink_apps::calculator::{add_plus_mediator, AddClient, AddService, PlusService};
+use starlink_apps::calculator::{add_plus_mediator, run_add_workload, AddService, PlusService};
 use starlink_core::MediatorHost;
 use starlink_net::{Endpoint, MemoryTransport, NetworkEngine};
 use std::sync::Arc;
@@ -17,20 +19,8 @@ fn network() -> NetworkEngine {
 
 /// Runs `clients` threads, each performing `REQUESTS_PER_CLIENT` calls.
 fn run_clients(net: &NetworkEngine, endpoint: &Endpoint, clients: usize) {
-    let mut handles = Vec::new();
-    for _ in 0..clients {
-        let net = net.clone();
-        let endpoint = endpoint.clone();
-        handles.push(std::thread::spawn(move || {
-            let mut client = AddClient::connect(&net, &endpoint).unwrap();
-            for i in 0..REQUESTS_PER_CLIENT {
-                assert_eq!(client.add(i as i64, 1).unwrap(), i as i64 + 1);
-            }
-        }));
-    }
-    for h in handles {
-        h.join().unwrap();
-    }
+    let completed = run_add_workload(net, endpoint, clients, REQUESTS_PER_CLIENT);
+    assert_eq!(completed, clients * REQUESTS_PER_CLIENT);
 }
 
 fn bench_throughput(c: &mut Criterion) {
@@ -43,14 +33,12 @@ fn bench_throughput(c: &mut Criterion) {
             let net = network();
             let service = AddService::deploy(&net, &Endpoint::memory("add")).unwrap();
             let endpoint = service.endpoint().clone();
-            group.bench_with_input(
-                BenchmarkId::new("direct", clients),
-                &clients,
-                |b, &n| b.iter(|| run_clients(&net, &endpoint, n)),
-            );
+            group.bench_with_input(BenchmarkId::new("direct", clients), &clients, |b, &n| {
+                b.iter(|| run_clients(&net, &endpoint, n))
+            });
         }
 
-        // Through the mediator.
+        // Through the thread-per-connection mediator host.
         {
             let net = network();
             let plus = PlusService::deploy(&net, &Endpoint::memory("plus")).unwrap();
@@ -58,7 +46,23 @@ fn bench_throughput(c: &mut Criterion) {
             let host = MediatorHost::deploy(mediator, &Endpoint::memory("bridge")).unwrap();
             let endpoint = host.endpoint().clone();
             group.bench_with_input(
-                BenchmarkId::new("mediated", clients),
+                BenchmarkId::new("mediated/threaded", clients),
+                &clients,
+                |b, &n| b.iter(|| run_clients(&net, &endpoint, n)),
+            );
+        }
+
+        // Through the multiplexed mediator host: all sessions share a
+        // bounded pool of 4 worker threads regardless of client count.
+        {
+            let net = network();
+            let plus = PlusService::deploy(&net, &Endpoint::memory("plus")).unwrap();
+            let mediator = add_plus_mediator(net.clone(), plus.endpoint().clone()).unwrap();
+            let host =
+                MediatorHost::deploy_multiplexed(mediator, &Endpoint::memory("bridge"), 4).unwrap();
+            let endpoint = host.endpoint().clone();
+            group.bench_with_input(
+                BenchmarkId::new("mediated/multiplexed", clients),
                 &clients,
                 |b, &n| b.iter(|| run_clients(&net, &endpoint, n)),
             );

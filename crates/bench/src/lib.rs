@@ -30,9 +30,7 @@ pub fn xmlrpc_call(params: usize) -> AbstractMessage {
         "Params",
         Value::Array(
             (0..params)
-                .map(|i| {
-                    Value::Struct(vec![Field::new("value", Value::Str(format!("param-{i}")))])
-                })
+                .map(|i| Value::Struct(vec![Field::new("value", Value::Str(format!("param-{i}")))]))
                 .collect(),
         ),
     );

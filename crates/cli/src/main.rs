@@ -118,7 +118,10 @@ fn cmd_mdl_check(files: &[String]) -> Result<(), String> {
     for file in files {
         let text = read(file)?;
         let codec = MdlCodec::from_text(&text).map_err(|e| format!("{file}: {e}"))?;
-        println!("{file}: ok — variants: {}", codec.message_names().join(", "));
+        println!(
+            "{file}: ok — variants: {}",
+            codec.message_names().join(", ")
+        );
     }
     Ok(())
 }

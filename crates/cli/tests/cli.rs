@@ -151,11 +151,7 @@ fn mdl_check_lists_variants() {
 #[test]
 fn models_summarises_bundle() {
     let dir = temp_dir("models");
-    std::fs::write(
-        dir.join("wire.mdl"),
-        "<Message:Req><Kind:8><End:Message>",
-    )
-    .unwrap();
+    std::fs::write(dir.join("wire.mdl"), "<Message:Req><Kind:8><End:Message>").unwrap();
     std::fs::write(dir.join("client.atm"), CLIENT_ATM).unwrap();
     let output = bin().arg("models").arg(&dir).output().unwrap();
     assert!(output.status.success());

@@ -310,10 +310,7 @@ impl ProtocolBinding {
         templates: impl Fn(&str) -> Option<&'t AbstractMessage>,
     ) -> Result<AbstractMessage> {
         let action = match &self.request_action {
-            ActionRule::Field(path) => proto
-                .get_path(path)
-                .map_err(CoreError::from)?
-                .to_text(),
+            ActionRule::Field(path) => proto.get_path(path).map_err(CoreError::from)?.to_text(),
             ActionRule::Rest {
                 method_field,
                 uri_field,
@@ -430,8 +427,7 @@ impl ProtocolBinding {
             }
             ParamRule::None => Ok(()),
             ParamRule::PositionalArray(path) => {
-                let items: Vec<Value> =
-                    app.fields().iter().map(|f| f.value().clone()).collect();
+                let items: Vec<Value> = app.fields().iter().map(|f| f.value().clone()).collect();
                 proto.set_path(path, Value::Array(items))?;
                 Ok(())
             }
@@ -542,8 +538,7 @@ impl ProtocolBinding {
                 match template {
                     Some(t) => {
                         for tf in t.fields() {
-                            if let Some(f) =
-                                source_fields.iter().find(|f| f.label() == tf.label())
+                            if let Some(f) = source_fields.iter().find(|f| f.label() == tf.label())
                             {
                                 app.set_field(tf.label(), f.value().clone());
                             } else if tf.is_mandatory() {
@@ -673,9 +668,7 @@ mod tests {
         let proto = b.bind_request(&add_app()).unwrap();
         let template = add_app();
         let app = b
-            .unbind_request(&proto, |action| {
-                (action == "Add").then_some(&template)
-            })
+            .unbind_request(&proto, |action| (action == "Add").then_some(&template))
             .unwrap();
         assert_eq!(app.name(), "Add");
         assert_eq!(app.get("x").unwrap().as_int(), Some(3));
@@ -693,7 +686,9 @@ mod tests {
         assert_eq!(proto_reply.get("RequestID").unwrap().as_uint(), Some(77));
         let mut template = AbstractMessage::new("Add.reply");
         template.set_field("z", Value::Null);
-        let back = b.unbind_reply(&proto_reply, "Add", Some(&template)).unwrap();
+        let back = b
+            .unbind_reply(&proto_reply, "Add", Some(&template))
+            .unwrap();
         assert_eq!(back.name(), "Add.reply");
         assert_eq!(back.get("z").unwrap().as_int(), Some(7));
     }
@@ -832,10 +827,7 @@ mod tests {
         app.set_field("k", Value::from("v"));
         let proto = b.bind_request(&app).unwrap();
         assert_eq!(
-            proto
-                .get_path(&"body.k".parse().unwrap())
-                .unwrap()
-                .as_str(),
+            proto.get_path(&"body.k".parse().unwrap()).unwrap().as_str(),
             Some("v")
         );
         let mut template = AbstractMessage::new("do");

@@ -108,7 +108,6 @@ pub fn concretize(
     Ok(out)
 }
 
-
 fn resolve_per_action<'r>(rule: &'r ParamRule, action: &str) -> &'r ParamRule {
     match rule {
         ParamRule::PerAction { rules, default } => {
@@ -190,8 +189,8 @@ fn protocol_path(
 mod tests {
     use super::*;
     use crate::binding::{ActionRule, ReplyAction};
-    use starlink_automata::merge::{template, MergeBuilder};
     use starlink_automata::linear_usage_protocol;
+    use starlink_automata::merge::{template, MergeBuilder};
     use starlink_message::Value;
 
     fn iiop_binding() -> ProtocolBinding {
@@ -245,11 +244,17 @@ mod tests {
         let iiop = concretize(&usage, &HashMap::from([(1, iiop_binding())])).unwrap();
         let soap = concretize(&usage, &HashMap::from([(1, soap_binding())])).unwrap();
 
-        let iiop_labels: Vec<String> =
-            iiop.transitions().iter().map(|t| t.action.label()).collect();
+        let iiop_labels: Vec<String> = iiop
+            .transitions()
+            .iter()
+            .map(|t| t.action.label())
+            .collect();
         assert_eq!(iiop_labels, vec!["!GIOPRequest", "?GIOPReply"]);
-        let soap_labels: Vec<String> =
-            soap.transitions().iter().map(|t| t.action.label()).collect();
+        let soap_labels: Vec<String> = soap
+            .transitions()
+            .iter()
+            .map(|t| t.action.label())
+            .collect();
         assert_eq!(soap_labels, vec!["!SOAPRequest", "?SOAPReply"]);
 
         // The action label landed in the binding's action field.
@@ -316,13 +321,8 @@ mod tests {
         let mut binding = soap_binding();
         binding.request_params = ParamRule::NamedFields(Some("Body".parse().unwrap()));
         let t = template("op", &["k"]);
-        let rewritten = protocol_path(
-            &binding,
-            Kind::Request,
-            &t,
-            &"k.sub".parse().unwrap(),
-        )
-        .unwrap();
+        let rewritten =
+            protocol_path(&binding, Kind::Request, &t, &"k.sub".parse().unwrap()).unwrap();
         assert_eq!(rewritten.to_string(), "Body.k.sub");
     }
 
@@ -336,10 +336,7 @@ mod tests {
     #[test]
     fn concrete_reply_template_has_status_defaults() {
         let mut binding = soap_binding();
-        binding.reply_defaults = vec![(
-            "Status".parse().unwrap(),
-            Value::Str("200".into()),
-        )];
+        binding.reply_defaults = vec![("Status".parse().unwrap(), Value::Str("200".into()))];
         let usage = add_usage();
         let concrete = concretize(&usage, &HashMap::from([(1, binding)])).unwrap();
         let reply = concrete.transitions()[1].action.message().unwrap();

@@ -1,0 +1,154 @@
+//! Blocking driver for the sans-I/O [`SessionCore`]: owns the sockets,
+//! executes the core's [`SessionIo`] instructions with blocking calls,
+//! and reproduces the behaviour of the original fused engine loop —
+//! existing integration tests run against it unchanged through
+//! [`crate::Mediator::run_session`] and the thread-per-connection
+//! [`crate::MediatorHost`].
+
+use crate::error::CoreError;
+use crate::session_core::{
+    SessionCore, SessionEvent, SessionIo, SessionOutcome, SessionPersist, SessionSpec,
+};
+use crate::Result;
+use starlink_mtl::TranslationCache;
+use starlink_net::{Connection, Endpoint, NetworkEngine};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Mutable per-connection state shared across successive traversals on
+/// the same client connection (the translation cache persists so that
+/// e.g. photo ids minted in one traversal resolve in the next).
+pub(crate) struct ConnectionState {
+    pub cache: TranslationCache,
+    pub service_conns: HashMap<u8, Box<dyn Connection>>,
+    pub host_override: Option<String>,
+}
+
+impl ConnectionState {
+    pub(crate) fn new() -> ConnectionState {
+        ConnectionState {
+            cache: TranslationCache::new(),
+            service_conns: HashMap::new(),
+            host_override: None,
+        }
+    }
+}
+
+/// Granularity at which a stoppable blocking receive re-checks the stop
+/// flag, so host shutdown interrupts sessions promptly.
+const STOP_POLL: Duration = Duration::from_millis(50);
+
+/// Runs one automaton traversal to completion over blocking I/O.
+///
+/// `stop` (when given) makes the driver abandon the session promptly on
+/// host shutdown instead of sleeping out the full receive timeout.
+pub(crate) fn run_blocking(
+    spec: &Arc<SessionSpec>,
+    net: &NetworkEngine,
+    timeout: Duration,
+    client_conn: &mut dyn Connection,
+    state: &mut ConnectionState,
+    stop: Option<&AtomicBool>,
+) -> Result<SessionOutcome> {
+    let persist = SessionPersist {
+        cache: std::mem::replace(&mut state.cache, TranslationCache::new()),
+        connected: state.service_conns.keys().copied().collect(),
+        host_override: state.host_override.take(),
+    };
+    let mut core = SessionCore::new(spec.clone(), persist)?;
+    let result = drive(&mut core, spec, net, timeout, client_conn, state, stop);
+    // Persistent state flows back even when the traversal failed — a
+    // timeout-and-retry must keep the translation cache.
+    let persist = core.into_persist();
+    state.cache = persist.cache;
+    state.host_override = persist.host_override;
+    result
+}
+
+fn drive(
+    core: &mut SessionCore,
+    spec: &Arc<SessionSpec>,
+    net: &NetworkEngine,
+    timeout: Duration,
+    client_conn: &mut dyn Connection,
+    state: &mut ConnectionState,
+    stop: Option<&AtomicBool>,
+) -> Result<SessionOutcome> {
+    let mut ios = core.start()?;
+    loop {
+        let mut need: Option<u8> = None;
+        for io in ios {
+            match io {
+                SessionIo::Finished(outcome) => return Ok(outcome),
+                SessionIo::NeedRecv { color } => need = Some(color),
+                SessionIo::SendWire { color, bytes } => {
+                    if color == spec.client_color {
+                        client_conn.send(&bytes)?;
+                    } else {
+                        let conn = state.service_conns.get_mut(&color).ok_or_else(|| {
+                            CoreError::Aborted {
+                                reason: format!("send on color {color} with no connection"),
+                            }
+                        })?;
+                        conn.send(&bytes)?;
+                    }
+                }
+                SessionIo::ConnectService { color, endpoint } => {
+                    let endpoint: Endpoint = endpoint.parse()?;
+                    let conn = net.connect(&endpoint)?;
+                    state.service_conns.insert(color, conn);
+                }
+            }
+        }
+        let Some(color) = need else {
+            return Err(CoreError::Aborted {
+                reason: "session core yielded without finishing or requesting input".to_owned(),
+            });
+        };
+        let wire = if color == spec.client_color {
+            receive_stoppable(client_conn, timeout, stop)?
+        } else {
+            let conn = state
+                .service_conns
+                .get_mut(&color)
+                .ok_or_else(|| CoreError::Aborted {
+                    reason: format!("receive on color {color} before any request was sent"),
+                })?;
+            receive_stoppable(conn.as_mut(), timeout, stop)?
+        };
+        ios = core.step(SessionEvent::WireReceived { color, bytes: wire })?;
+    }
+}
+
+/// Blocking receive that honours an optional stop flag by receiving in
+/// short slices. Timeout and close semantics match a plain
+/// `receive_timeout` call.
+fn receive_stoppable(
+    conn: &mut dyn Connection,
+    timeout: Duration,
+    stop: Option<&AtomicBool>,
+) -> Result<Vec<u8>> {
+    let Some(stop) = stop else {
+        return Ok(conn.receive_timeout(timeout)?);
+    };
+    let deadline = Instant::now() + timeout;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Err(CoreError::Aborted {
+                reason: "host shutting down".to_owned(),
+            });
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(CoreError::Net(starlink_net::NetError::Timeout));
+        }
+        let slice = STOP_POLL.min(deadline - now);
+        match conn.receive_timeout(slice) {
+            Ok(wire) => return Ok(wire),
+            Err(starlink_net::NetError::Timeout) => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+}

@@ -1,30 +1,16 @@
-//! The automata engine (paper §4.2): executes a (merged) k-colored
-//! automaton against live connections.
+//! Per-color runtime configuration for deployed mediators.
 //!
-//! "There are three types of states: i) a receiving state waits to
-//! receive a message and will only follow a matching receive transition
-//! when a matching message is received; ii) a sending state sends a
-//! message described in the single transition; iii) a no-action state is
-//! a translation state that translates data from the fields on one or
-//! more of the prior messages into the message to be constructed."
-//!
-//! The engine classifies states by their outgoing transitions, reads and
-//! writes wire messages through each color's codec + binding, records
-//! every application-level message in the session [`History`] (keyed by
-//! the state where it was observed, which is how MTL's state-qualified
-//! references resolve), and executes MTL programs at γ-transitions.
+//! The automata engine itself lives in [`crate::session_core`] as a
+//! pure, I/O-free state machine; the blocking execution path that used
+//! to be fused into this module is now the driver in `driver.rs`. What
+//! remains here is the deployment-facing configuration type: how each
+//! color of the merged automaton reaches the network (Fig. 4's
+//! `transport/mode/mdl` annotations made executable).
 
 use crate::binding::ProtocolBinding;
-use crate::error::CoreError;
-use crate::Result;
-use starlink_automata::{Action, Automaton, Transition};
 use starlink_mdl::MessageCodec;
-use starlink_message::{AbstractMessage, Direction, History, Value};
-use starlink_mtl::{MtlContext, MtlProgram, TranslationCache};
-use starlink_net::{Connection, Endpoint, NetworkEngine};
-use std::collections::HashMap;
+use starlink_net::Endpoint;
 use std::sync::Arc;
-use std::time::Duration;
 
 /// Per-color runtime configuration: how messages of that color reach the
 /// network (Fig. 4's `transport/mode/mdl` annotations made executable).
@@ -39,250 +25,4 @@ pub struct ColorRuntime {
     /// For service-facing colors: the endpoint the mediator connects to.
     /// `None` for the client-facing color (the mediator listens there).
     pub endpoint: Option<Endpoint>,
-}
-
-/// What a completed session looked like.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SessionOutcome {
-    /// The accepting state the automaton finished in.
-    pub final_state: String,
-    /// Application messages received + sent during the session.
-    pub exchanges: usize,
-}
-
-/// Session-scoped execution of one automaton traversal.
-pub(crate) struct Session<'m> {
-    pub automaton: &'m Automaton,
-    pub client_color: u8,
-    pub runtimes: &'m HashMap<u8, ColorRuntime>,
-    pub gammas: &'m HashMap<(String, String), MtlProgram>,
-    pub templates: &'m HashMap<String, AbstractMessage>,
-    pub net: &'m NetworkEngine,
-    pub timeout: Duration,
-}
-
-/// Mutable per-connection state shared across successive traversals on
-/// the same client connection (the translation cache persists so that
-/// e.g. photo ids minted in one traversal resolve in the next).
-pub(crate) struct ConnectionState {
-    pub cache: TranslationCache,
-    pub service_conns: HashMap<u8, Box<dyn Connection>>,
-    pub host_override: Option<String>,
-}
-
-impl ConnectionState {
-    pub(crate) fn new() -> ConnectionState {
-        ConnectionState {
-            cache: TranslationCache::new(),
-            service_conns: HashMap::new(),
-            host_override: None,
-        }
-    }
-}
-
-impl<'m> Session<'m> {
-    /// Runs the automaton once, from initial to a final state.
-    pub(crate) fn run(
-        &self,
-        client_conn: &mut dyn Connection,
-        state: &mut ConnectionState,
-    ) -> Result<SessionOutcome> {
-        let mut current: String = self
-            .automaton
-            .initial()
-            .ok_or_else(|| CoreError::Automaton(
-                starlink_automata::AutomatonError::NoInitialState {
-                    automaton: self.automaton.name().to_owned(),
-                },
-            ))?
-            .to_owned();
-        let mut history = History::new();
-        let mut pending: HashMap<String, AbstractMessage> = HashMap::new();
-        // Last protocol-level request per color (for reply correlation).
-        let mut last_request_proto: HashMap<u8, AbstractMessage> = HashMap::new();
-        // Pending application operation per service color.
-        let mut pending_op: HashMap<u8, String> = HashMap::new();
-        let mut exchanges = 0usize;
-
-        loop {
-            let outgoing: Vec<&Transition> =
-                self.automaton.transitions_from(&current).collect();
-            if outgoing.is_empty() {
-                return if self.automaton.is_final(&current) {
-                    Ok(SessionOutcome {
-                        final_state: current,
-                        exchanges,
-                    })
-                } else {
-                    Err(CoreError::Stuck { state: current })
-                };
-            }
-            match &outgoing[0].action {
-                Action::Receive(_) => {
-                    let color = self.state_color(&current)?;
-                    let app = if color == self.client_color {
-                        let wire = client_conn.receive_timeout(self.timeout)?;
-                        let runtime = self.runtime(color)?;
-                        let proto = runtime.codec.parse(&wire)?;
-                        let app = runtime.binding.unbind_request(&proto, |action| {
-                            self.templates.get(action)
-                        })?;
-                        last_request_proto.insert(color, proto);
-                        app
-                    } else {
-                        let runtime = self.runtime(color)?;
-                        let conn = state.service_conns.get_mut(&color).ok_or_else(|| {
-                            CoreError::Aborted {
-                                reason: format!(
-                                    "receive on color {color} before any request was sent"
-                                ),
-                            }
-                        })?;
-                        let wire = conn.receive_timeout(self.timeout)?;
-                        let proto = runtime.codec.parse(&wire)?;
-                        let op = pending_op.get(&color).cloned().unwrap_or_default();
-                        let template = self.templates.get(&format!("{op}.reply"));
-                        runtime.binding.unbind_reply(&proto, &op, template)?
-                    };
-                    // Match against the expected receive transitions.
-                    let matching = outgoing.iter().find(|t| {
-                        t.action
-                            .message()
-                            .map(|m| m.name() == app.name())
-                            .unwrap_or(false)
-                    });
-                    let t = matching.ok_or_else(|| CoreError::UnexpectedMessage {
-                        state: current.clone(),
-                        received: app.name().to_owned(),
-                        expected: outgoing.iter().map(|t| t.action.label()).collect(),
-                    })?;
-                    history.record(t.to.clone(), Direction::Received, app);
-                    exchanges += 1;
-                    current = t.to.clone();
-                }
-                Action::Gamma { .. } => {
-                    let t = outgoing[0];
-                    let program = self
-                        .gammas
-                        .get(&(t.from.clone(), t.to.clone()))
-                        .cloned()
-                        .unwrap_or_else(MtlProgram::empty);
-                    let mut ctx = MtlContext::new(&history, &mut state.cache);
-                    // Pre-register the message the next send will need,
-                    // composed at the γ's target state.
-                    if let Some(send_template) = self.next_send_template(&t.to) {
-                        ctx.add_output(
-                            t.to.clone(),
-                            AbstractMessage::new(send_template.name()),
-                        );
-                    }
-                    program.execute(&mut ctx)?;
-                    if let Some(host) = ctx.host_override() {
-                        state.host_override = Some(host.to_owned());
-                    }
-                    if let Some(msg) = ctx.take_output(&t.to) {
-                        pending.insert(t.to.clone(), msg);
-                    }
-                    current = t.to.clone();
-                }
-                Action::Send(_) => {
-                    let t = outgoing[0];
-                    let template =
-                        t.action.message().expect("send actions carry a message");
-                    let mut app = pending
-                        .remove(&current)
-                        .unwrap_or_else(|| AbstractMessage::new(template.name()));
-                    app.set_name(template.name());
-                    let color = self.state_color(&current)?;
-                    let runtime = self.runtime(color)?;
-                    if color == self.client_color {
-                        // Reply to the client.
-                        let proto = runtime
-                            .binding
-                            .bind_reply(&app, last_request_proto.get(&color))?;
-                        let wire = runtime.codec.compose(&proto)?;
-                        client_conn.send(&wire)?;
-                    } else {
-                        // Request to a service.
-                        let mut proto = runtime.binding.bind_request(&app)?;
-                        if let Some(corr) = &runtime.binding.correlation {
-                            if proto.get_path(corr).is_err() {
-                                proto.set_path(corr, Value::UInt(exchanges as u64 + 1))?;
-                            }
-                        }
-                        let wire = runtime.codec.compose(&proto)?;
-                        self.service_conn(color, state)?.send(&wire)?;
-                        last_request_proto.insert(color, proto);
-                        pending_op.insert(color, app.name().to_owned());
-                    }
-                    history.record(current.clone(), Direction::Sent, app);
-                    exchanges += 1;
-                    current = t.to.clone();
-                }
-            }
-        }
-    }
-
-    fn runtime(&self, color: u8) -> Result<&ColorRuntime> {
-        self.runtimes
-            .get(&color)
-            .ok_or_else(|| CoreError::NotRegistered {
-                kind: "color runtime",
-                name: color.to_string(),
-            })
-    }
-
-    /// The color that drives network activity at a state (single-colored
-    /// states only; bi-colored states carry γ-transitions, which touch no
-    /// network).
-    fn state_color(&self, state_id: &str) -> Result<u8> {
-        let state =
-            self.automaton
-                .state(state_id)
-                .ok_or_else(|| CoreError::Automaton(
-                    starlink_automata::AutomatonError::UnknownState {
-                        automaton: self.automaton.name().to_owned(),
-                        state: state_id.to_owned(),
-                    },
-                ))?;
-        Ok(state.colors[0])
-    }
-
-    /// The message template of the send transition leaving `state`, if
-    /// the state is a sending state.
-    fn next_send_template(&self, state: &str) -> Option<&AbstractMessage> {
-        self.automaton
-            .transitions_from(state)
-            .find_map(|t| match &t.action {
-                Action::Send(m) => Some(m),
-                _ => None,
-            })
-    }
-
-    /// Connects (lazily) to the service endpoint of a color, honoring a
-    /// `sethost` override issued earlier in the session.
-    fn service_conn<'c>(
-        &self,
-        color: u8,
-        state: &'c mut ConnectionState,
-    ) -> Result<&'c mut Box<dyn Connection>> {
-        if !state.service_conns.contains_key(&color) {
-            let runtime = self.runtime(color)?;
-            let endpoint = match (&state.host_override, &runtime.endpoint) {
-                (Some(host), _) => host.parse::<Endpoint>()?,
-                (None, Some(ep)) => ep.clone(),
-                (None, None) => {
-                    return Err(CoreError::Binding {
-                        message: format!("color {color} has no service endpoint"),
-                    })
-                }
-            };
-            let conn = self.net.connect(&endpoint)?;
-            state.service_conns.insert(color, conn);
-        }
-        Ok(state
-            .service_conns
-            .get_mut(&color)
-            .expect("inserted above"))
-    }
 }

@@ -48,6 +48,14 @@ pub enum CoreError {
         /// Why.
         reason: String,
     },
+    /// A sans-I/O [`crate::SessionCore`] was fed an event it did not ask
+    /// for (wrong color, bytes after finishing, step before start).
+    UnexpectedEvent {
+        /// What was wrong.
+        detail: String,
+    },
+    /// The host rejected new work because it is shutting down.
+    HostStopped,
 }
 
 impl fmt::Display for CoreError {
@@ -75,6 +83,10 @@ impl fmt::Display for CoreError {
             }
             CoreError::Binding { message } => write!(f, "binding error: {message}"),
             CoreError::Aborted { reason } => write!(f, "session aborted: {reason}"),
+            CoreError::UnexpectedEvent { detail } => {
+                write!(f, "unexpected session event: {detail}")
+            }
+            CoreError::HostStopped => write!(f, "mediator host is shutting down"),
         }
     }
 }

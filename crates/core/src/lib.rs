@@ -17,10 +17,15 @@
 //! * [`RpcClient`] / [`RpcServer`] — application endpoints executing
 //!   their side of an application-middleware automaton (used to build
 //!   the case study's heterogeneous clients and services),
-//! * [`Mediator`] / [`MediatorHost`] — the automata engine of §4.2:
-//!   receiving states block on parsed messages, no-action (γ) states run
-//!   MTL translations, sending states compose and transmit; sessions are
-//!   spawned per client connection.
+//! * [`SessionCore`] — the automata engine of §4.2 as a pure, I/O-free
+//!   state machine: receiving states park on a [`SessionIo::NeedRecv`]
+//!   instruction, no-action (γ) states run MTL translations, sending
+//!   states compose and emit [`SessionIo::SendWire`] instructions,
+//! * [`Mediator`] / [`MediatorHost`] — deployment: a mediator packages
+//!   the merged automaton with per-color runtimes into a shared
+//!   [`SessionSpec`]; a host drives sessions either on a thread per
+//!   client connection or multiplexed over a bounded worker pool
+//!   (see `docs/engine.md`).
 //!
 //! Execution note: the engine applies binding rules *at the network
 //! edges* (parse→unbind on receive, bind→compose on send) and runs MTL on
@@ -34,22 +39,27 @@
 
 mod binding;
 mod concrete;
+mod driver;
 mod engine;
 mod error;
 mod mediator;
 mod monitor;
 mod registry;
 mod rpc;
+mod session_core;
 
-pub use binding::{ActionRule, ParamRule, ProtocolBinding, ReplyAction, RestRoute};
 pub use binding::{percent_decode, percent_encode};
+pub use binding::{ActionRule, ParamRule, ProtocolBinding, ReplyAction, RestRoute};
 pub use concrete::concretize;
-pub use engine::{ColorRuntime, SessionOutcome};
+pub use engine::ColorRuntime;
 pub use error::CoreError;
 pub use mediator::{Mediator, MediatorHost};
 pub use monitor::ProtocolMonitor;
 pub use registry::ModelRegistry;
 pub use rpc::{RpcClient, RpcServer, ServiceHandler, ServiceInterface};
+pub use session_core::{
+    ColorConfig, SessionCore, SessionEvent, SessionIo, SessionOutcome, SessionPersist, SessionSpec,
+};
 
 /// Convenience result alias for this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,32 +1,47 @@
 //! Mediator construction and deployment.
 //!
 //! A [`Mediator`] packages a merged k-colored automaton with per-color
-//! runtime configurations; a [`MediatorHost`] deploys it "in the
-//! network" (paper §5.1): it listens at the client-facing endpoint and
-//! runs one engine session per client automaton traversal. Combined with
-//! a redirect proxy (see the apps crate) this reproduces the paper's
-//! deployment, where unmodified Flickr clients were pointed at the local
-//! Starlink mediator.
+//! runtime configurations into a shared [`SessionSpec`]; a
+//! [`MediatorHost`] deploys it "in the network" (paper §5.1): it listens
+//! at the client-facing endpoint and runs one engine session per client
+//! automaton traversal. Combined with a redirect proxy (see the apps
+//! crate) this reproduces the paper's deployment, where unmodified
+//! Flickr clients were pointed at the local Starlink mediator.
+//!
+//! Two deployment shapes share the same sans-I/O [`SessionCore`]:
+//!
+//! * [`MediatorHost::deploy`] — thread per client connection, blocking
+//!   I/O (the original engine's shape);
+//! * [`MediatorHost::deploy_multiplexed`] — one coordinator polling
+//!   connection readiness plus a bounded worker pool stepping session
+//!   cores, so many idle clients cost no threads.
 
-use crate::engine::{ColorRuntime, ConnectionState, Session, SessionOutcome};
+use crate::driver::{self, ConnectionState};
+use crate::engine::ColorRuntime;
 use crate::error::CoreError;
+use crate::session_core::{
+    ColorConfig, SessionCore, SessionEvent, SessionIo, SessionOutcome, SessionPersist, SessionSpec,
+};
 use crate::Result;
 use starlink_automata::{Action, Automaton};
-use starlink_message::AbstractMessage;
 use starlink_mtl::MtlProgram;
-use starlink_net::{Connection, Endpoint, NetworkEngine};
+use starlink_net::channel::{self, Receiver, Sender};
+use starlink_net::{Connection, Endpoint, NetError, NetworkEngine};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long the accept/coordinator loops sleep when nothing is ready.
+const IDLE_POLL: Duration = Duration::from_millis(1);
+
+/// How long the accept loop backs off after a transient accept error.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(5);
 
 /// A deployable mediator: merged automaton + per-color runtimes.
 pub struct Mediator {
-    automaton: Arc<Automaton>,
-    client_color: u8,
-    runtimes: HashMap<u8, ColorRuntime>,
-    gammas: HashMap<(String, String), MtlProgram>,
-    templates: HashMap<String, AbstractMessage>,
+    spec: Arc<SessionSpec>,
     net: NetworkEngine,
     /// Per-exchange receive timeout.
     pub timeout: Duration,
@@ -39,7 +54,8 @@ impl Mediator {
     ///
     /// # Errors
     ///
-    /// Automaton validation failures and MTL syntax errors (reported at
+    /// Automaton validation failures (including mixed-kind states, which
+    /// the engine cannot execute) and MTL syntax errors (reported at
     /// deployment time, not mid-session).
     pub fn new(
         automaton: Automaton,
@@ -61,12 +77,27 @@ impl Mediator {
                 }
             }
         }
+        let colors = runtimes
+            .into_iter()
+            .map(|r| {
+                (
+                    r.color,
+                    ColorConfig {
+                        binding: r.binding,
+                        codec: r.codec,
+                        endpoint: r.endpoint.map(|e| e.to_string()),
+                    },
+                )
+            })
+            .collect();
         Ok(Mediator {
-            automaton: Arc::new(automaton),
-            client_color,
-            runtimes: runtimes.into_iter().map(|r| (r.color, r)).collect(),
-            gammas,
-            templates,
+            spec: Arc::new(SessionSpec {
+                automaton: Arc::new(automaton),
+                client_color,
+                colors,
+                gammas,
+                templates,
+            }),
             net,
             timeout: Duration::from_secs(10),
         })
@@ -74,7 +105,13 @@ impl Mediator {
 
     /// The merged automaton this mediator executes.
     pub fn automaton(&self) -> &Automaton {
-        &self.automaton
+        &self.spec.automaton
+    }
+
+    /// The shared session specification, for driving [`SessionCore`]
+    /// directly (deterministic replay tests, custom drivers).
+    pub fn session_spec(&self) -> Arc<SessionSpec> {
+        self.spec.clone()
     }
 
     /// Runs one full automaton traversal against an already-accepted
@@ -85,32 +122,35 @@ impl Mediator {
     /// Any engine failure; the connection should be dropped afterwards.
     pub fn run_session(&self, client_conn: &mut dyn Connection) -> Result<SessionOutcome> {
         let mut state = ConnectionState::new();
-        self.session().run(client_conn, &mut state)
-    }
-
-    fn session(&self) -> Session<'_> {
-        Session {
-            automaton: &self.automaton,
-            client_color: self.client_color,
-            runtimes: &self.runtimes,
-            gammas: &self.gammas,
-            templates: &self.templates,
-            net: &self.net,
-            timeout: self.timeout,
-        }
+        driver::run_blocking(
+            &self.spec,
+            &self.net,
+            self.timeout,
+            client_conn,
+            &mut state,
+            None,
+        )
     }
 }
 
-/// A deployed mediator: listening at the client-facing endpoint,
-/// spawning a session loop per client connection.
+/// A deployed mediator: listening at the client-facing endpoint, running
+/// one engine session per client automaton traversal — either on a
+/// thread per connection ([`MediatorHost::deploy`]) or multiplexed over
+/// a bounded worker pool ([`MediatorHost::deploy_multiplexed`]).
 pub struct MediatorHost {
     endpoint: Endpoint,
     stop: Arc<AtomicBool>,
     sessions: Arc<AtomicUsize>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl MediatorHost {
-    /// Deploys the mediator at `listen`.
+    /// Deploys the mediator at `listen`, thread-per-connection.
+    ///
+    /// The accept loop polls so that [`MediatorHost::shutdown`] takes
+    /// effect promptly, tolerates transient accept errors (backing off
+    /// briefly instead of dying), and exits only on shutdown or when the
+    /// listener itself closes.
     ///
     /// # Errors
     ///
@@ -123,38 +163,119 @@ impl MediatorHost {
         let accept_stop = stop.clone();
         let session_count = sessions.clone();
         let mediator = Arc::new(mediator);
-        std::thread::spawn(move || {
+        let accept_thread = std::thread::spawn(move || {
+            let mut session_threads: Vec<JoinHandle<()>> = Vec::new();
             while !accept_stop.load(Ordering::SeqCst) {
-                let mut conn = match listener.accept() {
-                    Ok(c) => c,
-                    Err(_) => return,
+                let mut conn = match listener.try_accept() {
+                    Ok(Some(c)) => c,
+                    Ok(None) => {
+                        std::thread::sleep(IDLE_POLL);
+                        continue;
+                    }
+                    Err(NetError::Closed) => break,
+                    Err(_) => {
+                        // Transient (e.g. EMFILE, aborted handshake):
+                        // keep serving.
+                        std::thread::sleep(ACCEPT_BACKOFF);
+                        continue;
+                    }
                 };
                 let mediator = mediator.clone();
                 let stop = accept_stop.clone();
                 let session_count = session_count.clone();
-                std::thread::spawn(move || {
+                session_threads.push(std::thread::spawn(move || {
                     // The translation cache persists across traversals on
                     // the same connection (getInfo after search).
                     let mut state = ConnectionState::new();
                     while !stop.load(Ordering::SeqCst) {
-                        match mediator.session().run(conn.as_mut(), &mut state) {
+                        let run = driver::run_blocking(
+                            &mediator.spec,
+                            &mediator.net,
+                            mediator.timeout,
+                            conn.as_mut(),
+                            &mut state,
+                            Some(&stop),
+                        );
+                        match run {
                             Ok(_) => {
                                 session_count.fetch_add(1, Ordering::SeqCst);
                             }
-                            Err(CoreError::Net(starlink_net::NetError::Closed)) => return,
-                            Err(CoreError::Net(starlink_net::NetError::Timeout)) => {
-                                continue;
-                            }
+                            Err(CoreError::Net(NetError::Closed)) => return,
+                            Err(CoreError::Net(NetError::Timeout)) => continue,
                             Err(_) => return,
                         }
                     }
-                });
+                }));
+            }
+            for t in session_threads {
+                let _ = t.join();
             }
         });
         Ok(MediatorHost {
             endpoint,
             stop,
             sessions,
+            threads: Mutex::new(vec![accept_thread]),
+        })
+    }
+
+    /// Deploys the mediator at `listen`, multiplexing all client
+    /// connections over a pool of at most `max_workers` worker threads.
+    ///
+    /// A coordinator thread polls the listener and parked connections
+    /// for readiness; sessions with input ready are handed to workers
+    /// over a bounded channel (blocking the coordinator when all workers
+    /// are busy — natural backpressure). Idle connections cost no
+    /// threads, so the host serves far more concurrent clients than
+    /// workers.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn deploy_multiplexed(
+        mediator: Mediator,
+        listen: &Endpoint,
+        max_workers: usize,
+    ) -> Result<MediatorHost> {
+        let listener = mediator.net.listen(listen)?;
+        let endpoint = listener.local_endpoint();
+        let stop = Arc::new(AtomicBool::new(false));
+        let sessions = Arc::new(AtomicUsize::new(0));
+        let max_workers = max_workers.max(1);
+        // Bounded: when every worker is busy and the buffer is full, the
+        // coordinator's send blocks until a slot frees up.
+        let (jobs_tx, jobs_rx) = channel::bounded::<Job>(max_workers * 2);
+        let (done_tx, done_rx) = channel::unbounded::<MuxSession>();
+        let mediator = Arc::new(mediator);
+        let mut threads = Vec::with_capacity(max_workers + 1);
+        for _ in 0..max_workers {
+            let jobs_rx = jobs_rx.clone();
+            let done_tx = done_tx.clone();
+            let mediator = mediator.clone();
+            let stop = stop.clone();
+            let session_count = sessions.clone();
+            threads.push(std::thread::spawn(move || {
+                worker_loop(&jobs_rx, &done_tx, &mediator, &stop, &session_count);
+            }));
+        }
+        drop(jobs_rx);
+        drop(done_tx);
+        let coord_stop = stop.clone();
+        let coord_mediator = mediator.clone();
+        threads.push(std::thread::spawn(move || {
+            coordinator_loop(
+                listener.as_ref(),
+                &jobs_tx,
+                &done_rx,
+                &coord_mediator,
+                &coord_stop,
+            );
+        }));
+        Ok(MediatorHost {
+            endpoint,
+            stop,
+            sessions,
+            threads: Mutex::new(threads),
         })
     }
 
@@ -168,10 +289,18 @@ impl MediatorHost {
         self.sessions.load(Ordering::SeqCst)
     }
 
-    /// Requests shutdown: no new sessions start; in-flight sessions end
-    /// at their next timeout check.
+    /// Shuts the host down and waits for its threads: no new sessions
+    /// start, in-flight sessions are interrupted at their next receive
+    /// slice, and the accept/coordinator/worker threads are joined.
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::SeqCst);
+        let handles: Vec<JoinHandle<()>> = {
+            let mut guard = self.threads.lock().unwrap();
+            guard.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
     }
 }
 
@@ -179,4 +308,210 @@ impl Drop for MediatorHost {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// One client connection multiplexed over the worker pool: its session
+/// core plus the sockets the core's instructions refer to.
+struct MuxSession {
+    core: SessionCore,
+    client: Box<dyn Connection>,
+    services: HashMap<u8, Box<dyn Connection>>,
+    /// Color the session is parked waiting to receive on.
+    awaiting: Option<u8>,
+    /// When the parked receive times out (triggering [`SessionEvent::Tick`]).
+    deadline: Instant,
+}
+
+/// A unit of work for the pool: step this session with this event
+/// (`None` = start the session's first traversal).
+struct Job {
+    session: MuxSession,
+    event: Option<SessionEvent>,
+}
+
+fn worker_loop(
+    jobs: &Receiver<Job>,
+    done: &Sender<MuxSession>,
+    mediator: &Arc<Mediator>,
+    stop: &AtomicBool,
+    session_count: &AtomicUsize,
+) {
+    while let Ok(job) = jobs.recv() {
+        let Job { mut session, event } = job;
+        let stepped = match event {
+            None => session.core.start(),
+            Some(event) => session.core.step(event),
+        };
+        // On engine or I/O failure the session (and its connections) is
+        // dropped, mirroring the thread-per-connection host; otherwise it
+        // parked awaiting input — hand it back for polling.
+        if stepped
+            .and_then(|ios| pump(&mut session, ios, mediator, stop, session_count))
+            .is_ok()
+            && done.send(session).is_err()
+        {
+            return;
+        }
+    }
+}
+
+/// Executes a batch of core instructions with quick blocking I/O,
+/// restarting the traversal whenever one finishes, until the session
+/// parks on a receive.
+fn pump(
+    session: &mut MuxSession,
+    mut ios: Vec<SessionIo>,
+    mediator: &Arc<Mediator>,
+    stop: &AtomicBool,
+    session_count: &AtomicUsize,
+) -> Result<()> {
+    loop {
+        // Count completions before executing the batch's sends: once the
+        // final reply is on the wire the client may observe the session
+        // as done, and the counter must already agree.
+        let mut finished = false;
+        for io in &ios {
+            if matches!(io, SessionIo::Finished(_)) {
+                session_count.fetch_add(1, Ordering::SeqCst);
+                finished = true;
+            }
+        }
+        for io in ios {
+            match io {
+                SessionIo::Finished(_) => {}
+                SessionIo::NeedRecv { color } => {
+                    session.awaiting = Some(color);
+                    session.deadline = Instant::now() + mediator.timeout;
+                }
+                SessionIo::SendWire { color, bytes } => {
+                    if color == mediator.spec.client_color {
+                        session.client.send(&bytes)?;
+                    } else {
+                        let conn =
+                            session
+                                .services
+                                .get_mut(&color)
+                                .ok_or_else(|| CoreError::Aborted {
+                                    reason: format!("send on color {color} with no connection"),
+                                })?;
+                        conn.send(&bytes)?;
+                    }
+                }
+                SessionIo::ConnectService { color, endpoint } => {
+                    let endpoint: Endpoint = endpoint.parse()?;
+                    let conn = mediator.net.connect(&endpoint)?;
+                    session.services.insert(color, conn);
+                }
+            }
+        }
+        if !finished {
+            // Advance stopped at a NeedRecv: park.
+            return Ok(());
+        }
+        if stop.load(Ordering::SeqCst) {
+            return Err(CoreError::HostStopped);
+        }
+        // Traversal done; begin the next one on the same connection
+        // (persistent translation cache survives inside the core).
+        ios = session.core.restart()?;
+    }
+}
+
+fn coordinator_loop(
+    listener: &dyn starlink_net::Listener,
+    jobs: &Sender<Job>,
+    done: &Receiver<MuxSession>,
+    mediator: &Arc<Mediator>,
+    stop: &AtomicBool,
+) {
+    let mut parked: HashMap<u64, MuxSession> = HashMap::new();
+    let mut next_id: u64 = 0;
+    while !stop.load(Ordering::SeqCst) {
+        let mut progressed = false;
+        // 1. Workers hand back sessions parked on a receive.
+        while let Ok(session) = done.try_recv() {
+            next_id += 1;
+            parked.insert(next_id, session);
+            progressed = true;
+        }
+        // 2. New client connections start fresh sessions.
+        match listener.try_accept() {
+            Ok(Some(client)) => {
+                if let Ok(core) = SessionCore::new(mediator.spec.clone(), SessionPersist::new()) {
+                    let session = MuxSession {
+                        core,
+                        client,
+                        services: HashMap::new(),
+                        awaiting: None,
+                        deadline: Instant::now() + mediator.timeout,
+                    };
+                    if jobs
+                        .send(Job {
+                            session,
+                            event: None,
+                        })
+                        .is_err()
+                    {
+                        return;
+                    }
+                    progressed = true;
+                }
+            }
+            Ok(None) => {}
+            Err(NetError::Closed) => break,
+            Err(_) => std::thread::sleep(ACCEPT_BACKOFF),
+        }
+        // 3. Poll parked sessions for readiness (or timeout).
+        let now = Instant::now();
+        let mut ready: Vec<(u64, Option<SessionEvent>)> = Vec::new();
+        for (&id, session) in parked.iter_mut() {
+            let Some(color) = session.awaiting else {
+                ready.push((id, None));
+                continue;
+            };
+            let conn = if color == mediator.spec.client_color {
+                Some(session.client.as_mut())
+            } else {
+                session.services.get_mut(&color).map(|c| c.as_mut())
+            };
+            let Some(conn) = conn else {
+                ready.push((id, None));
+                continue;
+            };
+            match conn.try_receive() {
+                Ok(Some(bytes)) => {
+                    ready.push((id, Some(SessionEvent::WireReceived { color, bytes })));
+                }
+                Ok(None) => {
+                    if now >= session.deadline {
+                        ready.push((id, Some(SessionEvent::Tick)));
+                    }
+                }
+                // Closed or failed connection: drop the session.
+                Err(_) => ready.push((id, None)),
+            }
+        }
+        for (id, event) in ready {
+            let mut session = parked.remove(&id).expect("session is parked");
+            progressed = true;
+            let Some(event) = event else {
+                continue; // dropped
+            };
+            session.awaiting = None;
+            if jobs
+                .send(Job {
+                    session,
+                    event: Some(event),
+                })
+                .is_err()
+            {
+                return;
+            }
+        }
+        if !progressed {
+            std::thread::sleep(IDLE_POLL);
+        }
+    }
+    // Dropping `jobs` (by returning) lets workers drain and exit; the
+    // host joins them after the coordinator.
 }

@@ -111,13 +111,21 @@ impl ProtocolMonitor {
     }
 
     /// The action labels allowed next (after silently crossing γs).
+    ///
+    /// Each label appears once, in first-encounter order, even when the
+    /// γ-chain revisits states (γ-cycles) or distinct states offer the
+    /// same action.
     pub fn allowed(&self) -> Vec<String> {
         let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
         let mut probe = self.current.clone();
         for _ in 0..self.automaton.states().len() + 1 {
             for t in self.automaton.transitions_from(&probe) {
                 if !t.action.is_gamma() {
-                    out.push(t.action.label());
+                    let label = t.action.label();
+                    if seen.insert(label.clone()) {
+                        out.push(label);
+                    }
                 }
             }
             match self
@@ -222,5 +230,27 @@ mod tests {
     fn allowed_lists_next_actions() {
         let m = monitor();
         assert_eq!(m.allowed(), vec!["!flickr.photos.search"]);
+    }
+
+    #[test]
+    fn allowed_dedupes_labels_across_gamma_chain() {
+        // A γ-cycle (s0 → s1 → s0) where both states offer `!op`: the
+        // chain revisits the same action set, which used to produce the
+        // label once per visit.
+        let mut a = Automaton::new("Loop", 1);
+        a.add_state("s0");
+        a.add_state("s1");
+        a.add_state("s2");
+        a.set_initial("s0").unwrap();
+        a.add_final("s2").unwrap();
+        a.add_gamma("s0", "s1", "").unwrap();
+        a.add_send("s1", "s2", template("op", &[])).unwrap();
+        a.add_gamma("s1", "s0", "").unwrap();
+        let m = ProtocolMonitor {
+            automaton: Arc::new(a),
+            current: "s0".to_owned(),
+            observed: 0,
+        };
+        assert_eq!(m.allowed(), vec!["!op"]);
     }
 }

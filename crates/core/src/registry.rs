@@ -165,8 +165,7 @@ mod tests {
     #[test]
     fn codec_registration_and_lookup() {
         let mut reg = ModelRegistry::new();
-        let codec =
-            MdlCodec::from_text("<Message:M><F:8><End:Message>").expect("valid spec");
+        let codec = MdlCodec::from_text("<Message:M><F:8><End:Message>").expect("valid spec");
         reg.register_codec("Test.mdl", Arc::new(codec));
         assert!(reg.codec("Test.mdl").is_ok());
         assert!(matches!(

@@ -438,7 +438,10 @@ mod tests {
         let mut request = AbstractMessage::new("Add");
         request.set_field("x", Value::Int(6));
         request.set_field("y", Value::Int(7));
-        assert_eq!(client.call(&request).unwrap().get("z").unwrap().as_int(), Some(42));
+        assert_eq!(
+            client.call(&request).unwrap().get("z").unwrap().as_int(),
+            Some(42)
+        );
     }
 
     #[test]

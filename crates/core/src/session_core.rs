@@ -1,0 +1,498 @@
+//! Sans-I/O automata engine: the paper's state machine (§4.2) with the
+//! sockets cut away.
+//!
+//! "There are three types of states: i) a receiving state waits to
+//! receive a message and will only follow a matching receive transition
+//! when a matching message is received; ii) a sending state sends a
+//! message described in the single transition; iii) a no-action state is
+//! a translation state that translates data from the fields on one or
+//! more of the prior messages into the message to be constructed."
+//!
+//! [`SessionCore`] executes exactly that — classifying states, applying
+//! binding rules at the edges (parse→unbind on receive, bind→compose on
+//! send), recording the session [`History`], and running MTL programs at
+//! γ-transitions — but performs no I/O. It consumes [`SessionEvent`]s
+//! (wire bytes arrived, or time passed) and emits [`SessionIo`]
+//! instructions (read this color, write these bytes, connect to this
+//! endpoint, traversal finished) for a driver to carry out. Two drivers
+//! exist: the blocking driver behind [`crate::Mediator::run_session`]
+//! reproducing the original thread-per-connection engine, and the
+//! multiplexed [`crate::MediatorHost`] interleaving many sessions over a
+//! bounded worker pool. Deterministic replay tests drive the core with
+//! scripted bytes and no sockets at all.
+//!
+//! This module deliberately has **zero dependencies on `starlink_net`**:
+//! endpoints travel as strings, connections as color numbers.
+
+use crate::binding::ProtocolBinding;
+use crate::error::CoreError;
+use crate::Result;
+use starlink_automata::{Action, Automaton, Transition};
+use starlink_mdl::MessageCodec;
+use starlink_message::{AbstractMessage, Direction, History, Value};
+use starlink_mtl::{MtlContext, MtlProgram, TranslationCache};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Per-color protocol configuration as the sans-I/O core sees it: how to
+/// read/write that color's wire format and (for service colors) where
+/// the service lives — as a string, since the core never touches the
+/// network itself.
+#[derive(Clone)]
+pub struct ColorConfig {
+    /// Binding between application actions and the color's protocol.
+    pub binding: ProtocolBinding,
+    /// The color's message codec.
+    pub codec: Arc<dyn MessageCodec>,
+    /// For service-facing colors: the endpoint the driver should connect
+    /// to (e.g. `"memory://plus-service"`). `None` for the client-facing
+    /// color.
+    pub endpoint: Option<String>,
+}
+
+/// Everything a session needs that outlives any single traversal:
+/// the merged automaton, per-color protocol configurations, pre-parsed
+/// γ-programs and message templates. Shared (via [`Arc`]) by every
+/// concurrent session a host runs.
+pub struct SessionSpec {
+    /// The merged k-colored automaton to execute.
+    pub automaton: Arc<Automaton>,
+    /// The color whose peer is the mediator's client.
+    pub client_color: u8,
+    /// Per-color protocol configuration.
+    pub colors: HashMap<u8, ColorConfig>,
+    /// Pre-parsed MTL program per γ-transition `(from, to)`.
+    pub gammas: HashMap<(String, String), MtlProgram>,
+    /// Application message templates by message name.
+    pub templates: HashMap<String, AbstractMessage>,
+}
+
+/// What a completed session looked like.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionOutcome {
+    /// The accepting state the automaton finished in.
+    pub final_state: String,
+    /// Application messages received + sent during the session.
+    pub exchanges: usize,
+}
+
+/// An input to [`SessionCore::step`].
+#[derive(Debug, Clone)]
+pub enum SessionEvent {
+    /// Wire bytes arrived on the connection of `color` (the one the
+    /// core most recently asked for via [`SessionIo::NeedRecv`]).
+    WireReceived {
+        /// Color the bytes arrived on.
+        color: u8,
+        /// One whole framed protocol message.
+        bytes: Vec<u8>,
+    },
+    /// The driver's receive deadline expired. The core abandons the
+    /// current traversal and restarts from the initial state (the
+    /// connection-scoped translation cache survives), mirroring the
+    /// original engine's behaviour of re-running the automaton after a
+    /// timeout.
+    Tick,
+}
+
+/// An instruction emitted by the core for its driver to execute.
+#[derive(Debug)]
+pub enum SessionIo {
+    /// Wait for one framed message on `color`'s connection, then feed it
+    /// back via [`SessionEvent::WireReceived`] (or [`SessionEvent::Tick`]
+    /// on timeout).
+    NeedRecv {
+        /// Color to read.
+        color: u8,
+    },
+    /// Write these bytes to `color`'s connection.
+    SendWire {
+        /// Color to write to.
+        color: u8,
+        /// Framed protocol message.
+        bytes: Vec<u8>,
+    },
+    /// Open a connection for `color` to `endpoint` before the following
+    /// [`SessionIo::SendWire`] for that color. Emitted at most once per
+    /// color per connection (honouring a `sethost` override issued by an
+    /// MTL program earlier in the session).
+    ConnectService {
+        /// Service color to connect.
+        color: u8,
+        /// Endpoint text (e.g. `"tcp://127.0.0.1:9050"`).
+        endpoint: String,
+    },
+    /// The traversal reached an accepting state. The driver may start a
+    /// fresh traversal on the same connection via [`SessionCore::restart`].
+    Finished(SessionOutcome),
+}
+
+/// Session state that persists across traversals on one client
+/// connection: the translation cache (photo ids minted in one traversal
+/// resolve in the next), which service colors already have connections,
+/// and a `sethost` override.
+#[derive(Default)]
+pub struct SessionPersist {
+    /// MTL `cache`/`getcache` storage.
+    pub cache: TranslationCache,
+    /// Service colors the driver already holds connections for.
+    pub connected: HashSet<u8>,
+    /// `sethost` override for subsequent service connections.
+    pub host_override: Option<String>,
+}
+
+impl SessionPersist {
+    /// Fresh state for a new client connection.
+    pub fn new() -> SessionPersist {
+        SessionPersist::default()
+    }
+}
+
+/// One automaton traversal as a pure state machine.
+///
+/// Create with [`SessionCore::new`], kick off with [`SessionCore::start`],
+/// then alternate: execute the returned [`SessionIo`]s, feed the next
+/// [`SessionEvent`] to [`SessionCore::step`]. The core never blocks and
+/// never touches a socket.
+pub struct SessionCore {
+    spec: Arc<SessionSpec>,
+    persist: SessionPersist,
+    current: String,
+    /// Color the core is waiting to receive on, if any.
+    awaiting: Option<u8>,
+    started: bool,
+    finished: bool,
+    history: History,
+    pending: HashMap<String, AbstractMessage>,
+    /// Last protocol-level request per color (for reply correlation).
+    last_request_proto: HashMap<u8, AbstractMessage>,
+    /// Pending application operation per service color.
+    pending_op: HashMap<u8, String>,
+    exchanges: usize,
+}
+
+impl SessionCore {
+    /// Creates a core at the automaton's initial state.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Automaton`] if the automaton has no initial state.
+    pub fn new(spec: Arc<SessionSpec>, persist: SessionPersist) -> Result<SessionCore> {
+        let initial = spec
+            .automaton
+            .initial()
+            .ok_or_else(|| {
+                CoreError::Automaton(starlink_automata::AutomatonError::NoInitialState {
+                    automaton: spec.automaton.name().to_owned(),
+                })
+            })?
+            .to_owned();
+        Ok(SessionCore {
+            spec,
+            persist,
+            current: initial,
+            awaiting: None,
+            started: false,
+            finished: false,
+            history: History::new(),
+            pending: HashMap::new(),
+            last_request_proto: HashMap::new(),
+            pending_op: HashMap::new(),
+            exchanges: 0,
+        })
+    }
+
+    /// Begins the traversal: advances through sending and no-action
+    /// states until the core needs input ([`SessionIo::NeedRecv`]) or
+    /// finishes.
+    ///
+    /// # Errors
+    ///
+    /// Any engine failure (binding, codec, MTL, stuck automaton).
+    pub fn start(&mut self) -> Result<Vec<SessionIo>> {
+        if self.started {
+            return Err(CoreError::UnexpectedEvent {
+                detail: "start() called on a running session".to_owned(),
+            });
+        }
+        self.started = true;
+        let mut ios = Vec::new();
+        self.advance(&mut ios)?;
+        Ok(ios)
+    }
+
+    /// Abandons the finished (or timed-out) traversal and begins a new
+    /// one on the same connection, keeping persistent state.
+    ///
+    /// # Errors
+    ///
+    /// Any engine failure while advancing the fresh traversal.
+    pub fn restart(&mut self) -> Result<Vec<SessionIo>> {
+        self.reset_traversal();
+        let mut ios = Vec::new();
+        self.advance(&mut ios)?;
+        Ok(ios)
+    }
+
+    /// Feeds one event and returns the instructions it unlocks.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnexpectedEvent`] when the event does not match what
+    /// the core asked for; otherwise any engine failure.
+    pub fn step(&mut self, event: SessionEvent) -> Result<Vec<SessionIo>> {
+        if !self.started {
+            return Err(CoreError::UnexpectedEvent {
+                detail: "step() before start()".to_owned(),
+            });
+        }
+        match event {
+            SessionEvent::WireReceived { color, bytes } => {
+                if self.finished {
+                    return Err(CoreError::UnexpectedEvent {
+                        detail: "wire bytes after the traversal finished".to_owned(),
+                    });
+                }
+                match self.awaiting {
+                    Some(expected) if expected == color => {}
+                    Some(expected) => {
+                        return Err(CoreError::UnexpectedEvent {
+                            detail: format!(
+                                "wire bytes on color {color} while waiting on color {expected}"
+                            ),
+                        })
+                    }
+                    None => {
+                        return Err(CoreError::UnexpectedEvent {
+                            detail: format!("unsolicited wire bytes on color {color}"),
+                        })
+                    }
+                }
+                self.awaiting = None;
+                let mut ios = Vec::new();
+                self.consume_wire(color, &bytes)?;
+                self.advance(&mut ios)?;
+                Ok(ios)
+            }
+            SessionEvent::Tick => self.restart(),
+        }
+    }
+
+    /// Whether the current traversal reached an accepting state.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// The state the traversal is currently at.
+    pub fn current_state(&self) -> &str {
+        &self.current
+    }
+
+    /// Hands back the connection-scoped persistent state.
+    pub fn into_persist(self) -> SessionPersist {
+        self.persist
+    }
+
+    fn reset_traversal(&mut self) {
+        self.current = self
+            .spec
+            .automaton
+            .initial()
+            .expect("validated at construction")
+            .to_owned();
+        self.awaiting = None;
+        self.started = true;
+        self.finished = false;
+        self.history = History::new();
+        self.pending.clear();
+        self.last_request_proto.clear();
+        self.pending_op.clear();
+        self.exchanges = 0;
+    }
+
+    /// Parses + unbinds an incoming wire message, matches it against the
+    /// expected receive transitions, and records it in the history.
+    fn consume_wire(&mut self, color: u8, wire: &[u8]) -> Result<()> {
+        // Local handle so borrows of the spec don't pin `self`.
+        let spec = Arc::clone(&self.spec);
+        let cfg = color_config(&spec, color)?;
+        let app = if color == spec.client_color {
+            let proto = cfg.codec.parse(wire)?;
+            let app = cfg
+                .binding
+                .unbind_request(&proto, |action| spec.templates.get(action))?;
+            self.last_request_proto.insert(color, proto);
+            app
+        } else {
+            let proto = cfg.codec.parse(wire)?;
+            let op = self.pending_op.get(&color).cloned().unwrap_or_default();
+            let template = spec.templates.get(&format!("{op}.reply"));
+            cfg.binding.unbind_reply(&proto, &op, template)?
+        };
+        let outgoing: Vec<&Transition> = spec.automaton.transitions_from(&self.current).collect();
+        let matching = outgoing.iter().find(|t| {
+            t.action
+                .message()
+                .map(|m| m.name() == app.name())
+                .unwrap_or(false)
+        });
+        let t = matching.ok_or_else(|| CoreError::UnexpectedMessage {
+            state: self.current.clone(),
+            received: app.name().to_owned(),
+            expected: outgoing.iter().map(|t| t.action.label()).collect(),
+        })?;
+        let to = t.to.clone();
+        self.history.record(to.clone(), Direction::Received, app);
+        self.exchanges += 1;
+        self.current = to;
+        Ok(())
+    }
+
+    /// Advances through sending and no-action states until input is
+    /// needed or the traversal ends, appending instructions to `ios`.
+    fn advance(&mut self, ios: &mut Vec<SessionIo>) -> Result<()> {
+        // Local handle so borrows of the spec don't pin `self`.
+        let spec = Arc::clone(&self.spec);
+        loop {
+            let outgoing: Vec<&Transition> =
+                spec.automaton.transitions_from(&self.current).collect();
+            if outgoing.is_empty() {
+                if spec.automaton.is_final(&self.current) {
+                    self.finished = true;
+                    ios.push(SessionIo::Finished(SessionOutcome {
+                        final_state: self.current.clone(),
+                        exchanges: self.exchanges,
+                    }));
+                    return Ok(());
+                }
+                return Err(CoreError::Stuck {
+                    state: self.current.clone(),
+                });
+            }
+            match &outgoing[0].action {
+                Action::Receive(_) => {
+                    let color = state_color(&spec.automaton, &self.current)?;
+                    if color != spec.client_color && !self.persist.connected.contains(&color) {
+                        return Err(CoreError::Aborted {
+                            reason: format!("receive on color {color} before any request was sent"),
+                        });
+                    }
+                    self.awaiting = Some(color);
+                    ios.push(SessionIo::NeedRecv { color });
+                    return Ok(());
+                }
+                Action::Gamma { .. } => {
+                    let t = outgoing[0];
+                    let to = t.to.clone();
+                    let from = t.from.clone();
+                    let program = spec
+                        .gammas
+                        .get(&(from, to.clone()))
+                        .cloned()
+                        .unwrap_or_else(MtlProgram::empty);
+                    let mut ctx = MtlContext::new(&self.history, &mut self.persist.cache);
+                    // Pre-register the message the next send will need,
+                    // composed at the γ's target state.
+                    if let Some(send_template) = next_send_template(&spec.automaton, &to) {
+                        ctx.add_output(to.clone(), AbstractMessage::new(send_template.name()));
+                    }
+                    program.execute(&mut ctx)?;
+                    if let Some(host) = ctx.host_override() {
+                        self.persist.host_override = Some(host.to_owned());
+                    }
+                    if let Some(msg) = ctx.take_output(&to) {
+                        self.pending.insert(to.clone(), msg);
+                    }
+                    self.current = to;
+                }
+                Action::Send(_) => {
+                    let t = outgoing[0];
+                    let template = t.action.message().expect("send actions carry a message");
+                    let mut app = self
+                        .pending
+                        .remove(&self.current)
+                        .unwrap_or_else(|| AbstractMessage::new(template.name()));
+                    app.set_name(template.name());
+                    let color = state_color(&spec.automaton, &self.current)?;
+                    let cfg = color_config(&spec, color)?;
+                    if color == spec.client_color {
+                        // Reply to the client.
+                        let proto = cfg
+                            .binding
+                            .bind_reply(&app, self.last_request_proto.get(&color))?;
+                        let bytes = cfg.codec.compose(&proto)?;
+                        ios.push(SessionIo::SendWire { color, bytes });
+                    } else {
+                        // Request to a service.
+                        let mut proto = cfg.binding.bind_request(&app)?;
+                        if let Some(corr) = &cfg.binding.correlation {
+                            if proto.get_path(corr).is_err() {
+                                proto.set_path(corr, Value::UInt(self.exchanges as u64 + 1))?;
+                            }
+                        }
+                        let bytes = cfg.codec.compose(&proto)?;
+                        if !self.persist.connected.contains(&color) {
+                            let endpoint = service_endpoint(&spec, &self.persist, color)?;
+                            self.persist.connected.insert(color);
+                            ios.push(SessionIo::ConnectService { color, endpoint });
+                        }
+                        ios.push(SessionIo::SendWire { color, bytes });
+                        self.last_request_proto.insert(color, proto);
+                        self.pending_op.insert(color, app.name().to_owned());
+                    }
+                    self.history
+                        .record(self.current.clone(), Direction::Sent, app);
+                    self.exchanges += 1;
+                    self.current = t.to.clone();
+                }
+            }
+        }
+    }
+}
+
+/// The endpoint the driver should connect `color`'s service at,
+/// honouring a `sethost` override issued earlier in the session.
+fn service_endpoint(spec: &SessionSpec, persist: &SessionPersist, color: u8) -> Result<String> {
+    if let Some(host) = &persist.host_override {
+        return Ok(host.clone());
+    }
+    match &color_config(spec, color)?.endpoint {
+        Some(ep) => Ok(ep.clone()),
+        None => Err(CoreError::Binding {
+            message: format!("color {color} has no service endpoint"),
+        }),
+    }
+}
+
+fn color_config(spec: &SessionSpec, color: u8) -> Result<&ColorConfig> {
+    spec.colors
+        .get(&color)
+        .ok_or_else(|| CoreError::NotRegistered {
+            kind: "color runtime",
+            name: color.to_string(),
+        })
+}
+
+/// The color that drives network activity at a state (single-colored
+/// states only; bi-colored states carry γ-transitions, which touch no
+/// network).
+fn state_color(automaton: &Automaton, state_id: &str) -> Result<u8> {
+    let state = automaton.state(state_id).ok_or_else(|| {
+        CoreError::Automaton(starlink_automata::AutomatonError::UnknownState {
+            automaton: automaton.name().to_owned(),
+            state: state_id.to_owned(),
+        })
+    })?;
+    Ok(state.colors[0])
+}
+
+/// The message template of the send transition leaving `state`, if the
+/// state is a sending state.
+fn next_send_template<'a>(automaton: &'a Automaton, state: &str) -> Option<&'a AbstractMessage> {
+    automaton
+        .transitions_from(state)
+        .find_map(|t| match &t.action {
+            Action::Send(m) => Some(m),
+            _ => None,
+        })
+}

@@ -47,8 +47,11 @@ fn primitive() -> impl Strategy<Value = Value> {
 
 /// App message + matching template (same field names, Null values).
 fn app_message() -> impl Strategy<Value = (AbstractMessage, AbstractMessage)> {
-    (action(), proptest::collection::vec((label(), primitive()), 0..6)).prop_map(
-        |(name, fields)| {
+    (
+        action(),
+        proptest::collection::vec((label(), primitive()), 0..6),
+    )
+        .prop_map(|(name, fields)| {
             let mut seen = std::collections::HashSet::new();
             let mut msg = AbstractMessage::new(&name);
             let mut template = AbstractMessage::new(&name);
@@ -59,8 +62,7 @@ fn app_message() -> impl Strategy<Value = (AbstractMessage, AbstractMessage)> {
                 }
             }
             (msg, template)
-        },
-    )
+        })
 }
 
 proptest! {

@@ -303,14 +303,9 @@ fn direct_session_runner_works_without_host() {
     let client_thread = {
         let net = net.clone();
         std::thread::spawn(move || {
-            let mut client = RpcClient::connect(
-                &net,
-                &listen,
-                giop_codec,
-                giop_binding(),
-                add_interface(),
-            )
-            .unwrap();
+            let mut client =
+                RpcClient::connect(&net, &listen, giop_codec, giop_binding(), add_interface())
+                    .unwrap();
             let mut request = AbstractMessage::new("Add");
             request.set_field("x", Value::Int(1));
             request.set_field("y", Value::Int(2));

@@ -1,0 +1,370 @@
+//! Deterministic sans-I/O replay: the automata engine driven with
+//! scripted wire bytes through [`SessionCore`] — no threads, no sockets,
+//! no timeouts. The test plays both peers: it composes the client's and
+//! the service's protocol messages with the same codecs/bindings the
+//! real peers use, feeds the bytes to the core, and checks the exact
+//! instruction stream the core emits.
+
+use starlink_automata::merge::{template, MergeBuilder};
+use starlink_automata::Automaton;
+use starlink_core::{
+    ActionRule, ColorRuntime, Mediator, ParamRule, ProtocolBinding, ReplyAction, SessionCore,
+    SessionEvent, SessionIo, SessionPersist,
+};
+use starlink_mdl::{MdlCodec, MessageCodec};
+use starlink_message::{AbstractMessage, Field, Value};
+use starlink_net::{Endpoint, NetworkEngine};
+use std::sync::Arc;
+
+const GIOPISH_MDL: &str = "\
+<Message:GIOPRequest>\n\
+<Rule:MessageType=0>\n\
+<MessageType:8><RequestID:32>\n\
+<OperationLength:32><Operation:OperationLength>\n\
+<align:64><ParameterArray:eof:valueseq>\n\
+<End:Message>\n\
+<Message:GIOPReply>\n\
+<Rule:MessageType=1>\n\
+<MessageType:8><RequestID:32>\n\
+<align:64><ParameterArray:eof:valueseq>\n\
+<End:Message>";
+
+const SOAPISH_MDL: &str = "\
+<Dialect:xml>\n\
+<Message:SOAPRequest>\n\
+<Root:soap:Envelope>\n\
+<RootAttr:xmlns:soap=http://schemas.xmlsoap.org/soap/envelope/>\n\
+<Name:MethodName=Body>\n\
+<List:Params=Body/{MethodName}/*>\n\
+<End:Message>\n\
+<Message:SOAPReply>\n\
+<Root:soap:ReplyEnvelope>\n\
+<Name:MethodName=Body>\n\
+<List:Params=Body/{MethodName}/*>\n\
+<End:Message>";
+
+fn giop_binding() -> ProtocolBinding {
+    ProtocolBinding {
+        name: "IIOP".into(),
+        mdl: "GIOP.mdl".into(),
+        request_message: "GIOPRequest".into(),
+        reply_message: "GIOPReply".into(),
+        request_action: ActionRule::Field("Operation".parse().unwrap()),
+        reply_action: ReplyAction::Correlated,
+        request_params: ParamRule::PositionalArray("ParameterArray".parse().unwrap()),
+        reply_params: ParamRule::PositionalArray("ParameterArray".parse().unwrap()),
+        correlation: Some("RequestID".parse().unwrap()),
+        request_defaults: Vec::new(),
+        reply_defaults: Vec::new(),
+        request_message_overrides: Vec::new(),
+        reply_message_overrides: Vec::new(),
+    }
+}
+
+fn soap_binding() -> ProtocolBinding {
+    ProtocolBinding {
+        name: "SOAP".into(),
+        mdl: "SOAP.mdl".into(),
+        request_message: "SOAPRequest".into(),
+        reply_message: "SOAPReply".into(),
+        request_action: ActionRule::Field("MethodName".parse().unwrap()),
+        reply_action: ReplyAction::Field("MethodName".parse().unwrap()),
+        request_params: ParamRule::PositionalArray("Params".parse().unwrap()),
+        reply_params: ParamRule::PositionalArray("Params".parse().unwrap()),
+        correlation: None,
+        request_defaults: Vec::new(),
+        reply_defaults: Vec::new(),
+        request_message_overrides: Vec::new(),
+        reply_message_overrides: Vec::new(),
+    }
+}
+
+fn add_plus_merged() -> Automaton {
+    let mut b = MergeBuilder::new("Add+Plus", 1, 2);
+    b.intertwined(
+        template("Add", &["x", "y"]),
+        template("Add.reply", &["z"]),
+        template("Plus", &["x", "y"]),
+        template("Plus.reply", &["z"]),
+        "m2.x = m1.x\nm2.y = m1.y",
+        "m5.z = m4.z",
+    )
+    .unwrap();
+    let (merged, report) = b.finish().unwrap();
+    assert_eq!(report.intertwined_count(), 1);
+    merged
+}
+
+fn mediator(automaton: Automaton, service_ep: &str) -> Mediator {
+    let giop_codec = Arc::new(MdlCodec::from_text(GIOPISH_MDL).unwrap());
+    let soap_codec = Arc::new(MdlCodec::from_text(SOAPISH_MDL).unwrap());
+    Mediator::new(
+        automaton,
+        1,
+        vec![
+            ColorRuntime {
+                color: 1,
+                binding: giop_binding(),
+                codec: giop_codec,
+                endpoint: None,
+            },
+            ColorRuntime {
+                color: 2,
+                binding: soap_binding(),
+                codec: soap_codec,
+                endpoint: Some(service_ep.parse::<Endpoint>().unwrap()),
+            },
+        ],
+        NetworkEngine::new(), // never touched: the core does no I/O
+    )
+    .unwrap()
+}
+
+/// Scripts the wire bytes of a GIOP `Add` request with the given
+/// correlation id.
+fn giop_add_request(request_id: u64, x: i64, y: i64) -> Vec<u8> {
+    let codec = MdlCodec::from_text(GIOPISH_MDL).unwrap();
+    let mut app = AbstractMessage::new("Add");
+    app.set_field("x", Value::Int(x));
+    app.set_field("y", Value::Int(y));
+    let mut proto = giop_binding().bind_request(&app).unwrap();
+    proto
+        .set_path(&"RequestID".parse().unwrap(), Value::UInt(request_id))
+        .unwrap();
+    codec.compose(&proto).unwrap()
+}
+
+/// Scripts the wire bytes of the SOAP service's reply to an operation.
+fn soap_reply(op: &str, fields: &[(&str, Value)]) -> Vec<u8> {
+    let codec = MdlCodec::from_text(SOAPISH_MDL).unwrap();
+    let mut app = AbstractMessage::new(format!("{op}.reply"));
+    for (label, value) in fields {
+        app.set_field(label, value.clone());
+    }
+    let proto = soap_binding().bind_reply(&app, None).unwrap();
+    codec.compose(&proto).unwrap()
+}
+
+#[test]
+fn add_plus_flow_replays_without_io() {
+    let mediator = mediator(add_plus_merged(), "memory://plus-service");
+    let mut core = SessionCore::new(mediator.session_spec(), SessionPersist::new()).unwrap();
+
+    // The traversal opens in a receiving state on the client color.
+    let ios = core.start().unwrap();
+    assert!(
+        matches!(ios[..], [SessionIo::NeedRecv { color: 1 }]),
+        "expected NeedRecv(1), got {ios:?}"
+    );
+
+    // Scripted client: GIOP Add(30, 12), RequestID 7.
+    let ios = core
+        .step(SessionEvent::WireReceived {
+            color: 1,
+            bytes: giop_add_request(7, 30, 12),
+        })
+        .unwrap();
+    // The core connects to the service lazily, sends the translated
+    // SOAP request, then waits for the service reply.
+    assert_eq!(ios.len(), 3, "got {ios:?}");
+    match &ios[0] {
+        SessionIo::ConnectService { color: 2, endpoint } => {
+            assert_eq!(endpoint, "memory://plus-service");
+        }
+        other => panic!("expected ConnectService, got {other:?}"),
+    }
+    let soap_codec = MdlCodec::from_text(SOAPISH_MDL).unwrap();
+    match &ios[1] {
+        SessionIo::SendWire { color: 2, bytes } => {
+            let proto = soap_codec.parse(bytes).unwrap();
+            assert_eq!(
+                proto
+                    .get_path(&"MethodName".parse().unwrap())
+                    .unwrap()
+                    .to_text(),
+                "Plus"
+            );
+            let params = proto.get_path(&"Params".parse().unwrap()).unwrap();
+            let items = params.as_array().unwrap();
+            assert_eq!(items[0].to_text(), "30");
+            assert_eq!(items[1].to_text(), "12");
+        }
+        other => panic!("expected SendWire to the service, got {other:?}"),
+    }
+    assert!(matches!(ios[2], SessionIo::NeedRecv { color: 2 }));
+
+    // Scripted service: SOAP Plus.reply with z = 42.
+    let ios = core
+        .step(SessionEvent::WireReceived {
+            color: 2,
+            bytes: soap_reply("Plus", &[("z", Value::Int(42))]),
+        })
+        .unwrap();
+    assert_eq!(ios.len(), 2, "got {ios:?}");
+    let giop_codec = MdlCodec::from_text(GIOPISH_MDL).unwrap();
+    match &ios[0] {
+        SessionIo::SendWire { color: 1, bytes } => {
+            let proto = giop_codec.parse(bytes).unwrap();
+            // The reply echoes the client's correlation id.
+            assert_eq!(
+                proto.get_path(&"RequestID".parse().unwrap()).unwrap(),
+                &Value::UInt(7)
+            );
+            let params = proto.get_path(&"ParameterArray".parse().unwrap()).unwrap();
+            assert_eq!(params.as_array().unwrap()[0].to_text(), "42");
+        }
+        other => panic!("expected SendWire to the client, got {other:?}"),
+    }
+    match &ios[1] {
+        SessionIo::Finished(outcome) => {
+            assert_eq!(outcome.exchanges, 4);
+            assert!(core.is_finished());
+        }
+        other => panic!("expected Finished, got {other:?}"),
+    }
+}
+
+#[test]
+fn wrong_color_bytes_are_rejected() {
+    let mediator = mediator(add_plus_merged(), "memory://plus-service");
+    let mut core = SessionCore::new(mediator.session_spec(), SessionPersist::new()).unwrap();
+    core.start().unwrap();
+    // The core asked for color 1; feeding color 2 is a driver bug.
+    let err = core
+        .step(SessionEvent::WireReceived {
+            color: 2,
+            bytes: vec![],
+        })
+        .unwrap_err();
+    assert!(
+        matches!(err, starlink_core::CoreError::UnexpectedEvent { .. }),
+        "got {err:?}"
+    );
+}
+
+/// A hand-built Flickr-style merged automaton with the Fig. 10 shape:
+/// `search` crosses to the Picasa-style service and caches the entry
+/// behind a minted photo id; `getInfo` is answered *from the cache* with
+/// no service interaction at all.
+fn flickr_cache_automaton() -> Automaton {
+    let mut a = Automaton::new("Flickr+Cache", 1);
+    for s in ["s0", "r1", "r4", "r5", "g1", "g2", "end"] {
+        a.add_state(s);
+    }
+    a.add_colored_state("r2", vec![2]);
+    a.add_colored_state("r3", vec![2]);
+    a.set_initial("s0").unwrap();
+    a.add_final("end").unwrap();
+    // search branch: client → γ → service → γ (mint id + cache) → client.
+    a.add_receive("s0", "r1", template("search", &["text"]))
+        .unwrap();
+    a.add_gamma("r1", "r2", "r2.q = r1.text").unwrap();
+    a.add_send("r2", "r3", template("SearchSvc", &["q"]))
+        .unwrap();
+    a.add_receive("r3", "r4", template("SearchSvc.reply", &["entry"]))
+        .unwrap();
+    a.add_gamma(
+        "r4",
+        "r5",
+        "let p = newstruct()\n\
+         p.id = genid()\n\
+         cache(p.id, r4.entry)\n\
+         r5.photo_id = p.id",
+    )
+    .unwrap();
+    a.add_send("r5", "end", template("search.reply", &["photo_id"]))
+        .unwrap();
+    // getInfo branch: answered from the cache, no service color at all.
+    a.add_receive("s0", "g1", template("getInfo", &["photo_id"]))
+        .unwrap();
+    a.add_gamma(
+        "g1",
+        "g2",
+        "let e = getcache(g1.photo_id)\n\
+         g2.title = e.title\n\
+         g2.url = e.url",
+    )
+    .unwrap();
+    a.add_send("g2", "end", template("getInfo.reply", &["title", "url"]))
+        .unwrap();
+    a
+}
+
+#[test]
+fn flickr_get_info_is_served_from_the_cache() {
+    let mediator = mediator(flickr_cache_automaton(), "memory://picasa");
+    let mut core = SessionCore::new(mediator.session_spec(), SessionPersist::new()).unwrap();
+    let giop_codec = MdlCodec::from_text(GIOPISH_MDL).unwrap();
+
+    // Traversal 1 — search. The service entry is cached behind the
+    // minted photo id.
+    let ios = core.start().unwrap();
+    assert!(matches!(ios[..], [SessionIo::NeedRecv { color: 1 }]));
+    let mut search = AbstractMessage::new("search");
+    search.set_field("text", Value::Str("tree".into()));
+    let mut search_proto = giop_binding().bind_request(&search).unwrap();
+    search_proto
+        .set_path(&"RequestID".parse().unwrap(), Value::UInt(1))
+        .unwrap();
+    let ios = core
+        .step(SessionEvent::WireReceived {
+            color: 1,
+            bytes: giop_codec.compose(&search_proto).unwrap(),
+        })
+        .unwrap();
+    assert!(matches!(
+        ios[..],
+        [
+            SessionIo::ConnectService { color: 2, .. },
+            SessionIo::SendWire { color: 2, .. },
+            SessionIo::NeedRecv { color: 2 }
+        ]
+    ));
+    let entry = Value::Struct(vec![
+        Field::new("title", Value::Str("Tall Tree".into())),
+        Field::new("url", Value::Str("http://photos.example.org/1.jpg".into())),
+    ]);
+    let ios = core
+        .step(SessionEvent::WireReceived {
+            color: 2,
+            bytes: soap_reply("SearchSvc", &[("entry", entry)]),
+        })
+        .unwrap();
+    let photo_id = match &ios[..] {
+        [SessionIo::SendWire { color: 1, bytes }, SessionIo::Finished(_)] => {
+            let proto = giop_codec.parse(bytes).unwrap();
+            let params = proto.get_path(&"ParameterArray".parse().unwrap()).unwrap();
+            params.as_array().unwrap()[0].to_text()
+        }
+        other => panic!("expected reply + finish, got {other:?}"),
+    };
+    assert_eq!(photo_id, "1000", "minted ids are deterministic");
+
+    // Traversal 2 — getInfo on the minted id. The core must answer from
+    // the persisted translation cache and never touch color 2.
+    let ios = core.restart().unwrap();
+    assert!(matches!(ios[..], [SessionIo::NeedRecv { color: 1 }]));
+    let mut get_info = AbstractMessage::new("getInfo");
+    get_info.set_field("photo_id", Value::Str(photo_id));
+    let mut info_proto = giop_binding().bind_request(&get_info).unwrap();
+    info_proto
+        .set_path(&"RequestID".parse().unwrap(), Value::UInt(2))
+        .unwrap();
+    let ios = core
+        .step(SessionEvent::WireReceived {
+            color: 1,
+            bytes: giop_codec.compose(&info_proto).unwrap(),
+        })
+        .unwrap();
+    match &ios[..] {
+        [SessionIo::SendWire { color: 1, bytes }, SessionIo::Finished(outcome)] => {
+            let proto = giop_codec.parse(bytes).unwrap();
+            let params = proto.get_path(&"ParameterArray".parse().unwrap()).unwrap();
+            let items = params.as_array().unwrap();
+            assert_eq!(items[0].to_text(), "Tall Tree");
+            assert_eq!(items[1].to_text(), "http://photos.example.org/1.jpg");
+            assert_eq!(outcome.exchanges, 2, "no service exchanges");
+        }
+        other => panic!("expected a cache-served reply, got {other:?}"),
+    }
+}

@@ -108,10 +108,13 @@ impl MdlDocument {
                         line: line_no,
                     });
                 }
-                let end = rest[start..].find('>').ok_or_else(|| MdlError::SpecSyntax {
-                    message: "unterminated `<…>` item".into(),
-                    line: line_no,
-                })? + start;
+                let end = rest[start..]
+                    .find('>')
+                    .ok_or_else(|| MdlError::SpecSyntax {
+                        message: "unterminated `<…>` item".into(),
+                        line: line_no,
+                    })?
+                    + start;
                 let body = &rest[start + 1..end];
                 rest = rest[end + 1..].trim_start();
 
@@ -252,7 +255,8 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_ignored() {
-        let text = "# GIOP subset\n<Dialect:binary>\n\n<Message:M> # inline\n<F:8>\n<End:Message>\n";
+        let text =
+            "# GIOP subset\n<Dialect:binary>\n\n<Message:M> # inline\n<F:8>\n<End:Message>\n";
         let doc = MdlDocument::parse(text).unwrap();
         assert_eq!(doc.messages[0].items.len(), 1);
     }
@@ -262,10 +266,9 @@ mod tests {
         let doc =
             MdlDocument::parse("<Dialect:xml>\n<Message:M>\n<Root:r>\n<End:Message>").unwrap();
         assert_eq!(doc.dialect, Dialect::Xml);
-        let doc = MdlDocument::parse(
-            "<Dialect:binary><Endian:little>\n<Message:M><F:8><End:Message>",
-        )
-        .unwrap();
+        let doc =
+            MdlDocument::parse("<Dialect:binary><Endian:little>\n<Message:M><F:8><End:Message>")
+                .unwrap();
         assert_eq!(doc.endian, Endian::Little);
     }
 

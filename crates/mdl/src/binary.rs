@@ -115,22 +115,20 @@ impl BinaryProgram {
         for item in &spec.items {
             match item.key.as_str() {
                 "Rule" => {
-                    let (field, value) =
-                        item.name_value().ok_or_else(|| MdlError::SpecSyntax {
-                            message: "Rule needs `Field=Value`".into(),
-                            line: item.line,
-                        })?;
+                    let (field, value) = item.name_value().ok_or_else(|| MdlError::SpecSyntax {
+                        message: "Rule needs `Field=Value`".into(),
+                        line: item.line,
+                    })?;
                     rules.push(BinRule {
                         field: field.to_owned(),
                         value: value.to_owned(),
                     });
                 }
                 "align" => {
-                    let bits: usize =
-                        item.rest.parse().map_err(|_| MdlError::SpecSyntax {
-                            message: format!("bad alignment `{}`", item.rest),
-                            line: item.line,
-                        })?;
+                    let bits: usize = item.rest.parse().map_err(|_| MdlError::SpecSyntax {
+                        message: format!("bad alignment `{}`", item.rest),
+                        line: item.line,
+                    })?;
                     if bits == 0 || !bits.is_multiple_of(8) {
                         return Err(MdlError::SpecSyntax {
                             message: "alignment must be a positive multiple of 8 bits".into(),
@@ -155,7 +153,10 @@ impl BinaryProgram {
         }
         // Every referenced length field must be a fixed uint declared earlier.
         for it in &items {
-            if let BinItem::VarLen { len_field, name, .. } = it {
+            if let BinItem::VarLen {
+                len_field, name, ..
+            } = it
+            {
                 let found = items.iter().any(|x| {
                     matches!(x, BinItem::Fixed { name: n, ty, .. }
                              if n == len_field && matches!(ty, BinType::UInt | BinType::Int))
@@ -199,14 +200,17 @@ impl BinaryProgram {
                             .with_type(ty.field_type()),
                     );
                 }
-                BinItem::VarLen { name, len_field, ty } => {
-                    let len = msg
-                        .get(len_field)
-                        .and_then(Value::as_uint)
-                        .ok_or_else(|| MdlError::BadValue {
+                BinItem::VarLen {
+                    name,
+                    len_field,
+                    ty,
+                } => {
+                    let len = msg.get(len_field).and_then(Value::as_uint).ok_or_else(|| {
+                        MdlError::BadValue {
                             field: len_field.clone(),
                             message: "length field missing or not an integer".into(),
-                        })?;
+                        }
+                    })?;
                     let bytes = reader.read_bytes(len as usize, name)?;
                     msg.push_field(Field::new(name.clone(), bytes_value(bytes, *ty, name)?));
                 }
@@ -326,16 +330,16 @@ impl BinaryProgram {
                     let value = if let Some(sized) = self.length_roles.get(name) {
                         // Auto-computed length field.
                         let payload =
-                            encoded.get(sized.as_str()).ok_or_else(|| MdlError::MissingField {
-                                message_name: self.name.clone(),
-                                field: sized.clone(),
-                            })?;
+                            encoded
+                                .get(sized.as_str())
+                                .ok_or_else(|| MdlError::MissingField {
+                                    message_name: self.name.clone(),
+                                    field: sized.clone(),
+                                })?;
                         Value::UInt(payload.len() as u64)
                     } else if let Some(v) = msg.get(name) {
                         v.clone()
-                    } else if let Some(rule) =
-                        self.rules.iter().find(|r| &r.field == name)
-                    {
+                    } else if let Some(rule) = self.rules.iter().find(|r| &r.field == name) {
                         rule_value(&rule.value)
                     } else {
                         return Err(MdlError::MissingField {
@@ -347,10 +351,12 @@ impl BinaryProgram {
                 }
                 BinItem::VarLen { name, .. } | BinItem::Eof { name, .. } => {
                     let bytes =
-                        encoded.get(name.as_str()).ok_or_else(|| MdlError::MissingField {
-                            message_name: self.name.clone(),
-                            field: name.clone(),
-                        })?;
+                        encoded
+                            .get(name.as_str())
+                            .ok_or_else(|| MdlError::MissingField {
+                                message_name: self.name.clone(),
+                                field: name.clone(),
+                            })?;
                     w.write_bytes(bytes, name)?;
                 }
                 BinItem::Remaining { name, .. } => {
@@ -948,9 +954,7 @@ mod tests {
 
     #[test]
     fn signed_and_float_fixed_fields() {
-        let p = program(
-            "<Message:M><A:16:int><B:32:float><C:64:float><End:Message>",
-        );
+        let p = program("<Message:M><A:16:int><B:32:float><C:64:float><End:Message>");
         let mut m = AbstractMessage::new("M");
         m.set_field("A", Value::Int(-5));
         m.set_field("B", Value::Float(1.5));
@@ -978,21 +982,21 @@ mod tests {
 
     #[test]
     fn little_endian_fixed_fields() {
-        let p = program(
-            "<Dialect:binary><Endian:little>\n<Message:M><A:32><End:Message>",
-        );
+        let p = program("<Dialect:binary><Endian:little>\n<Message:M><A:32><End:Message>");
         let mut m = AbstractMessage::new("M");
         m.set_field("A", Value::UInt(0x0102_0304));
         let bytes = p.compose(&m).unwrap();
         assert_eq!(bytes, vec![0x04, 0x03, 0x02, 0x01]);
-        assert_eq!(p.parse(&bytes).unwrap().get("A").unwrap().as_uint(), Some(0x0102_0304));
+        assert_eq!(
+            p.parse(&bytes).unwrap().get("A").unwrap().as_uint(),
+            Some(0x0102_0304)
+        );
     }
 
     #[test]
     fn remaining_field_roundtrip() {
-        let p = program(
-            "<Message:M><Kind:8><MessageSize:32:remaining><Body:eof:text><End:Message>",
-        );
+        let p =
+            program("<Message:M><Kind:8><MessageSize:32:remaining><Body:eof:text><End:Message>");
         let mut m = AbstractMessage::new("M");
         m.set_field("Kind", Value::UInt(1));
         m.set_field("Body", Value::from("hello"));
@@ -1025,10 +1029,7 @@ mod tests {
     #[test]
     fn truncated_input_reported() {
         let p = program("<Message:M><A:32><End:Message>");
-        assert!(matches!(
-            p.parse(&[1, 2]),
-            Err(MdlError::Truncated { .. })
-        ));
+        assert!(matches!(p.parse(&[1, 2]), Err(MdlError::Truncated { .. })));
     }
 
     #[test]
@@ -1087,6 +1088,9 @@ mod tests {
         m.set_field("Tag", Value::from("ab"));
         let bytes = p.compose(&m).unwrap();
         assert_eq!(bytes, b"ab\0\0");
-        assert_eq!(p.parse(&bytes).unwrap().get("Tag").unwrap().as_str(), Some("ab"));
+        assert_eq!(
+            p.parse(&bytes).unwrap().get("Tag").unwrap().as_str(),
+            Some("ab")
+        );
     }
 }

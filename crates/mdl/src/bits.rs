@@ -232,7 +232,13 @@ mod tests {
         let mut r = BitReader::new(&bytes);
         r.read_bits(4, "a").unwrap();
         let err = r.read_bits(8, "b").unwrap_err();
-        assert!(matches!(err, MdlError::Truncated { available_bits: 4, .. }));
+        assert!(matches!(
+            err,
+            MdlError::Truncated {
+                available_bits: 4,
+                ..
+            }
+        ));
     }
 
     #[test]

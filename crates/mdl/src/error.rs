@@ -92,7 +92,11 @@ impl fmt::Display for MdlError {
                 "truncated input reading `{field}`: need {needed_bits} bits, have {available_bits}"
             ),
             MdlError::NoVariantMatched { attempts } => {
-                write!(f, "no message variant matched input: {}", attempts.join("; "))
+                write!(
+                    f,
+                    "no message variant matched input: {}",
+                    attempts.join("; ")
+                )
             }
             MdlError::RuleFailed {
                 message_name,

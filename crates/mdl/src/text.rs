@@ -39,9 +39,16 @@ struct TextRule {
 
 #[derive(Debug, Clone)]
 enum TextItem {
-    Line { fields: Vec<String>, rest_last: bool },
-    Headers { name: String },
-    Body { name: String },
+    Line {
+        fields: Vec<String>,
+        rest_last: bool,
+    },
+    Headers {
+        name: String,
+    },
+    Body {
+        name: String,
+    },
 }
 
 /// A compiled text message variant.
@@ -146,11 +153,7 @@ impl TextProgram {
     pub(crate) fn compose(&self, msg: &AbstractMessage) -> Result<Vec<u8>> {
         let mut out = String::new();
         let body: Option<String> = self.items.iter().find_map(|i| match i {
-            TextItem::Body { name } => Some(
-                msg.get(name)
-                    .map(Value::to_text)
-                    .unwrap_or_default(),
-            ),
+            TextItem::Body { name } => Some(msg.get(name).map(Value::to_text).unwrap_or_default()),
             _ => None,
         });
         for item in &self.items {
@@ -207,15 +210,15 @@ impl TextProgram {
     }
 
     fn check_rule(&self, rule: &TextRule, msg: &AbstractMessage) -> Result<()> {
-        let actual = msg
-            .get(&rule.field)
-            .map(Value::to_text)
-            .ok_or_else(|| MdlError::RuleFailed {
-                message_name: self.name.clone(),
-                field: rule.field.clone(),
-                expected: rule.value.clone(),
-                actual: "<absent>".into(),
-            })?;
+        let actual =
+            msg.get(&rule.field)
+                .map(Value::to_text)
+                .ok_or_else(|| MdlError::RuleFailed {
+                    message_name: self.name.clone(),
+                    field: rule.field.clone(),
+                    expected: rule.value.clone(),
+                    actual: "<absent>".into(),
+                })?;
         let ok = match rule.op {
             RuleOp::Equals => actual == rule.value,
             RuleOp::StartsWith => actual.starts_with(&rule.value),
@@ -235,11 +238,7 @@ impl TextProgram {
 }
 
 fn compile_line(item: &SpecItem) -> Result<TextItem> {
-    let mut fields: Vec<String> = item
-        .rest
-        .split_whitespace()
-        .map(str::to_owned)
-        .collect();
+    let mut fields: Vec<String> = item.rest.split_whitespace().map(str::to_owned).collect();
     if fields.is_empty() {
         return Err(MdlError::SpecSyntax {
             message: "line template has no fields".into(),
@@ -437,7 +436,9 @@ mod tests {
 <End:Message>";
         let doc = MdlDocument::parse(spec).unwrap();
         let p = TextProgram::compile(&doc.messages[0]).unwrap();
-        assert!(p.parse(b"GET /data/feed/api/all?q=x HTTP/1.1\r\n\r\n").is_ok());
+        assert!(p
+            .parse(b"GET /data/feed/api/all?q=x HTTP/1.1\r\n\r\n")
+            .is_ok());
         assert!(matches!(
             p.parse(b"POST /data/feed/api/all HTTP/1.1\r\n\r\n"),
             Err(MdlError::RuleFailed { .. })
@@ -469,8 +470,7 @@ mod tests {
 
     #[test]
     fn missing_line_template_rejected() {
-        let doc =
-            MdlDocument::parse("<Dialect:text><Message:M><Body:B><End:Message>").unwrap();
+        let doc = MdlDocument::parse("<Dialect:text><Message:M><Body:B><End:Message>").unwrap();
         assert!(matches!(
             TextProgram::compile(&doc.messages[0]),
             Err(MdlError::SpecSemantics { .. })

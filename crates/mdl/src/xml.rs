@@ -110,11 +110,23 @@ enum XmlBinding {
 
 #[derive(Debug, Clone)]
 enum ItemRule {
-    Text { sub: String, rel: XPath },
+    Text {
+        sub: String,
+        rel: XPath,
+    },
     /// Structured sub-field ↔ nested XML tree (see `tree_to_value`).
-    Tree { sub: String, rel: XPath },
-    Attr { sub: String, rel: XPath, attr: String },
-    Name { sub: String },
+    Tree {
+        sub: String,
+        rel: XPath,
+    },
+    Attr {
+        sub: String,
+        rel: XPath,
+        attr: String,
+    },
+    Name {
+        sub: String,
+    },
 }
 
 /// A compiled XML message variant.
@@ -213,10 +225,13 @@ impl XmlProgram {
                         })?,
                     };
                     let (list, sub) =
-                        target.trim().split_once('.').ok_or_else(|| MdlError::SpecSyntax {
-                            message: format!("{} target must be `List.sub`", item.key),
-                            line: item.line,
-                        })?;
+                        target
+                            .trim()
+                            .split_once('.')
+                            .ok_or_else(|| MdlError::SpecSyntax {
+                                message: format!("{} target must be `List.sub`", item.key),
+                                line: item.line,
+                            })?;
                     let rule = match item.key.as_str() {
                         "ItemText" => ItemRule::Text {
                             sub: sub.to_owned(),
@@ -356,9 +371,7 @@ impl XmlProgram {
                     path,
                     optional,
                 } => match self.resolve(root, path, &dynamic) {
-                    Some(e) => {
-                        msg.push_field(Field::new(field.clone(), Value::Str(e.text())))
-                    }
+                    Some(e) => msg.push_field(Field::new(field.clone(), Value::Str(e.text()))),
                     None if *optional => {}
                     None => return Err(self.not_found(field, path)),
                 },
@@ -371,9 +384,7 @@ impl XmlProgram {
                     .resolve(root, path, &dynamic)
                     .and_then(|e| e.attr(attr))
                 {
-                    Some(v) => {
-                        msg.push_field(Field::new(field.clone(), Value::Str(v.to_owned())))
-                    }
+                    Some(v) => msg.push_field(Field::new(field.clone(), Value::Str(v.to_owned()))),
                     None if *optional => {}
                     None => return Err(self.not_found(field, path)),
                 },
@@ -410,14 +421,15 @@ impl XmlProgram {
             }
         }
         for guard in &self.guards {
-            let actual = msg.get(&guard.field).map(Value::to_text).ok_or_else(|| {
-                MdlError::RuleFailed {
-                    message_name: self.name.clone(),
-                    field: guard.field.clone(),
-                    expected: guard.value.clone(),
-                    actual: "<absent>".into(),
-                }
-            })?;
+            let actual =
+                msg.get(&guard.field)
+                    .map(Value::to_text)
+                    .ok_or_else(|| MdlError::RuleFailed {
+                        message_name: self.name.clone(),
+                        field: guard.field.clone(),
+                        expected: guard.value.clone(),
+                        actual: "<absent>".into(),
+                    })?;
             let ok = match guard.op {
                 GuardOp::Equals => actual == guard.value,
                 GuardOp::StartsWith => actual.starts_with(&guard.value),
@@ -453,9 +465,7 @@ impl XmlProgram {
                             }
                         }
                         ItemRule::Attr { sub, rel, attr } => {
-                            if let Some(v) =
-                                resolve_static(el, rel).and_then(|t| t.attr(attr))
-                            {
+                            if let Some(v) = resolve_static(el, rel).and_then(|t| t.attr(attr)) {
                                 fields.push(Field::new(sub.clone(), Value::Str(v.to_owned())));
                             }
                         }
@@ -527,7 +537,10 @@ impl XmlProgram {
         for binding in &self.bindings {
             match binding {
                 XmlBinding::Name {
-                    field, path, optional, ..
+                    field,
+                    path,
+                    optional,
+                    ..
                 } => {
                     let value = match self.field_text(msg, field) {
                         Some(v) => v,
@@ -541,14 +554,17 @@ impl XmlProgram {
                     };
                     let parent = ensure_path(&mut root, path, &dynamic);
                     if parent.child(&value).is_none() {
-                        parent.children.push(starlink_xml::Node::Element(
-                            Element::new(value.clone()),
-                        ));
+                        parent
+                            .children
+                            .push(starlink_xml::Node::Element(Element::new(value.clone())));
                     }
                     dynamic.insert(field.clone(), value);
                 }
                 XmlBinding::Text {
-                    field, path, optional, ..
+                    field,
+                    path,
+                    optional,
+                    ..
                 } => {
                     let value = match self.field_text(msg, field) {
                         Some(v) => v,
@@ -561,8 +577,7 @@ impl XmlProgram {
                         }
                     };
                     let el = ensure_path(&mut root, path, &dynamic);
-                    el.children
-                        .push(starlink_xml::Node::Text(value));
+                    el.children.push(starlink_xml::Node::Text(value));
                 }
                 XmlBinding::Attr {
                     field,
@@ -597,9 +612,7 @@ impl XmlProgram {
                     let parent_el = ensure_path(&mut root, parent, &dynamic);
                     for (i, value) in items.iter().enumerate() {
                         let el = self.compose_item(field, item, rules, value, i)?;
-                        parent_el
-                            .children
-                            .push(starlink_xml::Node::Element(el));
+                        parent_el.children.push(starlink_xml::Node::Element(el));
                     }
                 }
             }
@@ -681,7 +694,6 @@ impl XmlProgram {
         })
     }
 }
-
 
 /// Canonical XML ↔ [`Value`] tree mapping, used by list items without
 /// explicit rules and by `ItemTree` rules:
@@ -790,9 +802,9 @@ fn ensure_path<'e>(
                 continue;
             }
         };
-        let pos = current.children.iter().position(|c| {
-            matches!(c, starlink_xml::Node::Element(e) if e.local_name() == local(&name))
-        });
+        let pos = current.children.iter().position(
+            |c| matches!(c, starlink_xml::Node::Element(e) if e.local_name() == local(&name)),
+        );
         let idx = match pos {
             Some(i) => i,
             None => {
@@ -817,7 +829,7 @@ mod tests {
 
     fn program(spec: &str) -> XmlProgram {
         let doc = MdlDocument::parse(spec).unwrap();
-        XmlProgram::compile(&doc.messages[0], ).unwrap()
+        XmlProgram::compile(&doc.messages[0]).unwrap()
     }
 
     const XMLRPC_CALL: &str = "\
@@ -871,7 +883,10 @@ mod tests {
             params[0].as_struct().unwrap()[0].value().as_str(),
             Some("hello")
         );
-        assert_eq!(params[1].as_struct().unwrap()[0].value().as_str(), Some("4"));
+        assert_eq!(
+            params[1].as_struct().unwrap()[0].value().as_str(),
+            Some("4")
+        );
     }
 
     const SOAP_REQ: &str = "\
@@ -1055,7 +1070,8 @@ mod tests {
 
     #[test]
     fn compile_rejects_bad_specs() {
-        let no_root = MdlDocument::parse("<Dialect:xml><Message:M><Text:F=p><End:Message>").unwrap();
+        let no_root =
+            MdlDocument::parse("<Dialect:xml><Message:M><Text:F=p><End:Message>").unwrap();
         assert!(matches!(
             XmlProgram::compile(&no_root.messages[0]),
             Err(MdlError::SpecSemantics { .. })

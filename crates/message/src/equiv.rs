@@ -34,7 +34,6 @@
 use crate::field::Field;
 use crate::message::AbstractMessage;
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Normalises a label for comparison: ASCII-lowercase with separator
@@ -50,7 +49,7 @@ pub fn normalize_label(label: &str) -> String {
 
 /// Registry of declared semantic equivalences between field labels and
 /// between message/action names.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SemanticRegistry {
     /// normalised field label → concept id
     field_concepts: HashMap<String, String>,
@@ -134,15 +133,10 @@ impl SemanticRegistry {
 
     /// Finds the first field in `m` (searching nested structures,
     /// depth-first) that is semantically equivalent to `needed`.
-    pub fn find_equivalent<'m>(
-        &self,
-        m: &'m AbstractMessage,
-        needed: &Field,
-    ) -> Option<&'m Field> {
+    pub fn find_equivalent<'m>(&self, m: &'m AbstractMessage, needed: &Field) -> Option<&'m Field> {
         find_equivalent_field(self, m.fields(), needed)
     }
 }
-
 
 /// Infers a [`SemanticRegistry`] from *example exchanges*: pairs of
 /// messages known to carry the same request/reply in the two APIs, with
@@ -191,7 +185,11 @@ where
 
     for (a, b) in pairs {
         reg.declare_message_concept(
-            &format!("inferred:{}+{}", normalize_label(a.name()), normalize_label(b.name())),
+            &format!(
+                "inferred:{}+{}",
+                normalize_label(a.name()),
+                normalize_label(b.name())
+            ),
             [a.name(), b.name()],
         );
         for fa in a.fields() {
@@ -209,10 +207,7 @@ where
                 // equivalent without a declaration.
                 if normalize_label(fa.label()) != normalize_label(only.label()) {
                     *votes
-                        .entry((
-                            normalize_label(fa.label()),
-                            normalize_label(only.label()),
-                        ))
+                        .entry((normalize_label(fa.label()), normalize_label(only.label())))
                         .or_default() += 1;
                 }
             }
@@ -277,7 +272,10 @@ mod tests {
     fn normalisation_folds_separators_and_case() {
         assert_eq!(normalize_label("per_page"), "perpage");
         assert_eq!(normalize_label("Per-Page"), "perpage");
-        assert_eq!(normalize_label("flickr.photos.search"), "flickrphotossearch");
+        assert_eq!(
+            normalize_label("flickr.photos.search"),
+            "flickrphotossearch"
+        );
     }
 
     #[test]

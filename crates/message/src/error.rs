@@ -45,7 +45,10 @@ impl fmt::Display for MessageError {
                 write!(f, "field `{path}` not found in message `{message}`")
             }
             MessageError::NotAStructure { path, found } => {
-                write!(f, "path `{path}` descends into non-structured value ({found})")
+                write!(
+                    f,
+                    "path `{path}` descends into non-structured value ({found})"
+                )
             }
             MessageError::IndexOutOfBounds { path, index, len } => {
                 write!(f, "index {index} out of bounds (len {len}) at `{path}`")

@@ -1,5 +1,4 @@
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Declared wire type of a primitive field, as written in MDL specs.
@@ -8,7 +7,7 @@ use std::fmt;
 /// data content" and "a length defining the length in bits of the field"
 /// (§3.1). `FieldType` captures the former; the latter lives on
 /// [`Field::length_bits`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum FieldType {
     /// Signed integer (width given by the field length).
@@ -69,10 +68,9 @@ impl fmt::Display for FieldType {
 /// (represented by a [`Value::Struct`] value). The `mandatory` flag feeds
 /// the `Mfields(n)` set used by the semantic-equivalence operator `≅`
 /// (Def. 2): only mandatory fields must find an equivalent counterpart.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Field {
     label: String,
-    #[serde(rename = "type")]
     field_type: FieldType,
     length_bits: Option<u32>,
     value: Value,

@@ -1,10 +1,9 @@
 use crate::message::AbstractMessage;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Whether a message was sent (`!`) or received (`?`) — the `Act` set of
 /// the automaton definition (paper §3.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// `!m` — the message was sent (an operation was invoked).
     Sent,
@@ -39,7 +38,7 @@ impl fmt::Display for Direction {
 
 /// One entry of a message history: a message observed at a given automaton
 /// state, with its direction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HistoryEntry {
     /// Identifier of the state at which the message was observed.
     pub state: String,
@@ -56,7 +55,7 @@ pub struct HistoryEntry {
 /// to s2"; at runtime the automata engine records every send/receive here
 /// so that MTL translations and the `≅` operator can draw on earlier
 /// messages (one-to-many mismatches, the Flickr `getInfo` case).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct History {
     entries: Vec<HistoryEntry>,
 }

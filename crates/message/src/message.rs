@@ -3,7 +3,6 @@ use crate::field::Field;
 use crate::path::{FieldPath, PathSegment};
 use crate::value::Value;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An abstract message: the protocol- and application-neutral unit of
@@ -26,7 +25,7 @@ use std::fmt;
 /// assert_eq!(msg.get_path(&"Params.param1".parse()?)?.as_int(), Some(7));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AbstractMessage {
     name: String,
     fields: Vec<Field>,
@@ -132,7 +131,6 @@ impl AbstractMessage {
         Ok(current)
     }
 
-
     /// Mutable variant of [`AbstractMessage::get_path`].
     ///
     /// # Errors
@@ -150,12 +148,10 @@ impl AbstractMessage {
             }
         };
         let message_name = self.name.clone();
-        let field = self
-            .field_mut(&name)
-            .ok_or(MessageError::FieldNotFound {
-                message: message_name,
-                path: path.to_string(),
-            })?;
+        let field = self.field_mut(&name).ok_or(MessageError::FieldNotFound {
+            message: message_name,
+            path: path.to_string(),
+        })?;
         let mut current = field.value_mut();
         for seg in &segments[1..] {
             current = descend_mut(current, seg, path)?;
@@ -277,7 +273,6 @@ fn descend<'a>(value: &'a Value, seg: &PathSegment, full: &FieldPath) -> Result<
         },
     }
 }
-
 
 /// Mutable variant of [`get_value_path`].
 ///
@@ -425,8 +420,14 @@ mod tests {
         let mut m = AbstractMessage::new("GIOPRequest");
         m.set_path(&path("Params.param1"), Value::Int(7)).unwrap();
         m.set_path(&path("Params.param2"), Value::Int(8)).unwrap();
-        assert_eq!(m.get_path(&path("Params.param1")).unwrap().as_int(), Some(7));
-        assert_eq!(m.get_path(&path("Params.param2")).unwrap().as_int(), Some(8));
+        assert_eq!(
+            m.get_path(&path("Params.param1")).unwrap().as_int(),
+            Some(7)
+        );
+        assert_eq!(
+            m.get_path(&path("Params.param2")).unwrap().as_int(),
+            Some(8)
+        );
         // Intermediate is a struct field.
         assert_eq!(m.get("Params").unwrap().as_struct().unwrap().len(), 2);
     }
@@ -434,8 +435,10 @@ mod tests {
     #[test]
     fn array_building_by_sequential_indexes() {
         let mut m = AbstractMessage::new("feed");
-        m.set_path(&path("entries[0].id"), Value::from("p1")).unwrap();
-        m.set_path(&path("entries[1].id"), Value::from("p2")).unwrap();
+        m.set_path(&path("entries[0].id"), Value::from("p1"))
+            .unwrap();
+        m.set_path(&path("entries[1].id"), Value::from("p2"))
+            .unwrap();
         let arr = m.get_path(&path("entries")).unwrap().as_array().unwrap();
         assert_eq!(arr.len(), 2);
         assert_eq!(

@@ -1,10 +1,9 @@
 use crate::error::PathError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
 /// One step of a [`FieldPath`].
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum PathSegment {
     /// Descend into the named field of a message or structure.
     Name(String),
@@ -42,7 +41,7 @@ impl fmt::Display for PathSegment {
 /// assert_eq!(p.to_string(), "Params.param[0].value");
 /// # Ok::<(), starlink_message::PathError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct FieldPath {
     segments: Vec<PathSegment>,
 }
@@ -149,14 +148,17 @@ impl FromStr for FieldPath {
                         // `[0]` directly after `.` or at start is invalid.
                         return Err(PathError::BadCharacter { ch: '[', offset: i });
                     }
-                    let close = s[i..]
-                        .find(']')
-                        .map(|off| i + off)
-                        .ok_or_else(|| PathError::BadIndex { text: s[i..].to_owned() })?;
+                    let close =
+                        s[i..]
+                            .find(']')
+                            .map(|off| i + off)
+                            .ok_or_else(|| PathError::BadIndex {
+                                text: s[i..].to_owned(),
+                            })?;
                     let inner = &s[i + 1..close];
-                    let index: usize = inner
-                        .parse()
-                        .map_err(|_| PathError::BadIndex { text: inner.to_owned() })?;
+                    let index: usize = inner.parse().map_err(|_| PathError::BadIndex {
+                        text: inner.to_owned(),
+                    })?;
                     segments.push(PathSegment::Index(index));
                     i = close + 1;
                 }

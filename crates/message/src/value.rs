@@ -1,5 +1,4 @@
 use crate::field::Field;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Dynamic value carried by an abstract-message field.
@@ -8,7 +7,7 @@ use std::fmt;
 /// strings, …) from *structured* fields composed of nested fields; protocol
 /// payloads such as GIOP's `ParameterArray` additionally need ordered,
 /// unnamed element sequences, modelled here by [`Value::Array`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum Value {
     /// Absent / nil value (e.g. an optional parameter that was omitted).
     #[default]

@@ -208,11 +208,7 @@ impl MtlProgram {
 
 impl fmt::Display for MtlProgram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fn write_stmt(
-            s: &Statement,
-            f: &mut fmt::Formatter<'_>,
-            indent: usize,
-        ) -> fmt::Result {
+        fn write_stmt(s: &Statement, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
             let pad = "  ".repeat(indent);
             match s {
                 Statement::Assign { target, value } => writeln!(f, "{pad}{target} = {value}"),
@@ -222,7 +218,11 @@ impl fmt::Display for MtlProgram {
                 Statement::Append { target, value } => {
                     writeln!(f, "{pad}append({target}, {value})")
                 }
-                Statement::ForEach { var, iterable, body } => {
+                Statement::ForEach {
+                    var,
+                    iterable,
+                    body,
+                } => {
                     writeln!(f, "{pad}foreach {var} in {iterable} {{")?;
                     for s in body {
                         write_stmt(s, f, indent + 1)?;

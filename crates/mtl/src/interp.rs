@@ -2,9 +2,7 @@ use crate::ast::{Expr, LValue, MtlProgram, Statement};
 use crate::cache::TranslationCache;
 use crate::error::MtlLangError;
 use crate::Result;
-use starlink_message::{
-    get_value_path, set_value_path, AbstractMessage, Field, History, Value,
-};
+use starlink_message::{get_value_path, set_value_path, AbstractMessage, Field, History, Value};
 use std::collections::HashMap;
 
 /// The environment an MTL program executes in.
@@ -65,18 +63,22 @@ impl<'a> MtlContext<'a> {
         if let Some(local) = self.locals.get(slot) {
             return match path {
                 None => Ok(local.clone()),
-                Some(p) => get_value_path(local, p).cloned()
-                    .map_err(|e| MtlLangError::PathResolution {
-                        reference: format!("{slot}.{p}"),
-                        cause: e.to_string(),
-                    }),
+                Some(p) => {
+                    get_value_path(local, p)
+                        .cloned()
+                        .map_err(|e| MtlLangError::PathResolution {
+                            reference: format!("{slot}.{p}"),
+                            cause: e.to_string(),
+                        })
+                }
             };
         }
         if let Some(msg) = self.outputs.get(slot) {
             return match path {
                 None => Ok(Value::Struct(msg.fields().to_vec())),
                 Some(p) => msg
-                    .get_path(p).cloned()
+                    .get_path(p)
+                    .cloned()
                     .map_err(|e| MtlLangError::PathResolution {
                         reference: format!("{slot}.{p}"),
                         cause: e.to_string(),
@@ -86,13 +88,16 @@ impl<'a> MtlContext<'a> {
         if let Some(entry) = self.history.at_state(slot) {
             return match path {
                 None => Ok(Value::Struct(entry.message.fields().to_vec())),
-                Some(p) => entry
-                    .message
-                    .get_path(p).cloned()
-                    .map_err(|e| MtlLangError::PathResolution {
-                        reference: format!("{slot}.{p}"),
-                        cause: e.to_string(),
-                    }),
+                Some(p) => {
+                    entry
+                        .message
+                        .get_path(p)
+                        .cloned()
+                        .map_err(|e| MtlLangError::PathResolution {
+                            reference: format!("{slot}.{p}"),
+                            cause: e.to_string(),
+                        })
+                }
             };
         }
         Err(MtlLangError::UnknownReference {
@@ -149,12 +154,12 @@ impl<'a> MtlContext<'a> {
                     *local = value;
                     Ok(())
                 }
-                Some(p) => set_value_path(local, p, value).map_err(|e| {
-                    MtlLangError::BadAssignment {
+                Some(p) => {
+                    set_value_path(local, p, value).map_err(|e| MtlLangError::BadAssignment {
                         target: target.to_string(),
                         message: e.to_string(),
-                    }
-                }),
+                    })
+                }
             };
         }
         if let Some(msg) = self.outputs.get_mut(&target.slot) {
@@ -163,10 +168,12 @@ impl<'a> MtlContext<'a> {
                     target: target.to_string(),
                     message: "cannot replace a whole output message; assign fields".into(),
                 }),
-                Some(p) => msg.set_path(p, value).map_err(|e| MtlLangError::BadAssignment {
-                    target: target.to_string(),
-                    message: e.to_string(),
-                }),
+                Some(p) => msg
+                    .set_path(p, value)
+                    .map_err(|e| MtlLangError::BadAssignment {
+                        target: target.to_string(),
+                        message: e.to_string(),
+                    }),
             };
         }
         Err(MtlLangError::BadAssignment {
@@ -343,13 +350,15 @@ fn eval_call(name: &str, args: &[Expr], ctx: &mut MtlContext<'_>) -> Result<Valu
                     message: "index must be an integer".into(),
                 })?;
             match arr {
-                Value::Array(items) => items
-                    .get(idx as usize)
-                    .cloned()
-                    .ok_or_else(|| MtlLangError::BadArguments {
-                        function: "item".into(),
-                        message: format!("index {idx} out of bounds ({})", items.len()),
-                    }),
+                Value::Array(items) => {
+                    items
+                        .get(idx as usize)
+                        .cloned()
+                        .ok_or_else(|| MtlLangError::BadArguments {
+                            function: "item".into(),
+                            message: format!("index {idx} out of bounds ({})", items.len()),
+                        })
+                }
                 other => Err(MtlLangError::BadArguments {
                     function: "item".into(),
                     message: format!("expected array, found {}", other.kind()),
@@ -359,7 +368,8 @@ fn eval_call(name: &str, args: &[Expr], ctx: &mut MtlContext<'_>) -> Result<Valu
         "default" => {
             arity(name, args, 2)?;
             match eval(&args[0], ctx) {
-                Ok(Value::Null) | Err(MtlLangError::UnknownReference { .. })
+                Ok(Value::Null)
+                | Err(MtlLangError::UnknownReference { .. })
                 | Err(MtlLangError::PathResolution { .. })
                 | Err(MtlLangError::CacheMiss { .. }) => eval(&args[1], ctx),
                 other => other,
@@ -463,7 +473,9 @@ foreach e in m5.entries {
         // Fig. 10: the cached Picasa entry is retrievable by the dummy id.
         let cached = ctx.cache().get("1000").unwrap();
         assert_eq!(
-            get_value_path(cached, &"title".parse().unwrap()).unwrap().as_str(),
+            get_value_path(cached, &"title".parse().unwrap())
+                .unwrap()
+                .as_str(),
             Some("Tree")
         );
     }
@@ -571,11 +583,15 @@ o.missing = default(m1.nosuch, "fallback")
         let mut ctx = MtlContext::new(&h, &mut cache);
         ctx.add_output("o", AbstractMessage::new("out"));
         assert!(matches!(
-            MtlProgram::parse("o.x = ghost.field").unwrap().execute(&mut ctx),
+            MtlProgram::parse("o.x = ghost.field")
+                .unwrap()
+                .execute(&mut ctx),
             Err(MtlLangError::UnknownReference { .. })
         ));
         assert!(matches!(
-            MtlProgram::parse("o.x = frobnicate(1)").unwrap().execute(&mut ctx),
+            MtlProgram::parse("o.x = frobnicate(1)")
+                .unwrap()
+                .execute(&mut ctx),
             Err(MtlLangError::UnknownFunction { .. })
         ));
         assert!(matches!(
@@ -593,12 +609,10 @@ o.missing = default(m1.nosuch, "fallback")
         let mut cache = TranslationCache::new();
         let mut ctx = MtlContext::new(&h, &mut cache);
         ctx.add_output("o", AbstractMessage::new("out"));
-        MtlProgram::parse(
-            "let e = \"outer\"\nforeach e in s.xs { o.inner = e }\no.after = e",
-        )
-        .unwrap()
-        .execute(&mut ctx)
-        .unwrap();
+        MtlProgram::parse("let e = \"outer\"\nforeach e in s.xs { o.inner = e }\no.after = e")
+            .unwrap()
+            .execute(&mut ctx)
+            .unwrap();
         let out = ctx.output("o").unwrap();
         assert_eq!(out.get("inner").unwrap().as_int(), Some(1));
         assert_eq!(out.get("after").unwrap().as_str(), Some("outer"));
@@ -627,7 +641,9 @@ o.missing = default(m1.nosuch, "fallback")
             .unwrap();
         let cached = ctx.cache().get("req").unwrap();
         assert_eq!(
-            get_value_path(cached, &"text".parse().unwrap()).unwrap().as_str(),
+            get_value_path(cached, &"text".parse().unwrap())
+                .unwrap()
+                .as_str(),
             Some("tree")
         );
     }

@@ -32,7 +32,11 @@ fn is_ident_char(c: char) -> bool {
 
 impl<'a> Lexer<'a> {
     fn new(text: &'a str) -> Lexer<'a> {
-        Lexer { text, pos: 0, line: 1 }
+        Lexer {
+            text,
+            pos: 0,
+            line: 1,
+        }
     }
 
     fn error(&self, message: impl Into<String>) -> MtlLangError {
@@ -113,17 +117,17 @@ impl<'a> Lexer<'a> {
                                 break;
                             }
                             Some('\\') => {
-                                let esc = chars
-                                    .next()
-                                    .ok_or_else(|| self.error("dangling escape"))?;
+                                let esc =
+                                    chars.next().ok_or_else(|| self.error("dangling escape"))?;
                                 s.push(match esc {
                                     'n' => '\n',
                                     't' => '\t',
                                     '"' => '"',
                                     '\\' => '\\',
                                     other => {
-                                        return Err(self
-                                            .error(format!("unknown escape `\\{other}`")))
+                                        return Err(
+                                            self.error(format!("unknown escape `\\{other}`"))
+                                        )
                                     }
                                 });
                                 self.pos += 1 + esc.len_utf8();
@@ -341,9 +345,7 @@ impl Parser {
                     self.pos += 1;
                     let idx = match self.next() {
                         Some(Token::Int(n)) if n >= 0 => n as usize,
-                        other => {
-                            return Err(self.error(format!("expected index, found {other:?}")))
-                        }
+                        other => return Err(self.error(format!("expected index, found {other:?}"))),
                     };
                     self.expect(&Token::RBracket, "`]`")?;
                     segments.push(PathSegment::Index(idx));

@@ -29,6 +29,17 @@ pub trait Connection: Send {
     /// when the peer closes.
     fn receive_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>>;
 
+    /// Polls for a message without blocking: `Ok(Some(frame))` if a
+    /// whole message is ready, `Ok(None)` if nothing is available right
+    /// now. Readiness primitive for multiplexed drivers that interleave
+    /// many connections on one thread.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::NetError::Closed`] when the peer closes (and no complete
+    /// buffered message remains), or transport I/O errors.
+    fn try_receive(&mut self) -> Result<Option<Vec<u8>>>;
+
     /// A printable description of the remote peer.
     fn peer(&self) -> String;
 }
@@ -41,6 +52,16 @@ pub trait Listener: Send {
     ///
     /// Transport-specific accept failures.
     fn accept(&self) -> Result<Box<dyn Connection>>;
+
+    /// Polls for a pending connection without blocking:
+    /// `Ok(Some(conn))` if a peer is waiting, `Ok(None)` otherwise.
+    /// Readiness primitive letting an accept loop remain responsive to
+    /// shutdown instead of parking forever in [`Listener::accept`].
+    ///
+    /// # Errors
+    ///
+    /// Transport-specific accept failures.
+    fn try_accept(&self) -> Result<Option<Box<dyn Connection>>>;
 
     /// The endpoint this listener is bound to (with the actual port for
     /// `tcp://host:0` binds).

@@ -2,13 +2,12 @@
 //! multicast — the test/bench substrate standing in for the paper's LAN
 //! testbed (DESIGN.md §2).
 
+use crate::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use crate::connection::{Connection, Listener, Transport};
 use crate::endpoint::Endpoint;
 use crate::{NetError, Result};
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Deterministic fault plan applied to every connection of a
@@ -74,7 +73,7 @@ impl MemoryTransport {
     /// Creates a transport applying the given fault plan.
     pub fn with_faults(plan: FaultPlan) -> MemoryTransport {
         let t = MemoryTransport::new();
-        t.faults.lock().plan = plan;
+        t.faults.lock().unwrap().plan = plan;
         t
     }
 
@@ -83,6 +82,7 @@ impl MemoryTransport {
         let (tx, rx) = unbounded();
         self.registry
             .lock()
+            .unwrap()
             .multicast
             .entry(group.to_owned())
             .or_default()
@@ -95,7 +95,7 @@ impl MemoryTransport {
 
     /// Sends a datagram to every member of a multicast group.
     pub fn send_multicast(&self, group: &str, data: &[u8]) {
-        let registry = self.registry.lock();
+        let registry = self.registry.lock().unwrap();
         if let Some(members) = registry.multicast.get(group) {
             for m in members {
                 // Dead members are ignored; they are pruned lazily.
@@ -107,7 +107,7 @@ impl MemoryTransport {
     /// Applies the fault plan to an outgoing frame: returns how many
     /// copies to deliver (0 = dropped) and an optional delay.
     fn apply_faults(&self, _data: &[u8]) -> (usize, Option<Duration>) {
-        let mut state = self.faults.lock();
+        let mut state = self.faults.lock().unwrap();
         state.counter += 1;
         let n = state.counter;
         let copies = if state.plan.drop_nth.contains(&n) {
@@ -180,6 +180,14 @@ impl Connection for MemConnection {
         }
     }
 
+    fn try_receive(&mut self) -> Result<Option<Vec<u8>>> {
+        match self.duplex.rx.try_recv() {
+            Ok(f) => Ok(Some(f)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(NetError::Closed),
+        }
+    }
+
     fn peer(&self) -> String {
         self.duplex.peer.clone()
     }
@@ -200,6 +208,17 @@ impl Listener for MemListener {
         }))
     }
 
+    fn try_accept(&self) -> Result<Option<Box<dyn Connection>>> {
+        match self.rx.try_recv() {
+            Ok(duplex) => Ok(Some(Box::new(MemConnection {
+                duplex,
+                transport: self.transport.clone(),
+            }))),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(NetError::Closed),
+        }
+    }
+
     fn local_endpoint(&self) -> Endpoint {
         self.endpoint.clone()
     }
@@ -212,7 +231,7 @@ impl Transport for MemoryTransport {
 
     fn listen(&self, endpoint: &Endpoint) -> Result<Box<dyn Listener>> {
         let key = endpoint.authority();
-        let mut registry = self.registry.lock();
+        let mut registry = self.registry.lock().unwrap();
         if registry.listeners.contains_key(&key) {
             return Err(NetError::AlreadyBound {
                 endpoint: endpoint.to_string(),
@@ -229,7 +248,7 @@ impl Transport for MemoryTransport {
 
     fn connect(&self, endpoint: &Endpoint) -> Result<Box<dyn Connection>> {
         let key = endpoint.authority();
-        let registry = self.registry.lock();
+        let registry = self.registry.lock().unwrap();
         let acceptor = registry
             .listeners
             .get(&key)
@@ -243,9 +262,11 @@ impl Transport for MemoryTransport {
             rx: server_rx,
             peer: "memory-client".to_owned(),
         };
-        acceptor.send(server_side).map_err(|_| NetError::NotListening {
-            endpoint: endpoint.to_string(),
-        })?;
+        acceptor
+            .send(server_side)
+            .map_err(|_| NetError::NotListening {
+                endpoint: endpoint.to_string(),
+            })?;
         Ok(Box::new(MemConnection {
             duplex: MemDuplex {
                 tx: client_tx,
@@ -288,10 +309,7 @@ mod tests {
         let t = MemoryTransport::new();
         let ep = Endpoint::memory("svc");
         let _l = t.listen(&ep).unwrap();
-        assert!(matches!(
-            t.listen(&ep),
-            Err(NetError::AlreadyBound { .. })
-        ));
+        assert!(matches!(t.listen(&ep), Err(NetError::AlreadyBound { .. })));
     }
 
     #[test]
@@ -346,14 +364,47 @@ mod tests {
     }
 
     #[test]
+    fn try_receive_polls_without_blocking() {
+        let t = MemoryTransport::new();
+        let ep = Endpoint::memory("svc");
+        let listener = t.listen(&ep).unwrap();
+        let mut client = t.connect(&ep).unwrap();
+        assert!(client.try_receive().unwrap().is_none());
+        client.send(b"req").unwrap();
+        let mut server = listener.accept().unwrap();
+        assert_eq!(server.try_receive().unwrap().unwrap(), b"req");
+        server.send(b"resp").unwrap();
+        assert_eq!(client.try_receive().unwrap().unwrap(), b"resp");
+        drop(server);
+        assert!(matches!(client.try_receive(), Err(NetError::Closed)));
+    }
+
+    #[test]
+    fn try_accept_polls_without_blocking() {
+        let t = MemoryTransport::new();
+        let ep = Endpoint::memory("svc");
+        let listener = t.listen(&ep).unwrap();
+        assert!(listener.try_accept().unwrap().is_none());
+        let _client = t.connect(&ep).unwrap();
+        assert!(listener.try_accept().unwrap().is_some());
+        assert!(listener.try_accept().unwrap().is_none());
+    }
+
+    #[test]
     fn multicast_reaches_all_members() {
         let t = MemoryTransport::new();
         let a = t.join_multicast("ssdp");
         let b = t.join_multicast("ssdp");
         let other = t.join_multicast("elsewhere");
         t.send_multicast("ssdp", b"M-SEARCH");
-        assert_eq!(a.receive_timeout(Duration::from_millis(100)).unwrap(), b"M-SEARCH");
-        assert_eq!(b.receive_timeout(Duration::from_millis(100)).unwrap(), b"M-SEARCH");
+        assert_eq!(
+            a.receive_timeout(Duration::from_millis(100)).unwrap(),
+            b"M-SEARCH"
+        );
+        assert_eq!(
+            b.receive_timeout(Duration::from_millis(100)).unwrap(),
+            b"M-SEARCH"
+        );
         assert!(matches!(
             other.receive_timeout(Duration::from_millis(10)),
             Err(NetError::Timeout)

@@ -71,6 +71,14 @@ impl TcpConnection {
             self.buffer.extend_from_slice(&chunk[..n]);
         }
     }
+
+    fn extract_buffered(&mut self) -> Result<Option<Vec<u8>>> {
+        if let Some((consumed, frame)) = self.framing.extract(&self.buffer)? {
+            self.buffer.drain(..consumed);
+            return Ok(Some(frame));
+        }
+        Ok(None)
+    }
 }
 
 impl Connection for TcpConnection {
@@ -93,6 +101,31 @@ impl Connection for TcpConnection {
         r
     }
 
+    fn try_receive(&mut self) -> Result<Option<Vec<u8>>> {
+        if let Some(frame) = self.extract_buffered()? {
+            return Ok(Some(frame));
+        }
+        // Drain whatever the kernel has without blocking, then re-try
+        // the framer. A peer close only counts once buffered frames are
+        // exhausted.
+        self.stream.set_nonblocking(true)?;
+        let drained = loop {
+            let mut chunk = [0u8; 8192];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => break Err(NetError::Closed),
+                Ok(n) => self.buffer.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => break Err(e.into()),
+            }
+        };
+        let _ = self.stream.set_nonblocking(false);
+        if let Some(frame) = self.extract_buffered()? {
+            return Ok(Some(frame));
+        }
+        drained.map(|()| None)
+    }
+
     fn peer(&self) -> String {
         self.peer.clone()
     }
@@ -108,7 +141,28 @@ impl Listener for TcpListenerWrapper {
     fn accept(&self) -> Result<Box<dyn Connection>> {
         let (stream, _) = self.listener.accept()?;
         stream.set_nodelay(true).ok();
+        stream.set_nonblocking(false).ok();
         Ok(Box::new(TcpConnection::new(stream, self.framing.clone())))
+    }
+
+    fn try_accept(&self) -> Result<Option<Box<dyn Connection>>> {
+        self.listener.set_nonblocking(true)?;
+        let r = self.listener.accept();
+        let _ = self.listener.set_nonblocking(false);
+        match r {
+            Ok((stream, _)) => {
+                stream.set_nodelay(true).ok();
+                // Accepted sockets inherit the listener's non-blocking
+                // flag on some platforms; force blocking mode.
+                stream.set_nonblocking(false)?;
+                Ok(Some(Box::new(TcpConnection::new(
+                    stream,
+                    self.framing.clone(),
+                ))))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e.into()),
+        }
     }
 
     fn local_endpoint(&self) -> Endpoint {
@@ -198,6 +252,49 @@ mod tests {
         let t = TcpTransport::new();
         // Port 1 is essentially never open.
         assert!(t.connect(&Endpoint::tcp("127.0.0.1", 1)).is_err());
+    }
+
+    #[test]
+    fn try_receive_polls_without_blocking() {
+        let t = TcpTransport::new();
+        let listener = t.listen(&Endpoint::tcp("127.0.0.1", 0)).unwrap();
+        let ep = listener.local_endpoint();
+        let mut client = t.connect(&ep).unwrap();
+        let mut server = listener.accept().unwrap();
+        assert!(server.try_receive().unwrap().is_none());
+        client.send(b"one").unwrap();
+        client.send(b"two").unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut got = Vec::new();
+        while got.len() < 2 && std::time::Instant::now() < deadline {
+            if let Some(frame) = server.try_receive().unwrap() {
+                got.push(frame);
+            } else {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        assert_eq!(got, vec![b"one".to_vec(), b"two".to_vec()]);
+        // Blocking receive still works after polling.
+        client.send(b"three").unwrap();
+        assert_eq!(server.receive().unwrap(), b"three");
+    }
+
+    #[test]
+    fn try_accept_polls_without_blocking() {
+        let t = TcpTransport::new();
+        let listener = t.listen(&Endpoint::tcp("127.0.0.1", 0)).unwrap();
+        let ep = listener.local_endpoint();
+        assert!(listener.try_accept().unwrap().is_none());
+        let _client = t.connect(&ep).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut accepted = None;
+        while accepted.is_none() && std::time::Instant::now() < deadline {
+            accepted = listener.try_accept().unwrap();
+            if accepted.is_none() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        assert!(accepted.is_some());
     }
 
     #[test]

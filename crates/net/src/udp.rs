@@ -53,8 +53,31 @@ impl Connection for UdpClientConnection {
         Ok(buf)
     }
 
+    fn try_receive(&mut self) -> Result<Option<Vec<u8>>> {
+        match try_recv_from(&self.socket)? {
+            Some((data, _)) => Ok(Some(data)),
+            None => Ok(None),
+        }
+    }
+
     fn peer(&self) -> String {
         self.peer.to_string()
+    }
+}
+
+/// One non-blocking `recv_from`; `Ok(None)` when no datagram is queued.
+fn try_recv_from(socket: &UdpSocket) -> Result<Option<(Vec<u8>, SocketAddr)>> {
+    socket.set_nonblocking(true)?;
+    let mut buf = vec![0u8; MAX_DATAGRAM];
+    let r = socket.recv_from(&mut buf);
+    let _ = socket.set_nonblocking(false);
+    match r {
+        Ok((n, from)) => {
+            buf.truncate(n);
+            Ok(Some((buf, from)))
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+        Err(e) => Err(e.into()),
     }
 }
 
@@ -102,6 +125,20 @@ impl Connection for UdpServerConnection {
         Ok(buf)
     }
 
+    fn try_receive(&mut self) -> Result<Option<Vec<u8>>> {
+        if let Some(first) = self.pending.take() {
+            return Ok(Some(first));
+        }
+        // Datagrams from other peers are dropped, matching the blocking
+        // receive path of this single-peer connection.
+        while let Some((data, from)) = try_recv_from(&self.socket)? {
+            if from == self.peer {
+                return Ok(Some(data));
+            }
+        }
+        Ok(None)
+    }
+
     fn peer(&self) -> String {
         self.peer.to_string()
     }
@@ -123,6 +160,17 @@ impl Listener for UdpListenerWrapper {
             peer: from,
             pending: Some(buf),
         }))
+    }
+
+    fn try_accept(&self) -> Result<Option<Box<dyn Connection>>> {
+        match try_recv_from(&self.socket)? {
+            Some((data, from)) => Ok(Some(Box::new(UdpServerConnection {
+                socket: self.socket.clone(),
+                peer: from,
+                pending: Some(data),
+            }))),
+            None => Ok(None),
+        }
     }
 
     fn local_endpoint(&self) -> Endpoint {
@@ -194,8 +242,38 @@ mod tests {
     }
 
     #[test]
+    fn try_accept_and_try_receive_poll() {
+        let t = UdpTransport::new();
+        let listener = t.listen(&"udp://127.0.0.1:0".parse().unwrap()).unwrap();
+        let ep = listener.local_endpoint();
+        assert!(listener.try_accept().unwrap().is_none());
+        let mut client = t.connect(&ep).unwrap();
+        assert!(client.try_receive().unwrap().is_none());
+        client.send(b"ping").unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut server = None;
+        while server.is_none() && std::time::Instant::now() < deadline {
+            server = listener.try_accept().unwrap();
+            if server.is_none() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        let mut server = server.expect("datagram should arrive");
+        // The accepting datagram is buffered on the new connection.
+        assert_eq!(server.try_receive().unwrap().unwrap(), b"ping");
+        assert!(server.try_receive().unwrap().is_none());
+        server.send(b"pong").unwrap();
+        assert_eq!(
+            client.receive_timeout(Duration::from_secs(5)).unwrap(),
+            b"pong"
+        );
+    }
+
+    #[test]
     fn bad_peer_address() {
         let t = UdpTransport::new();
-        assert!(t.connect(&Endpoint::new("udp", "not-an-ip", Some(1))).is_err());
+        assert!(t
+            .connect(&Endpoint::new("udp", "not-an-ip", Some(1)))
+            .is_err());
     }
 }

@@ -1,0 +1,654 @@
+//! Vendored minimal property-testing harness.
+//!
+//! This crate implements the (small) subset of the `proptest` API the
+//! Starlink workspace uses, so that `cargo test` works in offline /
+//! air-gapped environments where crates.io is unreachable. It keeps the
+//! source-level API of the real crate — `proptest! { #[test] fn f(x in
+//! strategy) { .. } }`, `prop_assert*`, `prop_oneof!`, `any::<T>()`,
+//! regex-literal string strategies, `collection::vec`, `option::of`,
+//! `prop_map`, `prop_recursive` — but replaces the engine with a
+//! deterministic sampler: each test runs a fixed number of cases drawn
+//! from a seeded PRNG (no shrinking; the failing case index and seed are
+//! reported instead).
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Deterministic PRNG + test-case plumbing.
+
+    use std::fmt;
+
+    /// Number of sampled cases per property.
+    pub const CASES: usize = 64;
+
+    /// A test-case failure raised by `prop_assert!` and friends.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(message: impl Into<String>) -> TestCaseError {
+            TestCaseError(message.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// SplitMix64: tiny, fast, deterministic.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// A generator seeded from an arbitrary value.
+        pub fn from_seed(seed: u64) -> TestRng {
+            TestRng(seed ^ 0x5851_F42D_4C95_7F2D)
+        }
+
+        /// A generator seeded from a test's name (stable across runs).
+        pub fn for_test(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng::from_seed(h)
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; returns 0 when `n == 0`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            if n == 0 {
+                0
+            } else {
+                self.next_u64() % n
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A recipe producing random values of one type.
+    pub trait Strategy {
+        /// The type of value produced.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps produced values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (cheap to clone).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let s = self;
+            BoxedStrategy(Rc::new(move |rng: &mut TestRng| s.sample(rng)))
+        }
+
+        /// Builds recursive values by applying `recurse` `depth` times to
+        /// the leaf strategy (`_size`/`_branch` accepted for proptest API
+        /// compatibility; recursion depth alone bounds the samples here).
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _size: u32,
+            _branch: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut s = self.boxed();
+            for _ in 0..depth {
+                s = recurse(s).boxed();
+            }
+            s
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` combinator.
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// `prop_oneof!` support: uniform choice among alternatives.
+    pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+    impl<T> Union<T> {
+        /// Builds a union over the given alternatives.
+        pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(
+                !alternatives.is_empty(),
+                "prop_oneof! needs at least one arm"
+            );
+            Union(alternatives)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.0.len() as u64) as usize;
+            self.0[idx].sample(rng)
+        }
+    }
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy for `any::<T>()`.
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Produces arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.below(span) as $t)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64;
+                    lo + (rng.below(span.saturating_add(1)) as $t)
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i64);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, G);
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            crate::string::sample_regex(self, rng)
+        }
+    }
+}
+
+pub mod string {
+    //! Sampler for the regex subset used as string strategies: literal
+    //! characters, character classes (`[a-z0-9_.-]`), groups with
+    //! alternation (`(GET|POST)`), and `{n}`/`{m,n}`/`*`/`+`/`?`
+    //! quantifiers.
+
+    use crate::test_runner::TestRng;
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        Literal(char),
+        Class(Vec<(char, char)>),
+        Group(Vec<Vec<(Atom, u32, u32)>>),
+    }
+
+    /// Parses `pattern` and draws one matching string.
+    pub fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0usize;
+        let alts = parse_alternation(&chars, &mut pos);
+        if pos < chars.len() {
+            panic!("unsupported regex strategy `{pattern}` (at offset {pos})");
+        }
+        let mut out = String::new();
+        emit_alternation(&alts, rng, &mut out);
+        out
+    }
+
+    type Seq = Vec<(Atom, u32, u32)>;
+
+    fn parse_alternation(chars: &[char], pos: &mut usize) -> Vec<Seq> {
+        let mut alts = vec![parse_sequence(chars, pos)];
+        while *pos < chars.len() && chars[*pos] == '|' {
+            *pos += 1;
+            alts.push(parse_sequence(chars, pos));
+        }
+        alts
+    }
+
+    fn parse_sequence(chars: &[char], pos: &mut usize) -> Seq {
+        let mut seq = Seq::new();
+        while *pos < chars.len() && chars[*pos] != '|' && chars[*pos] != ')' {
+            let atom = parse_atom(chars, pos);
+            let (lo, hi) = parse_quantifier(chars, pos);
+            seq.push((atom, lo, hi));
+        }
+        seq
+    }
+
+    fn parse_atom(chars: &[char], pos: &mut usize) -> Atom {
+        match chars[*pos] {
+            '[' => {
+                *pos += 1;
+                let mut ranges = Vec::new();
+                while *pos < chars.len() && chars[*pos] != ']' {
+                    let c = read_char(chars, pos);
+                    if *pos + 1 < chars.len() && chars[*pos] == '-' && chars[*pos + 1] != ']' {
+                        *pos += 1;
+                        let hi = read_char(chars, pos);
+                        ranges.push((c, hi));
+                    } else {
+                        ranges.push((c, c));
+                    }
+                }
+                *pos += 1; // ']'
+                Atom::Class(ranges)
+            }
+            '(' => {
+                *pos += 1;
+                let alts = parse_alternation(chars, pos);
+                assert!(
+                    *pos < chars.len() && chars[*pos] == ')',
+                    "unterminated group in regex strategy"
+                );
+                *pos += 1;
+                Atom::Group(alts)
+            }
+            _ => Atom::Literal(read_char(chars, pos)),
+        }
+    }
+
+    fn read_char(chars: &[char], pos: &mut usize) -> char {
+        let c = chars[*pos];
+        *pos += 1;
+        if c == '\\' && *pos < chars.len() {
+            let escaped = chars[*pos];
+            *pos += 1;
+            escaped
+        } else {
+            c
+        }
+    }
+
+    fn parse_quantifier(chars: &[char], pos: &mut usize) -> (u32, u32) {
+        if *pos >= chars.len() {
+            return (1, 1);
+        }
+        match chars[*pos] {
+            '{' => {
+                *pos += 1;
+                let mut lo = 0u32;
+                while chars[*pos].is_ascii_digit() {
+                    lo = lo * 10 + chars[*pos].to_digit(10).unwrap();
+                    *pos += 1;
+                }
+                let hi = if chars[*pos] == ',' {
+                    *pos += 1;
+                    let mut h = 0u32;
+                    while chars[*pos].is_ascii_digit() {
+                        h = h * 10 + chars[*pos].to_digit(10).unwrap();
+                        *pos += 1;
+                    }
+                    h
+                } else {
+                    lo
+                };
+                assert!(chars[*pos] == '}', "unterminated quantifier");
+                *pos += 1;
+                (lo, hi)
+            }
+            '*' => {
+                *pos += 1;
+                (0, 4)
+            }
+            '+' => {
+                *pos += 1;
+                (1, 4)
+            }
+            '?' => {
+                *pos += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn emit_alternation(alts: &[Seq], rng: &mut TestRng, out: &mut String) {
+        let seq = &alts[rng.below(alts.len() as u64) as usize];
+        for (atom, lo, hi) in seq {
+            let n = lo + rng.below(u64::from(hi - lo) + 1) as u32;
+            for _ in 0..n {
+                emit_atom(atom, rng, out);
+            }
+        }
+    }
+
+    fn emit_atom(atom: &Atom, rng: &mut TestRng, out: &mut String) {
+        match atom {
+            Atom::Literal(c) => out.push(*c),
+            Atom::Class(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|(lo, hi)| u64::from(*hi) - u64::from(*lo) + 1)
+                    .sum();
+                let mut idx = rng.below(total);
+                for (lo, hi) in ranges {
+                    let span = u64::from(*hi) - u64::from(*lo) + 1;
+                    if idx < span {
+                        out.push(char::from_u32(*lo as u32 + idx as u32).unwrap_or(*lo));
+                        break;
+                    }
+                    idx -= span;
+                }
+            }
+            Atom::Group(alts) => emit_alternation(alts, rng, out),
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing vectors with lengths drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Vectors of `element` values with a length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.len.end.saturating_sub(self.len.start).max(1);
+            let n = self.len.start + rng.below(span as u64) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Some` half the time.
+    pub struct OptionStrategy<S>(S);
+
+    /// `None` or `Some(inner)` with equal probability.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 0 {
+                Some(self.0.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Declares property tests: each `fn` body runs [`test_runner::CASES`]
+/// times with fresh sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..$crate::test_runner::CASES {
+                    let ($($pat,)+) = ($($crate::strategy::Strategy::sample(&($strat), &mut rng),)+);
+                    #[allow(clippy::redundant_closure_call)]
+                    let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = result {
+                        panic!(
+                            "property `{}` failed on case {case}: {e}",
+                            stringify!($name)
+                        );
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{} (`{:?}` != `{:?}`)",
+                    format!($($fmt)*),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: both sides equal `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Uniform choice among strategy alternatives of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn regex_sampler_respects_shape() {
+        let mut rng = TestRng::from_seed(42);
+        for _ in 0..200 {
+            let s = crate::string::sample_regex("[a-z][a-z0-9]{0,6}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 7, "bad sample `{s}`");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+        }
+        for _ in 0..50 {
+            let s = crate::string::sample_regex("(GET|POST|PUT|DELETE)", &mut rng);
+            assert!(matches!(s.as_str(), "GET" | "POST" | "PUT" | "DELETE"));
+        }
+        let fixed = crate::string::sample_regex("abc", &mut rng);
+        assert_eq!(fixed, "abc");
+    }
+
+    #[test]
+    fn ranges_and_vec_stay_in_bounds() {
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..100 {
+            let v = (1u8..9).sample(&mut rng);
+            assert!((1..9).contains(&v));
+            let xs = crate::collection::vec(any::<u8>(), 2..5).sample(&mut rng);
+            assert!(xs.len() >= 2 && xs.len() < 5);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_roundtrip(x in 0u64..100, s in "[a-z]{1,3}") {
+            prop_assert!(x < 100);
+            prop_assert!(!s.is_empty() && s.len() <= 3);
+            prop_assert_eq!(s.clone(), s);
+        }
+    }
+}

@@ -290,7 +290,7 @@ impl Drop for DiscoveryBridge {
 pub struct SsdpClient {
     transport: MemoryTransport,
     reply_endpoint: Endpoint,
-    collected: Arc<parking_lot::Mutex<Vec<String>>>,
+    collected: Arc<std::sync::Mutex<Vec<String>>>,
 }
 
 impl SsdpClient {
@@ -306,13 +306,15 @@ impl SsdpClient {
     ) -> Result<SsdpClient, starlink_net::NetError> {
         let reply_endpoint = Endpoint::memory(reply_name);
         let listener = net.listen(&reply_endpoint)?;
-        let collected: Arc<parking_lot::Mutex<Vec<String>>> =
-            Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let collected: Arc<std::sync::Mutex<Vec<String>>> =
+            Arc::new(std::sync::Mutex::new(Vec::new()));
         let sink = collected.clone();
         std::thread::spawn(move || {
             let codec = ssdp_codec().expect("embedded spec is valid");
             loop {
-                let Ok(mut conn) = listener.accept() else { return };
+                let Ok(mut conn) = listener.accept() else {
+                    return;
+                };
                 while let Ok(wire) = conn.receive_timeout(Duration::from_millis(200)) {
                     let Ok(response) = codec.parse(&wire) else {
                         continue;
@@ -320,14 +322,12 @@ impl SsdpClient {
                     if response.name() != "SearchResponse" {
                         continue;
                     }
-                    if let Some(headers) =
-                        response.get("Headers").and_then(Value::as_struct)
-                    {
+                    if let Some(headers) = response.get("Headers").and_then(Value::as_struct) {
                         if let Some(loc) = headers
                             .iter()
                             .find(|f| f.label().eq_ignore_ascii_case("location"))
                         {
-                            sink.lock().push(loc.value().to_text());
+                            sink.lock().unwrap().push(loc.value().to_text());
                         }
                     }
                 }
@@ -347,7 +347,7 @@ impl SsdpClient {
     ///
     /// Codec failures (never for the embedded spec).
     pub fn search(&self, st: &str, wait: Duration) -> Result<Vec<String>, MdlError> {
-        self.collected.lock().clear();
+        self.collected.lock().unwrap().clear();
         let codec = ssdp_codec()?;
         let mut msearch = AbstractMessage::new("MSearch");
         msearch.set_field("Method", Value::from("M-SEARCH"));
@@ -366,7 +366,7 @@ impl SsdpClient {
         let wire = codec.compose(&msearch)?;
         self.transport.send_multicast(SSDP_GROUP, &wire);
         std::thread::sleep(wait);
-        Ok(self.collected.lock().clone())
+        Ok(self.collected.lock().unwrap().clone())
     }
 }
 
@@ -377,7 +377,8 @@ mod tests {
     #[test]
     fn ssdp_codec_roundtrip() {
         let codec = ssdp_codec().unwrap();
-        let wire = b"M-SEARCH * HTTP/1.1\r\nHOST: 239.255.255.250:1900\r\nST: urn:svc:Printing:1\r\n\r\n";
+        let wire =
+            b"M-SEARCH * HTTP/1.1\r\nHOST: 239.255.255.250:1900\r\nST: urn:svc:Printing:1\r\n\r\n";
         let msg = codec.parse(wire).unwrap();
         assert_eq!(msg.name(), "MSearch");
         let headers = msg.get("Headers").unwrap().as_struct().unwrap();

@@ -131,10 +131,7 @@ pub fn rest_binding() -> ProtocolBinding {
         .with_reply_action(ReplyAction::Correlated)
         .with_params(
             ParamRule::PerAction {
-                rules: vec![(
-                    "picasa.addComment".into(),
-                    ParamRule::NamedFields(None),
-                )],
+                rules: vec![("picasa.addComment".into(), ParamRule::NamedFields(None))],
                 default: Box::new(ParamRule::Query { uri_field: uri }),
             },
             ParamRule::NamedFields(None),
@@ -152,7 +149,10 @@ pub fn rest_binding() -> ProtocolBinding {
                 Value::Str("picasaweb.google.com".into()),
             )]),
         )
-        .with_request_default("Body".parse().expect("static path"), Value::Str(String::new()))
+        .with_request_default(
+            "Body".parse().expect("static path"),
+            Value::Str(String::new()),
+        )
 }
 
 #[cfg(test)]
@@ -232,10 +232,7 @@ mod tests {
         let msg = codec.parse(wire).unwrap();
         let entries = msg.get("Entries").unwrap().as_array().unwrap();
         let fields = entries[0].as_struct().unwrap();
-        let content = fields
-            .iter()
-            .find(|f| f.label() == "content")
-            .unwrap();
+        let content = fields.iter().find(|f| f.label() == "content").unwrap();
         assert_eq!(content.value().as_str(), Some("nice"));
         let author = fields.iter().find(|f| f.label() == "author").unwrap();
         assert_eq!(author.value().as_str(), Some("bob"));

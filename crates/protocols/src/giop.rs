@@ -63,23 +63,15 @@ pub fn giop_codec() -> Result<MdlCodec, MdlError> {
 /// `ParameterArray`, replies correlated via `RequestID`.
 pub fn giop_binding() -> ProtocolBinding {
     ProtocolBinding::new("IIOP", "GIOP.mdl", "GIOPRequest", "GIOPReply")
-        .with_request_action(ActionRule::Field(
-            "Operation".parse().expect("static path"),
-        ))
+        .with_request_action(ActionRule::Field("Operation".parse().expect("static path")))
         .with_reply_action(ReplyAction::Correlated)
         .with_params(
             ParamRule::PositionalArray("ParameterArray".parse().expect("static path")),
             ParamRule::PositionalArray("ParameterArray".parse().expect("static path")),
         )
         .with_correlation("RequestID".parse().expect("static path"))
-        .with_request_default(
-            "VersionMajor".parse().expect("static path"),
-            Value::UInt(1),
-        )
-        .with_request_default(
-            "VersionMinor".parse().expect("static path"),
-            Value::UInt(0),
-        )
+        .with_request_default("VersionMajor".parse().expect("static path"), Value::UInt(1))
+        .with_request_default("VersionMinor".parse().expect("static path"), Value::UInt(0))
         .with_request_default("Flags".parse().expect("static path"), Value::UInt(0))
         .with_request_default(
             "ResponseExpected".parse().expect("static path"),
@@ -89,14 +81,8 @@ pub fn giop_binding() -> ProtocolBinding {
             "ObjectKey".parse().expect("static path"),
             Value::Bytes(b"starlink".to_vec()),
         )
-        .with_reply_default(
-            "VersionMajor".parse().expect("static path"),
-            Value::UInt(1),
-        )
-        .with_reply_default(
-            "VersionMinor".parse().expect("static path"),
-            Value::UInt(0),
-        )
+        .with_reply_default("VersionMajor".parse().expect("static path"), Value::UInt(1))
+        .with_reply_default("VersionMinor".parse().expect("static path"), Value::UInt(0))
         .with_reply_default("Flags".parse().expect("static path"), Value::UInt(0))
         .with_reply_default("ReplyStatus".parse().expect("static path"), Value::UInt(0))
 }

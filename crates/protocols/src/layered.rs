@@ -92,10 +92,9 @@ impl MessageCodec for LayeredCodec {
             None => self.outer.compose(msg),
             Some(route) => {
                 let inner_bytes = self.inner.compose(msg)?;
-                let inner_text =
-                    String::from_utf8(inner_bytes).map_err(|_| MdlError::NotUtf8 {
-                        field: self.body_field.clone(),
-                    })?;
+                let inner_text = String::from_utf8(inner_bytes).map_err(|_| MdlError::NotUtf8 {
+                    field: self.body_field.clone(),
+                })?;
                 let mut outer = AbstractMessage::new(&route.outer_message);
                 // Carry over any outer-level fields present on the
                 // message (Method/RequestURI set by the binding).
@@ -150,7 +149,10 @@ pub fn http_response_defaults() -> Vec<(FieldPath, Value)> {
             "Version".parse().expect("static path"),
             Value::Str("HTTP/1.1".into()),
         ),
-        ("Code".parse().expect("static path"), Value::Str("200".into())),
+        (
+            "Code".parse().expect("static path"),
+            Value::Str("200".into()),
+        ),
         (
             "Reason".parse().expect("static path"),
             Value::Str("OK".into()),
@@ -188,10 +190,7 @@ mod tests {
                 outer_message: "HTTPRequest".into(),
                 outer_defaults: {
                     let mut d = http_request_defaults("flickr.com");
-                    d.push((
-                        "Method".parse().unwrap(),
-                        Value::Str("POST".into()),
-                    ));
+                    d.push(("Method".parse().unwrap(), Value::Str("POST".into())));
                     d.push((
                         "RequestURI".parse().unwrap(),
                         Value::Str("/services/xmlrpc".into()),
@@ -241,11 +240,15 @@ mod tests {
     #[test]
     fn unrecognised_body_stays_opaque() {
         let codec = layered();
-        let wire =
-            b"POST /x HTTP/1.1\r\nContent-Length: 12\r\n\r\n<unknown/>!!";
+        let wire = b"POST /x HTTP/1.1\r\nContent-Length: 12\r\n\r\n<unknown/>!!";
         let msg = codec.parse(wire).unwrap();
         assert_eq!(msg.name(), "HTTPRequest");
-        assert!(msg.get("Body").unwrap().as_str().unwrap().contains("unknown"));
+        assert!(msg
+            .get("Body")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("unknown"));
     }
 
     #[test]
@@ -258,7 +261,9 @@ mod tests {
         msg.set_field("Headers", Value::Struct(vec![]));
         msg.set_field("Body", Value::from(""));
         let wire = codec.compose(&msg).unwrap();
-        assert!(String::from_utf8(wire).unwrap().starts_with("GET /a HTTP/1.1"));
+        assert!(String::from_utf8(wire)
+            .unwrap()
+            .starts_with("GET /a HTTP/1.1"));
     }
 
     #[test]

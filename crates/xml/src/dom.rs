@@ -101,11 +101,7 @@ impl Element {
         self.attributes
             .iter()
             .find(|a| a.name == name)
-            .or_else(|| {
-                self.attributes
-                    .iter()
-                    .find(|a| local_name(&a.name) == name)
-            })
+            .or_else(|| self.attributes.iter().find(|a| local_name(&a.name) == name))
             .map(|a| a.value.as_str())
     }
 
@@ -346,8 +342,9 @@ mod tests {
 
     #[test]
     fn find_all_collects_in_document_order() {
-        let e = Element::parse("<feed><entry>1</entry><x><entry>2</entry></x><entry>3</entry></feed>")
-            .unwrap();
+        let e =
+            Element::parse("<feed><entry>1</entry><x><entry>2</entry></x><entry>3</entry></feed>")
+                .unwrap();
         let entries = e.find_all("entry");
         let texts: Vec<String> = entries.iter().map(|e| e.text()).collect();
         assert_eq!(texts, vec!["1", "2", "3"]);

@@ -62,9 +62,10 @@ pub fn unescape(text: &str) -> Result<String, XmlError> {
             "quot" => '"',
             "apos" => '\'',
             _ if name.starts_with("#x") || name.starts_with("#X") => {
-                let cp = u32::from_str_radix(&name[2..], 16).map_err(|_| {
-                    XmlError::UnknownEntity { name: name.to_owned() }
-                })?;
+                let cp =
+                    u32::from_str_radix(&name[2..], 16).map_err(|_| XmlError::UnknownEntity {
+                        name: name.to_owned(),
+                    })?;
                 char::from_u32(cp).ok_or_else(|| XmlError::UnknownEntity {
                     name: name.to_owned(),
                 })?
@@ -121,7 +122,10 @@ mod tests {
             unescape("&nbsp;"),
             Err(XmlError::UnknownEntity { .. })
         ));
-        assert!(matches!(unescape("a&b"), Err(XmlError::UnknownEntity { .. })));
+        assert!(matches!(
+            unescape("a&b"),
+            Err(XmlError::UnknownEntity { .. })
+        ));
         assert!(matches!(
             unescape("&#xZZ;"),
             Err(XmlError::UnknownEntity { .. })

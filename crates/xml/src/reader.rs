@@ -107,9 +107,9 @@ impl<'a> Reader<'a> {
     fn read_markup(&mut self) -> Result<Event, XmlError> {
         let rest = self.rest();
         if let Some(body) = rest.strip_prefix("<!--") {
-            let end = body.find("-->").ok_or(XmlError::UnexpectedEof {
-                context: "comment",
-            })?;
+            let end = body
+                .find("-->")
+                .ok_or(XmlError::UnexpectedEof { context: "comment" })?;
             let text = body[..end].to_owned();
             self.bump(4 + end + 3);
             return Ok(Event::Comment(text));
@@ -182,7 +182,9 @@ impl<'a> Reader<'a> {
                 });
             }
             if rest.is_empty() {
-                return Err(XmlError::UnexpectedEof { context: "start tag" });
+                return Err(XmlError::UnexpectedEof {
+                    context: "start tag",
+                });
             }
             let attr_name = self.read_name()?;
             self.skip_whitespace();
@@ -191,11 +193,9 @@ impl<'a> Reader<'a> {
             }
             self.bump(1);
             self.skip_whitespace();
-            let quote = self
-                .rest()
-                .chars()
-                .next()
-                .ok_or(XmlError::UnexpectedEof { context: "attribute value" })?;
+            let quote = self.rest().chars().next().ok_or(XmlError::UnexpectedEof {
+                context: "attribute value",
+            })?;
             if quote != '"' && quote != '\'' {
                 return Err(self.error("attribute value must be quoted"));
             }
@@ -323,7 +323,9 @@ mod tests {
     fn namespaced_names_pass_through() {
         let evs = events("<soap:Envelope xmlns:soap=\"http://s\"/>");
         match &evs[0] {
-            Event::StartElement { name, attributes, .. } => {
+            Event::StartElement {
+                name, attributes, ..
+            } => {
                 assert_eq!(name, "soap:Envelope");
                 assert_eq!(attributes[0].name, "xmlns:soap");
             }

@@ -25,7 +25,10 @@ impl Element {
 
     /// Serialises with an `<?xml version="1.0"?>` declaration prefix.
     pub fn to_document(&self) -> String {
-        format!("<?xml version=\"1.0\" encoding=\"UTF-8\"?>{}", self.to_xml())
+        format!(
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>{}",
+            self.to_xml()
+        )
     }
 
     fn write_open_tag(&self, out: &mut String, self_close: bool) {
@@ -95,7 +98,7 @@ impl Element {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::dom::Element;
 
     #[test]

@@ -6,7 +6,7 @@
 
 use starlink::apps::flickr::{FlickrClient, FlickrFlavor};
 use starlink::apps::models::flickr_picasa_mediator;
-use starlink::apps::picasa::{PicasaService, PicasaClient};
+use starlink::apps::picasa::{PicasaClient, PicasaService};
 use starlink::apps::proxy::RedirectProxy;
 use starlink::apps::store::PhotoStore;
 use starlink::core::MediatorHost;
@@ -24,10 +24,8 @@ fn network() -> NetworkEngine {
 fn deploy(flavor: FlickrFlavor) -> (NetworkEngine, Endpoint, PhotoStore, MediatorHost) {
     let net = network();
     let store = PhotoStore::with_fixture();
-    let picasa =
-        PicasaService::deploy(&net, &Endpoint::memory("picasa"), store.clone()).unwrap();
-    let mediator =
-        flickr_picasa_mediator(net.clone(), flavor, picasa.endpoint().clone()).unwrap();
+    let picasa = PicasaService::deploy(&net, &Endpoint::memory("picasa"), store.clone()).unwrap();
+    let mediator = flickr_picasa_mediator(net.clone(), flavor, picasa.endpoint().clone()).unwrap();
     let host = MediatorHost::deploy(mediator, &Endpoint::memory("mediator")).unwrap();
     let endpoint = host.endpoint().clone();
     // Keep the service alive for the test's duration.
@@ -119,7 +117,10 @@ fn mediated_and_native_views_agree() {
 
     // Natively, gphoto-3 (third tree photo) now carries the comment.
     let native = picasa.get_comments("gphoto-3").unwrap();
-    assert_eq!(native, vec![("starlink-user".to_owned(), "via flickr".to_owned())]);
+    assert_eq!(
+        native,
+        vec![("starlink-user".to_owned(), "via flickr".to_owned())]
+    );
 }
 
 #[test]

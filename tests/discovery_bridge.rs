@@ -55,7 +55,10 @@ fn ssdp_search_discovers_slp_registered_service() {
 
     let client = SsdpClient::new(transport, net, "searcher-1").unwrap();
     let locations = client
-        .search("urn:schemas-upnp-org:service:Printing:1", Duration::from_secs(1))
+        .search(
+            "urn:schemas-upnp-org:service:Printing:1",
+            Duration::from_secs(1),
+        )
         .unwrap();
     assert_eq!(
         locations,
@@ -84,7 +87,10 @@ fn unknown_service_family_gets_no_answer() {
     // The bridge has no mapping for this target: silence, like a real
     // SSDP network with no matching device.
     let locations = client
-        .search("urn:schemas-upnp-org:service:Unknown:1", Duration::from_millis(300))
+        .search(
+            "urn:schemas-upnp-org:service:Unknown:1",
+            Duration::from_millis(300),
+        )
         .unwrap();
     assert!(locations.is_empty());
 }
@@ -113,7 +119,10 @@ fn two_searchers_both_get_answers() {
     for name in ["searcher-a", "searcher-b"] {
         let client = SsdpClient::new(transport.clone(), net.clone(), name).unwrap();
         let locations = client
-            .search("urn:schemas-upnp-org:service:Printing:1", Duration::from_secs(1))
+            .search(
+                "urn:schemas-upnp-org:service:Printing:1",
+                Duration::from_secs(1),
+            )
             .unwrap();
         assert_eq!(locations.len(), 1, "{name}");
     }

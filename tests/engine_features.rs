@@ -3,8 +3,8 @@
 //! service operations (one-to-many mismatches), and degraded weak-merge
 //! behaviour.
 
-use starlink::automata::merge::{intertwine, template, MergeBuilder, MergeClass, MergeOptions};
 use starlink::automata::linear_usage_protocol;
+use starlink::automata::merge::{intertwine, template, MergeBuilder, MergeClass, MergeOptions};
 use starlink::core::{
     ActionRule, ColorRuntime, Mediator, MediatorHost, ParamRule, ProtocolBinding, ReplyAction,
     RpcClient, RpcServer, ServiceHandler, ServiceInterface,
@@ -191,8 +191,13 @@ fn trailing_service_op_is_auto_invoked() {
             ),
         ],
     );
-    let (merged, report) =
-        intertwine(&client_usage, &service_usage, &reg, &MergeOptions::default()).unwrap();
+    let (merged, report) = intertwine(
+        &client_usage,
+        &service_usage,
+        &reg,
+        &MergeOptions::default(),
+    )
+    .unwrap();
     assert_eq!(report.resolutions.len(), 2);
 
     let mediator = Mediator::new(
@@ -273,8 +278,13 @@ fn weak_merge_executes_with_degraded_reply() {
         2,
         &[(template("svc.op", &["a"]), template("svc.op.reply", &["r"]))],
     );
-    let (merged, report) =
-        intertwine(&client_usage, &service_usage, &reg, &MergeOptions::default()).unwrap();
+    let (merged, report) = intertwine(
+        &client_usage,
+        &service_usage,
+        &reg,
+        &MergeOptions::default(),
+    )
+    .unwrap();
     assert_eq!(report.class, MergeClass::Weak);
     merged.validate().unwrap();
 }

@@ -31,8 +31,7 @@ fn unmodified_client_survives_api_evolution() {
     )
     .unwrap();
     let host = MediatorHost::deploy(mediator, &Endpoint::memory("mediator")).unwrap();
-    let mut client =
-        FlickrClient::connect(&net, host.endpoint(), FlickrFlavor::XmlRpc).unwrap();
+    let mut client = FlickrClient::connect(&net, host.endpoint(), FlickrFlavor::XmlRpc).unwrap();
 
     let ids = client.search("tree", 3).unwrap();
     assert_eq!(ids.len(), 3);
@@ -64,8 +63,7 @@ fn old_mediator_fails_against_v2_service() {
     )
     .unwrap();
     let host = MediatorHost::deploy(mediator, &Endpoint::memory("old-mediator")).unwrap();
-    let mut client =
-        FlickrClient::connect(&net, host.endpoint(), FlickrFlavor::XmlRpc).unwrap();
+    let mut client = FlickrClient::connect(&net, host.endpoint(), FlickrFlavor::XmlRpc).unwrap();
     client.set_timeout(std::time::Duration::from_millis(400));
     assert!(client.search("tree", 3).is_err());
 }

@@ -25,8 +25,15 @@ fn h1_application_model_is_middleware_independent() {
     // No transition of the application model references any protocol
     // message or field: no GIOP/SOAP/XML-RPC/HTTP vocabulary anywhere.
     let forbidden = [
-        "SOAP", "soap:", "methodCall", "GIOP", "HTTP", "RequestURI", "Envelope",
-        "ParameterArray", "methodResponse",
+        "SOAP",
+        "soap:",
+        "methodCall",
+        "GIOP",
+        "HTTP",
+        "RequestURI",
+        "Envelope",
+        "ParameterArray",
+        "methodResponse",
     ];
     for t in merged.transitions() {
         let text = match &t.action {
@@ -60,8 +67,7 @@ fn h2_both_use_cases_deploy_and_interoperate() {
     for flavor in [FlickrFlavor::XmlRpc, FlickrFlavor::Soap] {
         let net = network();
         let store = PhotoStore::with_fixture();
-        let picasa =
-            PicasaService::deploy(&net, &Endpoint::memory("picasa"), store).unwrap();
+        let picasa = PicasaService::deploy(&net, &Endpoint::memory("picasa"), store).unwrap();
         let mediator =
             flickr_picasa_mediator(net.clone(), flavor, picasa.endpoint().clone()).unwrap();
         let host = MediatorHost::deploy(mediator, &Endpoint::memory("mediator")).unwrap();

@@ -123,8 +123,14 @@ fn ambiguous_values_are_not_guessed() {
 fn more_examples_resolve_conflicts() {
     // One noisy example suggests x≅wrong; two clean examples outvote it.
     let pairs = [
-        (example("a.op", &[("x", "1")]), example("b.op", &[("y", "1")])),
-        (example("a.op", &[("x", "2")]), example("b.op", &[("y", "2")])),
+        (
+            example("a.op", &[("x", "1")]),
+            example("b.op", &[("y", "1")]),
+        ),
+        (
+            example("a.op", &[("x", "2")]),
+            example("b.op", &[("y", "2")]),
+        ),
         (
             example("a.op", &[("x", "3")]),
             example("b.op", &[("wrong", "3")]),

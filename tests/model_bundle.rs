@@ -45,7 +45,13 @@ fn save_load_roundtrip_counts() {
     assert_eq!(loaded, 6);
     assert_eq!(
         registry.codec_names(),
-        vec!["GDATA.mdl", "GIOP.mdl", "HTTP.mdl", "SOAP.mdl", "XMLRPC.mdl"]
+        vec![
+            "GDATA.mdl",
+            "GIOP.mdl",
+            "HTTP.mdl",
+            "SOAP.mdl",
+            "XMLRPC.mdl"
+        ]
     );
     assert_eq!(registry.automaton_names(), vec!["AFlickr+APicasa"]);
     let _ = std::fs::remove_dir_all(&dir);
@@ -90,8 +96,7 @@ fn mediator_from_loaded_models_works() {
     )
     .unwrap();
     let host = MediatorHost::deploy(mediator, &Endpoint::memory("mediator")).unwrap();
-    let mut client =
-        FlickrClient::connect(&net, host.endpoint(), FlickrFlavor::XmlRpc).unwrap();
+    let mut client = FlickrClient::connect(&net, host.endpoint(), FlickrFlavor::XmlRpc).unwrap();
     let ids = client.search("tree", 2).unwrap();
     assert_eq!(ids.len(), 2);
     assert_eq!(client.get_info(&ids[0]).unwrap().title, "Tall Tree");

@@ -3,7 +3,9 @@
 //!
 //! Run with `STARLINK_UPDATE_MODELS=1` to regenerate the files.
 
-use starlink::apps::models::{flickr_usage_automaton, merged_flickr_picasa, picasa_usage_automaton};
+use starlink::apps::models::{
+    flickr_usage_automaton, merged_flickr_picasa, picasa_usage_automaton,
+};
 use starlink::automata::dsl;
 use starlink::protocols::discovery::{SLP_MDL, SSDP_MDL};
 use starlink::protocols::gdata::GDATA_MDL;
@@ -80,8 +82,7 @@ fn committed_automata_parse_and_validate() {
         let path = entry.path();
         if path.extension().and_then(|e| e.to_str()) == Some("atm") {
             let text = std::fs::read_to_string(&path).unwrap();
-            let automaton = dsl::parse(&text)
-                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            let automaton = dsl::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
             automaton
                 .validate()
                 .unwrap_or_else(|e| panic!("{}: {e}", path.display()));

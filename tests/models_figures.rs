@@ -50,11 +50,7 @@ fn f3_merged_automaton_structure() {
     let (merged, report) = merged_flickr_picasa().unwrap();
     assert_eq!(report.intertwined_count(), 3);
     assert_eq!(
-        merged
-            .states()
-            .iter()
-            .filter(|s| s.is_bicolored())
-            .count(),
+        merged.states().iter().filter(|s| s.is_bicolored()).count(),
         6
     );
     // Every γ-transition leaves a bi-colored state or a (single-colored)
@@ -119,7 +115,10 @@ fn f5_giop_mdl_compiles_and_roundtrips() {
     msg.set_field("Flags", Value::UInt(0));
     msg.set_field("ObjectKey", Value::Bytes(b"k".to_vec()));
     msg.set_field("Operation", Value::from("Add"));
-    msg.set_field("ParameterArray", Value::Array(vec![Value::Int(1), Value::Int(2)]));
+    msg.set_field(
+        "ParameterArray",
+        Value::Array(vec![Value::Int(1), Value::Int(2)]),
+    );
     let wire = codec.compose(&msg).unwrap();
     let back = codec.parse(&wire).unwrap();
     assert_eq!(back.get("Operation").unwrap().as_str(), Some("Add"));

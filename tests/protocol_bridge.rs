@@ -75,10 +75,13 @@ fn xmlrpc_client_bridged_to_soap_flickr_service() {
     // The unmodified XML-RPC client drives the full flow through the
     // bridge: here getInfo really reaches the service (no cache trick —
     // both APIs have the operation).
-    let mut client =
-        FlickrClient::connect(&net, host.endpoint(), FlickrFlavor::XmlRpc).unwrap();
+    let mut client = FlickrClient::connect(&net, host.endpoint(), FlickrFlavor::XmlRpc).unwrap();
     let ids = client.search("tree", 2).unwrap();
-    assert_eq!(ids, vec!["gphoto-1", "gphoto-2"], "real service ids pass through");
+    assert_eq!(
+        ids,
+        vec!["gphoto-1", "gphoto-2"],
+        "real service ids pass through"
+    );
     let info = client.get_info(&ids[1]).unwrap();
     assert_eq!(info.title, "Old Oak");
     let comments = client.get_comments(&ids[1]).unwrap();

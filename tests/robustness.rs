@@ -46,9 +46,12 @@ fn mediator_survives_garbage_bytes() {
 #[test]
 fn picasa_service_survives_garbage_http() {
     let net = network();
-    let picasa =
-        PicasaService::deploy(&net, &Endpoint::memory("picasa"), PhotoStore::with_fixture())
-            .unwrap();
+    let picasa = PicasaService::deploy(
+        &net,
+        &Endpoint::memory("picasa"),
+        PhotoStore::with_fixture(),
+    )
+    .unwrap();
     for payload in [
         &b"NOT HTTP AT ALL"[..],
         &b"GET\r\n\r\n"[..],
@@ -70,38 +73,37 @@ fn case_study_mediator_survives_wrong_protocol_client() {
     // messages parse as HTTP but not as XML-RPC calls; the session is
     // dropped and fresh XML-RPC clients are unaffected.
     let net = network();
-    let picasa =
-        PicasaService::deploy(&net, &Endpoint::memory("picasa"), PhotoStore::with_fixture())
-            .unwrap();
-    let mediator = flickr_picasa_mediator(
-        net.clone(),
-        FlickrFlavor::XmlRpc,
-        picasa.endpoint().clone(),
+    let picasa = PicasaService::deploy(
+        &net,
+        &Endpoint::memory("picasa"),
+        PhotoStore::with_fixture(),
     )
     .unwrap();
+    let mediator =
+        flickr_picasa_mediator(net.clone(), FlickrFlavor::XmlRpc, picasa.endpoint().clone())
+            .unwrap();
     let host = MediatorHost::deploy(mediator, &Endpoint::memory("mediator")).unwrap();
 
     let mut wrong = FlickrClient::connect(&net, host.endpoint(), FlickrFlavor::Soap).unwrap();
     wrong.set_timeout(Duration::from_millis(300));
     assert!(wrong.search("tree", 3).is_err());
 
-    let mut right =
-        FlickrClient::connect(&net, host.endpoint(), FlickrFlavor::XmlRpc).unwrap();
+    let mut right = FlickrClient::connect(&net, host.endpoint(), FlickrFlavor::XmlRpc).unwrap();
     assert_eq!(right.search("tree", 3).unwrap().len(), 3);
 }
 
 #[test]
 fn half_session_disconnects_do_not_wedge_the_mediator() {
     let net = network();
-    let picasa =
-        PicasaService::deploy(&net, &Endpoint::memory("picasa"), PhotoStore::with_fixture())
-            .unwrap();
-    let mediator = flickr_picasa_mediator(
-        net.clone(),
-        FlickrFlavor::XmlRpc,
-        picasa.endpoint().clone(),
+    let picasa = PicasaService::deploy(
+        &net,
+        &Endpoint::memory("picasa"),
+        PhotoStore::with_fixture(),
     )
     .unwrap();
+    let mediator =
+        flickr_picasa_mediator(net.clone(), FlickrFlavor::XmlRpc, picasa.endpoint().clone())
+            .unwrap();
     let host = MediatorHost::deploy(mediator, &Endpoint::memory("mediator")).unwrap();
 
     // Ten clients search then vanish mid-protocol.

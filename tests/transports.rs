@@ -18,15 +18,11 @@ fn full_case_study_over_tcp_loopback() {
     let store = PhotoStore::with_fixture();
     let picasa =
         PicasaService::deploy(&net, &Endpoint::tcp("127.0.0.1", 0), store.clone()).unwrap();
-    let mediator = flickr_picasa_mediator(
-        net.clone(),
-        FlickrFlavor::XmlRpc,
-        picasa.endpoint().clone(),
-    )
-    .unwrap();
+    let mediator =
+        flickr_picasa_mediator(net.clone(), FlickrFlavor::XmlRpc, picasa.endpoint().clone())
+            .unwrap();
     let host = MediatorHost::deploy(mediator, &Endpoint::tcp("127.0.0.1", 0)).unwrap();
-    let mut client =
-        FlickrClient::connect(&net, host.endpoint(), FlickrFlavor::XmlRpc).unwrap();
+    let mut client = FlickrClient::connect(&net, host.endpoint(), FlickrFlavor::XmlRpc).unwrap();
 
     let ids = client.search("tree", 3).unwrap();
     assert_eq!(ids.len(), 3);
@@ -107,12 +103,9 @@ fn concurrent_clients_are_isolated() {
     let net = NetworkEngine::with_defaults();
     let store = PhotoStore::with_fixture();
     let picasa = PicasaService::deploy(&net, &Endpoint::memory("picasa"), store).unwrap();
-    let mediator = flickr_picasa_mediator(
-        net.clone(),
-        FlickrFlavor::XmlRpc,
-        picasa.endpoint().clone(),
-    )
-    .unwrap();
+    let mediator =
+        flickr_picasa_mediator(net.clone(), FlickrFlavor::XmlRpc, picasa.endpoint().clone())
+            .unwrap();
     let host = MediatorHost::deploy(mediator, &Endpoint::memory("mediator")).unwrap();
     let endpoint = host.endpoint().clone();
 
@@ -121,8 +114,7 @@ fn concurrent_clients_are_isolated() {
         let net = net.clone();
         let endpoint = endpoint.clone();
         handles.push(std::thread::spawn(move || {
-            let mut client =
-                FlickrClient::connect(&net, &endpoint, FlickrFlavor::XmlRpc).unwrap();
+            let mut client = FlickrClient::connect(&net, &endpoint, FlickrFlavor::XmlRpc).unwrap();
             let keyword = if i % 2 == 0 { "tree" } else { "beach" };
             let ids = client.search(keyword, 5).unwrap();
             let expected = if i % 2 == 0 { 3 } else { 1 };
@@ -134,7 +126,11 @@ fn concurrent_clients_are_isolated() {
     }
     let titles: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
     for (i, title) in titles.iter().enumerate() {
-        let expected = if i % 2 == 0 { "Tall Tree" } else { "Sunny Beach" };
+        let expected = if i % 2 == 0 {
+            "Tall Tree"
+        } else {
+            "Sunny Beach"
+        };
         assert_eq!(title, expected);
     }
 }
