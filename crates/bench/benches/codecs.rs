@@ -1,9 +1,21 @@
 //! B2 — parser/composer cost per protocol family (binary vs text vs
 //! XML), versus message size. Regenerates the implicit claim that
 //! spec-driven generic codecs are cheap enough for the request path.
+//!
+//! Also measures the two perf levers of the codec pipeline and records
+//! every measurement to `BENCH_codec.json` (override the path with
+//! `BENCH_CODEC_JSON`):
+//!
+//! * `dispatch/*` — probe-directed variant dispatch ([`MessageCodec::parse`])
+//!   against the exhaustive try-all loop ([`MdlCodec::parse_try_all`]),
+//!   on wires whose variant is *not* declared first.
+//! * `compose-reuse/*` — buffer-reusing [`MessageCodec::compose_into`]
+//!   against the allocating [`MessageCodec::compose`].
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use starlink_bench::{gdata_feed, giop_request, http_get, soap_request, xmlrpc_call};
+use starlink_bench::{
+    gdata_feed, giop_reply, giop_request, http_get, http_response, soap_request, xmlrpc_call,
+};
 use starlink_mdl::MessageCodec;
 use starlink_protocols::gdata::gdata_document_codec;
 use starlink_protocols::giop::giop_codec;
@@ -83,6 +95,85 @@ fn bench_parse(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_dispatch(c: &mut Criterion) {
+    let giop = giop_codec().unwrap();
+    let http = http_codec().unwrap();
+    let soap = soap_envelope_codec().unwrap();
+
+    // Wires whose message is NOT the first declared variant, so a
+    // try-all parser pays for at least one full failed attempt while the
+    // probe table skips straight to the right program.
+    let cases: Vec<(&str, &starlink_mdl::MdlCodec, Vec<u8>)> = vec![
+        ("giop-reply", &giop, giop.compose(&giop_reply(8)).unwrap()),
+        (
+            "http-response",
+            &http,
+            http.compose(&http_response(64)).unwrap(),
+        ),
+        (
+            "soap-request",
+            &soap,
+            soap.compose(&soap_request(8)).unwrap(),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("dispatch");
+    for (name, codec, wire) in &cases {
+        // Dispatch and try-all must agree before we time them.
+        let fast = codec.parse(wire).unwrap();
+        let slow = codec.parse_try_all(wire).unwrap();
+        assert_eq!(fast, slow, "{name}: dispatch result diverged");
+
+        group.throughput(Throughput::Bytes(wire.len() as u64));
+        group.bench_with_input(BenchmarkId::new("probed", name), wire, |b, wire| {
+            b.iter(|| codec.parse(wire).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("try-all", name), wire, |b, wire| {
+            b.iter(|| codec.parse_try_all(wire).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_compose_reuse(c: &mut Criterion) {
+    let giop = giop_codec().unwrap();
+    let http = http_codec().unwrap();
+    let soap = soap_envelope_codec().unwrap();
+
+    let cases: Vec<(
+        &str,
+        &starlink_mdl::MdlCodec,
+        starlink_message::AbstractMessage,
+    )> = vec![
+        ("giop-reply", &giop, giop_reply(8)),
+        ("http-response", &http, http_response(64)),
+        ("soap-request", &soap, soap_request(8)),
+    ];
+
+    let mut group = c.benchmark_group("compose-reuse");
+    for (name, codec, msg) in &cases {
+        group.bench_with_input(BenchmarkId::new("alloc", name), msg, |b, msg| {
+            b.iter(|| codec.compose(msg).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("reuse", name), msg, |b, msg| {
+            let mut buf = Vec::new();
+            b.iter(|| codec.compose_into(msg, &mut buf).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// Last target: dumps everything measured in this process to
+/// `BENCH_codec.json` at the repo root (or `$BENCH_CODEC_JSON`).
+fn emit_baseline(_c: &mut Criterion) {
+    let path = std::env::var("BENCH_CODEC_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_codec.json").to_owned()
+    });
+    let path = std::path::PathBuf::from(path);
+    criterion::save_json(&path).expect("write bench baseline");
+    println!("baseline written to {}", path.display());
+}
+
 fn bench_spec_compilation(c: &mut Criterion) {
     // Deploying a mediator compiles its MDL specs; this must be cheap
     // enough for runtime deployment ("dynamically generate parsers").
@@ -100,6 +191,7 @@ fn bench_spec_compilation(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_compose, bench_parse, bench_spec_compilation
+    targets = bench_compose, bench_parse, bench_dispatch, bench_compose_reuse,
+        bench_spec_compilation, emit_baseline
 }
 criterion_main!(benches);

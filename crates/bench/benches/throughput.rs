@@ -5,8 +5,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use starlink_apps::calculator::{add_plus_mediator, run_add_workload, AddService, PlusService};
+use starlink_bench::giop_reply;
 use starlink_core::MediatorHost;
-use starlink_net::{Endpoint, MemoryTransport, NetworkEngine};
+use starlink_mdl::MessageCodec;
+use starlink_net::{Endpoint, Framing, LengthPrefixFraming, MemoryTransport, NetworkEngine};
+use starlink_protocols::giop::giop_codec;
 use std::sync::Arc;
 
 const REQUESTS_PER_CLIENT: usize = 20;
@@ -71,9 +74,46 @@ fn bench_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// One message's full wire path — compose, frame, unframe, parse —
+/// comparing the allocating API against the buffer-reusing one
+/// (`compose_into` + `wrap_into` + `extract_from`).
+fn bench_wire_roundtrip(c: &mut Criterion) {
+    let codec = giop_codec().unwrap();
+    let framing = LengthPrefixFraming::default();
+    let msg = giop_reply(8);
+    let wire_len = framing.wrap(&codec.compose(&msg).unwrap()).len();
+
+    let mut group = c.benchmark_group("wire-roundtrip/giop");
+    group.throughput(Throughput::Bytes(wire_len as u64));
+    group.bench_function("alloc", |b| {
+        b.iter(|| {
+            let bytes = codec.compose(&msg).unwrap();
+            let wire = framing.wrap(&bytes);
+            let mut buf = wire;
+            let frame = framing.extract_from(&mut buf).unwrap().unwrap();
+            codec.parse(&frame).unwrap()
+        });
+    });
+    group.bench_function("reuse", |b| {
+        let mut bytes = Vec::new();
+        let mut wire = Vec::new();
+        b.iter(|| {
+            codec.compose_into(&msg, &mut bytes).unwrap();
+            framing.wrap_into(&bytes, &mut wire);
+            // Receive side: hand the framer a buffer it may consume, then
+            // take the allocation back for the next iteration.
+            let frame = framing.extract_from(&mut wire).unwrap().unwrap();
+            let parsed = codec.parse(&frame).unwrap();
+            wire = frame;
+            parsed
+        });
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_throughput
+    targets = bench_throughput, bench_wire_roundtrip
 }
 criterion_main!(benches);

@@ -22,6 +22,53 @@ pub fn giop_request(params: usize) -> AbstractMessage {
     m
 }
 
+/// A GIOP reply with `params` integer result values. Replies are the
+/// *second* variant of the GIOP spec, so parsing one exercises variant
+/// dispatch (a try-all parser must fail `GIOPRequest` first).
+pub fn giop_reply(params: usize) -> AbstractMessage {
+    let mut m = AbstractMessage::new("GIOPReply");
+    m.set_field("VersionMajor", Value::UInt(1));
+    m.set_field("VersionMinor", Value::UInt(0));
+    m.set_field("Flags", Value::UInt(0));
+    m.set_field("RequestID", Value::UInt(7));
+    m.set_field("ReplyStatus", Value::UInt(0));
+    m.set_field(
+        "ParameterArray",
+        Value::Array((0..params).map(|i| Value::Int(i as i64)).collect()),
+    );
+    m
+}
+
+/// An HTTP 200 response with a `body_len`-byte body (the second variant
+/// of the HTTP spec).
+pub fn http_response(body_len: usize) -> AbstractMessage {
+    let mut m = AbstractMessage::new("HTTPResponse");
+    m.set_field("Version", Value::from("HTTP/1.1"));
+    m.set_field("Code", Value::from("200"));
+    m.set_field("Reason", Value::from("OK"));
+    m.set_field(
+        "Headers",
+        Value::Struct(vec![Field::new("Content-Type", Value::from("text/plain"))]),
+    );
+    m.set_field("Body", Value::Str("y".repeat(body_len)));
+    m
+}
+
+/// A SOAP reply with `params` string result values.
+pub fn soap_reply(params: usize) -> AbstractMessage {
+    let mut m = AbstractMessage::new("SOAPReply");
+    m.set_field("MethodName", Value::from("benchOpResponse"));
+    m.set_field(
+        "Params",
+        Value::Array(
+            (0..params)
+                .map(|i| Value::Str(format!("result-{i}")))
+                .collect(),
+        ),
+    );
+    m
+}
+
 /// An XML-RPC method call with `params` string parameters.
 pub fn xmlrpc_call(params: usize) -> AbstractMessage {
     let mut m = AbstractMessage::new("MethodCall");

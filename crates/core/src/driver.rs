@@ -24,6 +24,9 @@ pub(crate) struct ConnectionState {
     pub cache: TranslationCache,
     pub service_conns: HashMap<u8, Box<dyn Connection>>,
     pub host_override: Option<String>,
+    /// Recycled wire buffers carried between traversals so composing
+    /// stays allocation-free in steady state.
+    pub wire_pool: Vec<Vec<u8>>,
 }
 
 impl ConnectionState {
@@ -32,6 +35,7 @@ impl ConnectionState {
             cache: TranslationCache::new(),
             service_conns: HashMap::new(),
             host_override: None,
+            wire_pool: Vec::new(),
         }
     }
 }
@@ -56,6 +60,7 @@ pub(crate) fn run_blocking(
         cache: std::mem::replace(&mut state.cache, TranslationCache::new()),
         connected: state.service_conns.keys().copied().collect(),
         host_override: state.host_override.take(),
+        wire_pool: std::mem::take(&mut state.wire_pool),
     };
     let mut core = SessionCore::new(spec.clone(), persist)?;
     let result = drive(&mut core, spec, net, timeout, client_conn, state, stop);
@@ -64,6 +69,7 @@ pub(crate) fn run_blocking(
     let persist = core.into_persist();
     state.cache = persist.cache;
     state.host_override = persist.host_override;
+    state.wire_pool = persist.wire_pool;
     result
 }
 
@@ -94,6 +100,7 @@ fn drive(
                         })?;
                         conn.send(&bytes)?;
                     }
+                    core.recycle_wire_buf(bytes);
                 }
                 SessionIo::ConnectService { color, endpoint } => {
                     let endpoint: Endpoint = endpoint.parse()?;

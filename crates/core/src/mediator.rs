@@ -261,7 +261,7 @@ impl MediatorHost {
         drop(jobs_rx);
         drop(done_tx);
         let coord_stop = stop.clone();
-        let coord_mediator = mediator.clone();
+        let coord_mediator = mediator;
         threads.push(std::thread::spawn(move || {
             coordinator_loop(
                 listener.as_ref(),
@@ -396,6 +396,7 @@ fn pump(
                                 })?;
                         conn.send(&bytes)?;
                     }
+                    session.core.recycle_wire_buf(bytes);
                 }
                 SessionIo::ConnectService { color, endpoint } => {
                     let endpoint: Endpoint = endpoint.parse()?;

@@ -139,6 +139,11 @@ pub struct SessionPersist {
     pub connected: HashSet<u8>,
     /// `sethost` override for subsequent service connections.
     pub host_override: Option<String>,
+    /// Recycled wire buffers: [`SessionIo::SendWire`] bytes come from
+    /// here (composed in place via `compose_into`) and drivers return
+    /// them with [`SessionCore::recycle_wire_buf`] after writing, so
+    /// steady-state sends reuse capacity instead of allocating.
+    pub wire_pool: Vec<Vec<u8>>,
 }
 
 impl SessionPersist {
@@ -293,6 +298,23 @@ impl SessionCore {
         self.persist
     }
 
+    /// Returns a cleared wire buffer from the session's recycle pool, or
+    /// a fresh one when the pool is empty.
+    fn take_wire_buf(&mut self) -> Vec<u8> {
+        self.persist.wire_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a [`SessionIo::SendWire`] buffer to the recycle pool once
+    /// the driver has written it, so the next compose reuses its
+    /// capacity. The pool is bounded; surplus buffers are dropped.
+    pub fn recycle_wire_buf(&mut self, mut buf: Vec<u8>) {
+        const MAX_POOLED: usize = 4;
+        if self.persist.wire_pool.len() < MAX_POOLED {
+            buf.clear();
+            self.persist.wire_pool.push(buf);
+        }
+    }
+
     fn reset_traversal(&mut self) {
         self.current = self
             .spec
@@ -420,7 +442,8 @@ impl SessionCore {
                         let proto = cfg
                             .binding
                             .bind_reply(&app, self.last_request_proto.get(&color))?;
-                        let bytes = cfg.codec.compose(&proto)?;
+                        let mut bytes = self.take_wire_buf();
+                        cfg.codec.compose_into(&proto, &mut bytes)?;
                         ios.push(SessionIo::SendWire { color, bytes });
                     } else {
                         // Request to a service.
@@ -430,7 +453,8 @@ impl SessionCore {
                                 proto.set_path(corr, Value::UInt(self.exchanges as u64 + 1))?;
                             }
                         }
-                        let bytes = cfg.codec.compose(&proto)?;
+                        let mut bytes = self.take_wire_buf();
+                        cfg.codec.compose_into(&proto, &mut bytes)?;
                         if !self.persist.connected.contains(&color) {
                             let endpoint = service_endpoint(&spec, &self.persist, color)?;
                             self.persist.connected.insert(color);

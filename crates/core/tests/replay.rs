@@ -224,6 +224,70 @@ fn add_plus_flow_replays_without_io() {
     }
 }
 
+/// Drives one full Add→Plus traversal, returning `(ptr, capacity)` of
+/// every [`SessionIo::SendWire`] buffer and recycling each one back into
+/// the core, the way the blocking driver and the multiplexed pump do.
+fn run_traversal_recycling(core: &mut SessionCore, restart: bool) -> Vec<(usize, usize)> {
+    let mut seen = Vec::new();
+    let mut ios = if restart {
+        core.restart().unwrap()
+    } else {
+        core.start().unwrap()
+    };
+    assert!(matches!(ios[..], [SessionIo::NeedRecv { color: 1 }]));
+    ios = core
+        .step(SessionEvent::WireReceived {
+            color: 1,
+            bytes: giop_add_request(7, 30, 12),
+        })
+        .unwrap();
+    for io in ios {
+        if let SessionIo::SendWire { bytes, .. } = io {
+            seen.push((bytes.as_ptr() as usize, bytes.capacity()));
+            core.recycle_wire_buf(bytes);
+        }
+    }
+    ios = core
+        .step(SessionEvent::WireReceived {
+            color: 2,
+            bytes: soap_reply("Plus", &[("z", Value::Int(42))]),
+        })
+        .unwrap();
+    for io in ios {
+        if let SessionIo::SendWire { bytes, .. } = io {
+            seen.push((bytes.as_ptr() as usize, bytes.capacity()));
+            core.recycle_wire_buf(bytes);
+        }
+    }
+    assert!(core.is_finished());
+    assert_eq!(seen.len(), 2, "one service send + one client reply");
+    seen
+}
+
+#[test]
+fn steady_state_sends_reuse_one_scratch_buffer() {
+    let mediator = mediator(add_plus_merged(), "memory://plus-service");
+    let mut core = SessionCore::new(mediator.session_spec(), SessionPersist::new()).unwrap();
+
+    // Warm-up: the first traversals grow the scratch buffer to the
+    // largest wire the session composes.
+    run_traversal_recycling(&mut core, false);
+    run_traversal_recycling(&mut core, true);
+
+    // Steady state: every subsequent SendWire must reuse the same
+    // allocation — identical pointer and capacity, traversal after
+    // traversal. A driver that forgot to recycle (or a compose path that
+    // reallocates) breaks this.
+    let baseline = run_traversal_recycling(&mut core, true);
+    for round in 0..4 {
+        let seen = run_traversal_recycling(&mut core, true);
+        assert_eq!(
+            seen, baseline,
+            "round {round}: wire buffers were reallocated in steady state"
+        );
+    }
+}
+
 #[test]
 fn wrong_color_bytes_are_rejected() {
     let mediator = mediator(add_plus_merged(), "memory://plus-service");

@@ -14,7 +14,72 @@
 
 use std::fmt;
 use std::hint;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One finished benchmark measurement, kept for [`save_json`].
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Full benchmark name (`group/function`).
+    pub name: String,
+    /// Mean nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Declared per-iteration throughput, if any.
+    pub throughput: Option<Throughput>,
+}
+
+static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+/// Whether fast mode is on (`STARLINK_BENCH_FAST=1`): trims warm-up and
+/// sample counts so benches double as CI smoke tests.
+pub fn fast_mode() -> bool {
+    std::env::var("STARLINK_BENCH_FAST").is_ok_and(|v| v == "1")
+}
+
+/// All measurements recorded so far in this process, in run order.
+pub fn records() -> Vec<Record> {
+    RECORDS.lock().expect("records lock").clone()
+}
+
+/// Writes every recorded measurement to `path` as a JSON array of
+/// `{"name", "ns_per_iter", "throughput"?}` objects (hand-serialised —
+/// the harness has no dependencies).
+///
+/// # Errors
+///
+/// Propagates the underlying file-write error.
+pub fn save_json(path: &std::path::Path) -> std::io::Result<()> {
+    let records = records();
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str("  {\"name\": \"");
+        for c in r.name.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push_str(&format!("\", \"ns_per_iter\": {:.2}", r.ns_per_iter));
+        match r.throughput {
+            Some(Throughput::Elements(n)) => {
+                out.push_str(&format!(", \"throughput\": {{\"elements\": {n}}}"));
+            }
+            Some(Throughput::Bytes(n)) => {
+                out.push_str(&format!(", \"throughput\": {{\"bytes\": {n}}}"));
+            }
+            None => {}
+        }
+        out.push('}');
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    std::fs::write(path, out)
+}
 
 /// Opaque value barrier preventing the optimizer from deleting work.
 pub fn black_box<T>(value: T) -> T {
@@ -82,10 +147,17 @@ pub struct Bencher {
 impl Bencher {
     /// Times `routine`, first warming up, then measuring.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        // Warm-up: run until ~20ms spent or 3 iterations, whichever later.
+        // Warm-up: run until the budget is spent or 3 iterations,
+        // whichever later (fast mode trims the budget so benches double
+        // as smoke tests).
+        let warm_budget = if fast_mode() {
+            Duration::from_micros(200)
+        } else {
+            Duration::from_millis(20)
+        };
         let warm_start = Instant::now();
         let mut warm_iters: u32 = 0;
-        while warm_iters < 3 || warm_start.elapsed() < Duration::from_millis(20) {
+        while warm_iters < 3 || warm_start.elapsed() < warm_budget {
             black_box(routine());
             warm_iters += 1;
             if warm_iters >= 10_000 {
@@ -93,8 +165,13 @@ impl Bencher {
             }
         }
         let per_iter = warm_start.elapsed() / warm_iters.max(1);
-        // Choose an iteration count so each sample takes ~1ms.
-        let target = Duration::from_millis(1);
+        // Choose an iteration count so each sample takes ~1ms (fast
+        // mode: ~50µs).
+        let target = if fast_mode() {
+            Duration::from_micros(50)
+        } else {
+            Duration::from_millis(1)
+        };
         let iters_per_sample = if per_iter.is_zero() {
             1000
         } else {
@@ -126,6 +203,11 @@ fn fmt_duration(d: Duration) -> String {
 }
 
 fn report(name: &str, per_iter: Duration, throughput: Option<Throughput>) {
+    RECORDS.lock().expect("records lock").push(Record {
+        name: name.to_owned(),
+        ns_per_iter: per_iter.as_nanos() as f64,
+        throughput,
+    });
     let mut line = format!("{name:<48} {:>12}/iter", fmt_duration(per_iter));
     if let Some(tp) = throughput {
         let secs = per_iter.as_secs_f64();
@@ -150,15 +232,18 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20 }
+        Criterion {
+            sample_size: if fast_mode() { 2 } else { 20 },
+        }
     }
 }
 
 impl Criterion {
-    /// Sets the number of timed samples per benchmark.
+    /// Sets the number of timed samples per benchmark. Fast mode
+    /// ([`fast_mode`]) clamps the count so smoke runs stay quick.
     #[must_use]
     pub fn sample_size(mut self, n: usize) -> Criterion {
-        self.sample_size = n.max(1);
+        self.sample_size = if fast_mode() { n.clamp(1, 2) } else { n.max(1) };
         self
     }
 
@@ -295,5 +380,26 @@ mod tests {
         group.bench_function("count", |b| b.iter(|| n = n.wrapping_add(1)));
         group.finish();
         assert!(n > 0);
+    }
+
+    #[test]
+    fn measurements_are_recorded_and_saved_as_json() {
+        let mut c = Criterion::default().sample_size(1);
+        let mut group = c.benchmark_group("json");
+        group.throughput(Throughput::Bytes(16));
+        group.bench_function("noop", |b| b.iter(|| 1u32));
+        group.finish();
+        let recs = records();
+        let rec = recs
+            .iter()
+            .find(|r| r.name == "json/noop")
+            .expect("recorded");
+        assert!(rec.ns_per_iter >= 0.0);
+        let path = std::env::temp_dir().join("starlink_criterion_test.json");
+        save_json(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"name\": \"json/noop\""));
+        assert!(text.contains("\"bytes\": 16"));
+        let _ = std::fs::remove_file(&path);
     }
 }

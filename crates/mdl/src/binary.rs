@@ -22,6 +22,7 @@
 
 use crate::ast::{Endian, MessageSpec, SpecItem};
 use crate::bits::{BitReader, BitWriter};
+use crate::dispatch::{BitTest, Probe};
 use crate::error::MdlError;
 use crate::Result;
 use starlink_message::{AbstractMessage, Field, FieldType, Value};
@@ -252,9 +253,19 @@ impl BinaryProgram {
         Ok(msg)
     }
 
-    /// Composes an abstract message to wire bytes. Length fields and
-    /// rule-constrained fields are filled in automatically.
+    /// Test-only convenience over [`Self::compose_into`].
+    #[cfg(test)]
     pub(crate) fn compose(&self, msg: &AbstractMessage) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        self.compose_into(msg, &mut out)?;
+        Ok(out)
+    }
+
+    /// Composes an abstract message into a caller-provided buffer,
+    /// clearing it first and reusing its capacity. Length fields and
+    /// rule-constrained fields are filled in automatically. On error the
+    /// buffer contents are unspecified.
+    pub(crate) fn compose_into(&self, msg: &AbstractMessage, out: &mut Vec<u8>) -> Result<()> {
         // Pre-encode variable-length payloads so length fields can be
         // computed when they are reached (they precede their payloads).
         let mut encoded: HashMap<&str, Vec<u8>> = HashMap::new();
@@ -276,56 +287,50 @@ impl BinaryProgram {
             }
         }
 
-        // Handle the optional `remaining` field by composing the tail
-        // separately, then stitching.
+        let mut w = BitWriter::with_buffer(std::mem::take(out));
+        // A `remaining` field declares the byte length of everything after
+        // it: write a placeholder, compose the tail in place, back-patch.
         if let Some(pos) = self
             .items
             .iter()
             .position(|i| matches!(i, BinItem::Remaining { .. }))
         {
-            let head = self.compose_items(&self.items[..pos], msg, &encoded, 0)?;
             let (name, bits) = match &self.items[pos] {
-                BinItem::Remaining { name, bits } => (name.clone(), *bits),
+                BinItem::Remaining { name, bits } => (name, *bits),
                 _ => unreachable!("position() matched Remaining"),
             };
-            let tail_offset = head.len() * 8 + bits;
-            let tail = self.compose_items(&self.items[pos + 1..], msg, &encoded, tail_offset)?;
-            let mut w = BitWriter::new();
-            w.write_bytes(&head, "head")?;
-            w.write_bits(tail.len() as u64, bits);
-            let _ = name;
-            w.write_bytes(&tail, "tail")?;
-            return Ok(w.into_bytes());
+            self.compose_items_into(&mut w, &self.items[..pos], msg, &encoded)?;
+            w.align_to(8);
+            if !bits.is_multiple_of(8) {
+                return Err(MdlError::BadValue {
+                    field: name.clone(),
+                    message: "`remaining` length fields must be byte-sized".into(),
+                });
+            }
+            let len_at = w.position_bits() / 8;
+            w.write_bits(0, bits);
+            let body_start = len_at + bits / 8;
+            self.compose_items_into(&mut w, &self.items[pos + 1..], msg, &encoded)?;
+            w.align_to(8);
+            let tail_len = (w.position_bits() / 8 - body_start) as u64;
+            w.patch_bytes_be(len_at, bits / 8, tail_len);
+        } else {
+            self.compose_items_into(&mut w, &self.items, msg, &encoded)?;
         }
-        self.compose_items(&self.items, msg, &encoded, 0)
+        *out = w.into_bytes();
+        Ok(())
     }
 
-    fn compose_items(
+    fn compose_items_into(
         &self,
+        w: &mut BitWriter,
         items: &[BinItem],
         msg: &AbstractMessage,
         encoded: &HashMap<&str, Vec<u8>>,
-        start_bit: usize,
-    ) -> Result<Vec<u8>> {
-        let mut w = BitWriter::new();
-        // Alignment is relative to the whole message, so offset-adjust.
-        let offset = start_bit;
+    ) -> Result<()> {
         for item in items {
             match item {
-                BinItem::Align { bits } => {
-                    let pos = offset + w.position_bits();
-                    let rem = pos % bits;
-                    if rem != 0 {
-                        let pad = bits - rem;
-                        // Write pad zero bits in ≤64-bit chunks.
-                        let mut left = pad;
-                        while left > 0 {
-                            let chunk = left.min(64);
-                            w.write_bits(0, chunk);
-                            left -= chunk;
-                        }
-                    }
-                }
+                BinItem::Align { bits } => w.align_to(*bits),
                 BinItem::Fixed { name, bits, ty } => {
                     let value = if let Some(sized) = self.length_roles.get(name) {
                         // Auto-computed length field.
@@ -347,7 +352,7 @@ impl BinaryProgram {
                             field: name.clone(),
                         });
                     };
-                    self.write_fixed(&mut w, name, *bits, *ty, &value)?;
+                    self.write_fixed(w, name, *bits, *ty, &value)?;
                 }
                 BinItem::VarLen { name, .. } | BinItem::Eof { name, .. } => {
                     let bytes =
@@ -367,7 +372,57 @@ impl BinaryProgram {
                 }
             }
         }
-        Ok(w.into_bytes())
+        Ok(())
+    }
+
+    /// Lowers this variant's rules on statically-positioned fixed unsigned
+    /// fields into wire-byte tests (see [`crate::dispatch`]). Offsets stay
+    /// static only while every preceding item has a spec-known width, so
+    /// derivation stops at the first variable-length or `eof` field.
+    pub(crate) fn probe(&self) -> Probe {
+        let mut tests = Vec::new();
+        let mut bit = 0usize;
+        for item in &self.items {
+            match item {
+                BinItem::Align { bits } => {
+                    let rem = bit % bits;
+                    if rem != 0 {
+                        bit += bits - rem;
+                    }
+                }
+                BinItem::Fixed { name, bits, ty } => {
+                    if *ty == BinType::UInt && *bits <= 64 {
+                        for rule in self.rules.iter().filter(|r| &r.field == name) {
+                            let Some(expect) = rule_value(&rule.value).as_uint() else {
+                                continue;
+                            };
+                            let little = self.endian == Endian::Little
+                                && bits.is_multiple_of(8)
+                                && *bits > 8;
+                            // The little-endian read path requires byte
+                            // alignment; parse enforces the same.
+                            if little && !bit.is_multiple_of(8) {
+                                continue;
+                            }
+                            tests.push(BitTest {
+                                bit_offset: bit,
+                                bits: *bits,
+                                expect,
+                                little_endian: little,
+                            });
+                        }
+                    }
+                    bit += *bits;
+                }
+                BinItem::Remaining { bits, .. } => bit += *bits,
+                BinItem::VarLen { .. } | BinItem::Eof { .. } => break,
+            }
+        }
+        if tests.is_empty() {
+            Probe::Always
+        } else {
+            Probe::Binary(tests)
+        }
     }
 
     fn required<'m>(&self, msg: &'m AbstractMessage, name: &str) -> Result<&'m Value> {
@@ -1006,7 +1061,7 @@ mod tests {
         assert_eq!(back.get("MessageSize").unwrap().as_uint(), Some(5));
         assert_eq!(back.get("Body").unwrap().as_str(), Some("hello"));
         // Corrupt the size: parse must fail.
-        let mut bad = bytes.clone();
+        let mut bad = bytes;
         bad[4] = 99;
         assert!(p.parse(&bad).is_err());
     }

@@ -135,6 +135,14 @@ impl BitWriter {
         BitWriter::default()
     }
 
+    /// Creates a writer over a recycled buffer, keeping its capacity but
+    /// clearing its contents — the allocation-reuse entry point for
+    /// `compose_into` paths.
+    pub fn with_buffer(mut buf: Vec<u8>) -> BitWriter {
+        buf.clear();
+        BitWriter { data: buf, bits: 0 }
+    }
+
     /// Number of bits written so far.
     pub fn position_bits(&self) -> usize {
         self.bits
@@ -188,6 +196,19 @@ impl BitWriter {
                 }
                 self.bits += 1;
             }
+        }
+    }
+
+    /// Overwrites `nbytes` already-written bytes at `byte_offset` with the
+    /// big-endian encoding of `value` — back-patching for length fields
+    /// whose value is only known once the tail is composed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range was not written yet.
+    pub fn patch_bytes_be(&mut self, byte_offset: usize, nbytes: usize, value: u64) {
+        for i in 0..nbytes {
+            self.data[byte_offset + i] = (value >> (8 * (nbytes - 1 - i))) as u8;
         }
     }
 

@@ -1,5 +1,6 @@
 use crate::ast::{Dialect, MdlDocument};
 use crate::binary::BinaryProgram;
+use crate::dispatch::Probe;
 use crate::error::MdlError;
 use crate::text::TextProgram;
 use crate::xml::XmlProgram;
@@ -32,8 +33,27 @@ pub trait MessageCodec: Send + Sync {
     /// [`MdlError::UnknownMessage`] when the name matches no variant.
     fn compose(&self, msg: &AbstractMessage) -> Result<Vec<u8>>;
 
-    /// The names of the message variants this codec understands.
-    fn message_names(&self) -> Vec<String>;
+    /// Composes into a caller-provided buffer, clearing it first and
+    /// reusing its capacity — the allocation-free steady-state path.
+    /// On error the buffer contents are unspecified.
+    ///
+    /// The default forwards to [`MessageCodec::compose`]; implementations
+    /// with a true in-place path override it.
+    ///
+    /// # Errors
+    ///
+    /// As [`MessageCodec::compose`].
+    fn compose_into(&self, msg: &AbstractMessage, out: &mut Vec<u8>) -> Result<()> {
+        let bytes = self.compose(msg)?;
+        out.clear();
+        out.extend_from_slice(&bytes);
+        Ok(())
+    }
+
+    /// The names of the message variants this codec understands, in
+    /// declaration order. Cached at compile time — calling this never
+    /// allocates.
+    fn message_names(&self) -> &[String];
 }
 
 #[derive(Debug, Clone)]
@@ -60,11 +80,19 @@ impl Program {
         }
     }
 
-    fn compose(&self, msg: &AbstractMessage) -> Result<Vec<u8>> {
+    fn compose_into(&self, msg: &AbstractMessage, out: &mut Vec<u8>) -> Result<()> {
         match self {
-            Program::Binary(p) => p.compose(msg),
-            Program::Text(p) => p.compose(msg),
-            Program::Xml(p) => p.compose(msg),
+            Program::Binary(p) => p.compose_into(msg, out),
+            Program::Text(p) => p.compose_into(msg, out),
+            Program::Xml(p) => p.compose_into(msg, out),
+        }
+    }
+
+    fn probe(&self) -> Probe {
+        match self {
+            Program::Binary(p) => p.probe(),
+            Program::Text(p) => p.probe(),
+            Program::Xml(p) => p.probe(),
         }
     }
 }
@@ -73,9 +101,16 @@ impl Program {
 /// spec defines. This is the runtime-specialised "generic parser/composer"
 /// of the paper — building one from spec text is cheap enough to do on
 /// deployment of a mediator.
+///
+/// Compilation also lowers each variant's discriminating constraints into
+/// a probe dispatch table: parsing tests the wire bytes against each probe
+/// and runs only plausible variants, falling back to
+/// [`MdlCodec::parse_try_all`] when nothing matches.
 #[derive(Debug, Clone)]
 pub struct MdlCodec {
     programs: Vec<Program>,
+    probes: Vec<Probe>,
+    names: Vec<String>,
 }
 
 impl MdlCodec {
@@ -103,7 +138,13 @@ impl MdlCodec {
                 Dialect::Xml => Program::Xml(XmlProgram::compile(msg)?),
             });
         }
-        Ok(MdlCodec { programs })
+        let probes = programs.iter().map(Program::probe).collect();
+        let names = programs.iter().map(|p| p.name().to_owned()).collect();
+        Ok(MdlCodec {
+            programs,
+            probes,
+            names,
+        })
     }
 
     /// Parses with a specific message variant rather than trying all.
@@ -122,10 +163,16 @@ impl MdlCodec {
             })?;
         program.parse(data)
     }
-}
 
-impl MessageCodec for MdlCodec {
-    fn parse(&self, data: &[u8]) -> Result<AbstractMessage> {
+    /// Parses by exhaustively attempting every variant in declaration
+    /// order, formatting a diagnostic line per miss — the pre-dispatch
+    /// behaviour, kept as the slow path and as the oracle the dispatching
+    /// [`MessageCodec::parse`] is tested for equivalence against.
+    ///
+    /// # Errors
+    ///
+    /// [`MdlError::NoVariantMatched`] listing every variant's failure.
+    pub fn parse_try_all(&self, data: &[u8]) -> Result<AbstractMessage> {
         let mut attempts = Vec::new();
         for program in &self.programs {
             match program.parse(data) {
@@ -136,7 +183,46 @@ impl MessageCodec for MdlCodec {
         Err(MdlError::NoVariantMatched { attempts })
     }
 
+    /// Names of the variants whose compiled probe can actually reject
+    /// input (an always-attempt probe discriminates nothing). Lets tests
+    /// and benches verify dispatch coverage.
+    pub fn probed_variants(&self) -> Vec<&str> {
+        self.programs
+            .iter()
+            .zip(&self.probes)
+            .filter(|(_, probe)| probe.is_discriminating())
+            .map(|(program, _)| program.name())
+            .collect()
+    }
+}
+
+impl MessageCodec for MdlCodec {
+    /// Probes the wire bytes once per variant and runs only plausible
+    /// programs; the success path allocates nothing for error reporting.
+    /// Probes only reject input their variant could never parse, so the
+    /// outcome — chosen variant, fields, or failure — is identical to
+    /// [`MdlCodec::parse_try_all`].
+    fn parse(&self, data: &[u8]) -> Result<AbstractMessage> {
+        for (program, probe) in self.programs.iter().zip(&self.probes) {
+            if probe.rejects(data) {
+                continue;
+            }
+            if let Ok(msg) = program.parse(data) {
+                return Ok(msg);
+            }
+        }
+        // Nothing matched: re-run exhaustively to build the attempt
+        // report, lazily paying the diagnostic cost only on failure.
+        self.parse_try_all(data)
+    }
+
     fn compose(&self, msg: &AbstractMessage) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        self.compose_into(msg, &mut out)?;
+        Ok(out)
+    }
+
+    fn compose_into(&self, msg: &AbstractMessage, out: &mut Vec<u8>) -> Result<()> {
         let program = self
             .programs
             .iter()
@@ -144,11 +230,11 @@ impl MessageCodec for MdlCodec {
             .ok_or_else(|| MdlError::UnknownMessage {
                 name: msg.name().to_owned(),
             })?;
-        program.compose(msg)
+        program.compose_into(msg, out)
     }
 
-    fn message_names(&self) -> Vec<String> {
-        self.programs.iter().map(|p| p.name().to_owned()).collect()
+    fn message_names(&self) -> &[String] {
+        &self.names
     }
 }
 
@@ -186,6 +272,25 @@ mod tests {
     }
 
     #[test]
+    fn both_variants_carry_discriminating_probes() {
+        let codec = MdlCodec::from_text(GIOP).unwrap();
+        assert_eq!(codec.probed_variants(), vec!["GIOPRequest", "GIOPReply"]);
+    }
+
+    #[test]
+    fn dispatch_agrees_with_try_all() {
+        let codec = MdlCodec::from_text(GIOP).unwrap();
+        let mut reply = AbstractMessage::new("GIOPReply");
+        reply.set_field("RequestID", Value::UInt(3));
+        reply.set_field("ReplyStatus", Value::UInt(2));
+        reply.set_field("ParameterArray", Value::Array(vec![]));
+        let bytes = codec.compose(&reply).unwrap();
+        let fast = codec.parse(&bytes).unwrap();
+        let slow = codec.parse_try_all(&bytes).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
     fn no_variant_matched_lists_attempts() {
         let codec = MdlCodec::from_text(GIOP).unwrap();
         let err = codec.parse(&[0xFF; 2]).unwrap_err();
@@ -219,5 +324,25 @@ mod tests {
             codec.parse_named("Nope", &bytes),
             Err(MdlError::UnknownMessage { .. })
         ));
+    }
+
+    #[test]
+    fn compose_into_reuses_the_buffer() {
+        let codec = MdlCodec::from_text(GIOP).unwrap();
+        let mut req = AbstractMessage::new("GIOPRequest");
+        req.set_field("RequestID", Value::UInt(1));
+        req.set_field("Operation", Value::from("Add"));
+        req.set_field("ParameterArray", Value::Array(vec![Value::Int(5)]));
+
+        let reference = codec.compose(&req).unwrap();
+        let mut buf = Vec::new();
+        codec.compose_into(&req, &mut buf).unwrap();
+        assert_eq!(buf, reference);
+        let cap = buf.capacity();
+        for _ in 0..16 {
+            codec.compose_into(&req, &mut buf).unwrap();
+            assert_eq!(buf, reference);
+        }
+        assert_eq!(buf.capacity(), cap, "steady-state compose must not grow");
     }
 }

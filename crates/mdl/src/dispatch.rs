@@ -1,0 +1,366 @@
+//! Compiled variant-discriminator probes.
+//!
+//! Trying every message variant in declaration order is correct but pays
+//! the full parse cost for each miss (paper §6 measures this interpreted
+//! overhead). At compile time each dialect program lowers its cheap
+//! distinguishing constraints — binary `<Rule:Field=Value>` guards on
+//! fixed-offset fields, text first-line literals, XML root/operation tag
+//! names — into a [`Probe`] the codec evaluates over the raw wire bytes
+//! before committing to a variant.
+//!
+//! # Soundness contract
+//!
+//! A probe may *reject* input only when the variant's full parse would
+//! certainly fail (probe-false ⟹ parse-fails). Dispatch then walks the
+//! programs in declaration order, skipping rejected ones; the first
+//! success is provably the same variant — with the same fields — that
+//! exhaustive try-all would have produced. A probe that cannot decide
+//! must answer "maybe" ([`Probe::Always`] accepts everything).
+
+/// One fixed-position integer comparison compiled from a binary rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct BitTest {
+    /// Absolute offset of the field, in bits from the message start.
+    pub(crate) bit_offset: usize,
+    /// Field width in bits (1..=64).
+    pub(crate) bits: usize,
+    /// The raw value the rule demands.
+    pub(crate) expect: u64,
+    /// Whether the field is read byte-reversed (little-endian multi-byte).
+    pub(crate) little_endian: bool,
+}
+
+impl BitTest {
+    /// Whether the wire bytes *cannot* satisfy this test: the field is
+    /// readable but holds a different value, or the input is too short to
+    /// contain it (the real parse would fail with `Truncated`).
+    fn rejects(&self, data: &[u8]) -> bool {
+        match read_raw(data, self.bit_offset, self.bits, self.little_endian) {
+            Some(raw) => raw != self.expect,
+            None => true,
+        }
+    }
+}
+
+/// First-line constraints compiled from text-dialect rules.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct TextProbe {
+    /// The message must start with these bytes (empty = unconstrained).
+    pub(crate) prefix: Vec<u8>,
+    /// After `prefix` the line must end (CR, LF or end of input) — an
+    /// equality rule on a single-field line template.
+    pub(crate) line_end_after_prefix: bool,
+    /// The first line must contain these bytes (empty = unconstrained).
+    pub(crate) line_contains: Vec<u8>,
+}
+
+impl TextProbe {
+    fn rejects(&self, data: &[u8]) -> bool {
+        if !self.prefix.is_empty() {
+            if !data.starts_with(&self.prefix) {
+                return true;
+            }
+            if self.line_end_after_prefix {
+                match data.get(self.prefix.len()) {
+                    None | Some(b'\r') | Some(b'\n') => {}
+                    Some(_) => return true,
+                }
+            }
+        }
+        if !self.line_contains.is_empty() {
+            let line_end = data
+                .iter()
+                .position(|&b| b == b'\n')
+                .map_or(data.len(), |i| i + 1);
+            if !contains_bytes(&data[..line_end], &self.line_contains) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Root-element and tag-name constraints compiled from XML templates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct XmlProbe {
+    /// The document's root element must have this local name.
+    pub(crate) root_local: String,
+    /// Element-name substrings (from guards on `<Name:…>`-bound fields)
+    /// that must appear literally in the document bytes. Text-bound
+    /// guards are *not* lowered here: character data may be entity-escaped
+    /// on the wire, so a byte search would unsoundly reject.
+    pub(crate) name_contains: Vec<Vec<u8>>,
+}
+
+impl XmlProbe {
+    fn rejects(&self, data: &[u8]) -> bool {
+        // An undecidable prolog means "maybe": let the parser decide.
+        if let Some(root) = sniff_root_local(data) {
+            if root != self.root_local.as_bytes() {
+                return true;
+            }
+        }
+        self.name_contains
+            .iter()
+            .any(|needle| !contains_bytes(data, needle))
+    }
+}
+
+/// A variant's compiled discriminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Probe {
+    /// Conjunction of fixed-offset integer tests (binary dialect).
+    Binary(Vec<BitTest>),
+    /// First-line literal tests (text dialect).
+    Text(TextProbe),
+    /// Root/tag-name tests (XML dialect).
+    Xml(XmlProbe),
+    /// No cheap discriminator derivable: always attempt the full parse.
+    Always,
+}
+
+impl Probe {
+    /// Whether the variant's parse would certainly fail on `data`.
+    pub(crate) fn rejects(&self, data: &[u8]) -> bool {
+        match self {
+            Probe::Binary(tests) => tests.iter().any(|t| t.rejects(data)),
+            Probe::Text(p) => p.rejects(data),
+            Probe::Xml(p) => p.rejects(data),
+            Probe::Always => false,
+        }
+    }
+
+    /// Whether this probe can ever reject anything.
+    pub(crate) fn is_discriminating(&self) -> bool {
+        !matches!(self, Probe::Always)
+    }
+}
+
+/// Reads `bits` at `bit_offset` the way the binary engine's `read_fixed`
+/// would: byte-reversed when `little_endian` (the builder only sets it for
+/// byte-aligned whole-byte fields), MSB-first otherwise. `None` when the
+/// input is too short.
+fn read_raw(data: &[u8], bit_offset: usize, bits: usize, little_endian: bool) -> Option<u64> {
+    if data.len() * 8 < bit_offset + bits {
+        return None;
+    }
+    if little_endian {
+        let start = bit_offset / 8;
+        let mut v: u64 = 0;
+        for i in 0..bits / 8 {
+            v |= u64::from(data[start + i]) << (8 * i);
+        }
+        Some(v)
+    } else {
+        let mut out: u64 = 0;
+        for pos in bit_offset..bit_offset + bits {
+            let byte = data[pos / 8];
+            let bit = (byte >> (7 - (pos % 8))) & 1;
+            out = (out << 1) | u64::from(bit);
+        }
+        Some(out)
+    }
+}
+
+fn contains_bytes(haystack: &[u8], needle: &[u8]) -> bool {
+    if needle.is_empty() {
+        return true;
+    }
+    haystack
+        .windows(needle.len())
+        .any(|window| window == needle)
+}
+
+/// Extracts the root element's local name from raw document bytes without
+/// building a DOM: skips whitespace, the XML declaration, processing
+/// instructions, comments and `<!…>` declarations, then reads the first
+/// start tag's name. Returns `None` whenever the prolog is not plainly
+/// recognisable — the caller must then fall through to the real parser.
+pub(crate) fn sniff_root_local(data: &[u8]) -> Option<&[u8]> {
+    let mut rest = data;
+    loop {
+        while let [b, tail @ ..] = rest {
+            if b.is_ascii_whitespace() {
+                rest = tail;
+            } else {
+                break;
+            }
+        }
+        if rest.first() != Some(&b'<') {
+            return None;
+        }
+        match rest.get(1)? {
+            b'?' => {
+                // `<?xml …?>` / processing instruction.
+                let end = find_bytes(rest, b"?>")?;
+                rest = &rest[end + 2..];
+            }
+            b'!' => {
+                if rest.starts_with(b"<!--") {
+                    let end = find_bytes(rest, b"-->")?;
+                    rest = &rest[end + 3..];
+                } else {
+                    // DOCTYPE etc. — a naive '>' scan mishandles internal
+                    // subsets, so only trust it when no '[' intervenes.
+                    let end = rest.iter().position(|&b| b == b'>')?;
+                    if rest[..end].contains(&b'[') {
+                        return None;
+                    }
+                    rest = &rest[end + 1..];
+                }
+            }
+            _ => {
+                let name_len = rest[1..]
+                    .iter()
+                    .position(|&b| b.is_ascii_whitespace() || b == b'>' || b == b'/' || b == b'<')
+                    .unwrap_or(rest.len() - 1);
+                if name_len == 0 {
+                    return None;
+                }
+                let name = &rest[1..1 + name_len];
+                // Local part: after the last ':'.
+                let local = match name.iter().rposition(|&b| b == b':') {
+                    Some(i) => &name[i + 1..],
+                    None => name,
+                };
+                if local.is_empty() {
+                    return None;
+                }
+                return Some(local);
+            }
+        }
+    }
+}
+
+fn find_bytes(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_test_big_endian() {
+        let t = BitTest {
+            bit_offset: 8,
+            bits: 16,
+            expect: 0xBEEF,
+            little_endian: false,
+        };
+        assert!(!t.rejects(&[0x00, 0xBE, 0xEF]));
+        assert!(t.rejects(&[0x00, 0xBE, 0xEE]));
+        // Too short ⟹ parse would truncate ⟹ reject.
+        assert!(t.rejects(&[0x00, 0xBE]));
+    }
+
+    #[test]
+    fn bit_test_little_endian() {
+        let t = BitTest {
+            bit_offset: 0,
+            bits: 32,
+            expect: 0x0102_0304,
+            little_endian: true,
+        };
+        assert!(!t.rejects(&[0x04, 0x03, 0x02, 0x01]));
+        assert!(t.rejects(&[0x01, 0x02, 0x03, 0x04]));
+    }
+
+    #[test]
+    fn bit_test_sub_byte_offset() {
+        // 4-bit field at bit offset 4: low nibble of the first byte.
+        let t = BitTest {
+            bit_offset: 4,
+            bits: 4,
+            expect: 0x9,
+            little_endian: false,
+        };
+        assert!(!t.rejects(&[0x29]));
+        assert!(t.rejects(&[0x92]));
+    }
+
+    #[test]
+    fn text_prefix_and_terminator() {
+        let p = TextProbe {
+            prefix: b"M-SEARCH ".to_vec(),
+            ..TextProbe::default()
+        };
+        assert!(!p.rejects(b"M-SEARCH * HTTP/1.1\r\n\r\n"));
+        assert!(p.rejects(b"NOTIFY * HTTP/1.1\r\n\r\n"));
+
+        let exact = TextProbe {
+            prefix: b"PING".to_vec(),
+            line_end_after_prefix: true,
+            ..TextProbe::default()
+        };
+        assert!(!exact.rejects(b"PING\r\n"));
+        assert!(!exact.rejects(b"PING"));
+        assert!(exact.rejects(b"PINGX\r\n"));
+    }
+
+    #[test]
+    fn text_line_contains_limited_to_first_line() {
+        let p = TextProbe {
+            line_contains: b" HTTP/".to_vec(),
+            ..TextProbe::default()
+        };
+        assert!(!p.rejects(b"GET /x HTTP/1.1\r\nHost: h\r\n\r\n"));
+        assert!(p.rejects(b"GET /x\r\nVersion: HTTP/1.1\r\n\r\n"));
+    }
+
+    #[test]
+    fn xml_root_sniff() {
+        assert_eq!(
+            sniff_root_local(b"<feed><entry/></feed>"),
+            Some(&b"feed"[..])
+        );
+        assert_eq!(
+            sniff_root_local(b"<?xml version=\"1.0\"?>\n<methodCall/>"),
+            Some(&b"methodCall"[..])
+        );
+        assert_eq!(
+            sniff_root_local(b"<!-- c --><soapenv:Envelope>"),
+            Some(&b"Envelope"[..])
+        );
+        assert_eq!(sniff_root_local(b"<!DOCTYPE r><r/>"), Some(&b"r"[..]));
+        // Undecidable prologs yield None, never a wrong answer.
+        assert_eq!(sniff_root_local(b"not xml"), None);
+        assert_eq!(
+            sniff_root_local(b"<!DOCTYPE r [<!ENTITY x \"y\">]><r/>"),
+            None
+        );
+        assert_eq!(sniff_root_local(b""), None);
+    }
+
+    #[test]
+    fn xml_probe_rejects_other_root() {
+        let p = XmlProbe {
+            root_local: "methodCall".into(),
+            name_contains: vec![],
+        };
+        assert!(!p.rejects(b"<methodCall/>"));
+        assert!(!p.rejects(b"<m:methodCall/>"));
+        assert!(p.rejects(b"<methodResponse/>"));
+        // Unsniffable input is left to the parser.
+        assert!(!p.rejects(b"garbage"));
+    }
+
+    #[test]
+    fn xml_name_contains() {
+        let p = XmlProbe {
+            root_local: "Envelope".into(),
+            name_contains: vec![b"Response".to_vec()],
+        };
+        assert!(!p.rejects(b"<Envelope><Body><AddResponse/></Body></Envelope>"));
+        assert!(p.rejects(b"<Envelope><Body><Add/></Body></Envelope>"));
+    }
+
+    #[test]
+    fn always_accepts_everything() {
+        assert!(!Probe::Always.rejects(b""));
+        assert!(!Probe::Always.rejects(b"\xFF\xFF"));
+        assert!(!Probe::Always.is_discriminating());
+    }
+}

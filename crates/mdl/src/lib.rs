@@ -62,6 +62,7 @@ mod ast;
 mod binary;
 mod bits;
 mod codec;
+mod dispatch;
 mod error;
 mod text;
 mod xml;

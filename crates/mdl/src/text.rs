@@ -19,9 +19,12 @@
 //! Wire form uses CRLF line endings; bare LF is tolerated on input.
 
 use crate::ast::{MessageSpec, SpecItem};
+use crate::dispatch::{Probe, TextProbe};
 use crate::error::MdlError;
 use crate::Result;
 use starlink_message::{AbstractMessage, Field, Value};
+use std::borrow::Cow;
+use std::io::Write;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum RuleOp {
@@ -150,63 +153,132 @@ impl TextProgram {
         Ok(msg)
     }
 
+    /// Test-only convenience over [`Self::compose_into`].
+    #[cfg(test)]
     pub(crate) fn compose(&self, msg: &AbstractMessage) -> Result<Vec<u8>> {
-        let mut out = String::new();
-        let body: Option<String> = self.items.iter().find_map(|i| match i {
-            TextItem::Body { name } => Some(msg.get(name).map(Value::to_text).unwrap_or_default()),
+        let mut out = Vec::new();
+        self.compose_into(msg, &mut out)?;
+        Ok(out)
+    }
+
+    /// Composes into a caller-provided buffer, clearing it first and
+    /// reusing its capacity. Field text is written directly — string
+    /// values are borrowed, not cloned. On error the buffer contents are
+    /// unspecified.
+    pub(crate) fn compose_into(&self, msg: &AbstractMessage, out: &mut Vec<u8>) -> Result<()> {
+        out.clear();
+        let body: Option<Cow<'_, str>> = self.items.iter().find_map(|i| match i {
+            TextItem::Body { name } => {
+                Some(msg.get(name).map(value_text).unwrap_or(Cow::Borrowed("")))
+            }
             _ => None,
         });
         for item in &self.items {
             match item {
                 TextItem::Line { fields, .. } => {
-                    let mut parts = Vec::with_capacity(fields.len());
-                    for f in fields {
-                        let v = msg
-                            .get(f)
-                            .map(Value::to_text)
-                            .or_else(|| {
-                                self.rules
+                    for (i, f) in fields.iter().enumerate() {
+                        if i > 0 {
+                            out.push(b' ');
+                        }
+                        match msg.get(f) {
+                            Some(v) => out.extend_from_slice(value_text(v).as_bytes()),
+                            None => {
+                                let rule = self
+                                    .rules
                                     .iter()
                                     .find(|r| &r.field == f && r.op == RuleOp::Equals)
-                                    .map(|r| r.value.clone())
-                            })
-                            .ok_or_else(|| MdlError::MissingField {
-                                message_name: self.name.clone(),
-                                field: f.clone(),
-                            })?;
-                        parts.push(v);
+                                    .ok_or_else(|| MdlError::MissingField {
+                                        message_name: self.name.clone(),
+                                        field: f.clone(),
+                                    })?;
+                                out.extend_from_slice(rule.value.as_bytes());
+                            }
+                        }
                     }
-                    out.push_str(&parts.join(" "));
-                    out.push_str("\r\n");
+                    out.extend_from_slice(b"\r\n");
                 }
                 TextItem::Headers { name } => {
-                    let mut wrote_content_length = false;
                     if let Some(Value::Struct(headers)) = msg.get(name) {
                         for h in headers {
                             if h.label().eq_ignore_ascii_case("content-length") {
                                 // Recomputed below from the actual body.
                                 continue;
                             }
-                            out.push_str(h.label());
-                            out.push_str(": ");
-                            out.push_str(&h.value().to_text());
-                            out.push_str("\r\n");
+                            out.extend_from_slice(h.label().as_bytes());
+                            out.extend_from_slice(b": ");
+                            out.extend_from_slice(value_text(h.value()).as_bytes());
+                            out.extend_from_slice(b"\r\n");
                         }
                     }
                     if let Some(b) = &body {
-                        out.push_str(&format!("Content-Length: {}\r\n", b.len()));
-                        wrote_content_length = true;
+                        write!(out, "Content-Length: {}\r\n", b.len())
+                            .expect("writing to a Vec cannot fail");
                     }
-                    let _ = wrote_content_length;
                 }
                 TextItem::Body { .. } => {}
             }
         }
-        out.push_str("\r\n");
+        out.extend_from_slice(b"\r\n");
         if let Some(b) = body {
-            out.push_str(&b);
+            out.extend_from_slice(b.as_bytes());
         }
-        Ok(out.into_bytes())
+        Ok(())
+    }
+
+    /// Lowers rules on first-line fields into literal byte tests (see
+    /// [`crate::dispatch`]): an equality/prefix rule on the line's first
+    /// field becomes a message-prefix test, a rule on a later line field
+    /// becomes a first-line substring test.
+    pub(crate) fn probe(&self) -> Probe {
+        let fields = match self.items.iter().find_map(|i| match i {
+            TextItem::Line { fields, .. } => Some(fields),
+            _ => None,
+        }) {
+            Some(fields) => fields,
+            None => return Probe::Always,
+        };
+        let mut probe = TextProbe::default();
+        for rule in &self.rules {
+            let Some(pos) = fields.iter().position(|f| f == &rule.field) else {
+                continue;
+            };
+            let value = rule.value.as_bytes();
+            if value.is_empty() || value.contains(&b'\r') || value.contains(&b'\n') {
+                continue;
+            }
+            if pos == 0 && probe.prefix.is_empty() {
+                match rule.op {
+                    RuleOp::Equals if fields.len() > 1 => {
+                        // The first token ends at the first space.
+                        probe.prefix = [value, b" "].concat();
+                    }
+                    RuleOp::Equals => {
+                        // A single-field line IS the whole first line.
+                        probe.prefix = value.to_vec();
+                        probe.line_end_after_prefix = true;
+                    }
+                    RuleOp::StartsWith => probe.prefix = value.to_vec(),
+                    RuleOp::Contains => {
+                        if probe.line_contains.is_empty() {
+                            probe.line_contains = value.to_vec();
+                        }
+                    }
+                }
+            } else if pos > 0 && probe.line_contains.is_empty() {
+                match rule.op {
+                    // Later fields are always preceded by a space.
+                    RuleOp::Equals | RuleOp::StartsWith => {
+                        probe.line_contains = [b" ", value].concat();
+                    }
+                    RuleOp::Contains => probe.line_contains = value.to_vec(),
+                }
+            }
+        }
+        if probe.prefix.is_empty() && probe.line_contains.is_empty() {
+            Probe::Always
+        } else {
+            Probe::Text(probe)
+        }
     }
 
     fn check_rule(&self, rule: &TextRule, msg: &AbstractMessage) -> Result<()> {
@@ -234,6 +306,14 @@ impl TextProgram {
                 actual,
             })
         }
+    }
+}
+
+/// A value's wire text, borrowing when it is already a string.
+fn value_text(v: &Value) -> Cow<'_, str> {
+    match v.as_str() {
+        Some(s) => Cow::Borrowed(s),
+        None => Cow::Owned(v.to_text()),
     }
 }
 

@@ -27,6 +27,7 @@
 //! parse, missing fields are skipped on compose.
 
 use crate::ast::MessageSpec;
+use crate::dispatch::{Probe, XmlProbe};
 use crate::error::MdlError;
 use crate::Result;
 use starlink_message::{AbstractMessage, Field, Value};
@@ -523,8 +524,56 @@ impl XmlProgram {
 
     // --- compose ------------------------------------------------------
 
+    /// Test-only convenience over [`Self::compose_into`].
+    #[cfg(test)]
     pub(crate) fn compose(&self, msg: &AbstractMessage) -> Result<Vec<u8>> {
-        Ok(self.compose_element(msg)?.to_document().into_bytes())
+        let mut out = Vec::new();
+        self.compose_into(msg, &mut out)?;
+        Ok(out)
+    }
+
+    /// Composes into a caller-provided buffer, clearing it first and
+    /// reusing its capacity for the serialised document. On error the
+    /// buffer contents are unspecified.
+    pub(crate) fn compose_into(&self, msg: &AbstractMessage, out: &mut Vec<u8>) -> Result<()> {
+        let root = self.compose_element(msg)?;
+        out.clear();
+        // Round-trip the byte buffer through String to reuse its
+        // allocation; a cleared buffer is trivially valid UTF-8.
+        let mut text =
+            String::from_utf8(std::mem::take(out)).expect("cleared buffer is valid UTF-8");
+        root.write_document_into(&mut text);
+        *out = text.into_bytes();
+        Ok(())
+    }
+
+    /// Lowers the root-element name and guards on `<Name:…>`-bound fields
+    /// into wire-byte tests (see [`crate::dispatch`]). Guards on text or
+    /// attribute bindings are left to the parser: their wire form may be
+    /// entity-escaped, so a byte search could unsoundly reject.
+    pub(crate) fn probe(&self) -> Probe {
+        let mut name_contains = Vec::new();
+        for guard in &self.guards {
+            let first_binding = self.bindings.iter().find(|b| {
+                let field = match b {
+                    XmlBinding::Name { field, .. }
+                    | XmlBinding::Text { field, .. }
+                    | XmlBinding::Attr { field, .. }
+                    | XmlBinding::List { field, .. } => field,
+                };
+                field == &guard.field
+            });
+            // Element names appear literally in the document, so any guard
+            // on a name-bound field implies the document contains the
+            // guarded value (equals and starts-with imply contains).
+            if matches!(first_binding, Some(XmlBinding::Name { .. })) && !guard.value.is_empty() {
+                name_contains.push(guard.value.clone().into_bytes());
+            }
+        }
+        Probe::Xml(XmlProbe {
+            root_local: local(&self.root).to_owned(),
+            name_contains,
+        })
     }
 
     /// Composes to a DOM (used when embedding in an HTTP body).

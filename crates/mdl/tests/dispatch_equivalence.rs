@@ -1,0 +1,356 @@
+//! Probe-directed dispatch must be observationally identical to the
+//! exhaustive try-all parse, for every `.mdl` model shipped in the
+//! repository, on valid wires, corrupted wires, and random bytes. This
+//! is the safety net for the dispatch tables: a probe is only allowed to
+//! reject a variant whose full parse would certainly fail.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+use starlink_mdl::{MdlCodec, MessageCodec};
+use starlink_message::{AbstractMessage, Field, Value};
+use std::path::PathBuf;
+
+fn models_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../models"))
+}
+
+/// Every `.mdl` model in the repository, compiled.
+fn load_models() -> Vec<(String, MdlCodec)> {
+    let mut models: Vec<(String, MdlCodec)> = std::fs::read_dir(models_dir())
+        .expect("models directory")
+        .filter_map(|e| {
+            let path = e.expect("dir entry").path();
+            if path.extension().is_some_and(|x| x == "mdl") {
+                let name = path.file_name().unwrap().to_string_lossy().into_owned();
+                let text = std::fs::read_to_string(&path).expect("readable model");
+                Some((name, MdlCodec::from_text(&text).expect("model compiles")))
+            } else {
+                None
+            }
+        })
+        .collect();
+    models.sort_by(|a, b| a.0.cmp(&b.0));
+    assert!(models.len() >= 6, "expected the full model set");
+    models
+}
+
+fn msg(name: &str, fields: Vec<(&str, Value)>) -> AbstractMessage {
+    let mut m = AbstractMessage::new(name);
+    for (label, value) in fields {
+        m.set_field(label, value);
+    }
+    m
+}
+
+fn headers(pairs: &[(&str, &str)]) -> Value {
+    Value::Struct(
+        pairs
+            .iter()
+            .map(|(n, v)| Field::new(*n, Value::from(*v)))
+            .collect(),
+    )
+}
+
+/// Sample well-typed messages for each model file, covering every
+/// variant that a plain compose can produce.
+fn fixtures(model: &str) -> Vec<AbstractMessage> {
+    match model {
+        "GIOP.mdl" => vec![
+            msg(
+                "GIOPRequest",
+                vec![
+                    ("VersionMajor", Value::UInt(1)),
+                    ("VersionMinor", Value::UInt(0)),
+                    ("Flags", Value::UInt(0)),
+                    ("RequestID", Value::UInt(9)),
+                    ("ResponseExpected", Value::UInt(1)),
+                    ("ObjectKey", Value::Bytes(b"calc".to_vec())),
+                    ("Operation", Value::from("Add")),
+                    (
+                        "ParameterArray",
+                        Value::Array(vec![Value::Int(3), Value::Int(4)]),
+                    ),
+                ],
+            ),
+            msg(
+                "GIOPReply",
+                vec![
+                    ("VersionMajor", Value::UInt(1)),
+                    ("VersionMinor", Value::UInt(0)),
+                    ("Flags", Value::UInt(0)),
+                    ("RequestID", Value::UInt(9)),
+                    ("ReplyStatus", Value::UInt(0)),
+                    ("ParameterArray", Value::Array(vec![Value::Int(7)])),
+                ],
+            ),
+        ],
+        "HTTP.mdl" => vec![
+            msg(
+                "HTTPRequest",
+                vec![
+                    ("Method", Value::from("GET")),
+                    ("RequestURI", Value::from("/photos?q=tree")),
+                    ("Version", Value::from("HTTP/1.1")),
+                    ("Headers", headers(&[("Host", "example.org")])),
+                    ("Body", Value::from("")),
+                ],
+            ),
+            msg(
+                "HTTPResponse",
+                vec![
+                    ("Version", Value::from("HTTP/1.1")),
+                    ("Code", Value::from("200")),
+                    ("Reason", Value::from("OK")),
+                    ("Headers", headers(&[("Content-Type", "text/plain")])),
+                    ("Body", Value::from("hello")),
+                ],
+            ),
+        ],
+        "SLP.mdl" => vec![
+            msg(
+                "SrvRqst",
+                vec![
+                    ("Version", Value::UInt(2)),
+                    ("Function", Value::UInt(1)),
+                    ("ServiceType", Value::from("service:printer")),
+                ],
+            ),
+            msg(
+                "SrvRply",
+                vec![
+                    ("Version", Value::UInt(2)),
+                    ("Function", Value::UInt(2)),
+                    ("ErrorCode", Value::UInt(0)),
+                    (
+                        "Urls",
+                        Value::Array(vec![Value::from("service:printer://p1")]),
+                    ),
+                ],
+            ),
+        ],
+        "SSDP.mdl" => vec![
+            msg(
+                "MSearch",
+                vec![
+                    ("Method", Value::from("M-SEARCH")),
+                    ("Target", Value::from("*")),
+                    ("Version", Value::from("HTTP/1.1")),
+                    ("Headers", headers(&[("ST", "ssdp:all")])),
+                    ("Body", Value::from("")),
+                ],
+            ),
+            msg(
+                "SearchResponse",
+                vec![
+                    ("Version", Value::from("HTTP/1.1")),
+                    ("Code", Value::from("200")),
+                    ("Reason", Value::from("OK")),
+                    ("Headers", headers(&[("Location", "http://dev.local")])),
+                    ("Body", Value::from("")),
+                ],
+            ),
+        ],
+        "SOAP.mdl" => vec![
+            msg(
+                "SOAPReply",
+                vec![
+                    ("MethodName", Value::from("PlusResponse")),
+                    ("Params", Value::Array(vec![Value::from("7")])),
+                ],
+            ),
+            msg(
+                "SOAPRequest",
+                vec![
+                    ("MethodName", Value::from("Plus")),
+                    (
+                        "Params",
+                        Value::Array(vec![Value::from("3"), Value::from("4")]),
+                    ),
+                ],
+            ),
+        ],
+        "XMLRPC.mdl" => vec![
+            msg(
+                "MethodCall",
+                vec![
+                    ("MethodName", Value::from("flickr.photos.search")),
+                    (
+                        "Params",
+                        Value::Array(vec![Value::Struct(vec![Field::new(
+                            "value",
+                            Value::from("tree"),
+                        )])]),
+                    ),
+                ],
+            ),
+            msg(
+                "MethodResponse",
+                vec![(
+                    "Params",
+                    Value::Array(vec![Value::Struct(vec![Field::new(
+                        "value",
+                        Value::from("ok"),
+                    )])]),
+                )],
+            ),
+        ],
+        "GDATA.mdl" => vec![
+            msg(
+                "GDataFeed",
+                vec![
+                    ("Title", Value::from("Search Results")),
+                    (
+                        "Entries",
+                        Value::Array(vec![Value::Struct(vec![
+                            Field::new("id", Value::from("gphoto-1")),
+                            Field::new("title", Value::from("Photo 1")),
+                            Field::new("url", Value::from("http://p.example.org/1.jpg")),
+                        ])]),
+                    ),
+                ],
+            ),
+            msg(
+                "GDataEntry",
+                vec![
+                    ("id", Value::from("gphoto-2")),
+                    ("content", Value::from("a photo")),
+                ],
+            ),
+        ],
+        _ => Vec::new(),
+    }
+}
+
+/// Valid wires per model, produced by the codec's own composer.
+fn valid_wires(model: &str, codec: &MdlCodec) -> Vec<Vec<u8>> {
+    fixtures(model)
+        .iter()
+        .map(|m| {
+            codec
+                .compose(m)
+                .unwrap_or_else(|e| panic!("{model}: compose {}: {e}", m.name()))
+        })
+        .collect()
+}
+
+/// The equivalence property itself.
+fn assert_equiv(model: &str, codec: &MdlCodec, data: &[u8], ctx: &str) {
+    let fast = codec.parse(data);
+    let slow = codec.parse_try_all(data);
+    match (fast, slow) {
+        (Ok(a), Ok(b)) => assert_eq!(a, b, "{model} ({ctx}): dispatch picked a different message"),
+        (Err(_), Err(_)) => {}
+        (fast, slow) => panic!(
+            "{model} ({ctx}): dispatch ok={} but try-all ok={} on {data:?}",
+            fast.is_ok(),
+            slow.is_ok()
+        ),
+    }
+}
+
+#[test]
+fn every_model_has_fixtures_for_its_composable_variants() {
+    for (model, codec) in load_models() {
+        let wires = valid_wires(&model, &codec);
+        assert!(!wires.is_empty(), "{model}: no fixtures — add some");
+        for wire in &wires {
+            codec
+                .parse(wire)
+                .unwrap_or_else(|e| panic!("{model}: fixture wire unparseable: {e}"));
+        }
+    }
+}
+
+#[test]
+fn dispatch_matches_try_all_on_valid_wires() {
+    for (model, codec) in load_models() {
+        for (i, wire) in valid_wires(&model, &codec).iter().enumerate() {
+            assert_equiv(&model, &codec, wire, &format!("valid wire {i}"));
+        }
+    }
+}
+
+#[test]
+fn dispatch_matches_try_all_under_mutation() {
+    for (model, codec) in load_models() {
+        let wires = valid_wires(&model, &codec);
+        let mut rng = TestRng::for_test(&format!("mutation:{model}"));
+        for (i, wire) in wires.iter().enumerate() {
+            for round in 0..200usize {
+                let mut data = wire.clone();
+                match rng.below(3) {
+                    // Flip one byte: corrupts discriminators, lengths,
+                    // tag names…
+                    0 if !data.is_empty() => {
+                        let at = rng.below(data.len() as u64) as usize;
+                        data[at] ^= (1 + rng.below(255)) as u8;
+                    }
+                    // Truncate: exercises the probes' truncation-handling.
+                    1 => {
+                        let keep = rng.below(data.len() as u64 + 1) as usize;
+                        data.truncate(keep);
+                    }
+                    // Append garbage.
+                    _ => {
+                        data.push(rng.below(256) as u8);
+                    }
+                }
+                assert_equiv(&model, &codec, &data, &format!("wire {i} mutation {round}"));
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn dispatch_matches_try_all_on_random_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..96),
+    ) {
+        for (model, codec) in load_models() {
+            let fast = codec.parse(&bytes);
+            let slow = codec.parse_try_all(&bytes);
+            match (fast, slow) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "{}", model),
+                (Err(_), Err(_)) => {}
+                (fast, slow) => prop_assert!(
+                    false,
+                    "{}: dispatch ok={} try-all ok={}",
+                    model,
+                    fast.is_ok(),
+                    slow.is_ok()
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn compose_into_reuses_and_roundtrips_for_every_model() {
+    for (model, codec) in load_models() {
+        let mut buf = Vec::new();
+        for m in fixtures(&model) {
+            // Compose the same message twice into the same buffer: output
+            // must match the allocating path and still parse back.
+            for _ in 0..2 {
+                codec.compose_into(&m, &mut buf).expect("compose_into");
+                assert_eq!(buf, codec.compose(&m).unwrap(), "{model}: {}", m.name());
+                let back = codec.parse(&buf).expect("roundtrip");
+                assert_eq!(back.name(), m.name(), "{model}");
+            }
+        }
+        // Steady state: composing each fixture once more must not grow
+        // the buffer beyond the largest wire already seen.
+        let cap = buf.capacity();
+        let largest = fixtures(&model)
+            .iter()
+            .map(|m| codec.compose(m).unwrap().len())
+            .max()
+            .unwrap_or(0);
+        if cap >= largest {
+            for m in fixtures(&model) {
+                codec.compose_into(&m, &mut buf).expect("compose_into");
+            }
+            assert_eq!(buf.capacity(), cap, "{model}: steady-state compose grew");
+        }
+    }
+}

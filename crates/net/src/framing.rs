@@ -20,6 +20,35 @@ pub trait Framing: Send + Sync {
 
     /// Wraps an outgoing message for the wire.
     fn wrap(&self, frame: &[u8]) -> Vec<u8>;
+
+    /// Wraps an outgoing message into a caller-provided buffer, clearing
+    /// it first and reusing its capacity. The default forwards to
+    /// [`Framing::wrap`].
+    fn wrap_into(&self, frame: &[u8], out: &mut Vec<u8>) {
+        let wire = self.wrap(frame);
+        out.clear();
+        out.extend_from_slice(&wire);
+    }
+
+    /// Extracts one complete frame by *consuming* it from the front of
+    /// `buf` — the in-place counterpart of [`Framing::extract`], which
+    /// avoids a second copy when the buffer holds exactly one frame.
+    ///
+    /// Returns `Ok(Some(frame))` with the consumed bytes removed from
+    /// `buf`, or `Ok(None)` (buffer untouched) when more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// As [`Framing::extract`]; `buf` is left untouched on error.
+    fn extract_from(&self, buf: &mut Vec<u8>) -> Result<Option<Vec<u8>>> {
+        match self.extract(buf)? {
+            Some((consumed, frame)) => {
+                buf.drain(..consumed);
+                Ok(Some(frame))
+            }
+            None => Ok(None),
+        }
+    }
 }
 
 /// 4-byte big-endian length-prefixed framing (the default).
@@ -57,9 +86,32 @@ impl Framing for LengthPrefixFraming {
 
     fn wrap(&self, frame: &[u8]) -> Vec<u8> {
         let mut out = Vec::with_capacity(4 + frame.len());
+        self.wrap_into(frame, &mut out);
+        out
+    }
+
+    fn wrap_into(&self, frame: &[u8], out: &mut Vec<u8>) {
+        out.clear();
         out.extend_from_slice(&(frame.len() as u32).to_be_bytes());
         out.extend_from_slice(frame);
-        out
+    }
+
+    fn extract_from(&self, buf: &mut Vec<u8>) -> Result<Option<Vec<u8>>> {
+        if buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        if len > self.max_frame {
+            return Err(NetError::FrameTooLarge {
+                size: len,
+                limit: self.max_frame,
+            });
+        }
+        if buf.len() < 4 + len {
+            return Ok(None);
+        }
+        buf.drain(..4);
+        Ok(Some(consume_front(buf, len)))
     }
 }
 
@@ -80,8 +132,10 @@ impl Default for HttpFraming {
     }
 }
 
-impl Framing for HttpFraming {
-    fn extract(&self, buf: &[u8]) -> Result<Option<(usize, Vec<u8>)>> {
+impl HttpFraming {
+    /// Measures one complete message at the front of `buf` without
+    /// copying it: `Ok(Some(total))` when head + body are fully buffered.
+    fn frame_len(&self, buf: &[u8]) -> Result<Option<usize>> {
         // Find end of head.
         let head_end = match find_subslice(buf, b"\r\n\r\n") {
             Some(i) => i + 4,
@@ -115,13 +169,46 @@ impl Framing for HttpFraming {
         if buf.len() < total {
             return Ok(None);
         }
-        Ok(Some((total, buf[..total].to_vec())))
+        Ok(Some(total))
+    }
+}
+
+impl Framing for HttpFraming {
+    fn extract(&self, buf: &[u8]) -> Result<Option<(usize, Vec<u8>)>> {
+        match self.frame_len(buf)? {
+            Some(total) => Ok(Some((total, buf[..total].to_vec()))),
+            None => Ok(None),
+        }
     }
 
     fn wrap(&self, frame: &[u8]) -> Vec<u8> {
         // HTTP messages are self-delimiting (Content-Length composed by
         // the MDL text engine); pass through.
         frame.to_vec()
+    }
+
+    fn wrap_into(&self, frame: &[u8], out: &mut Vec<u8>) {
+        out.clear();
+        out.extend_from_slice(frame);
+    }
+
+    fn extract_from(&self, buf: &mut Vec<u8>) -> Result<Option<Vec<u8>>> {
+        match self.frame_len(buf)? {
+            Some(total) => Ok(Some(consume_front(buf, total))),
+            None => Ok(None),
+        }
+    }
+}
+
+/// Removes and returns the first `len` bytes of `buf`. When the buffer
+/// holds exactly one frame this moves the whole allocation out instead of
+/// copying it.
+fn consume_front(buf: &mut Vec<u8>, len: usize) -> Vec<u8> {
+    if buf.len() == len {
+        std::mem::take(buf)
+    } else {
+        let rest = buf.split_off(len);
+        std::mem::replace(buf, rest)
     }
 }
 
@@ -190,6 +277,64 @@ mod tests {
         let msg = b"GET /x HTTP/1.1\r\nHost: h\r\n\r\n";
         let (consumed, _) = f.extract(msg).unwrap().unwrap();
         assert_eq!(consumed, msg.len());
+    }
+
+    #[test]
+    fn length_prefix_extract_from_consumes() {
+        let f = LengthPrefixFraming::default();
+        let mut buf = f.wrap(b"one");
+        buf.extend(f.wrap(b"two"));
+        // First frame leaves the second in place.
+        let f1 = f.extract_from(&mut buf).unwrap().unwrap();
+        assert_eq!(f1, b"one");
+        assert_eq!(buf.len(), 4 + 3);
+        // Exactly one frame left: the whole allocation moves out.
+        let f2 = f.extract_from(&mut buf).unwrap().unwrap();
+        assert_eq!(f2, b"two");
+        assert!(buf.is_empty());
+        // Partial input stays untouched.
+        buf.extend_from_slice(&f.wrap(b"three")[..5]);
+        assert!(f.extract_from(&mut buf).unwrap().is_none());
+        assert_eq!(buf.len(), 5);
+    }
+
+    #[test]
+    fn length_prefix_wrap_into_reuses_buffer() {
+        let f = LengthPrefixFraming::default();
+        let mut out = Vec::with_capacity(64);
+        let ptr = out.as_ptr();
+        f.wrap_into(b"hello", &mut out);
+        assert_eq!(out, f.wrap(b"hello"));
+        assert_eq!(out.as_ptr(), ptr);
+        f.wrap_into(b"bye", &mut out);
+        assert_eq!(out, f.wrap(b"bye"));
+        assert_eq!(out.as_ptr(), ptr);
+    }
+
+    #[test]
+    fn http_extract_from_pipelined() {
+        let f = HttpFraming::default();
+        let one = b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello".to_vec();
+        let two = b"GET /y HTTP/1.1\r\n\r\n".to_vec();
+        let mut buf = one.clone();
+        buf.extend(&two);
+        assert_eq!(f.extract_from(&mut buf).unwrap().unwrap(), one);
+        assert_eq!(buf, two);
+        assert_eq!(f.extract_from(&mut buf).unwrap().unwrap(), two);
+        assert!(buf.is_empty());
+        assert!(f.extract_from(&mut buf).unwrap().is_none());
+    }
+
+    #[test]
+    fn extract_from_error_leaves_buffer_intact() {
+        let f = LengthPrefixFraming { max_frame: 4 };
+        let mut buf = LengthPrefixFraming::default().wrap(b"toolarge");
+        let before = buf.clone();
+        assert!(matches!(
+            f.extract_from(&mut buf),
+            Err(NetError::FrameTooLarge { .. })
+        ));
+        assert_eq!(buf, before);
     }
 
     #[test]

@@ -40,6 +40,9 @@ struct TcpConnection {
     stream: TcpStream,
     framing: Arc<dyn Framing>,
     buffer: Vec<u8>,
+    /// Scratch buffer for wrapping outgoing frames; its capacity is
+    /// reused across `send` calls so steady-state sends don't allocate.
+    write_buf: Vec<u8>,
     peer: String,
 }
 
@@ -53,14 +56,14 @@ impl TcpConnection {
             stream,
             framing,
             buffer: Vec::new(),
+            write_buf: Vec::new(),
             peer,
         }
     }
 
     fn read_frame(&mut self) -> Result<Vec<u8>> {
         loop {
-            if let Some((consumed, frame)) = self.framing.extract(&self.buffer)? {
-                self.buffer.drain(..consumed);
+            if let Some(frame) = self.framing.extract_from(&mut self.buffer)? {
                 return Ok(frame);
             }
             let mut chunk = [0u8; 8192];
@@ -73,19 +76,20 @@ impl TcpConnection {
     }
 
     fn extract_buffered(&mut self) -> Result<Option<Vec<u8>>> {
-        if let Some((consumed, frame)) = self.framing.extract(&self.buffer)? {
-            self.buffer.drain(..consumed);
-            return Ok(Some(frame));
-        }
-        Ok(None)
+        self.framing.extract_from(&mut self.buffer)
     }
 }
 
 impl Connection for TcpConnection {
     fn send(&mut self, data: &[u8]) -> Result<()> {
-        let wire = self.framing.wrap(data);
-        self.stream.write_all(&wire)?;
-        self.stream.flush()?;
+        let mut wire = std::mem::take(&mut self.write_buf);
+        self.framing.wrap_into(data, &mut wire);
+        let r = self
+            .stream
+            .write_all(&wire)
+            .and_then(|()| self.stream.flush());
+        self.write_buf = wire;
+        r?;
         Ok(())
     }
 

@@ -406,7 +406,7 @@ mod tests {
     fn slp_directory_answers_queries() {
         let transport = MemoryTransport::new();
         let mut net = NetworkEngine::new();
-        net.register(Arc::new(transport.clone()));
+        net.register(Arc::new(transport));
         let directory = SlpDirectory::deploy(
             &net,
             &Endpoint::memory("slp-da"),

@@ -32,6 +32,9 @@ pub struct LayeredCodec {
     inner: Arc<dyn MessageCodec>,
     body_field: String,
     routes: Vec<LayerRoute>,
+    /// Union of inner and outer variant names, cached at construction so
+    /// `message_names` hands out a slice without rebuilding.
+    names: Vec<String>,
 }
 
 impl LayeredCodec {
@@ -43,11 +46,14 @@ impl LayeredCodec {
         body_field: impl Into<String>,
         routes: Vec<LayerRoute>,
     ) -> LayeredCodec {
+        let mut names = inner.message_names().to_vec();
+        names.extend(outer.message_names().iter().cloned());
         LayeredCodec {
             outer,
             inner,
             body_field: body_field.into(),
             routes,
+            names,
         }
     }
 
@@ -88,8 +94,14 @@ impl MessageCodec for LayeredCodec {
     }
 
     fn compose(&self, msg: &AbstractMessage) -> Result<Vec<u8>, MdlError> {
+        let mut out = Vec::new();
+        self.compose_into(msg, &mut out)?;
+        Ok(out)
+    }
+
+    fn compose_into(&self, msg: &AbstractMessage, out: &mut Vec<u8>) -> Result<(), MdlError> {
         match self.route(msg.name()) {
-            None => self.outer.compose(msg),
+            None => self.outer.compose_into(msg, out),
             Some(route) => {
                 let inner_bytes = self.inner.compose(msg)?;
                 let inner_text = String::from_utf8(inner_bytes).map_err(|_| MdlError::NotUtf8 {
@@ -112,15 +124,13 @@ impl MessageCodec for LayeredCodec {
                     }
                 }
                 outer.set_field(&self.body_field, Value::Str(inner_text));
-                self.outer.compose(&outer)
+                self.outer.compose_into(&outer, out)
             }
         }
     }
 
-    fn message_names(&self) -> Vec<String> {
-        let mut names = self.inner.message_names();
-        names.extend(self.outer.message_names());
-        names
+    fn message_names(&self) -> &[String] {
+        &self.names
     }
 }
 
@@ -268,7 +278,8 @@ mod tests {
 
     #[test]
     fn message_names_are_union() {
-        let names = layered().message_names();
+        let codec = layered();
+        let names = codec.message_names();
         assert!(names.contains(&"MethodCall".to_owned()));
         assert!(names.contains(&"HTTPRequest".to_owned()));
     }

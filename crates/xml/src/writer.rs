@@ -25,10 +25,17 @@ impl Element {
 
     /// Serialises with an `<?xml version="1.0"?>` declaration prefix.
     pub fn to_document(&self) -> String {
-        format!(
-            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>{}",
-            self.to_xml()
-        )
+        let mut out = String::new();
+        self.write_document_into(&mut out);
+        out
+    }
+
+    /// Serialises as [`Element::to_document`] into a caller-provided
+    /// buffer, clearing it first and reusing its capacity.
+    pub fn write_document_into(&self, out: &mut String) {
+        out.clear();
+        out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        self.write_compact(out);
     }
 
     fn write_open_tag(&self, out: &mut String, self_close: bool) {
