@@ -11,6 +11,10 @@
 //!   on wires whose variant is *not* declared first.
 //! * `compose-reuse/*` — buffer-reusing [`MessageCodec::compose_into`]
 //!   against the allocating [`MessageCodec::compose`].
+//! * `sink-overhead/*` — the instrumented `parse` with a no-op / live
+//!   telemetry sink against the uninstrumented loop
+//!   ([`MdlCodec::parse_uninstrumented`]); in fast mode the no-op path
+//!   is asserted to stay within 5% of the baseline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use starlink_bench::{
@@ -163,6 +167,107 @@ fn bench_compose_reuse(c: &mut Criterion) {
     group.finish();
 }
 
+/// Measures what telemetry instrumentation costs on the codec hot path:
+/// the pre-instrumentation parse loop ([`MdlCodec::parse_uninstrumented`]),
+/// the instrumented [`MessageCodec::parse`] with the default no-op sink
+/// (one `enabled()` check, then delegation to the uninstrumented loop),
+/// and `parse` with a live [`Recorder`] aggregating every probe outcome.
+///
+/// In fast mode this doubles as a regression gate: the no-op-sink path
+/// must stay within 5% of the uninstrumented baseline (plus a small
+/// absolute epsilon so sub-microsecond parses don't flake on timer
+/// granularity).
+fn bench_sink_overhead(c: &mut Criterion) {
+    use starlink_telemetry::Recorder;
+    use std::sync::Arc;
+
+    let giop = giop_codec().unwrap();
+    let soap = soap_envelope_codec().unwrap();
+    let giop_traced = giop_codec()
+        .unwrap()
+        .with_telemetry(Arc::new(Recorder::new()));
+    let soap_traced = soap_envelope_codec()
+        .unwrap()
+        .with_telemetry(Arc::new(Recorder::new()));
+
+    let cases: Vec<(
+        &str,
+        &starlink_mdl::MdlCodec,
+        &starlink_mdl::MdlCodec,
+        Vec<u8>,
+    )> = vec![
+        (
+            "giop-reply",
+            &giop,
+            &giop_traced,
+            giop.compose(&giop_reply(8)).unwrap(),
+        ),
+        (
+            "soap-request",
+            &soap,
+            &soap_traced,
+            soap.compose(&soap_request(8)).unwrap(),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("sink-overhead");
+    for (name, plain, traced, wire) in &cases {
+        group.throughput(Throughput::Bytes(wire.len() as u64));
+        group.bench_with_input(BenchmarkId::new("uninstrumented", name), wire, |b, wire| {
+            b.iter(|| plain.parse_uninstrumented(wire).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("noop-sink", name), wire, |b, wire| {
+            b.iter(|| plain.parse(wire).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("recorder-sink", name), wire, |b, wire| {
+            b.iter(|| traced.parse(wire).unwrap());
+        });
+    }
+    group.finish();
+
+    if criterion::fast_mode() {
+        for (name, plain, _, wire) in &cases {
+            assert_noop_overhead(name, plain, wire);
+        }
+    }
+}
+
+/// Paired measurement for the fast-mode gate: interleaves baseline and
+/// no-op-sink rounds (so clock drift hits both equally) and compares the
+/// best round of each. The criterion samples above are too short in fast
+/// mode to assert on directly.
+fn assert_noop_overhead(name: &str, codec: &starlink_mdl::MdlCodec, wire: &[u8]) {
+    use std::time::Instant;
+
+    let round = |f: &mut dyn FnMut()| {
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < std::time::Duration::from_millis(10) {
+            for _ in 0..64 {
+                f();
+            }
+            iters += 64;
+        }
+        start.elapsed().as_nanos() as f64 / iters as f64
+    };
+
+    let mut base = f64::INFINITY;
+    let mut noop = f64::INFINITY;
+    for _ in 0..5 {
+        base = base.min(round(&mut || {
+            criterion::black_box(codec.parse_uninstrumented(wire).unwrap());
+        }));
+        noop = noop.min(round(&mut || {
+            criterion::black_box(codec.parse(wire).unwrap());
+        }));
+    }
+    println!("sink-overhead gate: {name}: base {base:.1} ns, noop-sink {noop:.1} ns");
+    assert!(
+        noop <= base * 1.05 + 50.0,
+        "{name}: no-op sink overhead too high: {noop:.1} ns vs {base:.1} ns baseline"
+    );
+}
+
 /// Last target: dumps everything measured in this process to
 /// `BENCH_codec.json` at the repo root (or `$BENCH_CODEC_JSON`).
 fn emit_baseline(_c: &mut Criterion) {
@@ -192,6 +297,6 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
     targets = bench_compose, bench_parse, bench_dispatch, bench_compose_reuse,
-        bench_spec_compilation, emit_baseline
+        bench_sink_overhead, bench_spec_compilation, emit_baseline
 }
 criterion_main!(benches);

@@ -10,6 +10,7 @@
 //!     --loop              emit the deployable service-loop form
 //!     --out <file>        write the merged model (DSL) instead of stdout
 //! starlink models <dir>                  load a model bundle, summarise
+//! starlink stats <endpoint-or-file>      fetch or parse a telemetry snapshot
 //! ```
 //!
 //! Registry file format (one declaration per line):
@@ -26,6 +27,8 @@ use starlink_core::ModelRegistry;
 use starlink_mdl::{MdlCodec, MessageCodec};
 use starlink_message::equiv::SemanticRegistry;
 use starlink_mtl::MtlProgram;
+use starlink_net::{Endpoint, NetworkEngine};
+use starlink_telemetry::Snapshot;
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -38,6 +41,7 @@ fn main() -> ExitCode {
         Some("mtl-check") => cmd_mtl_check(&args[1..]),
         Some("merge") => cmd_merge(&args[1..]),
         Some("models") => cmd_models(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", USAGE);
             Ok(())
@@ -63,6 +67,7 @@ USAGE:
   starlink mtl-check <program.mtl>...    parse MTL programs
   starlink merge <client.atm> <service.atm> [--registry <file>] [--loop] [--out <file>]
   starlink models <dir>                  load a model bundle, summarise
+  starlink stats <endpoint-or-file>      fetch or parse a telemetry snapshot
 ";
 
 fn read(path: &str) -> Result<String, String> {
@@ -230,6 +235,59 @@ fn cmd_merge(args: &[String]) -> Result<(), String> {
         None => print!("{text}"),
     }
     Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let [target] = args else {
+        return Err("stats: exactly one <endpoint> or <snapshot file> expected".into());
+    };
+    let text = if target.contains("://") {
+        let endpoint: Endpoint = target
+            .parse()
+            .map_err(|e| format!("stats: {target}: {e}"))?;
+        let mut conn = NetworkEngine::with_defaults()
+            .connect(&endpoint)
+            .map_err(|e| format!("stats: cannot connect to {target}: {e}"))?;
+        let frame = conn
+            .receive()
+            .map_err(|e| format!("stats: receiving snapshot from {target}: {e}"))?;
+        String::from_utf8(frame).map_err(|_| format!("stats: {target}: snapshot is not UTF-8"))?
+    } else {
+        read(target)?
+    };
+    let snapshot = Snapshot::parse_text(&text).map_err(|e| format!("stats: {target}: {e}"))?;
+    print!("{}", summarise_snapshot(&snapshot));
+    print!("{}", snapshot.render_text());
+    Ok(())
+}
+
+/// A short human-readable digest printed ahead of the raw exposition text.
+fn summarise_snapshot(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# sessions: {} started, {} finished, {} failed\n",
+        snap.counter("starlink_sessions_started_total"),
+        snap.counter("starlink_sessions_finished_total"),
+        snap.counter("starlink_sessions_failed_total"),
+    ));
+    let probe = |outcome| {
+        snap.value("starlink_dispatch_probe_total", &[("outcome", outcome)])
+            .unwrap_or(0)
+    };
+    out.push_str(&format!(
+        "# dispatch: {} hit, {} miss, {} fallback\n",
+        probe("hit"),
+        probe("miss"),
+        probe("fallback"),
+    ));
+    out.push_str(&format!(
+        "# wire: {} msg in / {} msg out, {} B in / {} B out\n",
+        snap.counter("starlink_wire_messages_in_total"),
+        snap.counter("starlink_wire_messages_out_total"),
+        snap.counter("starlink_wire_bytes_in_total"),
+        snap.counter("starlink_wire_bytes_out_total"),
+    ));
+    out
 }
 
 fn cmd_models(args: &[String]) -> Result<(), String> {

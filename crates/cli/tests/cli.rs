@@ -162,6 +162,74 @@ fn models_summarises_bundle() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+fn sample_snapshot_text() -> String {
+    use starlink_telemetry::{Recorder, TelemetrySink, TraceEvent};
+    let recorder = Recorder::new();
+    recorder.record(&TraceEvent::SessionStarted);
+    recorder.record(&TraceEvent::SessionFinished {
+        final_state: "s2",
+        exchanges: 2,
+    });
+    recorder.record(&TraceEvent::DispatchProbe {
+        outcome: starlink_telemetry::ProbeOutcome::Hit,
+    });
+    recorder.snapshot().render_text()
+}
+
+#[test]
+fn stats_renders_snapshot_file() {
+    let dir = temp_dir("stats-file");
+    let file = dir.join("snapshot.prom");
+    std::fs::write(&file, sample_snapshot_text()).unwrap();
+    let output = bin().arg("stats").arg(&file).output().unwrap();
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("# sessions: 1 started, 1 finished, 0 failed"));
+    assert!(stdout.contains("# dispatch: 1 hit, 0 miss, 0 fallback"));
+    assert!(stdout.contains("starlink_sessions_finished_total 1"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stats_fetches_snapshot_over_tcp() {
+    let listener = starlink_net::NetworkEngine::with_defaults()
+        .listen(&"tcp://127.0.0.1:0".parse().unwrap())
+        .unwrap();
+    let endpoint = listener.local_endpoint();
+    let server = std::thread::spawn(move || {
+        let mut conn = listener.accept().unwrap();
+        conn.send(sample_snapshot_text().as_bytes()).unwrap();
+    });
+    let output = bin()
+        .arg("stats")
+        .arg(endpoint.to_string())
+        .output()
+        .unwrap();
+    server.join().unwrap();
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("starlink_sessions_started_total 1"));
+}
+
+#[test]
+fn stats_rejects_non_snapshot_file() {
+    let dir = temp_dir("stats-bad");
+    let file = dir.join("garbage.txt");
+    std::fs::write(&file, "this is not an exposition\n").unwrap();
+    let output = bin().arg("stats").arg(&file).output().unwrap();
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("stats"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn unknown_command_fails_with_usage() {
     let output = bin().arg("frobnicate").output().unwrap();

@@ -12,6 +12,7 @@ use crate::session_core::{
 use crate::Result;
 use starlink_mtl::TranslationCache;
 use starlink_net::{Connection, Endpoint, NetworkEngine};
+use starlink_telemetry::{TelemetrySink, TraceEvent};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -64,6 +65,9 @@ pub(crate) fn run_blocking(
     };
     let mut core = SessionCore::new(spec.clone(), persist)?;
     let result = drive(&mut core, spec, net, timeout, client_conn, state, stop);
+    if let Err(err) = &result {
+        record_failure(spec.telemetry.as_ref(), err);
+    }
     // Persistent state flows back even when the traversal failed — a
     // timeout-and-retry must keep the translation cache.
     let persist = core.into_persist();
@@ -129,6 +133,21 @@ fn drive(
     }
 }
 
+/// Reports a traversal failure to the sink, filtering out the outcomes
+/// that are part of normal operation: receive timeouts restart the
+/// traversal, a closed connection is how clients hang up, and
+/// [`CoreError::HostStopped`] is orderly shutdown.
+pub(crate) fn record_failure(sink: &dyn TelemetrySink, err: &CoreError) {
+    match err {
+        CoreError::Net(starlink_net::NetError::Closed)
+        | CoreError::Net(starlink_net::NetError::Timeout)
+        | CoreError::HostStopped => {}
+        _ => sink.record(&TraceEvent::SessionFailed {
+            stage: err.stage_label(),
+        }),
+    }
+}
+
 /// Blocking receive that honours an optional stop flag by receiving in
 /// short slices. Timeout and close semantics match a plain
 /// `receive_timeout` call.
@@ -143,9 +162,7 @@ fn receive_stoppable(
     let deadline = Instant::now() + timeout;
     loop {
         if stop.load(Ordering::SeqCst) {
-            return Err(CoreError::Aborted {
-                reason: "host shutting down".to_owned(),
-            });
+            return Err(CoreError::HostStopped);
         }
         let now = Instant::now();
         if now >= deadline {

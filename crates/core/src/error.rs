@@ -58,6 +58,28 @@ pub enum CoreError {
     HostStopped,
 }
 
+impl CoreError {
+    /// A stable, low-cardinality label naming the failure stage, used as
+    /// the `stage` of [`starlink_telemetry::TraceEvent::SessionFailed`]
+    /// events (and therefore safe to aggregate on).
+    pub fn stage_label(&self) -> &'static str {
+        match self {
+            CoreError::Message(_) => "message",
+            CoreError::Mdl(_) => "mdl",
+            CoreError::Automaton(_) => "automaton",
+            CoreError::Mtl(_) => "mtl",
+            CoreError::Net(_) => "net",
+            CoreError::NotRegistered { .. } => "not-registered",
+            CoreError::UnexpectedMessage { .. } => "unexpected-message",
+            CoreError::Stuck { .. } => "stuck",
+            CoreError::Binding { .. } => "binding",
+            CoreError::Aborted { .. } => "aborted",
+            CoreError::UnexpectedEvent { .. } => "unexpected-event",
+            CoreError::HostStopped => "host-stopped",
+        }
+    }
+}
+
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -60,6 +60,12 @@ pub use rpc::{RpcClient, RpcServer, ServiceHandler, ServiceInterface};
 pub use session_core::{
     ColorConfig, SessionCore, SessionEvent, SessionIo, SessionOutcome, SessionPersist, SessionSpec,
 };
+// Telemetry types appearing in this crate's public API (sinks are
+// injected through `SessionSpec` / `Mediator::with_telemetry`; snapshots
+// come back out of `MediatorHost::telemetry_snapshot`).
+pub use starlink_telemetry::{
+    noop_sink, FanoutSink, NoopSink, Recorder, Snapshot, TelemetrySink, TraceEvent,
+};
 
 /// Convenience result alias for this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

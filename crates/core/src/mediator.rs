@@ -27,9 +27,10 @@ use starlink_automata::{Action, Automaton};
 use starlink_mtl::MtlProgram;
 use starlink_net::channel::{self, Receiver, Sender};
 use starlink_net::{Connection, Endpoint, NetError, NetworkEngine};
+use starlink_telemetry::{FanoutSink, Recorder, Snapshot, TelemetrySink, TraceEvent};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -97,6 +98,7 @@ impl Mediator {
                 colors,
                 gammas,
                 templates,
+                telemetry: starlink_telemetry::noop_sink(),
             }),
             net,
             timeout: Duration::from_secs(10),
@@ -106,6 +108,33 @@ impl Mediator {
     /// The merged automaton this mediator executes.
     pub fn automaton(&self) -> &Automaton {
         &self.spec.automaton
+    }
+
+    /// The sink sessions report into (the no-op sink unless one was
+    /// injected).
+    pub fn telemetry(&self) -> Arc<dyn TelemetrySink> {
+        self.spec.telemetry.clone()
+    }
+
+    /// Injects the telemetry sink every session driven from this mediator
+    /// reports into. Rebuilds the shared [`SessionSpec`]; call before
+    /// deploying (sessions already running keep the old sink).
+    pub fn set_telemetry(&mut self, sink: Arc<dyn TelemetrySink>) {
+        self.spec = Arc::new(SessionSpec {
+            automaton: self.spec.automaton.clone(),
+            client_color: self.spec.client_color,
+            colors: self.spec.colors.clone(),
+            gammas: self.spec.gammas.clone(),
+            templates: self.spec.templates.clone(),
+            telemetry: sink,
+        });
+    }
+
+    /// Builder-style [`Mediator::set_telemetry`].
+    #[must_use]
+    pub fn with_telemetry(mut self, sink: Arc<dyn TelemetrySink>) -> Mediator {
+        self.set_telemetry(sink);
+        self
     }
 
     /// The shared session specification, for driving [`SessionCore`]
@@ -140,8 +169,30 @@ impl Mediator {
 pub struct MediatorHost {
     endpoint: Endpoint,
     stop: Arc<AtomicBool>,
-    sessions: Arc<AtomicUsize>,
+    /// The sink sessions report into. Deployment guarantees it
+    /// aggregates (a [`Recorder`] is installed when the injected sink
+    /// does not snapshot), so [`MediatorHost::telemetry_snapshot`] and
+    /// [`MediatorHost::completed_sessions`] always have data.
+    telemetry: Arc<dyn TelemetrySink>,
     threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Ensures the mediator's sink can snapshot: keeps an
+/// already-aggregating sink as-is, otherwise installs a fresh
+/// [`Recorder`] (fanned out with the caller's sink when one is present).
+fn install_recorder(mediator: &mut Mediator) -> Arc<dyn TelemetrySink> {
+    let existing = mediator.telemetry();
+    if existing.snapshot().is_some() {
+        return existing;
+    }
+    let recorder: Arc<dyn TelemetrySink> = Arc::new(Recorder::new());
+    let sink: Arc<dyn TelemetrySink> = if existing.enabled() {
+        Arc::new(FanoutSink::new(vec![existing, recorder]))
+    } else {
+        recorder
+    };
+    mediator.set_telemetry(sink.clone());
+    sink
 }
 
 impl MediatorHost {
@@ -155,15 +206,15 @@ impl MediatorHost {
     /// # Errors
     ///
     /// Bind failures.
-    pub fn deploy(mediator: Mediator, listen: &Endpoint) -> Result<MediatorHost> {
+    pub fn deploy(mut mediator: Mediator, listen: &Endpoint) -> Result<MediatorHost> {
         let listener = mediator.net.listen(listen)?;
         let endpoint = listener.local_endpoint();
+        let telemetry = install_recorder(&mut mediator);
         let stop = Arc::new(AtomicBool::new(false));
-        let sessions = Arc::new(AtomicUsize::new(0));
         let accept_stop = stop.clone();
-        let session_count = sessions.clone();
         let mediator = Arc::new(mediator);
         let accept_thread = std::thread::spawn(move || {
+            let sink = mediator.spec.telemetry.clone();
             let mut session_threads: Vec<JoinHandle<()>> = Vec::new();
             while !accept_stop.load(Ordering::SeqCst) {
                 let mut conn = match listener.try_accept() {
@@ -176,13 +227,14 @@ impl MediatorHost {
                     Err(_) => {
                         // Transient (e.g. EMFILE, aborted handshake):
                         // keep serving.
+                        sink.record(&TraceEvent::AcceptError);
                         std::thread::sleep(ACCEPT_BACKOFF);
                         continue;
                     }
                 };
+                sink.record(&TraceEvent::SessionAccepted);
                 let mediator = mediator.clone();
                 let stop = accept_stop.clone();
-                let session_count = session_count.clone();
                 session_threads.push(std::thread::spawn(move || {
                     // The translation cache persists across traversals on
                     // the same connection (getInfo after search).
@@ -196,11 +248,12 @@ impl MediatorHost {
                             &mut state,
                             Some(&stop),
                         );
+                        // Completions are counted by the session core
+                        // itself (`SessionFinished` fires before the
+                        // final reply hits the wire); failures by the
+                        // driver.
                         match run {
-                            Ok(_) => {
-                                session_count.fetch_add(1, Ordering::SeqCst);
-                            }
-                            Err(CoreError::Net(NetError::Closed)) => return,
+                            Ok(_) => {}
                             Err(CoreError::Net(NetError::Timeout)) => continue,
                             Err(_) => return,
                         }
@@ -214,7 +267,7 @@ impl MediatorHost {
         Ok(MediatorHost {
             endpoint,
             stop,
-            sessions,
+            telemetry,
             threads: Mutex::new(vec![accept_thread]),
         })
     }
@@ -233,19 +286,22 @@ impl MediatorHost {
     ///
     /// Bind failures.
     pub fn deploy_multiplexed(
-        mediator: Mediator,
+        mut mediator: Mediator,
         listen: &Endpoint,
         max_workers: usize,
     ) -> Result<MediatorHost> {
         let listener = mediator.net.listen(listen)?;
         let endpoint = listener.local_endpoint();
+        let telemetry = install_recorder(&mut mediator);
         let stop = Arc::new(AtomicBool::new(false));
-        let sessions = Arc::new(AtomicUsize::new(0));
         let max_workers = max_workers.max(1);
         // Bounded: when every worker is busy and the buffer is full, the
         // coordinator's send blocks until a slot frees up.
         let (jobs_tx, jobs_rx) = channel::bounded::<Job>(max_workers * 2);
         let (done_tx, done_rx) = channel::unbounded::<MuxSession>();
+        // Jobs handed to the pool and not yet handed back; shared so the
+        // coordinator and workers keep the queue-depth gauge honest.
+        let queue_depth = Arc::new(AtomicUsize::new(0));
         let mediator = Arc::new(mediator);
         let mut threads = Vec::with_capacity(max_workers + 1);
         for _ in 0..max_workers {
@@ -253,9 +309,9 @@ impl MediatorHost {
             let done_tx = done_tx.clone();
             let mediator = mediator.clone();
             let stop = stop.clone();
-            let session_count = sessions.clone();
+            let queue_depth = queue_depth.clone();
             threads.push(std::thread::spawn(move || {
-                worker_loop(&jobs_rx, &done_tx, &mediator, &stop, &session_count);
+                worker_loop(&jobs_rx, &done_tx, &mediator, &stop, &queue_depth);
             }));
         }
         drop(jobs_rx);
@@ -269,12 +325,13 @@ impl MediatorHost {
                 &done_rx,
                 &coord_mediator,
                 &coord_stop,
+                &queue_depth,
             );
         }));
         Ok(MediatorHost {
             endpoint,
             stop,
-            sessions,
+            telemetry,
             threads: Mutex::new(threads),
         })
     }
@@ -285,21 +342,94 @@ impl MediatorHost {
     }
 
     /// Number of completed sessions (traversals) so far.
+    ///
+    /// Thin shim over the telemetry counter
+    /// `starlink_sessions_finished_total`: the session core emits
+    /// `SessionFinished` *before* the final reply reaches the wire, so —
+    /// as before the counter moved into telemetry — a client that has
+    /// observed its session complete can rely on this count already
+    /// agreeing (see `docs/engine.md`).
     pub fn completed_sessions(&self) -> usize {
-        self.sessions.load(Ordering::SeqCst)
+        self.telemetry
+            .snapshot()
+            .map(|s| s.counter("starlink_sessions_finished_total") as usize)
+            .unwrap_or(0)
+    }
+
+    /// The sink this host's sessions report into (always able to
+    /// snapshot; see [`MediatorHost::telemetry_snapshot`]).
+    pub fn telemetry(&self) -> Arc<dyn TelemetrySink> {
+        self.telemetry.clone()
+    }
+
+    /// A point-in-time aggregate of everything the host's sessions have
+    /// reported: session lifecycle counts, transition and γ-translation
+    /// rates, parse/compose latency histograms, wire volume, pool reuse,
+    /// and host-level accept/queue gauges. Render with
+    /// [`Snapshot::render_text`] for the Prometheus-style exposition the
+    /// `starlink stats` CLI command consumes.
+    pub fn telemetry_snapshot(&self) -> Snapshot {
+        self.telemetry.snapshot().unwrap_or_default()
+    }
+
+    /// Serves [`MediatorHost::telemetry_snapshot`] at `listen`: every
+    /// accepted connection receives one frame containing the rendered
+    /// text exposition and is then dropped. Poll with
+    /// `starlink stats <endpoint>`. Returns the bound endpoint; the
+    /// serving thread is joined at [`MediatorHost::shutdown`].
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn expose_stats(&self, net: &NetworkEngine, listen: &Endpoint) -> Result<Endpoint> {
+        let listener = net.listen(listen)?;
+        let endpoint = listener.local_endpoint();
+        let stop = self.stop.clone();
+        let sink = self.telemetry.clone();
+        let handle = std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                match listener.try_accept() {
+                    Ok(Some(mut conn)) => {
+                        let text = sink.snapshot().unwrap_or_default().render_text();
+                        let _ = conn.send(text.as_bytes());
+                    }
+                    Ok(None) => std::thread::sleep(IDLE_POLL),
+                    Err(NetError::Closed) => break,
+                    Err(_) => std::thread::sleep(ACCEPT_BACKOFF),
+                }
+            }
+        });
+        self.threads
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(handle);
+        Ok(endpoint)
     }
 
     /// Shuts the host down and waits for its threads: no new sessions
     /// start, in-flight sessions are interrupted at their next receive
     /// slice, and the accept/coordinator/worker threads are joined.
+    ///
+    /// Robust against worker panics: a poisoned thread-list lock is
+    /// recovered (the panicking thread only ever pushed complete
+    /// handles), and each panic is recorded as a `WorkerPanic` telemetry
+    /// event instead of propagating out of shutdown.
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::SeqCst);
         let handles: Vec<JoinHandle<()>> = {
-            let mut guard = self.threads.lock().unwrap();
+            let mut guard = match self.threads.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => {
+                    self.telemetry.record(&TraceEvent::WorkerPanic);
+                    poisoned.into_inner()
+                }
+            };
             guard.drain(..).collect()
         };
         for h in handles {
-            let _ = h.join();
+            if h.join().is_err() {
+                self.telemetry.record(&TraceEvent::WorkerPanic);
+            }
         }
     }
 }
@@ -334,7 +464,7 @@ fn worker_loop(
     done: &Sender<MuxSession>,
     mediator: &Arc<Mediator>,
     stop: &AtomicBool,
-    session_count: &AtomicUsize,
+    queue_depth: &AtomicUsize,
 ) {
     while let Ok(job) = jobs.recv() {
         let Job { mut session, event } = job;
@@ -345,11 +475,19 @@ fn worker_loop(
         // On engine or I/O failure the session (and its connections) is
         // dropped, mirroring the thread-per-connection host; otherwise it
         // parked awaiting input — hand it back for polling.
-        if stepped
-            .and_then(|ios| pump(&mut session, ios, mediator, stop, session_count))
-            .is_ok()
-            && done.send(session).is_err()
-        {
+        let parked = match stepped.and_then(|ios| pump(&mut session, ios, mediator, stop)) {
+            Ok(()) => true,
+            Err(err) => {
+                driver::record_failure(mediator.spec.telemetry.as_ref(), &err);
+                false
+            }
+        };
+        let depth = queue_depth.fetch_sub(1, Ordering::SeqCst).saturating_sub(1);
+        mediator
+            .spec
+            .telemetry
+            .record(&TraceEvent::QueueDepth { depth });
+        if parked && done.send(session).is_err() {
             return;
         }
     }
@@ -363,19 +501,13 @@ fn pump(
     mut ios: Vec<SessionIo>,
     mediator: &Arc<Mediator>,
     stop: &AtomicBool,
-    session_count: &AtomicUsize,
 ) -> Result<()> {
     loop {
-        // Count completions before executing the batch's sends: once the
-        // final reply is on the wire the client may observe the session
-        // as done, and the counter must already agree.
-        let mut finished = false;
-        for io in &ios {
-            if matches!(io, SessionIo::Finished(_)) {
-                session_count.fetch_add(1, Ordering::SeqCst);
-                finished = true;
-            }
-        }
+        // Completions are counted by the core's `SessionFinished` event,
+        // emitted during `advance()` — i.e. before this loop executes the
+        // batch's sends, so once the final reply is on the wire the
+        // counter already agrees.
+        let finished = ios.iter().any(|io| matches!(io, SessionIo::Finished(_)));
         for io in ios {
             match io {
                 SessionIo::Finished(_) => {}
@@ -424,9 +556,19 @@ fn coordinator_loop(
     done: &Receiver<MuxSession>,
     mediator: &Arc<Mediator>,
     stop: &AtomicBool,
+    queue_depth: &AtomicUsize,
 ) {
+    let sink = mediator.spec.telemetry.clone();
     let mut parked: HashMap<u64, MuxSession> = HashMap::new();
     let mut next_id: u64 = 0;
+    let mut last_active = usize::MAX;
+    // Submitting a job before `jobs.send` keeps the gauge an upper bound
+    // even while the send blocks on a full channel.
+    let submit = |session: MuxSession, event: Option<SessionEvent>| {
+        let depth = queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
+        sink.record(&TraceEvent::QueueDepth { depth });
+        jobs.send(Job { session, event }).is_ok()
+    };
     while !stop.load(Ordering::SeqCst) {
         let mut progressed = false;
         // 1. Workers hand back sessions parked on a receive.
@@ -438,6 +580,7 @@ fn coordinator_loop(
         // 2. New client connections start fresh sessions.
         match listener.try_accept() {
             Ok(Some(client)) => {
+                sink.record(&TraceEvent::SessionAccepted);
                 if let Ok(core) = SessionCore::new(mediator.spec.clone(), SessionPersist::new()) {
                     let session = MuxSession {
                         core,
@@ -446,13 +589,7 @@ fn coordinator_loop(
                         awaiting: None,
                         deadline: Instant::now() + mediator.timeout,
                     };
-                    if jobs
-                        .send(Job {
-                            session,
-                            event: None,
-                        })
-                        .is_err()
-                    {
+                    if !submit(session, None) {
                         return;
                     }
                     progressed = true;
@@ -460,7 +597,10 @@ fn coordinator_loop(
             }
             Ok(None) => {}
             Err(NetError::Closed) => break,
-            Err(_) => std::thread::sleep(ACCEPT_BACKOFF),
+            Err(_) => {
+                sink.record(&TraceEvent::AcceptError);
+                std::thread::sleep(ACCEPT_BACKOFF);
+            }
         }
         // 3. Poll parked sessions for readiness (or timeout).
         let now = Instant::now();
@@ -499,15 +639,16 @@ fn coordinator_loop(
                 continue; // dropped
             };
             session.awaiting = None;
-            if jobs
-                .send(Job {
-                    session,
-                    event: Some(event),
-                })
-                .is_err()
-            {
+            if !submit(session, Some(event)) {
                 return;
             }
+        }
+        // Sessions this host is responsible for right now: parked here
+        // plus handed to the pool; sampled whenever it moves.
+        let active = parked.len() + queue_depth.load(Ordering::SeqCst);
+        if active != last_active {
+            last_active = active;
+            sink.record(&TraceEvent::ActiveSessions { count: active });
         }
         if !progressed {
             std::thread::sleep(IDLE_POLL);

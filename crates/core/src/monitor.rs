@@ -12,6 +12,7 @@ use crate::error::CoreError;
 use crate::Result;
 use starlink_automata::{Action, Automaton};
 use starlink_message::Direction;
+use starlink_telemetry::{TelemetrySink, TraceEvent};
 use std::sync::Arc;
 
 /// A cursor over a usage-protocol automaton, advanced by observed
@@ -21,6 +22,7 @@ pub struct ProtocolMonitor {
     automaton: Arc<Automaton>,
     current: String,
     observed: usize,
+    telemetry: Arc<dyn TelemetrySink>,
 }
 
 impl ProtocolMonitor {
@@ -39,7 +41,17 @@ impl ProtocolMonitor {
             automaton: Arc::new(automaton),
             current,
             observed: 0,
+            telemetry: starlink_telemetry::noop_sink(),
         })
+    }
+
+    /// Reports conformance violations into `sink` (as
+    /// `MonitorViolation` events) in addition to returning them as
+    /// errors.
+    #[must_use]
+    pub fn with_telemetry(mut self, sink: Arc<dyn TelemetrySink>) -> ProtocolMonitor {
+        self.telemetry = sink;
+        self
     }
 
     /// The state the monitor is currently in.
@@ -89,6 +101,10 @@ impl ProtocolMonitor {
                 None => break,
             }
         }
+        self.telemetry.record(&TraceEvent::MonitorViolation {
+            state: &self.current,
+            action: &label,
+        });
         Err(CoreError::UnexpectedMessage {
             state: self.current.clone(),
             received: label,
@@ -250,7 +266,76 @@ mod tests {
             automaton: Arc::new(a),
             current: "s0".to_owned(),
             observed: 0,
+            telemetry: starlink_telemetry::noop_sink(),
         };
         assert_eq!(m.allowed(), vec!["!op"]);
+    }
+
+    #[test]
+    fn observe_after_accepting_state_is_a_violation() {
+        let mut m = monitor();
+        m.observe(Direction::Sent, "flickr.photos.search").unwrap();
+        m.observe(Direction::Received, "flickr.photos.search.reply")
+            .unwrap();
+        m.observe(Direction::Sent, "flickr.photos.getInfo").unwrap();
+        m.observe(Direction::Received, "flickr.photos.getInfo.reply")
+            .unwrap();
+        assert!(m.is_accepting());
+        // The protocol run is over: nothing further is allowed, and the
+        // violation leaves the monitor in its accepting state.
+        let err = m
+            .observe(Direction::Sent, "flickr.photos.search")
+            .unwrap_err();
+        match err {
+            CoreError::UnexpectedMessage { expected, .. } => assert!(expected.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(m.is_accepting());
+        assert_eq!(m.observed(), 4);
+    }
+
+    #[test]
+    fn reset_restores_initial_state_and_clears_observed() {
+        let mut m = monitor();
+        let initial = m.state().to_owned();
+        m.observe(Direction::Sent, "flickr.photos.search").unwrap();
+        m.observe(Direction::Received, "flickr.photos.search.reply")
+            .unwrap();
+        assert_ne!(m.state(), initial);
+        assert_eq!(m.observed(), 2);
+        m.reset();
+        assert_eq!(m.state(), initial);
+        assert_eq!(m.observed(), 0);
+        assert_eq!(m.allowed(), vec!["!flickr.photos.search"]);
+    }
+
+    #[test]
+    fn allowed_order_is_stable_across_calls() {
+        // Two sends offered from the same state: `allowed()` must report
+        // them in a deterministic (insertion) order, call after call.
+        let mut a = Automaton::new("Branch", 1);
+        a.add_state("s0");
+        a.add_state("s1");
+        a.add_state("s2");
+        a.set_initial("s0").unwrap();
+        a.add_final("s1").unwrap();
+        a.add_final("s2").unwrap();
+        a.add_send("s0", "s1", template("zeta", &[])).unwrap();
+        a.add_send("s0", "s2", template("alpha", &[])).unwrap();
+        let m = ProtocolMonitor::new(a).unwrap();
+        let first = m.allowed();
+        assert_eq!(first, vec!["!zeta", "!alpha"]);
+        for _ in 0..10 {
+            assert_eq!(m.allowed(), first);
+        }
+    }
+
+    #[test]
+    fn violation_is_reported_to_telemetry() {
+        let recorder = Arc::new(starlink_telemetry::Recorder::new());
+        let mut m = monitor().with_telemetry(recorder.clone());
+        assert!(m.observe(Direction::Sent, "flickr.photos.getInfo").is_err());
+        let snap = starlink_telemetry::TelemetrySink::snapshot(recorder.as_ref()).unwrap();
+        assert_eq!(snap.counter("starlink_monitor_violations_total"), 1);
     }
 }

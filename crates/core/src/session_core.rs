@@ -31,8 +31,10 @@ use starlink_automata::{Action, Automaton, Transition};
 use starlink_mdl::MessageCodec;
 use starlink_message::{AbstractMessage, Direction, History, Value};
 use starlink_mtl::{MtlContext, MtlProgram, TranslationCache};
+use starlink_telemetry::{TelemetrySink, TraceEvent, TransitionKind};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Per-color protocol configuration as the sans-I/O core sees it: how to
 /// read/write that color's wire format and (for service colors) where
@@ -65,6 +67,11 @@ pub struct SessionSpec {
     pub gammas: HashMap<(String, String), MtlProgram>,
     /// Application message templates by message name.
     pub templates: HashMap<String, AbstractMessage>,
+    /// Where the engine reports trace events. Injected explicitly (the
+    /// engine never discovers a sink ambiently); defaults to
+    /// [`starlink_telemetry::NoopSink`] via [`Mediator::new`][crate::Mediator::new],
+    /// whose disabled fast path keeps instrumentation cost negligible.
+    pub telemetry: Arc<dyn TelemetrySink>,
 }
 
 /// What a completed session looked like.
@@ -221,6 +228,7 @@ impl SessionCore {
             });
         }
         self.started = true;
+        self.spec.telemetry.record(&TraceEvent::SessionStarted);
         let mut ios = Vec::new();
         self.advance(&mut ios)?;
         Ok(ios)
@@ -234,6 +242,7 @@ impl SessionCore {
     /// Any engine failure while advancing the fresh traversal.
     pub fn restart(&mut self) -> Result<Vec<SessionIo>> {
         self.reset_traversal();
+        self.spec.telemetry.record(&TraceEvent::SessionStarted);
         let mut ios = Vec::new();
         self.advance(&mut ios)?;
         Ok(ios)
@@ -301,7 +310,16 @@ impl SessionCore {
     /// Returns a cleared wire buffer from the session's recycle pool, or
     /// a fresh one when the pool is empty.
     fn take_wire_buf(&mut self) -> Vec<u8> {
-        self.persist.wire_pool.pop().unwrap_or_default()
+        match self.persist.wire_pool.pop() {
+            Some(buf) => {
+                self.spec.telemetry.record(&TraceEvent::WireBufReused);
+                buf
+            }
+            None => {
+                self.spec.telemetry.record(&TraceEvent::WireBufAllocated);
+                Vec::new()
+            }
+        }
     }
 
     /// Returns a [`SessionIo::SendWire`] buffer to the recycle pool once
@@ -338,15 +356,29 @@ impl SessionCore {
         // Local handle so borrows of the spec don't pin `self`.
         let spec = Arc::clone(&self.spec);
         let cfg = color_config(&spec, color)?;
+        let traced = spec.telemetry.enabled();
+        if traced {
+            spec.telemetry.record(&TraceEvent::WireIn {
+                color,
+                bytes: wire.len(),
+            });
+        }
+        let parse_start = traced.then(Instant::now);
+        let proto = cfg.codec.parse(wire)?;
+        if let Some(start) = parse_start {
+            spec.telemetry.record(&TraceEvent::Parse {
+                variant: proto.name(),
+                wire_bytes: wire.len(),
+                nanos: start.elapsed().as_nanos() as u64,
+            });
+        }
         let app = if color == spec.client_color {
-            let proto = cfg.codec.parse(wire)?;
             let app = cfg
                 .binding
                 .unbind_request(&proto, |action| spec.templates.get(action))?;
             self.last_request_proto.insert(color, proto);
             app
         } else {
-            let proto = cfg.codec.parse(wire)?;
             let op = self.pending_op.get(&color).cloned().unwrap_or_default();
             let template = spec.templates.get(&format!("{op}.reply"));
             cfg.binding.unbind_reply(&proto, &op, template)?
@@ -364,6 +396,14 @@ impl SessionCore {
             expected: outgoing.iter().map(|t| t.action.label()).collect(),
         })?;
         let to = t.to.clone();
+        if traced {
+            spec.telemetry.record(&TraceEvent::Transition {
+                from: &self.current,
+                to: &to,
+                kind: TransitionKind::Receive,
+                color,
+            });
+        }
         self.history.record(to.clone(), Direction::Received, app);
         self.exchanges += 1;
         self.current = to;
@@ -375,12 +415,20 @@ impl SessionCore {
     fn advance(&mut self, ios: &mut Vec<SessionIo>) -> Result<()> {
         // Local handle so borrows of the spec don't pin `self`.
         let spec = Arc::clone(&self.spec);
+        let traced = spec.telemetry.enabled();
         loop {
             let outgoing: Vec<&Transition> =
                 spec.automaton.transitions_from(&self.current).collect();
             if outgoing.is_empty() {
                 if spec.automaton.is_final(&self.current) {
                     self.finished = true;
+                    // Emitted before the driver executes any sends still
+                    // in `ios`, so the completion counter is ahead of the
+                    // final reply reaching the wire (docs/engine.md).
+                    spec.telemetry.record(&TraceEvent::SessionFinished {
+                        final_state: &self.current,
+                        exchanges: self.exchanges,
+                    });
                     ios.push(SessionIo::Finished(SessionOutcome {
                         final_state: self.current.clone(),
                         exchanges: self.exchanges,
@@ -409,7 +457,7 @@ impl SessionCore {
                     let from = t.from.clone();
                     let program = spec
                         .gammas
-                        .get(&(from, to.clone()))
+                        .get(&(from.clone(), to.clone()))
                         .cloned()
                         .unwrap_or_else(MtlProgram::empty);
                     let mut ctx = MtlContext::new(&self.history, &mut self.persist.cache);
@@ -418,7 +466,22 @@ impl SessionCore {
                     if let Some(send_template) = next_send_template(&spec.automaton, &to) {
                         ctx.add_output(to.clone(), AbstractMessage::new(send_template.name()));
                     }
-                    program.execute(&mut ctx)?;
+                    let gamma_start = traced.then(Instant::now);
+                    program.execute_traced(&mut ctx, spec.telemetry.as_ref())?;
+                    if let Some(start) = gamma_start {
+                        spec.telemetry.record(&TraceEvent::GammaExecuted {
+                            from: &from,
+                            to: &to,
+                            statements: program.statements.len(),
+                            nanos: start.elapsed().as_nanos() as u64,
+                        });
+                        spec.telemetry.record(&TraceEvent::Transition {
+                            from: &from,
+                            to: &to,
+                            kind: TransitionKind::Gamma,
+                            color: state_color(&spec.automaton, &from).unwrap_or(0),
+                        });
+                    }
                     if let Some(host) = ctx.host_override() {
                         self.persist.host_override = Some(host.to_owned());
                     }
@@ -443,7 +506,19 @@ impl SessionCore {
                             .binding
                             .bind_reply(&app, self.last_request_proto.get(&color))?;
                         let mut bytes = self.take_wire_buf();
+                        let compose_start = traced.then(Instant::now);
                         cfg.codec.compose_into(&proto, &mut bytes)?;
+                        if let Some(start) = compose_start {
+                            spec.telemetry.record(&TraceEvent::Compose {
+                                variant: proto.name(),
+                                wire_bytes: bytes.len(),
+                                nanos: start.elapsed().as_nanos() as u64,
+                            });
+                            spec.telemetry.record(&TraceEvent::WireOut {
+                                color,
+                                bytes: bytes.len(),
+                            });
+                        }
                         ios.push(SessionIo::SendWire { color, bytes });
                     } else {
                         // Request to a service.
@@ -454,15 +529,39 @@ impl SessionCore {
                             }
                         }
                         let mut bytes = self.take_wire_buf();
+                        let compose_start = traced.then(Instant::now);
                         cfg.codec.compose_into(&proto, &mut bytes)?;
+                        if let Some(start) = compose_start {
+                            spec.telemetry.record(&TraceEvent::Compose {
+                                variant: proto.name(),
+                                wire_bytes: bytes.len(),
+                                nanos: start.elapsed().as_nanos() as u64,
+                            });
+                            spec.telemetry.record(&TraceEvent::WireOut {
+                                color,
+                                bytes: bytes.len(),
+                            });
+                        }
                         if !self.persist.connected.contains(&color) {
                             let endpoint = service_endpoint(&spec, &self.persist, color)?;
                             self.persist.connected.insert(color);
+                            if traced {
+                                spec.telemetry
+                                    .record(&TraceEvent::ServiceConnected { color });
+                            }
                             ios.push(SessionIo::ConnectService { color, endpoint });
                         }
                         ios.push(SessionIo::SendWire { color, bytes });
                         self.last_request_proto.insert(color, proto);
                         self.pending_op.insert(color, app.name().to_owned());
+                    }
+                    if traced {
+                        spec.telemetry.record(&TraceEvent::Transition {
+                            from: &self.current,
+                            to: &t.to,
+                            kind: TransitionKind::Send,
+                            color,
+                        });
                     }
                     self.history
                         .record(self.current.clone(), Direction::Sent, app);

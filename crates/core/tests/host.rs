@@ -270,3 +270,70 @@ fn accept_loop_survives_clients_that_vanish() {
     let reply = client.call(&request).unwrap();
     assert_eq!(reply.get("z").unwrap().to_text(), "4");
 }
+
+#[test]
+fn telemetry_snapshot_aggregates_and_serves_over_the_wire() {
+    let (net, mediator) = service_and_mediator("telemetry");
+    let host =
+        MediatorHost::deploy_multiplexed(mediator, &Endpoint::memory("tel-bridge"), 2).unwrap();
+    let stats_endpoint = host
+        .expose_stats(&net, &Endpoint::memory("tel-stats"))
+        .unwrap();
+
+    let mut client = giop_client(&net, host.endpoint());
+    let mut request = AbstractMessage::new("Add");
+    request.set_field("x", Value::Int(20));
+    request.set_field("y", Value::Int(22));
+    let reply = client.call(&request).unwrap();
+    assert_eq!(reply.get("z").unwrap().to_text(), "42");
+
+    let snap = host.telemetry_snapshot();
+    assert!(snap.counter("starlink_sessions_started_total") >= 1);
+    assert_eq!(
+        snap.counter("starlink_sessions_finished_total") as usize,
+        host.completed_sessions()
+    );
+    assert!(snap.counter("starlink_sessions_accepted_total") >= 1);
+    // The whole mediation is visible: client request in, service leg
+    // out+in, client reply out — with a γ-translation in between.
+    assert!(snap.counter("starlink_wire_messages_in_total") >= 2);
+    assert!(snap.counter("starlink_wire_messages_out_total") >= 2);
+    assert!(snap.family("starlink_gamma_duration_ns").is_some());
+    assert!(snap.counter("starlink_parse_bytes_total") > 0);
+
+    // The stats endpoint serves the same exposition, one frame per
+    // connection, parseable back into a snapshot.
+    let mut stats_conn = net.connect(&stats_endpoint).unwrap();
+    let frame = stats_conn.receive().unwrap();
+    let text = String::from_utf8(frame).unwrap();
+    let parsed = starlink_core::Snapshot::parse_text(&text).unwrap();
+    assert!(parsed.counter("starlink_sessions_finished_total") >= 1);
+
+    host.shutdown();
+}
+
+#[test]
+fn injected_sink_receives_events_alongside_host_recorder() {
+    let (net, mediator) = service_and_mediator("fanout");
+    let recorder = Arc::new(starlink_core::Recorder::new());
+    let mediator =
+        mediator.with_telemetry(recorder.clone() as Arc<dyn starlink_core::TelemetrySink>);
+    let host = MediatorHost::deploy(mediator, &Endpoint::memory("fanout-bridge")).unwrap();
+
+    let mut client = giop_client(&net, host.endpoint());
+    let mut request = AbstractMessage::new("Add");
+    request.set_field("x", Value::Int(1));
+    request.set_field("y", Value::Int(2));
+    client.call(&request).unwrap();
+
+    // The caller's sink already aggregates, so the host adopts it
+    // directly: both views are the same counter.
+    let via_host = host.telemetry_snapshot();
+    let via_caller = starlink_core::TelemetrySink::snapshot(recorder.as_ref()).unwrap();
+    assert!(via_caller.counter("starlink_sessions_finished_total") >= 1);
+    assert_eq!(
+        via_host.counter("starlink_sessions_finished_total"),
+        via_caller.counter("starlink_sessions_finished_total")
+    );
+    host.shutdown();
+}

@@ -6,6 +6,8 @@ use crate::text::TextProgram;
 use crate::xml::XmlProgram;
 use crate::Result;
 use starlink_message::AbstractMessage;
+use starlink_telemetry::{ProbeOutcome, TelemetrySink, TraceEvent};
+use std::sync::Arc;
 
 /// A parser/composer pair over abstract messages.
 ///
@@ -106,11 +108,27 @@ impl Program {
 /// a probe dispatch table: parsing tests the wire bytes against each probe
 /// and runs only plausible variants, falling back to
 /// [`MdlCodec::parse_try_all`] when nothing matches.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct MdlCodec {
     programs: Vec<Program>,
     probes: Vec<Probe>,
     names: Vec<String>,
+    /// Where dispatch-probe outcomes are reported; the no-op default
+    /// keeps the hot parse path on [`MdlCodec::parse_uninstrumented`]'s
+    /// exact instruction sequence behind one `enabled()` check.
+    telemetry: Arc<dyn TelemetrySink>,
+}
+
+impl std::fmt::Debug for MdlCodec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Manual: the sink trait object has no Debug; everything else is
+        // what you'd want to see anyway.
+        f.debug_struct("MdlCodec")
+            .field("programs", &self.programs)
+            .field("probes", &self.probes)
+            .field("names", &self.names)
+            .finish_non_exhaustive()
+    }
 }
 
 impl MdlCodec {
@@ -144,7 +162,16 @@ impl MdlCodec {
             programs,
             probes,
             names,
+            telemetry: starlink_telemetry::noop_sink(),
         })
+    }
+
+    /// Reports dispatch-probe outcomes (hit / miss / fallback-to-try-all)
+    /// into `sink` on every [`MessageCodec::parse`] call.
+    #[must_use]
+    pub fn with_telemetry(mut self, sink: Arc<dyn TelemetrySink>) -> MdlCodec {
+        self.telemetry = sink;
+        self
     }
 
     /// Parses with a specific message variant rather than trying all.
@@ -183,6 +210,28 @@ impl MdlCodec {
         Err(MdlError::NoVariantMatched { attempts })
     }
 
+    /// The dispatching parse with no telemetry whatsoever — byte-for-byte
+    /// the pre-instrumentation hot path. [`MessageCodec::parse`] delegates
+    /// here when the sink is disabled; benches use it as the baseline the
+    /// `< 5 %` no-op-sink overhead bound is asserted against.
+    ///
+    /// # Errors
+    ///
+    /// As [`MessageCodec::parse`].
+    pub fn parse_uninstrumented(&self, data: &[u8]) -> Result<AbstractMessage> {
+        for (program, probe) in self.programs.iter().zip(&self.probes) {
+            if probe.rejects(data) {
+                continue;
+            }
+            if let Ok(msg) = program.parse(data) {
+                return Ok(msg);
+            }
+        }
+        // Nothing matched: re-run exhaustively to build the attempt
+        // report, lazily paying the diagnostic cost only on failure.
+        self.parse_try_all(data)
+    }
+
     /// Names of the variants whose compiled probe can actually reject
     /// input (an always-attempt probe discriminates nothing). Lets tests
     /// and benches verify dispatch coverage.
@@ -202,17 +251,33 @@ impl MessageCodec for MdlCodec {
     /// Probes only reject input their variant could never parse, so the
     /// outcome — chosen variant, fields, or failure — is identical to
     /// [`MdlCodec::parse_try_all`].
+    ///
+    /// With a telemetry sink attached (see [`MdlCodec::with_telemetry`])
+    /// every probe rejection, admitted-and-parsed variant, and fallback
+    /// to the exhaustive path is reported as a `DispatchProbe` event.
     fn parse(&self, data: &[u8]) -> Result<AbstractMessage> {
+        if !self.telemetry.enabled() {
+            return self.parse_uninstrumented(data);
+        }
         for (program, probe) in self.programs.iter().zip(&self.probes) {
             if probe.rejects(data) {
+                self.telemetry.record(&TraceEvent::DispatchProbe {
+                    outcome: ProbeOutcome::Miss,
+                });
                 continue;
             }
             if let Ok(msg) = program.parse(data) {
+                self.telemetry.record(&TraceEvent::DispatchProbe {
+                    outcome: ProbeOutcome::Hit,
+                });
                 return Ok(msg);
             }
         }
         // Nothing matched: re-run exhaustively to build the attempt
         // report, lazily paying the diagnostic cost only on failure.
+        self.telemetry.record(&TraceEvent::DispatchProbe {
+            outcome: ProbeOutcome::Fallback,
+        });
         self.parse_try_all(data)
     }
 
@@ -324,6 +389,42 @@ mod tests {
             codec.parse_named("Nope", &bytes),
             Err(MdlError::UnknownMessage { .. })
         ));
+    }
+
+    #[test]
+    fn dispatch_outcomes_are_reported() {
+        let recorder = Arc::new(starlink_telemetry::Recorder::new());
+        let codec = MdlCodec::from_text(GIOP)
+            .unwrap()
+            .with_telemetry(recorder.clone());
+        let mut reply = AbstractMessage::new("GIOPReply");
+        reply.set_field("RequestID", Value::UInt(9));
+        reply.set_field("ReplyStatus", Value::UInt(0));
+        reply.set_field("ParameterArray", Value::Array(vec![]));
+        let bytes = codec.compose(&reply).unwrap();
+        // The request probe rejects (miss), the reply probe admits (hit).
+        codec.parse(&bytes).unwrap();
+        // Garbage: both probes reject, then the try-all fallback runs.
+        let _ = codec.parse(&[0xFF; 2]);
+        let snap = TelemetrySink::snapshot(recorder.as_ref()).unwrap();
+        let probe = |outcome| snap.value("starlink_dispatch_probe_total", &[("outcome", outcome)]);
+        assert_eq!(probe("hit"), Some(1));
+        assert_eq!(probe("miss"), Some(3));
+        assert_eq!(probe("fallback"), Some(1));
+    }
+
+    #[test]
+    fn uninstrumented_parse_agrees_with_dispatch() {
+        let codec = MdlCodec::from_text(GIOP).unwrap();
+        let mut req = AbstractMessage::new("GIOPRequest");
+        req.set_field("RequestID", Value::UInt(4));
+        req.set_field("Operation", Value::from("Add"));
+        req.set_field("ParameterArray", Value::Array(vec![Value::Int(1)]));
+        let bytes = codec.compose(&req).unwrap();
+        assert_eq!(
+            codec.parse(&bytes).unwrap(),
+            codec.parse_uninstrumented(&bytes).unwrap()
+        );
     }
 
     #[test]

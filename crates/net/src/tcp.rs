@@ -2,6 +2,7 @@ use crate::connection::{Connection, Listener, Transport};
 use crate::endpoint::Endpoint;
 use crate::framing::{Framing, LengthPrefixFraming};
 use crate::{NetError, Result};
+use starlink_telemetry::{TelemetrySink, TraceEvent};
 use std::io::{Read, Write};
 use std::net::{TcpListener as StdListener, TcpStream};
 use std::sync::Arc;
@@ -11,9 +12,13 @@ use std::time::Duration;
 ///
 /// The default framing is the 4-byte length prefix; construct with
 /// [`TcpTransport::with_framing`] (e.g. HTTP framing) to carry
-/// self-delimiting protocols verbatim.
+/// self-delimiting protocols verbatim. Attach a telemetry sink with
+/// [`TcpTransport::with_telemetry`] to count raw transport bytes
+/// (framing overhead included) and extracted frames on every connection
+/// the transport creates or accepts.
 pub struct TcpTransport {
     framing: Arc<dyn Framing>,
+    telemetry: Arc<dyn TelemetrySink>,
 }
 
 impl Default for TcpTransport {
@@ -27,18 +32,31 @@ impl TcpTransport {
     pub fn new() -> TcpTransport {
         TcpTransport {
             framing: Arc::new(LengthPrefixFraming::default()),
+            telemetry: starlink_telemetry::noop_sink(),
         }
     }
 
     /// TCP with custom framing.
     pub fn with_framing(framing: Arc<dyn Framing>) -> TcpTransport {
-        TcpTransport { framing }
+        TcpTransport {
+            framing,
+            telemetry: starlink_telemetry::noop_sink(),
+        }
+    }
+
+    /// Reports `TransportBytesIn`/`TransportBytesOut`/`TransportFrameIn`
+    /// events for every connection this transport creates or accepts.
+    #[must_use]
+    pub fn with_telemetry(mut self, sink: Arc<dyn TelemetrySink>) -> TcpTransport {
+        self.telemetry = sink;
+        self
     }
 }
 
 struct TcpConnection {
     stream: TcpStream,
     framing: Arc<dyn Framing>,
+    telemetry: Arc<dyn TelemetrySink>,
     buffer: Vec<u8>,
     /// Scratch buffer for wrapping outgoing frames; its capacity is
     /// reused across `send` calls so steady-state sends don't allocate.
@@ -47,7 +65,11 @@ struct TcpConnection {
 }
 
 impl TcpConnection {
-    fn new(stream: TcpStream, framing: Arc<dyn Framing>) -> TcpConnection {
+    fn new(
+        stream: TcpStream,
+        framing: Arc<dyn Framing>,
+        telemetry: Arc<dyn TelemetrySink>,
+    ) -> TcpConnection {
         let peer = stream
             .peer_addr()
             .map(|a| a.to_string())
@@ -55,6 +77,7 @@ impl TcpConnection {
         TcpConnection {
             stream,
             framing,
+            telemetry,
             buffer: Vec::new(),
             write_buf: Vec::new(),
             peer,
@@ -63,7 +86,7 @@ impl TcpConnection {
 
     fn read_frame(&mut self) -> Result<Vec<u8>> {
         loop {
-            if let Some(frame) = self.framing.extract_from(&mut self.buffer)? {
+            if let Some(frame) = self.extract_buffered()? {
                 return Ok(frame);
             }
             let mut chunk = [0u8; 8192];
@@ -71,12 +94,19 @@ impl TcpConnection {
             if n == 0 {
                 return Err(NetError::Closed);
             }
+            self.telemetry
+                .record(&TraceEvent::TransportBytesIn { bytes: n });
             self.buffer.extend_from_slice(&chunk[..n]);
         }
     }
 
     fn extract_buffered(&mut self) -> Result<Option<Vec<u8>>> {
-        self.framing.extract_from(&mut self.buffer)
+        let frame = self.framing.extract_from(&mut self.buffer)?;
+        if let Some(frame) = &frame {
+            self.telemetry
+                .record(&TraceEvent::TransportFrameIn { bytes: frame.len() });
+        }
+        Ok(frame)
     }
 }
 
@@ -88,6 +118,10 @@ impl Connection for TcpConnection {
             .stream
             .write_all(&wire)
             .and_then(|()| self.stream.flush());
+        if r.is_ok() {
+            self.telemetry
+                .record(&TraceEvent::TransportBytesOut { bytes: wire.len() });
+        }
         self.write_buf = wire;
         r?;
         Ok(())
@@ -117,7 +151,11 @@ impl Connection for TcpConnection {
             let mut chunk = [0u8; 8192];
             match self.stream.read(&mut chunk) {
                 Ok(0) => break Err(NetError::Closed),
-                Ok(n) => self.buffer.extend_from_slice(&chunk[..n]),
+                Ok(n) => {
+                    self.telemetry
+                        .record(&TraceEvent::TransportBytesIn { bytes: n });
+                    self.buffer.extend_from_slice(&chunk[..n]);
+                }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break Ok(()),
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(e) => break Err(e.into()),
@@ -138,6 +176,7 @@ impl Connection for TcpConnection {
 struct TcpListenerWrapper {
     listener: StdListener,
     framing: Arc<dyn Framing>,
+    telemetry: Arc<dyn TelemetrySink>,
     endpoint: Endpoint,
 }
 
@@ -146,7 +185,11 @@ impl Listener for TcpListenerWrapper {
         let (stream, _) = self.listener.accept()?;
         stream.set_nodelay(true).ok();
         stream.set_nonblocking(false).ok();
-        Ok(Box::new(TcpConnection::new(stream, self.framing.clone())))
+        Ok(Box::new(TcpConnection::new(
+            stream,
+            self.framing.clone(),
+            self.telemetry.clone(),
+        )))
     }
 
     fn try_accept(&self) -> Result<Option<Box<dyn Connection>>> {
@@ -162,6 +205,7 @@ impl Listener for TcpListenerWrapper {
                 Ok(Some(Box::new(TcpConnection::new(
                     stream,
                     self.framing.clone(),
+                    self.telemetry.clone(),
                 ))))
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
@@ -185,6 +229,7 @@ impl Transport for TcpTransport {
         Ok(Box::new(TcpListenerWrapper {
             listener,
             framing: self.framing.clone(),
+            telemetry: self.telemetry.clone(),
             endpoint: Endpoint::tcp(actual.ip().to_string(), actual.port()),
         }))
     }
@@ -192,7 +237,11 @@ impl Transport for TcpTransport {
     fn connect(&self, endpoint: &Endpoint) -> Result<Box<dyn Connection>> {
         let stream = TcpStream::connect(endpoint.authority())?;
         stream.set_nodelay(true).ok();
-        Ok(Box::new(TcpConnection::new(stream, self.framing.clone())))
+        Ok(Box::new(TcpConnection::new(
+            stream,
+            self.framing.clone(),
+            self.telemetry.clone(),
+        )))
     }
 }
 
@@ -299,6 +348,30 @@ mod tests {
             }
         }
         assert!(accepted.is_some());
+    }
+
+    #[test]
+    fn transport_bytes_and_frames_are_counted() {
+        let recorder = Arc::new(starlink_telemetry::Recorder::new());
+        let t = TcpTransport::new().with_telemetry(recorder.clone());
+        let listener = t.listen(&Endpoint::tcp("127.0.0.1", 0)).unwrap();
+        let ep = listener.local_endpoint();
+        let handle = std::thread::spawn(move || {
+            let mut server = listener.accept().unwrap();
+            let req = server.receive().unwrap();
+            server.send(&req).unwrap();
+        });
+        let mut client = t.connect(&ep).unwrap();
+        client.send(b"hello").unwrap();
+        assert_eq!(client.receive().unwrap(), b"hello");
+        handle.join().unwrap();
+
+        let snap = TelemetrySink::snapshot(recorder.as_ref()).unwrap();
+        // Client + server each sent one 5-byte payload + 4-byte length
+        // prefix, and each read the peer's 9 wire bytes.
+        assert_eq!(snap.counter("starlink_transport_bytes_out_total"), 18);
+        assert_eq!(snap.counter("starlink_transport_bytes_in_total"), 18);
+        assert_eq!(snap.counter("starlink_transport_frames_in_total"), 2);
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! The trace-event taxonomy.
+//!
+//! Events borrow their string data (`&'a str`) so constructing one on the
+//! hot path never allocates; sinks that need to retain an event own the
+//! copy themselves (see [`crate::Recorder`]'s ring buffer).
+
+/// How a compiled dispatch probe fared for one `parse` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// The probe admitted a variant and that variant parsed the wire.
+    Hit,
+    /// The probe rejected a variant without running its parser.
+    Miss,
+    /// No probed variant parsed; the codec fell back to the exhaustive
+    /// try-all loop.
+    Fallback,
+}
+
+impl ProbeOutcome {
+    /// Stable label used in metric exposition.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProbeOutcome::Hit => "hit",
+            ProbeOutcome::Miss => "miss",
+            ProbeOutcome::Fallback => "fallback",
+        }
+    }
+}
+
+/// The kind of automaton transition an engine crossed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransitionKind {
+    /// A receiving state consumed a matching message.
+    Receive,
+    /// A sending state emitted its message.
+    Send,
+    /// A no-action (γ) translation state.
+    Gamma,
+}
+
+impl TransitionKind {
+    /// Stable label used in metric exposition.
+    pub fn label(self) -> &'static str {
+        match self {
+            TransitionKind::Receive => "receive",
+            TransitionKind::Send => "send",
+            TransitionKind::Gamma => "gamma",
+        }
+    }
+}
+
+/// One structured trace event, emitted by an instrumented layer into a
+/// [`crate::TelemetrySink`].
+///
+/// Durations are nanoseconds (`u64` wraps after ~584 years of one span).
+/// The taxonomy is `#[non_exhaustive]`: sinks must tolerate events they
+/// do not know (typically by ignoring them).
+#[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
+pub enum TraceEvent<'a> {
+    /// An automaton traversal began (per traversal, including restarts
+    /// on a kept-alive connection).
+    SessionStarted,
+    /// A traversal reached an accepting state.
+    SessionFinished {
+        /// The accepting state.
+        final_state: &'a str,
+        /// Application messages exchanged during the traversal.
+        exchanges: usize,
+    },
+    /// A traversal aborted with an engine, codec, translation or I/O
+    /// error.
+    SessionFailed {
+        /// Coarse failure stage (an error-variant label such as `"mdl"`,
+        /// `"net"`, `"unexpected-message"`).
+        stage: &'a str,
+    },
+    /// The engine crossed an automaton transition.
+    Transition {
+        /// Source state.
+        from: &'a str,
+        /// Target state.
+        to: &'a str,
+        /// Receive / send / γ.
+        kind: TransitionKind,
+        /// The color driving the transition (for γ-transitions at
+        /// bi-colored states: the color of the source state's first
+        /// coloring).
+        color: u8,
+    },
+    /// A γ-transition's MTL program ran to completion.
+    GammaExecuted {
+        /// Source state of the γ-transition.
+        from: &'a str,
+        /// Target state of the γ-transition.
+        to: &'a str,
+        /// Statements in the translation program.
+        statements: usize,
+        /// Wall-clock execution time in nanoseconds.
+        nanos: u64,
+    },
+    /// An MTL program execution completed (emitted by the interpreter
+    /// itself; γ-executions additionally emit [`TraceEvent::GammaExecuted`]
+    /// from the engine).
+    Translate {
+        /// Statements executed (top-level).
+        statements: usize,
+        /// Wall-clock execution time in nanoseconds.
+        nanos: u64,
+    },
+    /// A conformance monitor rejected an observed action.
+    MonitorViolation {
+        /// The monitor's current state.
+        state: &'a str,
+        /// The offending action label (e.g. `"!flickr.photos.search"`).
+        action: &'a str,
+    },
+    /// A dispatch-probe outcome inside a codec `parse`.
+    DispatchProbe {
+        /// Hit, miss, or fallback to try-all.
+        outcome: ProbeOutcome,
+    },
+    /// A wire message parsed successfully.
+    Parse {
+        /// The message variant that matched.
+        variant: &'a str,
+        /// Wire size in bytes.
+        wire_bytes: usize,
+        /// Wall-clock parse time in nanoseconds.
+        nanos: u64,
+    },
+    /// An abstract message composed to wire bytes.
+    Compose {
+        /// The message variant composed.
+        variant: &'a str,
+        /// Wire size in bytes.
+        wire_bytes: usize,
+        /// Wall-clock compose time in nanoseconds.
+        nanos: u64,
+    },
+    /// A framed message arrived at the session engine.
+    WireIn {
+        /// Automaton color the bytes arrived on.
+        color: u8,
+        /// Frame payload size in bytes.
+        bytes: usize,
+    },
+    /// A framed message left the session engine.
+    WireOut {
+        /// Automaton color the bytes left on.
+        color: u8,
+        /// Frame payload size in bytes.
+        bytes: usize,
+    },
+    /// A send reused a pooled wire buffer (allocation-free compose).
+    WireBufReused,
+    /// A send had to allocate a fresh wire buffer (pool empty).
+    WireBufAllocated,
+    /// A session opened its connection to a service color.
+    ServiceConnected {
+        /// The service color connected.
+        color: u8,
+    },
+    /// Raw bytes read from a transport (framing overhead included).
+    TransportBytesIn {
+        /// Bytes read.
+        bytes: usize,
+    },
+    /// Raw bytes written to a transport (framing overhead included).
+    TransportBytesOut {
+        /// Bytes written.
+        bytes: usize,
+    },
+    /// A framing layer extracted one complete frame from the stream.
+    TransportFrameIn {
+        /// Frame payload size in bytes.
+        bytes: usize,
+    },
+    /// A host accepted a client connection.
+    SessionAccepted,
+    /// A host's accept loop hit a (transient) accept error.
+    AcceptError,
+    /// A worker thread panicked (observed via a poisoned lock or a
+    /// failed join at shutdown).
+    WorkerPanic,
+    /// Multiplexed-host coordinator: sessions currently parked plus
+    /// in-flight (sampled when the count changes).
+    ActiveSessions {
+        /// Session count.
+        count: usize,
+    },
+    /// Multiplexed-host coordinator: jobs handed to the worker pool and
+    /// not yet handed back (sampled when the count changes).
+    QueueDepth {
+        /// Outstanding job count.
+        depth: usize,
+    },
+}

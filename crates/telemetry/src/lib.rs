@@ -1,0 +1,51 @@
+//! Structured tracing + metrics for the Starlink runtime.
+//!
+//! The paper's evaluation (§6) reports per-phase costs — parse, compose,
+//! translate, γ-transition execution — and this crate makes those phases
+//! observable at runtime instead of only in offline benchmarks:
+//!
+//! * [`TraceEvent`] — the event taxonomy: session lifecycle, automaton
+//!   transitions (with color info), γ/MTL execution, codec parse/compose
+//!   durations, dispatch probe outcomes, wire bytes in/out, buffer-pool
+//!   reuse, and mediator-host health (queue depth, accept errors, worker
+//!   panics). Events borrow their string data, so *emitting* one never
+//!   allocates.
+//! * [`TelemetrySink`] — where events go. Sinks are always injected
+//!   explicitly (via `SessionSpec`, codec/transport builders, …), never
+//!   ambient. The [`NoopSink`] default reports `enabled() == false` so
+//!   instrumented hot paths skip event construction entirely; its cost is
+//!   one virtual call per instrumentation site.
+//! * [`Counter`] / [`Gauge`] / [`Histogram`] — lock-free atomic metric
+//!   primitives (fixed-bucket latency histograms, no allocation on the
+//!   observe path).
+//! * [`Recorder`] — the batteries-included sink: aggregates every event
+//!   into the metric primitives and keeps a bounded ring buffer of recent
+//!   events for debugging.
+//! * [`Snapshot`] — a point-in-time aggregate with Prometheus-style text
+//!   exposition ([`Snapshot::render_text`]) and a round-tripping parser
+//!   ([`Snapshot::parse_text`]) so the format is stable and scriptable
+//!   (the `starlink stats` CLI renders either a live endpoint or a saved
+//!   exposition file).
+//!
+//! This crate has **zero dependencies** (not even on `starlink-message`)
+//! so every layer of the workspace — codecs, the MTL interpreter,
+//! transports, the session engine — can emit events without dependency
+//! cycles.
+//!
+//! See `docs/observability.md` for the full taxonomy, the sink contract,
+//! and measured overhead numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod metrics;
+mod recorder;
+mod sink;
+mod snapshot;
+
+pub use event::{ProbeOutcome, TraceEvent, TransitionKind};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, DURATION_BUCKET_BOUNDS_NS};
+pub use recorder::Recorder;
+pub use sink::{noop_sink, FanoutSink, NoopSink, TelemetrySink};
+pub use snapshot::{ExpositionError, MetricFamily, MetricKind, Sample, Snapshot};

@@ -1,0 +1,200 @@
+//! Lock-free metric primitives: counters, gauges, fixed-bucket
+//! histograms. All operations are single atomic instructions (relaxed
+//! ordering — metrics tolerate torn cross-metric reads; each individual
+//! value is always consistent).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A sampled value that can move both ways; remembers the largest value
+/// ever set so load peaks survive into snapshots.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    current: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub const fn new() -> Gauge {
+        Gauge {
+            current: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records a new sample.
+    pub fn set(&self, value: u64) {
+        self.current.store(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// The most recent sample.
+    pub fn get(&self) -> u64 {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// The largest sample ever recorded.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+}
+
+/// Upper bounds (inclusive, in nanoseconds) of the fixed duration
+/// histogram buckets; a final implicit `+Inf` bucket catches the rest.
+/// Powers of four from 256 ns to ~67 ms cover everything from a probe
+/// test to a slow XML compose.
+pub const DURATION_BUCKET_BOUNDS_NS: [u64; 10] = [
+    256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576, 4_194_304, 16_777_216, 67_108_864,
+];
+
+const BUCKETS: usize = DURATION_BUCKET_BOUNDS_NS.len() + 1;
+
+/// A fixed-bucket histogram of nanosecond durations. Observing is two
+/// relaxed atomic adds plus one bucket increment — no locks, no
+/// allocation.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram over [`DURATION_BUCKET_BOUNDS_NS`].
+    pub const fn new() -> Histogram {
+        // `AtomicU64` is not `Copy`; an inline-const block repeats it.
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one duration in nanoseconds.
+    pub fn observe(&self, nanos: u64) {
+        let idx = DURATION_BUCKET_BOUNDS_NS
+            .iter()
+            .position(|&bound| nanos <= bound)
+            .unwrap_or(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(nanos, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed nanoseconds.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough point-in-time copy (relaxed reads; buckets
+    /// observed mid-update may momentarily disagree with `count` by the
+    /// in-flight observation).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut cumulative = Vec::with_capacity(BUCKETS);
+        let mut running = 0u64;
+        for bucket in &self.buckets {
+            running += bucket.load(Ordering::Relaxed);
+            cumulative.push(running);
+        }
+        HistogramSnapshot {
+            cumulative_counts: cumulative,
+            sum: self.sum(),
+            count: self.count(),
+        }
+    }
+}
+
+/// Point-in-time histogram state, cumulative per bucket (Prometheus
+/// `le`-style: entry *i* counts observations ≤ bound *i*, the final
+/// entry counts everything).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Cumulative observation counts, one per bound plus the `+Inf`
+    /// bucket.
+    pub cumulative_counts: Vec<u64>,
+    /// Sum of observed nanoseconds.
+    pub sum: u64,
+    /// Total observations.
+    pub count: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_tracks_current_and_max() {
+        let g = Gauge::new();
+        g.set(3);
+        g.set(9);
+        g.set(4);
+        assert_eq!(g.get(), 4);
+        assert_eq!(g.max(), 9);
+    }
+
+    #[test]
+    fn histogram_buckets_cumulate() {
+        let h = Histogram::new();
+        h.observe(100); // ≤ 256
+        h.observe(300); // ≤ 1024
+        h.observe(u64::MAX / 2); // +Inf bucket
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.cumulative_counts[0], 1);
+        assert_eq!(snap.cumulative_counts[1], 2);
+        assert_eq!(*snap.cumulative_counts.last().unwrap(), 3);
+        assert_eq!(snap.sum, 100 + 300 + u64::MAX / 2);
+    }
+
+    #[test]
+    fn histogram_boundary_is_inclusive() {
+        let h = Histogram::new();
+        h.observe(256);
+        assert_eq!(h.snapshot().cumulative_counts[0], 1);
+    }
+}

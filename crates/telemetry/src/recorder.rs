@@ -1,0 +1,353 @@
+//! The batteries-included sink: aggregates events into lock-free metrics
+//! and keeps a bounded ring buffer of recent events.
+
+use crate::event::{ProbeOutcome, TraceEvent, TransitionKind};
+use crate::metrics::{Counter, Gauge, Histogram, DURATION_BUCKET_BOUNDS_NS};
+use crate::sink::TelemetrySink;
+use crate::snapshot::{MetricFamily, MetricKind, Sample, Snapshot};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Default capacity of the recent-events ring buffer.
+const DEFAULT_RING_CAPACITY: usize = 128;
+
+/// A [`TelemetrySink`] that aggregates every event into counters, gauges
+/// and fixed-bucket histograms (all lock-free on the record path except
+/// the bounded ring buffer of recent events, a short uncontended mutex),
+/// and snapshots them on demand.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    sessions_started: Counter,
+    sessions_finished: Counter,
+    sessions_failed: Counter,
+    exchanges: Counter,
+    transitions_receive: Counter,
+    transitions_send: Counter,
+    transitions_gamma: Counter,
+    gamma_duration_ns: Histogram,
+    translate_duration_ns: Histogram,
+    monitor_violations: Counter,
+    probe_hit: Counter,
+    probe_miss: Counter,
+    probe_fallback: Counter,
+    parse_duration_ns: Histogram,
+    parse_bytes: Counter,
+    compose_duration_ns: Histogram,
+    compose_bytes: Counter,
+    wire_bytes_in: Counter,
+    wire_bytes_out: Counter,
+    wire_messages_in: Counter,
+    wire_messages_out: Counter,
+    wire_buf_reused: Counter,
+    wire_buf_alloc: Counter,
+    service_connects: Counter,
+    transport_bytes_in: Counter,
+    transport_bytes_out: Counter,
+    transport_frames_in: Counter,
+    sessions_accepted: Counter,
+    accept_errors: Counter,
+    worker_panics: Counter,
+    active_sessions: Gauge,
+    queue_depth: Gauge,
+    ring_capacity: usize,
+    ring: Mutex<VecDeque<String>>,
+}
+
+impl Recorder {
+    /// A fresh recorder with the default ring-buffer capacity.
+    pub fn new() -> Recorder {
+        Recorder::with_ring_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// A fresh recorder keeping up to `capacity` recent events (0
+    /// disables event retention; metrics still aggregate).
+    pub fn with_ring_capacity(capacity: usize) -> Recorder {
+        Recorder {
+            ring_capacity: capacity,
+            ..Recorder::default()
+        }
+    }
+
+    /// The most recent events (oldest first), rendered as debug lines.
+    pub fn recent(&self) -> Vec<String> {
+        self.ring
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Completed traversals so far (shortcut for hosts that report a
+    /// session count without building a full snapshot).
+    pub fn sessions_finished(&self) -> u64 {
+        self.sessions_finished.get()
+    }
+
+    fn retain(&self, event: &TraceEvent<'_>) {
+        if self.ring_capacity == 0 {
+            return;
+        }
+        // Only lifecycle/diagnostic events are retained verbatim; the
+        // per-message firehose (parse, compose, wire bytes) stays
+        // aggregate-only so the ring holds interesting history.
+        let keep = matches!(
+            event,
+            TraceEvent::SessionStarted
+                | TraceEvent::SessionFinished { .. }
+                | TraceEvent::SessionFailed { .. }
+                | TraceEvent::MonitorViolation { .. }
+                | TraceEvent::AcceptError
+                | TraceEvent::WorkerPanic
+                | TraceEvent::ServiceConnected { .. }
+        );
+        if !keep {
+            return;
+        }
+        let mut ring = self
+            .ring
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if ring.len() == self.ring_capacity {
+            ring.pop_front();
+        }
+        ring.push_back(format!("{event:?}"));
+    }
+
+    /// Builds the snapshot (also available through the
+    /// [`TelemetrySink::snapshot`] trait method).
+    pub fn snapshot(&self) -> Snapshot {
+        let counter = |name: &str, c: &Counter| {
+            MetricFamily::simple(name, MetricKind::Counter, vec![Sample::plain(c.get())])
+        };
+        let gauge = |name: &str, value: u64| {
+            MetricFamily::simple(name, MetricKind::Gauge, vec![Sample::plain(value)])
+        };
+        let histogram = |name: &str, h: &Histogram| {
+            let snap = h.snapshot();
+            let mut samples = Vec::with_capacity(snap.cumulative_counts.len());
+            for (i, &cumulative) in snap.cumulative_counts.iter().enumerate() {
+                let le = DURATION_BUCKET_BOUNDS_NS
+                    .get(i)
+                    .map(|b| b.to_string())
+                    .unwrap_or_else(|| "+Inf".to_owned());
+                samples.push(Sample::labelled("le", &le, cumulative));
+            }
+            MetricFamily {
+                name: name.to_owned(),
+                kind: MetricKind::Histogram,
+                samples,
+                sum: Some(snap.sum),
+                count: Some(snap.count),
+            }
+        };
+        let families = vec![
+            counter("starlink_sessions_started_total", &self.sessions_started),
+            counter("starlink_sessions_finished_total", &self.sessions_finished),
+            counter("starlink_sessions_failed_total", &self.sessions_failed),
+            counter("starlink_exchanges_total", &self.exchanges),
+            MetricFamily::simple(
+                "starlink_transitions_total",
+                MetricKind::Counter,
+                vec![
+                    Sample::labelled("kind", "receive", self.transitions_receive.get()),
+                    Sample::labelled("kind", "send", self.transitions_send.get()),
+                    Sample::labelled("kind", "gamma", self.transitions_gamma.get()),
+                ],
+            ),
+            histogram("starlink_gamma_duration_ns", &self.gamma_duration_ns),
+            histogram(
+                "starlink_translate_duration_ns",
+                &self.translate_duration_ns,
+            ),
+            counter(
+                "starlink_monitor_violations_total",
+                &self.monitor_violations,
+            ),
+            MetricFamily::simple(
+                "starlink_dispatch_probe_total",
+                MetricKind::Counter,
+                vec![
+                    Sample::labelled("outcome", "hit", self.probe_hit.get()),
+                    Sample::labelled("outcome", "miss", self.probe_miss.get()),
+                    Sample::labelled("outcome", "fallback", self.probe_fallback.get()),
+                ],
+            ),
+            histogram("starlink_parse_duration_ns", &self.parse_duration_ns),
+            counter("starlink_parse_bytes_total", &self.parse_bytes),
+            histogram("starlink_compose_duration_ns", &self.compose_duration_ns),
+            counter("starlink_compose_bytes_total", &self.compose_bytes),
+            counter("starlink_wire_bytes_in_total", &self.wire_bytes_in),
+            counter("starlink_wire_bytes_out_total", &self.wire_bytes_out),
+            counter("starlink_wire_messages_in_total", &self.wire_messages_in),
+            counter("starlink_wire_messages_out_total", &self.wire_messages_out),
+            counter("starlink_wire_buf_reused_total", &self.wire_buf_reused),
+            counter("starlink_wire_buf_alloc_total", &self.wire_buf_alloc),
+            counter("starlink_service_connects_total", &self.service_connects),
+            counter(
+                "starlink_transport_bytes_in_total",
+                &self.transport_bytes_in,
+            ),
+            counter(
+                "starlink_transport_bytes_out_total",
+                &self.transport_bytes_out,
+            ),
+            counter(
+                "starlink_transport_frames_in_total",
+                &self.transport_frames_in,
+            ),
+            counter("starlink_sessions_accepted_total", &self.sessions_accepted),
+            counter("starlink_accept_errors_total", &self.accept_errors),
+            counter("starlink_worker_panics_total", &self.worker_panics),
+            gauge("starlink_active_sessions", self.active_sessions.get()),
+            gauge("starlink_active_sessions_peak", self.active_sessions.max()),
+            gauge("starlink_queue_depth", self.queue_depth.get()),
+            gauge("starlink_queue_depth_peak", self.queue_depth.max()),
+        ];
+        Snapshot { families }
+    }
+}
+
+impl TelemetrySink for Recorder {
+    fn record(&self, event: &TraceEvent<'_>) {
+        match *event {
+            TraceEvent::SessionStarted => self.sessions_started.inc(),
+            TraceEvent::SessionFinished { exchanges, .. } => {
+                self.sessions_finished.inc();
+                self.exchanges.add(exchanges as u64);
+            }
+            TraceEvent::SessionFailed { .. } => self.sessions_failed.inc(),
+            TraceEvent::Transition { kind, .. } => match kind {
+                TransitionKind::Receive => self.transitions_receive.inc(),
+                TransitionKind::Send => self.transitions_send.inc(),
+                TransitionKind::Gamma => self.transitions_gamma.inc(),
+            },
+            TraceEvent::GammaExecuted { nanos, .. } => self.gamma_duration_ns.observe(nanos),
+            TraceEvent::Translate { nanos, .. } => self.translate_duration_ns.observe(nanos),
+            TraceEvent::MonitorViolation { .. } => self.monitor_violations.inc(),
+            TraceEvent::DispatchProbe { outcome } => match outcome {
+                ProbeOutcome::Hit => self.probe_hit.inc(),
+                ProbeOutcome::Miss => self.probe_miss.inc(),
+                ProbeOutcome::Fallback => self.probe_fallback.inc(),
+            },
+            TraceEvent::Parse {
+                wire_bytes, nanos, ..
+            } => {
+                self.parse_duration_ns.observe(nanos);
+                self.parse_bytes.add(wire_bytes as u64);
+            }
+            TraceEvent::Compose {
+                wire_bytes, nanos, ..
+            } => {
+                self.compose_duration_ns.observe(nanos);
+                self.compose_bytes.add(wire_bytes as u64);
+            }
+            TraceEvent::WireIn { bytes, .. } => {
+                self.wire_bytes_in.add(bytes as u64);
+                self.wire_messages_in.inc();
+            }
+            TraceEvent::WireOut { bytes, .. } => {
+                self.wire_bytes_out.add(bytes as u64);
+                self.wire_messages_out.inc();
+            }
+            TraceEvent::WireBufReused => self.wire_buf_reused.inc(),
+            TraceEvent::WireBufAllocated => self.wire_buf_alloc.inc(),
+            TraceEvent::ServiceConnected { .. } => self.service_connects.inc(),
+            TraceEvent::TransportBytesIn { bytes } => self.transport_bytes_in.add(bytes as u64),
+            TraceEvent::TransportBytesOut { bytes } => self.transport_bytes_out.add(bytes as u64),
+            TraceEvent::TransportFrameIn { .. } => self.transport_frames_in.inc(),
+            TraceEvent::SessionAccepted => self.sessions_accepted.inc(),
+            TraceEvent::AcceptError => self.accept_errors.inc(),
+            TraceEvent::WorkerPanic => self.worker_panics.inc(),
+            TraceEvent::ActiveSessions { count } => self.active_sessions.set(count as u64),
+            TraceEvent::QueueDepth { depth } => self.queue_depth.set(depth as u64),
+        }
+        self.retain(event);
+    }
+
+    fn snapshot(&self) -> Option<Snapshot> {
+        Some(Recorder::snapshot(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_aggregate_into_the_snapshot() {
+        let r = Recorder::new();
+        r.record(&TraceEvent::SessionStarted);
+        r.record(&TraceEvent::SessionFinished {
+            final_state: "s9",
+            exchanges: 4,
+        });
+        r.record(&TraceEvent::Transition {
+            from: "s0",
+            to: "s1",
+            kind: TransitionKind::Receive,
+            color: 1,
+        });
+        r.record(&TraceEvent::DispatchProbe {
+            outcome: ProbeOutcome::Miss,
+        });
+        r.record(&TraceEvent::Parse {
+            variant: "GIOPRequest",
+            wire_bytes: 64,
+            nanos: 1_500,
+        });
+        r.record(&TraceEvent::QueueDepth { depth: 5 });
+        r.record(&TraceEvent::QueueDepth { depth: 2 });
+
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("starlink_sessions_started_total"), 1);
+        assert_eq!(snap.counter("starlink_sessions_finished_total"), 1);
+        assert_eq!(snap.counter("starlink_exchanges_total"), 4);
+        assert_eq!(
+            snap.value("starlink_transitions_total", &[("kind", "receive")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.value("starlink_dispatch_probe_total", &[("outcome", "miss")]),
+            Some(1)
+        );
+        assert_eq!(snap.counter("starlink_parse_bytes_total"), 64);
+        let parse = snap.family("starlink_parse_duration_ns").unwrap();
+        assert_eq!(parse.count, Some(1));
+        assert_eq!(parse.sum, Some(1_500));
+        assert_eq!(snap.counter("starlink_queue_depth"), 2);
+        assert_eq!(snap.counter("starlink_queue_depth_peak"), 5);
+    }
+
+    #[test]
+    fn ring_buffer_is_bounded_and_selective() {
+        let r = Recorder::with_ring_capacity(2);
+        r.record(&TraceEvent::SessionStarted);
+        // Firehose events are not retained.
+        r.record(&TraceEvent::WireIn { color: 1, bytes: 9 });
+        r.record(&TraceEvent::SessionFailed { stage: "net" });
+        r.record(&TraceEvent::SessionFinished {
+            final_state: "s2",
+            exchanges: 1,
+        });
+        let recent = r.recent();
+        assert_eq!(recent.len(), 2);
+        assert!(recent[0].contains("SessionFailed"));
+        assert!(recent[1].contains("SessionFinished"));
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_exposition() {
+        let r = Recorder::new();
+        r.record(&TraceEvent::SessionStarted);
+        r.record(&TraceEvent::GammaExecuted {
+            from: "a",
+            to: "b",
+            statements: 3,
+            nanos: 999,
+        });
+        let snap = r.snapshot();
+        let back = Snapshot::parse_text(&snap.render_text()).unwrap();
+        assert_eq!(back, snap);
+    }
+}

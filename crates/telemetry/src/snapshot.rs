@@ -1,0 +1,428 @@
+//! Point-in-time metric aggregates and their text exposition.
+//!
+//! The format is the Prometheus text exposition subset the workspace
+//! needs: `# TYPE` comments, `name{label="value"} 123` samples, and
+//! histogram `_bucket`/`_sum`/`_count` series with cumulative `le`
+//! buckets. [`Snapshot::render_text`] and [`Snapshot::parse_text`] are
+//! exact inverses (round-trip tested), so the format can be treated as a
+//! stable interchange surface by the `starlink stats` CLI and by external
+//! scrapers.
+
+use std::fmt;
+
+/// The exposition type of a metric family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Point-in-time value.
+    Gauge,
+    /// Cumulative fixed-bucket histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    fn label(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One sample row: label set plus value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    /// Label pairs in render order (possibly empty).
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: u64,
+}
+
+impl Sample {
+    /// An unlabelled sample.
+    pub fn plain(value: u64) -> Sample {
+        Sample {
+            labels: Vec::new(),
+            value,
+        }
+    }
+
+    /// A sample with one label.
+    pub fn labelled(key: &str, value_label: &str, value: u64) -> Sample {
+        Sample {
+            labels: vec![(key.to_owned(), value_label.to_owned())],
+            value,
+        }
+    }
+}
+
+/// A named metric and its samples.
+///
+/// For histograms, `samples` holds the cumulative `le` buckets (label
+/// `le`, values `"256"`, …, `"+Inf"`) and `sum`/`count` carry the
+/// `_sum`/`_count` series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricFamily {
+    /// Metric name (exposition identifier).
+    pub name: String,
+    /// Counter, gauge, or histogram.
+    pub kind: MetricKind,
+    /// The sample rows.
+    pub samples: Vec<Sample>,
+    /// Histogram `_sum` (nanoseconds for duration histograms).
+    pub sum: Option<u64>,
+    /// Histogram `_count`.
+    pub count: Option<u64>,
+}
+
+impl MetricFamily {
+    /// A counter/gauge family.
+    pub fn simple(name: &str, kind: MetricKind, samples: Vec<Sample>) -> MetricFamily {
+        MetricFamily {
+            name: name.to_owned(),
+            kind,
+            samples,
+            sum: None,
+            count: None,
+        }
+    }
+}
+
+/// A point-in-time aggregate of every metric a sink maintains.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Families in stable render order.
+    pub families: Vec<MetricFamily>,
+}
+
+/// A malformed exposition document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpositionError {
+    /// 1-based line the error was found at.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ExpositionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "exposition line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ExpositionError {}
+
+fn escape_label(value: &str, out: &mut String) {
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn unescape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    let mut chars = value.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn render_sample(name: &str, sample: &Sample, out: &mut String) {
+    out.push_str(name);
+    if !sample.labels.is_empty() {
+        out.push('{');
+        for (i, (key, value)) in sample.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(key);
+            out.push_str("=\"");
+            escape_label(value, out);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(&sample.value.to_string());
+    out.push('\n');
+}
+
+impl Snapshot {
+    /// Renders the snapshot in the Prometheus text exposition format.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for family in &self.families {
+            out.push_str("# TYPE ");
+            out.push_str(&family.name);
+            out.push(' ');
+            out.push_str(family.kind.label());
+            out.push('\n');
+            match family.kind {
+                MetricKind::Histogram => {
+                    let bucket_name = format!("{}_bucket", family.name);
+                    for sample in &family.samples {
+                        render_sample(&bucket_name, sample, &mut out);
+                    }
+                    let sum = Sample::plain(family.sum.unwrap_or(0));
+                    render_sample(&format!("{}_sum", family.name), &sum, &mut out);
+                    let count = Sample::plain(family.count.unwrap_or(0));
+                    render_sample(&format!("{}_count", family.name), &count, &mut out);
+                }
+                _ => {
+                    for sample in &family.samples {
+                        render_sample(&family.name, sample, &mut out);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a document produced by [`Snapshot::render_text`] back into
+    /// a [`Snapshot`]. Exact inverse: `parse_text(render_text(s)) == s`.
+    ///
+    /// # Errors
+    ///
+    /// [`ExpositionError`] on malformed lines, samples preceding their
+    /// `# TYPE` header, or sample names not matching the open family.
+    pub fn parse_text(text: &str) -> Result<Snapshot, ExpositionError> {
+        let mut families: Vec<MetricFamily> = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let err = |message: String| ExpositionError {
+                line: line_no,
+                message,
+            };
+            let line = raw.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(comment) = line.strip_prefix('#') {
+                let mut parts = comment.split_whitespace();
+                if parts.next() != Some("TYPE") {
+                    continue; // other comments (e.g. HELP) are ignored
+                }
+                let name = parts
+                    .next()
+                    .ok_or_else(|| err("TYPE line missing metric name".into()))?;
+                let kind = match parts.next() {
+                    Some("counter") => MetricKind::Counter,
+                    Some("gauge") => MetricKind::Gauge,
+                    Some("histogram") => MetricKind::Histogram,
+                    other => return Err(err(format!("unknown metric kind {other:?}"))),
+                };
+                families.push(MetricFamily {
+                    name: name.to_owned(),
+                    kind,
+                    samples: Vec::new(),
+                    sum: None,
+                    count: None,
+                });
+                continue;
+            }
+            let (name_and_labels, value) = line
+                .rsplit_once(' ')
+                .ok_or_else(|| err("sample line has no value".into()))?;
+            let value: u64 = value
+                .parse()
+                .map_err(|e| err(format!("bad sample value `{value}`: {e}")))?;
+            let (name, labels) = parse_labels(name_and_labels).map_err(&err)?;
+            let family = families
+                .last_mut()
+                .ok_or_else(|| err(format!("sample `{name}` before any # TYPE header")))?;
+            match family.kind {
+                MetricKind::Histogram => {
+                    if name == format!("{}_bucket", family.name) {
+                        family.samples.push(Sample { labels, value });
+                    } else if name == format!("{}_sum", family.name) {
+                        family.sum = Some(value);
+                    } else if name == format!("{}_count", family.name) {
+                        family.count = Some(value);
+                    } else {
+                        return Err(err(format!(
+                            "sample `{name}` does not belong to histogram `{}`",
+                            family.name
+                        )));
+                    }
+                }
+                _ => {
+                    if name != family.name {
+                        return Err(err(format!(
+                            "sample `{name}` does not belong to family `{}`",
+                            family.name
+                        )));
+                    }
+                    family.samples.push(Sample { labels, value });
+                }
+            }
+        }
+        Ok(Snapshot { families })
+    }
+
+    /// The family with this name, if present.
+    pub fn family(&self, name: &str) -> Option<&MetricFamily> {
+        self.families.iter().find(|f| f.name == name)
+    }
+
+    /// Sum of all sample values of a counter/gauge family (0 when the
+    /// family is absent). For labelled counters this is the total across
+    /// label sets.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.family(name)
+            .map(|f| f.samples.iter().map(|s| s.value).sum())
+            .unwrap_or(0)
+    }
+
+    /// The value of the sample carrying exactly these labels.
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.family(name)?
+            .samples
+            .iter()
+            .find(|s| {
+                s.labels.len() == labels.len()
+                    && s.labels
+                        .iter()
+                        .zip(labels)
+                        .all(|((k, v), (lk, lv))| k == lk && v == lv)
+            })
+            .map(|s| s.value)
+    }
+}
+
+/// Splits `name{k="v",…}` into the name and its label pairs.
+fn parse_labels(input: &str) -> Result<(String, Vec<(String, String)>), String> {
+    let Some(brace) = input.find('{') else {
+        return Ok((input.to_owned(), Vec::new()));
+    };
+    let name = input[..brace].to_owned();
+    let rest = input[brace + 1..]
+        .strip_suffix('}')
+        .ok_or_else(|| format!("unterminated label set in `{input}`"))?;
+    let mut labels = Vec::new();
+    let mut remaining = rest;
+    while !remaining.is_empty() {
+        let eq = remaining
+            .find("=\"")
+            .ok_or_else(|| format!("label without `=\"` in `{input}`"))?;
+        let key = remaining[..eq].to_owned();
+        let mut value_end = None;
+        let value_start = eq + 2;
+        let bytes = remaining.as_bytes();
+        let mut i = value_start;
+        while i < remaining.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => {
+                    value_end = Some(i);
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        let value_end =
+            value_end.ok_or_else(|| format!("unterminated label value in `{input}`"))?;
+        labels.push((key, unescape_label(&remaining[value_start..value_end])));
+        remaining = &remaining[value_end + 1..];
+        remaining = remaining.strip_prefix(',').unwrap_or(remaining);
+    }
+    Ok((name, labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> Snapshot {
+        Snapshot {
+            families: vec![
+                MetricFamily::simple(
+                    "starlink_sessions_started_total",
+                    MetricKind::Counter,
+                    vec![Sample::plain(7)],
+                ),
+                MetricFamily::simple(
+                    "starlink_transitions_total",
+                    MetricKind::Counter,
+                    vec![
+                        Sample::labelled("kind", "receive", 3),
+                        Sample::labelled("kind", "send", 4),
+                    ],
+                ),
+                MetricFamily {
+                    name: "starlink_parse_duration_ns".to_owned(),
+                    kind: MetricKind::Histogram,
+                    samples: vec![
+                        Sample::labelled("le", "256", 1),
+                        Sample::labelled("le", "+Inf", 3),
+                    ],
+                    sum: Some(123_456),
+                    count: Some(3),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let snap = sample_snapshot();
+        let text = snap.render_text();
+        let back = Snapshot::parse_text(&text).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn accessors_find_values() {
+        let snap = sample_snapshot();
+        assert_eq!(snap.counter("starlink_sessions_started_total"), 7);
+        assert_eq!(snap.counter("starlink_transitions_total"), 7);
+        assert_eq!(
+            snap.value("starlink_transitions_total", &[("kind", "send")]),
+            Some(4)
+        );
+        assert_eq!(snap.counter("nope"), 0);
+    }
+
+    #[test]
+    fn label_escaping_round_trips() {
+        let snap = Snapshot {
+            families: vec![MetricFamily::simple(
+                "weird",
+                MetricKind::Gauge,
+                vec![Sample::labelled("k", "a\"b\\c\nd", 1)],
+            )],
+        };
+        let back = Snapshot::parse_text(&snap.render_text()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Snapshot::parse_text("no_type_header 3").is_err());
+        assert!(Snapshot::parse_text("# TYPE x counter\nx notanumber").is_err());
+        assert!(Snapshot::parse_text("# TYPE x widget\n").is_err());
+        assert!(Snapshot::parse_text("# TYPE x counter\ny 3").is_err());
+        assert!(Snapshot::parse_text("# TYPE x histogram\nx_middle 3").is_err());
+    }
+
+    #[test]
+    fn help_comments_are_ignored() {
+        let text = "# HELP x whatever\n# TYPE x counter\nx 1\n";
+        let snap = Snapshot::parse_text(text).unwrap();
+        assert_eq!(snap.counter("x"), 1);
+    }
+}

@@ -1,0 +1,71 @@
+//! End-to-end exposition check: a recorder fed a realistic event mix
+//! renders text that parses back to the identical snapshot.
+
+use starlink_telemetry::{
+    ProbeOutcome, Recorder, Snapshot, TelemetrySink, TraceEvent, TransitionKind,
+};
+
+#[test]
+fn realistic_event_mix_round_trips() {
+    let r = Recorder::new();
+    for i in 0..50u64 {
+        r.record(&TraceEvent::SessionStarted);
+        r.record(&TraceEvent::Transition {
+            from: "s0",
+            to: "s1",
+            kind: TransitionKind::Receive,
+            color: 1,
+        });
+        r.record(&TraceEvent::DispatchProbe {
+            outcome: if i % 7 == 0 {
+                ProbeOutcome::Fallback
+            } else {
+                ProbeOutcome::Hit
+            },
+        });
+        r.record(&TraceEvent::Parse {
+            variant: "GIOPRequest",
+            wire_bytes: 120 + i as usize,
+            nanos: 900 * (i + 1),
+        });
+        r.record(&TraceEvent::GammaExecuted {
+            from: "s1",
+            to: "s2",
+            statements: 4,
+            nanos: 40_000 + i,
+        });
+        r.record(&TraceEvent::Compose {
+            variant: "HttpResponse",
+            wire_bytes: 300,
+            nanos: 2_500,
+        });
+        r.record(&TraceEvent::WireOut {
+            color: 1,
+            bytes: 300,
+        });
+        r.record(&TraceEvent::ActiveSessions {
+            count: (i % 9) as usize,
+        });
+        r.record(&TraceEvent::SessionFinished {
+            final_state: "s9",
+            exchanges: 2,
+        });
+    }
+    r.record(&TraceEvent::SessionFailed { stage: "net" });
+
+    let snap = TelemetrySink::snapshot(&r).expect("recorder snapshots");
+    let text = snap.render_text();
+    let parsed = Snapshot::parse_text(&text).expect("own exposition parses");
+    assert_eq!(parsed, snap);
+
+    assert_eq!(parsed.counter("starlink_sessions_started_total"), 50);
+    assert_eq!(parsed.counter("starlink_sessions_finished_total"), 50);
+    assert_eq!(parsed.counter("starlink_sessions_failed_total"), 1);
+    assert_eq!(
+        parsed.value("starlink_dispatch_probe_total", &[("outcome", "fallback")]),
+        Some(8)
+    );
+    assert_eq!(parsed.counter("starlink_active_sessions_peak"), 8);
+    let parse_hist = parsed.family("starlink_parse_duration_ns").unwrap();
+    assert_eq!(parse_hist.count, Some(50));
+}

@@ -43,5 +43,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     host.shutdown();
     println!("\nhost shut down cleanly; all threads joined.");
+
+    println!("\n--- telemetry snapshot ---");
+    print!("{}", host.telemetry_snapshot().render_text());
     Ok(())
 }

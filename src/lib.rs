@@ -58,4 +58,5 @@ pub use starlink_message as message;
 pub use starlink_mtl as mtl;
 pub use starlink_net as net;
 pub use starlink_protocols as protocols;
+pub use starlink_telemetry as telemetry;
 pub use starlink_xml as xml;
