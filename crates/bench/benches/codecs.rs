@@ -14,7 +14,10 @@
 //! * `sink-overhead/*` — the instrumented `parse` with a no-op / live
 //!   telemetry sink against the uninstrumented loop
 //!   ([`MdlCodec::parse_uninstrumented`]); in fast mode the no-op path
-//!   is asserted to stay within 5% of the baseline.
+//!   is asserted to stay within 5% of the baseline. The `tracing-sink`
+//!   case prices the full per-session tracing stack (span-scoped
+//!   metadata fanned out to recorder + trace buffer + flight recorder)
+//!   a deployment with `Mediator::enable_tracing` pays on the same path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use starlink_bench::{
@@ -178,7 +181,10 @@ fn bench_compose_reuse(c: &mut Criterion) {
 /// absolute epsilon so sub-microsecond parses don't flake on timer
 /// granularity).
 fn bench_sink_overhead(c: &mut Criterion) {
-    use starlink_telemetry::Recorder;
+    use starlink_telemetry::{
+        FanoutSink, FlightRecorder, Recorder, SessionTracer, SpanScopedSink, TelemetrySink,
+        TraceBuffer,
+    };
     use std::sync::Arc;
 
     let giop = giop_codec().unwrap();
@@ -221,6 +227,21 @@ fn bench_sink_overhead(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("recorder-sink", name), wire, |b, wire| {
             b.iter(|| traced.parse(wire).unwrap());
+        });
+        // The full tracing stack installed by `Mediator::enable_tracing`:
+        // every probe event carries span metadata and fans out to the
+        // aggregate recorder, the trace buffer and the flight recorder
+        // (both per-trace bounded, so steady state is ring-buffer churn).
+        group.bench_with_input(BenchmarkId::new("tracing-sink", name), wire, |b, wire| {
+            let stack: Arc<dyn TelemetrySink> = Arc::new(FanoutSink::new(vec![
+                Arc::new(Recorder::new()) as Arc<dyn TelemetrySink>,
+                Arc::new(TraceBuffer::new()) as Arc<dyn TelemetrySink>,
+                Arc::new(FlightRecorder::new()) as Arc<dyn TelemetrySink>,
+            ]));
+            let tracer =
+                SessionTracer::for_sink(stack.as_ref()).expect("tracing stack wants spans");
+            let scoped = SpanScopedSink::new(&tracer, stack.as_ref());
+            b.iter(|| plain.parse_with_sink(wire, &scoped).unwrap());
         });
     }
     group.finish();

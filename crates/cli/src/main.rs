@@ -11,6 +11,9 @@
 //!     --out <file>        write the merged model (DSL) instead of stdout
 //! starlink models <dir>                  load a model bundle, summarise
 //! starlink stats <endpoint-or-file>      fetch or parse a telemetry snapshot
+//! starlink trace <endpoint-or-file> [--export-json <path>]
+//!                                        fetch or parse a Chrome trace, validate,
+//!                                        print a per-session timeline
 //! ```
 //!
 //! Registry file format (one declaration per line):
@@ -28,7 +31,7 @@ use starlink_mdl::{MdlCodec, MessageCodec};
 use starlink_message::equiv::SemanticRegistry;
 use starlink_mtl::MtlProgram;
 use starlink_net::{Endpoint, NetworkEngine};
-use starlink_telemetry::Snapshot;
+use starlink_telemetry::{parse_chrome_trace, validate_chrome_trace, ChromeEvent, Snapshot};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -42,6 +45,7 @@ fn main() -> ExitCode {
         Some("merge") => cmd_merge(&args[1..]),
         Some("models") => cmd_models(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", USAGE);
             Ok(())
@@ -68,6 +72,9 @@ USAGE:
   starlink merge <client.atm> <service.atm> [--registry <file>] [--loop] [--out <file>]
   starlink models <dir>                  load a model bundle, summarise
   starlink stats <endpoint-or-file>      fetch or parse a telemetry snapshot
+  starlink trace <endpoint-or-file> [--export-json <path>]
+                                         fetch or parse a Chrome trace, validate,
+                                         print a per-session timeline
 ";
 
 fn read(path: &str) -> Result<String, String> {
@@ -237,24 +244,30 @@ fn cmd_merge(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Fetches one text frame from an endpoint, or reads a file — shared by
+/// `stats` and `trace`, which both accept either form.
+fn fetch_or_read(cmd: &str, target: &str) -> Result<String, String> {
+    if target.contains("://") {
+        let endpoint: Endpoint = target
+            .parse()
+            .map_err(|e| format!("{cmd}: {target}: {e}"))?;
+        let mut conn = NetworkEngine::with_defaults()
+            .connect(&endpoint)
+            .map_err(|e| format!("{cmd}: cannot connect to {target}: {e}"))?;
+        let frame = conn
+            .receive()
+            .map_err(|e| format!("{cmd}: receiving from {target}: {e}"))?;
+        String::from_utf8(frame).map_err(|_| format!("{cmd}: {target}: frame is not UTF-8"))
+    } else {
+        read(target)
+    }
+}
+
 fn cmd_stats(args: &[String]) -> Result<(), String> {
     let [target] = args else {
         return Err("stats: exactly one <endpoint> or <snapshot file> expected".into());
     };
-    let text = if target.contains("://") {
-        let endpoint: Endpoint = target
-            .parse()
-            .map_err(|e| format!("stats: {target}: {e}"))?;
-        let mut conn = NetworkEngine::with_defaults()
-            .connect(&endpoint)
-            .map_err(|e| format!("stats: cannot connect to {target}: {e}"))?;
-        let frame = conn
-            .receive()
-            .map_err(|e| format!("stats: receiving snapshot from {target}: {e}"))?;
-        String::from_utf8(frame).map_err(|_| format!("stats: {target}: snapshot is not UTF-8"))?
-    } else {
-        read(target)?
-    };
+    let text = fetch_or_read("stats", target)?;
     let snapshot = Snapshot::parse_text(&text).map_err(|e| format!("stats: {target}: {e}"))?;
     print!("{}", summarise_snapshot(&snapshot));
     print!("{}", snapshot.render_text());
@@ -287,6 +300,129 @@ fn summarise_snapshot(snap: &Snapshot) -> String {
         snap.counter("starlink_wire_bytes_in_total"),
         snap.counter("starlink_wire_bytes_out_total"),
     ));
+    // Latency quantiles estimated from the cumulative buckets of every
+    // duration histogram present in the snapshot.
+    for family in &snap.families {
+        if !family.name.ends_with("_duration_ns") {
+            continue;
+        }
+        let (Some(p50), Some(p90), Some(p99)) = (
+            family.quantile(0.50),
+            family.quantile(0.90),
+            family.quantile(0.99),
+        ) else {
+            continue;
+        };
+        let stage = family
+            .name
+            .trim_start_matches("starlink_")
+            .trim_end_matches("_duration_ns");
+        out.push_str(&format!(
+            "# {stage} latency: p50 {} / p90 {} / p99 {} (n={})\n",
+            format_ns(p50),
+            format_ns(p90),
+            format_ns(p99),
+            family.count.unwrap_or(0),
+        ));
+    }
+    out
+}
+
+/// Renders a nanosecond quantity with an adaptive unit.
+fn format_ns(ns: f64) -> String {
+    if ns >= 1_000_000_000.0 {
+        format!("{:.2}s", ns / 1_000_000_000.0)
+    } else if ns >= 1_000_000.0 {
+        format!("{:.2}ms", ns / 1_000_000.0)
+    } else if ns >= 1_000.0 {
+        format!("{:.1}µs", ns / 1_000.0)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let mut target: Option<String> = None;
+    let mut export = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--export-json" => {
+                export = Some(
+                    args.get(i + 1)
+                        .ok_or("trace: --export-json needs a file")?
+                        .clone(),
+                );
+                i += 2;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("trace: unknown option `{other}`"));
+            }
+            _ => {
+                if target.replace(args[i].clone()).is_some() {
+                    return Err("trace: exactly one <endpoint> or <trace file> expected".into());
+                }
+                i += 1;
+            }
+        }
+    }
+    let Some(target) = target else {
+        return Err("trace: exactly one <endpoint> or <trace file> expected".into());
+    };
+    let json = fetch_or_read("trace", &target)?;
+    let stats = validate_chrome_trace(&json).map_err(|e| format!("trace: {target}: {e}"))?;
+    println!(
+        "# trace: {} event(s), {} span pair(s), {} session track(s)",
+        stats.events, stats.span_pairs, stats.tracks
+    );
+    let events = parse_chrome_trace(&json).map_err(|e| format!("trace: {target}: {e}"))?;
+    print!("{}", render_event_timeline(&events));
+    if let Some(path) = export {
+        std::fs::write(&path, &json).map_err(|e| format!("trace: cannot write {path}: {e}"))?;
+        eprintln!("trace: wrote {path} ({} bytes)", json.len());
+    }
+    Ok(())
+}
+
+/// Plain-text timeline of validated Chrome events, one section per
+/// session track (tid = session trace id), indentation following span
+/// nesting.
+fn render_event_timeline(events: &[ChromeEvent]) -> String {
+    let mut tids: Vec<u64> = events.iter().map(|e| e.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    let mut out = String::new();
+    for tid in tids {
+        out.push_str(&format!("session {tid}\n"));
+        let mut depth = 0usize;
+        for ev in events.iter().filter(|e| e.tid == tid) {
+            let (marker, at_depth) = match ev.ph {
+                'B' => {
+                    depth += 1;
+                    ("▶", depth - 1)
+                }
+                'E' => {
+                    let d = depth.saturating_sub(1);
+                    depth = d;
+                    ("◀", d)
+                }
+                'X' => ("■", depth),
+                _ => ("·", depth),
+            };
+            let dur = match ev.dur_us {
+                Some(d) => format!(" [{d:.1}µs]"),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "  {:>10.1}µs  {}{} {}{}\n",
+                ev.ts_us,
+                "  ".repeat(at_depth),
+                marker,
+                ev.name,
+                dur
+            ));
+        }
+    }
     out
 }
 
@@ -327,5 +463,52 @@ mod tests {
         assert!(parse_registry("bogus line").is_err());
         assert!(parse_registry("message missing-equals").is_err());
         assert!(parse_registry("widget x = a, b").is_err());
+    }
+
+    #[test]
+    fn stats_digest_includes_latency_quantiles() {
+        use starlink_telemetry::{Recorder, TelemetrySink, TraceEvent};
+        let recorder = Recorder::new();
+        for nanos in [800, 1_500, 3_000, 9_000, 40_000] {
+            recorder.record(&TraceEvent::Parse {
+                variant: "AddRequest",
+                wire_bytes: 32,
+                nanos,
+            });
+        }
+        let snap = TelemetrySink::snapshot(&recorder).unwrap();
+        let digest = summarise_snapshot(&snap);
+        assert!(
+            digest.contains("parse latency: p50"),
+            "missing quantile line in:\n{digest}"
+        );
+        assert!(digest.contains("(n=5)"), "missing count in:\n{digest}");
+    }
+
+    #[test]
+    fn trace_timeline_indents_span_pairs() {
+        let mk = |name: &str, ph: char, ts_us: f64| ChromeEvent {
+            name: name.to_owned(),
+            cat: "starlink".to_owned(),
+            ph,
+            ts_us,
+            dur_us: if ph == 'X' { Some(2.0) } else { None },
+            pid: 1,
+            tid: 7,
+            args: Vec::new(),
+        };
+        let events = vec![
+            mk("session", 'B', 0.0),
+            mk("receive", 'B', 1.0),
+            mk("parse", 'X', 2.0),
+            mk("receive", 'E', 5.0),
+            mk("session", 'E', 9.0),
+        ];
+        let text = render_event_timeline(&events);
+        assert!(text.starts_with("session 7\n"));
+        assert!(text.contains("▶ session"));
+        assert!(text.contains("  ▶ receive"));
+        assert!(text.contains("■ parse [2.0µs]"));
+        assert!(text.contains("◀ session"));
     }
 }

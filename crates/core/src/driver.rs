@@ -12,7 +12,7 @@ use crate::session_core::{
 use crate::Result;
 use starlink_mtl::TranslationCache;
 use starlink_net::{Connection, Endpoint, NetworkEngine};
-use starlink_telemetry::{TelemetrySink, TraceEvent};
+use starlink_telemetry::SessionTracer;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -28,6 +28,10 @@ pub(crate) struct ConnectionState {
     /// Recycled wire buffers carried between traversals so composing
     /// stays allocation-free in steady state.
     pub wire_pool: Vec<Vec<u8>>,
+    /// Per-connection tracer so successive traversals on one client
+    /// connection share a session trace id (minted at accept time by
+    /// the host, or lazily by the first traversal).
+    pub tracer: Option<SessionTracer>,
 }
 
 impl ConnectionState {
@@ -37,6 +41,7 @@ impl ConnectionState {
             service_conns: HashMap::new(),
             host_override: None,
             wire_pool: Vec::new(),
+            tracer: None,
         }
     }
 }
@@ -62,11 +67,12 @@ pub(crate) fn run_blocking(
         connected: state.service_conns.keys().copied().collect(),
         host_override: state.host_override.take(),
         wire_pool: std::mem::take(&mut state.wire_pool),
+        tracer: state.tracer.take(),
     };
     let mut core = SessionCore::new(spec.clone(), persist)?;
     let result = drive(&mut core, spec, net, timeout, client_conn, state, stop);
     if let Err(err) = &result {
-        record_failure(spec.telemetry.as_ref(), err);
+        core.record_failure(err);
     }
     // Persistent state flows back even when the traversal failed — a
     // timeout-and-retry must keep the translation cache.
@@ -74,6 +80,7 @@ pub(crate) fn run_blocking(
     state.cache = persist.cache;
     state.host_override = persist.host_override;
     state.wire_pool = persist.wire_pool;
+    state.tracer = persist.tracer;
     result
 }
 
@@ -130,21 +137,6 @@ fn drive(
             receive_stoppable(conn.as_mut(), timeout, stop)?
         };
         ios = core.step(SessionEvent::WireReceived { color, bytes: wire })?;
-    }
-}
-
-/// Reports a traversal failure to the sink, filtering out the outcomes
-/// that are part of normal operation: receive timeouts restart the
-/// traversal, a closed connection is how clients hang up, and
-/// [`CoreError::HostStopped`] is orderly shutdown.
-pub(crate) fn record_failure(sink: &dyn TelemetrySink, err: &CoreError) {
-    match err {
-        CoreError::Net(starlink_net::NetError::Closed)
-        | CoreError::Net(starlink_net::NetError::Timeout)
-        | CoreError::HostStopped => {}
-        _ => sink.record(&TraceEvent::SessionFailed {
-            stage: err.stage_label(),
-        }),
     }
 }
 

@@ -78,6 +78,19 @@ impl CoreError {
             CoreError::HostStopped => "host-stopped",
         }
     }
+
+    /// Whether this error is part of normal operation rather than a
+    /// failure worth reporting: receive timeouts restart the traversal,
+    /// a closed connection is how clients hang up, and
+    /// [`CoreError::HostStopped`] is orderly shutdown.
+    pub fn is_orderly_end(&self) -> bool {
+        matches!(
+            self,
+            CoreError::Net(starlink_net::NetError::Closed)
+                | CoreError::Net(starlink_net::NetError::Timeout)
+                | CoreError::HostStopped
+        )
+    }
 }
 
 impl fmt::Display for CoreError {

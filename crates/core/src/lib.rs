@@ -62,9 +62,13 @@ pub use session_core::{
 };
 // Telemetry types appearing in this crate's public API (sinks are
 // injected through `SessionSpec` / `Mediator::with_telemetry`; snapshots
-// come back out of `MediatorHost::telemetry_snapshot`).
+// come back out of `MediatorHost::telemetry_snapshot`; traces come back
+// out of `MediatorHost::trace_buffer` / `flight_recorder` after
+// `Mediator::enable_tracing`).
 pub use starlink_telemetry::{
-    noop_sink, FanoutSink, NoopSink, Recorder, Snapshot, TelemetrySink, TraceEvent,
+    noop_sink, FanoutSink, FlightRecorder, MessageCapture, NoopSink, Recorder, SessionTrace,
+    SessionTraceId, SessionTracer, Snapshot, TelemetrySink, TraceBuffer, TraceEvent, TraceRecord,
+    TraceRecordKind,
 };
 
 /// Convenience result alias for this crate.

@@ -27,7 +27,10 @@ use starlink_automata::{Action, Automaton};
 use starlink_mtl::MtlProgram;
 use starlink_net::channel::{self, Receiver, Sender};
 use starlink_net::{Connection, Endpoint, NetError, NetworkEngine};
-use starlink_telemetry::{FanoutSink, Recorder, Snapshot, TelemetrySink, TraceEvent};
+use starlink_telemetry::{
+    chrome_events, render_chrome_json, FanoutSink, FlightRecorder, Recorder, SessionTracer,
+    Snapshot, TelemetrySink, TraceBuffer, TraceEvent,
+};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -46,6 +49,10 @@ pub struct Mediator {
     net: NetworkEngine,
     /// Per-exchange receive timeout.
     pub timeout: Duration,
+    /// Installed by [`Mediator::enable_tracing`]; handed to the host at
+    /// deployment so callers can read traces back.
+    trace_buffer: Option<Arc<TraceBuffer>>,
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl Mediator {
@@ -102,7 +109,36 @@ impl Mediator {
             }),
             net,
             timeout: Duration::from_secs(10),
+            trace_buffer: None,
+            flight: None,
         })
+    }
+
+    /// Switches on per-session causal tracing: installs a
+    /// [`TraceBuffer`] (span trees of the last N completed sessions) and
+    /// a [`FlightRecorder`] (bounded per-session message captures pre-
+    /// and post-γ), fanned out with whatever sink is already injected.
+    /// Returns both stores; after deployment they are also reachable via
+    /// [`MediatorHost::trace_buffer`] and
+    /// [`MediatorHost::flight_recorder`]. Idempotent — calling twice
+    /// returns the already-installed pair.
+    pub fn enable_tracing(&mut self) -> (Arc<TraceBuffer>, Arc<FlightRecorder>) {
+        if let (Some(buffer), Some(flight)) = (&self.trace_buffer, &self.flight) {
+            return (buffer.clone(), flight.clone());
+        }
+        let buffer = Arc::new(TraceBuffer::new());
+        let flight = Arc::new(FlightRecorder::new());
+        let existing = self.telemetry();
+        let mut sinks: Vec<Arc<dyn TelemetrySink>> = Vec::with_capacity(3);
+        if existing.enabled() {
+            sinks.push(existing);
+        }
+        sinks.push(buffer.clone() as Arc<dyn TelemetrySink>);
+        sinks.push(flight.clone() as Arc<dyn TelemetrySink>);
+        self.set_telemetry(Arc::new(FanoutSink::new(sinks)));
+        self.trace_buffer = Some(buffer.clone());
+        self.flight = Some(flight.clone());
+        (buffer, flight)
     }
 
     /// The merged automaton this mediator executes.
@@ -174,6 +210,9 @@ pub struct MediatorHost {
     /// does not snapshot), so [`MediatorHost::telemetry_snapshot`] and
     /// [`MediatorHost::completed_sessions`] always have data.
     telemetry: Arc<dyn TelemetrySink>,
+    /// Present when [`Mediator::enable_tracing`] ran before deployment.
+    trace_buffer: Option<Arc<TraceBuffer>>,
+    flight: Option<Arc<FlightRecorder>>,
     threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -210,6 +249,8 @@ impl MediatorHost {
         let listener = mediator.net.listen(listen)?;
         let endpoint = listener.local_endpoint();
         let telemetry = install_recorder(&mut mediator);
+        let trace_buffer = mediator.trace_buffer.clone();
+        let flight = mediator.flight.clone();
         let stop = Arc::new(AtomicBool::new(false));
         let accept_stop = stop.clone();
         let mediator = Arc::new(mediator);
@@ -232,13 +273,20 @@ impl MediatorHost {
                         continue;
                     }
                 };
-                sink.record(&TraceEvent::SessionAccepted);
+                // The session trace id is minted here, at accept time, so
+                // the accept event itself lands in the session's trace.
+                let tracer = SessionTracer::for_sink(sink.as_ref());
+                match &tracer {
+                    Some(t) => t.record(sink.as_ref(), &TraceEvent::SessionAccepted),
+                    None => sink.record(&TraceEvent::SessionAccepted),
+                }
                 let mediator = mediator.clone();
                 let stop = accept_stop.clone();
                 session_threads.push(std::thread::spawn(move || {
                     // The translation cache persists across traversals on
                     // the same connection (getInfo after search).
                     let mut state = ConnectionState::new();
+                    state.tracer = tracer;
                     while !stop.load(Ordering::SeqCst) {
                         let run = driver::run_blocking(
                             &mediator.spec,
@@ -268,6 +316,8 @@ impl MediatorHost {
             endpoint,
             stop,
             telemetry,
+            trace_buffer,
+            flight,
             threads: Mutex::new(vec![accept_thread]),
         })
     }
@@ -293,6 +343,8 @@ impl MediatorHost {
         let listener = mediator.net.listen(listen)?;
         let endpoint = listener.local_endpoint();
         let telemetry = install_recorder(&mut mediator);
+        let trace_buffer = mediator.trace_buffer.clone();
+        let flight = mediator.flight.clone();
         let stop = Arc::new(AtomicBool::new(false));
         let max_workers = max_workers.max(1);
         // Bounded: when every worker is busy and the buffer is full, the
@@ -332,6 +384,8 @@ impl MediatorHost {
             endpoint,
             stop,
             telemetry,
+            trace_buffer,
+            flight,
             threads: Mutex::new(threads),
         })
     }
@@ -360,6 +414,18 @@ impl MediatorHost {
     /// snapshot; see [`MediatorHost::telemetry_snapshot`]).
     pub fn telemetry(&self) -> Arc<dyn TelemetrySink> {
         self.telemetry.clone()
+    }
+
+    /// Span trees of the last N completed sessions, when
+    /// [`Mediator::enable_tracing`] ran before deployment.
+    pub fn trace_buffer(&self) -> Option<Arc<TraceBuffer>> {
+        self.trace_buffer.clone()
+    }
+
+    /// Per-session message captures (pre-/post-γ), when
+    /// [`Mediator::enable_tracing`] ran before deployment.
+    pub fn flight_recorder(&self) -> Option<Arc<FlightRecorder>> {
+        self.flight.clone()
     }
 
     /// A point-in-time aggregate of everything the host's sessions have
@@ -392,6 +458,51 @@ impl MediatorHost {
                     Ok(Some(mut conn)) => {
                         let text = sink.snapshot().unwrap_or_default().render_text();
                         let _ = conn.send(text.as_bytes());
+                    }
+                    Ok(None) => std::thread::sleep(IDLE_POLL),
+                    Err(NetError::Closed) => break,
+                    Err(_) => std::thread::sleep(ACCEPT_BACKOFF),
+                }
+            }
+        });
+        self.threads
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(handle);
+        Ok(endpoint)
+    }
+
+    /// Serves the trace buffer at `listen` in Chrome `trace_event` JSON:
+    /// every accepted connection receives one frame holding all
+    /// completed session traces (one track per session) and is then
+    /// dropped. Poll with `starlink trace <endpoint>` or load the saved
+    /// frame in `chrome://tracing` / Perfetto. Returns the bound
+    /// endpoint; the serving thread is joined at
+    /// [`MediatorHost::shutdown`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Aborted`] when tracing was not enabled on the
+    /// mediator before deployment; bind failures.
+    pub fn expose_traces(&self, net: &NetworkEngine, listen: &Endpoint) -> Result<Endpoint> {
+        let buffer = self
+            .trace_buffer
+            .clone()
+            .ok_or_else(|| CoreError::Aborted {
+                reason: "tracing not enabled: call Mediator::enable_tracing before deploying"
+                    .to_owned(),
+            })?;
+        let listener = net.listen(listen)?;
+        let endpoint = listener.local_endpoint();
+        let stop = self.stop.clone();
+        let handle = std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                match listener.try_accept() {
+                    Ok(Some(mut conn)) => {
+                        let events: Vec<_> =
+                            buffer.traces().iter().flat_map(chrome_events).collect();
+                        let json = render_chrome_json(&events);
+                        let _ = conn.send(json.as_bytes());
                     }
                     Ok(None) => std::thread::sleep(IDLE_POLL),
                     Err(NetError::Closed) => break,
@@ -478,7 +589,7 @@ fn worker_loop(
         let parked = match stepped.and_then(|ios| pump(&mut session, ios, mediator, stop)) {
             Ok(()) => true,
             Err(err) => {
-                driver::record_failure(mediator.spec.telemetry.as_ref(), &err);
+                session.core.record_failure(&err);
                 false
             }
         };
@@ -580,8 +691,16 @@ fn coordinator_loop(
         // 2. New client connections start fresh sessions.
         match listener.try_accept() {
             Ok(Some(client)) => {
-                sink.record(&TraceEvent::SessionAccepted);
-                if let Ok(core) = SessionCore::new(mediator.spec.clone(), SessionPersist::new()) {
+                // Minting the tracer here attributes the accept event to
+                // the session's own trace (as in the threaded host).
+                let tracer = SessionTracer::for_sink(sink.as_ref());
+                match &tracer {
+                    Some(t) => t.record(sink.as_ref(), &TraceEvent::SessionAccepted),
+                    None => sink.record(&TraceEvent::SessionAccepted),
+                }
+                let mut persist = SessionPersist::new();
+                persist.tracer = tracer;
+                if let Ok(core) = SessionCore::new(mediator.spec.clone(), persist) {
                     let session = MuxSession {
                         core,
                         client,
@@ -636,6 +755,10 @@ fn coordinator_loop(
             let mut session = parked.remove(&id).expect("session is parked");
             progressed = true;
             let Some(event) = event else {
+                // Connection closed or failed: the session is dropped
+                // here, so close its trace instead of leaking an
+                // open-ended span tree.
+                session.core.abandon();
                 continue; // dropped
             };
             session.awaiting = None;

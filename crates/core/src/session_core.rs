@@ -31,8 +31,11 @@ use starlink_automata::{Action, Automaton, Transition};
 use starlink_mdl::MessageCodec;
 use starlink_message::{AbstractMessage, Direction, History, Value};
 use starlink_mtl::{MtlContext, MtlProgram, TranslationCache};
-use starlink_telemetry::{TelemetrySink, TraceEvent, TransitionKind};
+use starlink_telemetry::{
+    SessionTracer, SpanGuard, SpanScopedSink, TelemetrySink, TraceEvent, TransitionKind,
+};
 use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -151,6 +154,12 @@ pub struct SessionPersist {
     /// them with [`SessionCore::recycle_wire_buf`] after writing, so
     /// steady-state sends reuse capacity instead of allocating.
     pub wire_pool: Vec<Vec<u8>>,
+    /// Per-session trace context. Minted by drivers at accept time (or
+    /// lazily by [`SessionCore::new`]) when the sink consumes spans or
+    /// message snapshots; `None` for purely aggregate sinks, keeping
+    /// their per-event cost unchanged. Lives here so successive
+    /// traversals on a kept-alive connection share one session trace id.
+    pub tracer: Option<SessionTracer>,
 }
 
 impl SessionPersist {
@@ -181,6 +190,9 @@ pub struct SessionCore {
     /// Pending application operation per service color.
     pending_op: HashMap<u8, String>,
     exchanges: usize,
+    /// The traversal's root tracing span (open from start/restart until
+    /// the traversal finishes, fails, or is abandoned).
+    root_span: Option<SpanGuard>,
 }
 
 impl SessionCore {
@@ -189,7 +201,7 @@ impl SessionCore {
     /// # Errors
     ///
     /// [`CoreError::Automaton`] if the automaton has no initial state.
-    pub fn new(spec: Arc<SessionSpec>, persist: SessionPersist) -> Result<SessionCore> {
+    pub fn new(spec: Arc<SessionSpec>, mut persist: SessionPersist) -> Result<SessionCore> {
         let initial = spec
             .automaton
             .initial()
@@ -199,6 +211,11 @@ impl SessionCore {
                 })
             })?
             .to_owned();
+        if persist.tracer.is_none() {
+            // Drivers normally mint the tracer at accept time; cover
+            // direct/embedded use here so replay tests trace too.
+            persist.tracer = SessionTracer::for_sink(spec.telemetry.as_ref());
+        }
         Ok(SessionCore {
             spec,
             persist,
@@ -211,6 +228,7 @@ impl SessionCore {
             last_request_proto: HashMap::new(),
             pending_op: HashMap::new(),
             exchanges: 0,
+            root_span: None,
         })
     }
 
@@ -228,21 +246,26 @@ impl SessionCore {
             });
         }
         self.started = true;
-        self.spec.telemetry.record(&TraceEvent::SessionStarted);
+        self.root_span = self.open_span("session");
+        self.emit(&TraceEvent::SessionStarted);
         let mut ios = Vec::new();
         self.advance(&mut ios)?;
         Ok(ios)
     }
 
     /// Abandons the finished (or timed-out) traversal and begins a new
-    /// one on the same connection, keeping persistent state.
+    /// one on the same connection, keeping persistent state. Each
+    /// traversal forms its own root span (sharing the connection's
+    /// session trace id); an abandoned traversal's trace completes here.
     ///
     /// # Errors
     ///
     /// Any engine failure while advancing the fresh traversal.
     pub fn restart(&mut self) -> Result<Vec<SessionIo>> {
+        self.close_root();
         self.reset_traversal();
-        self.spec.telemetry.record(&TraceEvent::SessionStarted);
+        self.root_span = self.open_span("session");
+        self.emit(&TraceEvent::SessionStarted);
         let mut ios = Vec::new();
         self.advance(&mut ios)?;
         Ok(ios)
@@ -284,7 +307,10 @@ impl SessionCore {
                 }
                 self.awaiting = None;
                 let mut ios = Vec::new();
-                self.consume_wire(color, &bytes)?;
+                let span = self.open_span("receive");
+                let received = self.consume_wire(color, &bytes);
+                self.close_span(span);
+                received?;
                 self.advance(&mut ios)?;
                 Ok(ios)
             }
@@ -307,16 +333,101 @@ impl SessionCore {
         self.persist
     }
 
+    /// The session's trace id, when tracing is active.
+    pub fn trace_id(&self) -> Option<starlink_telemetry::SessionTraceId> {
+        self.persist.tracer.as_ref().map(SessionTracer::session)
+    }
+
+    /// Records one event — through the tracer (stamping session id,
+    /// timestamp and span) when tracing is active, plainly otherwise.
+    fn emit(&self, event: &TraceEvent<'_>) {
+        match &self.persist.tracer {
+            Some(tracer) => tracer.record(self.spec.telemetry.as_ref(), event),
+            None => self.spec.telemetry.record(event),
+        }
+    }
+
+    fn open_span(&self, name: &'static str) -> Option<SpanGuard> {
+        self.persist
+            .tracer
+            .as_ref()
+            .filter(|_| self.spec.telemetry.wants_spans())
+            .map(|t| t.open(self.spec.telemetry.as_ref(), name))
+    }
+
+    fn close_span(&self, guard: Option<SpanGuard>) {
+        if let (Some(tracer), Some(guard)) = (&self.persist.tracer, guard) {
+            tracer.close(self.spec.telemetry.as_ref(), guard);
+        }
+    }
+
+    /// Closes the traversal's root span, completing its trace in any
+    /// span-retaining sink.
+    fn close_root(&mut self) {
+        let guard = self.root_span.take();
+        self.close_span(guard);
+    }
+
+    /// Reports a traversal failure and completes the trace. Filters the
+    /// outcomes that are part of normal operation: receive timeouts
+    /// restart the traversal, a closed connection is how clients hang
+    /// up, and [`CoreError::HostStopped`] is orderly shutdown.
+    pub(crate) fn record_failure(&mut self, err: &CoreError) {
+        if !err.is_orderly_end() {
+            self.emit(&TraceEvent::SessionFailed {
+                stage: err.stage_label(),
+            });
+        }
+        self.close_root();
+    }
+
+    /// Ends tracing for a session being dropped without a result (e.g.
+    /// its connection died while parked), so its partial trace completes
+    /// instead of lingering as an active session.
+    pub(crate) fn abandon(&mut self) {
+        self.close_root();
+    }
+
+    /// Captures an abstract message crossing the mediator as a
+    /// [`TraceEvent::MessageSnapshot`]. Callers gate on
+    /// [`TelemetrySink::wants_messages`] — rendering fields is the most
+    /// expensive instrumentation the engine performs.
+    fn snapshot_message(&self, stage: &'static str, msg: &AbstractMessage) {
+        let Some(tracer) = &self.persist.tracer else {
+            return;
+        };
+        let mut fields = String::new();
+        for field in msg.fields() {
+            let value = field.value().to_string();
+            let _ = writeln!(
+                fields,
+                "{}={}",
+                field.label(),
+                // One `label=value` pair per line; keep embedded
+                // newlines from forging extra pairs.
+                value.replace('\n', "\\n")
+            );
+        }
+        tracer.record(
+            self.spec.telemetry.as_ref(),
+            &TraceEvent::MessageSnapshot {
+                stage,
+                message: msg.name(),
+                fields: &fields,
+            },
+        );
+    }
+
     /// Returns a cleared wire buffer from the session's recycle pool, or
     /// a fresh one when the pool is empty.
     fn take_wire_buf(&mut self) -> Vec<u8> {
         match self.persist.wire_pool.pop() {
             Some(buf) => {
-                self.spec.telemetry.record(&TraceEvent::WireBufReused);
+                self.emit(&TraceEvent::WireBufReused);
                 buf
             }
             None => {
-                self.spec.telemetry.record(&TraceEvent::WireBufAllocated);
+                self.emit(&TraceEvent::WireBufAllocated);
                 Vec::new()
             }
         }
@@ -358,15 +469,23 @@ impl SessionCore {
         let cfg = color_config(&spec, color)?;
         let traced = spec.telemetry.enabled();
         if traced {
-            spec.telemetry.record(&TraceEvent::WireIn {
+            self.emit(&TraceEvent::WireIn {
                 color,
                 bytes: wire.len(),
             });
         }
         let parse_start = traced.then(Instant::now);
-        let proto = cfg.codec.parse(wire)?;
+        let proto = match &self.persist.tracer {
+            // Through a span-scoped sink so dispatch-probe events carry
+            // the session's causal metadata.
+            Some(tracer) => {
+                let scoped = SpanScopedSink::new(tracer, spec.telemetry.as_ref());
+                cfg.codec.parse_with_sink(wire, &scoped)?
+            }
+            None => cfg.codec.parse(wire)?,
+        };
         if let Some(start) = parse_start {
-            spec.telemetry.record(&TraceEvent::Parse {
+            self.emit(&TraceEvent::Parse {
                 variant: proto.name(),
                 wire_bytes: wire.len(),
                 nanos: start.elapsed().as_nanos() as u64,
@@ -383,6 +502,9 @@ impl SessionCore {
             let template = spec.templates.get(&format!("{op}.reply"));
             cfg.binding.unbind_reply(&proto, &op, template)?
         };
+        if traced && spec.telemetry.wants_messages() {
+            self.snapshot_message("received", &app);
+        }
         let outgoing: Vec<&Transition> = spec.automaton.transitions_from(&self.current).collect();
         let matching = outgoing.iter().find(|t| {
             t.action
@@ -397,7 +519,7 @@ impl SessionCore {
         })?;
         let to = t.to.clone();
         if traced {
-            spec.telemetry.record(&TraceEvent::Transition {
+            self.emit(&TraceEvent::Transition {
                 from: &self.current,
                 to: &to,
                 kind: TransitionKind::Receive,
@@ -425,10 +547,11 @@ impl SessionCore {
                     // Emitted before the driver executes any sends still
                     // in `ios`, so the completion counter is ahead of the
                     // final reply reaching the wire (docs/engine.md).
-                    spec.telemetry.record(&TraceEvent::SessionFinished {
+                    self.emit(&TraceEvent::SessionFinished {
                         final_state: &self.current,
                         exchanges: self.exchanges,
                     });
+                    self.close_root();
                     ios.push(SessionIo::Finished(SessionOutcome {
                         final_state: self.current.clone(),
                         exchanges: self.exchanges,
@@ -455,121 +578,182 @@ impl SessionCore {
                     let t = outgoing[0];
                     let to = t.to.clone();
                     let from = t.from.clone();
-                    let program = spec
-                        .gammas
-                        .get(&(from.clone(), to.clone()))
-                        .cloned()
-                        .unwrap_or_else(MtlProgram::empty);
-                    let mut ctx = MtlContext::new(&self.history, &mut self.persist.cache);
-                    // Pre-register the message the next send will need,
-                    // composed at the γ's target state.
-                    if let Some(send_template) = next_send_template(&spec.automaton, &to) {
-                        ctx.add_output(to.clone(), AbstractMessage::new(send_template.name()));
-                    }
-                    let gamma_start = traced.then(Instant::now);
-                    program.execute_traced(&mut ctx, spec.telemetry.as_ref())?;
-                    if let Some(start) = gamma_start {
-                        spec.telemetry.record(&TraceEvent::GammaExecuted {
-                            from: &from,
-                            to: &to,
-                            statements: program.statements.len(),
-                            nanos: start.elapsed().as_nanos() as u64,
-                        });
-                        spec.telemetry.record(&TraceEvent::Transition {
-                            from: &from,
-                            to: &to,
-                            kind: TransitionKind::Gamma,
-                            color: state_color(&spec.automaton, &from).unwrap_or(0),
-                        });
-                    }
-                    if let Some(host) = ctx.host_override() {
-                        self.persist.host_override = Some(host.to_owned());
-                    }
-                    if let Some(msg) = ctx.take_output(&to) {
-                        self.pending.insert(to.clone(), msg);
-                    }
+                    let span = self.open_span("gamma");
+                    let executed = self.gamma_step(&spec, &from, &to, traced);
+                    self.close_span(span);
+                    executed?;
                     self.current = to;
                 }
                 Action::Send(_) => {
                     let t = outgoing[0];
-                    let template = t.action.message().expect("send actions carry a message");
-                    let mut app = self
-                        .pending
-                        .remove(&self.current)
-                        .unwrap_or_else(|| AbstractMessage::new(template.name()));
-                    app.set_name(template.name());
-                    let color = state_color(&spec.automaton, &self.current)?;
-                    let cfg = color_config(&spec, color)?;
-                    if color == spec.client_color {
-                        // Reply to the client.
-                        let proto = cfg
-                            .binding
-                            .bind_reply(&app, self.last_request_proto.get(&color))?;
-                        let mut bytes = self.take_wire_buf();
-                        let compose_start = traced.then(Instant::now);
-                        cfg.codec.compose_into(&proto, &mut bytes)?;
-                        if let Some(start) = compose_start {
-                            spec.telemetry.record(&TraceEvent::Compose {
-                                variant: proto.name(),
-                                wire_bytes: bytes.len(),
-                                nanos: start.elapsed().as_nanos() as u64,
-                            });
-                            spec.telemetry.record(&TraceEvent::WireOut {
-                                color,
-                                bytes: bytes.len(),
-                            });
-                        }
-                        ios.push(SessionIo::SendWire { color, bytes });
-                    } else {
-                        // Request to a service.
-                        let mut proto = cfg.binding.bind_request(&app)?;
-                        if let Some(corr) = &cfg.binding.correlation {
-                            if proto.get_path(corr).is_err() {
-                                proto.set_path(corr, Value::UInt(self.exchanges as u64 + 1))?;
-                            }
-                        }
-                        let mut bytes = self.take_wire_buf();
-                        let compose_start = traced.then(Instant::now);
-                        cfg.codec.compose_into(&proto, &mut bytes)?;
-                        if let Some(start) = compose_start {
-                            spec.telemetry.record(&TraceEvent::Compose {
-                                variant: proto.name(),
-                                wire_bytes: bytes.len(),
-                                nanos: start.elapsed().as_nanos() as u64,
-                            });
-                            spec.telemetry.record(&TraceEvent::WireOut {
-                                color,
-                                bytes: bytes.len(),
-                            });
-                        }
-                        if !self.persist.connected.contains(&color) {
-                            let endpoint = service_endpoint(&spec, &self.persist, color)?;
-                            self.persist.connected.insert(color);
-                            if traced {
-                                spec.telemetry
-                                    .record(&TraceEvent::ServiceConnected { color });
-                            }
-                            ios.push(SessionIo::ConnectService { color, endpoint });
-                        }
-                        ios.push(SessionIo::SendWire { color, bytes });
-                        self.last_request_proto.insert(color, proto);
-                        self.pending_op.insert(color, app.name().to_owned());
-                    }
-                    if traced {
-                        spec.telemetry.record(&TraceEvent::Transition {
-                            from: &self.current,
-                            to: &t.to,
-                            kind: TransitionKind::Send,
-                            color,
-                        });
-                    }
-                    self.history
-                        .record(self.current.clone(), Direction::Sent, app);
-                    self.exchanges += 1;
-                    self.current = t.to.clone();
+                    let span = self.open_span("send");
+                    let sent = self.send_step(&spec, t, traced, ios);
+                    self.close_span(span);
+                    self.current = sent?;
                 }
             }
         }
+    }
+
+    /// Runs one γ-transition `from → to`: executes its MTL program over
+    /// the session history, honouring `sethost` overrides and parking
+    /// the produced message for the next send. The caller advances
+    /// `self.current` on success.
+    fn gamma_step(
+        &mut self,
+        spec: &Arc<SessionSpec>,
+        from: &str,
+        to: &str,
+        traced: bool,
+    ) -> Result<()> {
+        let snapshot_messages = traced && spec.telemetry.wants_messages();
+        if snapshot_messages {
+            // The message the γ translates *from* is the most recently
+            // observed one.
+            if let Some(entry) = self.history.last() {
+                self.snapshot_message("pre-gamma", &entry.message);
+            }
+        }
+        let program = spec
+            .gammas
+            .get(&(from.to_owned(), to.to_owned()))
+            .cloned()
+            .unwrap_or_else(MtlProgram::empty);
+        let gamma_start = traced.then(Instant::now);
+        let (executed, host, output) = {
+            let mut ctx = MtlContext::new(&self.history, &mut self.persist.cache);
+            // Pre-register the message the next send will need, composed
+            // at the γ's target state.
+            if let Some(send_template) = next_send_template(&spec.automaton, to) {
+                ctx.add_output(to.to_owned(), AbstractMessage::new(send_template.name()));
+            }
+            let executed = match &self.persist.tracer {
+                // Through a span-scoped sink so the interpreter's
+                // `Translate` events land inside the gamma span.
+                Some(tracer) => {
+                    let scoped = SpanScopedSink::new(tracer, spec.telemetry.as_ref());
+                    program.execute_traced(&mut ctx, &scoped)
+                }
+                None => program.execute_traced(&mut ctx, spec.telemetry.as_ref()),
+            };
+            let host = ctx.host_override().map(str::to_owned);
+            let output = ctx.take_output(to);
+            (executed, host, output)
+        };
+        executed?;
+        if let Some(start) = gamma_start {
+            self.emit(&TraceEvent::GammaExecuted {
+                from,
+                to,
+                statements: program.statements.len(),
+                nanos: start.elapsed().as_nanos() as u64,
+            });
+            self.emit(&TraceEvent::Transition {
+                from,
+                to,
+                kind: TransitionKind::Gamma,
+                color: state_color(&spec.automaton, from).unwrap_or(0),
+            });
+        }
+        if let Some(host) = host {
+            self.persist.host_override = Some(host);
+        }
+        if let Some(msg) = output {
+            if snapshot_messages {
+                self.snapshot_message("post-gamma", &msg);
+            }
+            self.pending.insert(to.to_owned(), msg);
+        }
+        Ok(())
+    }
+
+    /// Executes one send transition out of `self.current`, appending the
+    /// connect/send instructions to `ios`. Returns the target state; the
+    /// caller advances `self.current` on success.
+    fn send_step(
+        &mut self,
+        spec: &Arc<SessionSpec>,
+        t: &Transition,
+        traced: bool,
+        ios: &mut Vec<SessionIo>,
+    ) -> Result<String> {
+        let template = t.action.message().expect("send actions carry a message");
+        let mut app = self
+            .pending
+            .remove(&self.current)
+            .unwrap_or_else(|| AbstractMessage::new(template.name()));
+        app.set_name(template.name());
+        if traced && spec.telemetry.wants_messages() {
+            self.snapshot_message("sent", &app);
+        }
+        let color = state_color(&spec.automaton, &self.current)?;
+        let cfg = color_config(spec, color)?;
+        if color == spec.client_color {
+            // Reply to the client.
+            let proto = cfg
+                .binding
+                .bind_reply(&app, self.last_request_proto.get(&color))?;
+            let mut bytes = self.take_wire_buf();
+            let compose_start = traced.then(Instant::now);
+            cfg.codec.compose_into(&proto, &mut bytes)?;
+            if let Some(start) = compose_start {
+                self.emit(&TraceEvent::Compose {
+                    variant: proto.name(),
+                    wire_bytes: bytes.len(),
+                    nanos: start.elapsed().as_nanos() as u64,
+                });
+                self.emit(&TraceEvent::WireOut {
+                    color,
+                    bytes: bytes.len(),
+                });
+            }
+            ios.push(SessionIo::SendWire { color, bytes });
+        } else {
+            // Request to a service.
+            let mut proto = cfg.binding.bind_request(&app)?;
+            if let Some(corr) = &cfg.binding.correlation {
+                if proto.get_path(corr).is_err() {
+                    proto.set_path(corr, Value::UInt(self.exchanges as u64 + 1))?;
+                }
+            }
+            let mut bytes = self.take_wire_buf();
+            let compose_start = traced.then(Instant::now);
+            cfg.codec.compose_into(&proto, &mut bytes)?;
+            if let Some(start) = compose_start {
+                self.emit(&TraceEvent::Compose {
+                    variant: proto.name(),
+                    wire_bytes: bytes.len(),
+                    nanos: start.elapsed().as_nanos() as u64,
+                });
+                self.emit(&TraceEvent::WireOut {
+                    color,
+                    bytes: bytes.len(),
+                });
+            }
+            if !self.persist.connected.contains(&color) {
+                let endpoint = service_endpoint(spec, &self.persist, color)?;
+                self.persist.connected.insert(color);
+                if traced {
+                    self.emit(&TraceEvent::ServiceConnected { color });
+                }
+                ios.push(SessionIo::ConnectService { color, endpoint });
+            }
+            ios.push(SessionIo::SendWire { color, bytes });
+            self.last_request_proto.insert(color, proto);
+            self.pending_op.insert(color, app.name().to_owned());
+        }
+        if traced {
+            self.emit(&TraceEvent::Transition {
+                from: &self.current,
+                to: &t.to,
+                kind: TransitionKind::Send,
+                color,
+            });
+        }
+        self.history
+            .record(self.current.clone(), Direction::Sent, app);
+        self.exchanges += 1;
+        Ok(t.to.clone())
     }
 }
 

@@ -56,6 +56,21 @@ pub trait MessageCodec: Send + Sync {
     /// declaration order. Cached at compile time — calling this never
     /// allocates.
     fn message_names(&self) -> &[String];
+
+    /// As [`MessageCodec::parse`], but reporting parse-related telemetry
+    /// (dispatch-probe outcomes) into the caller's sink instead of any
+    /// sink baked into the codec. Traced sessions pass a span-scoped
+    /// sink here so probe events carry their session's causal metadata.
+    ///
+    /// The default ignores `sink` and forwards to [`MessageCodec::parse`].
+    ///
+    /// # Errors
+    ///
+    /// As [`MessageCodec::parse`].
+    fn parse_with_sink(&self, data: &[u8], sink: &dyn TelemetrySink) -> Result<AbstractMessage> {
+        let _ = sink;
+        self.parse(data)
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -210,6 +225,32 @@ impl MdlCodec {
         Err(MdlError::NoVariantMatched { attempts })
     }
 
+    /// The probe loop with dispatch telemetry reported into `sink`
+    /// (shared by [`MessageCodec::parse`], which passes the codec's own
+    /// sink, and [`MessageCodec::parse_with_sink`]).
+    fn parse_instrumented(&self, data: &[u8], sink: &dyn TelemetrySink) -> Result<AbstractMessage> {
+        for (program, probe) in self.programs.iter().zip(&self.probes) {
+            if probe.rejects(data) {
+                sink.record(&TraceEvent::DispatchProbe {
+                    outcome: ProbeOutcome::Miss,
+                });
+                continue;
+            }
+            if let Ok(msg) = program.parse(data) {
+                sink.record(&TraceEvent::DispatchProbe {
+                    outcome: ProbeOutcome::Hit,
+                });
+                return Ok(msg);
+            }
+        }
+        // Nothing matched: re-run exhaustively to build the attempt
+        // report, lazily paying the diagnostic cost only on failure.
+        sink.record(&TraceEvent::DispatchProbe {
+            outcome: ProbeOutcome::Fallback,
+        });
+        self.parse_try_all(data)
+    }
+
     /// The dispatching parse with no telemetry whatsoever — byte-for-byte
     /// the pre-instrumentation hot path. [`MessageCodec::parse`] delegates
     /// here when the sink is disabled; benches use it as the baseline the
@@ -259,26 +300,14 @@ impl MessageCodec for MdlCodec {
         if !self.telemetry.enabled() {
             return self.parse_uninstrumented(data);
         }
-        for (program, probe) in self.programs.iter().zip(&self.probes) {
-            if probe.rejects(data) {
-                self.telemetry.record(&TraceEvent::DispatchProbe {
-                    outcome: ProbeOutcome::Miss,
-                });
-                continue;
-            }
-            if let Ok(msg) = program.parse(data) {
-                self.telemetry.record(&TraceEvent::DispatchProbe {
-                    outcome: ProbeOutcome::Hit,
-                });
-                return Ok(msg);
-            }
+        self.parse_instrumented(data, self.telemetry.as_ref())
+    }
+
+    fn parse_with_sink(&self, data: &[u8], sink: &dyn TelemetrySink) -> Result<AbstractMessage> {
+        if !sink.enabled() {
+            return self.parse_uninstrumented(data);
         }
-        // Nothing matched: re-run exhaustively to build the attempt
-        // report, lazily paying the diagnostic cost only on failure.
-        self.telemetry.record(&TraceEvent::DispatchProbe {
-            outcome: ProbeOutcome::Fallback,
-        });
-        self.parse_try_all(data)
+        self.parse_instrumented(data, sink)
     }
 
     fn compose(&self, msg: &AbstractMessage) -> Result<Vec<u8>> {

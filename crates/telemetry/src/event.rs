@@ -195,4 +195,30 @@ pub enum TraceEvent<'a> {
         /// Outstanding job count.
         depth: usize,
     },
+    /// A tracing span opened (emitted via
+    /// [`crate::SessionTracer::open`]; the span/parent ids travel in the
+    /// accompanying [`crate::TraceMeta`], not the event).
+    SpanOpened {
+        /// Span name (stable, kebab-case: `"session"`, `"receive"`,
+        /// `"gamma"`, `"send"`).
+        name: &'a str,
+    },
+    /// A tracing span closed.
+    SpanClosed {
+        /// Name the span was opened with.
+        name: &'a str,
+    },
+    /// A capture of an abstract message crossing the mediator. Only
+    /// emitted when a sink reports
+    /// [`crate::TelemetrySink::wants_messages`] — rendering fields is
+    /// the most expensive instrumentation the engine does.
+    MessageSnapshot {
+        /// Pipeline stage: `"received"`, `"pre-gamma"`, `"post-gamma"`,
+        /// `"sent"`.
+        stage: &'a str,
+        /// Abstract message name.
+        message: &'a str,
+        /// Rendered fields, one `label=value` pair per line.
+        fields: &'a str,
+    },
 }

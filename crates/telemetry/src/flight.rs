@@ -1,0 +1,284 @@
+//! The message flight recorder: bounded per-session capture of abstract
+//! messages as they cross the mediator.
+//!
+//! A [`crate::TraceBuffer`] answers *when and where* a session went; the
+//! flight recorder answers *what the messages said*. The session engine
+//! emits [`TraceEvent::MessageSnapshot`] at four stages — `received`
+//! (post-parse), `pre-gamma`, `post-gamma` (the two sides of a
+//! γ-translation) and `sent` (pre-compose) — but only when a sink
+//! reports [`TelemetrySink::wants_messages`], because rendering field
+//! values is the most expensive thing the instrumentation does.
+//!
+//! Field values are payload data, so the recorder owns a redaction
+//! hook: every `label=value` pair passes through the hook before being
+//! retained, and the default hook keeps values verbatim. Deployments
+//! mediating sensitive traffic install their own with
+//! [`FlightRecorder::with_redaction`].
+
+use crate::event::TraceEvent;
+use crate::sink::TelemetrySink;
+use crate::span::{SessionTraceId, TraceMeta};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Rewrites one field value before retention: `(field label, value) ->
+/// retained value`. Return the value unchanged to keep it, a fixed
+/// marker to censor it.
+pub type RedactionFn = dyn Fn(&str, &str) -> String + Send + Sync;
+
+/// One captured abstract message at one pipeline stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MessageCapture {
+    /// The session the message belongs to.
+    pub session: SessionTraceId,
+    /// Monotonic nanoseconds since the session's tracer was minted.
+    pub ts_ns: u64,
+    /// Pipeline stage (`"received"`, `"pre-gamma"`, `"post-gamma"`,
+    /// `"sent"`).
+    pub stage: String,
+    /// Abstract message name.
+    pub message: String,
+    /// `(label, value)` pairs after redaction, in message order.
+    pub fields: Vec<(String, String)>,
+}
+
+/// Default number of captures retained per session.
+const DEFAULT_PER_SESSION: usize = 64;
+/// Default number of sessions with retained captures.
+const DEFAULT_SESSIONS: usize = 16;
+
+struct FlightState {
+    /// Per-session capture runs, oldest session first. A `VecDeque` of
+    /// `(session, captures)` keeps eviction order without timestamps.
+    sessions: VecDeque<(SessionTraceId, Vec<MessageCapture>)>,
+    dropped: u64,
+}
+
+/// A [`TelemetrySink`] retaining a bounded per-session run of
+/// [`MessageCapture`]s, with redaction applied at capture time (values
+/// a redaction hook rewrites are never stored).
+pub struct FlightRecorder {
+    per_session: usize,
+    max_sessions: usize,
+    redact: Box<RedactionFn>,
+    state: Mutex<FlightState>,
+}
+
+impl FlightRecorder {
+    /// A recorder with default bounds and no redaction.
+    pub fn new() -> FlightRecorder {
+        FlightRecorder::with_capacity(DEFAULT_SESSIONS, DEFAULT_PER_SESSION)
+    }
+
+    /// A recorder keeping up to `per_session` captures for each of the
+    /// last `sessions` sessions.
+    pub fn with_capacity(sessions: usize, per_session: usize) -> FlightRecorder {
+        FlightRecorder {
+            per_session: per_session.max(1),
+            max_sessions: sessions.max(1),
+            redact: Box::new(|_label, value| value.to_owned()),
+            state: Mutex::new(FlightState {
+                sessions: VecDeque::new(),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Installs a redaction hook. Applied to every `(label, value)`
+    /// pair at capture time — redacted values never reach memory
+    /// retained by the recorder.
+    pub fn with_redaction<F>(mut self, redact: F) -> FlightRecorder
+    where
+        F: Fn(&str, &str) -> String + Send + Sync + 'static,
+    {
+        self.redact = Box::new(redact);
+        self
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FlightState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Captures for one session, oldest first.
+    pub fn captures(&self, session: SessionTraceId) -> Vec<MessageCapture> {
+        self.lock()
+            .sessions
+            .iter()
+            .find(|(s, _)| *s == session)
+            .map(|(_, caps)| caps.clone())
+            .unwrap_or_default()
+    }
+
+    /// All retained captures, grouped by session (oldest session first).
+    pub fn all(&self) -> Vec<(SessionTraceId, Vec<MessageCapture>)> {
+        self.lock().sessions.iter().cloned().collect()
+    }
+
+    /// The most recent session with captures.
+    pub fn latest_session(&self) -> Option<SessionTraceId> {
+        self.lock().sessions.back().map(|(s, _)| *s)
+    }
+
+    /// Captures dropped to per-session or session-count bounds.
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new()
+    }
+}
+
+impl TelemetrySink for FlightRecorder {
+    fn record(&self, _event: &TraceEvent<'_>) {
+        // Untraced snapshots carry no session identity; nothing to file
+        // them under.
+    }
+
+    fn record_traced(&self, meta: &TraceMeta, event: &TraceEvent<'_>) {
+        let TraceEvent::MessageSnapshot {
+            stage,
+            message,
+            fields,
+        } = *event
+        else {
+            return;
+        };
+        let parsed: Vec<(String, String)> = fields
+            .lines()
+            .filter_map(|line| line.split_once('='))
+            .map(|(label, value)| (label.to_owned(), (self.redact)(label, value)))
+            .collect();
+        let capture = MessageCapture {
+            session: meta.session,
+            ts_ns: meta.ts_ns,
+            stage: stage.to_owned(),
+            message: message.to_owned(),
+            fields: parsed,
+        };
+        let mut state = self.lock();
+        match state.sessions.iter_mut().find(|(s, _)| *s == meta.session) {
+            Some((_, caps)) => {
+                if caps.len() < self.per_session {
+                    caps.push(capture);
+                } else {
+                    state.dropped += 1;
+                }
+            }
+            None => {
+                if state.sessions.len() == self.max_sessions {
+                    if let Some((_, evicted)) = state.sessions.pop_front() {
+                        state.dropped += evicted.len() as u64;
+                    }
+                }
+                state.sessions.push_back((meta.session, vec![capture]));
+            }
+        }
+    }
+
+    fn wants_spans(&self) -> bool {
+        true
+    }
+
+    fn wants_messages(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{SessionTracer, SpanId};
+
+    fn snapshot_event<'a>(stage: &'a str, message: &'a str, fields: &'a str) -> TraceEvent<'a> {
+        TraceEvent::MessageSnapshot {
+            stage,
+            message,
+            fields,
+        }
+    }
+
+    fn meta(session: u64, ts_ns: u64) -> TraceMeta {
+        TraceMeta {
+            session: SessionTraceId(session),
+            ts_ns,
+            span: SpanId(1),
+            parent: SpanId::NONE,
+        }
+    }
+
+    #[test]
+    fn captures_pre_and_post_gamma_per_session() {
+        let fr = FlightRecorder::new();
+        fr.record_traced(
+            &meta(7, 10),
+            &snapshot_event("pre-gamma", "Add", "a=2\nb=3"),
+        );
+        fr.record_traced(
+            &meta(7, 20),
+            &snapshot_event("post-gamma", "Plus", "x=2\ny=3"),
+        );
+        let caps = fr.captures(SessionTraceId(7));
+        assert_eq!(caps.len(), 2);
+        assert_eq!(caps[0].stage, "pre-gamma");
+        assert_eq!(caps[0].message, "Add");
+        assert_eq!(
+            caps[0].fields,
+            vec![("a".into(), "2".into()), ("b".into(), "3".into())]
+        );
+        assert_eq!(caps[1].stage, "post-gamma");
+        assert_eq!(caps[1].message, "Plus");
+        assert!(caps[0].ts_ns < caps[1].ts_ns);
+    }
+
+    #[test]
+    fn redaction_runs_before_retention() {
+        let fr = FlightRecorder::new().with_redaction(|label, value| {
+            if label == "password" {
+                "<redacted>".to_owned()
+            } else {
+                value.to_owned()
+            }
+        });
+        fr.record_traced(
+            &meta(1, 0),
+            &snapshot_event("received", "Login", "user=amel\npassword=hunter2"),
+        );
+        let caps = fr.captures(SessionTraceId(1));
+        assert_eq!(
+            caps[0].fields,
+            vec![
+                ("user".into(), "amel".into()),
+                ("password".into(), "<redacted>".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn bounds_apply_per_session_and_across_sessions() {
+        let fr = FlightRecorder::with_capacity(2, 2);
+        for ts in 0..4 {
+            fr.record_traced(&meta(1, ts), &snapshot_event("received", "M", "a=1"));
+        }
+        assert_eq!(fr.captures(SessionTraceId(1)).len(), 2);
+        assert_eq!(fr.dropped(), 2);
+        fr.record_traced(&meta(2, 0), &snapshot_event("received", "M", "a=1"));
+        fr.record_traced(&meta(3, 0), &snapshot_event("received", "M", "a=1"));
+        // Session 1 (oldest) evicted to admit session 3.
+        assert!(fr.captures(SessionTraceId(1)).is_empty());
+        assert_eq!(fr.latest_session(), Some(SessionTraceId(3)));
+    }
+
+    #[test]
+    fn non_snapshot_events_are_ignored() {
+        let fr = FlightRecorder::new();
+        let tracer = SessionTracer::new();
+        tracer.record(&fr, &TraceEvent::SessionStarted);
+        fr.record(&snapshot_event("received", "M", "a=1"));
+        assert!(fr.all().is_empty());
+    }
+}

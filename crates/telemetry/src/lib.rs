@@ -26,6 +26,17 @@
 //!   ([`Snapshot::parse_text`]) so the format is stable and scriptable
 //!   (the `starlink stats` CLI renders either a live endpoint or a saved
 //!   exposition file).
+//! * Per-session causal tracing — [`SessionTracer`] mints a
+//!   [`SessionTraceId`] per accepted connection and stamps every event
+//!   with a [`TraceMeta`] (session id, monotonic timestamp, span +
+//!   parent span), [`TraceBuffer`] retains the last N completed session
+//!   span trees, [`FlightRecorder`] captures abstract-message field
+//!   values pre-/post-γ behind a redaction hook, and the exporters
+//!   ([`chrome_events`] + [`render_chrome_json`], [`render_timeline`])
+//!   render a trace as Chrome `trace_event` JSON (loadable in
+//!   `chrome://tracing`/Perfetto) or a plain-text timeline, with a
+//!   zero-dep validating parser ([`validate_chrome_trace`]) for smoke
+//!   tests.
 //!
 //! This crate has **zero dependencies** (not even on `starlink-message`)
 //! so every layer of the workspace — codecs, the MTL interpreter,
@@ -39,13 +50,25 @@
 #![warn(missing_docs)]
 
 mod event;
+mod export;
+mod flight;
 mod metrics;
 mod recorder;
 mod sink;
 mod snapshot;
+mod span;
 
 pub use event::{ProbeOutcome, TraceEvent, TransitionKind};
+pub use export::{
+    chrome_events, parse_chrome_trace, render_chrome_json, render_timeline, validate_chrome_trace,
+    ChromeEvent, TraceStats,
+};
+pub use flight::{FlightRecorder, MessageCapture, RedactionFn};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, DURATION_BUCKET_BOUNDS_NS};
 pub use recorder::Recorder;
 pub use sink::{noop_sink, FanoutSink, NoopSink, TelemetrySink};
 pub use snapshot::{ExpositionError, MetricFamily, MetricKind, Sample, Snapshot};
+pub use span::{
+    SessionTrace, SessionTraceId, SessionTracer, SpanGuard, SpanId, SpanScopedSink, TraceBuffer,
+    TraceMeta, TraceRecord, TraceRecordKind,
+};

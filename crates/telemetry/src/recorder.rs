@@ -7,9 +7,21 @@ use crate::sink::TelemetrySink;
 use crate::snapshot::{MetricFamily, MetricKind, Sample, Snapshot};
 use std::collections::VecDeque;
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Default capacity of the recent-events ring buffer.
 const DEFAULT_RING_CAPACITY: usize = 128;
+
+/// The recorder's creation instant (wrapped so `Recorder` can keep
+/// deriving `Default`).
+#[derive(Debug, Clone, Copy)]
+struct Epoch(Instant);
+
+impl Default for Epoch {
+    fn default() -> Self {
+        Epoch(Instant::now())
+    }
+}
 
 /// A [`TelemetrySink`] that aggregates every event into counters, gauges
 /// and fixed-bucket histograms (all lock-free on the record path except
@@ -51,6 +63,7 @@ pub struct Recorder {
     queue_depth: Gauge,
     ring_capacity: usize,
     ring: Mutex<VecDeque<String>>,
+    epoch: Epoch,
 }
 
 impl Recorder {
@@ -68,7 +81,10 @@ impl Recorder {
         }
     }
 
-    /// The most recent events (oldest first), rendered as debug lines.
+    /// The most recent events (oldest first), each rendered as a debug
+    /// line prefixed with `+<nanos>ns` — monotonic nanoseconds since
+    /// this recorder was created, so ring entries are ordered relative
+    /// to each other and to the recorder's lifetime.
     pub fn recent(&self) -> Vec<String> {
         self.ring
             .lock()
@@ -111,7 +127,8 @@ impl Recorder {
         if ring.len() == self.ring_capacity {
             ring.pop_front();
         }
-        ring.push_back(format!("{event:?}"));
+        let offset_ns = self.epoch.0.elapsed().as_nanos() as u64;
+        ring.push_back(format!("+{offset_ns}ns {event:?}"));
     }
 
     /// Builds the snapshot (also available through the
@@ -261,6 +278,11 @@ impl TelemetrySink for Recorder {
             TraceEvent::WorkerPanic => self.worker_panics.inc(),
             TraceEvent::ActiveSessions { count } => self.active_sessions.set(count as u64),
             TraceEvent::QueueDepth { depth } => self.queue_depth.set(depth as u64),
+            // Tracing structure is the TraceBuffer's / FlightRecorder's
+            // business; the aggregate view ignores it.
+            TraceEvent::SpanOpened { .. }
+            | TraceEvent::SpanClosed { .. }
+            | TraceEvent::MessageSnapshot { .. } => {}
         }
         self.retain(event);
     }
@@ -334,6 +356,36 @@ mod tests {
         assert_eq!(recent.len(), 2);
         assert!(recent[0].contains("SessionFailed"));
         assert!(recent[1].contains("SessionFinished"));
+    }
+
+    #[test]
+    fn ring_entries_carry_monotonic_offsets() {
+        let r = Recorder::new();
+        r.record(&TraceEvent::SessionStarted);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        r.record(&TraceEvent::SessionFailed { stage: "net" });
+        let recent = r.recent();
+        let offset = |line: &str| -> u64 {
+            let rest = line.strip_prefix('+').expect("offset prefix");
+            let (ns, _) = rest.split_once("ns ").expect("ns suffix");
+            ns.parse().expect("numeric offset")
+        };
+        assert!(offset(&recent[0]) < offset(&recent[1]));
+    }
+
+    #[test]
+    fn gauge_peaks_render_and_round_trip() {
+        let r = Recorder::new();
+        r.record(&TraceEvent::ActiveSessions { count: 8 });
+        r.record(&TraceEvent::ActiveSessions { count: 3 });
+        let snap = r.snapshot();
+        let text = snap.render_text();
+        assert!(text.contains("# TYPE starlink_active_sessions_peak gauge"));
+        assert!(text.contains("starlink_active_sessions_peak 8"));
+        assert!(text.contains("starlink_active_sessions 3"));
+        let back = Snapshot::parse_text(&text).unwrap();
+        assert_eq!(back.counter("starlink_active_sessions_peak"), 8);
+        assert_eq!(back.counter("starlink_queue_depth_peak"), 0);
     }
 
     #[test]

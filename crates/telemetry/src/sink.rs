@@ -2,6 +2,7 @@
 
 use crate::event::TraceEvent;
 use crate::snapshot::Snapshot;
+use crate::span::TraceMeta;
 use std::sync::Arc;
 
 /// A consumer of [`TraceEvent`]s.
@@ -35,6 +36,33 @@ pub trait TelemetrySink: Send + Sync {
     /// A point-in-time metric aggregate, when this sink maintains one.
     fn snapshot(&self) -> Option<Snapshot> {
         None
+    }
+
+    /// Consumes one event with its causal metadata (session id,
+    /// monotonic timestamp, span tree position). The default discards
+    /// the metadata and forwards to [`TelemetrySink::record`], so
+    /// aggregate sinks keep counting traced events without change;
+    /// trace-aware sinks ([`crate::TraceBuffer`], [`crate::FlightRecorder`])
+    /// override it.
+    fn record_traced(&self, meta: &TraceMeta, event: &TraceEvent<'_>) {
+        let _ = meta;
+        self.record(event);
+    }
+
+    /// Whether this sink consumes span metadata. Emitting layers only
+    /// mint a [`crate::SessionTracer`] (and pay its timestamping and
+    /// span bookkeeping) when this returns `true`, so purely aggregate
+    /// deployments keep PR 3's cost profile. Defaults to `false`.
+    fn wants_spans(&self) -> bool {
+        false
+    }
+
+    /// Whether this sink consumes [`TraceEvent::MessageSnapshot`]
+    /// payloads. Rendering abstract-message fields to text is the most
+    /// expensive thing the instrumentation can do, so it is gated on
+    /// this flag separately from `wants_spans`. Defaults to `false`.
+    fn wants_messages(&self) -> bool {
+        false
     }
 }
 
@@ -81,8 +109,22 @@ impl TelemetrySink for FanoutSink {
         }
     }
 
+    fn record_traced(&self, meta: &TraceMeta, event: &TraceEvent<'_>) {
+        for sink in &self.sinks {
+            sink.record_traced(meta, event);
+        }
+    }
+
     fn snapshot(&self) -> Option<Snapshot> {
         self.sinks.iter().find_map(|s| s.snapshot())
+    }
+
+    fn wants_spans(&self) -> bool {
+        self.sinks.iter().any(|s| s.wants_spans())
+    }
+
+    fn wants_messages(&self) -> bool {
+        self.sinks.iter().any(|s| s.wants_messages())
     }
 }
 

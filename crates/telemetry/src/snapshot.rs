@@ -88,6 +88,60 @@ impl MetricFamily {
             count: None,
         }
     }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) of a histogram family
+    /// from its cumulative `le` buckets, interpolating linearly within
+    /// the bucket the quantile falls into (the standard Prometheus
+    /// `histogram_quantile` estimate). The `+Inf` bucket has no upper
+    /// edge, so a quantile landing there is clamped to the largest
+    /// finite bound.
+    ///
+    /// Returns `None` for non-histograms, empty histograms, or a `q`
+    /// outside `0.0 ..= 1.0`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.kind != MetricKind::Histogram || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let buckets: Vec<(f64, u64)> = self
+            .samples
+            .iter()
+            .filter_map(|s| {
+                let le = s
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .map(|(_, v)| v.as_str())?;
+                let bound = if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse().ok()?
+                };
+                Some((bound, s.value))
+            })
+            .collect();
+        let total = buckets.last().map(|&(_, c)| c).filter(|&c| c > 0)?;
+        let rank = q * total as f64;
+        let mut prev_bound = 0.0;
+        let mut prev_cumulative = 0u64;
+        for &(bound, cumulative) in &buckets {
+            if (cumulative as f64) >= rank {
+                if bound.is_infinite() {
+                    // No upper edge to interpolate towards; report the
+                    // last finite bound as a lower-bound estimate.
+                    return Some(prev_bound);
+                }
+                let in_bucket = (cumulative - prev_cumulative) as f64;
+                if in_bucket == 0.0 {
+                    return Some(bound);
+                }
+                let fraction = (rank - prev_cumulative as f64) / in_bucket;
+                return Some(prev_bound + (bound - prev_bound) * fraction);
+            }
+            prev_bound = bound;
+            prev_cumulative = cumulative;
+        }
+        None
+    }
 }
 
 /// A point-in-time aggregate of every metric a sink maintains.
@@ -424,5 +478,92 @@ mod tests {
         let text = "# HELP x whatever\n# TYPE x counter\nx 1\n";
         let snap = Snapshot::parse_text(text).unwrap();
         assert_eq!(snap.counter("x"), 1);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = Snapshot::default();
+        let text = snap.render_text();
+        assert!(text.is_empty());
+        let back = Snapshot::parse_text(&text).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn utf8_label_values_round_trip() {
+        let snap = Snapshot {
+            families: vec![MetricFamily::simple(
+                "utf8",
+                MetricKind::Gauge,
+                vec![
+                    Sample::labelled("op", "photos.getPièces", 2),
+                    Sample::labelled("op", "γ-переход→完了", 5),
+                ],
+            )],
+        };
+        let back = Snapshot::parse_text(&snap.render_text()).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.value("utf8", &[("op", "γ-переход→完了")]), Some(5));
+    }
+
+    #[test]
+    fn quote_and_backslash_heavy_labels_round_trip() {
+        // Every adjacency the escaper must keep apart: backslash before
+        // quote, double backslash, trailing backslash, literal `\n` text
+        // vs a real newline.
+        for value in [
+            r#"\""#,
+            r#"\\"#,
+            "ends-with\\",
+            r#"literal\n"#,
+            "real\nnewline",
+        ] {
+            let snap = Snapshot {
+                families: vec![MetricFamily::simple(
+                    "edge",
+                    MetricKind::Counter,
+                    vec![Sample::labelled("v", value, 1)],
+                )],
+            };
+            let back = Snapshot::parse_text(&snap.render_text()).unwrap();
+            assert_eq!(back, snap, "value {value:?} did not round-trip");
+        }
+    }
+
+    fn duration_histogram(counts: &[(&str, u64)], count: u64) -> MetricFamily {
+        MetricFamily {
+            name: "h".to_owned(),
+            kind: MetricKind::Histogram,
+            samples: counts
+                .iter()
+                .map(|&(le, v)| Sample::labelled("le", le, v))
+                .collect(),
+            sum: Some(0),
+            count: Some(count),
+        }
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        // 10 observations ≤1000, another 10 in (1000, 2000].
+        let h = duration_histogram(&[("1000", 10), ("2000", 20), ("+Inf", 20)], 20);
+        assert_eq!(h.quantile(0.5), Some(1000.0));
+        // p75: rank 15, bucket (1000, 2000] holds ranks 11..=20 →
+        // halfway through the bucket.
+        assert_eq!(h.quantile(0.75), Some(1500.0));
+        // First bucket interpolates from 0.
+        assert_eq!(h.quantile(0.25), Some(500.0));
+    }
+
+    #[test]
+    fn quantile_clamps_at_inf_and_rejects_empty() {
+        let h = duration_histogram(&[("1000", 10), ("+Inf", 12)], 12);
+        // p99 lands in +Inf: clamped to the largest finite bound.
+        assert_eq!(h.quantile(0.99), Some(1000.0));
+        let empty = duration_histogram(&[("1000", 0), ("+Inf", 0)], 0);
+        assert_eq!(empty.quantile(0.5), None);
+        let counter = MetricFamily::simple("c", MetricKind::Counter, vec![Sample::plain(3)]);
+        assert_eq!(counter.quantile(0.5), None);
+        assert_eq!(h.quantile(1.5), None);
     }
 }

@@ -7,6 +7,7 @@
 use starlink::apps::calculator::{add_plus_mediator, run_add_workload, PlusService};
 use starlink::core::MediatorHost;
 use starlink::net::{Endpoint, NetworkEngine, TcpTransport};
+use starlink::telemetry::{chrome_events, render_chrome_json, render_timeline};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -23,7 +24,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plus = PlusService::deploy(&net, &Endpoint::tcp("127.0.0.1", 0))?;
     println!("SOAP Plus service at {}", plus.endpoint());
 
-    let mediator = add_plus_mediator(net.clone(), plus.endpoint().clone())?;
+    let mut mediator = add_plus_mediator(net.clone(), plus.endpoint().clone())?;
+    let (traces, flight) = mediator.enable_tracing();
     let host = MediatorHost::deploy_multiplexed(mediator, &Endpoint::tcp("127.0.0.1", 0), WORKERS)?;
     println!(
         "mediator (GIOP face) at {} — {WORKERS} worker threads\n",
@@ -46,5 +48,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n--- telemetry snapshot ---");
     print!("{}", host.telemetry_snapshot().render_text());
+
+    // Per-session causal trace of one completed session: accept →
+    // receive/parse → γ-translate → send on each color, as a span tree.
+    // The very latest trace is the empty traversal parked when the
+    // client hung up, so show the latest one that did translation work.
+    let traced = traces
+        .traces()
+        .into_iter()
+        .rev()
+        .find(|t| t.span_names().contains(&"gamma"));
+    if let Some(trace) = traced {
+        println!("\n--- latest session trace ---");
+        print!("{}", render_timeline(&trace));
+        let captures = flight.captures(trace.session);
+        println!("--- flight recorder ({} captures) ---", captures.len());
+        for c in &captures {
+            println!("  {} {}", c.stage, c.message);
+        }
+    }
+
+    // STARLINK_TRACE_OUT=<path> dumps every completed session trace as
+    // Chrome trace_event JSON (load in chrome://tracing or Perfetto).
+    if let Ok(path) = std::env::var("STARLINK_TRACE_OUT") {
+        let events: Vec<_> = traces.traces().iter().flat_map(chrome_events).collect();
+        std::fs::write(&path, render_chrome_json(&events))?;
+        println!("\nwrote Chrome trace ({} events) to {path}", events.len());
+    }
     Ok(())
 }
