@@ -14,6 +14,10 @@
 //! starlink trace <endpoint-or-file> [--export-json <path>]
 //!                                        fetch or parse a Chrome trace, validate,
 //!                                        print a per-session timeline
+//! starlink health <endpoint-or-file> [--watch] [--interval <secs>] [--count <n>]
+//!                                        fetch or parse a health report; exit code
+//!                                        0 healthy / 1 degraded / 2 unhealthy
+//!                                        (3 = could not fetch or parse)
 //! ```
 //!
 //! Registry file format (one declaration per line):
@@ -30,30 +34,34 @@ use starlink_core::ModelRegistry;
 use starlink_mdl::{MdlCodec, MessageCodec};
 use starlink_message::equiv::SemanticRegistry;
 use starlink_mtl::MtlProgram;
-use starlink_net::{Endpoint, NetworkEngine};
-use starlink_telemetry::{parse_chrome_trace, validate_chrome_trace, ChromeEvent, Snapshot};
+use starlink_net::{Endpoint, NetError, NetworkEngine};
+use starlink_telemetry::{
+    parse_chrome_trace, validate_chrome_trace, ChromeEvent, HealthReport, HealthStatus, Snapshot,
+};
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
-        Some("validate") => cmd_validate(&args[1..]),
-        Some("dot") => cmd_dot(&args[1..]),
-        Some("mdl-check") => cmd_mdl_check(&args[1..]),
-        Some("mtl-check") => cmd_mtl_check(&args[1..]),
-        Some("merge") => cmd_merge(&args[1..]),
-        Some("models") => cmd_models(&args[1..]),
-        Some("stats") => cmd_stats(&args[1..]),
-        Some("trace") => cmd_trace(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("dot") => cmd_dot(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("mdl-check") => cmd_mdl_check(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("mtl-check") => cmd_mtl_check(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("merge") => cmd_merge(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("models") => cmd_models(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("stats") => cmd_stats(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("trace") => cmd_trace(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("health") => cmd_health(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", USAGE);
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(message) => {
             eprintln!("starlink: {message}");
             ExitCode::FAILURE
@@ -75,6 +83,10 @@ USAGE:
   starlink trace <endpoint-or-file> [--export-json <path>]
                                          fetch or parse a Chrome trace, validate,
                                          print a per-session timeline
+  starlink health <endpoint-or-file> [--watch] [--interval <secs>] [--count <n>]
+                                         fetch or parse a health report; exit code
+                                         0 healthy / 1 degraded / 2 unhealthy
+                                         (3 = could not fetch or parse)
 ";
 
 fn read(path: &str) -> Result<String, String> {
@@ -244,23 +256,53 @@ fn cmd_merge(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// How long a fetch waits for the endpoint's reply frame.
+const FETCH_TIMEOUT: Duration = Duration::from_secs(5);
+
 /// Fetches one text frame from an endpoint, or reads a file — shared by
 /// `stats` and `trace`, which both accept either form.
 fn fetch_or_read(cmd: &str, target: &str) -> Result<String, String> {
-    if target.contains("://") {
-        let endpoint: Endpoint = target
-            .parse()
-            .map_err(|e| format!("{cmd}: {target}: {e}"))?;
-        let mut conn = NetworkEngine::with_defaults()
-            .connect(&endpoint)
-            .map_err(|e| format!("{cmd}: cannot connect to {target}: {e}"))?;
-        let frame = conn
-            .receive()
-            .map_err(|e| format!("{cmd}: receiving from {target}: {e}"))?;
-        String::from_utf8(frame).map_err(|_| format!("{cmd}: {target}: frame is not UTF-8"))
-    } else {
-        read(target)
+    fetch_or_read_with(cmd, target, None)
+}
+
+/// Like [`fetch_or_read`], optionally sending a diagnostics selector
+/// frame first (the `health` command's request protocol). Errors name
+/// the endpoint tried and distinguish a refused connection from an
+/// endpoint that accepted but never answered (or answered empty).
+fn fetch_or_read_with(cmd: &str, target: &str, request: Option<&str>) -> Result<String, String> {
+    if !target.contains("://") {
+        return read(target);
     }
+    let endpoint: Endpoint = target
+        .parse()
+        .map_err(|e| format!("{cmd}: {target}: {e}"))?;
+    let mut conn = NetworkEngine::with_defaults().connect(&endpoint).map_err(|e| {
+        format!("{cmd}: cannot connect to {target}: {e} (is the endpoint exposed and the host running?)")
+    })?;
+    if let Some(selector) = request {
+        conn.send(selector.as_bytes())
+            .map_err(|e| format!("{cmd}: sending request to {target}: {e}"))?;
+    }
+    let frame = match conn.receive_timeout(FETCH_TIMEOUT) {
+        Ok(frame) => frame,
+        Err(NetError::Closed) => {
+            return Err(format!(
+                "{cmd}: {target} closed the connection without sending a frame \
+                 (endpoint reachable, but not serving this protocol?)"
+            ));
+        }
+        Err(NetError::Timeout) => {
+            return Err(format!(
+                "{cmd}: no frame from {target} within {}s",
+                FETCH_TIMEOUT.as_secs()
+            ));
+        }
+        Err(e) => return Err(format!("{cmd}: receiving from {target}: {e}")),
+    };
+    if frame.is_empty() {
+        return Err(format!("{cmd}: {target} sent an empty frame"));
+    }
+    String::from_utf8(frame).map_err(|_| format!("{cmd}: {target}: frame is not UTF-8"))
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {
@@ -424,6 +466,156 @@ fn render_event_timeline(events: &[ChromeEvent]) -> String {
         }
     }
     out
+}
+
+fn cmd_health(args: &[String]) -> Result<ExitCode, String> {
+    let mut target: Option<String> = None;
+    let mut watch = false;
+    let mut interval = Duration::from_secs(2);
+    let mut count: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--watch" => {
+                watch = true;
+                i += 1;
+            }
+            "--interval" => {
+                let secs: u64 = args
+                    .get(i + 1)
+                    .ok_or("health: --interval needs a number of seconds")?
+                    .parse()
+                    .map_err(|_| "health: --interval needs a number of seconds".to_owned())?;
+                interval = Duration::from_secs(secs.max(1));
+                i += 2;
+            }
+            "--count" => {
+                let n: u64 = args
+                    .get(i + 1)
+                    .ok_or("health: --count needs a number of polls")?
+                    .parse()
+                    .map_err(|_| "health: --count needs a number of polls".to_owned())?;
+                count = Some(n.max(1));
+                i += 2;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("health: unknown option `{other}`"));
+            }
+            _ => {
+                if target.replace(args[i].clone()).is_some() {
+                    return Err("health: exactly one <endpoint> or <report file> expected".into());
+                }
+                i += 1;
+            }
+        }
+    }
+    let Some(target) = target else {
+        return Err("health: exactly one <endpoint> or <report file> expected".into());
+    };
+    if !watch {
+        return Ok(match fetch_health(&target) {
+            Ok(report) => {
+                print!("{}", render_health(&report));
+                ExitCode::from(report.overall.exit_code())
+            }
+            Err(e) => {
+                eprintln!("starlink: {e}");
+                ExitCode::from(3)
+            }
+        });
+    }
+    // Watch mode: poll at the interval, printing one line per poll with
+    // the checks that changed status since the previous one. The exit
+    // code reflects the last poll.
+    let mut last: Option<HealthReport> = None;
+    let mut last_code;
+    let mut polls = 0u64;
+    loop {
+        match fetch_health(&target) {
+            Ok(report) => {
+                println!("{}", watch_line(&report, last.as_ref()));
+                last_code = report.overall.exit_code();
+                last = Some(report);
+            }
+            Err(e) => {
+                eprintln!("starlink: {e}");
+                last_code = 3;
+                last = None;
+            }
+        }
+        polls += 1;
+        if count.is_some_and(|c| polls >= c) {
+            break;
+        }
+        std::thread::sleep(interval);
+    }
+    Ok(ExitCode::from(last_code))
+}
+
+/// Fetches (sending the `health` diagnostics selector) or reads, then
+/// parses, one health report. A server-side error frame (`error: …`) is
+/// surfaced as the error message rather than a parse failure.
+fn fetch_health(target: &str) -> Result<HealthReport, String> {
+    let text = fetch_or_read_with("health", target, Some("health"))?;
+    if let Some(message) = text.strip_prefix("error:") {
+        return Err(format!("health: {target}: {}", message.trim()));
+    }
+    HealthReport::parse_text(&text).map_err(|e| format!("health: {target}: {e}"))
+}
+
+/// Full human-readable report: overall verdict, then each pair's checks.
+fn render_health(report: &HealthReport) -> String {
+    let mut out = format!("overall: {}\n", report.overall);
+    for pair in &report.pairs {
+        out.push_str(&format!("pair {}: {}\n", pair.pair, pair.status));
+        for check in &pair.checks {
+            out.push_str(&format!(
+                "  {:<17} {:<9} {}\n",
+                check.name,
+                check.status.label(),
+                check.reason
+            ));
+        }
+    }
+    out
+}
+
+/// One `--watch` line: the overall verdict plus deltas — checks whose
+/// status changed since the previous poll (or, on the first poll, every
+/// check that is not healthy).
+fn watch_line(report: &HealthReport, last: Option<&HealthReport>) -> String {
+    let mut line = format!("health {}", report.overall);
+    for pair in &report.pairs {
+        let prev_pair = last.and_then(|l| l.pairs.iter().find(|p| p.pair == pair.pair));
+        for check in &pair.checks {
+            let prev = prev_pair
+                .and_then(|p| p.checks.iter().find(|c| c.name == check.name))
+                .map(|c| c.status);
+            match (last, prev) {
+                // First poll: surface anything not healthy.
+                (None, _) if check.status != HealthStatus::Healthy => {
+                    line.push_str(&format!(
+                        "  [{} {}: {}]",
+                        check.name,
+                        check.status.label(),
+                        check.reason
+                    ));
+                }
+                // Later polls: surface transitions only.
+                (Some(_), prev) if prev != Some(check.status) => {
+                    line.push_str(&format!(
+                        "  [{} {} -> {}: {}]",
+                        check.name,
+                        prev.map(HealthStatus::label).unwrap_or("new"),
+                        check.status.label(),
+                        check.reason
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+    line
 }
 
 fn cmd_models(args: &[String]) -> Result<(), String> {

@@ -6,6 +6,7 @@
 //! [`crate::MediatorHost`].
 
 use crate::error::CoreError;
+use crate::ops::{OpsRuntime, SessionEntry, StallPolicy};
 use crate::session_core::{
     SessionCore, SessionEvent, SessionIo, SessionOutcome, SessionPersist, SessionSpec,
 };
@@ -17,6 +18,15 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Per-connection view of the operations plane: the host's shared
+/// runtime plus this connection's directory id. `None` when the mediator
+/// never called `enable_ops` — the driver then pays nothing beyond one
+/// `Option` check per receive.
+pub(crate) struct SessionWatch {
+    pub ops: Arc<OpsRuntime>,
+    pub id: u64,
+}
 
 /// Mutable per-connection state shared across successive traversals on
 /// the same client connection (the translation cache persists so that
@@ -61,6 +71,7 @@ pub(crate) fn run_blocking(
     client_conn: &mut dyn Connection,
     state: &mut ConnectionState,
     stop: Option<&AtomicBool>,
+    watch: Option<&SessionWatch>,
 ) -> Result<SessionOutcome> {
     let persist = SessionPersist {
         cache: std::mem::replace(&mut state.cache, TranslationCache::new()),
@@ -70,7 +81,16 @@ pub(crate) fn run_blocking(
         tracer: state.tracer.take(),
     };
     let mut core = SessionCore::new(spec.clone(), persist)?;
-    let result = drive(&mut core, spec, net, timeout, client_conn, state, stop);
+    let result = drive(
+        &mut core,
+        spec,
+        net,
+        timeout,
+        client_conn,
+        state,
+        stop,
+        watch,
+    );
     if let Err(err) = &result {
         core.record_failure(err);
     }
@@ -84,6 +104,7 @@ pub(crate) fn run_blocking(
     result
 }
 
+#[allow(clippy::too_many_arguments)]
 fn drive(
     core: &mut SessionCore,
     spec: &Arc<SessionSpec>,
@@ -92,6 +113,7 @@ fn drive(
     client_conn: &mut dyn Connection,
     state: &mut ConnectionState,
     stop: Option<&AtomicBool>,
+    watch: Option<&SessionWatch>,
 ) -> Result<SessionOutcome> {
     let mut ios = core.start()?;
     loop {
@@ -125,8 +147,17 @@ fn drive(
                 reason: "session core yielded without finishing or requesting input".to_owned(),
             });
         };
+        if let Some(w) = watch {
+            w.ops.directory.upsert(SessionEntry {
+                id: w.id,
+                state: core.current_state().to_owned(),
+                awaiting: Some(color),
+                since: Instant::now(),
+                stalled: false,
+            });
+        }
         let wire = if color == spec.client_color {
-            receive_stoppable(client_conn, timeout, stop)?
+            receive_watched(client_conn, timeout, stop, watch, core)?
         } else {
             let conn = state
                 .service_conns
@@ -134,37 +165,80 @@ fn drive(
                 .ok_or_else(|| CoreError::Aborted {
                     reason: format!("receive on color {color} before any request was sent"),
                 })?;
-            receive_stoppable(conn.as_mut(), timeout, stop)?
+            receive_watched(conn.as_mut(), timeout, stop, watch, core)?
         };
         ios = core.step(SessionEvent::WireReceived { color, bytes: wire })?;
     }
 }
 
-/// Blocking receive that honours an optional stop flag by receiving in
-/// short slices. Timeout and close semantics match a plain
-/// `receive_timeout` call.
-fn receive_stoppable(
+/// Blocking receive that honours an optional stop flag and an optional
+/// stall watchdog by receiving in short slices. Timeout and close
+/// semantics match a plain `receive_timeout` call.
+///
+/// Once the wait exceeds the watchdog's stall deadline the session is
+/// flagged (`SessionCore::note_stalled` emits `SessionStalled` once per
+/// episode, the directory entry is marked, and the stalled gauge rises);
+/// under [`StallPolicy::Abort`] the receive then fails with
+/// [`CoreError::Stalled`]. However the wait ends, a flagged episode
+/// lowers the gauge on the way out — bytes arriving, the traversal
+/// timeout, or the abort all conclude it.
+fn receive_watched(
     conn: &mut dyn Connection,
     timeout: Duration,
     stop: Option<&AtomicBool>,
+    watch: Option<&SessionWatch>,
+    core: &mut SessionCore,
 ) -> Result<Vec<u8>> {
-    let Some(stop) = stop else {
+    let watchdog = watch.and_then(|w| w.ops.watchdog);
+    if stop.is_none() && watchdog.is_none() {
         return Ok(conn.receive_timeout(timeout)?);
-    };
-    let deadline = Instant::now() + timeout;
-    loop {
-        if stop.load(Ordering::SeqCst) {
-            return Err(CoreError::HostStopped);
+    }
+    let start = Instant::now();
+    let deadline = start + timeout;
+    let result = loop {
+        if let Some(stop) = stop {
+            if stop.load(Ordering::SeqCst) {
+                break Err(CoreError::HostStopped);
+            }
         }
         let now = Instant::now();
-        if now >= deadline {
-            return Err(CoreError::Net(starlink_net::NetError::Timeout));
+        if let (Some(w), Some(wd)) = (watch, watchdog) {
+            let waited = now.saturating_duration_since(start);
+            if waited >= wd.stall_after && !core.stall_flagged() {
+                let waited_ms = waited.as_millis() as u64;
+                if core.note_stalled(waited_ms) {
+                    w.ops.directory.mark_stalled(w.id);
+                    w.ops.stall_raised();
+                }
+                if wd.policy == StallPolicy::Abort {
+                    break Err(CoreError::Stalled {
+                        state: core.current_state().to_owned(),
+                        waited_ms,
+                    });
+                }
+            }
         }
-        let slice = STOP_POLL.min(deadline - now);
+        if now >= deadline {
+            break Err(CoreError::Net(starlink_net::NetError::Timeout));
+        }
+        let mut slice = STOP_POLL.min(deadline - now);
+        if let Some(wd) = watchdog {
+            // Wake in time to flag the stall, not a full poll slice late.
+            let stall_at = start + wd.stall_after;
+            if stall_at > now {
+                slice = slice.min(stall_at - now);
+            }
+        }
         match conn.receive_timeout(slice) {
-            Ok(wire) => return Ok(wire),
+            Ok(wire) => break Ok(wire),
             Err(starlink_net::NetError::Timeout) => continue,
-            Err(e) => return Err(e.into()),
+            Err(e) => break Err(e.into()),
+        }
+    };
+    if let Some(w) = watch {
+        if core.stall_flagged() {
+            w.ops.stall_lowered();
         }
     }
+    result
 }

@@ -56,6 +56,17 @@ pub enum CoreError {
     },
     /// The host rejected new work because it is shutting down.
     HostStopped,
+    /// A stall watchdog aborted the session: it had been awaiting a
+    /// receive beyond the configured stall deadline (see
+    /// `WatchdogConfig` / `StallPolicy::Abort`). *Not* an orderly end —
+    /// a stall is exactly the failure mode the operations plane exists
+    /// to surface.
+    Stalled {
+        /// The automaton state the session was stuck in.
+        state: String,
+        /// How long it had been awaiting, in milliseconds.
+        waited_ms: u64,
+    },
 }
 
 impl CoreError {
@@ -76,6 +87,7 @@ impl CoreError {
             CoreError::Aborted { .. } => "aborted",
             CoreError::UnexpectedEvent { .. } => "unexpected-event",
             CoreError::HostStopped => "host-stopped",
+            CoreError::Stalled { .. } => "stalled",
         }
     }
 
@@ -122,6 +134,10 @@ impl fmt::Display for CoreError {
                 write!(f, "unexpected session event: {detail}")
             }
             CoreError::HostStopped => write!(f, "mediator host is shutting down"),
+            CoreError::Stalled { state, waited_ms } => write!(
+                f,
+                "session stalled in state `{state}` ({waited_ms} ms awaiting a receive)"
+            ),
         }
     }
 }

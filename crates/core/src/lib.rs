@@ -44,6 +44,7 @@ mod engine;
 mod error;
 mod mediator;
 mod monitor;
+mod ops;
 mod registry;
 mod rpc;
 mod session_core;
@@ -55,6 +56,7 @@ pub use engine::ColorRuntime;
 pub use error::CoreError;
 pub use mediator::{Mediator, MediatorHost};
 pub use monitor::ProtocolMonitor;
+pub use ops::{OpsConfig, SessionDirectory, SessionEntry, StallPolicy, WatchdogConfig};
 pub use registry::ModelRegistry;
 pub use rpc::{RpcClient, RpcServer, ServiceHandler, ServiceInterface};
 pub use session_core::{
@@ -66,9 +68,10 @@ pub use session_core::{
 // out of `MediatorHost::trace_buffer` / `flight_recorder` after
 // `Mediator::enable_tracing`).
 pub use starlink_telemetry::{
-    noop_sink, FanoutSink, FlightRecorder, MessageCapture, NoopSink, Recorder, SessionTrace,
-    SessionTraceId, SessionTracer, Snapshot, TelemetrySink, TraceBuffer, TraceEvent, TraceRecord,
-    TraceRecordKind,
+    noop_sink, FanoutSink, FlightRecorder, HealthCheck, HealthReport, HealthStatus,
+    HealthThresholds, MessageCapture, NoopSink, PairHealth, Recorder, SessionTrace, SessionTraceId,
+    SessionTracer, Snapshot, TelemetrySink, TraceBuffer, TraceEvent, TraceRecord, TraceRecordKind,
+    WindowAggregator, WindowConfig, WindowCounts,
 };
 
 /// Convenience result alias for this crate.

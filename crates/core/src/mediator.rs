@@ -16,9 +16,10 @@
 //!   connection readiness plus a bounded worker pool stepping session
 //!   cores, so many idle clients cost no threads.
 
-use crate::driver::{self, ConnectionState};
+use crate::driver::{self, ConnectionState, SessionWatch};
 use crate::engine::ColorRuntime;
 use crate::error::CoreError;
+use crate::ops::{OpsConfig, OpsRuntime, SessionEntry, StallPolicy};
 use crate::session_core::{
     ColorConfig, SessionCore, SessionEvent, SessionIo, SessionOutcome, SessionPersist, SessionSpec,
 };
@@ -28,8 +29,9 @@ use starlink_mtl::MtlProgram;
 use starlink_net::channel::{self, Receiver, Sender};
 use starlink_net::{Connection, Endpoint, NetError, NetworkEngine};
 use starlink_telemetry::{
-    chrome_events, render_chrome_json, FanoutSink, FlightRecorder, Recorder, SessionTracer,
-    Snapshot, TelemetrySink, TraceBuffer, TraceEvent,
+    chrome_events, evaluate_pair, render_chrome_json, FanoutSink, FlightRecorder, HealthInputs,
+    HealthReport, Recorder, SessionTracer, Snapshot, TelemetrySink, TraceBuffer, TraceEvent,
+    WindowAggregator, WindowCounts,
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -43,6 +45,11 @@ const IDLE_POLL: Duration = Duration::from_millis(1);
 /// How long the accept loop backs off after a transient accept error.
 const ACCEPT_BACKOFF: Duration = Duration::from_millis(5);
 
+/// How long the diagnostics endpoint waits for an optional selector
+/// frame before answering with the default selector (back-compat with
+/// clients that connect and only read, as `starlink stats` always has).
+const REQUEST_WAIT: Duration = Duration::from_millis(200);
+
 /// A deployable mediator: merged automaton + per-color runtimes.
 pub struct Mediator {
     spec: Arc<SessionSpec>,
@@ -53,6 +60,10 @@ pub struct Mediator {
     /// deployment so callers can read traces back.
     trace_buffer: Option<Arc<TraceBuffer>>,
     flight: Option<Arc<FlightRecorder>>,
+    /// Installed by [`Mediator::enable_ops`]; handed to the host at
+    /// deployment, which builds the watchdog/health runtime from it.
+    ops: Option<OpsConfig>,
+    window: Option<Arc<WindowAggregator>>,
 }
 
 impl Mediator {
@@ -111,7 +122,38 @@ impl Mediator {
             timeout: Duration::from_secs(10),
             trace_buffer: None,
             flight: None,
+            ops: None,
+            window: None,
         })
+    }
+
+    /// Switches on the operations plane: installs a sliding-window
+    /// aggregator (labelled with the merged automaton's name) next to
+    /// whatever sink is already injected, and records the watchdog
+    /// policy and health thresholds for the host to pick up at
+    /// deployment. Returns the window; after deployment the host serves
+    /// its rates, the stall watchdog, the live session directory and the
+    /// [`HealthReport`] through [`MediatorHost::expose_diagnostics`].
+    /// Idempotent — calling twice returns the already-installed window
+    /// (the first config wins).
+    pub fn enable_ops(&mut self, config: OpsConfig) -> Arc<WindowAggregator> {
+        if let Some(window) = &self.window {
+            return window.clone();
+        }
+        let window = Arc::new(WindowAggregator::new(
+            self.spec.automaton.name(),
+            config.window,
+        ));
+        let existing = self.telemetry();
+        let mut sinks: Vec<Arc<dyn TelemetrySink>> = Vec::with_capacity(2);
+        if existing.enabled() {
+            sinks.push(existing);
+        }
+        sinks.push(window.clone() as Arc<dyn TelemetrySink>);
+        self.set_telemetry(Arc::new(FanoutSink::new(sinks)));
+        self.ops = Some(config);
+        self.window = Some(window.clone());
+        window
     }
 
     /// Switches on per-session causal tracing: installs a
@@ -194,6 +236,7 @@ impl Mediator {
             client_conn,
             &mut state,
             None,
+            None,
         )
     }
 }
@@ -213,6 +256,9 @@ pub struct MediatorHost {
     /// Present when [`Mediator::enable_tracing`] ran before deployment.
     trace_buffer: Option<Arc<TraceBuffer>>,
     flight: Option<Arc<FlightRecorder>>,
+    /// Everything the diagnostics endpoint needs, cloneable into its
+    /// serving thread.
+    diag: DiagState,
     threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -234,6 +280,146 @@ fn install_recorder(mediator: &mut Mediator) -> Arc<dyn TelemetrySink> {
     sink
 }
 
+/// Builds the deployment's operations runtime from the mediator's
+/// [`OpsConfig`], clamping the watchdog's stall deadline inside the
+/// receive timeout so a stall is flagged before the timeout restarts the
+/// traversal (which would reset the wait unobserved).
+fn build_ops(mediator: &Mediator, telemetry: &Arc<dyn TelemetrySink>) -> Option<Arc<OpsRuntime>> {
+    let config = mediator.ops?;
+    let window = mediator.window.clone()?;
+    let watchdog = config.watchdog.map(|mut wd| {
+        if wd.stall_after >= mediator.timeout {
+            wd.stall_after = (mediator.timeout / 2).max(Duration::from_millis(1));
+        }
+        wd
+    });
+    Some(Arc::new(OpsRuntime::new(
+        window,
+        config.thresholds,
+        watchdog,
+        telemetry.clone(),
+    )))
+}
+
+/// The diagnostics endpoint's view of a deployed host: enough shared
+/// state to answer every selector without touching the host itself (the
+/// serving thread outlives borrows of [`MediatorHost`]).
+#[derive(Clone)]
+struct DiagState {
+    telemetry: Arc<dyn TelemetrySink>,
+    trace_buffer: Option<Arc<TraceBuffer>>,
+    /// The merged-automaton pair this host serves, labelling health and
+    /// window families.
+    pair: String,
+    /// Jobs handed to the worker pool and not yet handed back (always 0
+    /// for the thread-per-connection host).
+    queue_depth: Arc<AtomicUsize>,
+    /// Bounded job-channel capacity (0 = no bounded queue: threaded host).
+    queue_capacity: usize,
+    ops: Option<Arc<OpsRuntime>>,
+}
+
+impl DiagState {
+    /// Lifecycle counts feeding the health model: the sliding window
+    /// when ops are enabled, else lifetime counters recast as a window
+    /// of unspecified length (`window_secs` 0 — absolute thresholds
+    /// still grade, rate-denominated ones see totals).
+    fn window_counts(&self) -> WindowCounts {
+        match &self.ops {
+            Some(ops) => ops.window.counts(),
+            None => {
+                let snap = self.telemetry.snapshot().unwrap_or_default();
+                WindowCounts {
+                    window_secs: 0,
+                    started: snap.counter("starlink_sessions_started_total"),
+                    finished: snap.counter("starlink_sessions_finished_total"),
+                    failed: snap.counter("starlink_sessions_failed_total"),
+                    accepted: snap.counter("starlink_sessions_accepted_total"),
+                    accept_errors: snap.counter("starlink_accept_errors_total"),
+                    stalled: snap.counter("starlink_sessions_stalled_total"),
+                    failures_by_stage: Vec::new(),
+                }
+            }
+        }
+    }
+
+    fn health_report(&self) -> HealthReport {
+        let thresholds = self.ops.as_ref().map(|o| o.thresholds).unwrap_or_default();
+        let stalled_now = self
+            .ops
+            .as_ref()
+            .map(|o| o.stalled_now() as u64)
+            .unwrap_or(0);
+        let inputs = HealthInputs {
+            pair: self.pair.clone(),
+            window: self.window_counts(),
+            queue_depth: self.queue_depth.load(Ordering::SeqCst) as u64,
+            queue_capacity: self.queue_capacity as u64,
+            stalled_now,
+        };
+        HealthReport::single(evaluate_pair(&inputs, &thresholds))
+    }
+
+    /// The recorder's lifetime families plus windowed rates and health
+    /// gauges — the `stats` selector's payload.
+    fn diagnostics_snapshot(&self) -> Snapshot {
+        let mut snap = self.telemetry.snapshot().unwrap_or_default();
+        if let Some(ops) = &self.ops {
+            snap.families.extend(ops.window.families());
+        }
+        snap.families.extend(self.health_report().families());
+        snap
+    }
+
+    /// Answers one diagnostics request frame.
+    fn respond(&self, selector: &str) -> Vec<u8> {
+        match selector {
+            "" | "stats" => self.diagnostics_snapshot().render_text().into_bytes(),
+            "health" => self.health_report().render_text().into_bytes(),
+            "sessions" => match &self.ops {
+                Some(ops) => ops.directory.render_text().into_bytes(),
+                None => {
+                    b"error: session directory not enabled (call Mediator::enable_ops before deploying)\n"
+                        .to_vec()
+                }
+            },
+            "traces" => match &self.trace_buffer {
+                Some(buffer) => {
+                    let events: Vec<_> = buffer.traces().iter().flat_map(chrome_events).collect();
+                    render_chrome_json(&events).into_bytes()
+                }
+                None => {
+                    b"error: tracing not enabled (call Mediator::enable_tracing before deploying)\n"
+                        .to_vec()
+                }
+            },
+            other => format!(
+                "error: unknown diagnostics selector `{other}` (expected stats, traces, health or sessions)\n"
+            )
+            .into_bytes(),
+        }
+    }
+}
+
+/// Waits briefly for the optional one-line request frame; clients that
+/// connect and only read (the pre-diagnostics `starlink stats`/`trace`
+/// protocol) get the endpoint's default selector.
+fn read_selector(conn: &mut dyn Connection, default_selector: &str) -> String {
+    let deadline = Instant::now() + REQUEST_WAIT;
+    loop {
+        match conn.try_receive() {
+            Ok(Some(bytes)) => return String::from_utf8_lossy(&bytes).trim().to_owned(),
+            Ok(None) => {
+                if Instant::now() >= deadline {
+                    return default_selector.to_owned();
+                }
+                std::thread::sleep(IDLE_POLL);
+            }
+            Err(_) => return default_selector.to_owned(),
+        }
+    }
+}
+
 impl MediatorHost {
     /// Deploys the mediator at `listen`, thread-per-connection.
     ///
@@ -251,12 +437,16 @@ impl MediatorHost {
         let telemetry = install_recorder(&mut mediator);
         let trace_buffer = mediator.trace_buffer.clone();
         let flight = mediator.flight.clone();
+        let ops = build_ops(&mediator, &telemetry);
+        let pair = mediator.spec.automaton.name().to_owned();
         let stop = Arc::new(AtomicBool::new(false));
         let accept_stop = stop.clone();
+        let accept_ops = ops.clone();
         let mediator = Arc::new(mediator);
         let accept_thread = std::thread::spawn(move || {
             let sink = mediator.spec.telemetry.clone();
             let mut session_threads: Vec<JoinHandle<()>> = Vec::new();
+            let mut next_session_id: u64 = 0;
             while !accept_stop.load(Ordering::SeqCst) {
                 let mut conn = match listener.try_accept() {
                     Ok(Some(c)) => c,
@@ -280,6 +470,20 @@ impl MediatorHost {
                     Some(t) => t.record(sink.as_ref(), &TraceEvent::SessionAccepted),
                     None => sink.record(&TraceEvent::SessionAccepted),
                 }
+                let watch = accept_ops.as_ref().map(|ops| {
+                    next_session_id += 1;
+                    ops.directory.upsert(SessionEntry {
+                        id: next_session_id,
+                        state: "accepted".to_owned(),
+                        awaiting: None,
+                        since: Instant::now(),
+                        stalled: false,
+                    });
+                    SessionWatch {
+                        ops: ops.clone(),
+                        id: next_session_id,
+                    }
+                });
                 let mediator = mediator.clone();
                 let stop = accept_stop.clone();
                 session_threads.push(std::thread::spawn(move || {
@@ -295,6 +499,7 @@ impl MediatorHost {
                             conn.as_mut(),
                             &mut state,
                             Some(&stop),
+                            watch.as_ref(),
                         );
                         // Completions are counted by the session core
                         // itself (`SessionFinished` fires before the
@@ -303,8 +508,11 @@ impl MediatorHost {
                         match run {
                             Ok(_) => {}
                             Err(CoreError::Net(NetError::Timeout)) => continue,
-                            Err(_) => return,
+                            Err(_) => break,
                         }
+                    }
+                    if let Some(w) = &watch {
+                        w.ops.directory.remove(w.id);
                     }
                 }));
             }
@@ -312,12 +520,21 @@ impl MediatorHost {
                 let _ = t.join();
             }
         });
+        let diag = DiagState {
+            telemetry: telemetry.clone(),
+            trace_buffer: trace_buffer.clone(),
+            pair,
+            queue_depth: Arc::new(AtomicUsize::new(0)),
+            queue_capacity: 0,
+            ops,
+        };
         Ok(MediatorHost {
             endpoint,
             stop,
             telemetry,
             trace_buffer,
             flight,
+            diag,
             threads: Mutex::new(vec![accept_thread]),
         })
     }
@@ -345,11 +562,14 @@ impl MediatorHost {
         let telemetry = install_recorder(&mut mediator);
         let trace_buffer = mediator.trace_buffer.clone();
         let flight = mediator.flight.clone();
+        let ops = build_ops(&mediator, &telemetry);
+        let pair = mediator.spec.automaton.name().to_owned();
         let stop = Arc::new(AtomicBool::new(false));
         let max_workers = max_workers.max(1);
         // Bounded: when every worker is busy and the buffer is full, the
         // coordinator's send blocks until a slot frees up.
-        let (jobs_tx, jobs_rx) = channel::bounded::<Job>(max_workers * 2);
+        let queue_capacity = max_workers * 2;
+        let (jobs_tx, jobs_rx) = channel::bounded::<Job>(queue_capacity);
         let (done_tx, done_rx) = channel::unbounded::<MuxSession>();
         // Jobs handed to the pool and not yet handed back; shared so the
         // coordinator and workers keep the queue-depth gauge honest.
@@ -362,14 +582,17 @@ impl MediatorHost {
             let mediator = mediator.clone();
             let stop = stop.clone();
             let queue_depth = queue_depth.clone();
+            let ops = ops.clone();
             threads.push(std::thread::spawn(move || {
-                worker_loop(&jobs_rx, &done_tx, &mediator, &stop, &queue_depth);
+                worker_loop(&jobs_rx, &done_tx, &mediator, &stop, &queue_depth, &ops);
             }));
         }
         drop(jobs_rx);
         drop(done_tx);
         let coord_stop = stop.clone();
         let coord_mediator = mediator;
+        let coord_queue_depth = queue_depth.clone();
+        let coord_ops = ops.clone();
         threads.push(std::thread::spawn(move || {
             coordinator_loop(
                 listener.as_ref(),
@@ -377,15 +600,25 @@ impl MediatorHost {
                 &done_rx,
                 &coord_mediator,
                 &coord_stop,
-                &queue_depth,
+                &coord_queue_depth,
+                &coord_ops,
             );
         }));
+        let diag = DiagState {
+            telemetry: telemetry.clone(),
+            trace_buffer: trace_buffer.clone(),
+            pair,
+            queue_depth,
+            queue_capacity,
+            ops,
+        };
         Ok(MediatorHost {
             endpoint,
             stop,
             telemetry,
             trace_buffer,
             flight,
+            diag,
             threads: Mutex::new(threads),
         })
     }
@@ -438,46 +671,62 @@ impl MediatorHost {
         self.telemetry.snapshot().unwrap_or_default()
     }
 
-    /// Serves [`MediatorHost::telemetry_snapshot`] at `listen`: every
-    /// accepted connection receives one frame containing the rendered
-    /// text exposition and is then dropped. Poll with
-    /// `starlink stats <endpoint>`. Returns the bound endpoint; the
+    /// The host's health report: the sliding window's failure and
+    /// accept-error rates, queue saturation and the stall watchdog's
+    /// live count graded against the configured [`crate::OpsConfig`]
+    /// thresholds (defaults when ops were not enabled), rolled up per
+    /// merged-automaton pair. Also served by the `health` diagnostics
+    /// selector and consumed by `starlink health`.
+    pub fn health_report(&self) -> HealthReport {
+        self.diag.health_report()
+    }
+
+    /// [`MediatorHost::telemetry_snapshot`] plus the operations plane's
+    /// families: windowed rates (when ops are enabled) and health-status
+    /// gauges. This is what the `stats` diagnostics selector serves.
+    pub fn diagnostics_snapshot(&self) -> Snapshot {
+        self.diag.diagnostics_snapshot()
+    }
+
+    /// Serves the unified diagnostics endpoint at `listen`: every
+    /// accepted connection may send one request frame naming a selector
+    /// — `stats` (diagnostics snapshot text), `traces` (Chrome
+    /// `trace_event` JSON), `health` (the rendered [`HealthReport`]) or
+    /// `sessions` (the live session directory) — and receives one reply
+    /// frame. Clients that send nothing get `stats` after a short grace
+    /// period, so the endpoint is a drop-in replacement for
+    /// [`MediatorHost::expose_stats`]. Returns the bound endpoint; the
     /// serving thread is joined at [`MediatorHost::shutdown`].
     ///
     /// # Errors
     ///
     /// Bind failures.
+    pub fn expose_diagnostics(&self, net: &NetworkEngine, listen: &Endpoint) -> Result<Endpoint> {
+        self.serve_one_shot(net, listen, "stats")
+    }
+
+    /// Serves [`MediatorHost::diagnostics_snapshot`] at `listen`: every
+    /// accepted connection receives one frame containing the rendered
+    /// text exposition and is then dropped. Poll with
+    /// `starlink stats <endpoint>`. A thin wrapper over the diagnostics
+    /// endpoint (defaulting to the `stats` selector), so the other
+    /// selectors work here too. Returns the bound endpoint; the serving
+    /// thread is joined at [`MediatorHost::shutdown`].
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
     pub fn expose_stats(&self, net: &NetworkEngine, listen: &Endpoint) -> Result<Endpoint> {
-        let listener = net.listen(listen)?;
-        let endpoint = listener.local_endpoint();
-        let stop = self.stop.clone();
-        let sink = self.telemetry.clone();
-        let handle = std::thread::spawn(move || {
-            while !stop.load(Ordering::SeqCst) {
-                match listener.try_accept() {
-                    Ok(Some(mut conn)) => {
-                        let text = sink.snapshot().unwrap_or_default().render_text();
-                        let _ = conn.send(text.as_bytes());
-                    }
-                    Ok(None) => std::thread::sleep(IDLE_POLL),
-                    Err(NetError::Closed) => break,
-                    Err(_) => std::thread::sleep(ACCEPT_BACKOFF),
-                }
-            }
-        });
-        self.threads
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .push(handle);
-        Ok(endpoint)
+        self.serve_one_shot(net, listen, "stats")
     }
 
     /// Serves the trace buffer at `listen` in Chrome `trace_event` JSON:
     /// every accepted connection receives one frame holding all
     /// completed session traces (one track per session) and is then
     /// dropped. Poll with `starlink trace <endpoint>` or load the saved
-    /// frame in `chrome://tracing` / Perfetto. Returns the bound
-    /// endpoint; the serving thread is joined at
+    /// frame in `chrome://tracing` / Perfetto. A thin wrapper over the
+    /// diagnostics endpoint (defaulting to the `traces` selector).
+    /// Returns the bound endpoint; the serving thread is joined at
     /// [`MediatorHost::shutdown`].
     ///
     /// # Errors
@@ -485,24 +734,37 @@ impl MediatorHost {
     /// [`CoreError::Aborted`] when tracing was not enabled on the
     /// mediator before deployment; bind failures.
     pub fn expose_traces(&self, net: &NetworkEngine, listen: &Endpoint) -> Result<Endpoint> {
-        let buffer = self
-            .trace_buffer
-            .clone()
-            .ok_or_else(|| CoreError::Aborted {
+        if self.trace_buffer.is_none() {
+            return Err(CoreError::Aborted {
                 reason: "tracing not enabled: call Mediator::enable_tracing before deploying"
                     .to_owned(),
-            })?;
+            });
+        }
+        self.serve_one_shot(net, listen, "traces")
+    }
+
+    /// The one-shot request/reply accept loop every exposure endpoint
+    /// shares: accept, wait briefly for an optional selector frame
+    /// (defaulting when none arrives), answer with one frame, drop the
+    /// connection. Polls so shutdown takes effect promptly and tolerates
+    /// transient accept errors.
+    fn serve_one_shot(
+        &self,
+        net: &NetworkEngine,
+        listen: &Endpoint,
+        default_selector: &'static str,
+    ) -> Result<Endpoint> {
         let listener = net.listen(listen)?;
         let endpoint = listener.local_endpoint();
         let stop = self.stop.clone();
+        let diag = self.diag.clone();
         let handle = std::thread::spawn(move || {
             while !stop.load(Ordering::SeqCst) {
                 match listener.try_accept() {
                     Ok(Some(mut conn)) => {
-                        let events: Vec<_> =
-                            buffer.traces().iter().flat_map(chrome_events).collect();
-                        let json = render_chrome_json(&events);
-                        let _ = conn.send(json.as_bytes());
+                        let selector = read_selector(conn.as_mut(), default_selector);
+                        let reply = diag.respond(&selector);
+                        let _ = conn.send(&reply);
                     }
                     Ok(None) => std::thread::sleep(IDLE_POLL),
                     Err(NetError::Closed) => break,
@@ -561,6 +823,12 @@ struct MuxSession {
     awaiting: Option<u8>,
     /// When the parked receive times out (triggering [`SessionEvent::Tick`]).
     deadline: Instant,
+    /// When the current receive wait began (the stall watchdog measures
+    /// from here; unlike `deadline` it is not pushed out by config).
+    awaiting_since: Instant,
+    /// Stable directory id (accept order), distinct from the coordinator's
+    /// per-park keys.
+    ops_id: u64,
 }
 
 /// A unit of work for the pool: step this session with this event
@@ -576,6 +844,7 @@ fn worker_loop(
     mediator: &Arc<Mediator>,
     stop: &AtomicBool,
     queue_depth: &AtomicUsize,
+    ops: &Option<Arc<OpsRuntime>>,
 ) {
     while let Ok(job) = jobs.recv() {
         let Job { mut session, event } = job;
@@ -590,6 +859,9 @@ fn worker_loop(
             Ok(()) => true,
             Err(err) => {
                 session.core.record_failure(&err);
+                if let Some(ops) = ops {
+                    ops.directory.remove(session.ops_id);
+                }
                 false
             }
         };
@@ -624,7 +896,9 @@ fn pump(
                 SessionIo::Finished(_) => {}
                 SessionIo::NeedRecv { color } => {
                     session.awaiting = Some(color);
-                    session.deadline = Instant::now() + mediator.timeout;
+                    let now = Instant::now();
+                    session.deadline = now + mediator.timeout;
+                    session.awaiting_since = now;
                 }
                 SessionIo::SendWire { color, bytes } => {
                     if color == mediator.spec.client_color {
@@ -661,6 +935,17 @@ fn pump(
     }
 }
 
+/// What the coordinator decided to do with a parked session this poll.
+enum Ready {
+    /// Connection closed or failed: drop the session.
+    Drop,
+    /// The stall watchdog's abort policy fired after waiting this long.
+    Abort(u64),
+    /// Input (or a timeout tick) is ready: hand to the pool.
+    Step(SessionEvent),
+}
+
+#[allow(clippy::too_many_arguments)]
 fn coordinator_loop(
     listener: &dyn starlink_net::Listener,
     jobs: &Sender<Job>,
@@ -668,10 +953,12 @@ fn coordinator_loop(
     mediator: &Arc<Mediator>,
     stop: &AtomicBool,
     queue_depth: &AtomicUsize,
+    ops: &Option<Arc<OpsRuntime>>,
 ) {
     let sink = mediator.spec.telemetry.clone();
     let mut parked: HashMap<u64, MuxSession> = HashMap::new();
     let mut next_id: u64 = 0;
+    let mut next_ops_id: u64 = 0;
     let mut last_active = usize::MAX;
     // Submitting a job before `jobs.send` keeps the gauge an upper bound
     // even while the send blocks on a full channel.
@@ -685,6 +972,15 @@ fn coordinator_loop(
         // 1. Workers hand back sessions parked on a receive.
         while let Ok(session) = done.try_recv() {
             next_id += 1;
+            if let Some(ops) = ops {
+                ops.directory.upsert(SessionEntry {
+                    id: session.ops_id,
+                    state: session.core.current_state().to_owned(),
+                    awaiting: session.awaiting,
+                    since: Instant::now(),
+                    stalled: false,
+                });
+            }
             parked.insert(next_id, session);
             progressed = true;
         }
@@ -701,12 +997,24 @@ fn coordinator_loop(
                 let mut persist = SessionPersist::new();
                 persist.tracer = tracer;
                 if let Ok(core) = SessionCore::new(mediator.spec.clone(), persist) {
+                    next_ops_id += 1;
+                    if let Some(ops) = ops {
+                        ops.directory.upsert(SessionEntry {
+                            id: next_ops_id,
+                            state: core.current_state().to_owned(),
+                            awaiting: None,
+                            since: Instant::now(),
+                            stalled: false,
+                        });
+                    }
                     let session = MuxSession {
                         core,
                         client,
                         services: HashMap::new(),
                         awaiting: None,
                         deadline: Instant::now() + mediator.timeout,
+                        awaiting_since: Instant::now(),
+                        ops_id: next_ops_id,
                     };
                     if !submit(session, None) {
                         return;
@@ -721,12 +1029,14 @@ fn coordinator_loop(
                 std::thread::sleep(ACCEPT_BACKOFF);
             }
         }
-        // 3. Poll parked sessions for readiness (or timeout).
+        // 3. Poll parked sessions for readiness (or timeout), running
+        //    the stall watchdog over sessions still waiting.
         let now = Instant::now();
-        let mut ready: Vec<(u64, Option<SessionEvent>)> = Vec::new();
+        let watchdog = ops.as_ref().and_then(|o| o.watchdog);
+        let mut ready: Vec<(u64, Ready)> = Vec::new();
         for (&id, session) in parked.iter_mut() {
             let Some(color) = session.awaiting else {
-                ready.push((id, None));
+                ready.push((id, Ready::Drop));
                 continue;
             };
             let conn = if color == mediator.spec.client_color {
@@ -735,35 +1045,76 @@ fn coordinator_loop(
                 session.services.get_mut(&color).map(|c| c.as_mut())
             };
             let Some(conn) = conn else {
-                ready.push((id, None));
+                ready.push((id, Ready::Drop));
                 continue;
             };
             match conn.try_receive() {
                 Ok(Some(bytes)) => {
-                    ready.push((id, Some(SessionEvent::WireReceived { color, bytes })));
+                    ready.push((id, Ready::Step(SessionEvent::WireReceived { color, bytes })));
                 }
                 Ok(None) => {
+                    if let (Some(ops), Some(wd)) = (ops, watchdog) {
+                        let waited = now.saturating_duration_since(session.awaiting_since);
+                        if waited >= wd.stall_after && !session.core.stall_flagged() {
+                            let waited_ms = waited.as_millis() as u64;
+                            if session.core.note_stalled(waited_ms) {
+                                ops.directory.mark_stalled(session.ops_id);
+                                ops.stall_raised();
+                            }
+                            if wd.policy == StallPolicy::Abort {
+                                ready.push((id, Ready::Abort(waited_ms)));
+                                continue;
+                            }
+                        }
+                    }
                     if now >= session.deadline {
-                        ready.push((id, Some(SessionEvent::Tick)));
+                        ready.push((id, Ready::Step(SessionEvent::Tick)));
                     }
                 }
                 // Closed or failed connection: drop the session.
-                Err(_) => ready.push((id, None)),
+                Err(_) => ready.push((id, Ready::Drop)),
             }
         }
-        for (id, event) in ready {
+        for (id, action) in ready {
             let mut session = parked.remove(&id).expect("session is parked");
             progressed = true;
-            let Some(event) = event else {
-                // Connection closed or failed: the session is dropped
-                // here, so close its trace instead of leaking an
-                // open-ended span tree.
-                session.core.abandon();
-                continue; // dropped
-            };
-            session.awaiting = None;
-            if !submit(session, Some(event)) {
-                return;
+            // However the session leaves the parked set, a flagged stall
+            // episode is over: bytes arrived, the traversal timed out,
+            // the connection died, or the abort below reclaims the slot.
+            if session.core.stall_flagged() {
+                if let Some(ops) = ops {
+                    ops.stall_lowered();
+                }
+            }
+            match action {
+                Ready::Drop => {
+                    // Connection closed or failed: the session is dropped
+                    // here, so close its trace instead of leaking an
+                    // open-ended span tree.
+                    if let Some(ops) = ops {
+                        ops.directory.remove(session.ops_id);
+                    }
+                    session.core.abandon();
+                }
+                Ready::Abort(waited_ms) => {
+                    // Stall abort: count the failure under stage
+                    // "stalled", close the root span, and drop the
+                    // session so its connections and pool slot free up.
+                    if let Some(ops) = ops {
+                        ops.directory.remove(session.ops_id);
+                    }
+                    let err = CoreError::Stalled {
+                        state: session.core.current_state().to_owned(),
+                        waited_ms,
+                    };
+                    session.core.record_failure(&err);
+                }
+                Ready::Step(event) => {
+                    session.awaiting = None;
+                    if !submit(session, Some(event)) {
+                        return;
+                    }
+                }
             }
         }
         // Sessions this host is responsible for right now: parked here

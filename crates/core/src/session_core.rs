@@ -193,6 +193,14 @@ pub struct SessionCore {
     /// The traversal's root tracing span (open from start/restart until
     /// the traversal finishes, fails, or is abandoned).
     root_span: Option<SpanGuard>,
+    /// When the traversal entered `current`. Only stamped while a sink
+    /// is installed (the no-op path never reads the clock); powers the
+    /// per-state dwell histogram.
+    state_entered: Option<Instant>,
+    /// Whether a stall watchdog has flagged the current await. Cleared
+    /// when bytes arrive or the traversal restarts, so a session that
+    /// recovers and stalls again is flagged (and counted) again.
+    stall_flagged: bool,
 }
 
 impl SessionCore {
@@ -229,6 +237,8 @@ impl SessionCore {
             pending_op: HashMap::new(),
             exchanges: 0,
             root_span: None,
+            state_entered: None,
+            stall_flagged: false,
         })
     }
 
@@ -246,6 +256,7 @@ impl SessionCore {
             });
         }
         self.started = true;
+        self.state_entered = self.spec.telemetry.enabled().then(Instant::now);
         self.root_span = self.open_span("session");
         self.emit(&TraceEvent::SessionStarted);
         let mut ios = Vec::new();
@@ -306,6 +317,7 @@ impl SessionCore {
                     }
                 }
                 self.awaiting = None;
+                self.stall_flagged = false;
                 let mut ios = Vec::new();
                 let span = self.open_span("receive");
                 let received = self.consume_wire(color, &bytes);
@@ -459,6 +471,43 @@ impl SessionCore {
         self.last_request_proto.clear();
         self.pending_op.clear();
         self.exchanges = 0;
+        self.state_entered = self.spec.telemetry.enabled().then(Instant::now);
+        self.stall_flagged = false;
+    }
+
+    /// Emits the dwell time of the state being exited and restamps the
+    /// entry clock. No-op unless a sink stamped `state_entered`.
+    fn note_dwell(&mut self) {
+        if let Some(entered) = self.state_entered {
+            self.emit(&TraceEvent::StateDwell {
+                state: &self.current,
+                nanos: entered.elapsed().as_nanos() as u64,
+            });
+            self.state_entered = Some(Instant::now());
+        }
+    }
+
+    /// Called by a stall watchdog: flags the current await as stalled
+    /// and emits [`TraceEvent::SessionStalled`] — once per stall episode
+    /// (the flag clears when bytes arrive or the traversal restarts).
+    /// Returns whether this call newly flagged the session, so callers
+    /// can maintain a stalled-session count.
+    pub(crate) fn note_stalled(&mut self, waited_ms: u64) -> bool {
+        if self.stall_flagged {
+            return false;
+        }
+        self.stall_flagged = true;
+        let state = self.current.clone();
+        self.emit(&TraceEvent::SessionStalled {
+            state: &state,
+            waited_ms,
+        });
+        true
+    }
+
+    /// Whether a watchdog has flagged the current await as stalled.
+    pub(crate) fn stall_flagged(&self) -> bool {
+        self.stall_flagged
     }
 
     /// Parses + unbinds an incoming wire message, matches it against the
@@ -528,6 +577,7 @@ impl SessionCore {
         }
         self.history.record(to.clone(), Direction::Received, app);
         self.exchanges += 1;
+        self.note_dwell();
         self.current = to;
         Ok(())
     }
@@ -582,6 +632,7 @@ impl SessionCore {
                     let executed = self.gamma_step(&spec, &from, &to, traced);
                     self.close_span(span);
                     executed?;
+                    self.note_dwell();
                     self.current = to;
                 }
                 Action::Send(_) => {
@@ -589,7 +640,9 @@ impl SessionCore {
                     let span = self.open_span("send");
                     let sent = self.send_step(&spec, t, traced, ios);
                     self.close_span(span);
-                    self.current = sent?;
+                    let next = sent?;
+                    self.note_dwell();
+                    self.current = next;
                 }
             }
         }

@@ -195,6 +195,31 @@ pub enum TraceEvent<'a> {
         /// Outstanding job count.
         depth: usize,
     },
+    /// A watchdog flagged a session as stalled: the traversal has been
+    /// awaiting a receive beyond the configured stall deadline. Emitted
+    /// once per stall episode (a session that stays stuck is not
+    /// re-flagged until it makes progress and stalls again).
+    SessionStalled {
+        /// The automaton state the session is stuck in.
+        state: &'a str,
+        /// How long the session had been awaiting when flagged, in
+        /// milliseconds.
+        waited_ms: u64,
+    },
+    /// Watchdog sweep: sessions currently flagged stalled (sampled when
+    /// the count changes, like [`TraceEvent::ActiveSessions`]).
+    StalledSessions {
+        /// Stalled session count.
+        count: usize,
+    },
+    /// The engine left an automaton state, reporting how long the
+    /// traversal dwelt in it (state entry to state exit).
+    StateDwell {
+        /// The state that was exited.
+        state: &'a str,
+        /// Dwell time in nanoseconds.
+        nanos: u64,
+    },
     /// A tracing span opened (emitted via
     /// [`crate::SessionTracer::open`]; the span/parent ids travel in the
     /// accompanying [`crate::TraceMeta`], not the event).

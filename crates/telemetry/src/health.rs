@@ -1,0 +1,665 @@
+//! The health model: snapshot + windows + watchdog → one verdict.
+//!
+//! A mediator bridges two live systems; "is the bridge healthy right
+//! now" must be answerable by a script (load balancer, cron probe,
+//! `starlink health`) without a human reading counters. This module
+//! reduces the operations plane's inputs — windowed rates from
+//! [`crate::WindowAggregator`], saturation gauges from the lifetime
+//! [`crate::Snapshot`], and the stall watchdog's count — to a
+//! three-valued [`HealthStatus`] with per-check reasons, rolled up
+//! overall and per merged-automaton pair.
+//!
+//! The report has a line-oriented text form ([`HealthReport::render_text`]
+//! / [`HealthReport::parse_text`], exact inverses) served by the
+//! diagnostics endpoint, and a metric form ([`HealthReport::families`])
+//! merged into the stats snapshot so scrapers see the same verdict.
+
+use crate::snapshot::{MetricFamily, MetricKind, Sample};
+use crate::window::WindowCounts;
+use std::fmt;
+
+/// The three-valued health verdict. Ordered: `Healthy < Degraded <
+/// Unhealthy`, so roll-ups are `max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthStatus {
+    /// All checks within thresholds.
+    Healthy,
+    /// Service continues but an operator should look: some check crossed
+    /// its warning threshold.
+    Degraded,
+    /// The bridge is effectively down or failing most traffic.
+    Unhealthy,
+}
+
+impl HealthStatus {
+    /// Stable lowercase label (`"healthy"` / `"degraded"` /
+    /// `"unhealthy"`), used in the text form and metric labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            HealthStatus::Healthy => "healthy",
+            HealthStatus::Degraded => "degraded",
+            HealthStatus::Unhealthy => "unhealthy",
+        }
+    }
+
+    /// Parses a label produced by [`HealthStatus::label`].
+    pub fn parse(label: &str) -> Option<HealthStatus> {
+        match label {
+            "healthy" => Some(HealthStatus::Healthy),
+            "degraded" => Some(HealthStatus::Degraded),
+            "unhealthy" => Some(HealthStatus::Unhealthy),
+            _ => None,
+        }
+    }
+
+    /// Scripting-friendly process exit code: 0 healthy, 1 degraded, 2
+    /// unhealthy (the `starlink health` contract).
+    pub fn exit_code(self) -> u8 {
+        match self {
+            HealthStatus::Healthy => 0,
+            HealthStatus::Degraded => 1,
+            HealthStatus::Unhealthy => 2,
+        }
+    }
+
+    /// Gauge value used in metric exposition (same ordering as
+    /// [`HealthStatus::exit_code`]).
+    pub fn gauge_value(self) -> u64 {
+        self.exit_code() as u64
+    }
+}
+
+impl fmt::Display for HealthStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One named check's verdict and its human-readable reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthCheck {
+    /// Stable check name (kebab-case: `"failure-rate"`,
+    /// `"accept-errors"`, `"queue-depth"`, `"stalled-sessions"`).
+    pub name: String,
+    /// This check's verdict.
+    pub status: HealthStatus,
+    /// One line of context (never contains a newline).
+    pub reason: String,
+}
+
+/// The health of one deployed merged-automaton pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairHealth {
+    /// The merged-automaton pair label (the deployed merge's name).
+    pub pair: String,
+    /// Worst check status for this pair.
+    pub status: HealthStatus,
+    /// The individual checks, in evaluation order.
+    pub checks: Vec<HealthCheck>,
+}
+
+/// The full report: overall verdict plus per-pair breakdowns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Worst status across all pairs.
+    pub overall: HealthStatus,
+    /// Per merged-automaton pair health.
+    pub pairs: Vec<PairHealth>,
+}
+
+/// Warning/critical thresholds the health checks compare against.
+///
+/// Ratios are fractions (`0.05` = 5%); a value at or above the
+/// `degraded` threshold degrades, at or above `unhealthy` is unhealthy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthThresholds {
+    /// Windowed failed/started ratio that degrades the pair.
+    pub failure_ratio_degraded: f64,
+    /// Windowed failed/started ratio that makes the pair unhealthy.
+    pub failure_ratio_unhealthy: f64,
+    /// Windowed accept-error count that degrades the pair.
+    pub accept_errors_degraded: u64,
+    /// Windowed accept-error count that makes the pair unhealthy.
+    pub accept_errors_unhealthy: u64,
+    /// Queue depth / capacity ratio that degrades the pair.
+    pub queue_saturation_degraded: f64,
+    /// Queue depth / capacity ratio that makes the pair unhealthy.
+    pub queue_saturation_unhealthy: f64,
+    /// Stalled-session count that degrades the pair.
+    pub stalled_degraded: u64,
+    /// Stalled-session count that makes the pair unhealthy.
+    pub stalled_unhealthy: u64,
+}
+
+impl Default for HealthThresholds {
+    fn default() -> Self {
+        HealthThresholds {
+            failure_ratio_degraded: 0.05,
+            failure_ratio_unhealthy: 0.5,
+            accept_errors_degraded: 3,
+            accept_errors_unhealthy: 25,
+            queue_saturation_degraded: 0.8,
+            queue_saturation_unhealthy: 1.0,
+            stalled_degraded: 1,
+            stalled_unhealthy: 8,
+        }
+    }
+}
+
+/// Everything a [`PairHealth`] evaluation consumes, gathered by the host.
+#[derive(Debug, Clone, Default)]
+pub struct HealthInputs {
+    /// The merged-automaton pair label.
+    pub pair: String,
+    /// Windowed lifecycle counts (when the ops plane is enabled) or
+    /// lifetime counters recast as a window of `window_secs == 0`.
+    pub window: WindowCounts,
+    /// Current worker-queue depth (multiplexed host; 0 for threaded).
+    pub queue_depth: u64,
+    /// Worker-queue capacity (0 when there is no bounded queue — the
+    /// queue-depth check then reports healthy with an explanatory
+    /// reason).
+    pub queue_capacity: u64,
+    /// Sessions currently flagged stalled by the watchdog.
+    pub stalled_now: u64,
+}
+
+fn grade(value: f64, degraded: f64, unhealthy: f64) -> HealthStatus {
+    if value >= unhealthy {
+        HealthStatus::Unhealthy
+    } else if value >= degraded {
+        HealthStatus::Degraded
+    } else {
+        HealthStatus::Healthy
+    }
+}
+
+fn grade_count(value: u64, degraded: u64, unhealthy: u64) -> HealthStatus {
+    if value >= unhealthy {
+        HealthStatus::Unhealthy
+    } else if value >= degraded {
+        HealthStatus::Degraded
+    } else {
+        HealthStatus::Healthy
+    }
+}
+
+/// Evaluates one pair's health from its inputs against thresholds.
+pub fn evaluate_pair(inputs: &HealthInputs, thresholds: &HealthThresholds) -> PairHealth {
+    let w = &inputs.window;
+    let span = if w.window_secs > 0 {
+        format!("last {}s", w.window_secs)
+    } else {
+        "lifetime".to_owned()
+    };
+    let mut checks = Vec::with_capacity(4);
+
+    // Failure rate: failed vs attempted traversals in the window. A
+    // window with no traffic is healthy by definition.
+    let attempts = w.started.max(w.failed);
+    let ratio = if attempts == 0 {
+        0.0
+    } else {
+        w.failed as f64 / attempts as f64
+    };
+    let mut reason = format!("{} failed / {} started ({span})", w.failed, w.started);
+    if let Some((stage, n)) = w.failures_by_stage.iter().max_by_key(|(_, n)| *n) {
+        reason.push_str(&format!(", worst stage {stage}={n}"));
+    }
+    checks.push(HealthCheck {
+        name: "failure-rate".to_owned(),
+        status: grade(
+            ratio,
+            thresholds.failure_ratio_degraded,
+            thresholds.failure_ratio_unhealthy,
+        ),
+        reason,
+    });
+
+    checks.push(HealthCheck {
+        name: "accept-errors".to_owned(),
+        status: grade_count(
+            w.accept_errors,
+            thresholds.accept_errors_degraded,
+            thresholds.accept_errors_unhealthy,
+        ),
+        reason: format!("{} accept errors ({span})", w.accept_errors),
+    });
+
+    let (queue_status, queue_reason) = if inputs.queue_capacity == 0 {
+        (
+            HealthStatus::Healthy,
+            "no bounded queue (threaded host)".to_owned(),
+        )
+    } else {
+        let saturation = inputs.queue_depth as f64 / inputs.queue_capacity as f64;
+        (
+            grade(
+                saturation,
+                thresholds.queue_saturation_degraded,
+                thresholds.queue_saturation_unhealthy,
+            ),
+            format!(
+                "depth {} of {} ({:.0}%)",
+                inputs.queue_depth,
+                inputs.queue_capacity,
+                saturation * 100.0
+            ),
+        )
+    };
+    checks.push(HealthCheck {
+        name: "queue-depth".to_owned(),
+        status: queue_status,
+        reason: queue_reason,
+    });
+
+    checks.push(HealthCheck {
+        name: "stalled-sessions".to_owned(),
+        status: grade_count(
+            inputs.stalled_now,
+            thresholds.stalled_degraded,
+            thresholds.stalled_unhealthy,
+        ),
+        reason: format!(
+            "{} stalled now, {} stall events ({span})",
+            inputs.stalled_now, w.stalled
+        ),
+    });
+
+    let status = checks
+        .iter()
+        .map(|c| c.status)
+        .max()
+        .unwrap_or(HealthStatus::Healthy);
+    PairHealth {
+        pair: inputs.pair.clone(),
+        status,
+        checks,
+    }
+}
+
+impl HealthReport {
+    /// A report over one pair (the common single-merge host case).
+    pub fn single(pair: PairHealth) -> HealthReport {
+        HealthReport {
+            overall: pair.status,
+            pairs: vec![pair],
+        }
+    }
+
+    /// A report rolled up from several pairs.
+    pub fn from_pairs(pairs: Vec<PairHealth>) -> HealthReport {
+        let overall = pairs
+            .iter()
+            .map(|p| p.status)
+            .max()
+            .unwrap_or(HealthStatus::Healthy);
+        HealthReport { overall, pairs }
+    }
+
+    /// Renders the report in its line-oriented text form:
+    ///
+    /// ```text
+    /// starlink-health degraded
+    /// pair Add~Plus degraded
+    /// check failure-rate healthy 0 failed / 12 started (last 60s)
+    /// check stalled-sessions degraded 1 stalled now, 1 stall events (last 60s)
+    /// end
+    /// ```
+    ///
+    /// Exact inverse of [`HealthReport::parse_text`].
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("starlink-health ");
+        out.push_str(self.overall.label());
+        out.push('\n');
+        for pair in &self.pairs {
+            out.push_str("pair ");
+            out.push_str(&escape_token(&pair.pair));
+            out.push(' ');
+            out.push_str(pair.status.label());
+            out.push('\n');
+            for check in &pair.checks {
+                out.push_str("check ");
+                out.push_str(&check.name);
+                out.push(' ');
+                out.push_str(check.status.label());
+                out.push(' ');
+                out.push_str(&check.reason);
+                out.push('\n');
+            }
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses a document produced by [`HealthReport::render_text`].
+    /// Exact inverse: `parse_text(render_text(r)) == Ok(r)`.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first malformed line.
+    pub fn parse_text(text: &str) -> Result<HealthReport, String> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or("empty health report")?;
+        let overall = header
+            .strip_prefix("starlink-health ")
+            .and_then(HealthStatus::parse)
+            .ok_or_else(|| {
+                format!("line 1: expected `starlink-health <status>`, got `{header}`")
+            })?;
+        let mut pairs: Vec<PairHealth> = Vec::new();
+        let mut saw_end = false;
+        for (idx, line) in lines {
+            let line_no = idx + 1;
+            if line.is_empty() {
+                continue;
+            }
+            if line == "end" {
+                saw_end = true;
+                break;
+            }
+            if let Some(rest) = line.strip_prefix("pair ") {
+                let (pair, status) = rest
+                    .rsplit_once(' ')
+                    .ok_or_else(|| format!("line {line_no}: malformed pair line `{line}`"))?;
+                let status = HealthStatus::parse(status)
+                    .ok_or_else(|| format!("line {line_no}: unknown status `{status}`"))?;
+                pairs.push(PairHealth {
+                    pair: unescape_token(pair),
+                    status,
+                    checks: Vec::new(),
+                });
+            } else if let Some(rest) = line.strip_prefix("check ") {
+                let pair = pairs
+                    .last_mut()
+                    .ok_or_else(|| format!("line {line_no}: check before any pair"))?;
+                let (name, rest) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| format!("line {line_no}: malformed check line `{line}`"))?;
+                let (status, reason) = rest
+                    .split_once(' ')
+                    .map(|(s, r)| (s, r.to_owned()))
+                    .unwrap_or((rest, String::new()));
+                let status = HealthStatus::parse(status)
+                    .ok_or_else(|| format!("line {line_no}: unknown status `{status}`"))?;
+                pair.checks.push(HealthCheck {
+                    name: name.to_owned(),
+                    status,
+                    reason,
+                });
+            } else {
+                return Err(format!("line {line_no}: unrecognised line `{line}`"));
+            }
+        }
+        if !saw_end {
+            return Err("health report missing `end` terminator".to_owned());
+        }
+        Ok(HealthReport { overall, pairs })
+    }
+
+    /// The report as gauge families for the stats snapshot:
+    /// `starlink_health_status{pair}` and
+    /// `starlink_health_check{pair,check}` with values 0/1/2
+    /// (healthy/degraded/unhealthy).
+    pub fn families(&self) -> Vec<MetricFamily> {
+        let mut status_samples = Vec::with_capacity(self.pairs.len());
+        let mut check_samples = Vec::new();
+        for pair in &self.pairs {
+            status_samples.push(Sample {
+                labels: vec![("pair".to_owned(), pair.pair.clone())],
+                value: pair.status.gauge_value(),
+            });
+            for check in &pair.checks {
+                check_samples.push(Sample {
+                    labels: vec![
+                        ("pair".to_owned(), pair.pair.clone()),
+                        ("check".to_owned(), check.name.clone()),
+                    ],
+                    value: check.status.gauge_value(),
+                });
+            }
+        }
+        let mut families = vec![MetricFamily::simple(
+            "starlink_health_status",
+            MetricKind::Gauge,
+            status_samples,
+        )];
+        if !check_samples.is_empty() {
+            families.push(MetricFamily::simple(
+                "starlink_health_check",
+                MetricKind::Gauge,
+                check_samples,
+            ));
+        }
+        families
+    }
+}
+
+/// Pair names travel as one whitespace-delimited token in the text form;
+/// spaces inside the automaton name are escaped to keep lines parseable.
+fn escape_token(name: &str) -> String {
+    name.replace('\\', "\\\\").replace(' ', "\\s")
+}
+
+fn unescape_token(token: &str) -> String {
+    let mut out = String::with_capacity(token.len());
+    let mut chars = token.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('s') => out.push(' '),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs() -> HealthInputs {
+        HealthInputs {
+            pair: "Add~Plus".to_owned(),
+            window: WindowCounts {
+                window_secs: 60,
+                started: 100,
+                finished: 98,
+                ..WindowCounts::default()
+            },
+            queue_depth: 1,
+            queue_capacity: 8,
+            stalled_now: 0,
+        }
+    }
+
+    #[test]
+    fn quiet_bridge_is_healthy() {
+        let report = HealthReport::single(evaluate_pair(&inputs(), &HealthThresholds::default()));
+        assert_eq!(report.overall, HealthStatus::Healthy);
+        assert_eq!(report.pairs[0].checks.len(), 4);
+        assert!(report.pairs[0]
+            .checks
+            .iter()
+            .all(|c| c.status == HealthStatus::Healthy));
+    }
+
+    #[test]
+    fn empty_window_is_healthy() {
+        let quiet = HealthInputs {
+            pair: "Add~Plus".to_owned(),
+            ..HealthInputs::default()
+        };
+        let pair = evaluate_pair(&quiet, &HealthThresholds::default());
+        assert_eq!(pair.status, HealthStatus::Healthy);
+    }
+
+    #[test]
+    fn failure_ratio_grades_degraded_then_unhealthy() {
+        let mut i = inputs();
+        i.window.failed = 10; // 10%
+        let pair = evaluate_pair(&i, &HealthThresholds::default());
+        assert_eq!(pair.status, HealthStatus::Degraded);
+        i.window.failed = 60; // 60%
+        let pair = evaluate_pair(&i, &HealthThresholds::default());
+        assert_eq!(pair.status, HealthStatus::Unhealthy);
+    }
+
+    #[test]
+    fn all_failures_with_no_starts_is_unhealthy() {
+        // Sessions can fail before SessionStarted (e.g. accept-time
+        // errors): failed > started must still register.
+        let mut i = inputs();
+        i.window.started = 0;
+        i.window.failed = 5;
+        let pair = evaluate_pair(&i, &HealthThresholds::default());
+        assert_eq!(pair.status, HealthStatus::Unhealthy);
+    }
+
+    #[test]
+    fn worst_stage_named_in_failure_reason() {
+        let mut i = inputs();
+        i.window.failed = 10;
+        i.window.failures_by_stage = vec![("mdl".to_owned(), 3), ("net".to_owned(), 7)];
+        let pair = evaluate_pair(&i, &HealthThresholds::default());
+        let check = &pair.checks[0];
+        assert!(
+            check.reason.contains("worst stage net=7"),
+            "{}",
+            check.reason
+        );
+    }
+
+    #[test]
+    fn stalled_sessions_degrade() {
+        let mut i = inputs();
+        i.stalled_now = 1;
+        i.window.stalled = 1;
+        let pair = evaluate_pair(&i, &HealthThresholds::default());
+        assert_eq!(pair.status, HealthStatus::Degraded);
+        let stall = pair
+            .checks
+            .iter()
+            .find(|c| c.name == "stalled-sessions")
+            .unwrap();
+        assert_eq!(stall.status, HealthStatus::Degraded);
+        i.stalled_now = 8;
+        let pair = evaluate_pair(&i, &HealthThresholds::default());
+        assert_eq!(pair.status, HealthStatus::Unhealthy);
+    }
+
+    #[test]
+    fn queue_saturation_degrades() {
+        let mut i = inputs();
+        i.queue_depth = 7; // 87%
+        let pair = evaluate_pair(&i, &HealthThresholds::default());
+        assert_eq!(pair.status, HealthStatus::Degraded);
+        i.queue_depth = 8;
+        let pair = evaluate_pair(&i, &HealthThresholds::default());
+        assert_eq!(pair.status, HealthStatus::Unhealthy);
+    }
+
+    #[test]
+    fn threaded_host_skips_queue_check() {
+        let mut i = inputs();
+        i.queue_capacity = 0;
+        i.queue_depth = 0;
+        let pair = evaluate_pair(&i, &HealthThresholds::default());
+        let queue = pair
+            .checks
+            .iter()
+            .find(|c| c.name == "queue-depth")
+            .unwrap();
+        assert_eq!(queue.status, HealthStatus::Healthy);
+        assert!(queue.reason.contains("threaded"));
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let mut i = inputs();
+        i.stalled_now = 2;
+        i.window.failed = 10;
+        i.window.failures_by_stage = vec![("net".to_owned(), 10)];
+        let report = HealthReport::single(evaluate_pair(&i, &HealthThresholds::default()));
+        let text = report.render_text();
+        let back = HealthReport::parse_text(&text).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn pair_names_with_spaces_round_trip() {
+        let report = HealthReport::single(PairHealth {
+            pair: "Add Client ~ Plus\\Service".to_owned(),
+            status: HealthStatus::Healthy,
+            checks: vec![HealthCheck {
+                name: "failure-rate".to_owned(),
+                status: HealthStatus::Healthy,
+                reason: "0 failed / 0 started (last 60s)".to_owned(),
+            }],
+        });
+        let back = HealthReport::parse_text(&report.render_text()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(HealthReport::parse_text("").is_err());
+        assert!(HealthReport::parse_text("starlink-health fine\nend\n").is_err());
+        assert!(HealthReport::parse_text("starlink-health healthy\n").is_err()); // no end
+        assert!(
+            HealthReport::parse_text("starlink-health healthy\ncheck x healthy y\nend\n").is_err()
+        );
+        assert!(HealthReport::parse_text("starlink-health healthy\nwhat\nend\n").is_err());
+    }
+
+    #[test]
+    fn exit_codes_follow_the_contract() {
+        assert_eq!(HealthStatus::Healthy.exit_code(), 0);
+        assert_eq!(HealthStatus::Degraded.exit_code(), 1);
+        assert_eq!(HealthStatus::Unhealthy.exit_code(), 2);
+    }
+
+    #[test]
+    fn families_expose_statuses_as_gauges() {
+        let mut i = inputs();
+        i.stalled_now = 1;
+        let report = HealthReport::single(evaluate_pair(&i, &HealthThresholds::default()));
+        let snap = crate::Snapshot {
+            families: report.families(),
+        };
+        let back = crate::Snapshot::parse_text(&snap.render_text()).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(
+            back.value("starlink_health_status", &[("pair", "Add~Plus")]),
+            Some(1)
+        );
+        assert_eq!(
+            back.value(
+                "starlink_health_check",
+                &[("pair", "Add~Plus"), ("check", "stalled-sessions")]
+            ),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn multi_pair_rollup_takes_the_worst() {
+        let healthy = PairHealth {
+            pair: "A".to_owned(),
+            status: HealthStatus::Healthy,
+            checks: Vec::new(),
+        };
+        let bad = PairHealth {
+            pair: "B".to_owned(),
+            status: HealthStatus::Unhealthy,
+            checks: Vec::new(),
+        };
+        let report = HealthReport::from_pairs(vec![healthy, bad]);
+        assert_eq!(report.overall, HealthStatus::Unhealthy);
+    }
+}

@@ -37,6 +37,13 @@
 //!   `chrome://tracing`/Perfetto) or a plain-text timeline, with a
 //!   zero-dep validating parser ([`validate_chrome_trace`]) for smoke
 //!   tests.
+//! * The operations plane — [`WindowAggregator`] buckets lifecycle
+//!   events into a sliding window (rates over the last N seconds,
+//!   labelled per merged-automaton pair), and the health model
+//!   ([`HealthReport`], [`HealthThresholds`], [`evaluate_pair`])
+//!   reduces windows + snapshot gauges + the stall watchdog's count to
+//!   a three-valued [`HealthStatus`] with per-check reasons, served by
+//!   `MediatorHost::expose_diagnostics` and the `starlink health` CLI.
 //!
 //! This crate has **zero dependencies** (not even on `starlink-message`)
 //! so every layer of the workspace — codecs, the MTL interpreter,
@@ -52,11 +59,13 @@
 mod event;
 mod export;
 mod flight;
+mod health;
 mod metrics;
 mod recorder;
 mod sink;
 mod snapshot;
 mod span;
+mod window;
 
 pub use event::{ProbeOutcome, TraceEvent, TransitionKind};
 pub use export::{
@@ -64,6 +73,10 @@ pub use export::{
     ChromeEvent, TraceStats,
 };
 pub use flight::{FlightRecorder, MessageCapture, RedactionFn};
+pub use health::{
+    evaluate_pair, HealthCheck, HealthInputs, HealthReport, HealthStatus, HealthThresholds,
+    PairHealth,
+};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, DURATION_BUCKET_BOUNDS_NS};
 pub use recorder::Recorder;
 pub use sink::{noop_sink, FanoutSink, NoopSink, TelemetrySink};
@@ -72,3 +85,4 @@ pub use span::{
     SessionTrace, SessionTraceId, SessionTracer, SpanGuard, SpanId, SpanScopedSink, TraceBuffer,
     TraceMeta, TraceRecord, TraceRecordKind,
 };
+pub use window::{window_families, WindowAggregator, WindowConfig, WindowCounts};

@@ -5,12 +5,19 @@ use crate::event::{ProbeOutcome, TraceEvent, TransitionKind};
 use crate::metrics::{Counter, Gauge, Histogram, DURATION_BUCKET_BOUNDS_NS};
 use crate::sink::TelemetrySink;
 use crate::snapshot::{MetricFamily, MetricKind, Sample, Snapshot};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Mutex;
 use std::time::Instant;
 
 /// Default capacity of the recent-events ring buffer.
 const DEFAULT_RING_CAPACITY: usize = 128;
+
+/// Accumulated dwell time for one automaton state.
+#[derive(Debug, Default, Clone, Copy)]
+struct DwellTotals {
+    count: u64,
+    sum_ns: u64,
+}
 
 /// The recorder's creation instant (wrapped so `Recorder` can keep
 /// deriving `Default`).
@@ -61,6 +68,13 @@ pub struct Recorder {
     worker_panics: Counter,
     active_sessions: Gauge,
     queue_depth: Gauge,
+    sessions_stalled: Counter,
+    stalled_sessions: Gauge,
+    state_dwell_ns: Histogram,
+    /// Per-state dwell totals, keyed by state name. State sets are small
+    /// and fixed per deployed merge, so the map stays tiny; the mutex is
+    /// short and only touched when a sink is installed at all.
+    state_dwell_by_state: Mutex<HashMap<String, DwellTotals>>,
     ring_capacity: usize,
     ring: Mutex<VecDeque<String>>,
     epoch: Epoch,
@@ -116,6 +130,7 @@ impl Recorder {
                 | TraceEvent::AcceptError
                 | TraceEvent::WorkerPanic
                 | TraceEvent::ServiceConnected { .. }
+                | TraceEvent::SessionStalled { .. }
         );
         if !keep {
             return;
@@ -158,7 +173,7 @@ impl Recorder {
                 count: Some(snap.count),
             }
         };
-        let families = vec![
+        let mut families = vec![
             counter("starlink_sessions_started_total", &self.sessions_started),
             counter("starlink_sessions_finished_total", &self.sessions_finished),
             counter("starlink_sessions_failed_total", &self.sessions_failed),
@@ -220,7 +235,43 @@ impl Recorder {
             gauge("starlink_active_sessions_peak", self.active_sessions.max()),
             gauge("starlink_queue_depth", self.queue_depth.get()),
             gauge("starlink_queue_depth_peak", self.queue_depth.max()),
+            counter("starlink_sessions_stalled_total", &self.sessions_stalled),
+            gauge("starlink_sessions_stalled", self.stalled_sessions.get()),
+            gauge(
+                "starlink_sessions_stalled_peak",
+                self.stalled_sessions.max(),
+            ),
+            histogram("starlink_state_dwell_ns", &self.state_dwell_ns),
         ];
+        // Per-state dwell rides as labelled count/sum counters: the
+        // MetricFamily histogram shape carries a single sum/count, so
+        // per-state distributions are exposed the way Prometheus
+        // summaries without quantiles are.
+        let dwell = self
+            .state_dwell_by_state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if !dwell.is_empty() {
+            let mut states: Vec<(&String, &DwellTotals)> = dwell.iter().collect();
+            states.sort_by_key(|(name, _)| name.as_str());
+            families.push(MetricFamily::simple(
+                "starlink_state_dwell_count",
+                MetricKind::Counter,
+                states
+                    .iter()
+                    .map(|(name, t)| Sample::labelled("state", name, t.count))
+                    .collect(),
+            ));
+            families.push(MetricFamily::simple(
+                "starlink_state_dwell_sum_ns",
+                MetricKind::Counter,
+                states
+                    .iter()
+                    .map(|(name, t)| Sample::labelled("state", name, t.sum_ns))
+                    .collect(),
+            ));
+        }
+        drop(dwell);
         Snapshot { families }
     }
 }
@@ -278,6 +329,18 @@ impl TelemetrySink for Recorder {
             TraceEvent::WorkerPanic => self.worker_panics.inc(),
             TraceEvent::ActiveSessions { count } => self.active_sessions.set(count as u64),
             TraceEvent::QueueDepth { depth } => self.queue_depth.set(depth as u64),
+            TraceEvent::SessionStalled { .. } => self.sessions_stalled.inc(),
+            TraceEvent::StalledSessions { count } => self.stalled_sessions.set(count as u64),
+            TraceEvent::StateDwell { state, nanos } => {
+                self.state_dwell_ns.observe(nanos);
+                let mut dwell = self
+                    .state_dwell_by_state
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                let totals = dwell.entry(state.to_owned()).or_default();
+                totals.count += 1;
+                totals.sum_ns += nanos;
+            }
             // Tracing structure is the TraceBuffer's / FlightRecorder's
             // business; the aggregate view ignores it.
             TraceEvent::SpanOpened { .. }

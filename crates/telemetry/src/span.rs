@@ -385,6 +385,17 @@ impl TraceRecord {
                 (Instant, "active-sessions".into(), format!("{count}"))
             }
             TraceEvent::QueueDepth { depth } => (Instant, "queue-depth".into(), format!("{depth}")),
+            TraceEvent::SessionStalled { state, waited_ms } => (
+                Instant,
+                "session-stalled".into(),
+                format!("state {state}, waited {waited_ms} ms"),
+            ),
+            TraceEvent::StalledSessions { count } => {
+                (Instant, "stalled-sessions".into(), format!("{count}"))
+            }
+            TraceEvent::StateDwell { state, nanos } => {
+                (Timed(nanos), "state-dwell".into(), format!("state {state}"))
+            }
         };
         TraceRecord {
             meta,

@@ -3,13 +3,23 @@
 //! running a bounded pool of worker threads (see `docs/engine.md`).
 //!
 //! Run: `cargo run --example multiplexed_host`
+//!
+//! Operations-plane knobs (all optional, plain runs are unaffected):
+//!
+//! * `STARLINK_DIAG_ADDR=tcp://127.0.0.1:7070` — enable the ops plane
+//!   and serve the unified diagnostics endpoint there (poll it with
+//!   `starlink health tcp://127.0.0.1:7070`),
+//! * `STARLINK_HOLD_SECS=<n>` — keep the host (and the diagnostics
+//!   endpoint) up for `n` seconds after the workload completes,
+//! * `STARLINK_STALL_DEMO=1` — hold one silent client connection so the
+//!   stall watchdog flags it and health degrades while holding.
 
 use starlink::apps::calculator::{add_plus_mediator, run_add_workload, PlusService};
-use starlink::core::MediatorHost;
+use starlink::core::{MediatorHost, OpsConfig};
 use starlink::net::{Endpoint, NetworkEngine, TcpTransport};
 use starlink::telemetry::{chrome_events, render_chrome_json, render_timeline};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const CLIENTS: usize = 32;
 const REQUESTS: usize = 5;
@@ -24,13 +34,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plus = PlusService::deploy(&net, &Endpoint::tcp("127.0.0.1", 0))?;
     println!("SOAP Plus service at {}", plus.endpoint());
 
+    let diag_addr = std::env::var("STARLINK_DIAG_ADDR").ok();
+    let stall_demo = std::env::var("STARLINK_STALL_DEMO").is_ok();
+    let hold_secs: u64 = std::env::var("STARLINK_HOLD_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+
     let mut mediator = add_plus_mediator(net.clone(), plus.endpoint().clone())?;
     let (traces, flight) = mediator.enable_tracing();
+    if diag_addr.is_some() || stall_demo {
+        mediator.enable_ops(OpsConfig::watching(Duration::from_secs(1)));
+    }
+    if stall_demo {
+        // Keep the silent session parked (and the stall gauge raised)
+        // for the whole hold instead of timing it out mid-demo.
+        mediator.timeout = Duration::from_secs(600);
+    }
     let host = MediatorHost::deploy_multiplexed(mediator, &Endpoint::tcp("127.0.0.1", 0), WORKERS)?;
     println!(
         "mediator (GIOP face) at {} — {WORKERS} worker threads\n",
         host.endpoint()
     );
+    if let Some(addr) = &diag_addr {
+        let diag = host.expose_diagnostics(&net, &addr.parse()?)?;
+        println!("diagnostics endpoint at {diag}");
+    }
+    let _silent = if stall_demo {
+        println!("stall demo: holding one silent client connection");
+        Some(net.connect(host.endpoint())?)
+    } else {
+        None
+    };
 
     let started = Instant::now();
     let completed = run_add_workload(&net, host.endpoint(), CLIENTS, REQUESTS);
@@ -43,6 +78,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert_eq!(completed, CLIENTS * REQUESTS);
 
+    if hold_secs > 0 {
+        println!("holding host for {hold_secs}s (diagnostics pollable)…");
+        std::thread::sleep(Duration::from_secs(hold_secs));
+    }
     host.shutdown();
     println!("\nhost shut down cleanly; all threads joined.");
 
